@@ -1,0 +1,98 @@
+// Ablation — graph-learning mechanisms (paper Section VII-C: "graphs
+// learned by advanced methods, such as GTS and NRI, should be further
+// compared to both static and MTGNN-learned graphs"). Compares, on the
+// Seq5 / CORR / GDT 20% cell:
+//   1. no graph learning (static CORR graph only)
+//   2. MTGNN embedding learner + static prior (the paper's setup)
+//   3. MTGNN embedding learner from random init (no prior)
+//   4. GTS-style edge-logit learner initialized from the static graph
+//   5. GTS-style edge-logit learner from random init
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/string_util.h"
+#include "core/report.h"
+#include "graph/metrics.h"
+#include "models/mtgnn.h"
+
+namespace emaf {
+namespace {
+
+struct Variant {
+  std::string name;
+  bool learning;
+  models::GraphLearnerKind kind;
+  bool use_prior;
+};
+
+void Run() {
+  bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::PrintScale("Ablation: graph-learning mechanisms", scale);
+
+  core::ExperimentConfig config = bench::MakeConfig(scale);
+  data::Cohort cohort = data::GenerateCohort(config.generator);
+  core::ExperimentRunner runner(cohort, config);
+  const int64_t seq = 5;
+
+  const std::vector<Variant> variants = {
+      {"static CORR only", false, models::GraphLearnerKind::kEmbedding, true},
+      {"embedding + CORR prior", true, models::GraphLearnerKind::kEmbedding,
+       true},
+      {"embedding, random start", true,
+       models::GraphLearnerKind::kEmbedding, false},
+      {"edge-logits + CORR init", true,
+       models::GraphLearnerKind::kEdgeLogits, true},
+      {"edge-logits, random start", true,
+       models::GraphLearnerKind::kEdgeLogits, false},
+  };
+
+  core::TablePrinter table(
+      {"Graph learner", "MSE mean(std)", "learned~static corr"});
+  for (const Variant& variant : variants) {
+    std::vector<double> mses;
+    double correlation = 0.0;
+    for (int64_t i = 0; i < cohort.size(); ++i) {
+      const data::Individual& person =
+          cohort.individuals[static_cast<size_t>(i)];
+      data::IndividualSplit split = data::MakeSplit(person, seq);
+      graph::AdjacencyMatrix static_graph =
+          runner.BuildStaticGraph(i, graph::GraphMetric::kCorrelation, 0.2);
+      models::MtgnnConfig mtgnn_config = config.mtgnn;
+      mtgnn_config.use_graph_learning = variant.learning;
+      mtgnn_config.learner_kind = variant.kind;
+      if (!variant.use_prior) mtgnn_config.static_prior_weight = 0.0;
+      Rng rng(static_cast<uint64_t>(500 + i));
+      const graph::AdjacencyMatrix* prior =
+          (variant.use_prior || !variant.learning) ? &static_graph : nullptr;
+      models::Mtgnn model(prior, person.num_variables(), seq, mtgnn_config,
+                          &rng);
+      core::TrainForecaster(&model, split.train, config.train);
+      mses.push_back(core::EvaluateMse(&model, split.test));
+      graph::AdjacencyMatrix learned = model.CurrentAdjacency();
+      learned.Symmetrize();
+      learned.ZeroDiagonal();
+      correlation += graph::GraphCorrelation(learned, static_graph);
+    }
+    table.AddRow({variant.name,
+                  core::FormatMeanStd(core::Aggregate(mses)),
+                  FormatFixed(correlation / cohort.size(), 3)});
+    std::cerr << "[graphlearn] " << variant.name << " done\n";
+  }
+  table.Print(std::cout);
+  bench::MaybeWriteCsv(table, "ablation_graphlearn");
+  std::cout << "\nPaper context: MTGNN's learned graphs (initialized from "
+               "static or random) reach ~0.84 MSE and correlate ~0.88 with "
+               "the static graphs; GTS/NRI-style learners are future work "
+               "this ablation prototypes.\n";
+}
+
+}  // namespace
+}  // namespace emaf
+
+int main() {
+  emaf::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation — per-variable MSE decomposition ("the effects across the MSE
+// scores when predicting each of the variables should be further
+// investigated", Section VII-C). Trains LSTM and MTGNN_CORR on each
+// individual and reports per-item MSE averaged across the cohort, grouped
+// by EMA block.
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/string_util.h"
+#include "core/report.h"
+#include "data/ema_items.h"
+#include "models/lstm_forecaster.h"
+#include "models/mtgnn.h"
+
+namespace emaf {
+namespace {
+
+const char* BlockName(data::EmaBlock block) {
+  switch (block) {
+    case data::EmaBlock::kPositiveAffect:
+      return "positive_affect";
+    case data::EmaBlock::kNegativeAffect:
+      return "negative_affect";
+    case data::EmaBlock::kBehaviorContext:
+      return "behavior_context";
+  }
+  return "?";
+}
+
+void Run() {
+  bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::PrintScale("Ablation: per-variable MSE decomposition", scale);
+
+  core::ExperimentConfig config = bench::MakeConfig(scale);
+  data::Cohort cohort = data::GenerateCohort(config.generator);
+  core::ExperimentRunner runner(cohort, config);
+  const int64_t seq = 5;
+
+  std::vector<double> lstm_mse(26, 0.0);
+  std::vector<double> mtgnn_mse(26, 0.0);
+  for (int64_t i = 0; i < cohort.size(); ++i) {
+    const data::Individual& person = cohort.individuals[static_cast<size_t>(i)];
+    data::IndividualSplit split = data::MakeSplit(person, seq);
+    Rng rng(static_cast<uint64_t>(1000 + i));
+
+    models::LstmForecaster lstm(person.num_variables(), seq, config.lstm,
+                                &rng);
+    core::TrainForecaster(&lstm, split.train, config.train);
+    std::vector<double> lstm_pv = core::EvaluatePerVariableMse(&lstm, split.test);
+
+    graph::AdjacencyMatrix adj =
+        runner.BuildStaticGraph(i, graph::GraphMetric::kCorrelation, 0.2);
+    models::Mtgnn mtgnn(&adj, person.num_variables(), seq, config.mtgnn, &rng);
+    core::TrainForecaster(&mtgnn, split.train, config.train);
+    std::vector<double> mtgnn_pv =
+        core::EvaluatePerVariableMse(&mtgnn, split.test);
+
+    for (size_t v = 0; v < 26; ++v) {
+      lstm_mse[v] += lstm_pv[v];
+      mtgnn_mse[v] += mtgnn_pv[v];
+    }
+    std::cerr << "[pervariable] individual " << i << " done\n";
+  }
+
+  const std::vector<data::EmaItem>& items = data::EmaItemCatalog();
+  core::TablePrinter table({"Item", "Block", "LSTM", "MTGNN_CORR", "delta"});
+  std::map<std::string, std::pair<double, double>> block_totals;
+  std::map<std::string, int> block_counts;
+  double n = static_cast<double>(cohort.size());
+  for (size_t v = 0; v < 26; ++v) {
+    double lstm_v = lstm_mse[v] / n;
+    double mtgnn_v = mtgnn_mse[v] / n;
+    table.AddRow({items[v].name, BlockName(items[v].block),
+                  FormatFixed(lstm_v, 3), FormatFixed(mtgnn_v, 3),
+                  FormatFixed(mtgnn_v - lstm_v, 3)});
+    auto& totals = block_totals[BlockName(items[v].block)];
+    totals.first += lstm_v;
+    totals.second += mtgnn_v;
+    ++block_counts[BlockName(items[v].block)];
+  }
+  table.Print(std::cout);
+  bench::MaybeWriteCsv(table, "ablation_pervariable");
+
+  std::cout << "\nBlock means (LSTM -> MTGNN):\n";
+  for (const auto& [block, totals] : block_totals) {
+    int count = block_counts[block];
+    std::cout << "  " << block << ": " << FormatFixed(totals.first / count, 3)
+              << " -> " << FormatFixed(totals.second / count, 3) << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace emaf
+
+int main() {
+  emaf::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared harness for the experiment benchmarks (one binary per paper
+// table/figure — see DESIGN.md).
+//
+// Scale control: every binary honours
+//   EMAF_BENCH_INDIVIDUALS  cohort size                  (default 2)
+//   EMAF_BENCH_EPOCHS       training epochs per model    (default varies)
+//   EMAF_BENCH_DAYS         study length in days         (default 14)
+//   EMAF_BENCH_SEED         cohort + training seed       (default 42)
+//   EMAF_BENCH_RAND_REPEATS random-graph averaging draws (default 2)
+//   EMAF_BENCH_WEIGHT_DECAY Adam weight decay            (default 0)
+//   EMAF_BENCH_FULL=1       paper scale: 100 individuals, 28 days,
+//                           300 epochs, 5 random repeats
+// The defaults reproduce the paper's qualitative shape in minutes on one
+// core; EMAF_BENCH_FULL reproduces the full protocol (hours).
+
+#ifndef EMAF_BENCH_BENCH_COMMON_H_
+#define EMAF_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "common/env.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "data/generator.h"
+
+namespace emaf::bench {
+
+struct BenchScale {
+  int64_t individuals;
+  int64_t epochs;
+  int64_t days;
+  int64_t random_repeats;
+  uint64_t seed;
+  double weight_decay;
+  bool full;
+};
+
+inline BenchScale ReadScale(int64_t default_epochs) {
+  BenchScale scale;
+  scale.full = GetEnvBool("EMAF_BENCH_FULL", false);
+  scale.individuals =
+      GetEnvInt64("EMAF_BENCH_INDIVIDUALS", scale.full ? 100 : 2);
+  scale.epochs = GetEnvInt64("EMAF_BENCH_EPOCHS",
+                             scale.full ? 300 : default_epochs);
+  scale.days = GetEnvInt64("EMAF_BENCH_DAYS", scale.full ? 28 : 14);
+  scale.random_repeats =
+      GetEnvInt64("EMAF_BENCH_RAND_REPEATS", scale.full ? 5 : 2);
+  scale.seed = static_cast<uint64_t>(GetEnvInt64("EMAF_BENCH_SEED", 42));
+  scale.weight_decay = GetEnvDouble("EMAF_BENCH_WEIGHT_DECAY", 0.0);
+  return scale;
+}
+
+// Paper-faithful model/training configuration (Section V-D) at the chosen
+// cohort scale.
+inline core::ExperimentConfig MakeConfig(const BenchScale& scale) {
+  core::ExperimentConfig config;
+  config.generator.num_individuals = scale.individuals;
+  config.generator.days = scale.days;
+  config.generator.seed = scale.seed;
+  config.train.epochs = scale.epochs;
+  config.train.weight_decay = scale.weight_decay;
+  config.random_graph_repeats = scale.random_repeats;
+  config.seed = scale.seed;
+  return config;
+}
+
+// Writes `table` as CSV into $EMAF_BENCH_CSV_DIR/<name>.csv when that
+// directory variable is set; silent no-op otherwise.
+inline void MaybeWriteCsv(const core::TablePrinter& table,
+                          const std::string& name) {
+  std::string dir = GetEnvString("EMAF_BENCH_CSV_DIR", "");
+  if (dir.empty()) return;
+  std::string path = dir + "/" + name + ".csv";
+  Status status = table.WriteCsv(path);
+  if (status.ok()) {
+    std::cout << "\n[csv] " << path << "\n";
+  } else {
+    std::cout << "\n[csv] failed: " << status.ToString() << "\n";
+  }
+}
+
+inline void PrintScale(const char* title, const BenchScale& scale) {
+  std::cout << "=== " << title << " ===\n"
+            << "scale: " << scale.individuals << " individuals, "
+            << scale.days << " days, " << scale.epochs << " epochs, seed "
+            << scale.seed << (scale.full ? " [FULL]" : " [reduced]") << "\n"
+            << "(set EMAF_BENCH_FULL=1 for the paper-scale protocol)\n\n";
+}
+
+}  // namespace emaf::bench
+
+#endif  // EMAF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,109 @@
+// Fig. 3 — Experiment C: static (distance-based) graphs vs MTGNN-learned
+// graphs as input to A3TGCN and ASTGCN, 5-step input, sparse (GDT = 20%)
+// graphs. For every configuration the bench prints the boxplot statistics
+// of the per-individual MSE distribution (the figure's boxes), the mean
+// (the figure's black numbers), and the mean relative % change between the
+// static and learned variant (the figure's red numbers). MTGNN's own
+// distribution and the learned-vs-static graph correlation (the paper
+// reports ~0.88) are included.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/string_util.h"
+#include "core/report.h"
+#include "ts/stats.h"
+
+namespace emaf {
+namespace {
+
+std::vector<std::string> BoxRow(const std::string& label,
+                                const std::vector<double>& mses,
+                                const std::string& change) {
+  ts::BoxStats box = ts::ComputeBoxStats(mses);
+  return {label,
+          FormatFixed(box.min, 3),
+          FormatFixed(box.q1, 3),
+          FormatFixed(box.median, 3),
+          FormatFixed(box.q3, 3),
+          FormatFixed(box.max, 3),
+          FormatFixed(box.mean, 3),
+          change};
+}
+
+void Run() {
+  bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::PrintScale("Fig. 3: Experiment C — static vs MTGNN-learned graphs",
+                    scale);
+
+  core::ExperimentConfig config = bench::MakeConfig(scale);
+  data::Cohort cohort = data::GenerateCohort(config.generator);
+  core::ExperimentRunner runner(cohort, config);
+
+  const std::vector<graph::GraphMetric> metrics = {
+      graph::GraphMetric::kEuclidean, graph::GraphMetric::kDtw,
+      graph::GraphMetric::kKnn, graph::GraphMetric::kCorrelation};
+  const int64_t seq = 5;
+  const double gdt = 0.2;
+
+  core::TablePrinter table({"Config", "min", "q1", "median", "q3", "max",
+                            "mean", "rel%chg"});
+
+  for (graph::GraphMetric metric : metrics) {
+    // MTGNN trained with this static prior (also produces the learned
+    // graphs used below, via the runner's cache).
+    core::CellSpec mtgnn;
+    mtgnn.model = core::ModelKind::kMtgnn;
+    mtgnn.metric = metric;
+    mtgnn.gdt = gdt;
+    mtgnn.input_length = seq;
+    core::CellResult mtgnn_result = runner.RunCell(mtgnn);
+    table.AddRow(
+        BoxRow(mtgnn.Label(), mtgnn_result.per_individual_mse, "-"));
+
+    for (core::ModelKind model :
+         {core::ModelKind::kA3tgcn, core::ModelKind::kAstgcn}) {
+      core::CellSpec spec;
+      spec.model = model;
+      spec.metric = metric;
+      spec.gdt = gdt;
+      spec.input_length = seq;
+      core::CellResult static_result = runner.RunCell(spec);
+      spec.use_learned_graph = true;
+      core::CellResult learned_result = runner.RunCell(spec);
+      double change = core::ExperimentRunner::MeanRelativeChangePercent(
+          static_result, learned_result);
+      spec.use_learned_graph = false;
+      table.AddRow(BoxRow(spec.Label(), static_result.per_individual_mse,
+                          "-"));
+      table.AddRow(BoxRow(spec.Label() + "_learned",
+                          learned_result.per_individual_mse,
+                          FormatFixed(change, 1) + "%"));
+      std::cerr << "[fig3] " << spec.Label() << " static+learned done\n";
+    }
+
+    const core::LearnedGraphSet& learned =
+        runner.LearnedGraphs(metric, gdt, seq);
+    std::cout << graph::GraphMetricName(metric)
+              << ": learned-vs-static graph correlation = "
+              << FormatFixed(learned.mean_static_correlation, 3) << "\n";
+  }
+
+  std::cout << "\n";
+  table.Print(std::cout);
+  bench::MaybeWriteCsv(table, "fig3_learned_graphs");
+  std::cout << "\nPaper reference: MTGNN ~0.84 best; feeding the "
+               "MTGNN-learned graph to ASTGCN/A3TGCN gives small mean "
+               "changes but consistent per-individual improvements for "
+               "kNN/CORR (up to -20.3% for ASTGCN_kNN); learned graphs "
+               "correlate ~0.88 with the static ones.\n";
+}
+
+}  // namespace
+}  // namespace emaf
+
+int main() {
+  emaf::Run();
+  return 0;
+}

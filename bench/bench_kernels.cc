@@ -1,0 +1,185 @@
+// Micro-benchmarks for the numeric substrate at the exact shapes the EMA
+// experiments use (V = 26 variables, batches of ~100 windows, hidden 32).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "graph/construction.h"
+#include "graph/spectral.h"
+#include "models/a3tgcn.h"
+#include "models/astgcn.h"
+#include "models/lstm_forecaster.h"
+#include "models/mtgnn.h"
+#include "tensor/ops.h"
+#include "ts/dtw.h"
+
+namespace emaf {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+void BM_MatMulShared(benchmark::State& state) {
+  Rng rng(1);
+  int64_t rows = state.range(0);
+  Tensor a = Tensor::Normal(Shape{rows, 96}, 0, 1, &rng);
+  Tensor b = Tensor::Normal(Shape{96, 32}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 96 * 32);
+}
+BENCHMARK(BM_MatMulShared)->Arg(1024)->Arg(8192);
+
+void BM_MatMulBatched(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::Normal(Shape{64, 26, 26}, 0, 1, &rng);
+  Tensor b = Tensor::Normal(Shape{64, 26, 26}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMulBatched);
+
+void BM_Conv2dInception(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::Normal(Shape{96, 32, 26, 5}, 0, 1, &rng);
+  Tensor w = Tensor::Normal(Shape{16, 32, 1, 3}, 0, 0.1, &rng);
+  Tensor bias = Tensor::Normal(Shape{16}, 0, 0.1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Conv2d(x, w, bias, {}));
+  }
+}
+BENCHMARK(BM_Conv2dInception);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::Normal(Shape{96, 32, 26, 5}, 0, 1, &rng);
+  Tensor w =
+      Tensor::Normal(Shape{16, 32, 1, 3}, 0, 0.1, &rng).SetRequiresGrad(true);
+  Tensor bias = Tensor::Normal(Shape{16}, 0, 0.1, &rng);
+  for (auto _ : state) {
+    Tensor loss = tensor::Sum(tensor::Conv2d(x, w, bias, {}));
+    loss.Backward();
+    w.ZeroGrad();
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(5);
+  Tensor x = Tensor::Normal(Shape{96, 26, 26}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Softmax(x, 1));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_DtwPair(benchmark::State& state) {
+  Rng rng(6);
+  int64_t len = state.range(0);
+  std::vector<double> a(static_cast<size_t>(len));
+  std::vector<double> b(static_cast<size_t>(len));
+  rng.FillNormal(&a, 0, 1);
+  rng.FillNormal(&b, 0, 1);
+  ts::DtwOptions options;
+  options.window = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::DtwDistance(a, b, options));
+  }
+}
+BENCHMARK(BM_DtwPair)->Arg(100)->Arg(200);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  data::GeneratorConfig gen;
+  gen.days = 18;
+  gen.seed = 9;
+  data::Individual person = data::GenerateIndividual(gen, 0);
+  graph::GraphBuildOptions options;
+  options.metric = static_cast<graph::GraphMetric>(state.range(0));
+  options.dtw_window = 16;
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::BuildSimilarityGraph(person.observations, options, &rng));
+  }
+  state.SetLabel(
+      graph::GraphMetricName(static_cast<graph::GraphMetric>(state.range(0))));
+}
+BENCHMARK(BM_GraphConstruction)->DenseRange(0, 4);
+
+void BM_ChebyshevStack(benchmark::State& state) {
+  data::GeneratorConfig gen;
+  gen.days = 18;
+  gen.seed = 9;
+  data::Individual person = data::GenerateIndividual(gen, 0);
+  graph::GraphBuildOptions options;
+  options.metric = graph::GraphMetric::kCorrelation;
+  graph::AdjacencyMatrix adj =
+      graph::BuildSimilarityGraph(person.observations, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ChebyshevPolynomials(adj, 3));
+  }
+}
+BENCHMARK(BM_ChebyshevStack);
+
+// One full training epoch per model at paper-like sizes: the unit of cost
+// for every experiment bench.
+template <typename MakeModel>
+void EpochBenchmark(benchmark::State& state, MakeModel make) {
+  data::GeneratorConfig gen;
+  gen.days = 18;
+  gen.seed = 9;
+  data::Individual person = data::GenerateIndividual(gen, 0);
+  data::IndividualSplit split = data::MakeSplit(person, 5);
+  graph::GraphBuildOptions options;
+  options.metric = graph::GraphMetric::kCorrelation;
+  graph::AdjacencyMatrix adj = graph::KeepTopFraction(
+      graph::BuildSimilarityGraph(person.observations, options), 0.2);
+  Rng rng(11);
+  auto model = make(adj, &rng);
+  core::TrainConfig config;
+  config.epochs = 1;
+  for (auto _ : state) {
+    core::TrainForecaster(model.get(), split.train, config);
+  }
+}
+
+void BM_EpochLstm(benchmark::State& state) {
+  EpochBenchmark(state, [](const graph::AdjacencyMatrix& adj, Rng* rng) {
+    return std::make_unique<models::LstmForecaster>(adj.num_nodes(), 5,
+                                                    models::LstmConfig{}, rng);
+  });
+}
+BENCHMARK(BM_EpochLstm);
+
+void BM_EpochA3tgcn(benchmark::State& state) {
+  EpochBenchmark(state, [](const graph::AdjacencyMatrix& adj, Rng* rng) {
+    return std::make_unique<models::A3tgcn>(adj, 5, models::A3tgcnConfig{},
+                                            rng);
+  });
+}
+BENCHMARK(BM_EpochA3tgcn);
+
+void BM_EpochAstgcn(benchmark::State& state) {
+  EpochBenchmark(state, [](const graph::AdjacencyMatrix& adj, Rng* rng) {
+    return std::make_unique<models::Astgcn>(adj, 5, models::AstgcnConfig{},
+                                            rng);
+  });
+}
+BENCHMARK(BM_EpochAstgcn);
+
+void BM_EpochMtgnn(benchmark::State& state) {
+  EpochBenchmark(state, [](const graph::AdjacencyMatrix& adj, Rng* rng) {
+    return std::make_unique<models::Mtgnn>(&adj, adj.num_nodes(), 5,
+                                           models::MtgnnConfig{}, rng);
+  });
+}
+BENCHMARK(BM_EpochMtgnn);
+
+}  // namespace
+}  // namespace emaf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table III — Experiment B: effect of graph-density threshold
+// (GDT = 20% / 40% / 100%) per metric, including the random-graph control
+// (averaged over several draws), with 5-step input.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/report.h"
+
+namespace emaf {
+namespace {
+
+void Run() {
+  bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::PrintScale("Table III: Experiment B — graph sparsity (GDT)", scale);
+
+  core::ExperimentConfig config = bench::MakeConfig(scale);
+  data::Cohort cohort = data::GenerateCohort(config.generator);
+  core::ExperimentRunner runner(cohort, config);
+
+  const std::vector<double> gdts = {0.2, 0.4, 1.0};
+  const std::vector<graph::GraphMetric> metrics = {
+      graph::GraphMetric::kEuclidean, graph::GraphMetric::kDtw,
+      graph::GraphMetric::kKnn, graph::GraphMetric::kCorrelation,
+      graph::GraphMetric::kRandom};
+  const std::vector<core::ModelKind> models = {core::ModelKind::kA3tgcn,
+                                               core::ModelKind::kAstgcn,
+                                               core::ModelKind::kMtgnn};
+
+  core::TablePrinter table({"Model", "GDT = 20%", "GDT = 40%", "GDT = 100%"});
+  for (graph::GraphMetric metric : metrics) {
+    for (core::ModelKind model : models) {
+      core::CellSpec spec;
+      spec.model = model;
+      spec.metric = metric;
+      spec.input_length = 5;
+      std::vector<std::string> row = {spec.Label()};
+      for (double gdt : gdts) {
+        spec.gdt = gdt;
+        row.push_back(core::FormatMeanStd(runner.RunCell(spec).stats));
+      }
+      table.AddRow(row);
+      std::cerr << "[table3] " << spec.Label() << " done\n";
+    }
+  }
+  table.HighlightColumnMinima();
+  table.Print(std::cout);
+  bench::MaybeWriteCsv(table, "table3_sparsity");
+  std::cout << "\nPaper reference: MTGNN_CORR best (~0.84) with little GDT "
+               "sensitivity; dense CORR helps ASTGCN/A3TGCN; random graphs "
+               "hurt ASTGCN most (~1.06) while MTGNN recovers via graph "
+               "learning (~0.85).\n";
+}
+
+}  // namespace
+}  // namespace emaf
+
+int main() {
+  emaf::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Personalized cohort forecasting: the paper's core workflow (Fig. 1) at
+// demo scale. For each participant in a small cohort, train one LSTM and
+// one MTGNN (correlation-graph prior) and compare per-individual and
+// aggregate 1-lag test MSE — the clinician's question "does the graph
+// model forecast my patient better?".
+//
+//   ./build/examples/personalized_forecasting [num_individuals] [epochs]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  using namespace emaf;  // NOLINT: example brevity
+  int64_t individuals = argc > 1 ? std::atoll(argv[1]) : 3;
+  int64_t epochs = argc > 2 ? std::atoll(argv[2]) : 40;
+
+  core::ExperimentConfig config;
+  config.generator.num_individuals = individuals;
+  config.generator.days = 14;
+  config.generator.seed = 2024;
+  config.train.epochs = epochs;
+  config.seed = 7;
+
+  data::Cohort cohort = data::GenerateCohort(config.generator);
+  core::ExperimentRunner runner(cohort, config);
+
+  core::CellSpec lstm;
+  lstm.model = core::ModelKind::kLstm;
+  lstm.input_length = 5;
+  core::CellSpec mtgnn;
+  mtgnn.model = core::ModelKind::kMtgnn;
+  mtgnn.metric = graph::GraphMetric::kCorrelation;
+  mtgnn.gdt = 0.2;
+  mtgnn.input_length = 5;
+
+  std::cout << "training LSTM and MTGNN_CORR for " << individuals
+            << " participants (" << epochs << " epochs each)...\n\n";
+  core::CellResult lstm_result = runner.RunCell(lstm);
+  core::CellResult mtgnn_result = runner.RunCell(mtgnn);
+
+  core::TablePrinter table({"Participant", "LSTM", "MTGNN_CORR", "winner"});
+  for (int64_t i = 0; i < cohort.size(); ++i) {
+    double l = lstm_result.per_individual_mse[static_cast<size_t>(i)];
+    double m = mtgnn_result.per_individual_mse[static_cast<size_t>(i)];
+    table.AddRow({cohort.individuals[static_cast<size_t>(i)].id,
+                  FormatFixed(l, 3), FormatFixed(m, 3),
+                  m < l ? "MTGNN" : "LSTM"});
+  }
+  table.AddRow({"cohort mean(std)", core::FormatMeanStd(lstm_result.stats),
+                core::FormatMeanStd(mtgnn_result.stats),
+                mtgnn_result.stats.mean < lstm_result.stats.mean ? "MTGNN"
+                                                                 : "LSTM"});
+  table.Print(std::cout);
+
+  double change = core::ExperimentRunner::MeanRelativeChangePercent(
+      lstm_result, mtgnn_result);
+  std::cout << "\nmean per-participant MSE change vs LSTM: "
+            << FormatFixed(change, 1) << "%\n";
+  return 0;
+}

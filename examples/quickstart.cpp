@@ -1,0 +1,69 @@
+// Quickstart: generate one synthetic EMA individual, build a correlation
+// graph over the 26 items, train the MTGNN forecaster and the LSTM
+// baseline, and compare their 1-lag test MSE.
+//
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "graph/construction.h"
+#include "models/lstm_forecaster.h"
+#include "models/mtgnn.h"
+#include "ts/window.h"
+
+int main() {
+  using namespace emaf;  // NOLINT: example brevity
+
+  // 1. Data: one synthetic participant (28 days x 8 beeps, 26 EMA items,
+  //    Likert-quantized, compliance-thinned, z-scored).
+  data::GeneratorConfig gen;
+  gen.num_individuals = 1;
+  gen.days = 14;  // demo scale; the study protocol is 28 days
+  gen.seed = 7;
+  data::Individual person = data::GenerateIndividual(gen, /*index=*/0);
+  std::cout << "individual " << person.id << ": "
+            << person.num_time_points() << " time points x "
+            << person.num_variables() << " variables\n";
+
+  // 2. Split: sequential 70/30, windows of the last 5 steps (Seq5).
+  const int64_t input_length = 5;
+  data::IndividualSplit split = data::MakeSplit(person, input_length);
+  std::cout << "train windows: " << split.train.num_windows()
+            << ", test windows: " << split.test.num_windows() << "\n";
+
+  // 3. Graph: absolute Pearson correlation between items, built on the
+  //    training region, sparsified to the strongest 20% of edges.
+  graph::GraphBuildOptions graph_options;
+  graph_options.metric = graph::GraphMetric::kCorrelation;
+  tensor::Tensor train_region =
+      tensor::Slice(person.observations, 0, 0, split.split_row);
+  graph::AdjacencyMatrix corr =
+      graph::BuildSimilarityGraph(train_region, graph_options);
+  graph::AdjacencyMatrix sparse = graph::KeepTopFraction(corr, 0.2);
+  std::cout << "graph density after GDT=20%: " << sparse.Density() << "\n";
+
+  // 4. Train MTGNN (graph learning on, correlation prior) and LSTM.
+  core::TrainConfig train;
+  train.epochs = 40;  // demo scale; the paper trains 300
+
+  Rng rng(123);
+  models::MtgnnConfig mtgnn_config;
+  models::Mtgnn mtgnn(&sparse, person.num_variables(), input_length,
+                      mtgnn_config, &rng);
+  core::TrainForecaster(&mtgnn, split.train, train);
+  double mtgnn_mse = core::EvaluateMse(&mtgnn, split.test);
+
+  models::LstmConfig lstm_config;
+  models::LstmForecaster lstm(person.num_variables(), input_length,
+                              lstm_config, &rng);
+  core::TrainForecaster(&lstm, split.train, train);
+  double lstm_mse = core::EvaluateMse(&lstm, split.test);
+
+  std::cout << "test MSE  MTGNN_CORR: " << mtgnn_mse << "\n";
+  std::cout << "test MSE  LSTM:       " << lstm_mse << "\n";
+  return 0;
+}

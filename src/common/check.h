@@ -1,0 +1,69 @@
+// Assertion macros for programming errors.
+//
+// emaf does not use exceptions: invariant violations and misuse of the API
+// are reported through EMAF_CHECK*, which print the failing condition, the
+// source location, and an optional streamed message, then abort. Recoverable
+// errors (I/O, parsing) use Status/Result from common/status.h instead.
+
+#ifndef EMAF_COMMON_CHECK_H_
+#define EMAF_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace emaf {
+namespace internal_check {
+
+// Collects a streamed message and aborts when destroyed. Used only via the
+// EMAF_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "EMAF_CHECK failure: " << condition << " at " << file << ":"
+            << line;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace emaf
+
+#define EMAF_CHECK(condition)                                          \
+  if (condition) {                                                     \
+  } else /* NOLINT */                                                  \
+    ::emaf::internal_check::CheckFailureStream(#condition, __FILE__,   \
+                                               __LINE__)
+
+#define EMAF_CHECK_BINARY(a, b, op)                                        \
+  if ((a)op(b)) {                                                          \
+  } else /* NOLINT */                                                      \
+    ::emaf::internal_check::CheckFailureStream(#a " " #op " " #b,          \
+                                               __FILE__, __LINE__)         \
+        << "(" << (a) << " vs " << (b) << ")"
+
+#define EMAF_CHECK_EQ(a, b) EMAF_CHECK_BINARY(a, b, ==)
+#define EMAF_CHECK_NE(a, b) EMAF_CHECK_BINARY(a, b, !=)
+#define EMAF_CHECK_LT(a, b) EMAF_CHECK_BINARY(a, b, <)
+#define EMAF_CHECK_LE(a, b) EMAF_CHECK_BINARY(a, b, <=)
+#define EMAF_CHECK_GT(a, b) EMAF_CHECK_BINARY(a, b, >)
+#define EMAF_CHECK_GE(a, b) EMAF_CHECK_BINARY(a, b, >=)
+
+#endif  // EMAF_COMMON_CHECK_H_

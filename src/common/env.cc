@@ -1,0 +1,45 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace emaf {
+
+int64_t GetEnvInt64(const char* name, int64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  long long parsed = 0;
+  if (!ParseInt64(value, &parsed)) return default_value;
+  return parsed;
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  double parsed = 0.0;
+  if (!ParseDouble(value, &parsed)) return default_value;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? default_value : std::string(value);
+}
+
+bool GetEnvBool(const char* name, bool default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  std::string lowered = ToLower(value);
+  if (lowered == "1" || lowered == "true" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "0" || lowered == "false" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  return default_value;
+}
+
+}  // namespace emaf

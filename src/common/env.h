@@ -1,0 +1,20 @@
+// Helpers for reading configuration knobs from environment variables.
+// Used by the benchmark harness (EMAF_BENCH_* variables, see DESIGN.md).
+
+#ifndef EMAF_COMMON_ENV_H_
+#define EMAF_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace emaf {
+
+// Returns the variable's value, or `default_value` when unset / unparsable.
+int64_t GetEnvInt64(const char* name, int64_t default_value);
+double GetEnvDouble(const char* name, double default_value);
+std::string GetEnvString(const char* name, const std::string& default_value);
+bool GetEnvBool(const char* name, bool default_value);
+
+}  // namespace emaf
+
+#endif  // EMAF_COMMON_ENV_H_

@@ -1,0 +1,68 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace emaf {
+namespace {
+
+LogSeverity ParseSeverityFromEnv() {
+  const char* value = std::getenv("EMAF_LOG_LEVEL");
+  if (value == nullptr) return LogSeverity::kInfo;
+  if (std::strcmp(value, "DEBUG") == 0) return LogSeverity::kDebug;
+  if (std::strcmp(value, "INFO") == 0) return LogSeverity::kInfo;
+  if (std::strcmp(value, "WARNING") == 0) return LogSeverity::kWarning;
+  if (std::strcmp(value, "ERROR") == 0) return LogSeverity::kError;
+  return LogSeverity::kInfo;
+}
+
+LogSeverity& MutableMinLogSeverity() {
+  static LogSeverity severity = ParseSeverityFromEnv();
+  return severity;
+}
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+// Strips leading directories so log lines stay short.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() { return MutableMinLogSeverity(); }
+
+void SetMinLogSeverity(LogSeverity severity) {
+  MutableMinLogSeverity() = severity;
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << SeverityName(severity) << " [" << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity()) {
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace emaf

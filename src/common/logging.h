@@ -1,0 +1,61 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:
+//   EMAF_LOG(INFO) << "trained individual " << id << " mse=" << mse;
+//
+// The minimum emitted severity defaults to INFO and can be raised with the
+// environment variable EMAF_LOG_LEVEL (one of DEBUG, INFO, WARNING, ERROR).
+
+#ifndef EMAF_COMMON_LOGGING_H_
+#define EMAF_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace emaf {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Returns the process-wide minimum severity that is actually emitted.
+LogSeverity MinLogSeverity();
+
+// Overrides the minimum emitted severity (tests use this to silence output).
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace emaf
+
+#define EMAF_LOG_DEBUG ::emaf::LogSeverity::kDebug
+#define EMAF_LOG_INFO ::emaf::LogSeverity::kInfo
+#define EMAF_LOG_WARNING ::emaf::LogSeverity::kWarning
+#define EMAF_LOG_ERROR ::emaf::LogSeverity::kError
+
+#define EMAF_LOG(severity) \
+  ::emaf::internal_logging::LogMessage(EMAF_LOG_##severity, __FILE__, __LINE__)
+
+#endif  // EMAF_COMMON_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace emaf {
+
+int64_t Rng::UniformInt(int64_t low, int64_t high) {
+  EMAF_CHECK_LE(low, high);
+  std::uniform_int_distribution<int64_t> dist(low, high);
+  return dist(engine_);
+}
+
+void Rng::FillUniform(std::vector<double>* out, double low, double high) {
+  for (double& v : *out) v = Uniform(low, high);
+}
+
+void Rng::FillNormal(std::vector<double>* out, double mean, double stddev) {
+  for (double& v : *out) v = Normal(mean, stddev);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t population,
+                                                   int64_t count) {
+  EMAF_CHECK_GE(population, count);
+  EMAF_CHECK_GE(count, 0);
+  std::vector<int64_t> all(population);
+  for (int64_t i = 0; i < population; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first `count` slots become the sample.
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t j = UniformInt(i, population - 1);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+}  // namespace emaf

@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in emaf (weight init, dropout, data
+// generation, random graphs) draws from an explicitly passed Rng, so a
+// whole experiment is reproducible from a single seed. Rng also supports
+// cheap forking (`Fork(stream_id)`) to derive independent per-individual /
+// per-layer streams from one master seed.
+
+#ifndef EMAF_COMMON_RNG_H_
+#define EMAF_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace emaf {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  // Derives an independent generator; distinct stream_ids give streams that
+  // do not collide even when drawn in different orders.
+  Rng Fork(uint64_t stream_id) const {
+    // SplitMix64-style mixing of (seed, stream_id).
+    uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return Rng(z);
+  }
+
+  uint64_t seed() const { return seed_; }
+
+  double Uniform() { return uniform_(engine_); }
+  double Uniform(double low, double high) {
+    return low + (high - low) * Uniform();
+  }
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return mean + stddev * normal_(engine_);
+  }
+  // Uniform integer in [low, high] inclusive.
+  int64_t UniformInt(int64_t low, int64_t high);
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Fills `out` with iid draws.
+  void FillUniform(std::vector<double>* out, double low, double high);
+  void FillNormal(std::vector<double>* out, double mean, double stddev);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (int64_t i = static_cast<int64_t>(values->size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(0, i);
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  // Samples `count` distinct indices from [0, population).
+  std::vector<int64_t> SampleWithoutReplacement(int64_t population,
+                                                int64_t count);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  uint64_t seed_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace emaf
+
+#endif  // EMAF_COMMON_RNG_H_

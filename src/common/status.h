@@ -1,0 +1,102 @@
+// Status / Result<T>: error propagation for recoverable failures.
+//
+// emaf forbids exceptions; functions that can fail for reasons outside the
+// programmer's control (missing file, malformed CSV, ...) return Status or
+// Result<T>. Programming errors use EMAF_CHECK instead.
+
+#ifndef EMAF_COMMON_STATUS_H_
+#define EMAF_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace emaf {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kInternal = 4,
+};
+
+// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-error. Access to value() on an error Result is a checked failure.
+// T need not be default-constructible.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    EMAF_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EMAF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    EMAF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    EMAF_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace emaf
+
+// Propagates an error Status from the current function.
+#define EMAF_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::emaf::Status emaf_status_ = (expr);     \
+    if (!emaf_status_.ok()) return emaf_status_; \
+  } while (false)
+
+#endif  // EMAF_COMMON_STATUS_H_

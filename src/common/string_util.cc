@@ -1,0 +1,95 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <iomanip>
+
+namespace emaf {
+
+std::vector<std::string> StrSplit(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string StrTrim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+std::string FormatFixed(double value, int digits) {
+  std::ostringstream stream;
+  stream << std::fixed << std::setprecision(digits) << value;
+  return stream.str();
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  std::string trimmed = StrTrim(text);
+  if (trimmed.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(trimmed.c_str(), &end);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, long long* value) {
+  std::string trimmed = StrTrim(text);
+  if (trimmed.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(trimmed.c_str(), &end, 10);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+}  // namespace emaf

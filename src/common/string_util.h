@@ -1,0 +1,48 @@
+// Small string helpers used across the library (splitting CSV lines,
+// building table cells, formatting floats with fixed precision).
+
+#ifndef EMAF_COMMON_STRING_UTIL_H_
+#define EMAF_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emaf {
+
+// Splits `text` on `delimiter`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string StrTrim(std::string_view text);
+
+// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Lowercases ASCII letters.
+std::string ToLower(std::string_view text);
+
+// Formats `value` with `digits` digits after the decimal point ("0.845").
+std::string FormatFixed(double value, int digits);
+
+// Concatenates the streamed representation of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream stream;
+  (stream << ... << args);
+  return stream.str();
+}
+
+// Parses a double / int64; returns false on any trailing garbage.
+bool ParseDouble(std::string_view text, double* value);
+bool ParseInt64(std::string_view text, long long* value);
+
+}  // namespace emaf
+
+#endif  // EMAF_COMMON_STRING_UTIL_H_

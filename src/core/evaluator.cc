@@ -1,0 +1,71 @@
+#include "core/evaluator.h"
+
+#include "common/check.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "ts/stats.h"
+
+namespace emaf::core {
+
+double MseBetween(const tensor::Tensor& prediction,
+                  const tensor::Tensor& target) {
+  EMAF_CHECK(prediction.shape() == target.shape());
+  const double* p = prediction.data();
+  const double* t = target.data();
+  double total = 0.0;
+  int64_t n = prediction.NumElements();
+  EMAF_CHECK_GT(n, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    double d = p[i] - t[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(n);
+}
+
+double EvaluateMse(models::Forecaster* model, const ts::WindowDataset& test) {
+  EMAF_CHECK(model != nullptr);
+  EMAF_CHECK_GT(test.num_windows(), 0);
+  tensor::NoGradGuard guard;
+  bool was_training = model->training();
+  model->SetTraining(false);
+  tensor::Tensor prediction = model->Forward(test.inputs);
+  double mse = MseBetween(prediction, test.targets);
+  model->SetTraining(was_training);
+  return mse;
+}
+
+std::vector<double> EvaluatePerVariableMse(models::Forecaster* model,
+                                           const ts::WindowDataset& test) {
+  EMAF_CHECK(model != nullptr);
+  EMAF_CHECK_GT(test.num_windows(), 0);
+  tensor::NoGradGuard guard;
+  bool was_training = model->training();
+  model->SetTraining(false);
+  tensor::Tensor prediction = model->Forward(test.inputs);
+  model->SetTraining(was_training);
+
+  int64_t batch = prediction.dim(0);
+  int64_t vars = prediction.dim(1);
+  std::vector<double> per_variable(static_cast<size_t>(vars), 0.0);
+  const double* p = prediction.data();
+  const double* t = test.targets.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t v = 0; v < vars; ++v) {
+      double d = p[b * vars + v] - t[b * vars + v];
+      per_variable[static_cast<size_t>(v)] += d * d;
+    }
+  }
+  for (double& v : per_variable) v /= static_cast<double>(batch);
+  return per_variable;
+}
+
+AggregateStats Aggregate(std::span<const double> per_individual) {
+  AggregateStats stats;
+  stats.count = static_cast<int64_t>(per_individual.size());
+  if (per_individual.empty()) return stats;
+  stats.mean = ts::Mean(per_individual);
+  stats.stddev = ts::StdDev(per_individual);
+  return stats;
+}
+
+}  // namespace emaf::core

@@ -1,0 +1,37 @@
+// Test-set evaluation and cross-individual aggregation (Section V-E).
+
+#ifndef EMAF_CORE_EVALUATOR_H_
+#define EMAF_CORE_EVALUATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "models/forecaster.h"
+#include "tensor/tensor.h"
+#include "ts/window.h"
+
+namespace emaf::core {
+
+// MSE between prediction and target tensors of identical shape.
+double MseBetween(const tensor::Tensor& prediction,
+                  const tensor::Tensor& target);
+
+// Test MSE of a trained model (eval mode, no gradients).
+double EvaluateMse(models::Forecaster* model, const ts::WindowDataset& test);
+
+// Per-variable MSE decomposition: entry v averages squared error of
+// variable v over all test windows (paper Section VII-C future work).
+std::vector<double> EvaluatePerVariableMse(models::Forecaster* model,
+                                           const ts::WindowDataset& test);
+
+struct AggregateStats {
+  double mean = 0.0;
+  double stddev = 0.0;  // population std across individuals
+  int64_t count = 0;
+};
+
+AggregateStats Aggregate(std::span<const double> per_individual);
+
+}  // namespace emaf::core
+
+#endif  // EMAF_CORE_EVALUATOR_H_

@@ -1,0 +1,117 @@
+// Experiment orchestration: one "cell" = (model, graph, GDT, input length)
+// trained and evaluated per individual across a cohort — the unit of every
+// entry in Tables II/III and every box in Fig. 3.
+
+#ifndef EMAF_CORE_EXPERIMENT_H_
+#define EMAF_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "graph/adjacency.h"
+#include "graph/construction.h"
+#include "models/a3tgcn.h"
+#include "models/astgcn.h"
+#include "models/lstm_forecaster.h"
+#include "models/mtgnn.h"
+
+namespace emaf::core {
+
+enum class ModelKind { kLstm, kA3tgcn, kAstgcn, kMtgnn };
+std::string ModelKindName(ModelKind kind);
+
+struct CellSpec {
+  ModelKind model = ModelKind::kLstm;
+  // Graph used by the GNNs: the static similarity metric or, for MTGNN,
+  // the graph-learning prior. Ignored by LSTM.
+  graph::GraphMetric metric = graph::GraphMetric::kCorrelation;
+  // Graph density threshold (paper: 0.2, 0.4, 1.0).
+  double gdt = 0.2;
+  // Input sequence length (paper: Seq1, Seq2, Seq5).
+  int64_t input_length = 5;
+  // Experiment C: replace the static graph by the MTGNN-learned graph
+  // extracted with the same (metric, gdt, input_length). Only meaningful
+  // for A3TGCN/ASTGCN.
+  bool use_learned_graph = false;
+
+  // Label like "MTGNN_CORR" / "ASTGCN_kNN_learned" / "LSTM".
+  std::string Label() const;
+};
+
+struct ExperimentConfig {
+  data::GeneratorConfig generator;
+  TrainConfig train;
+  models::LstmConfig lstm;
+  models::A3tgcnConfig a3tgcn;
+  models::AstgcnConfig astgcn;
+  models::MtgnnConfig mtgnn;
+  double train_fraction = 0.7;
+  int64_t knn_k = 5;
+  // DTW Sakoe-Chiba half-width (keeps graph building fast); < 0 = full.
+  int64_t dtw_window = 16;
+  // Random-graph cells are averaged over this many draws (paper: 5).
+  int64_t random_graph_repeats = 5;
+  uint64_t seed = 42;
+};
+
+struct CellResult {
+  CellSpec spec;
+  std::vector<double> per_individual_mse;
+  AggregateStats stats;
+};
+
+// Learned-graph extraction output for one (metric, gdt, input_length).
+struct LearnedGraphSet {
+  std::vector<graph::AdjacencyMatrix> graphs;  // one per individual
+  std::vector<double> mtgnn_mse;               // MTGNN's own test MSE
+  // Mean Pearson correlation between the learned graph and the static
+  // graph it was initialized from (paper reports ~0.88).
+  double mean_static_correlation = 0.0;
+};
+
+class ExperimentRunner {
+ public:
+  ExperimentRunner(data::Cohort cohort, ExperimentConfig config);
+
+  const data::Cohort& cohort() const { return cohort_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  // Trains and evaluates one cell across the cohort.
+  CellResult RunCell(const CellSpec& spec);
+
+  // Static similarity graph for one individual (built on the training
+  // region only, then GDT-sparsified). `repeat` seeds random graphs.
+  graph::AdjacencyMatrix BuildStaticGraph(int64_t individual_index,
+                                          graph::GraphMetric metric,
+                                          double gdt, int64_t repeat = 0);
+
+  // Trains MTGNN (graph learning with the static prior) per individual and
+  // extracts its learned adjacency. Cached per (metric, gdt, input_length).
+  const LearnedGraphSet& LearnedGraphs(graph::GraphMetric metric, double gdt,
+                                       int64_t input_length);
+
+  // Per-individual relative MSE change (%) between two cells, paired by
+  // individual: 100 * (b - a) / a, averaged (the red numbers in Fig. 3).
+  static double MeanRelativeChangePercent(const CellResult& a,
+                                          const CellResult& b);
+
+ private:
+  // Builds the model for one individual under `spec` and returns its test
+  // MSE after training. `repeat` varies random graphs.
+  double TrainAndEvaluate(const CellSpec& spec, int64_t individual_index,
+                          int64_t repeat);
+
+  data::Cohort cohort_;
+  ExperimentConfig config_;
+  std::map<std::string, LearnedGraphSet> learned_cache_;
+};
+
+}  // namespace emaf::core
+
+#endif  // EMAF_CORE_EXPERIMENT_H_

@@ -1,0 +1,89 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace emaf::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EMAF_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  EMAF_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::HighlightColumnMinima() {
+  for (size_t col = 1; col < header_.size(); ++col) {
+    double best = 0.0;
+    size_t best_row = rows_.size();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      // Parse the numeric prefix (works for "0.845(0.432)" cells too).
+      double v = 0.0;
+      std::istringstream stream(rows_[r][col]);
+      if (!(stream >> v)) continue;
+      if (best_row == rows_.size() || v < best) {
+        best = v;
+        best_row = r;
+      }
+    }
+    if (best_row < rows_.size()) rows_[best_row][col] += " *";
+  }
+}
+
+void TablePrinter::Print(std::ostream& out) const { out << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      if (c == 0) {
+        out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+      out << " |";
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + 4;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound(StrCat("cannot open for writing: ", path));
+  }
+  out << StrJoin(header_, ",") << "\n";
+  for (const auto& row : rows_) out << StrJoin(row, ",") << "\n";
+  out.flush();
+  if (!out.good()) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+std::string FormatMeanStd(const AggregateStats& stats, int digits) {
+  return StrCat(FormatFixed(stats.mean, digits), "(",
+                FormatFixed(stats.stddev, digits), ")");
+}
+
+}  // namespace emaf::core

@@ -1,0 +1,42 @@
+// Plain-text table rendering and CSV export for experiment results,
+// matching the layout of the paper's tables.
+
+#ifndef EMAF_CORE_REPORT_H_
+#define EMAF_CORE_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluator.h"
+
+namespace emaf::core {
+
+// Fixed-width, pipe-separated table; first column left-aligned, the rest
+// right-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Marks the best (lowest numeric value) cell per column with '*', as the
+  // paper highlights best scores. Non-numeric cells are skipped.
+  void HighlightColumnMinima();
+  void Print(std::ostream& out) const;
+  std::string ToString() const;
+
+  // Writes header + rows as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "0.845(0.432)" — the paper's mean(std) cell format.
+std::string FormatMeanStd(const AggregateStats& stats, int digits = 3);
+
+}  // namespace emaf::core
+
+#endif  // EMAF_CORE_REPORT_H_

@@ -1,0 +1,46 @@
+#include "core/trainer.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace emaf::core {
+
+TrainResult TrainForecaster(models::Forecaster* model,
+                            const ts::WindowDataset& train,
+                            const TrainConfig& config) {
+  EMAF_CHECK(model != nullptr);
+  EMAF_CHECK_GT(train.num_windows(), 0);
+  EMAF_CHECK_GT(config.epochs, 0);
+
+  nn::AdamOptions adam;
+  adam.lr = config.learning_rate;
+  adam.weight_decay = config.weight_decay;
+  nn::Adam optimizer(model->Parameters(), adam);
+
+  model->SetTraining(true);
+  TrainResult result;
+  result.epoch_losses.reserve(static_cast<size_t>(config.epochs));
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    tensor::Tensor prediction = model->Forward(train.inputs);
+    tensor::Tensor loss = tensor::MseLoss(prediction, train.targets);
+    loss.Backward();
+    if (config.grad_clip_norm > 0.0) {
+      nn::ClipGradNorm(optimizer.parameters(), config.grad_clip_norm);
+    }
+    optimizer.Step();
+    double value = loss.item();
+    result.epoch_losses.push_back(value);
+    if (config.verbose && (epoch % config.log_every == 0 ||
+                           epoch == config.epochs - 1)) {
+      EMAF_LOG(INFO) << model->name() << " epoch " << epoch
+                     << " train mse " << value;
+    }
+  }
+  result.final_loss = result.epoch_losses.back();
+  return result;
+}
+
+}  // namespace emaf::core

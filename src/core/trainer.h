@@ -1,0 +1,38 @@
+// Per-individual training loop implementing the paper's protocol
+// (Section V-D): full-batch Adam, lr 0.01, 300 epochs, MSE loss.
+
+#ifndef EMAF_CORE_TRAINER_H_
+#define EMAF_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "models/forecaster.h"
+#include "ts/window.h"
+
+namespace emaf::core {
+
+struct TrainConfig {
+  int64_t epochs = 300;
+  double learning_rate = 0.01;
+  double weight_decay = 0.0;
+  // Global gradient-norm clip; <= 0 disables. MTGNN's original training
+  // clips at 5, which also stabilizes the other models on short series.
+  double grad_clip_norm = 5.0;
+  bool verbose = false;
+  int64_t log_every = 50;
+};
+
+struct TrainResult {
+  std::vector<double> epoch_losses;
+  double final_loss = 0.0;
+};
+
+// Trains `model` on all windows of `train` as one batch per epoch.
+TrainResult TrainForecaster(models::Forecaster* model,
+                            const ts::WindowDataset& train,
+                            const TrainConfig& config);
+
+}  // namespace emaf::core
+
+#endif  // EMAF_CORE_TRAINER_H_

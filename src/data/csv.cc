@@ -1,0 +1,142 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace emaf::data {
+
+namespace {
+
+constexpr int kPrecision = 17;  // round-trip exact for double
+
+}  // namespace
+
+Status SaveMatrixCsv(const tensor::Tensor& matrix,
+                     const std::vector<std::string>& column_names,
+                     const std::string& path) {
+  if (matrix.rank() != 2) {
+    return Status::InvalidArgument("SaveMatrixCsv expects a rank-2 tensor");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound(StrCat("cannot open for writing: ", path));
+  }
+  int64_t rows = matrix.dim(0);
+  int64_t cols = matrix.dim(1);
+  if (!column_names.empty()) {
+    if (static_cast<int64_t>(column_names.size()) != cols) {
+      return Status::InvalidArgument("column_names size mismatch");
+    }
+    out << StrJoin(column_names, ",") << "\n";
+  }
+  out.precision(kPrecision);
+  const double* d = matrix.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c > 0) out << ",";
+      out << d[r * cols + c];
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+Result<tensor::Tensor> LoadMatrixCsv(const std::string& path,
+                                     std::vector<std::string>* column_names) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open for reading: ", path));
+  }
+  std::vector<double> values;
+  int64_t cols = -1;
+  int64_t rows = 0;
+  std::string line;
+  bool first_line = true;
+  while (std::getline(in, line)) {
+    if (StrTrim(line).empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, ',');
+    if (first_line) {
+      first_line = false;
+      // Detect a header: any field that does not parse as a number.
+      bool numeric = true;
+      for (const std::string& f : fields) {
+        double unused;
+        if (!ParseDouble(f, &unused)) {
+          numeric = false;
+          break;
+        }
+      }
+      if (!numeric) {
+        if (column_names != nullptr) {
+          column_names->clear();
+          for (const std::string& f : fields) {
+            column_names->push_back(StrTrim(f));
+          }
+        }
+        cols = static_cast<int64_t>(fields.size());
+        continue;
+      }
+    }
+    if (cols < 0) cols = static_cast<int64_t>(fields.size());
+    if (static_cast<int64_t>(fields.size()) != cols) {
+      return Status::InvalidArgument(
+          StrCat("ragged CSV at row ", rows, " in ", path));
+    }
+    for (const std::string& f : fields) {
+      double v = 0.0;
+      if (!ParseDouble(f, &v)) {
+        return Status::InvalidArgument(
+            StrCat("non-numeric value '", f, "' in ", path));
+      }
+      values.push_back(v);
+    }
+    ++rows;
+  }
+  if (rows == 0 || cols <= 0) {
+    return Status::InvalidArgument(StrCat("empty CSV: ", path));
+  }
+  return tensor::Tensor::FromVector(tensor::Shape{rows, cols},
+                                    std::move(values));
+}
+
+Status SaveAdjacencyCsv(const graph::AdjacencyMatrix& adjacency,
+                        const std::string& path) {
+  return SaveMatrixCsv(adjacency.ToTensor(), {}, path);
+}
+
+Result<graph::AdjacencyMatrix> LoadAdjacencyCsv(const std::string& path) {
+  Result<tensor::Tensor> matrix = LoadMatrixCsv(path, nullptr);
+  if (!matrix.ok()) return matrix.status();
+  if (matrix.value().dim(0) != matrix.value().dim(1)) {
+    return Status::InvalidArgument(
+        StrCat("adjacency CSV is not square: ", path));
+  }
+  return graph::AdjacencyMatrix::FromTensor(matrix.value());
+}
+
+Status SaveIndividualCsv(const Individual& individual,
+                         const std::vector<std::string>& variable_names,
+                         const std::string& path) {
+  return SaveMatrixCsv(individual.observations, variable_names, path);
+}
+
+Result<Individual> LoadIndividualCsv(const std::string& id,
+                                     const std::string& path) {
+  std::vector<std::string> names;
+  Result<tensor::Tensor> matrix = LoadMatrixCsv(path, &names);
+  if (!matrix.ok()) return matrix.status();
+  Individual individual;
+  individual.id = id;
+  individual.observations = matrix.value();
+  // Loaded data is taken as already normalized; identity stats.
+  int64_t cols = individual.observations.dim(1);
+  individual.normalization.mean.assign(static_cast<size_t>(cols), 0.0);
+  individual.normalization.stddev.assign(static_cast<size_t>(cols), 1.0);
+  return individual;
+}
+
+}  // namespace emaf::data

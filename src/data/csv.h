@@ -1,0 +1,42 @@
+// CSV import/export for data matrices, adjacency matrices, and individuals,
+// so cohorts and learned graphs can be inspected with external tools or
+// replaced by real EMA exports.
+
+#ifndef EMAF_DATA_CSV_H_
+#define EMAF_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "graph/adjacency.h"
+#include "tensor/tensor.h"
+
+namespace emaf::data {
+
+// Writes a [R, C] matrix with an optional header row of column names.
+Status SaveMatrixCsv(const tensor::Tensor& matrix,
+                     const std::vector<std::string>& column_names,
+                     const std::string& path);
+
+// Reads a numeric CSV (optionally with one non-numeric header row, which is
+// returned through `column_names` when non-null).
+Result<tensor::Tensor> LoadMatrixCsv(const std::string& path,
+                                     std::vector<std::string>* column_names);
+
+// Adjacency round-trip (no header).
+Status SaveAdjacencyCsv(const graph::AdjacencyMatrix& adjacency,
+                        const std::string& path);
+Result<graph::AdjacencyMatrix> LoadAdjacencyCsv(const std::string& path);
+
+// Individual observations ([T, V] z-scored matrix with variable names).
+Status SaveIndividualCsv(const Individual& individual,
+                         const std::vector<std::string>& variable_names,
+                         const std::string& path);
+Result<Individual> LoadIndividualCsv(const std::string& id,
+                                     const std::string& path);
+
+}  // namespace emaf::data
+
+#endif  // EMAF_DATA_CSV_H_

@@ -1,0 +1,26 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace emaf::data {
+
+IndividualSplit MakeSplit(const Individual& individual, int64_t input_length,
+                          double train_fraction) {
+  EMAF_CHECK(individual.observations.defined());
+  int64_t rows = individual.num_time_points();
+  IndividualSplit split;
+  split.split_row = ts::SequentialSplitIndex(rows, train_fraction);
+  split.train = ts::BuildWindows(individual.observations, input_length,
+                                 /*start=*/0, /*end=*/split.split_row,
+                                 /*allow_context=*/false);
+  split.test = ts::BuildWindows(individual.observations, input_length,
+                                /*start=*/split.split_row, /*end=*/rows,
+                                /*allow_context=*/true);
+  EMAF_CHECK_GT(split.train.num_windows(), 0)
+      << "individual " << individual.id << " has too few rows ("
+      << rows << ") for input length " << input_length;
+  EMAF_CHECK_GT(split.test.num_windows(), 0);
+  return split;
+}
+
+}  // namespace emaf::data

@@ -1,0 +1,52 @@
+// Dataset containers: one Individual per participant, a Cohort per study.
+
+#ifndef EMAF_DATA_DATASET_H_
+#define EMAF_DATA_DATASET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "tensor/tensor.h"
+#include "ts/normalize.h"
+#include "ts/window.h"
+
+namespace emaf::data {
+
+struct Individual {
+  std::string id;
+  // [T, V] matrix, z-scored per variable (paper preprocessing).
+  tensor::Tensor observations;
+  // Stats that undo the z-scoring (back to the Likert scale).
+  ts::NormalizationStats normalization;
+  // Generator ground truth (|interaction weight|, directed). Absent for
+  // data loaded from files.
+  std::optional<graph::AdjacencyMatrix> ground_truth_network;
+
+  int64_t num_time_points() const { return observations.dim(0); }
+  int64_t num_variables() const { return observations.dim(1); }
+};
+
+struct Cohort {
+  std::vector<Individual> individuals;
+  std::vector<std::string> variable_names;
+
+  int64_t size() const { return static_cast<int64_t>(individuals.size()); }
+};
+
+// Train/test windows for one individual under the paper's protocol:
+// sequential 70/30 split; test windows may reach back into the train region
+// for input context so every test row is predicted.
+struct IndividualSplit {
+  ts::WindowDataset train;
+  ts::WindowDataset test;
+  int64_t split_row = 0;
+};
+
+IndividualSplit MakeSplit(const Individual& individual, int64_t input_length,
+                          double train_fraction = 0.7);
+
+}  // namespace emaf::data
+
+#endif  // EMAF_DATA_DATASET_H_

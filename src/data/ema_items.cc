@@ -1,0 +1,58 @@
+#include "data/ema_items.h"
+
+#include "common/check.h"
+
+namespace emaf::data {
+
+const std::vector<EmaItem>& EmaItemCatalog() {
+  static const std::vector<EmaItem>& items = *new std::vector<EmaItem>{
+      // Positive affect (8 items)
+      {"cheerful", EmaBlock::kPositiveAffect},
+      {"relaxed", EmaBlock::kPositiveAffect},
+      {"energetic", EmaBlock::kPositiveAffect},
+      {"content", EmaBlock::kPositiveAffect},
+      {"enthusiastic", EmaBlock::kPositiveAffect},
+      {"satisfied", EmaBlock::kPositiveAffect},
+      {"connected", EmaBlock::kPositiveAffect},
+      {"confident", EmaBlock::kPositiveAffect},
+      // Negative affect / stress (9 items)
+      {"sad", EmaBlock::kNegativeAffect},
+      {"anxious", EmaBlock::kNegativeAffect},
+      {"irritated", EmaBlock::kNegativeAffect},
+      {"stressed", EmaBlock::kNegativeAffect},
+      {"lonely", EmaBlock::kNegativeAffect},
+      {"guilty", EmaBlock::kNegativeAffect},
+      {"worried", EmaBlock::kNegativeAffect},
+      {"restless", EmaBlock::kNegativeAffect},
+      {"down", EmaBlock::kNegativeAffect},
+      // Behaviour / context (9 items)
+      {"impulsivity", EmaBlock::kBehaviorContext},
+      {"concentration", EmaBlock::kBehaviorContext},
+      {"self_control", EmaBlock::kBehaviorContext},
+      {"craving_food", EmaBlock::kBehaviorContext},
+      {"ate_healthy", EmaBlock::kBehaviorContext},
+      {"physically_active", EmaBlock::kBehaviorContext},
+      {"social_interaction", EmaBlock::kBehaviorContext},
+      {"sleep_quality", EmaBlock::kBehaviorContext},
+      {"fatigue", EmaBlock::kBehaviorContext},
+  };
+  EMAF_CHECK_EQ(static_cast<int64_t>(items.size()), kNumEmaItems);
+  return items;
+}
+
+std::vector<std::string> EmaItemNames() {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(kNumEmaItems));
+  for (const EmaItem& item : EmaItemCatalog()) names.push_back(item.name);
+  return names;
+}
+
+int64_t EmaItemIndex(const std::string& name) {
+  const std::vector<EmaItem>& items = EmaItemCatalog();
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].name == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace emaf::data

@@ -1,0 +1,46 @@
+// Catalogue of the 26 EMA items used throughout the library.
+//
+// The study behind the paper (Roefs et al. 2022; Martinez et al. 2023)
+// measures momentary affect, symptoms, and behaviour/context on a 7-point
+// Likert scale. The item names here are representative of that protocol;
+// the synthetic generator assigns each item to one of three blocks whose
+// within-block dynamics are more strongly coupled than across blocks.
+
+#ifndef EMAF_DATA_EMA_ITEMS_H_
+#define EMAF_DATA_EMA_ITEMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emaf::data {
+
+inline constexpr int64_t kNumEmaItems = 26;
+inline constexpr int64_t kLikertMin = 1;
+inline constexpr int64_t kLikertMax = 7;
+
+enum class EmaBlock : int {
+  kPositiveAffect = 0,
+  kNegativeAffect = 1,
+  kBehaviorContext = 2,
+};
+
+inline constexpr int kNumEmaBlocks = 3;
+
+struct EmaItem {
+  std::string name;
+  EmaBlock block;
+};
+
+// The full 26-item catalogue, in variable order.
+const std::vector<EmaItem>& EmaItemCatalog();
+
+// Names only, in variable order.
+std::vector<std::string> EmaItemNames();
+
+// Index lookup by name; -1 when not found.
+int64_t EmaItemIndex(const std::string& name);
+
+}  // namespace emaf::data
+
+#endif  // EMAF_DATA_EMA_ITEMS_H_

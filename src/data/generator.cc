@@ -1,0 +1,218 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "data/ema_items.h"
+#include "graph/spectral.h"
+#include "ts/normalize.h"
+
+namespace emaf::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Block index for variable v. With 26 variables the named catalogue is
+// used; otherwise variables are split into three equal-ish blocks.
+int BlockOf(int64_t v, int64_t num_variables) {
+  if (num_variables == kNumEmaItems) {
+    return static_cast<int>(
+        EmaItemCatalog()[static_cast<size_t>(v)].block);
+  }
+  int64_t per_block = (num_variables + kNumEmaBlocks - 1) / kNumEmaBlocks;
+  return static_cast<int>(v / per_block);
+}
+
+// Draws the signed sparse interaction matrix G (zero diagonal) and rescales
+// it to the requested spectral radius.
+std::vector<double> DrawInteractionNetwork(const GeneratorConfig& config,
+                                           Rng* rng) {
+  int64_t v_count = config.num_variables;
+  std::vector<double> g(static_cast<size_t>(v_count * v_count), 0.0);
+  for (int64_t i = 0; i < v_count; ++i) {
+    for (int64_t j = 0; j < v_count; ++j) {
+      if (i == j) continue;
+      bool same_block = BlockOf(i, v_count) == BlockOf(j, v_count);
+      double p = same_block ? config.within_block_density
+                            : config.cross_block_density;
+      if (!rng->Bernoulli(p)) continue;
+      double magnitude = rng->Uniform(0.4, 1.0);
+      // Within-block edges lean excitatory; cross-block edges lean
+      // inhibitory (e.g. positive affect dampens negative affect).
+      double sign_positive_prob = same_block ? 0.8 : 0.3;
+      double sign = rng->Bernoulli(sign_positive_prob) ? 1.0 : -1.0;
+      g[static_cast<size_t>(i * v_count + j)] = sign * magnitude;
+    }
+  }
+  // Rescale to the requested spectral radius (of |G|, a stability proxy).
+  std::vector<double> abs_g(g.size());
+  for (size_t k = 0; k < g.size(); ++k) abs_g[k] = std::abs(g[k]);
+  tensor::Tensor abs_tensor = tensor::Tensor::FromVector(
+      tensor::Shape{v_count, v_count}, std::move(abs_g));
+  double radius = graph::PowerIterationEigenvalue(abs_tensor);
+  if (radius > 1e-9) {
+    double scale = config.coupling_spectral_radius / radius;
+    for (double& w : g) w *= scale;
+  }
+  return g;
+}
+
+}  // namespace
+
+Individual GenerateIndividual(const GeneratorConfig& config, int64_t index) {
+  EMAF_CHECK_GE(config.num_variables, 2);
+  EMAF_CHECK_GE(config.days * config.beeps_per_day, 16);
+  EMAF_CHECK_GE(index, 0);
+  int64_t v_count = config.num_variables;
+
+  Rng rng = Rng(config.seed).Fork(0x10000 + static_cast<uint64_t>(index));
+  std::vector<double> g = DrawInteractionNetwork(config, &rng);
+
+  // Per-variable parameters.
+  std::vector<double> autoreg(static_cast<size_t>(v_count));
+  std::vector<double> intercept(static_cast<size_t>(v_count));
+  std::vector<double> diurnal_phase(static_cast<size_t>(v_count));
+  std::vector<double> diurnal_amp(static_cast<size_t>(v_count));
+  for (int64_t v = 0; v < v_count; ++v) {
+    autoreg[static_cast<size_t>(v)] =
+        rng.Uniform(config.autoreg_low, config.autoreg_high);
+    intercept[static_cast<size_t>(v)] = rng.Uniform(-0.2, 0.2);
+    diurnal_phase[static_cast<size_t>(v)] = rng.Uniform(0.0, 2.0 * kPi);
+    diurnal_amp[static_cast<size_t>(v)] =
+        config.diurnal_amplitude * rng.Uniform(0.5, 1.5);
+  }
+
+  // Simulate the latent nonlinear VAR.
+  int64_t total_beeps = config.days * config.beeps_per_day;
+  int64_t steps = config.burn_in + total_beeps;
+  std::vector<double> state(static_cast<size_t>(v_count), 0.0);
+  std::vector<double> next(static_cast<size_t>(v_count), 0.0);
+  for (int64_t v = 0; v < v_count; ++v) {
+    state[static_cast<size_t>(v)] = rng.Normal(0.0, 0.5);
+  }
+  std::vector<double> latent(static_cast<size_t>(total_beeps * v_count));
+  for (int64_t t = 0; t < steps; ++t) {
+    int64_t beep_of_day = t % config.beeps_per_day;
+    double day_angle = 2.0 * kPi * static_cast<double>(beep_of_day) /
+                       static_cast<double>(config.beeps_per_day);
+    for (int64_t v = 0; v < v_count; ++v) {
+      double coupled = 0.0;
+      for (int64_t w = 0; w < v_count; ++w) {
+        double gw = g[static_cast<size_t>(v * v_count + w)];
+        if (gw != 0.0) coupled += gw * std::tanh(state[static_cast<size_t>(w)]);
+      }
+      next[static_cast<size_t>(v)] =
+          intercept[static_cast<size_t>(v)] +
+          autoreg[static_cast<size_t>(v)] * state[static_cast<size_t>(v)] +
+          coupled +
+          diurnal_amp[static_cast<size_t>(v)] *
+              std::sin(day_angle + diurnal_phase[static_cast<size_t>(v)]) +
+          rng.Normal(0.0, config.noise_std);
+    }
+    state.swap(next);
+    if (t >= config.burn_in) {
+      int64_t row = t - config.burn_in;
+      for (int64_t v = 0; v < v_count; ++v) {
+        latent[static_cast<size_t>(row * v_count + v)] =
+            state[static_cast<size_t>(v)];
+      }
+    }
+  }
+
+  // Measurement: affine map to the Likert range, rounding, clipping.
+  std::vector<double> measured = latent;
+  if (config.quantize_likert) {
+    for (int64_t v = 0; v < v_count; ++v) {
+      // Per-variable scale so most mass covers the 7 Likert bins.
+      double mu = 0.0;
+      for (int64_t t = 0; t < total_beeps; ++t) {
+        mu += latent[static_cast<size_t>(t * v_count + v)];
+      }
+      mu /= static_cast<double>(total_beeps);
+      double var = 0.0;
+      for (int64_t t = 0; t < total_beeps; ++t) {
+        double c = latent[static_cast<size_t>(t * v_count + v)] - mu;
+        var += c * c;
+      }
+      var /= static_cast<double>(total_beeps);
+      double sd = std::sqrt(std::max(var, 1e-12));
+      for (int64_t t = 0; t < total_beeps; ++t) {
+        double z = (latent[static_cast<size_t>(t * v_count + v)] - mu) / sd;
+        double likert = std::round(4.0 + 1.5 * z);
+        likert = std::clamp(likert, static_cast<double>(kLikertMin),
+                            static_cast<double>(kLikertMax));
+        measured[static_cast<size_t>(t * v_count + v)] = likert;
+      }
+    }
+  }
+
+  // Compliance thinning: drop unanswered beeps (rows).
+  double compliance = std::clamp(
+      rng.Uniform(config.compliance_mean - config.compliance_spread,
+                  config.compliance_mean + config.compliance_spread),
+      0.05, 1.0);
+  std::vector<int64_t> kept_rows;
+  kept_rows.reserve(static_cast<size_t>(total_beeps));
+  for (int64_t t = 0; t < total_beeps; ++t) {
+    if (rng.Bernoulli(compliance)) kept_rows.push_back(t);
+  }
+  // Guarantee enough data to train on (low-compliance participants are
+  // excluded in the paper's preprocessing anyway).
+  int64_t min_rows = std::min<int64_t>(total_beeps, 40);
+  int64_t t_fill = 0;
+  while (static_cast<int64_t>(kept_rows.size()) < min_rows) {
+    if (std::find(kept_rows.begin(), kept_rows.end(), t_fill) ==
+        kept_rows.end()) {
+      kept_rows.push_back(t_fill);
+    }
+    ++t_fill;
+  }
+  std::sort(kept_rows.begin(), kept_rows.end());
+
+  int64_t rows = static_cast<int64_t>(kept_rows.size());
+  std::vector<double> observed(static_cast<size_t>(rows * v_count));
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t src = kept_rows[static_cast<size_t>(r)];
+    for (int64_t v = 0; v < v_count; ++v) {
+      observed[static_cast<size_t>(r * v_count + v)] =
+          measured[static_cast<size_t>(src * v_count + v)];
+    }
+  }
+
+  Individual individual;
+  individual.id = StrCat("synthetic_", index);
+  individual.observations = tensor::Tensor::FromVector(
+      tensor::Shape{rows, v_count}, std::move(observed));
+  individual.normalization = ts::ZScoreColumns(&individual.observations);
+
+  graph::AdjacencyMatrix truth(v_count);
+  for (int64_t i = 0; i < v_count; ++i) {
+    for (int64_t j = 0; j < v_count; ++j) {
+      truth.set(i, j, std::abs(g[static_cast<size_t>(i * v_count + j)]));
+    }
+  }
+  individual.ground_truth_network = std::move(truth);
+  return individual;
+}
+
+Cohort GenerateCohort(const GeneratorConfig& config) {
+  Cohort cohort;
+  cohort.individuals.reserve(static_cast<size_t>(config.num_individuals));
+  for (int64_t i = 0; i < config.num_individuals; ++i) {
+    cohort.individuals.push_back(GenerateIndividual(config, i));
+  }
+  if (config.num_variables == kNumEmaItems) {
+    cohort.variable_names = EmaItemNames();
+  } else {
+    for (int64_t v = 0; v < config.num_variables; ++v) {
+      cohort.variable_names.push_back(StrCat("var_", v));
+    }
+  }
+  return cohort;
+}
+
+}  // namespace emaf::data

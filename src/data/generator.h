@@ -1,0 +1,76 @@
+// Synthetic EMA cohort generator.
+//
+// Substitutes the proprietary student EMA study (269 -> 100 participants,
+// 26 items, 8 beeps/day for 28 days) described in Section IV. Each
+// individual gets their own sparse signed interaction network over the 26
+// items; a nonlinear VAR process with a diurnal rhythm produces latent
+// trajectories that are quantized to the 7-point Likert grid, thinned by a
+// per-individual compliance rate, and finally z-scored per variable —
+// matching the paper's preprocessing. The ground-truth network is retained
+// so graph builders can be validated against it (something the original
+// study could not do).
+//
+// The defaults are calibrated (see EXPERIMENTS.md) so that on z-scored
+// data the baseline LSTM lands near MSE 1.0 while graph-aware models can
+// reach ~0.85, mirroring the paper's operating point: predictable variance
+// is carried mostly by cross-variable interactions rather than by strong
+// per-variable autocorrelation.
+
+#ifndef EMAF_DATA_GENERATOR_H_
+#define EMAF_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace emaf::data {
+
+struct GeneratorConfig {
+  int64_t num_individuals = 100;
+  int64_t num_variables = 26;  // 26 uses the named EMA catalogue blocks
+  int64_t days = 28;
+  int64_t beeps_per_day = 8;
+
+  // Probability a beep is answered; drawn per individual from
+  // [compliance_mean - spread, compliance_mean + spread]. The paper keeps
+  // high-compliance participants averaging ~140 of 224 beeps; we default a
+  // little higher because every dropped beep also breaks the temporal
+  // adjacency the forecasters rely on (see EXPERIMENTS.md calibration).
+  double compliance_mean = 0.75;
+  double compliance_spread = 0.10;
+
+  // Ground-truth network structure.
+  double within_block_density = 0.30;
+  double cross_block_density = 0.05;
+  // Spectral radius the coupling matrix is rescaled to (stability margin;
+  // the tanh nonlinearity bounds trajectories regardless).
+  double coupling_spectral_radius = 1.0;
+
+  // Dynamics: z_t = c + diag(a) z_{t-1} + G tanh(z_{t-1}) + s sin(...) + eps.
+  // Defaults are the calibrated operating point from EXPERIMENTS.md.
+  double autoreg_low = 0.30;
+  double autoreg_high = 0.50;
+  double noise_std = 0.65;
+  double diurnal_amplitude = 0.30;
+
+  // Map latents to the 1..7 Likert grid before normalizing (the paper's
+  // measurement process). Disable for continuous-latent ablations.
+  bool quantize_likert = true;
+
+  // Steps discarded before recording starts.
+  int64_t burn_in = 64;
+
+  uint64_t seed = 7;
+};
+
+// Generates individual `index` of the cohort (deterministic in
+// (config.seed, index)).
+Individual GenerateIndividual(const GeneratorConfig& config, int64_t index);
+
+// Generates the whole cohort with variable names attached.
+Cohort GenerateCohort(const GeneratorConfig& config);
+
+}  // namespace emaf::data
+
+#endif  // EMAF_DATA_GENERATOR_H_

@@ -1,0 +1,115 @@
+#include "graph/adjacency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace emaf::graph {
+
+AdjacencyMatrix::AdjacencyMatrix(int64_t num_nodes)
+    : num_nodes_(num_nodes),
+      values_(static_cast<size_t>(num_nodes * num_nodes), 0.0) {
+  EMAF_CHECK_GT(num_nodes, 0);
+}
+
+AdjacencyMatrix AdjacencyMatrix::FromTensor(const tensor::Tensor& t) {
+  EMAF_CHECK_EQ(t.rank(), 2);
+  EMAF_CHECK_EQ(t.dim(0), t.dim(1));
+  AdjacencyMatrix adj(t.dim(0));
+  adj.values_ = t.ToVector();
+  return adj;
+}
+
+double AdjacencyMatrix::at(int64_t i, int64_t j) const {
+  EMAF_CHECK_GE(i, 0);
+  EMAF_CHECK_LT(i, num_nodes_);
+  EMAF_CHECK_GE(j, 0);
+  EMAF_CHECK_LT(j, num_nodes_);
+  return values_[static_cast<size_t>(i * num_nodes_ + j)];
+}
+
+void AdjacencyMatrix::set(int64_t i, int64_t j, double value) {
+  EMAF_CHECK_GE(i, 0);
+  EMAF_CHECK_LT(i, num_nodes_);
+  EMAF_CHECK_GE(j, 0);
+  EMAF_CHECK_LT(j, num_nodes_);
+  values_[static_cast<size_t>(i * num_nodes_ + j)] = value;
+}
+
+int64_t AdjacencyMatrix::NumDirectedEdges() const {
+  int64_t count = 0;
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    for (int64_t j = 0; j < num_nodes_; ++j) {
+      if (i != j && at(i, j) != 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+int64_t AdjacencyMatrix::NumUndirectedEdges() const {
+  int64_t count = 0;
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    for (int64_t j = i + 1; j < num_nodes_; ++j) {
+      if (at(i, j) != 0.0 || at(j, i) != 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+double AdjacencyMatrix::Density() const {
+  if (num_nodes_ < 2) return 0.0;
+  return static_cast<double>(NumDirectedEdges()) /
+         static_cast<double>(num_nodes_ * (num_nodes_ - 1));
+}
+
+bool AdjacencyMatrix::IsSymmetric(double tolerance) const {
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    for (int64_t j = i + 1; j < num_nodes_; ++j) {
+      if (std::abs(at(i, j) - at(j, i)) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+bool AdjacencyMatrix::IsNonNegative() const {
+  for (double v : values_) {
+    if (v < 0.0) return false;
+  }
+  return true;
+}
+
+bool AdjacencyMatrix::HasZeroDiagonal(double tolerance) const {
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    if (std::abs(at(i, i)) > tolerance) return false;
+  }
+  return true;
+}
+
+void AdjacencyMatrix::Symmetrize() {
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    for (int64_t j = i + 1; j < num_nodes_; ++j) {
+      double v = 0.5 * (at(i, j) + at(j, i));
+      set(i, j, v);
+      set(j, i, v);
+    }
+  }
+}
+
+void AdjacencyMatrix::ZeroDiagonal() {
+  for (int64_t i = 0; i < num_nodes_; ++i) set(i, i, 0.0);
+}
+
+void AdjacencyMatrix::NormalizeMaxToOne() {
+  double max_v = 0.0;
+  for (double v : values_) max_v = std::max(max_v, std::abs(v));
+  if (max_v == 0.0) return;
+  for (double& v : values_) v /= max_v;
+}
+
+tensor::Tensor AdjacencyMatrix::ToTensor() const {
+  return tensor::Tensor::FromVector(tensor::Shape{num_nodes_, num_nodes_},
+                                    values_);
+}
+
+}  // namespace emaf::graph

@@ -1,0 +1,63 @@
+// AdjacencyMatrix: dense weighted V x V graph over the EMA variables.
+//
+// Similarity graphs in this library are non-negative, zero-diagonal and
+// (for the distance-based builders) symmetric. The matrix is a plain value
+// type; models convert it to the operator they need via graph/spectral.h.
+
+#ifndef EMAF_GRAPH_ADJACENCY_H_
+#define EMAF_GRAPH_ADJACENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emaf::graph {
+
+class AdjacencyMatrix {
+ public:
+  // Zero matrix over `num_nodes` nodes.
+  explicit AdjacencyMatrix(int64_t num_nodes);
+  // From a square [V, V] tensor (values copied).
+  static AdjacencyMatrix FromTensor(const tensor::Tensor& t);
+
+  int64_t num_nodes() const { return num_nodes_; }
+
+  double at(int64_t i, int64_t j) const;
+  void set(int64_t i, int64_t j, double value);
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  // Number of nonzero off-diagonal entries (directed count).
+  int64_t NumDirectedEdges() const;
+  // Number of unordered {i, j} pairs with a nonzero weight in either
+  // direction.
+  int64_t NumUndirectedEdges() const;
+  // NumDirectedEdges / (V * (V - 1)).
+  double Density() const;
+
+  bool IsSymmetric(double tolerance = 1e-12) const;
+  bool IsNonNegative() const;
+  bool HasZeroDiagonal(double tolerance = 1e-12) const;
+
+  // In-place: A <- (A + A^T) / 2.
+  void Symmetrize();
+  void ZeroDiagonal();
+  // Scales so the maximum entry is 1 (no-op on an all-zero matrix).
+  void NormalizeMaxToOne();
+
+  tensor::Tensor ToTensor() const;
+
+  bool operator==(const AdjacencyMatrix& other) const {
+    return num_nodes_ == other.num_nodes_ && values_ == other.values_;
+  }
+
+ private:
+  int64_t num_nodes_;
+  std::vector<double> values_;  // row-major [V, V]
+};
+
+}  // namespace emaf::graph
+
+#endif  // EMAF_GRAPH_ADJACENCY_H_

@@ -1,0 +1,250 @@
+#include "graph/construction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "ts/distance.h"
+#include "ts/stats.h"
+
+namespace emaf::graph {
+
+namespace {
+
+// Extracts column v of a [T, V] matrix.
+std::vector<double> Column(const tensor::Tensor& data, int64_t v) {
+  int64_t rows = data.dim(0);
+  int64_t cols = data.dim(1);
+  std::vector<double> out(static_cast<size_t>(rows));
+  const double* d = data.data();
+  for (int64_t t = 0; t < rows; ++t) out[static_cast<size_t>(t)] = d[t * cols + v];
+  return out;
+}
+
+// Turns a symmetric distance matrix into Gaussian-kernel similarities.
+AdjacencyMatrix KernelFromDistances(const std::vector<double>& dist,
+                                    int64_t n) {
+  // sigma = mean off-diagonal distance; an all-zero distance matrix (all
+  // series identical) maps to the complete graph with unit weights.
+  double total = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      total += dist[static_cast<size_t>(i * n + j)];
+      ++count;
+    }
+  }
+  double sigma = count > 0 ? total / static_cast<double>(count) : 1.0;
+  if (sigma == 0.0) sigma = 1.0;
+  AdjacencyMatrix adj(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double d = dist[static_cast<size_t>(i * n + j)];
+      adj.set(i, j, std::exp(-(d * d) / (2.0 * sigma * sigma)));
+    }
+  }
+  return adj;
+}
+
+AdjacencyMatrix BuildEuclidean(const tensor::Tensor& data) {
+  int64_t n = data.dim(1);
+  std::vector<std::vector<double>> cols(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) cols[static_cast<size_t>(v)] = Column(data, v);
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double d = ts::EuclideanDistance(cols[static_cast<size_t>(i)],
+                                       cols[static_cast<size_t>(j)]);
+      dist[static_cast<size_t>(i * n + j)] = d;
+      dist[static_cast<size_t>(j * n + i)] = d;
+    }
+  }
+  return KernelFromDistances(dist, n);
+}
+
+AdjacencyMatrix BuildKnn(const tensor::Tensor& data, int64_t k) {
+  AdjacencyMatrix sim = BuildEuclidean(data);
+  int64_t n = sim.num_nodes();
+  EMAF_CHECK_GE(k, 1);
+  AdjacencyMatrix out(n);
+  std::vector<std::pair<double, int64_t>> row(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t filled = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      row[static_cast<size_t>(filled++)] = {sim.at(i, j), j};
+    }
+    int64_t keep = std::min(k, filled);
+    std::partial_sort(row.begin(), row.begin() + keep, row.begin() + filled,
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    for (int64_t r = 0; r < keep; ++r) {
+      out.set(i, row[static_cast<size_t>(r)].second,
+              row[static_cast<size_t>(r)].first);
+    }
+  }
+  // Undirected: an edge exists if either endpoint selected it.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double v = std::max(out.at(i, j), out.at(j, i));
+      out.set(i, j, v);
+      out.set(j, i, v);
+    }
+  }
+  return out;
+}
+
+AdjacencyMatrix BuildDtw(const tensor::Tensor& data, int64_t window) {
+  int64_t n = data.dim(1);
+  std::vector<std::vector<double>> cols(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) cols[static_cast<size_t>(v)] = Column(data, v);
+  ts::DtwOptions options;
+  options.window = window;
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double d = ts::DtwDistance(cols[static_cast<size_t>(i)],
+                                 cols[static_cast<size_t>(j)], options);
+      dist[static_cast<size_t>(i * n + j)] = d;
+      dist[static_cast<size_t>(j * n + i)] = d;
+    }
+  }
+  return KernelFromDistances(dist, n);
+}
+
+AdjacencyMatrix BuildCorrelation(const tensor::Tensor& data) {
+  int64_t n = data.dim(1);
+  std::vector<std::vector<double>> cols(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) cols[static_cast<size_t>(v)] = Column(data, v);
+  AdjacencyMatrix adj(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double r = std::abs(ts::PearsonCorrelation(cols[static_cast<size_t>(i)],
+                                                 cols[static_cast<size_t>(j)]));
+      adj.set(i, j, r);
+      adj.set(j, i, r);
+    }
+  }
+  return adj;
+}
+
+AdjacencyMatrix BuildRandom(int64_t n, Rng* rng) {
+  EMAF_CHECK(rng != nullptr) << "random graphs need an Rng";
+  AdjacencyMatrix adj(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double w = rng->Uniform();
+      adj.set(i, j, w);
+      adj.set(j, i, w);
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::string GraphMetricName(GraphMetric metric) {
+  switch (metric) {
+    case GraphMetric::kEuclidean:
+      return "EUC";
+    case GraphMetric::kKnn:
+      return "kNN";
+    case GraphMetric::kDtw:
+      return "DTW";
+    case GraphMetric::kCorrelation:
+      return "CORR";
+    case GraphMetric::kRandom:
+      return "RAND";
+  }
+  return "UNKNOWN";
+}
+
+AdjacencyMatrix BuildSimilarityGraph(const tensor::Tensor& data,
+                                     const GraphBuildOptions& options,
+                                     Rng* rng) {
+  EMAF_CHECK_EQ(data.rank(), 2) << "expected [T, V]";
+  EMAF_CHECK_GE(data.dim(0), 2) << "need at least two time points";
+  EMAF_CHECK_GE(data.dim(1), 2) << "need at least two variables";
+  switch (options.metric) {
+    case GraphMetric::kEuclidean:
+      return BuildEuclidean(data);
+    case GraphMetric::kKnn:
+      return BuildKnn(data, options.knn_k);
+    case GraphMetric::kDtw:
+      return BuildDtw(data, options.dtw_window);
+    case GraphMetric::kCorrelation:
+      return BuildCorrelation(data);
+    case GraphMetric::kRandom:
+      return BuildRandom(data.dim(1), rng);
+  }
+  EMAF_CHECK(false) << "unknown graph metric";
+  return AdjacencyMatrix(1);
+}
+
+AdjacencyMatrix KeepTopFraction(const AdjacencyMatrix& adjacency,
+                                double fraction) {
+  EMAF_CHECK_GT(fraction, 0.0);
+  EMAF_CHECK_LE(fraction, 1.0);
+  EMAF_CHECK(adjacency.IsSymmetric(1e-9))
+      << "KeepTopFraction requires a symmetric graph";
+  if (fraction == 1.0) return adjacency;
+  int64_t n = adjacency.num_nodes();
+  std::vector<std::pair<double, std::pair<int64_t, int64_t>>> pairs;
+  pairs.reserve(static_cast<size_t>(n * (n - 1) / 2));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      pairs.push_back({adjacency.at(i, j), {i, j}});
+    }
+  }
+  int64_t keep = static_cast<int64_t>(
+      std::llround(fraction * static_cast<double>(pairs.size())));
+  keep = std::max<int64_t>(keep, 1);
+  keep = std::min<int64_t>(keep, static_cast<int64_t>(pairs.size()));
+  std::partial_sort(pairs.begin(), pairs.begin() + keep, pairs.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  AdjacencyMatrix out(n);
+  for (int64_t e = 0; e < keep; ++e) {
+    auto [w, ij] = pairs[static_cast<size_t>(e)];
+    out.set(ij.first, ij.second, w);
+    out.set(ij.second, ij.first, w);
+  }
+  return out;
+}
+
+AdjacencyMatrix RandomGraphWithEdgeCount(int64_t num_nodes,
+                                         int64_t num_undirected_edges,
+                                         Rng* rng) {
+  EMAF_CHECK(rng != nullptr);
+  int64_t max_edges = num_nodes * (num_nodes - 1) / 2;
+  EMAF_CHECK_GE(num_undirected_edges, 0);
+  EMAF_CHECK_LE(num_undirected_edges, max_edges);
+  std::vector<int64_t> chosen =
+      rng->SampleWithoutReplacement(max_edges, num_undirected_edges);
+  // Map flat pair index -> (i, j), i < j.
+  AdjacencyMatrix adj(num_nodes);
+  for (int64_t flat : chosen) {
+    int64_t i = 0;
+    int64_t remaining = flat;
+    int64_t row_size = num_nodes - 1;
+    while (remaining >= row_size) {
+      remaining -= row_size;
+      ++i;
+      --row_size;
+    }
+    int64_t j = i + 1 + remaining;
+    double w = rng->Uniform(0.1, 1.0);
+    adj.set(i, j, w);
+    adj.set(j, i, w);
+  }
+  return adj;
+}
+
+}  // namespace emaf::graph

@@ -1,0 +1,63 @@
+// Similarity-graph builders over an individual's [T, V] data matrix —
+// the graph-construction strategies of Section III-D / Table I.
+//
+// Distance-based metrics (Euclidean, DTW) are converted to similarity
+// weights with a Gaussian kernel exp(-d^2 / (2 sigma^2)), sigma = mean
+// off-diagonal distance, so all builders produce weights in [0, 1] with a
+// zero diagonal. Sparsification to a graph-density threshold (GDT) is a
+// separate step (KeepTopFraction) so every metric is thresholded the same
+// way.
+
+#ifndef EMAF_GRAPH_CONSTRUCTION_H_
+#define EMAF_GRAPH_CONSTRUCTION_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "graph/adjacency.h"
+#include "tensor/tensor.h"
+#include "ts/dtw.h"
+
+namespace emaf::graph {
+
+enum class GraphMetric {
+  kEuclidean,    // Gaussian kernel of pairwise L2 distance
+  kKnn,          // Euclidean similarity, k strongest neighbours per node
+  kDtw,          // Gaussian kernel of pairwise DTW distance
+  kCorrelation,  // |Pearson correlation|
+  kRandom,       // uniform random symmetric weights (control condition)
+};
+
+// "EUC", "kNN", "DTW", "CORR", "RAND" — the labels used in the paper's
+// tables.
+std::string GraphMetricName(GraphMetric metric);
+
+struct GraphBuildOptions {
+  GraphMetric metric = GraphMetric::kCorrelation;
+  // Neighbours kept per node for kKnn.
+  int64_t knn_k = 5;
+  // Sakoe-Chiba half-width for kDtw; < 0 = unconstrained.
+  int64_t dtw_window = -1;
+};
+
+// Builds the similarity graph over the V columns of `data` ([T, V]).
+// `rng` is required for kRandom and ignored otherwise.
+AdjacencyMatrix BuildSimilarityGraph(const tensor::Tensor& data,
+                                     const GraphBuildOptions& options,
+                                     Rng* rng = nullptr);
+
+// Keeps the strongest `fraction` of undirected off-diagonal weight pairs
+// (the paper's GDT: 20%, 40%, 100%) and zeroes the rest. Requires a
+// symmetric input; fraction 1.0 is the identity.
+AdjacencyMatrix KeepTopFraction(const AdjacencyMatrix& adjacency,
+                                double fraction);
+
+// Random symmetric graph with exactly `num_undirected_edges` edges and
+// uniform weights — used as the matched-edge-count control.
+AdjacencyMatrix RandomGraphWithEdgeCount(int64_t num_nodes,
+                                         int64_t num_undirected_edges,
+                                         Rng* rng);
+
+}  // namespace emaf::graph
+
+#endif  // EMAF_GRAPH_CONSTRUCTION_H_

@@ -1,0 +1,109 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "ts/stats.h"
+
+namespace emaf::graph {
+
+DegreeStats ComputeDegreeStats(const AdjacencyMatrix& adjacency) {
+  int64_t n = adjacency.num_nodes();
+  DegreeStats stats;
+  double total_degree = 0.0;
+  double total_strength = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t degree = 0;
+    double strength = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double w = adjacency.at(i, j);
+      if (w != 0.0) {
+        ++degree;
+        strength += w;
+      }
+    }
+    total_degree += static_cast<double>(degree);
+    total_strength += strength;
+    stats.max_degree = std::max(stats.max_degree, static_cast<double>(degree));
+    if (degree == 0) ++stats.isolated_nodes;
+  }
+  stats.mean_degree = total_degree / static_cast<double>(n);
+  stats.mean_strength = total_strength / static_cast<double>(n);
+  return stats;
+}
+
+double GraphCorrelation(const AdjacencyMatrix& a, const AdjacencyMatrix& b) {
+  EMAF_CHECK_EQ(a.num_nodes(), b.num_nodes());
+  int64_t n = a.num_nodes();
+  std::vector<double> va;
+  std::vector<double> vb;
+  va.reserve(static_cast<size_t>(n * (n - 1)));
+  vb.reserve(static_cast<size_t>(n * (n - 1)));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      va.push_back(a.at(i, j));
+      vb.push_back(b.at(i, j));
+    }
+  }
+  return ts::PearsonCorrelation(va, vb);
+}
+
+double EdgeJaccard(const AdjacencyMatrix& a, const AdjacencyMatrix& b) {
+  EMAF_CHECK_EQ(a.num_nodes(), b.num_nodes());
+  int64_t n = a.num_nodes();
+  int64_t both = 0;
+  int64_t either = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      bool in_a = a.at(i, j) != 0.0 || a.at(j, i) != 0.0;
+      bool in_b = b.at(i, j) != 0.0 || b.at(j, i) != 0.0;
+      if (in_a && in_b) ++both;
+      if (in_a || in_b) ++either;
+    }
+  }
+  return either == 0 ? 1.0 : static_cast<double>(both) / either;
+}
+
+RecoveryScore ScoreEdgeRecovery(const AdjacencyMatrix& candidate,
+                                const AdjacencyMatrix& ground_truth) {
+  EMAF_CHECK_EQ(candidate.num_nodes(), ground_truth.num_nodes());
+  int64_t n = candidate.num_nodes();
+  int64_t truth_edges = ground_truth.NumUndirectedEdges();
+  RecoveryScore score;
+  if (truth_edges == 0) return score;
+
+  // Select the candidate's strongest `truth_edges` undirected pairs.
+  std::vector<std::pair<double, int64_t>> pairs;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double w = std::max(std::abs(candidate.at(i, j)),
+                          std::abs(candidate.at(j, i)));
+      pairs.push_back({w, i * n + j});
+    }
+  }
+  int64_t keep = std::min<int64_t>(truth_edges,
+                                   static_cast<int64_t>(pairs.size()));
+  std::partial_sort(pairs.begin(), pairs.begin() + keep, pairs.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  int64_t hits = 0;
+  for (int64_t e = 0; e < keep; ++e) {
+    if (pairs[static_cast<size_t>(e)].first == 0.0) break;  // no more edges
+    int64_t i = pairs[static_cast<size_t>(e)].second / n;
+    int64_t j = pairs[static_cast<size_t>(e)].second % n;
+    if (ground_truth.at(i, j) != 0.0 || ground_truth.at(j, i) != 0.0) ++hits;
+  }
+  score.precision = static_cast<double>(hits) / static_cast<double>(keep);
+  score.recall = static_cast<double>(hits) / static_cast<double>(truth_edges);
+  double denom = score.precision + score.recall;
+  score.f1 = denom > 0.0 ? 2.0 * score.precision * score.recall / denom : 0.0;
+  return score;
+}
+
+}  // namespace emaf::graph

@@ -1,0 +1,43 @@
+// Comparisons and summary statistics over graphs — used to characterize
+// constructed graphs (Table I scenarios) and to compare MTGNN-learned
+// graphs against static ones (Experiment C reports their correlation).
+
+#ifndef EMAF_GRAPH_METRICS_H_
+#define EMAF_GRAPH_METRICS_H_
+
+#include "graph/adjacency.h"
+
+namespace emaf::graph {
+
+struct DegreeStats {
+  double mean_degree = 0.0;      // unweighted, off-diagonal
+  double max_degree = 0.0;
+  double mean_strength = 0.0;    // weighted degree
+  int64_t isolated_nodes = 0;
+};
+
+DegreeStats ComputeDegreeStats(const AdjacencyMatrix& adjacency);
+
+// Pearson correlation between the off-diagonal entries of two graphs over
+// the same node set (what the paper reports as "88% correlation" between
+// the learned and static graph).
+double GraphCorrelation(const AdjacencyMatrix& a, const AdjacencyMatrix& b);
+
+// Jaccard overlap of undirected edge sets.
+double EdgeJaccard(const AdjacencyMatrix& a, const AdjacencyMatrix& b);
+
+struct RecoveryScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+// Scores how well `candidate`'s strongest edges recover the edges of
+// `ground_truth`: the candidate is thresholded to the same undirected edge
+// count as the truth, then precision/recall/F1 are computed on edge sets.
+RecoveryScore ScoreEdgeRecovery(const AdjacencyMatrix& candidate,
+                                const AdjacencyMatrix& ground_truth);
+
+}  // namespace emaf::graph
+
+#endif  // EMAF_GRAPH_METRICS_H_

@@ -1,0 +1,161 @@
+#include "graph/spectral.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace emaf::graph {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// Degree of each row of a (possibly self-looped) adjacency copy.
+std::vector<double> RowDegrees(const std::vector<double>& a, int64_t n) {
+  std::vector<double> deg(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (int64_t j = 0; j < n; ++j) total += a[static_cast<size_t>(i * n + j)];
+    deg[static_cast<size_t>(i)] = total;
+  }
+  return deg;
+}
+
+std::vector<double> WithSelfLoops(const AdjacencyMatrix& adjacency,
+                                  bool add_self_loops) {
+  int64_t n = adjacency.num_nodes();
+  std::vector<double> a = adjacency.values();
+  if (add_self_loops) {
+    for (int64_t i = 0; i < n; ++i) a[static_cast<size_t>(i * n + i)] += 1.0;
+  }
+  return a;
+}
+
+}  // namespace
+
+Tensor SymNormalizedAdjacency(const AdjacencyMatrix& adjacency,
+                              bool add_self_loops) {
+  int64_t n = adjacency.num_nodes();
+  std::vector<double> a = WithSelfLoops(adjacency, add_self_loops);
+  std::vector<double> deg = RowDegrees(a, n);
+  std::vector<double> inv_sqrt(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double d = deg[static_cast<size_t>(i)];
+    inv_sqrt[static_cast<size_t>(i)] = d > 0.0 ? 1.0 / std::sqrt(d) : 0.0;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      a[static_cast<size_t>(i * n + j)] *= inv_sqrt[static_cast<size_t>(i)] *
+                                           inv_sqrt[static_cast<size_t>(j)];
+    }
+  }
+  return Tensor::FromVector(Shape{n, n}, std::move(a));
+}
+
+Tensor RowNormalizedAdjacency(const AdjacencyMatrix& adjacency,
+                              bool add_self_loops) {
+  int64_t n = adjacency.num_nodes();
+  std::vector<double> a = WithSelfLoops(adjacency, add_self_loops);
+  std::vector<double> deg = RowDegrees(a, n);
+  for (int64_t i = 0; i < n; ++i) {
+    double d = deg[static_cast<size_t>(i)];
+    if (d == 0.0) continue;
+    for (int64_t j = 0; j < n; ++j) {
+      a[static_cast<size_t>(i * n + j)] /= d;
+    }
+  }
+  return Tensor::FromVector(Shape{n, n}, std::move(a));
+}
+
+double PowerIterationEigenvalue(const Tensor& matrix, int64_t max_iterations,
+                                double tolerance) {
+  EMAF_CHECK_EQ(matrix.rank(), 2);
+  EMAF_CHECK_EQ(matrix.dim(0), matrix.dim(1));
+  int64_t n = matrix.dim(0);
+  const double* m = matrix.data();
+  std::vector<double> v(static_cast<size_t>(n), 1.0 / std::sqrt(n));
+  std::vector<double> mv(static_cast<size_t>(n), 0.0);
+  double lambda = 0.0;
+  for (int64_t it = 0; it < max_iterations; ++it) {
+    for (int64_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        acc += m[i * n + j] * v[static_cast<size_t>(j)];
+      }
+      mv[static_cast<size_t>(i)] = acc;
+    }
+    double norm = 0.0;
+    for (double x : mv) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;  // matrix annihilates the iterate
+    double new_lambda = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      new_lambda += v[static_cast<size_t>(i)] * mv[static_cast<size_t>(i)];
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      v[static_cast<size_t>(i)] = mv[static_cast<size_t>(i)] / norm;
+    }
+    if (std::abs(new_lambda - lambda) < tolerance) return new_lambda;
+    lambda = new_lambda;
+  }
+  return lambda;
+}
+
+Tensor ScaledLaplacian(const AdjacencyMatrix& adjacency) {
+  int64_t n = adjacency.num_nodes();
+  // L = I - D^-1/2 A D^-1/2 (no self loops here: classic Laplacian).
+  Tensor norm = SymNormalizedAdjacency(adjacency, /*add_self_loops=*/false);
+  std::vector<double> l(static_cast<size_t>(n * n), 0.0);
+  const double* a = norm.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      l[static_cast<size_t>(i * n + j)] = (i == j ? 1.0 : 0.0) - a[i * n + j];
+    }
+  }
+  Tensor laplacian = Tensor::FromVector(Shape{n, n}, l);
+  double lambda_max = PowerIterationEigenvalue(laplacian);
+  if (!(lambda_max > 1e-9)) lambda_max = 2.0;  // safe spectral upper bound
+  double* ld = laplacian.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      ld[i * n + j] = 2.0 * ld[i * n + j] / lambda_max - (i == j ? 1.0 : 0.0);
+    }
+  }
+  return laplacian;
+}
+
+std::vector<Tensor> ChebyshevPolynomials(const AdjacencyMatrix& adjacency,
+                                         int64_t order) {
+  EMAF_CHECK_GE(order, 1);
+  int64_t n = adjacency.num_nodes();
+  std::vector<Tensor> polys;
+  polys.reserve(static_cast<size_t>(order));
+  polys.push_back(Tensor::Eye(n));
+  if (order == 1) return polys;
+  Tensor scaled = ScaledLaplacian(adjacency);
+  polys.push_back(scaled);
+  const double* l = scaled.data();
+  for (int64_t k = 2; k < order; ++k) {
+    const double* prev = polys[static_cast<size_t>(k - 1)].data();
+    const double* prev2 = polys[static_cast<size_t>(k - 2)].data();
+    std::vector<double> next(static_cast<size_t>(n * n), 0.0);
+    // next = 2 * L~ * prev - prev2
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t kk = 0; kk < n; ++kk) {
+        double lik = l[i * n + kk];
+        if (lik == 0.0) continue;
+        for (int64_t j = 0; j < n; ++j) {
+          next[static_cast<size_t>(i * n + j)] += 2.0 * lik * prev[kk * n + j];
+        }
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        next[static_cast<size_t>(i * n + j)] -= prev2[i * n + j];
+      }
+    }
+    polys.push_back(Tensor::FromVector(Shape{n, n}, std::move(next)));
+  }
+  return polys;
+}
+
+}  // namespace emaf::graph

@@ -1,0 +1,40 @@
+// Spectral operators derived from an adjacency matrix: the constant tensors
+// consumed by the GNN layers in nn/graph_conv.h.
+
+#ifndef EMAF_GRAPH_SPECTRAL_H_
+#define EMAF_GRAPH_SPECTRAL_H_
+
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "tensor/tensor.h"
+
+namespace emaf::graph {
+
+// D^-1/2 (A + I) D^-1/2 (Kipf-Welling renormalization trick). Isolated
+// nodes keep their self-loop.
+tensor::Tensor SymNormalizedAdjacency(const AdjacencyMatrix& adjacency,
+                                      bool add_self_loops = true);
+
+// D^-1 (A + I): row-stochastic propagation operator (MTGNN mix-hop).
+tensor::Tensor RowNormalizedAdjacency(const AdjacencyMatrix& adjacency,
+                                      bool add_self_loops = true);
+
+// Scaled graph Laplacian 2 L / lambda_max - I with L = I - D^-1/2 A D^-1/2.
+// lambda_max is estimated by power iteration (falls back to the safe upper
+// bound 2 when iteration does not converge).
+tensor::Tensor ScaledLaplacian(const AdjacencyMatrix& adjacency);
+
+// Chebyshev polynomial stack T_0..T_{order-1} of the scaled Laplacian:
+// T_0 = I, T_1 = L~, T_k = 2 L~ T_{k-1} - T_{k-2}.
+std::vector<tensor::Tensor> ChebyshevPolynomials(
+    const AdjacencyMatrix& adjacency, int64_t order);
+
+// Largest-magnitude eigenvalue of a symmetric matrix, by power iteration.
+double PowerIterationEigenvalue(const tensor::Tensor& matrix,
+                                int64_t max_iterations = 200,
+                                double tolerance = 1e-10);
+
+}  // namespace emaf::graph
+
+#endif  // EMAF_GRAPH_SPECTRAL_H_

@@ -1,0 +1,53 @@
+// A3TGCN: Attention Temporal Graph Convolutional Network (Bai et al. 2021),
+// as provided by PyTorch Geometric Temporal and used in the paper's
+// R-GCN category.
+//
+// A T-GCN cell (GRU whose gates are graph convolutions over the variable
+// graph) is unrolled over the input window; a learned softmax weight per
+// period aggregates the hidden states; a per-node linear readout produces
+// the 1-lag forecast.
+
+#ifndef EMAF_MODELS_A3TGCN_H_
+#define EMAF_MODELS_A3TGCN_H_
+
+#include "common/rng.h"
+#include "graph/adjacency.h"
+#include "models/forecaster.h"
+#include "nn/dropout.h"
+#include "nn/graph_conv.h"
+#include "nn/linear.h"
+
+namespace emaf::models {
+
+struct A3tgcnConfig {
+  int64_t hidden_units = 32;
+  double dropout = 0.3;
+};
+
+class A3tgcn : public Forecaster {
+ public:
+  A3tgcn(const graph::AdjacencyMatrix& adjacency, int64_t input_length,
+         const A3tgcnConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& window) override;
+  std::string name() const override { return "A3TGCN"; }
+  int64_t num_variables() const override { return num_variables_; }
+  int64_t input_length() const override { return input_length_; }
+
+ private:
+  // One T-GCN step: x_t [B, V, 1], h [B, V, H] -> new h.
+  Tensor TgcnStep(const Tensor& x_t, const Tensor& h);
+
+  int64_t num_variables_;
+  int64_t input_length_;
+  int64_t hidden_;
+  nn::GcnConv* gate_conv_;       // [x_t | h] -> 2H (update u, reset r)
+  nn::GcnConv* candidate_conv_;  // [x_t | r * h] -> H
+  Tensor* period_attention_;     // [L], softmaxed over periods
+  nn::Dropout* dropout_;
+  nn::Linear* readout_;          // H -> 1 per node
+};
+
+}  // namespace emaf::models
+
+#endif  // EMAF_MODELS_A3TGCN_H_

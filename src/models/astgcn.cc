@@ -1,0 +1,147 @@
+#include "models/astgcn.h"
+
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "graph/spectral.h"
+#include "tensor/ops.h"
+
+namespace emaf::models {
+
+using tensor::Shape;
+
+// One spatial-temporal block. Input/output layout: [B, V, F, T] with
+// F = in_features on entry and F = hidden on exit.
+class Astgcn::Block : public nn::Module {
+ public:
+  Block(const graph::AdjacencyMatrix& adjacency, int64_t num_nodes,
+        int64_t in_features, int64_t num_steps, const AstgcnConfig& config,
+        Rng* rng)
+      : num_nodes_(num_nodes),
+        in_features_(in_features),
+        num_steps_(num_steps),
+        hidden_(config.hidden_units) {
+    temporal_attention_ = RegisterModule(
+        "temporal_attention", std::make_unique<nn::TemporalAttention>(
+                                  num_nodes, in_features, num_steps, rng));
+    spatial_attention_ = RegisterModule(
+        "spatial_attention", std::make_unique<nn::SpatialAttention>(
+                                 num_nodes, in_features, num_steps, rng));
+    cheb_conv_ = RegisterModule(
+        "cheb_conv",
+        std::make_unique<nn::ChebConv>(
+            graph::ChebyshevPolynomials(adjacency, config.cheb_order),
+            in_features, hidden_, rng));
+    tensor::Conv2dOptions time_opts;
+    time_opts.pad_w = (config.time_kernel - 1) / 2;
+    time_conv_ = RegisterModule(
+        "time_conv",
+        std::make_unique<nn::Conv2dLayer>(hidden_, hidden_, 1,
+                                          config.time_kernel, time_opts,
+                                          /*bias=*/true, rng));
+    tensor::Conv2dOptions res_opts;
+    residual_conv_ = RegisterModule(
+        "residual_conv",
+        std::make_unique<nn::Conv2dLayer>(in_features, hidden_, 1, 1, res_opts,
+                                          /*bias=*/true, rng));
+    layer_norm_ = RegisterModule(
+        "layer_norm",
+        std::make_unique<nn::LayerNorm>(std::vector<int64_t>{hidden_}));
+  }
+
+  Tensor Forward(const Tensor& x) {
+    EMAF_CHECK_EQ(x.rank(), 4);
+    int64_t batch = x.dim(0);
+
+    // Temporal attention re-weights time steps.
+    Tensor e = temporal_attention_->Forward(x);  // [B, T, T]
+    Tensor flat =
+        tensor::Reshape(x, Shape{batch, num_nodes_ * in_features_, num_steps_});
+    Tensor x_tat = tensor::Reshape(tensor::MatMul(flat, e),
+                                   Shape{batch, num_nodes_, in_features_,
+                                         num_steps_});
+
+    // Spatial attention modulates the Chebyshev operator per time step.
+    Tensor s = spatial_attention_->Forward(x_tat);  // [B, V, V]
+    std::vector<Tensor> per_step;
+    per_step.reserve(static_cast<size_t>(num_steps_));
+    for (int64_t t = 0; t < num_steps_; ++t) {
+      Tensor xt = tensor::Select(x_tat, 3, t);  // [B, V, F]
+      per_step.push_back(cheb_conv_->Forward(xt, s));  // [B, V, hidden]
+    }
+    Tensor spatial = tensor::Relu(tensor::Stack(per_step, 3));  // [B,V,H,T]
+
+    // Temporal convolution along T (channels = hidden).
+    Tensor conv_in = tensor::Permute(spatial, {0, 2, 1, 3});  // [B,H,V,T]
+    Tensor time_out = time_conv_->Forward(conv_in);           // [B,H,V,T]
+
+    // Residual path from the block input.
+    Tensor res_in = tensor::Permute(x, {0, 2, 1, 3});  // [B,F,V,T]
+    Tensor residual = residual_conv_->Forward(res_in);  // [B,H,V,T]
+
+    Tensor combined = tensor::Relu(tensor::Add(residual, time_out));
+    // LayerNorm over the channel axis (channels-last).
+    Tensor ln_in = tensor::Permute(combined, {0, 2, 3, 1});  // [B,V,T,H]
+    Tensor normalized = layer_norm_->Forward(ln_in);
+    return tensor::Permute(normalized, {0, 1, 3, 2});  // [B,V,H,T]
+  }
+
+  int64_t hidden() const { return hidden_; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t in_features_;
+  int64_t num_steps_;
+  int64_t hidden_;
+  nn::TemporalAttention* temporal_attention_;
+  nn::SpatialAttention* spatial_attention_;
+  nn::ChebConv* cheb_conv_;
+  nn::Conv2dLayer* time_conv_;
+  nn::Conv2dLayer* residual_conv_;
+  nn::LayerNorm* layer_norm_;
+};
+
+Astgcn::Astgcn(const graph::AdjacencyMatrix& adjacency, int64_t input_length,
+               const AstgcnConfig& config, Rng* rng)
+    : num_variables_(adjacency.num_nodes()), input_length_(input_length) {
+  EMAF_CHECK_GE(config.num_blocks, 1);
+  int64_t in_features = 1;
+  for (int64_t b = 0; b < config.num_blocks; ++b) {
+    Block* block = RegisterModule(
+        StrCat("block_", b),
+        std::make_unique<Block>(adjacency, num_variables_, in_features,
+                                input_length, config, rng));
+    blocks_.push_back(block);
+    in_features = config.hidden_units;
+  }
+  dropout_ = RegisterModule("dropout",
+                            std::make_unique<nn::Dropout>(config.dropout, rng));
+  // Final conv: input laid out as [B, T, V, hidden]; kernel (1, hidden)
+  // collapses the feature axis, channels collapse time -> one step ahead.
+  tensor::Conv2dOptions final_opts;
+  final_conv_ = RegisterModule(
+      "final_conv",
+      std::make_unique<nn::Conv2dLayer>(input_length, 1, 1,
+                                        config.hidden_units, final_opts,
+                                        /*bias=*/true, rng));
+}
+
+Tensor Astgcn::Forward(const Tensor& window) {
+  CheckWindow(window);
+  int64_t batch = window.dim(0);
+  // [B, L, V] -> [B, V, F=1, T=L].
+  Tensor x = tensor::Permute(window, {0, 2, 1});        // [B, V, L]
+  x = tensor::Reshape(x, Shape{batch, num_variables_, 1, input_length_});
+  for (Block* block : blocks_) {
+    x = block->Forward(x);  // [B, V, H, T]
+    x = dropout_->Forward(x);
+  }
+  // [B, V, H, T] -> [B, T, V, H] -> conv -> [B, 1, V, 1] -> [B, V].
+  Tensor final_in = tensor::Permute(x, {0, 3, 1, 2});
+  Tensor out = final_conv_->Forward(final_in);
+  return tensor::Reshape(out, Shape{batch, num_variables_});
+}
+
+}  // namespace emaf::models

@@ -1,0 +1,55 @@
+// ASTGCN: Attention-based Spatial-Temporal Graph Convolutional Network
+// (Guo et al. 2019), the paper's second T-GAT-category model.
+//
+// Stacked blocks of {temporal attention, spatial attention, Chebyshev graph
+// convolution modulated by the spatial scores, temporal convolution,
+// residual + layer norm}, followed by a final convolution that collapses
+// the time axis into the 1-lag forecast.
+
+#ifndef EMAF_MODELS_ASTGCN_H_
+#define EMAF_MODELS_ASTGCN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/adjacency.h"
+#include "models/forecaster.h"
+#include "nn/attention.h"
+#include "nn/conv.h"
+#include "nn/dropout.h"
+#include "nn/graph_conv.h"
+#include "nn/layer_norm.h"
+
+namespace emaf::models {
+
+struct AstgcnConfig {
+  int64_t num_blocks = 2;
+  int64_t hidden_units = 32;  // time filters == cheb filters, paper setting
+  int64_t cheb_order = 3;     // kernel size k = 3 (Section V-D)
+  int64_t time_kernel = 3;
+  double dropout = 0.3;
+};
+
+class Astgcn : public Forecaster {
+ public:
+  Astgcn(const graph::AdjacencyMatrix& adjacency, int64_t input_length,
+         const AstgcnConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& window) override;
+  std::string name() const override { return "ASTGCN"; }
+  int64_t num_variables() const override { return num_variables_; }
+  int64_t input_length() const override { return input_length_; }
+
+ private:
+  class Block;
+
+  int64_t num_variables_;
+  int64_t input_length_;
+  std::vector<Block*> blocks_;
+  nn::Dropout* dropout_;
+  nn::Conv2dLayer* final_conv_;
+};
+
+}  // namespace emaf::models
+
+#endif  // EMAF_MODELS_ASTGCN_H_

@@ -1,0 +1,16 @@
+#include "models/forecaster.h"
+
+#include "common/check.h"
+
+namespace emaf::models {
+
+void Forecaster::CheckWindow(const Tensor& window) const {
+  EMAF_CHECK(window.defined());
+  EMAF_CHECK_EQ(window.rank(), 3) << name() << " expects [B, L, V]";
+  EMAF_CHECK_EQ(window.dim(1), input_length())
+      << name() << " was built for input length " << input_length();
+  EMAF_CHECK_EQ(window.dim(2), num_variables())
+      << name() << " was built for " << num_variables() << " variables";
+}
+
+}  // namespace emaf::models

@@ -1,0 +1,37 @@
+// Forecaster: common interface of all 1-lag EMA forecasting models.
+//
+// Models consume a window of the last L time points of all V variables and
+// predict the next value of every variable (Section III-B). One model
+// instance is trained per individual (personalized setup, Fig. 1).
+
+#ifndef EMAF_MODELS_FORECASTER_H_
+#define EMAF_MODELS_FORECASTER_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace emaf::models {
+
+using nn::Tensor;
+
+class Forecaster : public nn::Module {
+ public:
+  // window: [B, L, V] -> prediction for the next step: [B, V].
+  virtual Tensor Forward(const Tensor& window) = 0;
+
+  // Human-readable model family name ("LSTM", "A3TGCN", ...).
+  virtual std::string name() const = 0;
+
+  virtual int64_t num_variables() const = 0;
+  virtual int64_t input_length() const = 0;
+
+ protected:
+  // Validates the window shape against the model's configuration.
+  void CheckWindow(const Tensor& window) const;
+};
+
+}  // namespace emaf::models
+
+#endif  // EMAF_MODELS_FORECASTER_H_

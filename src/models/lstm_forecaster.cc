@@ -1,0 +1,29 @@
+#include "models/lstm_forecaster.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace emaf::models {
+
+LstmForecaster::LstmForecaster(int64_t num_variables, int64_t input_length,
+                               const LstmConfig& config, Rng* rng)
+    : num_variables_(num_variables), input_length_(input_length) {
+  EMAF_CHECK_GE(input_length, 1);
+  lstm_ = RegisterModule(
+      "lstm", std::make_unique<nn::Lstm>(num_variables, config.hidden_units, rng));
+  dropout_ = RegisterModule("dropout",
+                            std::make_unique<nn::Dropout>(config.dropout, rng));
+  readout_ = RegisterModule(
+      "readout", std::make_unique<nn::Linear>(config.hidden_units,
+                                              num_variables, /*bias=*/true, rng));
+}
+
+Tensor LstmForecaster::Forward(const Tensor& window) {
+  CheckWindow(window);
+  Tensor hidden = lstm_->ForwardLast(window);  // [B, H]
+  hidden = dropout_->Forward(hidden);
+  return readout_->Forward(hidden);  // [B, V]
+}
+
+}  // namespace emaf::models

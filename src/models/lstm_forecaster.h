@@ -1,0 +1,43 @@
+// Baseline LSTM forecaster (Experiment A baseline).
+//
+// A single-layer LSTM reads the window [B, L, V] treating all V variables
+// as one input vector per step; the final hidden state is projected to the
+// V next-step values. No graph information is used.
+
+#ifndef EMAF_MODELS_LSTM_FORECASTER_H_
+#define EMAF_MODELS_LSTM_FORECASTER_H_
+
+#include "common/rng.h"
+#include "models/forecaster.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+
+namespace emaf::models {
+
+struct LstmConfig {
+  int64_t hidden_units = 32;  // paper Section V-D
+  double dropout = 0.3;
+};
+
+class LstmForecaster : public Forecaster {
+ public:
+  LstmForecaster(int64_t num_variables, int64_t input_length,
+                 const LstmConfig& config, Rng* rng);
+
+  Tensor Forward(const Tensor& window) override;
+  std::string name() const override { return "LSTM"; }
+  int64_t num_variables() const override { return num_variables_; }
+  int64_t input_length() const override { return input_length_; }
+
+ private:
+  int64_t num_variables_;
+  int64_t input_length_;
+  nn::Lstm* lstm_;
+  nn::Dropout* dropout_;
+  nn::Linear* readout_;
+};
+
+}  // namespace emaf::models
+
+#endif  // EMAF_MODELS_LSTM_FORECASTER_H_

@@ -1,0 +1,272 @@
+#include "models/mtgnn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace emaf::models {
+
+using tensor::Shape;
+
+GraphLearner::GraphLearner(int64_t num_nodes, int64_t embedding_dim,
+                           double alpha, int64_t top_k, Rng* rng)
+    : num_nodes_(num_nodes), alpha_(alpha), top_k_(top_k) {
+  EMAF_CHECK_GE(embedding_dim, 1);
+  EMAF_CHECK_GE(top_k, 1);
+  emb1_ = RegisterParameter(
+      "emb1",
+      Tensor::Normal(Shape{num_nodes, embedding_dim}, 0.0, 1.0, rng));
+  emb2_ = RegisterParameter(
+      "emb2",
+      Tensor::Normal(Shape{num_nodes, embedding_dim}, 0.0, 1.0, rng));
+  lin1_ = RegisterModule("lin1", std::make_unique<nn::Linear>(
+                                     embedding_dim, embedding_dim,
+                                     /*bias=*/true, rng));
+  lin2_ = RegisterModule("lin2", std::make_unique<nn::Linear>(
+                                     embedding_dim, embedding_dim,
+                                     /*bias=*/true, rng));
+}
+
+Tensor GraphLearner::Forward() {
+  Tensor m1 = tensor::Tanh(tensor::MulScalar(lin1_->Forward(*emb1_), alpha_));
+  Tensor m2 = tensor::Tanh(tensor::MulScalar(lin2_->Forward(*emb2_), alpha_));
+  // Antisymmetric score -> uni-directional edges (MTGNN eq. 5).
+  Tensor score = tensor::Sub(tensor::MatMul(m1, tensor::TransposeLast2(m2)),
+                             tensor::MatMul(m2, tensor::TransposeLast2(m1)));
+  Tensor a = tensor::Relu(tensor::Tanh(tensor::MulScalar(score, alpha_)));
+  // Keep the top-k outgoing edges per node; mask is constant, so gradients
+  // flow only through retained entries.
+  Tensor mask = tensor::TopKMask(a.Detach(), top_k_, /*dim=*/1);
+  return tensor::Mul(a, mask);
+}
+
+EdgeLogitGraphLearner::EdgeLogitGraphLearner(
+    int64_t num_nodes, int64_t top_k, const graph::AdjacencyMatrix* initial,
+    Rng* rng)
+    : num_nodes_(num_nodes), top_k_(top_k) {
+  EMAF_CHECK_GE(top_k, 1);
+  Tensor init;
+  if (initial != nullptr) {
+    EMAF_CHECK_EQ(initial->num_nodes(), num_nodes);
+    graph::AdjacencyMatrix scaled = *initial;
+    scaled.NormalizeMaxToOne();
+    init = MakeUninitialized(Shape{num_nodes, num_nodes});
+    tensor::Scalar* d = init.data();
+    for (int64_t i = 0; i < num_nodes; ++i) {
+      for (int64_t j = 0; j < num_nodes; ++j) {
+        // logit of the edge probability, probabilities clamped away from
+        // {0, 1} so absent edges stay recoverable.
+        double p = std::clamp(0.9 * scaled.at(i, j) + 0.05, 0.05, 0.95);
+        d[i * num_nodes + j] = std::log(p / (1.0 - p));
+      }
+    }
+  } else {
+    init = Tensor::Normal(Shape{num_nodes, num_nodes}, -1.0, 0.5, rng);
+  }
+  logits_ = RegisterParameter("logits", std::move(init));
+  // Constant (1 - I): self-loops are added later by normalization.
+  off_diagonal_mask_ = Tensor::Ones(Shape{num_nodes, num_nodes});
+  tensor::Scalar* m = off_diagonal_mask_.data();
+  for (int64_t i = 0; i < num_nodes; ++i) m[i * num_nodes + i] = 0.0;
+}
+
+Tensor EdgeLogitGraphLearner::Forward() {
+  Tensor probabilities = tensor::Sigmoid(*logits_);
+  Tensor masked = tensor::Mul(probabilities, off_diagonal_mask_);
+  Tensor top_k_mask = tensor::TopKMask(masked.Detach(), top_k_, /*dim=*/1);
+  return tensor::Mul(masked, top_k_mask);
+}
+
+// Gated dilated-inception temporal convolution branch set. Kernels {2, 3}
+// with left zero-padding keep the (short) time axis length unchanged.
+class Mtgnn::InceptionConv : public nn::Module {
+ public:
+  InceptionConv(int64_t in_channels, int64_t out_channels, Rng* rng) {
+    EMAF_CHECK_EQ(out_channels % 2, 0);
+    tensor::Conv2dOptions options;
+    branch2_ = RegisterModule(
+        "branch2", std::make_unique<nn::Conv2dLayer>(
+                       in_channels, out_channels / 2, 1, 2, options,
+                       /*bias=*/true, rng));
+    branch3_ = RegisterModule(
+        "branch3", std::make_unique<nn::Conv2dLayer>(
+                       in_channels, out_channels / 2, 1, 3, options,
+                       /*bias=*/true, rng));
+  }
+
+  Tensor Forward(const Tensor& x) {
+    // x: [B, C, V, T]; left-pad time so output length == T.
+    Tensor pad1 = tensor::Pad(x, {{0, 0}, {0, 0}, {0, 0}, {1, 0}});
+    Tensor pad2 = tensor::Pad(x, {{0, 0}, {0, 0}, {0, 0}, {2, 0}});
+    Tensor out2 = branch2_->Forward(pad1);
+    Tensor out3 = branch3_->Forward(pad2);
+    return tensor::Cat({out2, out3}, 1);
+  }
+
+ private:
+  nn::Conv2dLayer* branch2_;
+  nn::Conv2dLayer* branch3_;
+};
+
+Mtgnn::Mtgnn(const graph::AdjacencyMatrix* static_adjacency,
+             int64_t num_variables, int64_t input_length,
+             const MtgnnConfig& config, Rng* rng)
+    : num_variables_(num_variables),
+      input_length_(input_length),
+      config_(config) {
+  EMAF_CHECK_GE(input_length, 1);
+  EMAF_CHECK(config.use_graph_learning || static_adjacency != nullptr)
+      << "MTGNN without graph learning needs a static graph";
+  if (static_adjacency != nullptr) {
+    EMAF_CHECK_EQ(static_adjacency->num_nodes(), num_variables);
+    graph::AdjacencyMatrix scaled = *static_adjacency;
+    scaled.NormalizeMaxToOne();
+    static_adjacency_ = scaled.ToTensor();
+  }
+  identity_ = Tensor::Eye(num_variables);
+
+  if (config.use_graph_learning) {
+    int64_t top_k = config.top_k > 0
+                        ? config.top_k
+                        : std::max<int64_t>(3, num_variables / 5);
+    top_k = std::min(top_k, num_variables - 1);
+    if (config.learner_kind == GraphLearnerKind::kEmbedding) {
+      learner_ = RegisterModule(
+          "graph_learner",
+          std::make_unique<GraphLearner>(num_variables, config.embedding_dim,
+                                         config.saturation_alpha, top_k, rng));
+    } else {
+      learner_ = RegisterModule(
+          "graph_learner",
+          std::make_unique<EdgeLogitGraphLearner>(
+              num_variables, top_k, static_adjacency, rng));
+    }
+  }
+
+  tensor::Conv2dOptions one_by_one;
+  start_conv_ = RegisterModule(
+      "start_conv", std::make_unique<nn::Conv2dLayer>(
+                        1, config.residual_channels, 1, 1, one_by_one,
+                        /*bias=*/true, rng));
+  skip_start_ = RegisterModule(
+      "skip_start", std::make_unique<nn::Conv2dLayer>(
+                        1, config.skip_channels, 1, input_length, one_by_one,
+                        /*bias=*/true, rng));
+  for (int64_t l = 0; l < config.layers; ++l) {
+    filter_convs_.push_back(RegisterModule(
+        StrCat("filter_conv_", l),
+        std::make_unique<InceptionConv>(config.residual_channels,
+                                        config.conv_channels, rng)));
+    gate_convs_.push_back(RegisterModule(
+        StrCat("gate_conv_", l),
+        std::make_unique<InceptionConv>(config.residual_channels,
+                                        config.conv_channels, rng)));
+    skip_convs_.push_back(RegisterModule(
+        StrCat("skip_conv_", l),
+        std::make_unique<nn::Conv2dLayer>(config.conv_channels,
+                                          config.skip_channels, 1,
+                                          input_length, one_by_one,
+                                          /*bias=*/true, rng)));
+    mixprop_fwd_.push_back(RegisterModule(
+        StrCat("mixprop_fwd_", l),
+        std::make_unique<nn::MixProp>(config.conv_channels,
+                                      config.residual_channels,
+                                      config.gcn_depth, config.prop_beta,
+                                      rng)));
+    mixprop_bwd_.push_back(RegisterModule(
+        StrCat("mixprop_bwd_", l),
+        std::make_unique<nn::MixProp>(config.conv_channels,
+                                      config.residual_channels,
+                                      config.gcn_depth, config.prop_beta,
+                                      rng)));
+    layer_norms_.push_back(RegisterModule(
+        StrCat("layer_norm_", l),
+        std::make_unique<nn::LayerNorm>(
+            std::vector<int64_t>{config.residual_channels})));
+  }
+  skip_end_ = RegisterModule(
+      "skip_end", std::make_unique<nn::Conv2dLayer>(
+                      config.residual_channels, config.skip_channels, 1,
+                      input_length, one_by_one, /*bias=*/true, rng));
+  end_conv1_ = RegisterModule(
+      "end_conv1", std::make_unique<nn::Conv2dLayer>(
+                       config.skip_channels, config.end_channels, 1, 1,
+                       one_by_one, /*bias=*/true, rng));
+  end_conv2_ = RegisterModule(
+      "end_conv2", std::make_unique<nn::Conv2dLayer>(
+                       config.end_channels, 1, 1, 1, one_by_one,
+                       /*bias=*/true, rng));
+  dropout_ = RegisterModule("dropout",
+                            std::make_unique<nn::Dropout>(config.dropout, rng));
+}
+
+Tensor Mtgnn::ComputeAdjacency() {
+  Tensor adjacency;
+  if (learner_ != nullptr) {
+    adjacency = learner_->Forward();
+    // The embedding learner takes the static graph as an additive prior;
+    // the edge-logit learner already absorbed it into its initialization.
+    if (config_.learner_kind == GraphLearnerKind::kEmbedding &&
+        static_adjacency_.defined() && config_.static_prior_weight > 0.0) {
+      adjacency = tensor::Add(
+          adjacency,
+          tensor::MulScalar(static_adjacency_, config_.static_prior_weight));
+    }
+  } else {
+    adjacency = static_adjacency_;
+  }
+  return adjacency;
+}
+
+Tensor Mtgnn::Forward(const Tensor& window) {
+  CheckWindow(window);
+  int64_t batch = window.dim(0);
+  // [B, L, V] -> [B, 1, V, T].
+  Tensor x = tensor::Permute(window, {0, 2, 1});  // [B, V, L]
+  x = tensor::Reshape(x, Shape{batch, 1, num_variables_, input_length_});
+
+  Tensor adjacency = ComputeAdjacency();
+  // Row-normalize A + I in both edge directions (differentiable when the
+  // adjacency is learned).
+  auto normalize = [this](const Tensor& a) {
+    Tensor with_self = tensor::Add(a, identity_);
+    Tensor degree = tensor::Sum(with_self, {1}, /*keepdim=*/true);
+    return tensor::Div(with_self, degree);
+  };
+  Tensor a_fwd = normalize(adjacency);
+  Tensor a_bwd = normalize(tensor::TransposeLast2(adjacency));
+
+  Tensor skip = skip_start_->Forward(dropout_->Forward(x));  // [B,S,V,1]
+  Tensor h = start_conv_->Forward(x);                        // [B,R,V,T]
+  for (size_t l = 0; l < filter_convs_.size(); ++l) {
+    Tensor residual = h;
+    Tensor filter = tensor::Tanh(filter_convs_[l]->Forward(h));
+    Tensor gate = tensor::Sigmoid(gate_convs_[l]->Forward(h));
+    Tensor gated = dropout_->Forward(tensor::Mul(filter, gate));  // [B,C,V,T]
+    skip = tensor::Add(skip, skip_convs_[l]->Forward(gated));
+    Tensor graph_out = tensor::Add(mixprop_fwd_[l]->Forward(gated, a_fwd),
+                                   mixprop_bwd_[l]->Forward(gated, a_bwd));
+    h = tensor::Add(graph_out, residual);
+    // LayerNorm over channels (channels-last round trip).
+    Tensor ln_in = tensor::Permute(h, {0, 2, 3, 1});
+    h = tensor::Permute(layer_norms_[l]->Forward(ln_in), {0, 3, 1, 2});
+  }
+  // Final skip from the last layer's residual output (skipE in the
+  // original), so the deepest graph convolution reaches the readout.
+  skip = tensor::Add(skip, skip_end_->Forward(h));
+  Tensor out = tensor::Relu(skip);
+  out = tensor::Relu(end_conv1_->Forward(out));
+  out = end_conv2_->Forward(out);  // [B, 1, V, 1]
+  return tensor::Reshape(out, Shape{batch, num_variables_});
+}
+
+graph::AdjacencyMatrix Mtgnn::CurrentAdjacency() {
+  tensor::NoGradGuard guard;
+  Tensor adjacency = ComputeAdjacency();
+  return graph::AdjacencyMatrix::FromTensor(adjacency);
+}
+
+}  // namespace emaf::models

@@ -1,0 +1,45 @@
+// VAR(L) ridge-regression baseline.
+//
+// The classic comparator in the psychopathology-network literature
+// (Section II-A): a linear map from the flattened window to the next step,
+// fit in closed form with ridge regularization. Not a Module — there is no
+// iterative training.
+
+#ifndef EMAF_MODELS_VAR_BASELINE_H_
+#define EMAF_MODELS_VAR_BASELINE_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace emaf::models {
+
+class VarBaseline {
+ public:
+  // `ridge` is the L2 penalty on the coefficients (intercept unpenalized).
+  explicit VarBaseline(double ridge = 1.0) : ridge_(ridge) {}
+
+  // Fits on inputs [B, L, V] -> targets [B, V].
+  void Fit(const tensor::Tensor& inputs, const tensor::Tensor& targets);
+
+  // Predicts [B, V] for inputs [B, L, V]. Fit must have been called.
+  tensor::Tensor Predict(const tensor::Tensor& inputs) const;
+
+  bool fitted() const { return coefficients_.defined(); }
+  // [L*V + 1, V]; last row is the intercept.
+  const tensor::Tensor& coefficients() const { return coefficients_; }
+
+ private:
+  double ridge_;
+  int64_t input_length_ = 0;
+  int64_t num_variables_ = 0;
+  tensor::Tensor coefficients_;
+};
+
+// Solves the symmetric positive-definite system A x = b in place
+// (Cholesky); exposed for tests. A: [n, n], b: [n, m] -> x: [n, m].
+tensor::Tensor SolveSpd(const tensor::Tensor& a, const tensor::Tensor& b);
+
+}  // namespace emaf::models
+
+#endif  // EMAF_MODELS_VAR_BASELINE_H_

@@ -1,0 +1,101 @@
+#include "nn/attention.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// Contracts the trailing axis of `x` with vector `v`: [..., D] x [D] -> [...].
+Tensor ContractLast(const Tensor& x, const Tensor& v) {
+  Tensor col = tensor::Reshape(v, Shape{v.dim(0), 1});
+  Tensor out = tensor::MatMul(x, col);  // [..., 1]
+  return tensor::Squeeze(out, out.rank() - 1);
+}
+
+}  // namespace
+
+SpatialAttention::SpatialAttention(int64_t num_nodes, int64_t in_features,
+                                   int64_t num_steps, Rng* rng)
+    : num_nodes_(num_nodes),
+      in_features_(in_features),
+      num_steps_(num_steps) {
+  w1_ = RegisterParameter("w1",
+                          XavierUniform(Shape{num_steps}, num_steps, 1, rng));
+  w2_ = RegisterParameter(
+      "w2",
+      XavierUniform(Shape{in_features, num_steps}, in_features, num_steps, rng));
+  w3_ = RegisterParameter(
+      "w3", XavierUniform(Shape{in_features}, in_features, 1, rng));
+  bs_ = RegisterParameter("bs", Tensor::Zeros(Shape{num_nodes, num_nodes}));
+  vs_ = RegisterParameter(
+      "vs",
+      XavierUniform(Shape{num_nodes, num_nodes}, num_nodes, num_nodes, rng));
+}
+
+Tensor SpatialAttention::Forward(const Tensor& x) {
+  EMAF_CHECK_EQ(x.rank(), 4) << "SpatialAttention expects [B, V, F, T]";
+  EMAF_CHECK_EQ(x.dim(1), num_nodes_);
+  EMAF_CHECK_EQ(x.dim(2), in_features_);
+  EMAF_CHECK_EQ(x.dim(3), num_steps_);
+
+  // lhs = (X w1) W2: [B, V, F] x [F, T] -> [B, V, T].
+  Tensor xw1 = ContractLast(x, *w1_);            // [B, V, F]
+  Tensor lhs = tensor::MatMul(xw1, *w2_);        // [B, V, T]
+  // rhs = (w3 X)^T: contract F -> [B, V, T] -> transpose -> [B, T, V].
+  Tensor xt = tensor::Permute(x, {0, 1, 3, 2});  // [B, V, T, F]
+  Tensor rhs = ContractLast(xt, *w3_);           // [B, V, T]
+  rhs = tensor::TransposeLast2(rhs);             // [B, T, V]
+
+  Tensor product = tensor::MatMul(lhs, rhs);     // [B, V, V]
+  Tensor scores =
+      tensor::MatMul(*vs_, tensor::Sigmoid(tensor::Add(product, *bs_)));
+  // Normalize over the first node axis, as in the reference implementation.
+  return tensor::Softmax(scores, 1);
+}
+
+TemporalAttention::TemporalAttention(int64_t num_nodes, int64_t in_features,
+                                     int64_t num_steps, Rng* rng)
+    : num_nodes_(num_nodes),
+      in_features_(in_features),
+      num_steps_(num_steps) {
+  u1_ = RegisterParameter("u1",
+                          XavierUniform(Shape{num_nodes}, num_nodes, 1, rng));
+  u2_ = RegisterParameter(
+      "u2",
+      XavierUniform(Shape{in_features, num_nodes}, in_features, num_nodes, rng));
+  u3_ = RegisterParameter(
+      "u3", XavierUniform(Shape{in_features}, in_features, 1, rng));
+  be_ = RegisterParameter("be", Tensor::Zeros(Shape{num_steps, num_steps}));
+  ve_ = RegisterParameter(
+      "ve",
+      XavierUniform(Shape{num_steps, num_steps}, num_steps, num_steps, rng));
+}
+
+Tensor TemporalAttention::Forward(const Tensor& x) {
+  EMAF_CHECK_EQ(x.rank(), 4) << "TemporalAttention expects [B, V, F, T]";
+  EMAF_CHECK_EQ(x.dim(1), num_nodes_);
+  EMAF_CHECK_EQ(x.dim(2), in_features_);
+  EMAF_CHECK_EQ(x.dim(3), num_steps_);
+
+  // lhs = ((X^T u1) U2): X^T = [B, T, F, V]; contract V -> [B, T, F];
+  // then x U2 [F, V] -> [B, T, V].
+  Tensor xperm = tensor::Permute(x, {0, 3, 2, 1});  // [B, T, F, V]
+  Tensor xu1 = ContractLast(xperm, *u1_);           // [B, T, F]
+  Tensor lhs = tensor::MatMul(xu1, *u2_);           // [B, T, V]
+  // rhs = u3 X: contract F -> [B, V, T].
+  Tensor xt = tensor::Permute(x, {0, 1, 3, 2});     // [B, V, T, F]
+  Tensor rhs = ContractLast(xt, *u3_);              // [B, V, T]
+
+  Tensor product = tensor::MatMul(lhs, rhs);        // [B, T, T]
+  Tensor scores =
+      tensor::MatMul(*ve_, tensor::Sigmoid(tensor::Add(product, *be_)));
+  return tensor::Softmax(scores, 1);
+}
+
+}  // namespace emaf::nn

@@ -1,0 +1,54 @@
+// Spatial and temporal attention blocks from ASTGCN (Guo et al. 2019).
+//
+// Both operate on block inputs of shape [B, V, F, T] (batch, nodes,
+// features, time) and return normalized attention score matrices.
+
+#ifndef EMAF_NN_ATTENTION_H_
+#define EMAF_NN_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace emaf::nn {
+
+// S = softmax( Vs * sigmoid( ((X W1) W2) (W3 X)^T + bs ) ): [B, V, V].
+class SpatialAttention : public Module {
+ public:
+  SpatialAttention(int64_t num_nodes, int64_t in_features, int64_t num_steps,
+                   Rng* rng);
+
+  Tensor Forward(const Tensor& x);
+
+ private:
+  int64_t num_nodes_;
+  int64_t in_features_;
+  int64_t num_steps_;
+  Tensor* w1_;  // [T]
+  Tensor* w2_;  // [F, T]
+  Tensor* w3_;  // [F]
+  Tensor* bs_;  // [V, V]
+  Tensor* vs_;  // [V, V]
+};
+
+// E = softmax( Ve * sigmoid( ((X^T U1) U2) (U3 X) + be ) ): [B, T, T].
+class TemporalAttention : public Module {
+ public:
+  TemporalAttention(int64_t num_nodes, int64_t in_features, int64_t num_steps,
+                    Rng* rng);
+
+  Tensor Forward(const Tensor& x);
+
+ private:
+  int64_t num_nodes_;
+  int64_t in_features_;
+  int64_t num_steps_;
+  Tensor* u1_;  // [V]
+  Tensor* u2_;  // [F, V]
+  Tensor* u3_;  // [F]
+  Tensor* be_;  // [T, T]
+  Tensor* ve_;  // [T, T]
+};
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_ATTENTION_H_

@@ -1,0 +1,37 @@
+#include "nn/conv.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace emaf::nn {
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel_h, int64_t kernel_w,
+                         const tensor::Conv2dOptions& options, bool bias,
+                         Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      options_(options) {
+  EMAF_CHECK_GT(in_channels, 0);
+  EMAF_CHECK_GT(out_channels, 0);
+  EMAF_CHECK_GT(kernel_h, 0);
+  EMAF_CHECK_GT(kernel_w, 0);
+  int64_t fan_in = in_channels * kernel_h * kernel_w;
+  weight_ = RegisterParameter(
+      "weight",
+      FanInUniform(tensor::Shape{out_channels, in_channels, kernel_h, kernel_w},
+                   fan_in, rng));
+  if (bias) {
+    bias_ = RegisterParameter(
+        "bias", FanInUniform(tensor::Shape{out_channels}, fan_in, rng));
+  }
+}
+
+Tensor Conv2dLayer::Forward(const Tensor& x) {
+  EMAF_CHECK_EQ(x.rank(), 4);
+  EMAF_CHECK_EQ(x.dim(1), in_channels_);
+  return tensor::Conv2d(x, *weight_, bias_ == nullptr ? Tensor() : *bias_,
+                        options_);
+}
+
+}  // namespace emaf::nn

@@ -1,0 +1,34 @@
+// 2-D convolution layer owning its kernel and bias.
+
+#ifndef EMAF_NN_CONV_H_
+#define EMAF_NN_CONV_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel_h,
+              int64_t kernel_w, const tensor::Conv2dOptions& options, bool bias,
+              Rng* rng);
+
+  // x: [N, in_channels, H, W] -> [N, out_channels, H', W'].
+  Tensor Forward(const Tensor& x);
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  tensor::Conv2dOptions options_;
+  Tensor* weight_;
+  Tensor* bias_ = nullptr;
+};
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_CONV_H_

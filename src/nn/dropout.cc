@@ -1,0 +1,17 @@
+#include "nn/dropout.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+
+Dropout::Dropout(double p, Rng* rng) : p_(p), rng_(rng->Fork(0x64726f70)) {
+  EMAF_CHECK_GE(p, 0.0);
+  EMAF_CHECK_LT(p, 1.0);
+}
+
+Tensor Dropout::Forward(const Tensor& x) {
+  return tensor::Dropout(x, p_, training(), &rng_);
+}
+
+}  // namespace emaf::nn

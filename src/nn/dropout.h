@@ -1,0 +1,28 @@
+// Inverted-dropout module. Active only while training.
+
+#ifndef EMAF_NN_DROPOUT_H_
+#define EMAF_NN_DROPOUT_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace emaf::nn {
+
+class Dropout : public Module {
+ public:
+  // `rng` seeds this layer's private stream (forked, so the caller's
+  // generator is not advanced by forward passes).
+  Dropout(double p, Rng* rng);
+
+  Tensor Forward(const Tensor& x);
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_DROPOUT_H_

@@ -1,0 +1,117 @@
+#include "nn/graph_conv.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+GcnConv::GcnConv(Tensor normalized_adjacency, int64_t in_features,
+                 int64_t out_features, Rng* rng)
+    : a_hat_(std::move(normalized_adjacency)),
+      in_features_(in_features),
+      out_features_(out_features) {
+  EMAF_CHECK_EQ(a_hat_.rank(), 2);
+  EMAF_CHECK_EQ(a_hat_.dim(0), a_hat_.dim(1));
+  weight_ = RegisterParameter(
+      "weight", XavierUniform(Shape{in_features, out_features}, in_features,
+                              out_features, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{out_features}));
+}
+
+Tensor GcnConv::Forward(const Tensor& x) {
+  EMAF_CHECK_GE(x.rank(), 2);
+  EMAF_CHECK_EQ(x.dim(-2), num_nodes());
+  EMAF_CHECK_EQ(x.dim(-1), in_features_);
+  Tensor propagated = tensor::MatMul(a_hat_, x);  // [..., V, in]
+  return tensor::Add(tensor::MatMul(propagated, *weight_), *bias_);
+}
+
+ChebConv::ChebConv(std::vector<Tensor> polynomials, int64_t in_features,
+                   int64_t out_features, Rng* rng)
+    : polynomials_(std::move(polynomials)),
+      in_features_(in_features),
+      out_features_(out_features) {
+  EMAF_CHECK(!polynomials_.empty());
+  for (const Tensor& t : polynomials_) {
+    EMAF_CHECK_EQ(t.rank(), 2);
+    EMAF_CHECK_EQ(t.dim(0), polynomials_[0].dim(0));
+    EMAF_CHECK_EQ(t.dim(1), polynomials_[0].dim(0));
+  }
+  int64_t k = static_cast<int64_t>(polynomials_.size());
+  weight_ = RegisterParameter(
+      "weight", XavierUniform(Shape{k, in_features, out_features},
+                              k * in_features, out_features, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{out_features}));
+}
+
+Tensor ChebConv::Forward(const Tensor& x, const Tensor& attention) {
+  EMAF_CHECK_EQ(x.rank(), 3) << "ChebConv expects [B, V, in]";
+  EMAF_CHECK_EQ(x.dim(2), in_features_);
+  Tensor out;
+  for (int64_t k = 0; k < order(); ++k) {
+    Tensor operator_k = polynomials_[static_cast<size_t>(k)];
+    Tensor propagated;
+    if (attention.defined()) {
+      // Elementwise modulation by the spatial attention scores (ASTGCN).
+      Tensor modulated = tensor::Mul(operator_k, attention);  // [B, V, V]
+      propagated = tensor::MatMul(modulated, x);
+    } else {
+      propagated = tensor::MatMul(operator_k, x);
+    }
+    Tensor w_k = tensor::Select(*weight_, 0, k);  // [in, out]
+    Tensor term = tensor::MatMul(propagated, w_k);
+    out = out.defined() ? tensor::Add(out, term) : term;
+  }
+  return tensor::Add(out, *bias_);
+}
+
+MixProp::MixProp(int64_t in_channels, int64_t out_channels, int64_t depth,
+                 double beta, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      depth_(depth),
+      beta_(beta) {
+  EMAF_CHECK_GE(depth, 1);
+  EMAF_CHECK_GE(beta, 0.0);
+  EMAF_CHECK_LE(beta, 1.0);
+  int64_t concat = (depth + 1) * in_channels;
+  weight_ = RegisterParameter(
+      "weight",
+      XavierUniform(Shape{concat, out_channels}, concat, out_channels, rng));
+}
+
+Tensor MixProp::Forward(const Tensor& x, const Tensor& adjacency_norm) {
+  EMAF_CHECK_EQ(x.rank(), 4) << "MixProp expects [B, C, V, T]";
+  EMAF_CHECK_EQ(x.dim(1), in_channels_);
+  EMAF_CHECK_EQ(adjacency_norm.rank(), 2);
+  EMAF_CHECK_EQ(adjacency_norm.dim(0), x.dim(2));
+
+  // Hop over nodes: out[b,c,v,t] = sum_w A[v,w] x[b,c,w,t].
+  Tensor a_t = tensor::TransposeLast2(adjacency_norm);
+  auto hop = [&](const Tensor& h) {
+    Tensor perm = tensor::Permute(h, {0, 1, 3, 2});       // [B, C, T, V]
+    Tensor mixed = tensor::MatMul(perm, a_t);             // [B, C, T, V]
+    return tensor::Permute(mixed, {0, 1, 3, 2});          // [B, C, V, T]
+  };
+
+  std::vector<Tensor> hops;
+  hops.reserve(static_cast<size_t>(depth_) + 1);
+  hops.push_back(x);
+  Tensor h = x;
+  for (int64_t k = 0; k < depth_; ++k) {
+    h = tensor::Add(tensor::MulScalar(x, beta_),
+                    tensor::MulScalar(hop(h), 1.0 - beta_));
+    hops.push_back(h);
+  }
+  Tensor concat = tensor::Cat(hops, 1);  // [B, (K+1)C, V, T]
+  // 1x1 channel mixing via channels-last matmul.
+  Tensor last = tensor::Permute(concat, {0, 2, 3, 1});  // [B, V, T, (K+1)C]
+  Tensor mixed = tensor::MatMul(last, *weight_);        // [B, V, T, out]
+  return tensor::Permute(mixed, {0, 3, 1, 2});          // [B, out, V, T]
+}
+
+}  // namespace emaf::nn

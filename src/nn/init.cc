@@ -1,0 +1,30 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace emaf::nn {
+
+tensor::Tensor XavierUniform(const tensor::Shape& shape, int64_t fan_in,
+                             int64_t fan_out, Rng* rng) {
+  EMAF_CHECK_GT(fan_in + fan_out, 0);
+  double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return tensor::Tensor::Uniform(shape, -a, a, rng);
+}
+
+tensor::Tensor KaimingUniform(const tensor::Shape& shape, int64_t fan_in,
+                              Rng* rng) {
+  EMAF_CHECK_GT(fan_in, 0);
+  double a = std::sqrt(6.0 / static_cast<double>(fan_in));
+  return tensor::Tensor::Uniform(shape, -a, a, rng);
+}
+
+tensor::Tensor FanInUniform(const tensor::Shape& shape, int64_t fan_in,
+                            Rng* rng) {
+  EMAF_CHECK_GT(fan_in, 0);
+  double k = 1.0 / std::sqrt(static_cast<double>(fan_in));
+  return tensor::Tensor::Uniform(shape, -k, k, rng);
+}
+
+}  // namespace emaf::nn

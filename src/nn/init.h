@@ -1,0 +1,25 @@
+// Weight initialization schemes.
+
+#ifndef EMAF_NN_INIT_H_
+#define EMAF_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace emaf::nn {
+
+// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+tensor::Tensor XavierUniform(const tensor::Shape& shape, int64_t fan_in,
+                             int64_t fan_out, Rng* rng);
+
+// Kaiming/He uniform for ReLU fan-in mode: U(-a, a), a = sqrt(6 / fan_in).
+tensor::Tensor KaimingUniform(const tensor::Shape& shape, int64_t fan_in,
+                              Rng* rng);
+
+// PyTorch's default Linear/Conv init: U(-k, k), k = 1/sqrt(fan_in).
+tensor::Tensor FanInUniform(const tensor::Shape& shape, int64_t fan_in,
+                            Rng* rng);
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_INIT_H_

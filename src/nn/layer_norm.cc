@@ -1,0 +1,39 @@
+#include "nn/layer_norm.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LayerNorm::LayerNorm(std::vector<int64_t> normalized_shape, double epsilon)
+    : normalized_shape_(std::move(normalized_shape)), epsilon_(epsilon) {
+  EMAF_CHECK(!normalized_shape_.empty());
+  Shape shape(normalized_shape_);
+  gain_ = RegisterParameter("gain", Tensor::Ones(shape));
+  bias_ = RegisterParameter("bias", Tensor::Zeros(shape));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  int64_t norm_rank = static_cast<int64_t>(normalized_shape_.size());
+  EMAF_CHECK_GE(x.rank(), norm_rank);
+  std::vector<int64_t> axes;
+  for (int64_t i = 0; i < norm_rank; ++i) {
+    int64_t axis = x.rank() - norm_rank + i;
+    EMAF_CHECK_EQ(x.dim(axis), normalized_shape_[i])
+        << "LayerNorm shape mismatch on axis " << axis;
+    axes.push_back(axis);
+  }
+  Tensor mu = tensor::Mean(x, axes, /*keepdim=*/true);
+  Tensor centered = tensor::Sub(x, mu);
+  Tensor var = tensor::Mean(tensor::Mul(centered, centered), axes,
+                            /*keepdim=*/true);
+  Tensor inv_std =
+      tensor::Pow(tensor::AddScalar(var, epsilon_), -0.5);
+  Tensor normalized = tensor::Mul(centered, inv_std);
+  return tensor::Add(tensor::Mul(normalized, *gain_), *bias_);
+}
+
+}  // namespace emaf::nn

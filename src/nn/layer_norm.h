@@ -1,0 +1,30 @@
+// Layer normalization over the trailing axes.
+
+#ifndef EMAF_NN_LAYER_NORM_H_
+#define EMAF_NN_LAYER_NORM_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace emaf::nn {
+
+class LayerNorm : public Module {
+ public:
+  // Normalizes over the last `normalized_shape.size()` axes, which must
+  // match `normalized_shape` exactly; gain and bias have that shape.
+  explicit LayerNorm(std::vector<int64_t> normalized_shape,
+                     double epsilon = 1e-5);
+
+  Tensor Forward(const Tensor& x);
+
+ private:
+  std::vector<int64_t> normalized_shape_;
+  double epsilon_;
+  Tensor* gain_;
+  Tensor* bias_;
+};
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_LAYER_NORM_H_

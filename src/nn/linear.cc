@@ -1,0 +1,29 @@
+#include "nn/linear.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace emaf::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  EMAF_CHECK_GT(in_features, 0);
+  EMAF_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight",
+      FanInUniform(tensor::Shape{in_features, out_features}, in_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter(
+        "bias", FanInUniform(tensor::Shape{out_features}, in_features, rng));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  EMAF_CHECK_GE(x.rank(), 2);
+  EMAF_CHECK_EQ(x.dim(-1), in_features_);
+  Tensor out = tensor::MatMul(x, *weight_);
+  if (bias_ != nullptr) out = tensor::Add(out, *bias_);
+  return out;
+}
+
+}  // namespace emaf::nn

@@ -1,0 +1,35 @@
+// Fully-connected layer: y = x W + b.
+
+#ifndef EMAF_NN_LINEAR_H_
+#define EMAF_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+
+class Linear : public Module {
+ public:
+  // Weight is stored as [in_features, out_features] (inputs multiply on the
+  // left). Initialized U(-k, k), k = 1/sqrt(in_features), like PyTorch.
+  Linear(int64_t in_features, int64_t out_features, bool bias, Rng* rng);
+
+  // x: [..., in_features] -> [..., out_features]. Rank must be >= 2.
+  Tensor Forward(const Tensor& x);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Tensor* weight() { return weight_; }
+  Tensor* bias() { return bias_; }  // nullptr when constructed without bias
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor* weight_;
+  Tensor* bias_ = nullptr;
+};
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_LINEAR_H_

@@ -1,0 +1,75 @@
+// First-order optimizers operating on leaf parameter tensors.
+//
+// Step() reads each parameter's accumulated .grad and updates the parameter
+// storage in place (outside the autodiff tape). Parameters without a
+// gradient are skipped.
+
+#ifndef EMAF_NN_OPTIMIZER_H_
+#define EMAF_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emaf::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor*> parameters);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void Step() = 0;
+  void ZeroGrad();
+
+  const std::vector<tensor::Tensor*>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<tensor::Tensor*> parameters_;
+};
+
+struct SgdOptions {
+  double lr = 0.01;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor*> parameters, const SgdOptions& options);
+  void Step() override;
+
+ private:
+  SgdOptions options_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+struct AdamOptions {
+  double lr = 0.01;  // paper setting for all EMA experiments
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor*> parameters, const AdamOptions& options);
+  void Step() override;
+
+ private:
+  AdamOptions options_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+};
+
+// Scales all gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clipping norm.
+double ClipGradNorm(const std::vector<tensor::Tensor*>& parameters,
+                    double max_norm);
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_OPTIMIZER_H_

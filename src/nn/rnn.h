@@ -1,0 +1,70 @@
+// Recurrent cells and a multi-step LSTM.
+
+#ifndef EMAF_NN_RNN_H_
+#define EMAF_NN_RNN_H_
+
+#include <utility>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace emaf::nn {
+
+// Gated recurrent unit cell (Cho et al. 2014).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  // x: [B, input_size], h: [B, hidden_size] -> new h.
+  Tensor Forward(const Tensor& x, const Tensor& h);
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  Linear* input_gates_;   // x -> [r | z | n], 3H
+  Linear* hidden_gates_;  // h -> [r | z | n], 3H
+};
+
+// LSTM cell (no peepholes; forget-gate bias initialized to 1).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  struct State {
+    Tensor h;
+    Tensor c;
+  };
+
+  // x: [B, input_size] -> updated state.
+  State Forward(const Tensor& x, const State& state);
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  Linear* input_gates_;   // x -> [i | f | g | o], 4H
+  Linear* hidden_gates_;  // h -> [i | f | g | o], 4H
+};
+
+// Unrolled single-layer LSTM over a [B, L, input] sequence.
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  // Returns all hidden states stacked: [B, L, hidden].
+  Tensor Forward(const Tensor& sequence);
+  // Returns only the last hidden state: [B, hidden].
+  Tensor ForwardLast(const Tensor& sequence);
+
+  int64_t hidden_size() const { return cell_->hidden_size(); }
+
+ private:
+  int64_t input_size_;
+  LstmCell* cell_;
+};
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_RNN_H_

@@ -1,0 +1,134 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace emaf::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'M', 'A', 'F'};
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteI64(std::ofstream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadI64(std::ifstream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveParameters(Module* module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound(StrCat("cannot open for writing: ", path));
+  }
+  std::vector<NamedParameter> params = module->NamedParameters();
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteU64(out, params.size());
+  for (const NamedParameter& p : params) {
+    WriteU64(out, p.name.size());
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const tensor::Shape& shape = p.value->shape();
+    WriteU64(out, static_cast<uint64_t>(shape.rank()));
+    for (int64_t d : shape.dims()) WriteI64(out, d);
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(p.value->NumElements() *
+                                           sizeof(tensor::Scalar)));
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal(StrCat("write failed: ", path));
+  return Status::Ok();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open for reading: ", path));
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::string(magic, 4) != std::string(kMagic, 4)) {
+    return Status::InvalidArgument(StrCat("bad checkpoint magic in ", path));
+  }
+  uint32_t version = 0;
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported checkpoint version in ", path));
+  }
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) {
+    return Status::InvalidArgument(StrCat("truncated checkpoint: ", path));
+  }
+
+  std::map<std::string, tensor::Tensor*> by_name;
+  for (const NamedParameter& p : module->NamedParameters()) {
+    by_name[p.name] = p.value;
+  }
+  if (count != by_name.size()) {
+    return Status::InvalidArgument(
+        StrCat("checkpoint has ", count, " parameters, module has ",
+               by_name.size()));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadU64(in, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument(StrCat("corrupt checkpoint: ", path));
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t rank = 0;
+    if (!in.good() || !ReadU64(in, &rank) || rank > 16) {
+      return Status::InvalidArgument(StrCat("corrupt checkpoint: ", path));
+    }
+    std::vector<int64_t> dims(rank);
+    for (uint64_t d = 0; d < rank; ++d) {
+      if (!ReadI64(in, &dims[d])) {
+        return Status::InvalidArgument(StrCat("corrupt checkpoint: ", path));
+      }
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument(
+          StrCat("checkpoint parameter not in module: ", name));
+    }
+    tensor::Shape file_shape{std::vector<int64_t>(dims)};
+    if (file_shape != it->second->shape()) {
+      return Status::InvalidArgument(
+          StrCat("shape mismatch for ", name, ": checkpoint ",
+                 file_shape.ToString(), " vs module ",
+                 it->second->shape().ToString()));
+    }
+    in.read(reinterpret_cast<char*>(it->second->data()),
+            static_cast<std::streamsize>(it->second->NumElements() *
+                                         sizeof(tensor::Scalar)));
+    if (!in.good()) {
+      return Status::InvalidArgument(StrCat("truncated checkpoint: ", path));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace emaf::nn

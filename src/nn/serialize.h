@@ -1,0 +1,27 @@
+// Binary checkpointing of module parameters.
+//
+// Format (little-endian):
+//   magic "EMAF"  | uint32 version | uint64 parameter count
+//   per parameter: uint64 name length | name bytes |
+//                  uint64 rank | int64 dims[rank] | double data[numel]
+
+#ifndef EMAF_NN_SERIALIZE_H_
+#define EMAF_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace emaf::nn {
+
+// Writes every named parameter of `module` to `path`.
+Status SaveParameters(Module* module, const std::string& path);
+
+// Loads a checkpoint into `module`. Every parameter in the file must exist
+// in the module with an identical shape, and vice versa.
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace emaf::nn
+
+#endif  // EMAF_NN_SERIALIZE_H_

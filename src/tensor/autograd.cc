@@ -1,0 +1,133 @@
+#include "tensor/autograd.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace emaf::tensor {
+
+namespace {
+
+thread_local int no_grad_depth = 0;
+
+// Adds `delta` into `acc` (initializing `acc` on first use). Shapes must
+// match exactly; ops are responsible for reducing broadcasts beforehand.
+void AccumulateGrad(Tensor* acc, const Tensor& delta) {
+  if (!acc->defined()) {
+    *acc = delta.Clone();
+    return;
+  }
+  EMAF_CHECK(acc->shape() == delta.shape())
+      << "gradient shape mismatch: " << acc->shape().ToString() << " vs "
+      << delta.shape().ToString();
+  Scalar* a = acc->data();
+  const Scalar* d = delta.data();
+  const int64_t n = acc->NumElements();
+  for (int64_t i = 0; i < n; ++i) a[i] += d[i];
+}
+
+}  // namespace
+
+bool GradModeEnabled() { return no_grad_depth == 0; }
+
+NoGradGuard::NoGradGuard() { ++no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --no_grad_depth; }
+
+bool ShouldRecord(const std::vector<Tensor>& inputs) {
+  if (!GradModeEnabled()) return false;
+  for (const Tensor& t : inputs) {
+    if (t.defined() && t.TracksGrad()) return true;
+  }
+  return false;
+}
+
+void SetGradFn(Tensor* output, std::string name, std::vector<Tensor> inputs,
+               std::function<std::vector<Tensor>(const Tensor&)> backward) {
+  EMAF_CHECK(output->defined());
+  auto fn = std::make_shared<GradFn>();
+  fn->name = std::move(name);
+  fn->inputs = std::move(inputs);
+  fn->backward = std::move(backward);
+  output->impl()->grad_fn = std::move(fn);
+}
+
+void RunBackward(const Tensor& root) {
+  EMAF_CHECK(root.defined());
+  EMAF_CHECK_EQ(root.NumElements(), 1)
+      << "Backward() requires a single-element tensor";
+
+  // Post-order DFS (iterative) to get a topological order of impls.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  // Keep shared ownership of every visited impl for the duration.
+  std::unordered_map<TensorImpl*, std::shared_ptr<TensorImpl>> owned;
+
+  struct Frame {
+    std::shared_ptr<TensorImpl> impl;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.impl(), 0});
+  visited.insert(root.impl().get());
+  owned[root.impl().get()] = root.impl();
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    GradFn* fn = frame.impl->grad_fn.get();
+    size_t num_children = fn == nullptr ? 0 : fn->inputs.size();
+    if (frame.next_child < num_children) {
+      const Tensor& child = fn->inputs[frame.next_child++];
+      if (child.defined() && child.TracksGrad() &&
+          visited.insert(child.impl().get()).second) {
+        owned[child.impl().get()] = child.impl();
+        stack.push_back({child.impl(), 0});
+      }
+    } else {
+      topo.push_back(frame.impl.get());
+      stack.pop_back();
+    }
+  }
+  // topo is children-before-parents; reverse for root-first traversal.
+
+  std::unordered_map<TensorImpl*, Tensor> grads;
+  grads[root.impl().get()] =
+      Tensor::Ones(root.shape());
+
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* impl = *it;
+    auto grad_it = grads.find(impl);
+    if (grad_it == grads.end()) continue;  // unreachable branch
+    Tensor grad = grad_it->second;
+
+    if (impl->grad_fn == nullptr) {
+      if (impl->requires_grad) {
+        // Leaf: accumulate into persistent .grad.
+        Tensor current = impl->grad == nullptr ? Tensor() : Tensor(impl->grad);
+        AccumulateGrad(&current, grad);
+        impl->grad = current.impl();
+      }
+      continue;
+    }
+
+    GradFn* fn = impl->grad_fn.get();
+    std::vector<Tensor> input_grads = fn->backward(grad);
+    EMAF_CHECK_EQ(input_grads.size(), fn->inputs.size())
+        << "op " << fn->name << " returned wrong number of gradients";
+    for (size_t i = 0; i < fn->inputs.size(); ++i) {
+      const Tensor& input = fn->inputs[i];
+      if (!input.defined() || !input.TracksGrad()) continue;
+      const Tensor& ig = input_grads[i];
+      if (!ig.defined()) continue;
+      EMAF_CHECK(ig.shape() == input.shape())
+          << "op " << fn->name << " produced gradient of shape "
+          << ig.shape().ToString() << " for input of shape "
+          << input.shape().ToString();
+      AccumulateGrad(&grads[input.impl().get()], ig);
+    }
+    // Free this node's gradient buffer early.
+    grads.erase(grad_it);
+  }
+}
+
+}  // namespace emaf::tensor

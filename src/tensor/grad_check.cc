@@ -1,0 +1,56 @@
+#include "tensor/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon, double tolerance) {
+  EMAF_CHECK(!inputs.empty());
+  for (Tensor& t : inputs) {
+    EMAF_CHECK(t.defined());
+    t.SetRequiresGrad(true);
+    t.ZeroGrad();
+  }
+
+  // Analytic gradients.
+  Tensor loss = fn(inputs);
+  EMAF_CHECK_EQ(loss.NumElements(), 1) << "grad check needs a scalar output";
+  loss.Backward();
+
+  GradCheckResult result;
+  result.max_error = 0.0;
+  for (Tensor& input : inputs) {
+    Tensor analytic = input.grad();
+    if (!analytic.defined()) analytic = Tensor::Zeros(input.shape());
+    Scalar* x = input.data();
+    const Scalar* a = analytic.data();
+    for (int64_t i = 0; i < input.NumElements(); ++i) {
+      Scalar original = x[i];
+      double plus;
+      double minus;
+      {
+        NoGradGuard guard;
+        x[i] = original + epsilon;
+        plus = fn(inputs).item();
+        x[i] = original - epsilon;
+        minus = fn(inputs).item();
+        x[i] = original;
+      }
+      double numeric = (plus - minus) / (2.0 * epsilon);
+      double denom = std::max({1.0, std::abs(a[i]), std::abs(numeric)});
+      double error = std::abs(a[i] - numeric) / denom;
+      result.max_error = std::max(result.max_error, error);
+    }
+  }
+  result.ok = result.max_error <= tolerance;
+  return result;
+}
+
+}  // namespace emaf::tensor

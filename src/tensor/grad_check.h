@@ -1,0 +1,32 @@
+// Finite-difference gradient verification, used by the test suite to prove
+// every op's backward pass against the numeric derivative.
+
+#ifndef EMAF_TENSOR_GRAD_CHECK_H_
+#define EMAF_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emaf::tensor {
+
+struct GradCheckResult {
+  // max over all input elements of |analytic - numeric| /
+  // max(1, |analytic|, |numeric|).
+  double max_error = 0.0;
+  bool ok = false;
+};
+
+// Compares analytic gradients of `fn` (which must return a single-element
+// tensor) against central finite differences at the given inputs. Inputs
+// must be leaf tensors; requires_grad is forced on inside. `epsilon` is the
+// FD step, `tolerance` the max accepted relative error.
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon = 1e-5,
+    double tolerance = 1e-6);
+
+}  // namespace emaf::tensor
+
+#endif  // EMAF_TENSOR_GRAD_CHECK_H_

@@ -1,0 +1,130 @@
+// Differentiable tensor operations.
+//
+// All functions are pure: they allocate a fresh output and, when gradient
+// mode is on and an input tracks gradients, record a GradFn so that
+// Tensor::Backward() reaches the inputs. Binary elementwise ops follow
+// NumPy broadcasting; gradients of broadcast inputs are sum-reduced back to
+// the input shape.
+
+#ifndef EMAF_TENSOR_OPS_H_
+#define EMAF_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emaf::tensor {
+
+// ---- Elementwise binary (broadcasting) -------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+// ---- Elementwise unary ------------------------------------------------------
+Tensor Neg(const Tensor& x);
+Tensor Exp(const Tensor& x);
+Tensor Log(const Tensor& x);  // natural log; x must be > 0
+Tensor Sqrt(const Tensor& x);
+Tensor Abs(const Tensor& x);
+Tensor Pow(const Tensor& x, Scalar exponent);
+Tensor Clamp(const Tensor& x, Scalar low, Scalar high);
+Tensor AddScalar(const Tensor& x, Scalar s);
+Tensor MulScalar(const Tensor& x, Scalar s);
+
+// Operator sugar.
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+inline Tensor operator-(const Tensor& a) { return Neg(a); }
+inline Tensor operator+(const Tensor& a, Scalar s) { return AddScalar(a, s); }
+inline Tensor operator+(Scalar s, const Tensor& a) { return AddScalar(a, s); }
+inline Tensor operator-(const Tensor& a, Scalar s) { return AddScalar(a, -s); }
+inline Tensor operator*(const Tensor& a, Scalar s) { return MulScalar(a, s); }
+inline Tensor operator*(Scalar s, const Tensor& a) { return MulScalar(a, s); }
+inline Tensor operator/(const Tensor& a, Scalar s) {
+  return MulScalar(a, 1.0 / s);
+}
+
+// ---- Matrix multiplication --------------------------------------------------
+// Both inputs must have rank >= 2; leading (batch) dimensions broadcast.
+// [*, m, k] x [*, k, n] -> [broadcast(*), m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---- Reductions ---------------------------------------------------------------
+Tensor Sum(const Tensor& x);  // all elements -> rank-0
+Tensor Sum(const Tensor& x, const std::vector<int64_t>& dims, bool keepdim);
+Tensor Mean(const Tensor& x);
+Tensor Mean(const Tensor& x, const std::vector<int64_t>& dims, bool keepdim);
+// Maximum/minimum along `dim`.
+Tensor Max(const Tensor& x, int64_t dim, bool keepdim);
+Tensor Min(const Tensor& x, int64_t dim, bool keepdim);
+// Index of the per-slice maximum (not differentiable; result is constant).
+Tensor ArgMax(const Tensor& x, int64_t dim, bool keepdim);
+// 0/1 mask marking, per slice along `dim`, the k largest entries
+// (ties broken toward lower index). Constant — gradients do not flow.
+Tensor TopKMask(const Tensor& x, int64_t k, int64_t dim);
+
+namespace internal {
+// Sum-reduces `x` to `target` (which must be broadcast-compatible with
+// x.shape()). NOT differentiable: used by op backward passes.
+Tensor SumTo(const Tensor& x, const Shape& target);
+}  // namespace internal
+
+// ---- Shape manipulation -------------------------------------------------------
+Tensor Reshape(const Tensor& x, const Shape& shape);  // shares storage
+Tensor Transpose(const Tensor& x, int64_t dim0, int64_t dim1);
+// Transposes the last two axes (matrix transpose for batched matrices).
+Tensor TransposeLast2(const Tensor& x);
+Tensor Permute(const Tensor& x, const std::vector<int64_t>& perm);
+Tensor Squeeze(const Tensor& x, int64_t dim);
+Tensor Unsqueeze(const Tensor& x, int64_t dim);
+// Elements [start, end) along `dim`.
+Tensor Slice(const Tensor& x, int64_t dim, int64_t start, int64_t end);
+// Slice then drop the (now size-1) dimension.
+Tensor Select(const Tensor& x, int64_t dim, int64_t index);
+Tensor Cat(const std::vector<Tensor>& tensors, int64_t dim);
+Tensor Stack(const std::vector<Tensor>& tensors, int64_t dim);
+// Zero-padding: padding[i] = {before, after} for axis i (one entry per axis).
+Tensor Pad(const Tensor& x,
+           const std::vector<std::pair<int64_t, int64_t>>& padding);
+Tensor BroadcastTo(const Tensor& x, const Shape& shape);
+
+// ---- Activations ---------------------------------------------------------------
+Tensor Relu(const Tensor& x);
+Tensor LeakyRelu(const Tensor& x, Scalar negative_slope);
+Tensor Elu(const Tensor& x, Scalar alpha);
+Tensor Sigmoid(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Softmax(const Tensor& x, int64_t dim);
+Tensor LogSoftmax(const Tensor& x, int64_t dim);
+// Inverted dropout; identity when !training or p == 0.
+Tensor Dropout(const Tensor& x, Scalar p, bool training, Rng* rng);
+
+// ---- Convolution ------------------------------------------------------------
+struct Conv2dOptions {
+  int64_t stride_h = 1;
+  int64_t stride_w = 1;
+  int64_t pad_h = 0;
+  int64_t pad_w = 0;
+  int64_t dilation_h = 1;
+  int64_t dilation_w = 1;
+};
+// input [N, C, H, W], weight [O, C, KH, KW], optional bias [O]
+// -> [N, O, H_out, W_out].
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dOptions& options);
+
+// ---- Losses ------------------------------------------------------------------
+Tensor MseLoss(const Tensor& prediction, const Tensor& target);
+Tensor MaeLoss(const Tensor& prediction, const Tensor& target);
+Tensor HuberLoss(const Tensor& prediction, const Tensor& target, Scalar delta);
+
+}  // namespace emaf::tensor
+
+#endif  // EMAF_TENSOR_OPS_H_

@@ -1,0 +1,33 @@
+#include "tensor/op_common.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+
+Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  EMAF_CHECK(prediction.shape() == target.shape())
+      << "MseLoss shape mismatch: " << prediction.shape().ToString() << " vs "
+      << target.shape().ToString();
+  Tensor diff = Sub(prediction, target);
+  return Mean(Mul(diff, diff));
+}
+
+Tensor MaeLoss(const Tensor& prediction, const Tensor& target) {
+  EMAF_CHECK(prediction.shape() == target.shape())
+      << "MaeLoss shape mismatch: " << prediction.shape().ToString() << " vs "
+      << target.shape().ToString();
+  return Mean(Abs(Sub(prediction, target)));
+}
+
+Tensor HuberLoss(const Tensor& prediction, const Tensor& target,
+                 Scalar delta) {
+  EMAF_CHECK(prediction.shape() == target.shape());
+  EMAF_CHECK_GT(delta, 0.0);
+  Tensor a = Abs(Sub(prediction, target));
+  // 0.5 * min(a, delta)^2 + delta * max(a - delta, 0); the two branches
+  // agree in value and derivative at |a| == delta.
+  Tensor quad = MulScalar(Pow(Clamp(a, 0.0, delta), 2.0), 0.5);
+  Tensor lin = MulScalar(Relu(AddScalar(a, -delta)), delta);
+  return Mean(Add(quad, lin));
+}
+
+}  // namespace emaf::tensor

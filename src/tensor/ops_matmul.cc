@@ -1,0 +1,143 @@
+#include "tensor/op_common.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+
+namespace internal {
+
+void MatMulKernel(const Scalar* __restrict__ a, const Scalar* __restrict__ b,
+                  Scalar* __restrict__ c, int64_t m, int64_t k, int64_t n) {
+  // Row-blocked i-k-j: four A rows share each loaded B row, the j loop is
+  // contiguous in B and C and auto-vectorizes. C must be zero-initialized
+  // (or hold a partial sum).
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const Scalar* a0 = a + i * k;
+    const Scalar* a1 = a0 + k;
+    const Scalar* a2 = a1 + k;
+    const Scalar* a3 = a2 + k;
+    Scalar* c0 = c + i * n;
+    Scalar* c1 = c0 + n;
+    Scalar* c2 = c1 + n;
+    Scalar* c3 = c2 + n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      Scalar v0 = a0[kk];
+      Scalar v1 = a1[kk];
+      Scalar v2 = a2[kk];
+      Scalar v3 = a3[kk];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      const Scalar* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        Scalar bj = brow[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const Scalar* arow = a + i * k;
+    Scalar* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      Scalar aik = arow[kk];
+      if (aik == 0.0) continue;
+      const Scalar* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+// Shape of the leading (batch) axes, i.e. everything but the last two.
+Shape BatchShape(const Shape& s) {
+  std::vector<int64_t> dims(s.dims().begin(), s.dims().end() - 2);
+  return Shape(dims);
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  EMAF_CHECK_GE(a.rank(), 2) << "MatMul input must have rank >= 2";
+  EMAF_CHECK_GE(b.rank(), 2) << "MatMul input must have rank >= 2";
+  int64_t m = a.dim(-2);
+  int64_t k = a.dim(-1);
+  int64_t k2 = b.dim(-2);
+  int64_t n = b.dim(-1);
+  EMAF_CHECK_EQ(k, k2) << "MatMul inner dimension mismatch: "
+                       << a.shape().ToString() << " x " << b.shape().ToString();
+
+  Shape a_batch = BatchShape(a.shape());
+  Shape b_batch = BatchShape(b.shape());
+  Shape batch = BroadcastShapes(a_batch, b_batch);
+  std::vector<int64_t> out_dims = batch.dims();
+  out_dims.push_back(m);
+  out_dims.push_back(n);
+  Tensor out = Tensor::Zeros(Shape(out_dims));
+
+  const Scalar* ad = a.data();
+  const Scalar* bd = b.data();
+  Scalar* od = out.data();
+
+  if (b.rank() == 2) {
+    // Shared right matrix: collapse all leading axes of `a` into rows and
+    // run one large matmul — the hot path for linear layers and graph
+    // propagation.
+    int64_t rows = a.NumElements() / k;
+    internal::MatMulKernel(ad, bd, od, rows, k, n);
+  } else {
+    // General broadcast-batched case, batch offsets via odometer.
+    std::vector<int64_t> a_strides = BroadcastStrides(a_batch, batch);
+    std::vector<int64_t> b_strides = BroadcastStrides(b_batch, batch);
+    const std::vector<int64_t>& batch_dims = batch.dims();
+    int64_t batch_rank = batch.rank();
+    int64_t num_batches = batch.NumElements();
+    std::vector<int64_t> index(static_cast<size_t>(batch_rank), 0);
+    int64_t a_off = 0;
+    int64_t b_off = 0;
+    for (int64_t batch_idx = 0; batch_idx < num_batches; ++batch_idx) {
+      internal::MatMulKernel(ad + a_off * m * k, bd + b_off * k * n,
+                             od + batch_idx * m * n, m, k, n);
+      for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
+        a_off += a_strides[axis];
+        b_off += b_strides[axis];
+        if (++index[axis] < batch_dims[axis]) break;
+        a_off -= a_strides[axis] * batch_dims[axis];
+        b_off -= b_strides[axis] * batch_dims[axis];
+        index[axis] = 0;
+      }
+    }
+  }
+
+  if (ShouldRecord({a, b})) {
+    Tensor ad_saved = a.Detach();
+    Tensor bd_saved = b.Detach();
+    SetGradFn(&out, "MatMul", {a, b}, [ad_saved, bd_saved](const Tensor& g) {
+      NoGradGuard guard;
+      // dA = g B^T, reduced over broadcast batch dims; likewise dB.
+      Tensor ga = internal::SumTo(MatMul(g, TransposeLast2(bd_saved)),
+                                  ad_saved.shape());
+      Tensor gb;
+      if (bd_saved.rank() == 2) {
+        // dB = sum_batch A^T g = (collapsed A)^T (collapsed g): one kernel
+        // call instead of a batched matmul plus reduction.
+        int64_t k = bd_saved.dim(0);
+        int64_t n = bd_saved.dim(1);
+        int64_t rows = ad_saved.NumElements() / k;
+        Tensor at = TransposeLast2(Reshape(ad_saved, Shape{rows, k}));
+        gb = Tensor::Zeros(bd_saved.shape());
+        internal::MatMulKernel(at.data(), g.data(), gb.data(), k, rows, n);
+      } else {
+        gb = internal::SumTo(MatMul(TransposeLast2(ad_saved), g),
+                             bd_saved.shape());
+      }
+      return std::vector<Tensor>{ga, gb};
+    });
+  }
+  return out;
+}
+
+}  // namespace emaf::tensor

@@ -1,0 +1,107 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace emaf::tensor {
+
+int64_t Shape::dim(int64_t axis) const {
+  EMAF_CHECK_GE(axis, 0);
+  EMAF_CHECK_LT(axis, rank());
+  return dims_[axis];
+}
+
+int64_t Shape::CanonicalAxis(int64_t axis) const {
+  int64_t r = rank();
+  if (axis < 0) axis += r;
+  EMAF_CHECK_GE(axis, 0) << "axis out of range for shape " << ToString();
+  EMAF_CHECK_LT(axis, r) << "axis out of range for shape " << ToString();
+  return axis;
+}
+
+int64_t Shape::DimChecked(int64_t axis) const {
+  return dims_[CanonicalAxis(axis)];
+}
+
+int64_t Shape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    EMAF_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size());
+  int64_t running = 1;
+  for (int64_t i = rank() - 1; i >= 0; --i) {
+    strides[i] = running;
+    running *= dims_[i];
+  }
+  return strides;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  int64_t rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> dims(rank);
+  for (int64_t i = 0; i < rank; ++i) {
+    int64_t da = i < rank - a.rank() ? 1 : a.dim(i - (rank - a.rank()));
+    int64_t db = i < rank - b.rank() ? 1 : b.dim(i - (rank - b.rank()));
+    if (da == db) {
+      dims[i] = da;
+    } else if (da == 1) {
+      dims[i] = db;
+    } else if (db == 1) {
+      dims[i] = da;
+    } else {
+      EMAF_CHECK(false) << "shapes not broadcastable: " << a.ToString()
+                        << " vs " << b.ToString();
+    }
+  }
+  return Shape(dims);
+}
+
+bool IsBroadcastableTo(const Shape& from, const Shape& to) {
+  if (from.rank() > to.rank()) return false;
+  int64_t offset = to.rank() - from.rank();
+  for (int64_t i = 0; i < from.rank(); ++i) {
+    if (from.dim(i) != 1 && from.dim(i) != to.dim(i + offset)) return false;
+  }
+  return true;
+}
+
+std::vector<int64_t> BroadcastStrides(const Shape& from, const Shape& to) {
+  EMAF_CHECK(IsBroadcastableTo(from, to))
+      << from.ToString() << " -> " << to.ToString();
+  std::vector<int64_t> from_strides = from.Strides();
+  std::vector<int64_t> strides(to.rank(), 0);
+  int64_t offset = to.rank() - from.rank();
+  for (int64_t i = 0; i < from.rank(); ++i) {
+    strides[i + offset] = from.dim(i) == 1 ? 0 : from_strides[i];
+  }
+  return strides;
+}
+
+void UnravelIndex(int64_t flat, const Shape& shape,
+                  std::vector<int64_t>* index) {
+  index->resize(shape.rank());
+  for (int64_t i = shape.rank() - 1; i >= 0; --i) {
+    int64_t d = shape.dim(i);
+    (*index)[i] = d == 0 ? 0 : flat % d;
+    flat = d == 0 ? flat : flat / d;
+  }
+}
+
+}  // namespace emaf::tensor

@@ -1,0 +1,60 @@
+// Shape: dimension list of an N-d tensor, plus row-major stride and
+// broadcasting arithmetic shared by every tensor op.
+
+#ifndef EMAF_TENSOR_SHAPE_H_
+#define EMAF_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace emaf::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t dim(int64_t axis) const;
+  // Like dim(), but accepts negative axes (-1 = last).
+  int64_t DimChecked(int64_t axis) const;
+  // Maps a possibly-negative axis into [0, rank).
+  int64_t CanonicalAxis(int64_t axis) const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+  int64_t NumElements() const;
+
+  // Row-major (C order) strides, in elements.
+  std::vector<int64_t> Strides() const;
+
+  // "[2, 3, 4]"
+  std::string ToString() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+// Broadcast result of two shapes under NumPy rules; CHECK-fails when the
+// shapes are incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+// True if `from` can be broadcast to `to`.
+bool IsBroadcastableTo(const Shape& from, const Shape& to);
+
+// Strides for reading a tensor of shape `from` as if it had shape `to`
+// (stride 0 on broadcast axes). `from` must be broadcastable to `to`.
+std::vector<int64_t> BroadcastStrides(const Shape& from, const Shape& to);
+
+// Converts a flat row-major index in `shape` to a multi-index.
+void UnravelIndex(int64_t flat, const Shape& shape,
+                  std::vector<int64_t>* index);
+
+}  // namespace emaf::tensor
+
+#endif  // EMAF_TENSOR_SHAPE_H_

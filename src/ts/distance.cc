@@ -1,0 +1,26 @@
+#include "ts/distance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "ts/stats.h"
+
+namespace emaf::ts {
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  EMAF_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+double CorrelationDistance(std::span<const double> a,
+                           std::span<const double> b) {
+  return 1.0 - std::abs(PearsonCorrelation(a, b));
+}
+
+}  // namespace emaf::ts

@@ -1,0 +1,19 @@
+// Pointwise distance measures between equal-length series.
+
+#ifndef EMAF_TS_DISTANCE_H_
+#define EMAF_TS_DISTANCE_H_
+
+#include <span>
+
+namespace emaf::ts {
+
+// L2 distance between two equal-length series.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+// Correlation distance: 1 - |pearson(a, b)|, in [0, 1].
+double CorrelationDistance(std::span<const double> a,
+                           std::span<const double> b);
+
+}  // namespace emaf::ts
+
+#endif  // EMAF_TS_DISTANCE_H_

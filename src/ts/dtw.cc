@@ -1,0 +1,89 @@
+#include "ts/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace emaf::ts {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Fills the (n+1) x (m+1) cumulative cost matrix. Row/col 0 are boundary.
+std::vector<double> CostMatrix(std::span<const double> a,
+                               std::span<const double> b, int64_t window) {
+  int64_t n = static_cast<int64_t>(a.size());
+  int64_t m = static_cast<int64_t>(b.size());
+  EMAF_CHECK_GT(n, 0);
+  EMAF_CHECK_GT(m, 0);
+  if (window >= 0) {
+    // The band must be at least as wide as the length difference, or no
+    // path exists.
+    window = std::max<int64_t>(window, n > m ? n - m : m - n);
+  }
+  std::vector<double> cost(static_cast<size_t>((n + 1) * (m + 1)), kInf);
+  auto at = [m](int64_t i, int64_t j) -> int64_t { return i * (m + 1) + j; };
+  cost[at(0, 0)] = 0.0;
+  for (int64_t i = 1; i <= n; ++i) {
+    int64_t j_lo = 1;
+    int64_t j_hi = m;
+    if (window >= 0) {
+      j_lo = std::max<int64_t>(1, i - window);
+      j_hi = std::min<int64_t>(m, i + window);
+    }
+    for (int64_t j = j_lo; j <= j_hi; ++j) {
+      double d = a[i - 1] - b[j - 1];
+      double best = std::min({cost[at(i - 1, j)], cost[at(i, j - 1)],
+                              cost[at(i - 1, j - 1)]});
+      cost[at(i, j)] = d * d + best;
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   const DtwOptions& options) {
+  std::vector<double> cost = CostMatrix(a, b, options.window);
+  int64_t n = static_cast<int64_t>(a.size());
+  int64_t m = static_cast<int64_t>(b.size());
+  double final_cost = cost[static_cast<size_t>(n * (m + 1) + m)];
+  EMAF_CHECK(final_cost != kInf) << "DTW band too narrow for series lengths";
+  return std::sqrt(final_cost);
+}
+
+std::vector<std::pair<int64_t, int64_t>> DtwPath(std::span<const double> a,
+                                                 std::span<const double> b,
+                                                 const DtwOptions& options) {
+  std::vector<double> cost = CostMatrix(a, b, options.window);
+  int64_t n = static_cast<int64_t>(a.size());
+  int64_t m = static_cast<int64_t>(b.size());
+  auto at = [m](int64_t i, int64_t j) -> int64_t { return i * (m + 1) + j; };
+
+  std::vector<std::pair<int64_t, int64_t>> path;
+  int64_t i = n;
+  int64_t j = m;
+  EMAF_CHECK(cost[at(i, j)] != kInf) << "DTW band too narrow";
+  while (i > 0 && j > 0) {
+    path.emplace_back(i - 1, j - 1);
+    double diag = cost[at(i - 1, j - 1)];
+    double up = cost[at(i - 1, j)];
+    double left = cost[at(i, j - 1)];
+    if (diag <= up && diag <= left) {
+      --i;
+      --j;
+    } else if (up <= left) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace emaf::ts

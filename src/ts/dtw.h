@@ -1,0 +1,35 @@
+// Dynamic Time Warping distance.
+//
+// The paper uses DTW to build similarity graphs between EMA variables whose
+// responses to events are not temporally synchronized (Section III-D).
+
+#ifndef EMAF_TS_DTW_H_
+#define EMAF_TS_DTW_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace emaf::ts {
+
+struct DtwOptions {
+  // Sakoe-Chiba band half-width; < 0 means unconstrained.
+  int64_t window = -1;
+};
+
+// Classic DTW with squared pointwise cost; returns sqrt of the optimal
+// cumulative cost so the result is comparable to Euclidean distance
+// (DTW(a, a) == 0 and, for equal-length series, DTW <= Euclidean).
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   const DtwOptions& options = {});
+
+// Optimal alignment path as (index_a, index_b) pairs, for inspection and
+// tests.
+std::vector<std::pair<int64_t, int64_t>> DtwPath(
+    std::span<const double> a, std::span<const double> b,
+    const DtwOptions& options = {});
+
+}  // namespace emaf::ts
+
+#endif  // EMAF_TS_DTW_H_

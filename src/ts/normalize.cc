@@ -1,0 +1,57 @@
+#include "ts/normalize.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace emaf::ts {
+
+NormalizationStats ZScoreColumns(tensor::Tensor* data) {
+  EMAF_CHECK(data != nullptr);
+  EMAF_CHECK_EQ(data->rank(), 2) << "expected [T, V]";
+  int64_t rows = data->dim(0);
+  int64_t cols = data->dim(1);
+  EMAF_CHECK_GT(rows, 0);
+  NormalizationStats stats;
+  stats.mean.resize(static_cast<size_t>(cols));
+  stats.stddev.resize(static_cast<size_t>(cols));
+  double* d = data->data();
+  for (int64_t v = 0; v < cols; ++v) {
+    double mu = 0.0;
+    for (int64_t t = 0; t < rows; ++t) mu += d[t * cols + v];
+    mu /= static_cast<double>(rows);
+    double var = 0.0;
+    for (int64_t t = 0; t < rows; ++t) {
+      double c = d[t * cols + v] - mu;
+      var += c * c;
+    }
+    var /= static_cast<double>(rows);
+    double sd = std::sqrt(var);
+    if (sd == 0.0) sd = 1.0;  // constant column: centre only
+    stats.mean[static_cast<size_t>(v)] = mu;
+    stats.stddev[static_cast<size_t>(v)] = sd;
+    for (int64_t t = 0; t < rows; ++t) {
+      d[t * cols + v] = (d[t * cols + v] - mu) / sd;
+    }
+  }
+  return stats;
+}
+
+void InverseZScoreColumns(tensor::Tensor* data,
+                          const NormalizationStats& stats) {
+  EMAF_CHECK(data != nullptr);
+  EMAF_CHECK_EQ(data->rank(), 2);
+  int64_t rows = data->dim(0);
+  int64_t cols = data->dim(1);
+  EMAF_CHECK_EQ(static_cast<size_t>(cols), stats.mean.size());
+  double* d = data->data();
+  for (int64_t v = 0; v < cols; ++v) {
+    double mu = stats.mean[static_cast<size_t>(v)];
+    double sd = stats.stddev[static_cast<size_t>(v)];
+    for (int64_t t = 0; t < rows; ++t) {
+      d[t * cols + v] = d[t * cols + v] * sd + mu;
+    }
+  }
+}
+
+}  // namespace emaf::ts

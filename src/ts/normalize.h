@@ -1,0 +1,28 @@
+// Per-variable z-score normalization of [T, V] data matrices — the
+// preprocessing the paper applies to each individual's Likert ratings.
+
+#ifndef EMAF_TS_NORMALIZE_H_
+#define EMAF_TS_NORMALIZE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emaf::ts {
+
+struct NormalizationStats {
+  std::vector<double> mean;    // per variable
+  std::vector<double> stddev;  // per variable; constant columns get 1.0
+};
+
+// Z-scores each column of `data` ([T, V], time-major). Returns the stats
+// needed to invert the transform.
+NormalizationStats ZScoreColumns(tensor::Tensor* data);
+
+// Applies the inverse transform: x * stddev + mean, per column.
+void InverseZScoreColumns(tensor::Tensor* data,
+                          const NormalizationStats& stats);
+
+}  // namespace emaf::ts
+
+#endif  // EMAF_TS_NORMALIZE_H_

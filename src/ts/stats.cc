@@ -1,0 +1,75 @@
+#include "ts/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace emaf::ts {
+
+double Mean(std::span<const double> values) {
+  EMAF_CHECK(!values.empty());
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  EMAF_CHECK(!values.empty());
+  double mu = Mean(values);
+  double total = 0.0;
+  for (double v : values) total += (v - mu) * (v - mu);
+  return total / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  return std::sqrt(Variance(values));
+}
+
+double Quantile(std::span<const double> values, double q) {
+  EMAF_CHECK(!values.empty());
+  EMAF_CHECK_GE(q, 0.0);
+  EMAF_CHECK_LE(q, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Median(std::span<const double> values) { return Quantile(values, 0.5); }
+
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b) {
+  EMAF_CHECK_EQ(a.size(), b.size());
+  EMAF_CHECK(!a.empty());
+  double mean_a = Mean(a);
+  double mean_b = Mean(b);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+BoxStats ComputeBoxStats(std::span<const double> values) {
+  BoxStats stats;
+  stats.min = Quantile(values, 0.0);
+  stats.q1 = Quantile(values, 0.25);
+  stats.median = Quantile(values, 0.5);
+  stats.q3 = Quantile(values, 0.75);
+  stats.max = Quantile(values, 1.0);
+  stats.mean = Mean(values);
+  return stats;
+}
+
+}  // namespace emaf::ts

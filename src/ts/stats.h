@@ -1,0 +1,37 @@
+// Summary statistics over scalar series.
+
+#ifndef EMAF_TS_STATS_H_
+#define EMAF_TS_STATS_H_
+
+#include <span>
+#include <vector>
+
+namespace emaf::ts {
+
+double Mean(std::span<const double> values);
+// Population variance (divides by n); Variance of < 1 sample CHECK-fails.
+double Variance(std::span<const double> values);
+double StdDev(std::span<const double> values);
+
+// Linear-interpolation quantile, q in [0, 1].
+double Quantile(std::span<const double> values, double q);
+double Median(std::span<const double> values);
+
+// Pearson correlation coefficient; returns 0 when either side is constant.
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b);
+
+// Five-number summary plus the mean (used for the Fig. 3 boxplots).
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+BoxStats ComputeBoxStats(std::span<const double> values);
+
+}  // namespace emaf::ts
+
+#endif  // EMAF_TS_STATS_H_

@@ -1,0 +1,60 @@
+#include "ts/window.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace emaf::ts {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+WindowDataset BuildWindows(const Tensor& data, int64_t input_length,
+                           int64_t start, int64_t end, bool allow_context) {
+  EMAF_CHECK_EQ(data.rank(), 2) << "expected [T, V]";
+  EMAF_CHECK_GE(input_length, 1);
+  int64_t rows = data.dim(0);
+  int64_t cols = data.dim(1);
+  EMAF_CHECK_GE(start, 0);
+  EMAF_CHECK_LE(end, rows);
+
+  // First target index: targets live in [start, end); each needs
+  // `input_length` rows of history before it.
+  int64_t first_target = allow_context ? std::max<int64_t>(start, input_length)
+                                       : start + input_length;
+  WindowDataset out;
+  int64_t count = end - first_target;
+  if (count <= 0) return out;
+
+  out.inputs = Tensor::Zeros(Shape{count, input_length, cols});
+  out.targets = Tensor::Zeros(Shape{count, cols});
+  const double* d = data.data();
+  double* in = out.inputs.data();
+  double* tg = out.targets.data();
+  for (int64_t b = 0; b < count; ++b) {
+    int64_t target_row = first_target + b;
+    for (int64_t l = 0; l < input_length; ++l) {
+      int64_t row = target_row - input_length + l;
+      for (int64_t v = 0; v < cols; ++v) {
+        in[(b * input_length + l) * cols + v] = d[row * cols + v];
+      }
+    }
+    for (int64_t v = 0; v < cols; ++v) {
+      tg[b * cols + v] = d[target_row * cols + v];
+    }
+  }
+  return out;
+}
+
+int64_t SequentialSplitIndex(int64_t num_rows, double train_fraction) {
+  EMAF_CHECK_GT(num_rows, 0);
+  EMAF_CHECK_GT(train_fraction, 0.0);
+  EMAF_CHECK_LT(train_fraction, 1.0);
+  int64_t split = static_cast<int64_t>(
+      std::floor(static_cast<double>(num_rows) * train_fraction));
+  if (split < 1) split = 1;
+  if (split >= num_rows) split = num_rows - 1;
+  return split;
+}
+
+}  // namespace emaf::ts

@@ -1,0 +1,36 @@
+// Sliding-window dataset construction for 1-lag forecasting.
+//
+// Given an individual's [T, V] matrix and an input length L, windows pair
+// inputs X_{t-L..t-1} (all V variables) with the 1-lag target X_t — the
+// forecasting problem of Section III-B.
+
+#ifndef EMAF_TS_WINDOW_H_
+#define EMAF_TS_WINDOW_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace emaf::ts {
+
+struct WindowDataset {
+  // [B, L, V]: B windows of L consecutive time points.
+  tensor::Tensor inputs;
+  // [B, V]: the value at the step immediately after each window.
+  tensor::Tensor targets;
+  int64_t num_windows() const { return inputs.defined() ? inputs.dim(0) : 0; }
+};
+
+// Builds all windows from rows [start, end) of `data` ([T, V]). A window's
+// input may begin before `start` only if `allow_context` (used for the test
+// split so its first targets still get L steps of history).
+WindowDataset BuildWindows(const tensor::Tensor& data, int64_t input_length,
+                           int64_t start, int64_t end, bool allow_context);
+
+// Sequential split: the first `train_fraction` of rows train, the rest test
+// (paper: 70/30). Returns the first test row index.
+int64_t SequentialSplitIndex(int64_t num_rows, double train_fraction);
+
+}  // namespace emaf::ts
+
+#endif  // EMAF_TS_WINDOW_H_

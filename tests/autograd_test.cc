@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+namespace {
+
+TEST(AutogradTest, SimpleChainRule) {
+  // y = (2x)^2 -> dy/dx = 8x.
+  Tensor x = Tensor::FromVector(Shape{2}, {1.0, 3.0}).SetRequiresGrad(true);
+  Tensor y = Mul(MulScalar(x, 2.0), MulScalar(x, 2.0));
+  Sum(y).Backward();
+  EXPECT_EQ(x.grad().ToVector(), (std::vector<double>{8, 24}));
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // z = x*x + x*x uses x through two paths.
+  Tensor x = Tensor::FromVector(Shape{1}, {3.0}).SetRequiresGrad(true);
+  Tensor a = Mul(x, x);
+  Tensor b = Mul(x, x);
+  Sum(Add(a, b)).Backward();
+  EXPECT_EQ(x.grad().item(), 12.0);  // 2 * 2x
+}
+
+TEST(AutogradTest, SharedSubexpression) {
+  Tensor x = Tensor::FromVector(Shape{1}, {2.0}).SetRequiresGrad(true);
+  Tensor shared = Mul(x, x);           // x^2
+  Tensor y = Mul(shared, shared);      // x^4 -> dy/dx = 4 x^3 = 32
+  Sum(y).Backward();
+  EXPECT_EQ(x.grad().item(), 32.0);
+}
+
+TEST(AutogradTest, BackwardAccumulatesAcrossCalls) {
+  Tensor x = Tensor::FromVector(Shape{1}, {5.0}).SetRequiresGrad(true);
+  Sum(Mul(x, x)).Backward();
+  EXPECT_EQ(x.grad().item(), 10.0);
+  Sum(Mul(x, x)).Backward();
+  EXPECT_EQ(x.grad().item(), 20.0);  // += semantics
+  x.ZeroGrad();
+  EXPECT_FALSE(x.grad().defined());
+}
+
+TEST(AutogradTest, NoGradGuardDisablesRecording) {
+  Tensor x = Tensor::Ones(Shape{2}).SetRequiresGrad(true);
+  NoGradGuard guard;
+  Tensor y = Mul(x, x);
+  EXPECT_FALSE(y.TracksGrad());
+}
+
+TEST(AutogradTest, NoGradGuardNests) {
+  Tensor x = Tensor::Ones(Shape{2}).SetRequiresGrad(true);
+  {
+    NoGradGuard outer;
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+  EXPECT_TRUE(Mul(x, x).TracksGrad());
+}
+
+TEST(AutogradTest, DetachBlocksGradient) {
+  Tensor x = Tensor::FromVector(Shape{1}, {3.0}).SetRequiresGrad(true);
+  Tensor y = Mul(x.Detach(), x);  // only one path tracked
+  Sum(y).Backward();
+  EXPECT_EQ(x.grad().item(), 3.0);  // d/dx (c * x) = c = 3
+}
+
+TEST(AutogradTest, ConstantsGetNoGradient) {
+  Tensor x = Tensor::Ones(Shape{2}).SetRequiresGrad(true);
+  Tensor c = Tensor::Full(Shape{2}, 2.0);
+  Sum(Mul(x, c)).Backward();
+  EXPECT_TRUE(x.grad().defined());
+  EXPECT_FALSE(c.grad().defined());
+}
+
+TEST(AutogradTest, LongChainDepth) {
+  Tensor x = Tensor::FromVector(Shape{1}, {1.0}).SetRequiresGrad(true);
+  Tensor y = x;
+  for (int i = 0; i < 100; ++i) y = MulScalar(y, 1.01);
+  Sum(y).Backward();
+  EXPECT_NEAR(x.grad().item(), std::pow(1.01, 100), 1e-9);
+}
+
+TEST(AutogradTest, WideFanOut) {
+  Tensor x = Tensor::FromVector(Shape{1}, {2.0}).SetRequiresGrad(true);
+  std::vector<Tensor> branches;
+  for (int i = 0; i < 50; ++i) branches.push_back(Mul(x, x));
+  Sum(Cat(branches, 0)).Backward();
+  EXPECT_NEAR(x.grad().item(), 50 * 4.0, 1e-9);
+}
+
+TEST(AutogradDeathTest, BackwardNeedsSingleElement) {
+  Tensor x = Tensor::Ones(Shape{3}).SetRequiresGrad(true);
+  Tensor y = Mul(x, x);
+  EXPECT_DEATH(y.Backward(), "single-element");
+}
+
+TEST(AutogradTest, BackwardOnGraphlessLeafIsNoOp) {
+  Tensor x = Tensor::FromScalar(2.0).SetRequiresGrad(true);
+  x.Backward();
+  ASSERT_TRUE(x.grad().defined());
+  EXPECT_EQ(x.grad().item(), 1.0);
+}
+
+TEST(AutogradTest, MixedTrackedUntrackedBranch) {
+  Tensor x = Tensor::FromVector(Shape{1}, {2.0}).SetRequiresGrad(true);
+  Tensor frozen = Tensor::FromVector(Shape{1}, {4.0});
+  Tensor y = Add(Mul(x, frozen), Mul(frozen, frozen));
+  Sum(y).Backward();
+  EXPECT_EQ(x.grad().item(), 4.0);
+}
+
+TEST(GradCheckTest, AcceptsCorrectGradient) {
+  Rng rng(1);
+  Tensor x = Tensor::Uniform(Shape{3}, -1, 1, &rng);
+  GradCheckResult r = CheckGradients(
+      [](const std::vector<Tensor>& in) { return Sum(Mul(in[0], in[0])); },
+      {x});
+  EXPECT_TRUE(r.ok);
+  EXPECT_LT(r.max_error, 1e-7);
+}
+
+TEST(GradCheckTest, CatchesWrongGradient) {
+  // Relu at exactly 0: analytic subgradient is 0 but the central finite
+  // difference is 0.5, so the checker must flag the discrepancy.
+  Tensor x = Tensor::FromVector(Shape{1}, {0.0});
+  GradCheckResult r = CheckGradients(
+      [](const std::vector<Tensor>& in) { return Sum(Relu(in[0])); }, {x},
+      1e-4, 1e-3);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NEAR(r.max_error, 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace emaf::tensor

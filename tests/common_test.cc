@@ -1,0 +1,280 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace emaf {
+namespace {
+
+TEST(StrSplitTest, BasicSplit) {
+  std::vector<std::string> parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  std::vector<std::string> parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrSplitTest, SingleField) {
+  std::vector<std::string> parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrSplitTest, EmptyString) {
+  std::vector<std::string> parts = StrSplit("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StrTrimTest, TrimsBothEnds) {
+  EXPECT_EQ(StrTrim("  hello \t\n"), "hello");
+  EXPECT_EQ(StrTrim("hello"), "hello");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"one"}, ","), "one");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(ToLowerTest, LowersAscii) { EXPECT_EQ(ToLower("AbC-9"), "abc-9"); }
+
+TEST(FormatFixedTest, FormatsDigits) {
+  EXPECT_EQ(FormatFixed(0.84512, 3), "0.845");
+  EXPECT_EQ(FormatFixed(1.0, 2), "1.00");
+  EXPECT_EQ(FormatFixed(-0.5, 1), "-0.5");
+}
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("x=", 3, ", y=", 1.5), "x=3, y=1.5");
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("  -1e-3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  long long v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("4.2", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StatusTest, OkStatus) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorStatusCarriesMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, WorksWithoutDefaultConstructor) {
+  struct NoDefault {
+    explicit NoDefault(int x) : value(x) {}
+    int value;
+  };
+  Result<NoDefault> result(NoDefault(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().value, 3);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkIsIndependentOfDrawOrder) {
+  Rng base(9);
+  Rng fork_before = base.Fork(3);
+  base.Uniform();
+  base.Uniform();
+  Rng fork_after = base.Fork(3);
+  // Fork depends only on (seed, stream), not generator state.
+  EXPECT_DOUBLE_EQ(fork_before.Uniform(), fork_after.Uniform());
+}
+
+TEST(RngTest, ForkStreamsDiffer) {
+  Rng base(9);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  EXPECT_NE(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_low |= v == 0;
+    saw_high |= v == 3;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double total = 0.0;
+  double total_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(1.0, 2.0);
+    total += v;
+    total_sq += v * v;
+  }
+  double mean = total / n;
+  double var = total_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(23);
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(20, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_NE(sample[i - 1], sample[i]);
+  }
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RngTest, SampleFullPopulation) {
+  Rng rng(29);
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(sample[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(EnvTest, ReadsIntOrDefault) {
+  ::setenv("EMAF_TEST_INT", "123", 1);
+  EXPECT_EQ(GetEnvInt64("EMAF_TEST_INT", 0), 123);
+  EXPECT_EQ(GetEnvInt64("EMAF_TEST_MISSING", 7), 7);
+  ::setenv("EMAF_TEST_INT", "junk", 1);
+  EXPECT_EQ(GetEnvInt64("EMAF_TEST_INT", 7), 7);
+  ::unsetenv("EMAF_TEST_INT");
+}
+
+TEST(EnvTest, ReadsDoubleOrDefault) {
+  ::setenv("EMAF_TEST_DBL", "0.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EMAF_TEST_DBL", 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("EMAF_TEST_MISSING", 1.5), 1.5);
+  ::unsetenv("EMAF_TEST_DBL");
+}
+
+TEST(EnvTest, ReadsBool) {
+  ::setenv("EMAF_TEST_BOOL", "true", 1);
+  EXPECT_TRUE(GetEnvBool("EMAF_TEST_BOOL", false));
+  ::setenv("EMAF_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(GetEnvBool("EMAF_TEST_BOOL", true));
+  ::setenv("EMAF_TEST_BOOL", "banana", 1);
+  EXPECT_TRUE(GetEnvBool("EMAF_TEST_BOOL", true));
+  ::unsetenv("EMAF_TEST_BOOL");
+}
+
+TEST(EnvTest, ReadsString) {
+  ::setenv("EMAF_TEST_STR", "hello", 1);
+  EXPECT_EQ(GetEnvString("EMAF_TEST_STR", "d"), "hello");
+  EXPECT_EQ(GetEnvString("EMAF_TEST_MISSING", "d"), "d");
+  ::unsetenv("EMAF_TEST_STR");
+}
+
+}  // namespace
+}  // namespace emaf

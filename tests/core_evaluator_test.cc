@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "models/lstm_forecaster.h"
+#include "tensor/ops.h"
+
+namespace emaf::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(MseBetweenTest, KnownValue) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{2, 2}, {1, 4, 3, 0});
+  // Errors: 0, 4, 0, 16 -> mean 5.
+  EXPECT_DOUBLE_EQ(MseBetween(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(MseBetween(a, a), 0.0);
+}
+
+TEST(EvaluateMseTest, MatchesManualComputation) {
+  Rng rng(1);
+  models::LstmConfig config;
+  config.hidden_units = 4;
+  config.dropout = 0.5;  // must be disabled during eval
+  models::LstmForecaster model(3, 2, config, &rng);
+  ts::WindowDataset test;
+  Rng data_rng(2);
+  test.inputs = Tensor::Uniform(Shape{6, 2, 3}, -1, 1, &data_rng);
+  test.targets = Tensor::Uniform(Shape{6, 3}, -1, 1, &data_rng);
+
+  double mse = EvaluateMse(&model, test);
+  model.SetTraining(false);
+  Tensor pred = model.Forward(test.inputs);
+  EXPECT_DOUBLE_EQ(mse, MseBetween(pred, test.targets));
+}
+
+TEST(EvaluateMseTest, RestoresTrainingFlag) {
+  Rng rng(3);
+  models::LstmConfig config;
+  models::LstmForecaster model(3, 2, config, &rng);
+  ts::WindowDataset test;
+  test.inputs = Tensor::Zeros(Shape{2, 2, 3});
+  test.targets = Tensor::Zeros(Shape{2, 3});
+  model.SetTraining(true);
+  EvaluateMse(&model, test);
+  EXPECT_TRUE(model.training());
+  model.SetTraining(false);
+  EvaluateMse(&model, test);
+  EXPECT_FALSE(model.training());
+}
+
+TEST(EvaluateMseTest, DeterministicDespiteDropout) {
+  Rng rng(4);
+  models::LstmConfig config;
+  config.dropout = 0.5;
+  models::LstmForecaster model(3, 2, config, &rng);
+  ts::WindowDataset test;
+  Rng data_rng(5);
+  test.inputs = Tensor::Uniform(Shape{4, 2, 3}, -1, 1, &data_rng);
+  test.targets = Tensor::Uniform(Shape{4, 3}, -1, 1, &data_rng);
+  EXPECT_DOUBLE_EQ(EvaluateMse(&model, test), EvaluateMse(&model, test));
+}
+
+TEST(PerVariableMseTest, DecompositionAveragesToTotal) {
+  Rng rng(6);
+  models::LstmConfig config;
+  config.hidden_units = 4;
+  models::LstmForecaster model(4, 2, config, &rng);
+  ts::WindowDataset test;
+  Rng data_rng(7);
+  test.inputs = Tensor::Uniform(Shape{5, 2, 4}, -1, 1, &data_rng);
+  test.targets = Tensor::Uniform(Shape{5, 4}, -1, 1, &data_rng);
+  std::vector<double> per_variable = EvaluatePerVariableMse(&model, test);
+  ASSERT_EQ(per_variable.size(), 4u);
+  double mean = 0.0;
+  for (double v : per_variable) mean += v;
+  mean /= 4.0;
+  EXPECT_NEAR(mean, EvaluateMse(&model, test), 1e-12);
+}
+
+TEST(AggregateTest, MeanAndStd) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  AggregateStats stats = Aggregate(values);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_NEAR(stats.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(stats.count, 4);
+}
+
+TEST(AggregateTest, EmptyInput) {
+  AggregateStats stats = Aggregate(std::vector<double>{});
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_EQ(stats.mean, 0.0);
+}
+
+TEST(AggregateTest, SingleValue) {
+  AggregateStats stats = Aggregate(std::vector<double>{0.84});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.84);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(MseBetweenDeathTest, ShapeMismatch) {
+  EXPECT_DEATH(
+      MseBetween(Tensor::Zeros(Shape{2}), Tensor::Zeros(Shape{3})), "");
+}
+
+}  // namespace
+}  // namespace emaf::core

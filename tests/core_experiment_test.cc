@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace emaf::core {
+namespace {
+
+// Tiny setup: 2 individuals, 6 variables, short series, few epochs, small
+// models — exercises the full orchestration in seconds.
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.generator.num_individuals = 2;
+  config.generator.num_variables = 6;
+  config.generator.days = 10;
+  config.generator.seed = 17;
+  config.train.epochs = 8;
+  config.lstm.hidden_units = 8;
+  config.a3tgcn.hidden_units = 8;
+  config.astgcn.hidden_units = 8;
+  config.astgcn.num_blocks = 1;
+  config.mtgnn.residual_channels = 8;
+  config.mtgnn.conv_channels = 8;
+  config.mtgnn.skip_channels = 8;
+  config.mtgnn.end_channels = 8;
+  config.mtgnn.embedding_dim = 4;
+  config.random_graph_repeats = 2;
+  config.seed = 99;
+  return config;
+}
+
+class ExperimentRunnerTest : public ::testing::Test {
+ protected:
+  ExperimentRunnerTest()
+      : runner_(data::GenerateCohort(TinyConfig().generator), TinyConfig()) {}
+  ExperimentRunner runner_;
+};
+
+TEST(ModelKindTest, Names) {
+  EXPECT_EQ(ModelKindName(ModelKind::kLstm), "LSTM");
+  EXPECT_EQ(ModelKindName(ModelKind::kA3tgcn), "A3TGCN");
+  EXPECT_EQ(ModelKindName(ModelKind::kAstgcn), "ASTGCN");
+  EXPECT_EQ(ModelKindName(ModelKind::kMtgnn), "MTGNN");
+}
+
+TEST(CellSpecTest, Labels) {
+  CellSpec lstm;
+  lstm.model = ModelKind::kLstm;
+  EXPECT_EQ(lstm.Label(), "LSTM");
+
+  CellSpec mtgnn;
+  mtgnn.model = ModelKind::kMtgnn;
+  mtgnn.metric = graph::GraphMetric::kCorrelation;
+  EXPECT_EQ(mtgnn.Label(), "MTGNN_CORR");
+
+  CellSpec learned;
+  learned.model = ModelKind::kAstgcn;
+  learned.metric = graph::GraphMetric::kKnn;
+  learned.use_learned_graph = true;
+  EXPECT_EQ(learned.Label(), "ASTGCN_kNN_learned");
+}
+
+TEST_F(ExperimentRunnerTest, StaticGraphRespectsGdt) {
+  graph::AdjacencyMatrix sparse =
+      runner_.BuildStaticGraph(0, graph::GraphMetric::kCorrelation, 0.2);
+  graph::AdjacencyMatrix dense =
+      runner_.BuildStaticGraph(0, graph::GraphMetric::kCorrelation, 1.0);
+  // 6 nodes -> 15 pairs; GDT 0.2 keeps 3.
+  EXPECT_EQ(sparse.NumUndirectedEdges(), 3);
+  EXPECT_EQ(dense.NumUndirectedEdges(), 15);
+}
+
+TEST_F(ExperimentRunnerTest, StaticGraphIsDeterministic) {
+  graph::AdjacencyMatrix a =
+      runner_.BuildStaticGraph(1, graph::GraphMetric::kEuclidean, 0.4);
+  graph::AdjacencyMatrix b =
+      runner_.BuildStaticGraph(1, graph::GraphMetric::kEuclidean, 0.4);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ExperimentRunnerTest, RandomGraphVariesByRepeat) {
+  graph::AdjacencyMatrix a =
+      runner_.BuildStaticGraph(0, graph::GraphMetric::kRandom, 0.4, 0);
+  graph::AdjacencyMatrix b =
+      runner_.BuildStaticGraph(0, graph::GraphMetric::kRandom, 0.4, 1);
+  EXPECT_FALSE(a == b);
+  // Matched edge count: same GDT -> same number of edges as any metric.
+  EXPECT_EQ(a.NumUndirectedEdges(), b.NumUndirectedEdges());
+}
+
+TEST_F(ExperimentRunnerTest, RunCellProducesPerIndividualScores) {
+  CellSpec spec;
+  spec.model = ModelKind::kLstm;
+  spec.input_length = 2;
+  CellResult result = runner_.RunCell(spec);
+  ASSERT_EQ(result.per_individual_mse.size(), 2u);
+  for (double mse : result.per_individual_mse) {
+    EXPECT_GT(mse, 0.0);
+    EXPECT_TRUE(std::isfinite(mse));
+  }
+  EXPECT_EQ(result.stats.count, 2);
+  EXPECT_NEAR(result.stats.mean,
+              (result.per_individual_mse[0] + result.per_individual_mse[1]) / 2,
+              1e-12);
+}
+
+TEST_F(ExperimentRunnerTest, RunCellIsReproducible) {
+  CellSpec spec;
+  spec.model = ModelKind::kAstgcn;
+  spec.metric = graph::GraphMetric::kEuclidean;
+  spec.input_length = 2;
+  CellResult a = runner_.RunCell(spec);
+  CellResult b = runner_.RunCell(spec);
+  EXPECT_EQ(a.per_individual_mse, b.per_individual_mse);
+}
+
+TEST_F(ExperimentRunnerTest, LearnedGraphsAreCachedAndReused) {
+  const LearnedGraphSet& first =
+      runner_.LearnedGraphs(graph::GraphMetric::kCorrelation, 0.2, 2);
+  ASSERT_EQ(first.graphs.size(), 2u);
+  ASSERT_EQ(first.mtgnn_mse.size(), 2u);
+  const LearnedGraphSet& second =
+      runner_.LearnedGraphs(graph::GraphMetric::kCorrelation, 0.2, 2);
+  EXPECT_EQ(&first, &second);  // same cached object
+  // Correlation with the static prior is a valid correlation value.
+  EXPECT_GE(first.mean_static_correlation, -1.0);
+  EXPECT_LE(first.mean_static_correlation, 1.0);
+}
+
+TEST_F(ExperimentRunnerTest, MtgnnCellReusesLearnedCache) {
+  CellSpec spec;
+  spec.model = ModelKind::kMtgnn;
+  spec.metric = graph::GraphMetric::kDtw;
+  spec.input_length = 2;
+  CellResult result = runner_.RunCell(spec);
+  const LearnedGraphSet& cache =
+      runner_.LearnedGraphs(graph::GraphMetric::kDtw, 0.2, 2);
+  EXPECT_EQ(result.per_individual_mse, cache.mtgnn_mse);
+}
+
+TEST_F(ExperimentRunnerTest, LearnedGraphCellRuns) {
+  CellSpec spec;
+  spec.model = ModelKind::kA3tgcn;
+  spec.metric = graph::GraphMetric::kCorrelation;
+  spec.input_length = 2;
+  spec.use_learned_graph = true;
+  CellResult result = runner_.RunCell(spec);
+  EXPECT_EQ(result.per_individual_mse.size(), 2u);
+}
+
+TEST_F(ExperimentRunnerTest, RelativeChangeComputation) {
+  CellResult a;
+  a.per_individual_mse = {1.0, 2.0};
+  CellResult b;
+  b.per_individual_mse = {0.9, 2.2};
+  // (-10% + 10%) / 2 = 0.
+  EXPECT_NEAR(ExperimentRunner::MeanRelativeChangePercent(a, b), 0.0, 1e-12);
+  CellResult c;
+  c.per_individual_mse = {0.8, 1.6};
+  EXPECT_NEAR(ExperimentRunner::MeanRelativeChangePercent(a, c), -20.0, 1e-12);
+}
+
+TEST(RelativeChangeDeathTest, MismatchedCohorts) {
+  CellResult a;
+  a.per_individual_mse = {1.0};
+  CellResult b;
+  b.per_individual_mse = {1.0, 2.0};
+  EXPECT_DEATH(ExperimentRunner::MeanRelativeChangePercent(a, b), "");
+}
+
+}  // namespace
+}  // namespace emaf::core

@@ -1,0 +1,84 @@
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace emaf::core {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"Model", "Seq1", "Seq5"});
+  table.AddRow({"LSTM", "1.027(0.492)", "1.022(0.499)"});
+  table.AddRow({"MTGNN_CORR", "0.860(0.428)", "0.840(0.431)"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("Model"), std::string::npos);
+  EXPECT_NE(text.find("MTGNN_CORR"), std::string::npos);
+  EXPECT_NE(text.find("0.840(0.431)"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowsAlignAcrossColumns) {
+  TablePrinter table({"A", "B"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer_name", "2"});
+  std::string text = table.ToString();
+  std::istringstream stream(text);
+  std::string first;
+  std::getline(stream, first);
+  std::string separator;
+  std::getline(stream, separator);
+  std::string row;
+  std::getline(stream, row);
+  EXPECT_EQ(first.size(), row.size());
+}
+
+TEST(TablePrinterTest, HighlightMarksColumnMinimum) {
+  TablePrinter table({"Model", "MSE"});
+  table.AddRow({"LSTM", "1.027(0.492)"});
+  table.AddRow({"MTGNN", "0.840(0.431)"});
+  table.AddRow({"ASTGCN", "0.883(0.442)"});
+  table.HighlightColumnMinima();
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("0.840(0.431) *"), std::string::npos);
+  EXPECT_EQ(text.find("1.027(0.492) *"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HighlightSkipsNonNumericCells) {
+  TablePrinter table({"Model", "Note"});
+  table.AddRow({"A", "n/a"});
+  table.AddRow({"B", "n/a"});
+  table.HighlightColumnMinima();  // must not crash or mark anything
+  EXPECT_EQ(table.ToString().find("*"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvExport) {
+  TablePrinter table({"Model", "MSE"});
+  table.AddRow({"LSTM", "1.027"});
+  std::string path = std::string(::testing::TempDir()) + "/table.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "Model,MSE");
+  std::getline(in, line);
+  EXPECT_EQ(line, "LSTM,1.027");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMustMatchHeader) {
+  TablePrinter table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only_one"}), "");
+}
+
+TEST(FormatMeanStdTest, PaperCellFormat) {
+  AggregateStats stats;
+  stats.mean = 0.8451;
+  stats.stddev = 0.4316;
+  EXPECT_EQ(FormatMeanStd(stats), "0.845(0.432)");
+  EXPECT_EQ(FormatMeanStd(stats, 2), "0.85(0.43)");
+}
+
+}  // namespace
+}  // namespace emaf::core

@@ -1,0 +1,139 @@
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/ema_items.h"
+#include "data/generator.h"
+
+namespace emaf::data {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvTest, MatrixRoundTripWithHeader) {
+  Tensor m = Tensor::FromVector(Shape{2, 3}, {1.5, -2, 3, 0.25, 5, -6});
+  std::string path = TempPath("matrix.csv");
+  ASSERT_TRUE(SaveMatrixCsv(m, {"a", "b", "c"}, path).ok());
+
+  std::vector<std::string> names;
+  Result<Tensor> loaded = LoadMatrixCsv(path, &names);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().shape(), (Shape{2, 3}));
+  EXPECT_EQ(loaded.value().ToVector(), m.ToVector());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, MatrixRoundTripWithoutHeader) {
+  Tensor m = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  std::string path = TempPath("matrix_nohdr.csv");
+  ASSERT_TRUE(SaveMatrixCsv(m, {}, path).ok());
+  Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().ToVector(), m.ToVector());
+}
+
+TEST(CsvTest, HighPrecisionSurvivesRoundTrip) {
+  Tensor m = Tensor::FromVector(Shape{1, 2}, {1.0 / 3.0, 2.0 / 7.0});
+  std::string path = TempPath("precision.csv");
+  ASSERT_TRUE(SaveMatrixCsv(m, {}, path).ok());
+  Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().data()[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(loaded.value().data()[1], 2.0 / 7.0);
+}
+
+TEST(CsvTest, MissingFileReturnsNotFound) {
+  Result<Tensor> loaded = LoadMatrixCsv(TempPath("nope.csv"), nullptr);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, RaggedRowsRejected) {
+  std::string path = TempPath("ragged.csv");
+  std::ofstream out(path);
+  out << "1,2,3\n4,5\n";
+  out.close();
+  Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, NonNumericCellRejected) {
+  std::string path = TempPath("text.csv");
+  std::ofstream out(path);
+  out << "1,2\n3,oops\n";
+  out.close();
+  EXPECT_FALSE(LoadMatrixCsv(path, nullptr).ok());
+}
+
+TEST(CsvTest, EmptyFileRejected) {
+  std::string path = TempPath("empty.csv");
+  std::ofstream out(path);
+  out.close();
+  EXPECT_FALSE(LoadMatrixCsv(path, nullptr).ok());
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  std::string path = TempPath("blanks.csv");
+  std::ofstream out(path);
+  out << "1,2\n\n3,4\n\n";
+  out.close();
+  Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().shape(), (Shape{2, 2}));
+}
+
+TEST(CsvTest, AdjacencyRoundTrip) {
+  graph::AdjacencyMatrix adj(3);
+  adj.set(0, 1, 0.5);
+  adj.set(1, 0, 0.5);
+  adj.set(2, 0, 0.125);
+  std::string path = TempPath("adjacency.csv");
+  ASSERT_TRUE(SaveAdjacencyCsv(adj, path).ok());
+  Result<graph::AdjacencyMatrix> loaded = LoadAdjacencyCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), adj);
+}
+
+TEST(CsvTest, NonSquareAdjacencyRejected) {
+  std::string path = TempPath("nonsquare.csv");
+  std::ofstream out(path);
+  out << "1,2,3\n4,5,6\n";
+  out.close();
+  EXPECT_FALSE(LoadAdjacencyCsv(path).ok());
+}
+
+TEST(CsvTest, IndividualRoundTrip) {
+  GeneratorConfig config;
+  config.days = 6;
+  config.seed = 3;
+  Individual person = GenerateIndividual(config, 0);
+  std::string path = TempPath("individual.csv");
+  ASSERT_TRUE(SaveIndividualCsv(person, EmaItemNames(), path).ok());
+
+  Result<Individual> loaded = LoadIndividualCsv("loaded_0", path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().id, "loaded_0");
+  EXPECT_EQ(loaded.value().observations.ToVector(),
+            person.observations.ToVector());
+  EXPECT_FALSE(loaded.value().ground_truth_network.has_value());
+}
+
+TEST(CsvTest, SaveRejectsWrongRank) {
+  Tensor bad = Tensor::Zeros(Shape{4});
+  EXPECT_FALSE(SaveMatrixCsv(bad, {}, TempPath("bad.csv")).ok());
+}
+
+TEST(CsvTest, SaveRejectsHeaderSizeMismatch) {
+  Tensor m = Tensor::Zeros(Shape{1, 3});
+  EXPECT_FALSE(SaveMatrixCsv(m, {"a", "b"}, TempPath("hdr.csv")).ok());
+}
+
+}  // namespace
+}  // namespace emaf::data

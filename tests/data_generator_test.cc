@@ -1,0 +1,222 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/ema_items.h"
+#include "data/generator.h"
+#include "ts/stats.h"
+
+namespace emaf::data {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_individuals = 3;
+  config.days = 10;
+  config.beeps_per_day = 8;
+  config.seed = 5;
+  return config;
+}
+
+TEST(EmaItemsTest, CatalogHas26NamedItems) {
+  const std::vector<EmaItem>& items = EmaItemCatalog();
+  EXPECT_EQ(static_cast<int64_t>(items.size()), kNumEmaItems);
+  std::set<std::string> names;
+  for (const EmaItem& item : items) names.insert(item.name);
+  EXPECT_EQ(static_cast<int64_t>(names.size()), kNumEmaItems);  // unique
+}
+
+TEST(EmaItemsTest, AllThreeBlocksPresent) {
+  int counts[3] = {0, 0, 0};
+  for (const EmaItem& item : EmaItemCatalog()) {
+    ++counts[static_cast<int>(item.block)];
+  }
+  EXPECT_GT(counts[0], 4);
+  EXPECT_GT(counts[1], 4);
+  EXPECT_GT(counts[2], 4);
+}
+
+TEST(EmaItemsTest, IndexLookup) {
+  EXPECT_EQ(EmaItemIndex("cheerful"), 0);
+  EXPECT_EQ(EmaItemIndex("nonexistent_item"), -1);
+  EXPECT_EQ(EmaItemNames().size(), static_cast<size_t>(kNumEmaItems));
+}
+
+TEST(GeneratorTest, ShapesMatchConfig) {
+  GeneratorConfig config = SmallConfig();
+  Individual person = GenerateIndividual(config, 0);
+  EXPECT_EQ(person.num_variables(), 26);
+  EXPECT_GT(person.num_time_points(), 30);
+  EXPECT_LE(person.num_time_points(), 80);  // compliance-thinned
+  EXPECT_TRUE(person.ground_truth_network.has_value());
+  EXPECT_EQ(person.ground_truth_network->num_nodes(), 26);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeedAndIndex) {
+  GeneratorConfig config = SmallConfig();
+  Individual a = GenerateIndividual(config, 1);
+  Individual b = GenerateIndividual(config, 1);
+  EXPECT_EQ(a.observations.ToVector(), b.observations.ToVector());
+  EXPECT_EQ(*a.ground_truth_network, *b.ground_truth_network);
+}
+
+TEST(GeneratorTest, DifferentIndividualsDiffer) {
+  GeneratorConfig config = SmallConfig();
+  Individual a = GenerateIndividual(config, 0);
+  Individual b = GenerateIndividual(config, 1);
+  EXPECT_NE(a.observations.ToVector(), b.observations.ToVector());
+  EXPECT_FALSE(*a.ground_truth_network == *b.ground_truth_network);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config_a = SmallConfig();
+  GeneratorConfig config_b = SmallConfig();
+  config_b.seed = config_a.seed + 1;
+  Individual a = GenerateIndividual(config_a, 0);
+  Individual b = GenerateIndividual(config_b, 0);
+  EXPECT_NE(a.observations.ToVector(), b.observations.ToVector());
+}
+
+TEST(GeneratorTest, ObservationsAreZScored) {
+  Individual person = GenerateIndividual(SmallConfig(), 0);
+  int64_t rows = person.num_time_points();
+  int64_t cols = person.num_variables();
+  const double* d = person.observations.data();
+  for (int64_t v = 0; v < cols; ++v) {
+    double mean = 0.0;
+    for (int64_t t = 0; t < rows; ++t) mean += d[t * cols + v];
+    mean /= static_cast<double>(rows);
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+  }
+}
+
+TEST(GeneratorTest, InverseNormalizationRecoversLikertGrid) {
+  GeneratorConfig config = SmallConfig();
+  Individual person = GenerateIndividual(config, 0);
+  tensor::Tensor raw = person.observations.Clone();
+  ts::InverseZScoreColumns(&raw, person.normalization);
+  for (double v : raw.ToVector()) {
+    EXPECT_GE(v, kLikertMin - 1e-6);
+    EXPECT_LE(v, kLikertMax + 1e-6);
+    EXPECT_NEAR(v, std::round(v), 1e-6);  // integer Likert steps
+  }
+}
+
+TEST(GeneratorTest, ContinuousModeSkipsQuantization) {
+  GeneratorConfig config = SmallConfig();
+  config.quantize_likert = false;
+  Individual person = GenerateIndividual(config, 0);
+  tensor::Tensor raw = person.observations.Clone();
+  ts::InverseZScoreColumns(&raw, person.normalization);
+  int64_t non_integer = 0;
+  for (double v : raw.ToVector()) {
+    if (std::abs(v - std::round(v)) > 1e-9) ++non_integer;
+  }
+  EXPECT_GT(non_integer, raw.NumElements() / 2);
+}
+
+TEST(GeneratorTest, GroundTruthIsSparseNonNegative) {
+  Individual person = GenerateIndividual(SmallConfig(), 0);
+  const graph::AdjacencyMatrix& truth = *person.ground_truth_network;
+  EXPECT_TRUE(truth.IsNonNegative());
+  EXPECT_TRUE(truth.HasZeroDiagonal());
+  EXPECT_GT(truth.Density(), 0.02);
+  EXPECT_LT(truth.Density(), 0.5);
+}
+
+TEST(GeneratorTest, ComplianceControlsSeriesLength) {
+  GeneratorConfig low = SmallConfig();
+  low.compliance_mean = 0.5;
+  low.compliance_spread = 0.0;
+  GeneratorConfig high = SmallConfig();
+  high.compliance_mean = 0.95;
+  high.compliance_spread = 0.0;
+  int64_t low_rows = GenerateIndividual(low, 0).num_time_points();
+  int64_t high_rows = GenerateIndividual(high, 0).num_time_points();
+  EXPECT_GT(high_rows, low_rows);
+}
+
+TEST(GeneratorTest, WithinBlockCouplingDominates) {
+  // Average |weight| between same-block items should exceed cross-block.
+  GeneratorConfig config = SmallConfig();
+  double within = 0.0;
+  int64_t within_n = 0;
+  double cross = 0.0;
+  int64_t cross_n = 0;
+  for (int64_t idx = 0; idx < 5; ++idx) {
+    Individual person = GenerateIndividual(config, idx);
+    const graph::AdjacencyMatrix& g = *person.ground_truth_network;
+    const std::vector<EmaItem>& items = EmaItemCatalog();
+    for (int64_t i = 0; i < 26; ++i) {
+      for (int64_t j = 0; j < 26; ++j) {
+        if (i == j) continue;
+        if (items[i].block == items[j].block) {
+          within += g.at(i, j) != 0.0 ? 1.0 : 0.0;
+          ++within_n;
+        } else {
+          cross += g.at(i, j) != 0.0 ? 1.0 : 0.0;
+          ++cross_n;
+        }
+      }
+    }
+  }
+  EXPECT_GT(within / within_n, 2.0 * cross / cross_n);
+}
+
+TEST(GeneratorTest, CustomVariableCountWorks) {
+  GeneratorConfig config = SmallConfig();
+  config.num_variables = 8;
+  Individual person = GenerateIndividual(config, 0);
+  EXPECT_EQ(person.num_variables(), 8);
+}
+
+TEST(GenerateCohortTest, SizesAndNames) {
+  GeneratorConfig config = SmallConfig();
+  Cohort cohort = GenerateCohort(config);
+  EXPECT_EQ(cohort.size(), 3);
+  EXPECT_EQ(cohort.variable_names.size(), 26u);
+  EXPECT_EQ(cohort.variable_names[0], "cheerful");
+  EXPECT_EQ(cohort.individuals[2].id, "synthetic_2");
+}
+
+TEST(GenerateCohortTest, GenericNamesForCustomWidth) {
+  GeneratorConfig config = SmallConfig();
+  config.num_variables = 5;
+  Cohort cohort = GenerateCohort(config);
+  EXPECT_EQ(cohort.variable_names[3], "var_3");
+}
+
+TEST(MakeSplitTest, TrainTestProportions) {
+  Individual person = GenerateIndividual(SmallConfig(), 0);
+  IndividualSplit split = MakeSplit(person, 5);
+  EXPECT_GT(split.train.num_windows(), 0);
+  EXPECT_GT(split.test.num_windows(), 0);
+  // Test region holds ~30% of rows; with context every test row is a
+  // target.
+  int64_t rows = person.num_time_points();
+  EXPECT_EQ(split.test.num_windows(), rows - split.split_row);
+  EXPECT_NEAR(static_cast<double>(split.split_row) / rows, 0.7, 0.02);
+}
+
+TEST(MakeSplitTest, LagOneAutocorrelationIsPositive) {
+  // The generator must produce temporally dependent (not iid) data.
+  Individual person = GenerateIndividual(GeneratorConfig{}, 0);
+  int64_t rows = person.num_time_points();
+  int64_t cols = person.num_variables();
+  const double* d = person.observations.data();
+  double total = 0.0;
+  for (int64_t v = 0; v < cols; ++v) {
+    std::vector<double> now;
+    std::vector<double> next;
+    for (int64_t t = 0; t + 1 < rows; ++t) {
+      now.push_back(d[t * cols + v]);
+      next.push_back(d[(t + 1) * cols + v]);
+    }
+    total += ts::PearsonCorrelation(now, next);
+  }
+  EXPECT_GT(total / static_cast<double>(cols), 0.15);
+}
+
+}  // namespace
+}  // namespace emaf::data

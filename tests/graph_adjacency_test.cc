@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "graph/adjacency.h"
+#include "tensor/tensor.h"
+
+namespace emaf::graph {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(AdjacencyTest, StartsAllZero) {
+  AdjacencyMatrix adj(4);
+  EXPECT_EQ(adj.num_nodes(), 4);
+  EXPECT_EQ(adj.NumDirectedEdges(), 0);
+  EXPECT_EQ(adj.Density(), 0.0);
+  EXPECT_TRUE(adj.IsSymmetric());
+  EXPECT_TRUE(adj.HasZeroDiagonal());
+}
+
+TEST(AdjacencyTest, SetAndGet) {
+  AdjacencyMatrix adj(3);
+  adj.set(0, 2, 0.7);
+  EXPECT_DOUBLE_EQ(adj.at(0, 2), 0.7);
+  EXPECT_DOUBLE_EQ(adj.at(2, 0), 0.0);
+}
+
+TEST(AdjacencyDeathTest, IndexOutOfRange) {
+  AdjacencyMatrix adj(2);
+  EXPECT_DEATH(adj.at(2, 0), "");
+  EXPECT_DEATH(adj.set(0, -1, 1.0), "");
+}
+
+TEST(AdjacencyTest, EdgeCounts) {
+  AdjacencyMatrix adj(3);
+  adj.set(0, 1, 1.0);
+  adj.set(1, 0, 1.0);
+  adj.set(0, 2, 0.5);  // one direction only
+  EXPECT_EQ(adj.NumDirectedEdges(), 3);
+  EXPECT_EQ(adj.NumUndirectedEdges(), 2);
+  EXPECT_DOUBLE_EQ(adj.Density(), 3.0 / 6.0);
+}
+
+TEST(AdjacencyTest, DiagonalNotCountedAsEdge) {
+  AdjacencyMatrix adj(2);
+  adj.set(0, 0, 5.0);
+  EXPECT_EQ(adj.NumDirectedEdges(), 0);
+  EXPECT_FALSE(adj.HasZeroDiagonal());
+}
+
+TEST(AdjacencyTest, SymmetryCheck) {
+  AdjacencyMatrix adj(3);
+  adj.set(0, 1, 1.0);
+  EXPECT_FALSE(adj.IsSymmetric());
+  adj.set(1, 0, 1.0);
+  EXPECT_TRUE(adj.IsSymmetric());
+  adj.set(1, 0, 1.0 + 1e-15);
+  EXPECT_TRUE(adj.IsSymmetric(1e-12));
+}
+
+TEST(AdjacencyTest, SymmetrizeAverages) {
+  AdjacencyMatrix adj(2);
+  adj.set(0, 1, 1.0);
+  adj.set(1, 0, 3.0);
+  adj.Symmetrize();
+  EXPECT_DOUBLE_EQ(adj.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(adj.at(1, 0), 2.0);
+}
+
+TEST(AdjacencyTest, ZeroDiagonal) {
+  AdjacencyMatrix adj(2);
+  adj.set(0, 0, 4.0);
+  adj.set(1, 1, 5.0);
+  adj.ZeroDiagonal();
+  EXPECT_TRUE(adj.HasZeroDiagonal());
+}
+
+TEST(AdjacencyTest, NormalizeMaxToOne) {
+  AdjacencyMatrix adj(2);
+  adj.set(0, 1, 4.0);
+  adj.set(1, 0, 2.0);
+  adj.NormalizeMaxToOne();
+  EXPECT_DOUBLE_EQ(adj.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(adj.at(1, 0), 0.5);
+  AdjacencyMatrix zero(2);
+  zero.NormalizeMaxToOne();  // must not divide by zero
+  EXPECT_DOUBLE_EQ(zero.at(0, 1), 0.0);
+}
+
+TEST(AdjacencyTest, IsNonNegative) {
+  AdjacencyMatrix adj(2);
+  EXPECT_TRUE(adj.IsNonNegative());
+  adj.set(0, 1, -0.5);
+  EXPECT_FALSE(adj.IsNonNegative());
+}
+
+TEST(AdjacencyTest, TensorRoundTrip) {
+  AdjacencyMatrix adj(2);
+  adj.set(0, 1, 0.25);
+  adj.set(1, 0, 0.75);
+  Tensor t = adj.ToTensor();
+  EXPECT_EQ(t.shape(), (Shape{2, 2}));
+  AdjacencyMatrix back = AdjacencyMatrix::FromTensor(t);
+  EXPECT_EQ(adj, back);
+}
+
+TEST(AdjacencyDeathTest, FromTensorRequiresSquare) {
+  EXPECT_DEATH(AdjacencyMatrix::FromTensor(Tensor::Zeros(Shape{2, 3})), "");
+  EXPECT_DEATH(AdjacencyMatrix::FromTensor(Tensor::Zeros(Shape{4})), "");
+}
+
+}  // namespace
+}  // namespace emaf::graph

@@ -1,0 +1,263 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/construction.h"
+#include "graph/metrics.h"
+#include "tensor/tensor.h"
+
+namespace emaf::graph {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// [T, V] data with controlled structure: columns 0 and 1 are near-copies,
+// column 2 is the negation of 0, column 3 is independent noise.
+Tensor StructuredData(int64_t rows, Rng* rng) {
+  Tensor data = Tensor::Zeros(Shape{rows, 4});
+  double* d = data.data();
+  for (int64_t t = 0; t < rows; ++t) {
+    double base = std::sin(0.3 * static_cast<double>(t)) + 0.05 * rng->Normal();
+    d[t * 4 + 0] = base;
+    d[t * 4 + 1] = base + 0.05 * rng->Normal();
+    d[t * 4 + 2] = -base + 0.05 * rng->Normal();
+    d[t * 4 + 3] = rng->Normal();
+  }
+  return data;
+}
+
+class MetricPropertiesTest : public ::testing::TestWithParam<GraphMetric> {};
+
+TEST_P(MetricPropertiesTest, ProducesValidSimilarityGraph) {
+  Rng rng(7);
+  Tensor data = StructuredData(60, &rng);
+  GraphBuildOptions options;
+  options.metric = GetParam();
+  options.knn_k = 2;
+  Rng graph_rng(8);
+  AdjacencyMatrix adj = BuildSimilarityGraph(data, options, &graph_rng);
+  EXPECT_EQ(adj.num_nodes(), 4);
+  EXPECT_TRUE(adj.IsSymmetric(1e-9));
+  EXPECT_TRUE(adj.IsNonNegative());
+  EXPECT_TRUE(adj.HasZeroDiagonal());
+  for (double v : adj.values()) EXPECT_LE(v, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricPropertiesTest,
+    ::testing::Values(GraphMetric::kEuclidean, GraphMetric::kKnn,
+                      GraphMetric::kDtw, GraphMetric::kCorrelation,
+                      GraphMetric::kRandom),
+    [](const ::testing::TestParamInfo<GraphMetric>& info) {
+      return GraphMetricName(info.param);
+    });
+
+TEST(MetricNameTest, MatchesPaperLabels) {
+  EXPECT_EQ(GraphMetricName(GraphMetric::kEuclidean), "EUC");
+  EXPECT_EQ(GraphMetricName(GraphMetric::kKnn), "kNN");
+  EXPECT_EQ(GraphMetricName(GraphMetric::kDtw), "DTW");
+  EXPECT_EQ(GraphMetricName(GraphMetric::kCorrelation), "CORR");
+  EXPECT_EQ(GraphMetricName(GraphMetric::kRandom), "RAND");
+}
+
+TEST(CorrelationGraphTest, DetectsLinearRelations) {
+  Rng rng(9);
+  Tensor data = StructuredData(120, &rng);
+  GraphBuildOptions options;
+  options.metric = GraphMetric::kCorrelation;
+  AdjacencyMatrix adj = BuildSimilarityGraph(data, options);
+  // Correlated pairs (0,1) and (0,2, via |r|) must beat the noise column.
+  EXPECT_GT(adj.at(0, 1), 0.9);
+  EXPECT_GT(adj.at(0, 2), 0.9);  // absolute correlation
+  EXPECT_LT(adj.at(0, 3), 0.5);
+  EXPECT_LT(adj.at(1, 3), 0.5);
+}
+
+TEST(EuclideanGraphTest, SimilarSeriesScoreHigher) {
+  Rng rng(10);
+  Tensor data = StructuredData(120, &rng);
+  GraphBuildOptions options;
+  options.metric = GraphMetric::kEuclidean;
+  AdjacencyMatrix adj = BuildSimilarityGraph(data, options);
+  // Column 1 is a near copy of column 0; column 2 is its negation, far in
+  // L2 even though correlated.
+  EXPECT_GT(adj.at(0, 1), adj.at(0, 2));
+  EXPECT_GT(adj.at(0, 1), adj.at(0, 3));
+}
+
+TEST(EuclideanGraphTest, IdenticalColumnsGetFullWeight) {
+  Tensor data = Tensor::Zeros(Shape{10, 3});
+  double* d = data.data();
+  for (int64_t t = 0; t < 10; ++t) {
+    d[t * 3 + 0] = static_cast<double>(t);
+    d[t * 3 + 1] = static_cast<double>(t);  // identical to col 0
+    d[t * 3 + 2] = 10.0 - static_cast<double>(t);
+  }
+  GraphBuildOptions options;
+  options.metric = GraphMetric::kEuclidean;
+  AdjacencyMatrix adj = BuildSimilarityGraph(data, options);
+  EXPECT_NEAR(adj.at(0, 1), 1.0, 1e-12);
+  EXPECT_LT(adj.at(0, 2), 1.0);
+}
+
+TEST(KnnGraphTest, LimitsNeighbourCount) {
+  Rng rng(11);
+  Tensor data = Tensor::Zeros(Shape{50, 8});
+  double* d = data.data();
+  for (int64_t i = 0; i < data.NumElements(); ++i) d[i] = rng.Normal();
+  GraphBuildOptions options;
+  options.metric = GraphMetric::kKnn;
+  options.knn_k = 2;
+  AdjacencyMatrix adj = BuildSimilarityGraph(data, options);
+  // Each node selected 2 neighbours; after symmetrization a node may gain
+  // extra incoming edges but the total undirected edges stay <= V * k.
+  EXPECT_LE(adj.NumUndirectedEdges(), 8 * 2);
+  EXPECT_GE(adj.NumUndirectedEdges(), 8);  // at least k per node selected
+  EXPECT_TRUE(adj.IsSymmetric(1e-12));
+}
+
+TEST(DtwGraphTest, TimeShiftedSeriesStaySimilar) {
+  // Column 1 is column 0 delayed by 2 steps: DTW forgives the lag,
+  // Euclidean does not.
+  int64_t rows = 80;
+  Tensor data = Tensor::Zeros(Shape{rows, 3});
+  Rng rng(12);
+  double* d = data.data();
+  for (int64_t t = 0; t < rows; ++t) {
+    double phase = 0.4 * static_cast<double>(t);
+    d[t * 3 + 0] = std::sin(phase);
+    d[t * 3 + 1] = std::sin(phase - 0.8);  // shifted copy
+    d[t * 3 + 2] = rng.Normal();
+  }
+  GraphBuildOptions dtw_options;
+  dtw_options.metric = GraphMetric::kDtw;
+  AdjacencyMatrix dtw = BuildSimilarityGraph(data, dtw_options);
+  GraphBuildOptions euc_options;
+  euc_options.metric = GraphMetric::kEuclidean;
+  AdjacencyMatrix euc = BuildSimilarityGraph(data, euc_options);
+  // DTW similarity of the shifted pair relative to the noise pair should
+  // be larger than under Euclidean.
+  EXPECT_GT(dtw.at(0, 1), euc.at(0, 1));
+  EXPECT_GT(dtw.at(0, 1), dtw.at(0, 2));
+}
+
+TEST(RandomGraphTest, DeterministicGivenRng) {
+  Rng rng_a(13);
+  Rng rng_b(13);
+  Tensor data = Tensor::Zeros(Shape{10, 5});
+  GraphBuildOptions options;
+  options.metric = GraphMetric::kRandom;
+  AdjacencyMatrix a = BuildSimilarityGraph(data, options, &rng_a);
+  AdjacencyMatrix b = BuildSimilarityGraph(data, options, &rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomGraphDeathTest, RequiresRng) {
+  Tensor data = Tensor::Zeros(Shape{10, 5});
+  GraphBuildOptions options;
+  options.metric = GraphMetric::kRandom;
+  EXPECT_DEATH(BuildSimilarityGraph(data, options, nullptr), "Rng");
+}
+
+TEST(KeepTopFractionTest, KeepsRequestedEdgeCount) {
+  Rng rng(14);
+  Tensor data = StructuredData(50, &rng);
+  GraphBuildOptions options;
+  options.metric = GraphMetric::kCorrelation;
+  AdjacencyMatrix full = BuildSimilarityGraph(data, options);
+  // 4 nodes -> 6 undirected pairs. GDT 0.5 keeps 3.
+  AdjacencyMatrix sparse = KeepTopFraction(full, 0.5);
+  EXPECT_EQ(sparse.NumUndirectedEdges(), 3);
+  EXPECT_TRUE(sparse.IsSymmetric(1e-12));
+}
+
+TEST(KeepTopFractionTest, FullFractionIsIdentity) {
+  Rng rng(15);
+  Tensor data = StructuredData(50, &rng);
+  GraphBuildOptions options;
+  options.metric = GraphMetric::kEuclidean;
+  AdjacencyMatrix full = BuildSimilarityGraph(data, options);
+  EXPECT_EQ(KeepTopFraction(full, 1.0), full);
+}
+
+TEST(KeepTopFractionTest, KeepsTheStrongestEdges) {
+  AdjacencyMatrix adj(3);
+  adj.set(0, 1, 0.9);
+  adj.set(1, 0, 0.9);
+  adj.set(0, 2, 0.2);
+  adj.set(2, 0, 0.2);
+  adj.set(1, 2, 0.5);
+  adj.set(2, 1, 0.5);
+  AdjacencyMatrix kept = KeepTopFraction(adj, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(kept.at(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(kept.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(kept.at(1, 2), 0.0);
+}
+
+TEST(KeepTopFractionTest, AtLeastOneEdgeSurvives) {
+  AdjacencyMatrix adj(3);
+  adj.set(0, 1, 0.9);
+  adj.set(1, 0, 0.9);
+  AdjacencyMatrix kept = KeepTopFraction(adj, 0.01);
+  EXPECT_EQ(kept.NumUndirectedEdges(), 1);
+}
+
+TEST(KeepTopFractionDeathTest, RejectsAsymmetric) {
+  AdjacencyMatrix adj(2);
+  adj.set(0, 1, 1.0);
+  EXPECT_DEATH(KeepTopFraction(adj, 0.5), "symmetric");
+}
+
+TEST(RandomGraphWithEdgeCountTest, ExactEdgeCount) {
+  Rng rng(16);
+  for (int64_t edges : {0, 1, 5, 10}) {
+    AdjacencyMatrix adj = RandomGraphWithEdgeCount(5, edges, &rng);
+    EXPECT_EQ(adj.NumUndirectedEdges(), edges);
+    EXPECT_TRUE(adj.IsSymmetric(1e-12));
+    EXPECT_TRUE(adj.HasZeroDiagonal());
+  }
+}
+
+TEST(RandomGraphWithEdgeCountTest, FullGraph) {
+  Rng rng(17);
+  AdjacencyMatrix adj = RandomGraphWithEdgeCount(4, 6, &rng);
+  EXPECT_EQ(adj.NumUndirectedEdges(), 6);
+}
+
+TEST(GraphRecoveryTest, CorrelationBeatsRandomOnCoupledData) {
+  // Ground truth: 0-1 and 0-2 coupled. The correlation graph thresholded
+  // to the true edge count should recover them better than a random graph.
+  Rng rng(18);
+  Tensor data = StructuredData(200, &rng);
+  AdjacencyMatrix truth(4);
+  truth.set(0, 1, 1.0);
+  truth.set(1, 0, 1.0);
+  truth.set(0, 2, 1.0);
+  truth.set(2, 0, 1.0);
+
+  GraphBuildOptions corr_options;
+  corr_options.metric = GraphMetric::kCorrelation;
+  AdjacencyMatrix corr = BuildSimilarityGraph(data, corr_options);
+  RecoveryScore corr_score = ScoreEdgeRecovery(corr, truth);
+  EXPECT_GT(corr_score.f1, 0.66);
+
+  Rng random_rng(19);
+  double random_f1_total = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    AdjacencyMatrix random = RandomGraphWithEdgeCount(4, 2, &random_rng);
+    random_f1_total += ScoreEdgeRecovery(random, truth).f1;
+  }
+  EXPECT_GT(corr_score.f1, random_f1_total / 20.0);
+}
+
+TEST(BuildSimilarityGraphDeathTest, RejectsTinyInput) {
+  GraphBuildOptions options;
+  EXPECT_DEATH(BuildSimilarityGraph(Tensor::Zeros(Shape{1, 4}), options), "");
+  EXPECT_DEATH(BuildSimilarityGraph(Tensor::Zeros(Shape{10, 1}), options), "");
+  EXPECT_DEATH(BuildSimilarityGraph(Tensor::Zeros(Shape{4}), options), "");
+}
+
+}  // namespace
+}  // namespace emaf::graph

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "graph/metrics.h"
+
+namespace emaf::graph {
+namespace {
+
+AdjacencyMatrix Triangle() {
+  AdjacencyMatrix adj(4);
+  adj.set(0, 1, 1.0);
+  adj.set(1, 0, 1.0);
+  adj.set(1, 2, 0.5);
+  adj.set(2, 1, 0.5);
+  adj.set(0, 2, 0.25);
+  adj.set(2, 0, 0.25);
+  return adj;  // node 3 isolated
+}
+
+TEST(DegreeStatsTest, CountsDegreesAndIsolation) {
+  DegreeStats stats = ComputeDegreeStats(Triangle());
+  EXPECT_DOUBLE_EQ(stats.max_degree, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 6.0 / 4.0);
+  EXPECT_EQ(stats.isolated_nodes, 1);
+  EXPECT_NEAR(stats.mean_strength, (1.25 + 1.5 + 0.75 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(GraphCorrelationTest, IdenticalGraphsCorrelateFully) {
+  AdjacencyMatrix a = Triangle();
+  EXPECT_NEAR(GraphCorrelation(a, a), 1.0, 1e-12);
+}
+
+TEST(GraphCorrelationTest, ScaledGraphStillCorrelatesFully) {
+  AdjacencyMatrix a = Triangle();
+  AdjacencyMatrix b = Triangle();
+  for (double& v : b.mutable_values()) v *= 3.0;
+  EXPECT_NEAR(GraphCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(GraphCorrelationTest, AntiCorrelatedGraphs) {
+  AdjacencyMatrix a(3);
+  a.set(0, 1, 1.0);
+  a.set(1, 0, 1.0);
+  AdjacencyMatrix b(3);
+  b.set(0, 2, 1.0);
+  b.set(2, 0, 1.0);
+  b.set(1, 2, 1.0);
+  b.set(2, 1, 1.0);
+  EXPECT_LT(GraphCorrelation(a, b), 0.0);
+}
+
+TEST(EdgeJaccardTest, OverlapCases) {
+  AdjacencyMatrix a(3);
+  a.set(0, 1, 1.0);
+  a.set(1, 0, 1.0);
+  a.set(1, 2, 1.0);
+  a.set(2, 1, 1.0);
+  AdjacencyMatrix b(3);
+  b.set(0, 1, 0.2);
+  b.set(1, 0, 0.2);
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, a), 1.0);
+  AdjacencyMatrix empty(3);
+  EXPECT_DOUBLE_EQ(EdgeJaccard(empty, empty), 1.0);  // vacuous overlap
+  EXPECT_DOUBLE_EQ(EdgeJaccard(a, empty), 0.0);
+}
+
+TEST(ScoreEdgeRecoveryTest, PerfectRecovery) {
+  AdjacencyMatrix truth = Triangle();
+  RecoveryScore score = ScoreEdgeRecovery(truth, truth);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+  EXPECT_DOUBLE_EQ(score.f1, 1.0);
+}
+
+TEST(ScoreEdgeRecoveryTest, PartialRecovery) {
+  AdjacencyMatrix truth(4);
+  truth.set(0, 1, 1.0);
+  truth.set(1, 0, 1.0);
+  truth.set(2, 3, 1.0);
+  truth.set(3, 2, 1.0);
+  // Candidate strongly weights one true edge and one false edge.
+  AdjacencyMatrix candidate(4);
+  candidate.set(0, 1, 0.9);
+  candidate.set(1, 0, 0.9);
+  candidate.set(0, 2, 0.8);
+  candidate.set(2, 0, 0.8);
+  RecoveryScore score = ScoreEdgeRecovery(candidate, truth);
+  EXPECT_DOUBLE_EQ(score.precision, 0.5);
+  EXPECT_DOUBLE_EQ(score.recall, 0.5);
+  EXPECT_DOUBLE_EQ(score.f1, 0.5);
+}
+
+TEST(ScoreEdgeRecoveryTest, EmptyTruthScoresZero) {
+  AdjacencyMatrix truth(3);
+  AdjacencyMatrix candidate = Triangle();
+  RecoveryScore score = ScoreEdgeRecovery(AdjacencyMatrix(3), truth);
+  EXPECT_DOUBLE_EQ(score.f1, 0.0);
+  (void)candidate;
+}
+
+TEST(ScoreEdgeRecoveryTest, EmptyCandidateScoresZero) {
+  AdjacencyMatrix truth(4);
+  truth.set(0, 1, 1.0);
+  truth.set(1, 0, 1.0);
+  RecoveryScore score = ScoreEdgeRecovery(AdjacencyMatrix(4), truth);
+  EXPECT_DOUBLE_EQ(score.recall, 0.0);
+}
+
+TEST(GraphMetricsDeathTest, SizeMismatch) {
+  AdjacencyMatrix a(3);
+  AdjacencyMatrix b(4);
+  EXPECT_DEATH(GraphCorrelation(a, b), "");
+  EXPECT_DEATH(EdgeJaccard(a, b), "");
+  EXPECT_DEATH(ScoreEdgeRecovery(a, b), "");
+}
+
+}  // namespace
+}  // namespace emaf::graph

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/construction.h"
+#include "graph/spectral.h"
+#include "tensor/ops.h"
+
+namespace emaf::graph {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+AdjacencyMatrix RingGraph(int64_t n) {
+  AdjacencyMatrix adj(n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t j = (i + 1) % n;
+    adj.set(i, j, 1.0);
+    adj.set(j, i, 1.0);
+  }
+  return adj;
+}
+
+TEST(SymNormalizedTest, RegularGraphHasUniformWeights) {
+  // On a 2-regular ring with self loops every degree is 3:
+  // entries are 1/3 on the diagonal and both neighbours.
+  Tensor a = SymNormalizedAdjacency(RingGraph(5));
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(a.At({i, i}), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(a.At({i, (i + 1) % 5}), 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(SymNormalizedTest, OutputIsSymmetric) {
+  Rng rng(1);
+  AdjacencyMatrix adj(6);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = i + 1; j < 6; ++j) {
+      double w = rng.Uniform();
+      adj.set(i, j, w);
+      adj.set(j, i, w);
+    }
+  }
+  Tensor a = SymNormalizedAdjacency(adj);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(a.At({i, j}), a.At({j, i}), 1e-12);
+    }
+  }
+}
+
+TEST(SymNormalizedTest, EmptyGraphWithSelfLoopsIsIdentity) {
+  AdjacencyMatrix empty(4);
+  Tensor a = SymNormalizedAdjacency(empty);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(a.At({i, j}), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(SymNormalizedTest, WithoutSelfLoopsIsolatedRowIsZero) {
+  AdjacencyMatrix adj(3);
+  adj.set(0, 1, 1.0);
+  adj.set(1, 0, 1.0);
+  Tensor a = SymNormalizedAdjacency(adj, /*add_self_loops=*/false);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(a.At({2, j}), 0.0);
+}
+
+TEST(RowNormalizedTest, RowsSumToOne) {
+  Rng rng(2);
+  AdjacencyMatrix adj(5);
+  for (int64_t i = 0; i < 5; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      if (i != j && rng.Bernoulli(0.5)) adj.set(i, j, rng.Uniform(0.1, 1.0));
+    }
+  }
+  Tensor a = RowNormalizedAdjacency(adj);
+  for (int64_t i = 0; i < 5; ++i) {
+    double total = 0.0;
+    for (int64_t j = 0; j < 5; ++j) total += a.At({i, j});
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(PowerIterationTest, FindsDominantEigenvalue) {
+  // diag(3, 1): lambda_max = 3.
+  Tensor m = Tensor::FromVector(Shape{2, 2}, {3, 0, 0, 1});
+  EXPECT_NEAR(PowerIterationEigenvalue(m), 3.0, 1e-8);
+}
+
+TEST(PowerIterationTest, SymmetricKnownSpectrum) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Tensor m = Tensor::FromVector(Shape{2, 2}, {2, 1, 1, 2});
+  EXPECT_NEAR(PowerIterationEigenvalue(m), 3.0, 1e-8);
+}
+
+TEST(PowerIterationTest, ZeroMatrix) {
+  Tensor m = Tensor::Zeros(Shape{3, 3});
+  EXPECT_EQ(PowerIterationEigenvalue(m), 0.0);
+}
+
+TEST(ScaledLaplacianTest, SpectrumWithinMinusOneOne) {
+  // The scaled Laplacian must have |lambda| <= 1 (plus numeric slack).
+  AdjacencyMatrix ring = RingGraph(8);
+  Tensor scaled = ScaledLaplacian(ring);
+  double lambda = std::abs(PowerIterationEigenvalue(scaled));
+  EXPECT_LE(lambda, 1.0 + 1e-6);
+}
+
+TEST(ScaledLaplacianTest, SymmetricOutput) {
+  AdjacencyMatrix ring = RingGraph(6);
+  Tensor scaled = ScaledLaplacian(ring);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(scaled.At({i, j}), scaled.At({j, i}), 1e-9);
+    }
+  }
+}
+
+TEST(ChebyshevTest, FirstTwoTermsAreIdentityAndLaplacian) {
+  AdjacencyMatrix ring = RingGraph(5);
+  std::vector<Tensor> polys = ChebyshevPolynomials(ring, 3);
+  ASSERT_EQ(polys.size(), 3u);
+  Tensor eye = Tensor::Eye(5);
+  for (int64_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(polys[0].data()[i], eye.data()[i]);
+  }
+  Tensor scaled = ScaledLaplacian(ring);
+  for (int64_t i = 0; i < 25; ++i) {
+    EXPECT_NEAR(polys[1].data()[i], scaled.data()[i], 1e-12);
+  }
+}
+
+TEST(ChebyshevTest, RecurrenceHolds) {
+  AdjacencyMatrix ring = RingGraph(5);
+  std::vector<Tensor> polys = ChebyshevPolynomials(ring, 4);
+  // T_3 == 2 L T_2 - T_1.
+  Tensor expected = tensor::Sub(
+      tensor::MulScalar(tensor::MatMul(polys[1], polys[2]), 2.0), polys[1]);
+  for (int64_t i = 0; i < 25; ++i) {
+    EXPECT_NEAR(polys[3].data()[i], expected.data()[i], 1e-9);
+  }
+}
+
+TEST(ChebyshevTest, OrderOneIsJustIdentity) {
+  AdjacencyMatrix ring = RingGraph(4);
+  std::vector<Tensor> polys = ChebyshevPolynomials(ring, 1);
+  ASSERT_EQ(polys.size(), 1u);
+}
+
+}  // namespace
+}  // namespace emaf::graph

@@ -1,0 +1,171 @@
+// Tests for MTGNN's graph-learning modules, including the GTS-style
+// edge-logit learner extension.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "graph/metrics.h"
+#include "models/mtgnn.h"
+#include "tensor/ops.h"
+
+namespace emaf::models {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr int64_t kVars = 6;
+
+graph::AdjacencyMatrix RingGraph() {
+  graph::AdjacencyMatrix adj(kVars);
+  for (int64_t i = 0; i < kVars; ++i) {
+    int64_t j = (i + 1) % kVars;
+    adj.set(i, j, 1.0);
+    adj.set(j, i, 1.0);
+  }
+  return adj;
+}
+
+MtgnnConfig SmallConfig(GraphLearnerKind kind) {
+  MtgnnConfig config;
+  config.residual_channels = 8;
+  config.conv_channels = 8;
+  config.skip_channels = 8;
+  config.end_channels = 8;
+  config.embedding_dim = 4;
+  config.learner_kind = kind;
+  config.top_k = 2;
+  return config;
+}
+
+TEST(EmbeddingLearnerTest, ProducesNonNegativeSparseAdjacency) {
+  Rng rng(1);
+  GraphLearner learner(kVars, 4, 3.0, 2, &rng);
+  Tensor a = learner.Forward();
+  EXPECT_EQ(a.shape(), (Shape{kVars, kVars}));
+  for (double v : a.ToVector()) EXPECT_GE(v, 0.0);
+  for (int64_t i = 0; i < kVars; ++i) {
+    int64_t nonzero = 0;
+    for (int64_t j = 0; j < kVars; ++j) {
+      if (a.At({i, j}) != 0.0) ++nonzero;
+    }
+    EXPECT_LE(nonzero, 2);
+  }
+}
+
+TEST(EmbeddingLearnerTest, GradientsFlowToEmbeddings) {
+  Rng rng(2);
+  GraphLearner learner(kVars, 4, 3.0, 3, &rng);
+  tensor::Sum(learner.Forward()).Backward();
+  int64_t with_grad = 0;
+  for (const nn::NamedParameter& p : learner.NamedParameters()) {
+    if (p.value->grad().defined()) ++with_grad;
+  }
+  // All six parameters (emb1/emb2 + two linears) receive gradients.
+  EXPECT_EQ(with_grad, 6);
+}
+
+TEST(EdgeLogitLearnerTest, RandomInitProducesValidAdjacency) {
+  Rng rng(3);
+  EdgeLogitGraphLearner learner(kVars, 2, nullptr, &rng);
+  Tensor a = learner.Forward();
+  EXPECT_EQ(a.shape(), (Shape{kVars, kVars}));
+  for (int64_t i = 0; i < kVars; ++i) {
+    EXPECT_EQ(a.At({i, i}), 0.0);  // masked diagonal
+    int64_t nonzero = 0;
+    for (int64_t j = 0; j < kVars; ++j) {
+      double v = a.At({i, j});
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);  // sigmoid probabilities
+      if (v != 0.0) ++nonzero;
+    }
+    EXPECT_LE(nonzero, 2);
+  }
+}
+
+TEST(EdgeLogitLearnerTest, InitialGraphShapesInitialProbabilities) {
+  Rng rng(4);
+  graph::AdjacencyMatrix ring = RingGraph();
+  EdgeLogitGraphLearner learner(kVars, 2, &ring, &rng);
+  Tensor a = learner.Forward();
+  // Ring edges start near sigmoid(logit(0.95)) = 0.95; absent edges near
+  // 0.05 and are dropped by top-k.
+  for (int64_t i = 0; i < kVars; ++i) {
+    int64_t next = (i + 1) % kVars;
+    EXPECT_GT(a.At({i, next}), 0.5);
+  }
+}
+
+TEST(EdgeLogitLearnerTest, GradientsFlowToLogits) {
+  Rng rng(5);
+  EdgeLogitGraphLearner learner(kVars, 3, nullptr, &rng);
+  tensor::Sum(learner.Forward()).Backward();
+  std::vector<nn::NamedParameter> params = learner.NamedParameters();
+  ASSERT_EQ(params.size(), 1u);
+  ASSERT_TRUE(params[0].value->grad().defined());
+  double norm = 0.0;
+  for (double v : params[0].value->grad().ToVector()) norm += v * v;
+  EXPECT_GT(norm, 0.0);
+}
+
+class LearnerKindTest : public ::testing::TestWithParam<GraphLearnerKind> {};
+
+TEST_P(LearnerKindTest, MtgnnTrainsWithEitherLearner) {
+  Rng rng(6);
+  graph::AdjacencyMatrix prior = RingGraph();
+  Mtgnn model(&prior, kVars, 3, SmallConfig(GetParam()), &rng);
+  Rng data_rng(7);
+  ts::WindowDataset ds;
+  ds.inputs = Tensor::Uniform(Shape{10, 3, kVars}, -1, 1, &data_rng);
+  ds.targets = tensor::Select(ds.inputs, 1, 2);  // predict last input row
+  core::TrainConfig train;
+  train.epochs = 25;
+  core::TrainResult result = core::TrainForecaster(&model, ds, train);
+  EXPECT_LT(result.final_loss, 0.6 * result.epoch_losses.front());
+  // The learner's graph changed during training.
+  graph::AdjacencyMatrix learned = model.CurrentAdjacency();
+  EXPECT_TRUE(learned.IsNonNegative());
+}
+
+TEST_P(LearnerKindTest, CurrentAdjacencyDeterministicInEval) {
+  Rng rng(8);
+  graph::AdjacencyMatrix prior = RingGraph();
+  Mtgnn model(&prior, kVars, 3, SmallConfig(GetParam()), &rng);
+  EXPECT_EQ(model.CurrentAdjacency(), model.CurrentAdjacency());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, LearnerKindTest,
+    ::testing::Values(GraphLearnerKind::kEmbedding,
+                      GraphLearnerKind::kEdgeLogits),
+    [](const ::testing::TestParamInfo<GraphLearnerKind>& info) {
+      return info.param == GraphLearnerKind::kEmbedding ? "Embedding"
+                                                        : "EdgeLogits";
+    });
+
+TEST(LearnerComparisonTest, EdgeLogitInitStaysCloserToPrior) {
+  // Before training, the edge-logit learner initialized from a graph
+  // should correlate with it more than a random-embedding learner does.
+  Rng rng(9);
+  graph::AdjacencyMatrix prior = RingGraph();
+
+  MtgnnConfig logit_config = SmallConfig(GraphLearnerKind::kEdgeLogits);
+  Mtgnn logit_model(&prior, kVars, 3, logit_config, &rng);
+  graph::AdjacencyMatrix logit_graph = logit_model.CurrentAdjacency();
+  logit_graph.Symmetrize();
+  logit_graph.ZeroDiagonal();
+
+  MtgnnConfig emb_config = SmallConfig(GraphLearnerKind::kEmbedding);
+  emb_config.static_prior_weight = 0.0;  // pure random-start embeddings
+  Mtgnn emb_model(nullptr, kVars, 3, emb_config, &rng);
+  graph::AdjacencyMatrix emb_graph = emb_model.CurrentAdjacency();
+  emb_graph.Symmetrize();
+  emb_graph.ZeroDiagonal();
+
+  EXPECT_GT(graph::GraphCorrelation(logit_graph, prior),
+            graph::GraphCorrelation(emb_graph, prior));
+}
+
+}  // namespace
+}  // namespace emaf::models

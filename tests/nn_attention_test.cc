@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(SpatialAttentionTest, OutputShape) {
+  Rng rng(1);
+  SpatialAttention attention(5, 3, 4, &rng);
+  Tensor x = Tensor::Zeros(Shape{2, 5, 3, 4});
+  EXPECT_EQ(attention.Forward(x).shape(), (Shape{2, 5, 5}));
+}
+
+TEST(SpatialAttentionTest, ScoresAreColumnNormalized) {
+  Rng rng(2);
+  SpatialAttention attention(4, 2, 3, &rng);
+  Rng data_rng(3);
+  Tensor x = Tensor::Uniform(Shape{2, 4, 2, 3}, -1, 1, &data_rng);
+  Tensor s = attention.Forward(x);
+  // Softmax over axis 1: summing over rows gives 1 for each (batch, col).
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t j = 0; j < 4; ++j) {
+      double total = 0.0;
+      for (int64_t i = 0; i < 4; ++i) total += s.At({b, i, j});
+      EXPECT_NEAR(total, 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(SpatialAttentionTest, ScoresDependOnInput) {
+  Rng rng(4);
+  SpatialAttention attention(3, 1, 2, &rng);
+  Rng data_rng(5);
+  Tensor x1 = Tensor::Uniform(Shape{1, 3, 1, 2}, -1, 1, &data_rng);
+  Tensor x2 = Tensor::Uniform(Shape{1, 3, 1, 2}, -1, 1, &data_rng);
+  Tensor s1 = attention.Forward(x1);
+  Tensor s2 = attention.Forward(x2);
+  bool any_diff = false;
+  for (int64_t i = 0; i < s1.NumElements(); ++i) {
+    if (s1.data()[i] != s2.data()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TemporalAttentionTest, OutputShape) {
+  Rng rng(6);
+  TemporalAttention attention(5, 3, 4, &rng);
+  Tensor x = Tensor::Zeros(Shape{2, 5, 3, 4});
+  EXPECT_EQ(attention.Forward(x).shape(), (Shape{2, 4, 4}));
+}
+
+TEST(TemporalAttentionTest, ScoresAreColumnNormalized) {
+  Rng rng(7);
+  TemporalAttention attention(3, 2, 5, &rng);
+  Rng data_rng(8);
+  Tensor x = Tensor::Uniform(Shape{1, 3, 2, 5}, -1, 1, &data_rng);
+  Tensor e = attention.Forward(x);
+  for (int64_t j = 0; j < 5; ++j) {
+    double total = 0.0;
+    for (int64_t i = 0; i < 5; ++i) total += e.At({0, i, j});
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+TEST(TemporalAttentionTest, SingleStepDegeneratesToOnes) {
+  Rng rng(9);
+  TemporalAttention attention(3, 1, 1, &rng);
+  Rng data_rng(10);
+  Tensor x = Tensor::Uniform(Shape{2, 3, 1, 1}, -1, 1, &data_rng);
+  Tensor e = attention.Forward(x);
+  EXPECT_EQ(e.shape(), (Shape{2, 1, 1}));
+  for (double v : e.ToVector()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(AttentionGradTest, SpatialGradCheck) {
+  Rng rng(11);
+  SpatialAttention attention(3, 2, 2, &rng);
+  Rng data_rng(12);
+  Tensor x = Tensor::Uniform(Shape{1, 3, 2, 2}, -1, 1, &data_rng);
+  Tensor w = Tensor::Uniform(Shape{1, 3, 3}, -1, 1, &data_rng);
+  tensor::GradCheckResult r = tensor::CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return tensor::Sum(tensor::Mul(attention.Forward(in[0]), w));
+      },
+      {x}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(AttentionGradTest, TemporalGradCheck) {
+  Rng rng(13);
+  TemporalAttention attention(3, 2, 2, &rng);
+  Rng data_rng(14);
+  Tensor x = Tensor::Uniform(Shape{1, 3, 2, 2}, -1, 1, &data_rng);
+  Tensor w = Tensor::Uniform(Shape{1, 2, 2}, -1, 1, &data_rng);
+  tensor::GradCheckResult r = tensor::CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return tensor::Sum(tensor::Mul(attention.Forward(in[0]), w));
+      },
+      {x}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(AttentionTest, ParameterCounts) {
+  Rng rng(15);
+  int64_t v = 4;
+  int64_t f = 3;
+  int64_t t = 5;
+  SpatialAttention spatial(v, f, t, &rng);
+  // w1 [T] + w2 [F,T] + w3 [F] + bs [V,V] + vs [V,V].
+  EXPECT_EQ(spatial.ParameterCount(), t + f * t + f + v * v + v * v);
+  TemporalAttention temporal(v, f, t, &rng);
+  EXPECT_EQ(temporal.ParameterCount(), v + f * v + f + t * t + t * t);
+}
+
+}  // namespace
+}  // namespace emaf::nn

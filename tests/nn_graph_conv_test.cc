@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/adjacency.h"
+#include "graph/spectral.h"
+#include "nn/graph_conv.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+namespace {
+
+using graph::AdjacencyMatrix;
+using tensor::Shape;
+using tensor::Tensor;
+
+AdjacencyMatrix PathGraph(int64_t n) {
+  AdjacencyMatrix adj(n);
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    adj.set(i, i + 1, 1.0);
+    adj.set(i + 1, i, 1.0);
+  }
+  return adj;
+}
+
+TEST(GcnConvTest, OutputShape) {
+  Rng rng(1);
+  AdjacencyMatrix adj = PathGraph(5);
+  GcnConv conv(graph::SymNormalizedAdjacency(adj), 3, 7, &rng);
+  Tensor x = Tensor::Zeros(Shape{2, 5, 3});
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{2, 5, 7}));
+}
+
+TEST(GcnConvTest, IsolatedGraphReducesToSharedLinear) {
+  // With no edges, A_hat = I, so GCN(x) = x W + b: node outputs depend only
+  // on that node's features.
+  Rng rng(2);
+  AdjacencyMatrix empty(4);
+  GcnConv conv(graph::SymNormalizedAdjacency(empty), 2, 2, &rng);
+  Rng data_rng(3);
+  Tensor x = Tensor::Uniform(Shape{1, 4, 2}, -1, 1, &data_rng);
+  Tensor y = conv.Forward(x);
+  // Perturbing node 0 must not change node 1's output.
+  Tensor x2 = x.Clone();
+  x2.Set({0, 0, 0}, 100.0);
+  Tensor y2 = conv.Forward(x2);
+  EXPECT_NE(y.At({0, 0, 0}), y2.At({0, 0, 0}));
+  EXPECT_EQ(y.At({0, 1, 0}), y2.At({0, 1, 0}));
+}
+
+TEST(GcnConvTest, ConnectedNodesInfluenceEachOther) {
+  Rng rng(4);
+  AdjacencyMatrix adj = PathGraph(3);
+  GcnConv conv(graph::SymNormalizedAdjacency(adj), 1, 1, &rng);
+  Tensor x = Tensor::Zeros(Shape{1, 3, 1});
+  Tensor y_base = conv.Forward(x);
+  x.Set({0, 0, 0}, 1.0);
+  Tensor y = conv.Forward(x);
+  // Node 1 is adjacent to node 0 and must move; node 2 (two hops) must not.
+  EXPECT_NE(y.At({0, 1, 0}), y_base.At({0, 1, 0}));
+  EXPECT_EQ(y.At({0, 2, 0}), y_base.At({0, 2, 0}));
+}
+
+TEST(GcnConvTest, GradCheck) {
+  Rng rng(5);
+  AdjacencyMatrix adj = PathGraph(4);
+  GcnConv conv(graph::SymNormalizedAdjacency(adj), 2, 3, &rng);
+  Rng data_rng(6);
+  Tensor x = Tensor::Uniform(Shape{2, 4, 2}, -1, 1, &data_rng);
+  tensor::GradCheckResult r = tensor::CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor y = conv.Forward(in[0]);
+        return tensor::Sum(tensor::Mul(y, y));
+      },
+      {x}, 1e-6, 1e-6);
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(ChebConvTest, OrderOneIsPlainLinear) {
+  // K = 1 keeps only T_0 = I: a shared per-node linear map.
+  Rng rng(7);
+  AdjacencyMatrix adj = PathGraph(3);
+  ChebConv conv(graph::ChebyshevPolynomials(adj, 1), 2, 2, &rng);
+  EXPECT_EQ(conv.order(), 1);
+  Tensor x = Tensor::Zeros(Shape{1, 3, 2});
+  Tensor base = conv.Forward(x);
+  x.Set({0, 0, 0}, 5.0);
+  Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.At({0, 1, 0}), base.At({0, 1, 0}));
+  EXPECT_EQ(y.At({0, 2, 1}), base.At({0, 2, 1}));
+}
+
+TEST(ChebConvTest, OutputShapeOrderThree) {
+  Rng rng(8);
+  AdjacencyMatrix adj = PathGraph(6);
+  ChebConv conv(graph::ChebyshevPolynomials(adj, 3), 4, 5, &rng);
+  EXPECT_EQ(conv.order(), 3);
+  Tensor x = Tensor::Zeros(Shape{2, 6, 4});
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{2, 6, 5}));
+}
+
+TEST(ChebConvTest, AttentionModulatesPropagation) {
+  Rng rng(9);
+  AdjacencyMatrix adj = PathGraph(3);
+  ChebConv conv(graph::ChebyshevPolynomials(adj, 2), 1, 1, &rng);
+  Rng data_rng(10);
+  Tensor x = Tensor::Uniform(Shape{1, 3, 1}, -1, 1, &data_rng);
+  Tensor uniform_attention = Tensor::Ones(Shape{1, 3, 3});
+  Tensor damped_attention = Tensor::Full(Shape{1, 3, 3}, 0.5);
+  Tensor y1 = conv.Forward(x, uniform_attention);
+  Tensor y2 = conv.Forward(x, damped_attention);
+  bool any_diff = false;
+  for (int64_t i = 0; i < y1.NumElements(); ++i) {
+    if (y1.data()[i] != y2.data()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ChebConvTest, GradCheckWithAttention) {
+  Rng rng(11);
+  AdjacencyMatrix adj = PathGraph(3);
+  ChebConv conv(graph::ChebyshevPolynomials(adj, 3), 2, 2, &rng);
+  Rng data_rng(12);
+  Tensor x = Tensor::Uniform(Shape{2, 3, 2}, -1, 1, &data_rng);
+  Tensor attention = Tensor::Uniform(Shape{2, 3, 3}, 0.1, 1.0, &data_rng);
+  tensor::GradCheckResult r = tensor::CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor y = conv.Forward(in[0], in[1]);
+        return tensor::Sum(tensor::Mul(y, y));
+      },
+      {x, attention}, 1e-6, 1e-6);
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(MixPropTest, OutputShape) {
+  Rng rng(13);
+  MixProp mix(4, 6, /*depth=*/2, /*beta=*/0.1, &rng);
+  AdjacencyMatrix adj = PathGraph(5);
+  Tensor a_norm = graph::RowNormalizedAdjacency(adj);
+  Tensor x = Tensor::Zeros(Shape{2, 4, 5, 3});
+  EXPECT_EQ(mix.Forward(x, a_norm).shape(), (Shape{2, 6, 5, 3}));
+}
+
+TEST(MixPropTest, BetaOneIgnoresGraph) {
+  // beta = 1 keeps only the input at every hop: two different graphs must
+  // produce identical outputs.
+  Rng rng(14);
+  MixProp mix(2, 3, 2, /*beta=*/1.0, &rng);
+  Rng data_rng(15);
+  Tensor x = Tensor::Uniform(Shape{1, 2, 4, 2}, -1, 1, &data_rng);
+  Tensor a1 = graph::RowNormalizedAdjacency(PathGraph(4));
+  AdjacencyMatrix dense(4);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      if (i != j) dense.set(i, j, 1.0);
+    }
+  }
+  Tensor a2 = graph::RowNormalizedAdjacency(dense);
+  Tensor y1 = mix.Forward(x, a1);
+  Tensor y2 = mix.Forward(x, a2);
+  for (int64_t i = 0; i < y1.NumElements(); ++i) {
+    EXPECT_NEAR(y1.data()[i], y2.data()[i], 1e-12);
+  }
+}
+
+TEST(MixPropTest, GradFlowsIntoAdjacency) {
+  // The learned-graph path of MTGNN requires d(loss)/d(adjacency).
+  Rng rng(16);
+  MixProp mix(2, 2, 2, 0.05, &rng);
+  Rng data_rng(17);
+  Tensor x = Tensor::Uniform(Shape{1, 2, 3, 2}, -1, 1, &data_rng);
+  Tensor a = Tensor::Uniform(Shape{3, 3}, 0.1, 1.0, &data_rng)
+                 .SetRequiresGrad(true);
+  Tensor y = mix.Forward(x, a);
+  tensor::Sum(tensor::Mul(y, y)).Backward();
+  ASSERT_TRUE(a.grad().defined());
+  double norm = 0.0;
+  for (double v : a.grad().ToVector()) norm += v * v;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(MixPropTest, GradCheck) {
+  Rng rng(18);
+  MixProp mix(2, 2, 2, 0.2, &rng);
+  Rng data_rng(19);
+  Tensor x = Tensor::Uniform(Shape{1, 2, 3, 2}, -1, 1, &data_rng);
+  Tensor a = Tensor::Uniform(Shape{3, 3}, 0.1, 1.0, &data_rng);
+  tensor::GradCheckResult r = tensor::CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor y = mix.Forward(in[0], in[1]);
+        return tensor::Sum(tensor::Mul(y, y));
+      },
+      {x, a}, 1e-6, 1e-6);
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+}  // namespace
+}  // namespace emaf::nn

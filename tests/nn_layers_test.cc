@@ -1,0 +1,195 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/conv.h"
+#include "nn/dropout.h"
+#include "nn/init.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(1);
+  Tensor t = XavierUniform(Shape{100, 100}, 100, 100, &rng);
+  double bound = std::sqrt(6.0 / 200.0);
+  for (double v : t.ToVector()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(InitTest, KaimingUniformBounds) {
+  Rng rng(2);
+  Tensor t = KaimingUniform(Shape{50, 50}, 50, &rng);
+  double bound = std::sqrt(6.0 / 50.0);
+  for (double v : t.ToVector()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(InitTest, FanInUniformBounds) {
+  Rng rng(3);
+  Tensor t = FanInUniform(Shape{64}, 16, &rng);
+  for (double v : t.ToVector()) {
+    EXPECT_GE(v, -0.25);
+    EXPECT_LE(v, 0.25);
+  }
+}
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(4);
+  Linear layer(5, 3, /*bias=*/true, &rng);
+  Tensor x = Tensor::Zeros(Shape{7, 5});
+  EXPECT_EQ(layer.Forward(x).shape(), (Shape{7, 3}));
+  Tensor batched = Tensor::Zeros(Shape{2, 7, 5});
+  EXPECT_EQ(layer.Forward(batched).shape(), (Shape{2, 7, 3}));
+}
+
+TEST(LinearTest, ComputesAffineMap) {
+  Rng rng(5);
+  Linear layer(2, 1, /*bias=*/true, &rng);
+  layer.weight()->data()[0] = 2.0;
+  layer.weight()->data()[1] = -1.0;
+  layer.bias()->data()[0] = 0.5;
+  Tensor x = Tensor::FromVector(Shape{1, 2}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(layer.Forward(x).item(), 2.0 * 3 - 1.0 * 4 + 0.5);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(6);
+  Linear layer(2, 2, /*bias=*/false, &rng);
+  EXPECT_EQ(layer.bias(), nullptr);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(7);
+  Linear layer(3, 2, /*bias=*/true, &rng);
+  Tensor x = Tensor::Ones(Shape{4, 3});
+  tensor::Sum(layer.Forward(x)).Backward();
+  EXPECT_TRUE(layer.weight()->grad().defined());
+  EXPECT_TRUE(layer.bias()->grad().defined());
+  // d(sum)/d(bias_j) = batch size.
+  for (double v : layer.bias()->grad().ToVector()) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(LinearDeathTest, WrongInputWidth) {
+  Rng rng(8);
+  Linear layer(3, 2, true, &rng);
+  EXPECT_DEATH(layer.Forward(Tensor::Zeros(Shape{4, 5})), "");
+}
+
+TEST(DropoutModuleTest, EvalIsIdentityTrainDrops) {
+  Rng rng(9);
+  Dropout dropout(0.5, &rng);
+  Tensor x = Tensor::Ones(Shape{1000});
+  dropout.SetTraining(false);
+  EXPECT_EQ(dropout.Forward(x).ToVector(), x.ToVector());
+  dropout.SetTraining(true);
+  Tensor y = dropout.Forward(x);
+  int64_t zeros = 0;
+  for (double v : y.ToVector()) {
+    if (v == 0.0) ++zeros;
+  }
+  EXPECT_GT(zeros, 300);
+  EXPECT_LT(zeros, 700);
+}
+
+TEST(DropoutModuleTest, HasNoParameters) {
+  Rng rng(10);
+  Dropout dropout(0.3, &rng);
+  EXPECT_EQ(dropout.ParameterCount(), 0);
+}
+
+TEST(LayerNormTest, NormalizesLastAxis) {
+  LayerNorm ln({4});
+  Tensor x = Tensor::FromVector(Shape{2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = ln.Forward(x);
+  for (int64_t r = 0; r < 2; ++r) {
+    double mean = 0.0;
+    for (int64_t c = 0; c < 4; ++c) mean += y.At({r, c});
+    mean /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    double var = 0.0;
+    for (int64_t c = 0; c < 4; ++c) var += y.At({r, c}) * y.At({r, c});
+    var /= 4.0;
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, GainAndBiasApply) {
+  LayerNorm ln({2});
+  std::vector<NamedParameter> params = ln.NamedParameters();
+  ASSERT_EQ(params.size(), 2u);
+  // gain = 2, bias = 1 -> outputs are 2 * normalized + 1.
+  params[0].value->Fill(2.0);
+  params[1].value->Fill(1.0);
+  Tensor x = Tensor::FromVector(Shape{1, 2}, {-1, 1});
+  std::vector<double> y = ln.Forward(x).ToVector();
+  EXPECT_NEAR(y[0], 2.0 * -1.0 + 1.0, 1e-3);
+  EXPECT_NEAR(y[1], 2.0 * 1.0 + 1.0, 1e-3);
+}
+
+TEST(LayerNormTest, MultiAxisNormalization) {
+  LayerNorm ln({2, 3});
+  Tensor x = Tensor::FromVector(Shape{2, 2, 3},
+                                {1, 2, 3, 4, 5, 6, -1, -2, -3, -4, -5, -6});
+  Tensor y = ln.Forward(x);
+  for (int64_t b = 0; b < 2; ++b) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < 2; ++i) {
+      for (int64_t j = 0; j < 3; ++j) mean += y.At({b, i, j});
+    }
+    EXPECT_NEAR(mean / 6.0, 0.0, 1e-9);
+  }
+}
+
+TEST(LayerNormTest, GradCheck) {
+  Rng rng(11);
+  LayerNorm ln({3});
+  Tensor x = Tensor::Uniform(Shape{2, 3}, -1, 1, &rng);
+  tensor::GradCheckResult r = tensor::CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor y = ln.Forward(in[0]);
+        return tensor::Sum(tensor::Mul(y, y));
+      },
+      {x}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(Conv2dLayerTest, ShapeAndParameterCount) {
+  Rng rng(12);
+  tensor::Conv2dOptions options;
+  Conv2dLayer conv(3, 8, 1, 2, options, /*bias=*/true, &rng);
+  EXPECT_EQ(conv.ParameterCount(), 8 * 3 * 1 * 2 + 8);
+  Tensor x = Tensor::Zeros(Shape{2, 3, 5, 7});
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{2, 8, 5, 6}));
+}
+
+TEST(Conv2dLayerTest, PaddingPreservesWidth) {
+  Rng rng(13);
+  tensor::Conv2dOptions options;
+  options.pad_w = 1;
+  Conv2dLayer conv(2, 2, 1, 3, options, true, &rng);
+  Tensor x = Tensor::Zeros(Shape{1, 2, 4, 6});
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{1, 2, 4, 6}));
+}
+
+TEST(Conv2dLayerDeathTest, ChannelMismatch) {
+  Rng rng(14);
+  Conv2dLayer conv(3, 2, 1, 1, {}, true, &rng);
+  EXPECT_DEATH(conv.Forward(Tensor::Zeros(Shape{1, 4, 2, 2})), "");
+}
+
+}  // namespace
+}  // namespace emaf::nn

@@ -1,0 +1,110 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+class LeafModule : public Module {
+ public:
+  explicit LeafModule(int64_t n) {
+    weight_ = RegisterParameter("weight", Tensor::Ones(Shape{n}));
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{n}));
+  }
+  Tensor* weight_;
+  Tensor* bias_;
+};
+
+class ParentModule : public Module {
+ public:
+  ParentModule() {
+    own_ = RegisterParameter("own", Tensor::Zeros(Shape{2}));
+    child_a_ = RegisterModule("child_a", std::make_unique<LeafModule>(3));
+    child_b_ = RegisterModule("child_b", std::make_unique<LeafModule>(4));
+  }
+  Tensor* own_;
+  LeafModule* child_a_;
+  LeafModule* child_b_;
+};
+
+TEST(ModuleTest, ParametersAreRegisteredWithGrad) {
+  LeafModule m(3);
+  EXPECT_TRUE(m.weight_->requires_grad());
+  EXPECT_EQ(m.Parameters().size(), 2u);
+  EXPECT_EQ(m.ParameterCount(), 6);
+}
+
+TEST(ModuleTest, NamedParametersUseDottedPaths) {
+  ParentModule m;
+  std::vector<NamedParameter> named = m.NamedParameters();
+  ASSERT_EQ(named.size(), 5u);
+  EXPECT_EQ(named[0].name, "own");
+  EXPECT_EQ(named[1].name, "child_a.weight");
+  EXPECT_EQ(named[2].name, "child_a.bias");
+  EXPECT_EQ(named[3].name, "child_b.weight");
+  EXPECT_EQ(named[4].name, "child_b.bias");
+}
+
+TEST(ModuleTest, ParameterPointersAreStable) {
+  ParentModule m;
+  Tensor* before = m.child_a_->weight_;
+  std::vector<NamedParameter> named = m.NamedParameters();
+  EXPECT_EQ(named[1].value, before);
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  ParentModule m;
+  EXPECT_TRUE(m.training());
+  m.SetTraining(false);
+  EXPECT_FALSE(m.training());
+  EXPECT_FALSE(m.child_a_->training());
+  EXPECT_FALSE(m.child_b_->training());
+  m.SetTraining(true);
+  EXPECT_TRUE(m.child_b_->training());
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  LeafModule m(2);
+  tensor::Sum(tensor::Mul(*m.weight_, *m.weight_)).Backward();
+  EXPECT_TRUE(m.weight_->grad().defined());
+  m.ZeroGrad();
+  EXPECT_FALSE(m.weight_->grad().defined());
+}
+
+TEST(ModuleDeathTest, DuplicateParameterName) {
+  class Bad : public Module {
+   public:
+    Bad() {
+      RegisterParameter("w", Tensor::Zeros(Shape{1}));
+      RegisterParameter("w", Tensor::Zeros(Shape{1}));
+    }
+  };
+  EXPECT_DEATH(Bad(), "duplicate");
+}
+
+TEST(ModuleDeathTest, DuplicateChildName) {
+  class Bad : public Module {
+   public:
+    Bad() {
+      RegisterModule("c", std::make_unique<LeafModule>(1));
+      RegisterModule("c", std::make_unique<LeafModule>(1));
+    }
+  };
+  EXPECT_DEATH(Bad(), "duplicate");
+}
+
+TEST(ModuleTest, ParameterCountNested) {
+  ParentModule m;
+  EXPECT_EQ(m.ParameterCount(), 2 + 6 + 8);
+}
+
+}  // namespace
+}  // namespace emaf::nn

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(GruCellTest, OutputShape) {
+  Rng rng(1);
+  GruCell cell(4, 8, &rng);
+  Tensor x = Tensor::Zeros(Shape{3, 4});
+  Tensor h = Tensor::Zeros(Shape{3, 8});
+  EXPECT_EQ(cell.Forward(x, h).shape(), (Shape{3, 8}));
+}
+
+TEST(GruCellTest, ZeroInputZeroStateIsBounded) {
+  Rng rng(2);
+  GruCell cell(2, 4, &rng);
+  Tensor h = cell.Forward(Tensor::Zeros(Shape{1, 2}), Tensor::Zeros(Shape{1, 4}));
+  for (double v : h.ToVector()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(GruCellTest, DeterministicForSameSeed) {
+  Rng rng_a(3);
+  Rng rng_b(3);
+  GruCell a(2, 4, &rng_a);
+  GruCell b(2, 4, &rng_b);
+  Rng data_rng(4);
+  Tensor x = Tensor::Uniform(Shape{2, 2}, -1, 1, &data_rng);
+  Tensor h = Tensor::Zeros(Shape{2, 4});
+  EXPECT_EQ(a.Forward(x, h).ToVector(), b.Forward(x, h).ToVector());
+}
+
+TEST(GruCellTest, GradientsReachAllParameters) {
+  Rng rng(5);
+  GruCell cell(3, 4, &rng);
+  Tensor x = Tensor::Ones(Shape{2, 3});
+  Tensor h = Tensor::Ones(Shape{2, 4});
+  tensor::Sum(cell.Forward(x, h)).Backward();
+  for (Tensor* p : cell.Parameters()) {
+    EXPECT_TRUE(p->grad().defined());
+  }
+}
+
+TEST(LstmCellTest, StateShapes) {
+  Rng rng(6);
+  LstmCell cell(5, 7, &rng);
+  LstmCell::State state{Tensor::Zeros(Shape{2, 7}), Tensor::Zeros(Shape{2, 7})};
+  LstmCell::State next = cell.Forward(Tensor::Zeros(Shape{2, 5}), state);
+  EXPECT_EQ(next.h.shape(), (Shape{2, 7}));
+  EXPECT_EQ(next.c.shape(), (Shape{2, 7}));
+}
+
+TEST(LstmCellTest, HiddenIsBoundedByTanh) {
+  Rng rng(7);
+  LstmCell cell(2, 4, &rng);
+  LstmCell::State state{Tensor::Zeros(Shape{1, 4}), Tensor::Zeros(Shape{1, 4})};
+  Rng data_rng(8);
+  for (int step = 0; step < 20; ++step) {
+    Tensor x = Tensor::Uniform(Shape{1, 2}, -5, 5, &data_rng);
+    state = cell.Forward(x, state);
+    for (double v : state.h.ToVector()) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(LstmTest, SequenceOutputShapes) {
+  Rng rng(9);
+  Lstm lstm(4, 6, &rng);
+  Tensor sequence = Tensor::Zeros(Shape{3, 5, 4});
+  EXPECT_EQ(lstm.Forward(sequence).shape(), (Shape{3, 5, 6}));
+  EXPECT_EQ(lstm.ForwardLast(sequence).shape(), (Shape{3, 6}));
+}
+
+TEST(LstmTest, ForwardLastMatchesLastOfForward) {
+  Rng rng(10);
+  Lstm lstm(3, 4, &rng);
+  Rng data_rng(11);
+  Tensor sequence = Tensor::Uniform(Shape{2, 4, 3}, -1, 1, &data_rng);
+  Tensor all = lstm.Forward(sequence);
+  Tensor last = lstm.ForwardLast(sequence);
+  Tensor expected = tensor::Select(all, 1, 3);
+  EXPECT_EQ(last.ToVector(), expected.ToVector());
+}
+
+TEST(LstmTest, SingleStepSequenceWorks) {
+  Rng rng(12);
+  Lstm lstm(3, 4, &rng);
+  Tensor sequence = Tensor::Zeros(Shape{2, 1, 3});
+  EXPECT_EQ(lstm.Forward(sequence).shape(), (Shape{2, 1, 4}));
+}
+
+TEST(LstmTest, CanFitTinyRegression) {
+  // Learn y = mean of last input vector: loss should drop markedly.
+  Rng rng(13);
+  Lstm lstm(2, 8, &rng);
+  Linear head(8, 1, true, &rng);
+  std::vector<tensor::Tensor*> params = lstm.Parameters();
+  for (tensor::Tensor* p : head.Parameters()) params.push_back(p);
+  AdamOptions opts;
+  opts.lr = 0.02;
+  Adam adam(params, opts);
+
+  Rng data_rng(14);
+  Tensor x = Tensor::Uniform(Shape{16, 3, 2}, -1, 1, &data_rng);
+  Tensor target = tensor::Mean(tensor::Select(x, 1, 2), {1}, true);  // [16,1]
+
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    adam.ZeroGrad();
+    Tensor pred = head.Forward(lstm.ForwardLast(x));
+    Tensor loss = tensor::MseLoss(pred, target);
+    loss.Backward();
+    adam.Step();
+    if (epoch == 0) first_loss = loss.item();
+    last_loss = loss.item();
+  }
+  EXPECT_LT(last_loss, 0.2 * first_loss);
+}
+
+TEST(LstmTest, GradCheckThroughTime) {
+  Rng rng(15);
+  Lstm lstm(2, 3, &rng);
+  Rng data_rng(16);
+  Tensor x = Tensor::Uniform(Shape{2, 3, 2}, -1, 1, &data_rng);
+  tensor::GradCheckResult r = tensor::CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor h = lstm.ForwardLast(in[0]);
+        return tensor::Sum(tensor::Mul(h, h));
+      },
+      {x}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(LstmDeathTest, WrongInputRank) {
+  Rng rng(17);
+  Lstm lstm(3, 4, &rng);
+  EXPECT_DEATH(lstm.Forward(Tensor::Zeros(Shape{3, 4})), "");
+}
+
+}  // namespace
+}  // namespace emaf::nn

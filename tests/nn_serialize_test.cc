@@ -1,0 +1,135 @@
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace emaf::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+class SmallNet : public Module {
+ public:
+  explicit SmallNet(Rng* rng) {
+    fc1_ = RegisterModule("fc1", std::make_unique<Linear>(3, 4, true, rng));
+    fc2_ = RegisterModule("fc2", std::make_unique<Linear>(4, 2, true, rng));
+  }
+  Tensor Forward(const Tensor& x) {
+    return fc2_->Forward(tensor::Relu(fc1_->Forward(x)));
+  }
+  Linear* fc1_;
+  Linear* fc2_;
+};
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripRestoresExactValues) {
+  Rng rng_a(1);
+  SmallNet net_a(&rng_a);
+  std::string path = TempPath("roundtrip.emaf");
+  ASSERT_TRUE(SaveParameters(&net_a, path).ok());
+
+  Rng rng_b(99);  // different init
+  SmallNet net_b(&rng_b);
+  ASSERT_TRUE(LoadParameters(&net_b, path).ok());
+
+  Rng data_rng(3);
+  Tensor x = Tensor::Uniform(Shape{5, 3}, -1, 1, &data_rng);
+  EXPECT_EQ(net_a.Forward(x).ToVector(), net_b.Forward(x).ToVector());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  Status status = LoadParameters(&net, TempPath("does_not_exist.emaf"));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, RejectsWrongMagic) {
+  std::string path = TempPath("bad_magic.emaf");
+  std::ofstream out(path, std::ios::binary);
+  out << "JUNKJUNKJUNKJUNK";
+  out.close();
+  Rng rng(1);
+  SmallNet net(&rng);
+  Status status = LoadParameters(&net, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RejectsTruncatedFile) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  std::string path = TempPath("truncated.emaf");
+  ASSERT_TRUE(SaveParameters(&net, path).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  int64_t size = in.tellg();
+  in.seekg(0);
+  std::string content(static_cast<size_t>(size / 2), '\0');
+  in.read(content.data(), size / 2);
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  out.close();
+  EXPECT_FALSE(LoadParameters(&net, path).ok());
+}
+
+TEST(SerializeTest, RejectsArchitectureMismatch) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  std::string path = TempPath("mismatch.emaf");
+  ASSERT_TRUE(SaveParameters(&net, path).ok());
+
+  class OtherNet : public Module {
+   public:
+    explicit OtherNet(Rng* rng) {
+      RegisterModule("fc1", std::make_unique<Linear>(3, 4, true, rng));
+    }
+  };
+  OtherNet other(&rng);
+  Status status = LoadParameters(&other, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(1);
+  class NetA : public Module {
+   public:
+    explicit NetA(Rng* rng) {
+      RegisterModule("fc", std::make_unique<Linear>(3, 4, true, rng));
+    }
+  };
+  class NetB : public Module {
+   public:
+    explicit NetB(Rng* rng) {
+      RegisterModule("fc", std::make_unique<Linear>(4, 3, true, rng));
+    }
+  };
+  NetA a(&rng);
+  std::string path = TempPath("shape_mismatch.emaf");
+  ASSERT_TRUE(SaveParameters(&a, path).ok());
+  NetB b(&rng);
+  Status status = LoadParameters(&b, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("shape mismatch"), std::string::npos);
+}
+
+TEST(SerializeTest, SaveToUnwritablePathFails) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  Status status = SaveParameters(&net, "/nonexistent_dir/x.emaf");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace emaf::nn

@@ -1,0 +1,249 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+namespace {
+
+TEST(ReluTest, Values) {
+  Tensor x = Tensor::FromVector(Shape{4}, {-2, -0.5, 0, 3});
+  EXPECT_EQ(Relu(x).ToVector(), (std::vector<double>{0, 0, 0, 3}));
+}
+
+TEST(LeakyReluTest, Values) {
+  Tensor x = Tensor::FromVector(Shape{3}, {-2, 0, 4});
+  EXPECT_EQ(LeakyRelu(x, 0.1).ToVector(), (std::vector<double>{-0.2, 0, 4}));
+}
+
+TEST(EluTest, Values) {
+  Tensor x = Tensor::FromVector(Shape{2}, {1.0, -1.0});
+  std::vector<double> y = Elu(x, 1.0).ToVector();
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_NEAR(y[1], std::exp(-1.0) - 1.0, 1e-12);
+}
+
+TEST(SigmoidTest, KnownValues) {
+  Tensor x = Tensor::FromVector(Shape{3}, {0.0, 100.0, -100.0});
+  std::vector<double> y = Sigmoid(x).ToVector();
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_NEAR(y[1], 1.0, 1e-12);
+  EXPECT_NEAR(y[2], 0.0, 1e-12);
+}
+
+TEST(SigmoidTest, SymmetricAroundZero) {
+  Tensor x = Tensor::FromVector(Shape{1}, {1.7});
+  Tensor nx = Tensor::FromVector(Shape{1}, {-1.7});
+  EXPECT_NEAR(Sigmoid(x).item() + Sigmoid(nx).item(), 1.0, 1e-12);
+}
+
+TEST(TanhTest, KnownValues) {
+  Tensor x = Tensor::FromVector(Shape{2}, {0.0, 1.0});
+  std::vector<double> y = Tanh(x).ToVector();
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_NEAR(y[1], std::tanh(1.0), 1e-12);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(1);
+  Tensor x = Tensor::Uniform(Shape{3, 5}, -3, 3, &rng);
+  Tensor y = Softmax(x, 1);
+  for (int64_t i = 0; i < 3; ++i) {
+    double total = 0.0;
+    for (int64_t j = 0; j < 5; ++j) total += y.At({i, j});
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToShift) {
+  Tensor x = Tensor::FromVector(Shape{1, 3}, {1, 2, 3});
+  Tensor shifted = Tensor::FromVector(Shape{1, 3}, {101, 102, 103});
+  std::vector<double> a = Softmax(x, 1).ToVector();
+  std::vector<double> b = Softmax(shifted, 1).ToVector();
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(SoftmaxTest, HandlesExtremeValuesStably) {
+  Tensor x = Tensor::FromVector(Shape{1, 2}, {1000.0, -1000.0});
+  std::vector<double> y = Softmax(x, 1).ToVector();
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+  EXPECT_NEAR(y[1], 0.0, 1e-12);
+}
+
+TEST(SoftmaxTest, AlongFirstAxis) {
+  Tensor x = Tensor::FromVector(Shape{2, 2}, {0, 0, 0, 0});
+  Tensor y = Softmax(x, 0);
+  for (double v : y.ToVector()) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(LogSoftmaxTest, MatchesLogOfSoftmax) {
+  Rng rng(2);
+  Tensor x = Tensor::Uniform(Shape{2, 4}, -2, 2, &rng);
+  Tensor ls = LogSoftmax(x, 1);
+  Tensor s = Softmax(x, 1);
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-10);
+  }
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(3);
+  Tensor x = Tensor::Uniform(Shape{10}, -1, 1, &rng);
+  Tensor y = Dropout(x, 0.5, /*training=*/false, &rng);
+  EXPECT_EQ(y.ToVector(), x.ToVector());
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentity) {
+  Rng rng(3);
+  Tensor x = Tensor::Uniform(Shape{10}, -1, 1, &rng);
+  Tensor y = Dropout(x, 0.0, /*training=*/true, &rng);
+  EXPECT_EQ(y.ToVector(), x.ToVector());
+}
+
+TEST(DropoutTest, TrainingZerosAndRescales) {
+  Rng rng(4);
+  Tensor x = Tensor::Ones(Shape{10000});
+  Tensor y = Dropout(x, 0.3, /*training=*/true, &rng);
+  int64_t zeros = 0;
+  double total = 0.0;
+  for (double v : y.ToVector()) {
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0 / 0.7, 1e-12);
+    }
+    total += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+  // Inverted dropout keeps the expectation.
+  EXPECT_NEAR(total / 10000.0, 1.0, 0.05);
+}
+
+TEST(DropoutTest, GradZeroWhereDropped) {
+  Rng rng(5);
+  Tensor x = Tensor::Ones(Shape{1000}).SetRequiresGrad(true);
+  Tensor y = Dropout(x, 0.5, /*training=*/true, &rng);
+  Sum(y).Backward();
+  const double* yv = y.data();
+  const double* g = x.grad().data();
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (yv[i] == 0.0) {
+      EXPECT_EQ(g[i], 0.0);
+    } else {
+      EXPECT_NEAR(g[i], 2.0, 1e-12);
+    }
+  }
+}
+
+struct ActGradCase {
+  std::string name;
+  std::function<Tensor(const Tensor&)> fn;
+};
+
+class ActivationGradTest : public ::testing::TestWithParam<ActGradCase> {};
+
+TEST_P(ActivationGradTest, MatchesFiniteDifferences) {
+  Rng rng(6);
+  // Keep samples away from zero for the kinked activations.
+  Tensor x = Tensor::Uniform(Shape{3, 4}, 0.1, 2.0, &rng);
+  Tensor x_neg = Tensor::Uniform(Shape{3, 4}, -2.0, -0.1, &rng);
+  for (const Tensor& input : {x, x_neg}) {
+    GradCheckResult r = CheckGradients(
+        [&](const std::vector<Tensor>& in) {
+          return Sum(GetParam().fn(in[0]));
+        },
+        {input.Clone()}, 1e-6, 1e-6);
+    EXPECT_TRUE(r.ok) << GetParam().name << " err " << r.max_error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllActivations, ActivationGradTest,
+    ::testing::Values(
+        ActGradCase{"Relu", [](const Tensor& x) { return Relu(x); }},
+        ActGradCase{"LeakyRelu",
+                    [](const Tensor& x) { return LeakyRelu(x, 0.05); }},
+        ActGradCase{"Elu", [](const Tensor& x) { return Elu(x, 1.0); }},
+        ActGradCase{"Sigmoid", [](const Tensor& x) { return Sigmoid(x); }},
+        ActGradCase{"Tanh", [](const Tensor& x) { return Tanh(x); }},
+        ActGradCase{"Softmax0",
+                    [](const Tensor& x) {
+                      return Mul(Softmax(x, 0), Tensor::FromScalar(1.0));
+                    }},
+        ActGradCase{"Softmax1",
+                    [](const Tensor& x) { return Softmax(x, 1); }},
+        ActGradCase{"LogSoftmax1",
+                    [](const Tensor& x) { return LogSoftmax(x, 1); }}),
+    [](const ::testing::TestParamInfo<ActGradCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SoftmaxGradTest, WeightedOutputAgainstFiniteDifferences) {
+  // Weighted sum (not plain Sum) so the softmax Jacobian actually matters:
+  // sum of softmax outputs is constant 1 and its gradient vanishes.
+  Rng rng(7);
+  Tensor x = Tensor::Uniform(Shape{2, 5}, -1, 1, &rng);
+  Tensor w = Tensor::Uniform(Shape{2, 5}, -1, 1, &rng);
+  GradCheckResult r = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return Sum(Mul(Softmax(in[0], 1), w));
+      },
+      {x});
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(LossTest, MseKnownValue) {
+  Tensor pred = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor target = Tensor::FromVector(Shape{2, 2}, {1, 0, 3, 8});
+  // Squared errors: 0, 4, 0, 16 -> mean 5.
+  EXPECT_DOUBLE_EQ(MseLoss(pred, target).item(), 5.0);
+}
+
+TEST(LossTest, MaeKnownValue) {
+  Tensor pred = Tensor::FromVector(Shape{2}, {1, -1});
+  Tensor target = Tensor::FromVector(Shape{2}, {4, 1});
+  EXPECT_DOUBLE_EQ(MaeLoss(pred, target).item(), 2.5);
+}
+
+TEST(LossTest, HuberMatchesQuadraticInside) {
+  Tensor pred = Tensor::FromVector(Shape{1}, {0.5});
+  Tensor target = Tensor::FromVector(Shape{1}, {0.0});
+  EXPECT_NEAR(HuberLoss(pred, target, 1.0).item(), 0.5 * 0.25, 1e-12);
+}
+
+TEST(LossTest, HuberMatchesLinearOutside) {
+  Tensor pred = Tensor::FromVector(Shape{1}, {3.0});
+  Tensor target = Tensor::FromVector(Shape{1}, {0.0});
+  // delta * |d| - delta^2 / 2 = 1 * 3 - 0.5.
+  EXPECT_NEAR(HuberLoss(pred, target, 1.0).item(), 2.5, 1e-12);
+}
+
+TEST(LossGradTest, AllLossesAgainstFiniteDifferences) {
+  Rng rng(8);
+  Tensor pred = Tensor::Uniform(Shape{3, 2}, -2, 2, &rng);
+  Tensor target = Tensor::Uniform(Shape{3, 2}, -2, 2, &rng);
+  for (auto fn : std::vector<std::function<Tensor(const Tensor&, const Tensor&)>>{
+           [](const Tensor& p, const Tensor& t) { return MseLoss(p, t); },
+           [](const Tensor& p, const Tensor& t) { return MaeLoss(p, t); },
+           [](const Tensor& p, const Tensor& t) {
+             return HuberLoss(p, t, 1.0);
+           }}) {
+    GradCheckResult r = CheckGradients(
+        [&](const std::vector<Tensor>& in) { return fn(in[0], target); },
+        {pred.Clone()}, 1e-6, 1e-5);
+    EXPECT_TRUE(r.ok) << r.max_error;
+  }
+}
+
+TEST(LossDeathTest, ShapeMismatch) {
+  Tensor a = Tensor::Zeros(Shape{2});
+  Tensor b = Tensor::Zeros(Shape{3});
+  EXPECT_DEATH(MseLoss(a, b), "mismatch");
+}
+
+}  // namespace
+}  // namespace emaf::tensor

@@ -1,0 +1,215 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+namespace {
+
+TEST(AddTest, SameShape) {
+  Tensor a = Tensor::FromVector(Shape{3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector(Shape{3}, {10, 20, 30});
+  EXPECT_EQ(Add(a, b).ToVector(), (std::vector<double>{11, 22, 33}));
+}
+
+TEST(AddTest, BroadcastRow) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape{3}, {10, 20, 30});
+  EXPECT_EQ(Add(a, b).ToVector(),
+            (std::vector<double>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(AddTest, BroadcastColumn) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape{2, 1}, {10, 100});
+  EXPECT_EQ(Add(a, b).ToVector(),
+            (std::vector<double>{11, 12, 13, 104, 105, 106}));
+}
+
+TEST(AddTest, BroadcastScalarTensor) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2});
+  Tensor s = Tensor::FromScalar(5);
+  EXPECT_EQ(Add(a, s).ToVector(), (std::vector<double>{6, 7}));
+}
+
+TEST(SubTest, Values) {
+  Tensor a = Tensor::FromVector(Shape{2}, {5, 3});
+  Tensor b = Tensor::FromVector(Shape{2}, {1, 7});
+  EXPECT_EQ(Sub(a, b).ToVector(), (std::vector<double>{4, -4}));
+}
+
+TEST(MulTest, Values) {
+  Tensor a = Tensor::FromVector(Shape{2}, {2, -3});
+  Tensor b = Tensor::FromVector(Shape{2}, {4, 5});
+  EXPECT_EQ(Mul(a, b).ToVector(), (std::vector<double>{8, -15}));
+}
+
+TEST(DivTest, Values) {
+  Tensor a = Tensor::FromVector(Shape{2}, {8, -9});
+  Tensor b = Tensor::FromVector(Shape{2}, {2, 3});
+  EXPECT_EQ(Div(a, b).ToVector(), (std::vector<double>{4, -3}));
+}
+
+TEST(MaximumMinimumTest, Values) {
+  Tensor a = Tensor::FromVector(Shape{3}, {1, 5, -2});
+  Tensor b = Tensor::FromVector(Shape{3}, {2, 3, -2});
+  EXPECT_EQ(Maximum(a, b).ToVector(), (std::vector<double>{2, 5, -2}));
+  EXPECT_EQ(Minimum(a, b).ToVector(), (std::vector<double>{1, 3, -2}));
+}
+
+TEST(UnaryOpsTest, Values) {
+  Tensor x = Tensor::FromVector(Shape{3}, {1.0, -2.0, 0.25});
+  EXPECT_EQ(Neg(x).ToVector(), (std::vector<double>{-1, 2, -0.25}));
+  EXPECT_EQ(Abs(x).ToVector(), (std::vector<double>{1, 2, 0.25}));
+  EXPECT_DOUBLE_EQ(Exp(x).ToVector()[0], std::exp(1.0));
+  EXPECT_DOUBLE_EQ(Sqrt(Tensor::FromVector(Shape{1}, {9})).item(), 3.0);
+  EXPECT_DOUBLE_EQ(Log(Tensor::FromVector(Shape{1}, {std::exp(2.0)})).item(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(Pow(Tensor::FromVector(Shape{1}, {3}), 3.0).item(), 27.0);
+}
+
+TEST(ClampTest, Values) {
+  Tensor x = Tensor::FromVector(Shape{4}, {-2, 0.5, 3, 1});
+  EXPECT_EQ(Clamp(x, 0.0, 1.0).ToVector(),
+            (std::vector<double>{0, 0.5, 1, 1}));
+}
+
+TEST(ScalarOpsTest, OperatorsAndFunctions) {
+  Tensor x = Tensor::FromVector(Shape{2}, {1, 2});
+  EXPECT_EQ((x + 1.0).ToVector(), (std::vector<double>{2, 3}));
+  EXPECT_EQ((1.0 + x).ToVector(), (std::vector<double>{2, 3}));
+  EXPECT_EQ((x - 1.0).ToVector(), (std::vector<double>{0, 1}));
+  EXPECT_EQ((x * 3.0).ToVector(), (std::vector<double>{3, 6}));
+  EXPECT_EQ((x / 2.0).ToVector(), (std::vector<double>{0.5, 1}));
+  EXPECT_EQ((-x).ToVector(), (std::vector<double>{-1, -2}));
+}
+
+TEST(BroadcastDeathTest, IncompatibleShapes) {
+  Tensor a = Tensor::Zeros(Shape{2, 3});
+  Tensor b = Tensor::Zeros(Shape{2, 4});
+  EXPECT_DEATH(Add(a, b), "not broadcastable");
+}
+
+// ---- Gradient checks --------------------------------------------------------
+
+struct UnaryGradCase {
+  std::string name;
+  std::function<Tensor(const Tensor&)> fn;
+  double low;
+  double high;
+};
+
+class UnaryGradTest : public ::testing::TestWithParam<UnaryGradCase> {};
+
+TEST_P(UnaryGradTest, MatchesFiniteDifferences) {
+  const UnaryGradCase& c = GetParam();
+  Rng rng(41);
+  Tensor x = Tensor::Uniform(Shape{3, 4}, c.low, c.high, &rng);
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>& in) { return Sum(c.fn(in[0])); }, {x},
+      1e-6, 1e-6);
+  EXPECT_TRUE(result.ok) << c.name << " max error " << result.max_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, UnaryGradTest,
+    ::testing::Values(
+        UnaryGradCase{"Neg", [](const Tensor& x) { return Neg(x); }, -2, 2},
+        UnaryGradCase{"Exp", [](const Tensor& x) { return Exp(x); }, -1, 1},
+        UnaryGradCase{"Log", [](const Tensor& x) { return Log(x); }, 0.5, 3},
+        UnaryGradCase{"Sqrt", [](const Tensor& x) { return Sqrt(x); }, 0.5, 4},
+        UnaryGradCase{"Abs", [](const Tensor& x) { return Abs(x); }, 0.1, 2},
+        UnaryGradCase{"Pow2", [](const Tensor& x) { return Pow(x, 2.0); }, -2,
+                      2},
+        UnaryGradCase{"PowHalf",
+                      [](const Tensor& x) { return Pow(x, 0.5); }, 0.5, 3},
+        UnaryGradCase{
+            "Clamp",
+            // Sample away from the clamp boundaries (non-differentiable
+            // kinks break finite differences).
+            [](const Tensor& x) { return Clamp(x, -0.95, 0.95); }, -0.8, 0.8},
+        UnaryGradCase{"AddScalar",
+                      [](const Tensor& x) { return AddScalar(x, 3.0); }, -2,
+                      2},
+        UnaryGradCase{"MulScalar",
+                      [](const Tensor& x) { return MulScalar(x, -1.5); }, -2,
+                      2}),
+    [](const ::testing::TestParamInfo<UnaryGradCase>& info) {
+      return info.param.name;
+    });
+
+struct BinaryGradCase {
+  std::string name;
+  std::function<Tensor(const Tensor&, const Tensor&)> fn;
+  Shape a_shape;
+  Shape b_shape;
+};
+
+class BinaryGradTest : public ::testing::TestWithParam<BinaryGradCase> {};
+
+TEST_P(BinaryGradTest, MatchesFiniteDifferences) {
+  const BinaryGradCase& c = GetParam();
+  Rng rng(43);
+  Tensor a = Tensor::Uniform(c.a_shape, 0.5, 2.0, &rng);
+  Tensor b = Tensor::Uniform(c.b_shape, 0.5, 2.0, &rng);
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>& in) { return Sum(c.fn(in[0], in[1])); },
+      {a, b}, 1e-6, 1e-6);
+  EXPECT_TRUE(result.ok) << c.name << " max error " << result.max_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinaryOps, BinaryGradTest,
+    ::testing::Values(
+        BinaryGradCase{"Add", [](const Tensor& a, const Tensor& b) { return Add(a, b); },
+                       Shape{2, 3}, Shape{2, 3}},
+        BinaryGradCase{"AddBroadcastRow",
+                       [](const Tensor& a, const Tensor& b) { return Add(a, b); },
+                       Shape{2, 3}, Shape{3}},
+        BinaryGradCase{"AddBroadcastCol",
+                       [](const Tensor& a, const Tensor& b) { return Add(a, b); },
+                       Shape{2, 1}, Shape{2, 3}},
+        BinaryGradCase{"Sub", [](const Tensor& a, const Tensor& b) { return Sub(a, b); },
+                       Shape{2, 3}, Shape{2, 3}},
+        BinaryGradCase{"SubBroadcast",
+                       [](const Tensor& a, const Tensor& b) { return Sub(a, b); },
+                       Shape{4}, Shape{2, 4}},
+        BinaryGradCase{"Mul", [](const Tensor& a, const Tensor& b) { return Mul(a, b); },
+                       Shape{2, 3}, Shape{2, 3}},
+        BinaryGradCase{"MulBroadcast",
+                       [](const Tensor& a, const Tensor& b) { return Mul(a, b); },
+                       Shape{2, 3}, Shape{1, 3}},
+        BinaryGradCase{"Div", [](const Tensor& a, const Tensor& b) { return Div(a, b); },
+                       Shape{2, 3}, Shape{2, 3}},
+        BinaryGradCase{"DivBroadcast",
+                       [](const Tensor& a, const Tensor& b) { return Div(a, b); },
+                       Shape{3}, Shape{2, 3}},
+        BinaryGradCase{"MulScalarTensorBroadcast",
+                       [](const Tensor& a, const Tensor& b) { return Mul(a, b); },
+                       Shape{}, Shape{2, 3}}),
+    [](const ::testing::TestParamInfo<BinaryGradCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MaximumGradTest, RoutesGradientToLarger) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1.0, 5.0}).SetRequiresGrad(true);
+  Tensor b = Tensor::FromVector(Shape{2}, {2.0, 3.0}).SetRequiresGrad(true);
+  Sum(Maximum(a, b)).Backward();
+  EXPECT_EQ(a.grad().ToVector(), (std::vector<double>{0, 1}));
+  EXPECT_EQ(b.grad().ToVector(), (std::vector<double>{1, 0}));
+}
+
+TEST(MinimumGradTest, RoutesGradientToSmaller) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1.0, 5.0}).SetRequiresGrad(true);
+  Tensor b = Tensor::FromVector(Shape{2}, {2.0, 3.0}).SetRequiresGrad(true);
+  Sum(Minimum(a, b)).Backward();
+  EXPECT_EQ(a.grad().ToVector(), (std::vector<double>{1, 0}));
+  EXPECT_EQ(b.grad().ToVector(), (std::vector<double>{0, 1}));
+}
+
+}  // namespace
+}  // namespace emaf::tensor

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+namespace {
+
+// Naive reference used to validate the optimized kernels.
+Tensor ReferenceMatMul2d(const Tensor& a, const Tensor& b) {
+  int64_t m = a.dim(0);
+  int64_t k = a.dim(1);
+  int64_t n = b.dim(1);
+  Tensor out = Tensor::Zeros(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a.At({i, kk}) * b.At({kk, j});
+      }
+      out.Set({i, j}, acc);
+    }
+  }
+  return out;
+}
+
+TEST(MatMulTest, SmallKnownValues) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.ToVector(), (std::vector<double>{58, 64, 139, 154}));
+}
+
+TEST(MatMulTest, IdentityIsNoOp) {
+  Rng rng(1);
+  Tensor a = Tensor::Uniform(Shape{4, 4}, -1, 1, &rng);
+  Tensor c = MatMul(a, Tensor::Eye(4));
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(c.data()[i], a.data()[i], 1e-12);
+  }
+}
+
+TEST(MatMulTest, MatchesReferenceOnVariousSizes) {
+  Rng rng(2);
+  for (auto [m, k, n] : std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+           {1, 1, 1}, {2, 5, 3}, {5, 2, 7}, {7, 7, 7}, {9, 3, 1}, {6, 8, 4}}) {
+    Tensor a = Tensor::Uniform(Shape{m, k}, -2, 2, &rng);
+    Tensor b = Tensor::Uniform(Shape{k, n}, -2, 2, &rng);
+    Tensor fast = MatMul(a, b);
+    Tensor ref = ReferenceMatMul2d(a, b);
+    for (int64_t i = 0; i < fast.NumElements(); ++i) {
+      EXPECT_NEAR(fast.data()[i], ref.data()[i], 1e-10)
+          << "m=" << m << " k=" << k << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(MatMulTest, BatchedSharedRight) {
+  Rng rng(3);
+  Tensor a = Tensor::Uniform(Shape{4, 3, 5}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{5, 2}, -1, 1, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{4, 3, 2}));
+  for (int64_t batch = 0; batch < 4; ++batch) {
+    Tensor a_slice = Select(a, 0, batch);
+    Tensor ref = ReferenceMatMul2d(a_slice, b);
+    Tensor got = Select(c, 0, batch);
+    for (int64_t i = 0; i < ref.NumElements(); ++i) {
+      EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-10);
+    }
+  }
+}
+
+TEST(MatMulTest, BatchedSharedLeft) {
+  Rng rng(4);
+  Tensor a = Tensor::Uniform(Shape{3, 4}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{5, 4, 2}, -1, 1, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{5, 3, 2}));
+  for (int64_t batch = 0; batch < 5; ++batch) {
+    Tensor ref = ReferenceMatMul2d(a, Select(b, 0, batch));
+    Tensor got = Select(c, 0, batch);
+    for (int64_t i = 0; i < ref.NumElements(); ++i) {
+      EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-10);
+    }
+  }
+}
+
+TEST(MatMulTest, FullyBatchedBothSides) {
+  Rng rng(5);
+  Tensor a = Tensor::Uniform(Shape{2, 3, 3, 4}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{2, 3, 4, 2}, -1, 1, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 3, 2}));
+  Tensor a00 = Select(Select(a, 0, 1), 0, 2);
+  Tensor b00 = Select(Select(b, 0, 1), 0, 2);
+  Tensor ref = ReferenceMatMul2d(a00, b00);
+  Tensor got = Select(Select(c, 0, 1), 0, 2);
+  for (int64_t i = 0; i < ref.NumElements(); ++i) {
+    EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-10);
+  }
+}
+
+TEST(MatMulTest, BroadcastBatchDims) {
+  Rng rng(6);
+  Tensor a = Tensor::Uniform(Shape{1, 3, 4}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{5, 4, 2}, -1, 1, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{5, 3, 2}));
+}
+
+TEST(MatMulDeathTest, InnerDimMismatch) {
+  Tensor a = Tensor::Zeros(Shape{2, 3});
+  Tensor b = Tensor::Zeros(Shape{4, 2});
+  EXPECT_DEATH(MatMul(a, b), "inner dimension");
+}
+
+TEST(MatMulDeathTest, Rank1Rejected) {
+  Tensor a = Tensor::Zeros(Shape{3});
+  Tensor b = Tensor::Zeros(Shape{3, 2});
+  EXPECT_DEATH(MatMul(a, b), "rank");
+}
+
+TEST(MatMulGradTest, TwoDee) {
+  Rng rng(7);
+  Tensor a = Tensor::Uniform(Shape{3, 4}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{4, 2}, -1, 1, &rng);
+  GradCheckResult r = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Mul(MatMul(in[0], in[1]), MatMul(in[0], in[1])));
+      },
+      {a, b});
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(MatMulGradTest, BatchedSharedRight) {
+  Rng rng(8);
+  Tensor a = Tensor::Uniform(Shape{3, 2, 4}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{4, 2}, -1, 1, &rng);
+  GradCheckResult r = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return Sum(MatMul(in[0], in[1]));
+      },
+      {a, b});
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(MatMulGradTest, BroadcastBatch) {
+  Rng rng(9);
+  Tensor a = Tensor::Uniform(Shape{1, 2, 3}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{4, 3, 2}, -1, 1, &rng);
+  GradCheckResult r = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Mul(MatMul(in[0], in[1]), MatMul(in[0], in[1])));
+      },
+      {a, b});
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+TEST(MatMulGradTest, ChainedProducts) {
+  Rng rng(10);
+  Tensor a = Tensor::Uniform(Shape{2, 3}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{3, 3}, -1, 1, &rng);
+  Tensor c = Tensor::Uniform(Shape{3, 2}, -1, 1, &rng);
+  GradCheckResult r = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return Sum(MatMul(MatMul(in[0], in[1]), in[2]));
+      },
+      {a, b, c});
+  EXPECT_TRUE(r.ok) << r.max_error;
+}
+
+}  // namespace
+}  // namespace emaf::tensor

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+namespace {
+
+TEST(SumTest, AllElements) {
+  Tensor x = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor s = Sum(x);
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.item(), 10);
+}
+
+TEST(SumTest, AlongFirstAxis) {
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = Sum(x, {0}, /*keepdim=*/false);
+  EXPECT_EQ(s.shape(), (Shape{3}));
+  EXPECT_EQ(s.ToVector(), (std::vector<double>{5, 7, 9}));
+}
+
+TEST(SumTest, AlongLastAxisKeepdim) {
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = Sum(x, {1}, /*keepdim=*/true);
+  EXPECT_EQ(s.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s.ToVector(), (std::vector<double>{6, 15}));
+}
+
+TEST(SumTest, MultipleAxes) {
+  Tensor x = Tensor::Ones(Shape{2, 3, 4});
+  Tensor s = Sum(x, {0, 2}, /*keepdim=*/false);
+  EXPECT_EQ(s.shape(), (Shape{3}));
+  EXPECT_EQ(s.ToVector(), (std::vector<double>{8, 8, 8}));
+}
+
+TEST(SumTest, NegativeAxis) {
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(Sum(x, {-1}, false).ToVector(), (std::vector<double>{6, 15}));
+}
+
+TEST(SumTest, EmptyAxesIsIdentity) {
+  Tensor x = Tensor::FromVector(Shape{2}, {3, 4});
+  EXPECT_EQ(Sum(x, {}, false).ToVector(), x.ToVector());
+}
+
+TEST(SumTest, GradBroadcasts) {
+  Tensor x = Tensor::Zeros(Shape{2, 3}).SetRequiresGrad(true);
+  Sum(x).Backward();
+  for (double v : x.grad().ToVector()) EXPECT_EQ(v, 1.0);
+}
+
+TEST(SumTest, DimGradBroadcasts) {
+  Tensor x = Tensor::Zeros(Shape{2, 3}).SetRequiresGrad(true);
+  Tensor s = Sum(x, {0}, false);  // [3]
+  Sum(Mul(s, Tensor::FromVector(Shape{3}, {1, 2, 3}))).Backward();
+  EXPECT_EQ(x.grad().ToVector(), (std::vector<double>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(MeanTest, AllAndDims) {
+  Tensor x = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(Mean(x).item(), 2.5);
+  EXPECT_EQ(Mean(x, {0}, false).ToVector(), (std::vector<double>{2, 3}));
+  EXPECT_EQ(Mean(x, {1}, false).ToVector(), (std::vector<double>{1.5, 3.5}));
+}
+
+TEST(MeanTest, GradScalesByCount) {
+  Tensor x = Tensor::Zeros(Shape{4}).SetRequiresGrad(true);
+  Mean(x).Backward();
+  for (double v : x.grad().ToVector()) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(MaxTest, ValuesAndShapes) {
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 7, 3, 4, 5, 6});
+  Tensor m = Max(x, 1, /*keepdim=*/false);
+  EXPECT_EQ(m.shape(), (Shape{2}));
+  EXPECT_EQ(m.ToVector(), (std::vector<double>{7, 6}));
+  Tensor mk = Max(x, 0, /*keepdim=*/true);
+  EXPECT_EQ(mk.shape(), (Shape{1, 3}));
+  EXPECT_EQ(mk.ToVector(), (std::vector<double>{4, 7, 6}));
+}
+
+TEST(MinTest, Values) {
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 7, 3, 4, 5, 0});
+  EXPECT_EQ(Min(x, 1, false).ToVector(), (std::vector<double>{1, 0}));
+}
+
+TEST(MaxTest, GradGoesToArgmaxOnly) {
+  Tensor x =
+      Tensor::FromVector(Shape{2, 3}, {1, 7, 3, 4, 5, 6}).SetRequiresGrad(true);
+  Sum(Max(x, 1, false)).Backward();
+  EXPECT_EQ(x.grad().ToVector(), (std::vector<double>{0, 1, 0, 0, 0, 1}));
+}
+
+TEST(MinTest, GradGoesToArgminOnly) {
+  Tensor x =
+      Tensor::FromVector(Shape{2, 2}, {3, 1, 2, 5}).SetRequiresGrad(true);
+  Sum(Min(x, 1, false)).Backward();
+  EXPECT_EQ(x.grad().ToVector(), (std::vector<double>{0, 1, 1, 0}));
+}
+
+TEST(ArgMaxTest, IndicesAndShapes) {
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 7, 3, 4, 5, 6});
+  Tensor a = ArgMax(x, 1, false);
+  EXPECT_EQ(a.ToVector(), (std::vector<double>{1, 2}));
+  Tensor ak = ArgMax(x, 0, true);
+  EXPECT_EQ(ak.shape(), (Shape{1, 3}));
+  EXPECT_EQ(ak.ToVector(), (std::vector<double>{1, 0, 1}));
+}
+
+TEST(TopKMaskTest, SelectsLargestPerRow) {
+  Tensor x = Tensor::FromVector(Shape{2, 4}, {1, 9, 3, 7, 8, 2, 6, 4});
+  Tensor m = TopKMask(x, 2, 1);
+  EXPECT_EQ(m.ToVector(), (std::vector<double>{0, 1, 0, 1, 1, 0, 1, 0}));
+}
+
+TEST(TopKMaskTest, KGreaterThanDimKeepsAll) {
+  Tensor x = Tensor::FromVector(Shape{1, 3}, {1, 2, 3});
+  EXPECT_EQ(TopKMask(x, 5, 1).ToVector(), (std::vector<double>{1, 1, 1}));
+}
+
+TEST(TopKMaskTest, KZeroKeepsNone) {
+  Tensor x = Tensor::FromVector(Shape{1, 3}, {1, 2, 3});
+  EXPECT_EQ(TopKMask(x, 0, 1).ToVector(), (std::vector<double>{0, 0, 0}));
+}
+
+TEST(TopKMaskTest, TieBreaksTowardLowerIndex) {
+  Tensor x = Tensor::FromVector(Shape{1, 4}, {5, 5, 5, 5});
+  EXPECT_EQ(TopKMask(x, 2, 1).ToVector(), (std::vector<double>{1, 1, 0, 0}));
+}
+
+TEST(TopKMaskTest, AlongFirstAxis) {
+  Tensor x = Tensor::FromVector(Shape{3, 2}, {1, 6, 5, 4, 3, 2});
+  Tensor m = TopKMask(x, 1, 0);
+  EXPECT_EQ(m.ToVector(), (std::vector<double>{0, 1, 1, 0, 0, 0}));
+}
+
+TEST(SumToTest, ReducesBroadcastAxes) {
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor reduced = internal::SumTo(x, Shape{1, 3});
+  EXPECT_EQ(reduced.ToVector(), (std::vector<double>{5, 7, 9}));
+  Tensor to_scalar = internal::SumTo(x, Shape{});
+  EXPECT_EQ(to_scalar.item(), 21);
+  Tensor to_row = internal::SumTo(x, Shape{3});
+  EXPECT_EQ(to_row.ToVector(), (std::vector<double>{5, 7, 9}));
+}
+
+TEST(SumToTest, SameShapeIsCopy) {
+  Tensor x = Tensor::FromVector(Shape{2}, {1, 2});
+  Tensor y = internal::SumTo(x, Shape{2});
+  y.data()[0] = 50;
+  EXPECT_EQ(x.At({0}), 1);  // deep copy, original untouched
+}
+
+class ReduceGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceGradTest, SumMeanMaxAgainstFiniteDifferences) {
+  Rng rng(100 + GetParam());
+  Tensor x = Tensor::Uniform(Shape{3, 4, 2}, -2, 2, &rng);
+  int64_t axis = GetParam() % 3;
+  bool keepdim = GetParam() % 2 == 0;
+  GradCheckResult r1 = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return Sum(Mul(Sum(in[0], {axis}, keepdim),
+                       Sum(in[0], {axis}, keepdim)));
+      },
+      {x});
+  EXPECT_TRUE(r1.ok) << "sum axis " << axis << ": " << r1.max_error;
+  GradCheckResult r2 = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return Sum(Mean(in[0], {axis}, keepdim));
+      },
+      {x});
+  EXPECT_TRUE(r2.ok) << "mean axis " << axis << ": " << r2.max_error;
+  GradCheckResult r3 = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return Sum(Max(in[0], axis, keepdim));
+      },
+      {x});
+  EXPECT_TRUE(r3.ok) << "max axis " << axis << ": " << r3.max_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, ReduceGradTest, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace emaf::tensor

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "tensor/shape.h"
+
+namespace emaf::tensor {
+namespace {
+
+TEST(ShapeTest, DefaultIsRankZero) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.NumElements(), 1);  // a scalar
+}
+
+TEST(ShapeTest, DimsAndRank) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.NumElements(), 24);
+}
+
+TEST(ShapeTest, NegativeAxisResolution) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.DimChecked(-1), 4);
+  EXPECT_EQ(s.DimChecked(-3), 2);
+  EXPECT_EQ(s.CanonicalAxis(-2), 1);
+}
+
+TEST(ShapeTest, ZeroDimensionGivesZeroElements) {
+  Shape s{2, 0, 4};
+  EXPECT_EQ(s.NumElements(), 0);
+}
+
+TEST(ShapeTest, StridesAreRowMajor) {
+  Shape s{2, 3, 4};
+  std::vector<int64_t> strides = s.Strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ((Shape{2, 3}).ToString(), "[2, 3]");
+  EXPECT_EQ(Shape().ToString(), "[]");
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+}
+
+TEST(BroadcastShapesTest, EqualShapes) {
+  EXPECT_EQ(BroadcastShapes(Shape{2, 3}, Shape{2, 3}), (Shape{2, 3}));
+}
+
+TEST(BroadcastShapesTest, ScalarBroadcast) {
+  EXPECT_EQ(BroadcastShapes(Shape{}, Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes(Shape{2, 3}, Shape{}), (Shape{2, 3}));
+}
+
+TEST(BroadcastShapesTest, OnesExpand) {
+  EXPECT_EQ(BroadcastShapes(Shape{2, 1, 4}, Shape{1, 3, 1}),
+            (Shape{2, 3, 4}));
+}
+
+TEST(BroadcastShapesTest, RankExtension) {
+  EXPECT_EQ(BroadcastShapes(Shape{4}, Shape{2, 3, 4}), (Shape{2, 3, 4}));
+  EXPECT_EQ(BroadcastShapes(Shape{3, 1}, Shape{4}), (Shape{3, 4}));
+}
+
+TEST(BroadcastShapesDeathTest, IncompatibleShapesFail) {
+  EXPECT_DEATH(BroadcastShapes(Shape{2, 3}, Shape{2, 4}),
+               "not broadcastable");
+}
+
+TEST(IsBroadcastableToTest, Cases) {
+  EXPECT_TRUE(IsBroadcastableTo(Shape{1, 3}, Shape{2, 3}));
+  EXPECT_TRUE(IsBroadcastableTo(Shape{3}, Shape{2, 3}));
+  EXPECT_TRUE(IsBroadcastableTo(Shape{}, Shape{2, 3}));
+  EXPECT_TRUE(IsBroadcastableTo(Shape{2, 3}, Shape{2, 3}));
+  EXPECT_FALSE(IsBroadcastableTo(Shape{2}, Shape{2, 3}));
+  EXPECT_FALSE(IsBroadcastableTo(Shape{2, 3}, Shape{3}));
+  EXPECT_FALSE(IsBroadcastableTo(Shape{2, 3, 4}, Shape{3, 4}));
+}
+
+TEST(BroadcastStridesTest, BroadcastAxesGetZeroStride) {
+  std::vector<int64_t> strides =
+      BroadcastStrides(Shape{1, 3}, Shape{2, 3});
+  ASSERT_EQ(strides.size(), 2u);
+  EXPECT_EQ(strides[0], 0);
+  EXPECT_EQ(strides[1], 1);
+}
+
+TEST(BroadcastStridesTest, RankExtensionLeadsWithZeros) {
+  std::vector<int64_t> strides = BroadcastStrides(Shape{4}, Shape{2, 3, 4});
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 0);
+  EXPECT_EQ(strides[1], 0);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(UnravelIndexTest, RoundTripsFlatIndices) {
+  Shape s{2, 3, 4};
+  std::vector<int64_t> strides = s.Strides();
+  std::vector<int64_t> index;
+  for (int64_t flat = 0; flat < s.NumElements(); ++flat) {
+    UnravelIndex(flat, s, &index);
+    int64_t reconstructed = 0;
+    for (int64_t i = 0; i < s.rank(); ++i) {
+      reconstructed += index[i] * strides[i];
+    }
+    EXPECT_EQ(reconstructed, flat);
+  }
+}
+
+}  // namespace
+}  // namespace emaf::tensor

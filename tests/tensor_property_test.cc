@@ -1,0 +1,216 @@
+// Randomized property tests over the tensor layer: algebraic identities
+// and round-trips checked across fuzzed shapes (deterministic seeds).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace emaf::tensor {
+namespace {
+
+Shape RandomShape(Rng* rng, int64_t max_rank = 4, int64_t max_dim = 5) {
+  int64_t rank = rng->UniformInt(1, max_rank);
+  std::vector<int64_t> dims;
+  for (int64_t i = 0; i < rank; ++i) dims.push_back(rng->UniformInt(1, max_dim));
+  return Shape(dims);
+}
+
+// Shape broadcast-compatible with `to`: some axes shrunk to 1, possibly
+// with leading axes dropped.
+Shape RandomBroadcastableTo(const Shape& to, Rng* rng) {
+  int64_t drop = rng->UniformInt(0, to.rank() - 1);
+  std::vector<int64_t> dims;
+  for (int64_t i = drop; i < to.rank(); ++i) {
+    dims.push_back(rng->Bernoulli(0.4) ? 1 : to.dim(i));
+  }
+  return Shape(dims);
+}
+
+class SeededPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeededPropertyTest, AddCommutesAndSubInverts) {
+  Rng rng(1000 + GetParam());
+  Shape shape = RandomShape(&rng);
+  Tensor a = Tensor::Uniform(shape, -3, 3, &rng);
+  Tensor b = Tensor::Uniform(RandomBroadcastableTo(shape, &rng), -3, 3, &rng);
+  Tensor ab = Add(a, b);
+  Tensor ba = Add(b, a);
+  ASSERT_EQ(ab.shape(), ba.shape());
+  for (int64_t i = 0; i < ab.NumElements(); ++i) {
+    EXPECT_DOUBLE_EQ(ab.data()[i], ba.data()[i]);
+  }
+  // (a + b) - b == broadcast(a).
+  Tensor back = Sub(ab, b);
+  Tensor expected = BroadcastTo(a, ab.shape());
+  for (int64_t i = 0; i < back.NumElements(); ++i) {
+    EXPECT_NEAR(back.data()[i], expected.data()[i], 1e-12);
+  }
+}
+
+TEST_P(SeededPropertyTest, MulDistributesOverAdd) {
+  Rng rng(2000 + GetParam());
+  Shape shape = RandomShape(&rng);
+  Tensor a = Tensor::Uniform(shape, -2, 2, &rng);
+  Tensor b = Tensor::Uniform(shape, -2, 2, &rng);
+  Tensor c = Tensor::Uniform(RandomBroadcastableTo(shape, &rng), -2, 2, &rng);
+  Tensor lhs = Mul(c, Add(a, b));
+  Tensor rhs = Add(Mul(c, a), Mul(c, b));
+  for (int64_t i = 0; i < lhs.NumElements(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-10);
+  }
+}
+
+TEST_P(SeededPropertyTest, SumMatchesAxisByAxisReduction) {
+  Rng rng(3000 + GetParam());
+  Shape shape = RandomShape(&rng, 4, 4);
+  Tensor x = Tensor::Uniform(shape, -2, 2, &rng);
+  // Sum over all axes one at a time equals Sum(x).
+  Tensor step = x;
+  for (int64_t i = 0; i < shape.rank(); ++i) {
+    step = Sum(step, {0}, /*keepdim=*/false);
+  }
+  EXPECT_NEAR(step.item(), Sum(x).item(), 1e-9);
+}
+
+TEST_P(SeededPropertyTest, PermuteRoundTripIsIdentity) {
+  Rng rng(4000 + GetParam());
+  Shape shape = RandomShape(&rng, 4, 4);
+  Tensor x = Tensor::Uniform(shape, -2, 2, &rng);
+  std::vector<int64_t> perm(shape.rank());
+  for (int64_t i = 0; i < shape.rank(); ++i) perm[i] = i;
+  rng.Shuffle(&perm);
+  std::vector<int64_t> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
+  }
+  Tensor round_trip = Permute(Permute(x, perm), inverse);
+  EXPECT_EQ(round_trip.ToVector(), x.ToVector());
+}
+
+TEST_P(SeededPropertyTest, CatOfSlicesReassembles) {
+  Rng rng(5000 + GetParam());
+  Shape shape = RandomShape(&rng, 3, 6);
+  Tensor x = Tensor::Uniform(shape, -2, 2, &rng);
+  int64_t axis = rng.UniformInt(0, shape.rank() - 1);
+  int64_t d = shape.dim(axis);
+  if (d < 2) return;
+  int64_t cut = rng.UniformInt(1, d - 1);
+  Tensor reassembled =
+      Cat({Slice(x, axis, 0, cut), Slice(x, axis, cut, d)}, axis);
+  EXPECT_EQ(reassembled.ToVector(), x.ToVector());
+}
+
+TEST_P(SeededPropertyTest, MatMulAssociativity) {
+  Rng rng(6000 + GetParam());
+  int64_t m = rng.UniformInt(1, 5);
+  int64_t k = rng.UniformInt(1, 5);
+  int64_t l = rng.UniformInt(1, 5);
+  int64_t n = rng.UniformInt(1, 5);
+  Tensor a = Tensor::Uniform(Shape{m, k}, -2, 2, &rng);
+  Tensor b = Tensor::Uniform(Shape{k, l}, -2, 2, &rng);
+  Tensor c = Tensor::Uniform(Shape{l, n}, -2, 2, &rng);
+  Tensor left = MatMul(MatMul(a, b), c);
+  Tensor right = MatMul(a, MatMul(b, c));
+  for (int64_t i = 0; i < left.NumElements(); ++i) {
+    EXPECT_NEAR(left.data()[i], right.data()[i], 1e-9);
+  }
+}
+
+TEST_P(SeededPropertyTest, MatMulTransposeIdentity) {
+  // (A B)^T == B^T A^T.
+  Rng rng(7000 + GetParam());
+  int64_t m = rng.UniformInt(1, 6);
+  int64_t k = rng.UniformInt(1, 6);
+  int64_t n = rng.UniformInt(1, 6);
+  Tensor a = Tensor::Uniform(Shape{m, k}, -2, 2, &rng);
+  Tensor b = Tensor::Uniform(Shape{k, n}, -2, 2, &rng);
+  Tensor lhs = TransposeLast2(MatMul(a, b));
+  Tensor rhs = MatMul(TransposeLast2(b), TransposeLast2(a));
+  for (int64_t i = 0; i < lhs.NumElements(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-10);
+  }
+}
+
+TEST_P(SeededPropertyTest, SoftmaxPreservesOrderAndNormalizes) {
+  Rng rng(8000 + GetParam());
+  int64_t n = rng.UniformInt(2, 8);
+  Tensor x = Tensor::Uniform(Shape{1, n}, -4, 4, &rng);
+  Tensor y = Softmax(x, 1);
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += y.At({0, i});
+    EXPECT_GT(y.At({0, i}), 0.0);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (x.At({0, i}) < x.At({0, j})) {
+        EXPECT_LT(y.At({0, i}), y.At({0, j}));
+      }
+    }
+  }
+}
+
+TEST_P(SeededPropertyTest, GradientOfRandomCompositePipeline) {
+  // Fuzzed composite of elementwise + reduce + shape ops must pass the
+  // finite-difference check.
+  Rng rng(9000 + GetParam());
+  Shape shape = RandomShape(&rng, 3, 4);
+  Tensor x = Tensor::Uniform(shape, 0.2, 1.8, &rng);
+  int64_t variant = GetParam() % 4;
+  GradCheckResult r = CheckGradients(
+      [variant](const std::vector<Tensor>& in) {
+        Tensor t = in[0];
+        switch (variant) {
+          case 0:
+            t = Mul(Sigmoid(t), Tanh(t));
+            break;
+          case 1:
+            t = Exp(MulScalar(Log(t), 0.5));
+            break;
+          case 2:
+            t = Div(t, AddScalar(Sqrt(t), 1.0));
+            break;
+          default:
+            t = Relu(AddScalar(t, -1.0));
+            break;
+        }
+        return Mean(Mul(t, t));
+      },
+      {x}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << "variant " << variant << " err " << r.max_error;
+}
+
+TEST_P(SeededPropertyTest, TopKMaskKeepsExactlyKPerSlice) {
+  Rng rng(10000 + GetParam());
+  int64_t rows = rng.UniformInt(1, 6);
+  int64_t cols = rng.UniformInt(2, 8);
+  int64_t k = rng.UniformInt(1, cols);
+  Tensor x = Tensor::Uniform(Shape{rows, cols}, -5, 5, &rng);
+  Tensor mask = TopKMask(x, k, 1);
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t kept = 0;
+    double min_kept = 1e300;
+    double max_dropped = -1e300;
+    for (int64_t c = 0; c < cols; ++c) {
+      if (mask.At({r, c}) == 1.0) {
+        ++kept;
+        min_kept = std::min(min_kept, x.At({r, c}));
+      } else {
+        max_dropped = std::max(max_dropped, x.At({r, c}));
+      }
+    }
+    EXPECT_EQ(kept, k);
+    if (k < cols) EXPECT_GE(min_kept, max_dropped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace emaf::tensor

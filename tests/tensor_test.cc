@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace emaf::tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, ZerosInitializesToZero) {
+  Tensor t = Tensor::Zeros(Shape{2, 3});
+  for (double v : t.ToVector()) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(t.NumElements(), 6);
+}
+
+TEST(TensorTest, OnesAndFull) {
+  Tensor ones = Tensor::Ones(Shape{4});
+  for (double v : ones.ToVector()) EXPECT_EQ(v, 1.0);
+  Tensor full = Tensor::Full(Shape{2, 2}, -2.5);
+  for (double v : full.ToVector()) EXPECT_EQ(v, -2.5);
+}
+
+TEST(TensorTest, FromVectorPreservesOrder) {
+  Tensor t = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.At({0, 0}), 1);
+  EXPECT_EQ(t.At({0, 1}), 2);
+  EXPECT_EQ(t.At({1, 0}), 3);
+  EXPECT_EQ(t.At({1, 1}), 4);
+}
+
+TEST(TensorDeathTest, FromVectorSizeMismatch) {
+  EXPECT_DEATH(Tensor::FromVector(Shape{2, 2}, {1, 2, 3}), "");
+}
+
+TEST(TensorTest, FromScalarIsRankZero) {
+  Tensor t = Tensor::FromScalar(3.5);
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.item(), 3.5);
+}
+
+TEST(TensorTest, EyeIsIdentity) {
+  Tensor eye = Tensor::Eye(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye.At({i, j}), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(TensorTest, ArangeCountsUp) {
+  Tensor t = Tensor::Arange(4);
+  EXPECT_EQ(t.ToVector(), (std::vector<double>{0, 1, 2, 3}));
+}
+
+TEST(TensorTest, UniformRespectsRange) {
+  Rng rng(3);
+  Tensor t = Tensor::Uniform(Shape{100}, -1.0, 2.0, &rng);
+  for (double v : t.ToVector()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(TensorTest, BernoulliIsZeroOne) {
+  Rng rng(3);
+  Tensor t = Tensor::Bernoulli(Shape{100}, 0.5, &rng);
+  for (double v : t.ToVector()) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(TensorTest, SetAndAt) {
+  Tensor t = Tensor::Zeros(Shape{2, 3});
+  t.Set({1, 2}, 9.0);
+  EXPECT_EQ(t.At({1, 2}), 9.0);
+  EXPECT_EQ(t.At({0, 2}), 0.0);
+}
+
+TEST(TensorDeathTest, AtOutOfRange) {
+  Tensor t = Tensor::Zeros(Shape{2, 2});
+  EXPECT_DEATH(t.At({2, 0}), "");
+  EXPECT_DEATH(t.At({0}), "");
+}
+
+TEST(TensorDeathTest, ItemRequiresSingleElement) {
+  Tensor t = Tensor::Zeros(Shape{2});
+  EXPECT_DEATH(t.item(), "");
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Full(Shape{2}, 1.0);
+  Tensor b = a.Clone();
+  b.data()[0] = 5.0;
+  EXPECT_EQ(a.At({0}), 1.0);
+  EXPECT_EQ(b.At({0}), 5.0);
+}
+
+TEST(TensorTest, DetachSharesStorage) {
+  Tensor a = Tensor::Full(Shape{2}, 1.0);
+  Tensor b = a.Detach();
+  b.data()[0] = 5.0;
+  EXPECT_EQ(a.At({0}), 5.0);
+}
+
+TEST(TensorTest, DetachDropsGradTracking) {
+  Tensor a = Tensor::Ones(Shape{2}).SetRequiresGrad(true);
+  Tensor b = Mul(a, a);
+  EXPECT_TRUE(b.TracksGrad());
+  EXPECT_FALSE(b.Detach().TracksGrad());
+}
+
+TEST(TensorTest, RequiresGradDefaultsOff) {
+  Tensor t = Tensor::Zeros(Shape{2});
+  EXPECT_FALSE(t.requires_grad());
+  t.SetRequiresGrad(true);
+  EXPECT_TRUE(t.requires_grad());
+  EXPECT_TRUE(t.TracksGrad());
+}
+
+TEST(TensorDeathTest, SetRequiresGradOnNonLeafFails) {
+  Tensor a = Tensor::Ones(Shape{2}).SetRequiresGrad(true);
+  Tensor b = Mul(a, a);
+  EXPECT_DEATH(b.SetRequiresGrad(true), "leaf");
+}
+
+TEST(TensorTest, GradUndefinedBeforeBackward) {
+  Tensor t = Tensor::Zeros(Shape{2}).SetRequiresGrad(true);
+  EXPECT_FALSE(t.grad().defined());
+}
+
+TEST(TensorTest, FillOverwritesAll) {
+  Tensor t = Tensor::Zeros(Shape{3});
+  t.Fill(2.0);
+  for (double v : t.ToVector()) EXPECT_EQ(v, 2.0);
+}
+
+TEST(TensorTest, ToStringIncludesShapeAndValues) {
+  Tensor t = Tensor::FromVector(Shape{2}, {1, 2});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("[2]"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_EQ(Tensor().ToString(), "Tensor(undefined)");
+}
+
+TEST(TensorTest, ToStringLargeTensorOmitsValues) {
+  Tensor t = Tensor::Zeros(Shape{100});
+  EXPECT_EQ(t.ToString().find("{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emaf::tensor

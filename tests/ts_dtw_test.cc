@@ -1,0 +1,133 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/distance.h"
+#include "ts/dtw.h"
+
+namespace emaf::ts {
+namespace {
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  std::vector<double> a = {1, 2, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(DtwTest, IsSymmetric) {
+  std::vector<double> a = {1, 3, 2, 5};
+  std::vector<double> b = {2, 2, 4, 4, 1};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+}
+
+TEST(DtwTest, NonNegative) {
+  std::vector<double> a = {0, 1};
+  std::vector<double> b = {5, -3, 2};
+  EXPECT_GT(DtwDistance(a, b), 0.0);
+}
+
+TEST(DtwTest, BoundedByEuclideanForEqualLength) {
+  // DTW can only relax the alignment, never worsen it.
+  std::vector<double> a = {1, 5, 2, 8, 3, 9};
+  std::vector<double> b = {2, 4, 1, 9, 2, 7};
+  EXPECT_LE(DtwDistance(a, b), EuclideanDistance(a, b) + 1e-12);
+}
+
+TEST(DtwTest, ForgivesTimeShift) {
+  // b is a delayed by two steps: DTW should be far smaller than Euclidean.
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(std::sin(0.4 * i));
+    b.push_back(std::sin(0.4 * (i - 2)));
+  }
+  EXPECT_LT(DtwDistance(a, b), 0.5 * EuclideanDistance(a, b));
+}
+
+TEST(DtwTest, SingleElementSeries) {
+  std::vector<double> a = {2.0};
+  std::vector<double> b = {5.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 3.0);
+  std::vector<double> c = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, c), std::sqrt(3.0 * 9.0));
+}
+
+TEST(DtwTest, DifferentLengthsWork) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {1, 1, 2, 2, 3, 3};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 0.0);  // perfect warp
+}
+
+TEST(DtwTest, BandConstraintTightensDistance) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(std::sin(0.5 * i));
+    b.push_back(std::sin(0.5 * (i - 4)));
+  }
+  DtwOptions narrow;
+  narrow.window = 1;
+  DtwOptions wide;
+  wide.window = 10;
+  // Narrower band restricts warping -> distance can only grow.
+  EXPECT_GE(DtwDistance(a, b, narrow), DtwDistance(a, b, wide) - 1e-12);
+}
+
+TEST(DtwTest, BandWideEnoughMatchesUnconstrained) {
+  std::vector<double> a = {1, 3, 2, 4, 1};
+  std::vector<double> b = {2, 1, 4, 2, 2};
+  DtwOptions wide;
+  wide.window = 5;
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b, wide), DtwDistance(a, b));
+}
+
+TEST(DtwTest, BandAutoWidensForLengthDifference) {
+  std::vector<double> a = {1, 2};
+  std::vector<double> b = {1, 2, 3, 4, 5, 6};
+  DtwOptions narrow;
+  narrow.window = 0;  // would be infeasible without auto-widening
+  EXPECT_GT(DtwDistance(a, b, narrow), 0.0);
+}
+
+TEST(DtwPathTest, StartsAndEndsAtCorners) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {1, 3, 4};
+  std::vector<std::pair<int64_t, int64_t>> path = DtwPath(a, b);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (std::pair<int64_t, int64_t>{0, 0}));
+  EXPECT_EQ(path.back(), (std::pair<int64_t, int64_t>{3, 2}));
+}
+
+TEST(DtwPathTest, IsMonotonicAndContiguous) {
+  std::vector<double> a = {1, 5, 2, 4, 3};
+  std::vector<double> b = {2, 4, 1, 5};
+  std::vector<std::pair<int64_t, int64_t>> path = DtwPath(a, b);
+  for (size_t i = 1; i < path.size(); ++i) {
+    int64_t di = path[i].first - path[i - 1].first;
+    int64_t dj = path[i].second - path[i - 1].second;
+    EXPECT_GE(di, 0);
+    EXPECT_GE(dj, 0);
+    EXPECT_LE(di, 1);
+    EXPECT_LE(dj, 1);
+    EXPECT_GE(di + dj, 1);
+  }
+}
+
+TEST(DtwPathTest, IdenticalSeriesIsDiagonal) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<std::pair<int64_t, int64_t>> path = DtwPath(a, a);
+  ASSERT_EQ(path.size(), 3u);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(path[static_cast<size_t>(i)].first, i);
+    EXPECT_EQ(path[static_cast<size_t>(i)].second, i);
+  }
+}
+
+TEST(DtwDeathTest, EmptySeries) {
+  std::vector<double> a = {};
+  std::vector<double> b = {1.0};
+  EXPECT_DEATH(DtwDistance(a, b), "");
+}
+
+}  // namespace
+}  // namespace emaf::ts

@@ -1,0 +1,123 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/distance.h"
+#include "ts/stats.h"
+
+namespace emaf::ts {
+namespace {
+
+TEST(MeanTest, Basic) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{7}), 7.0);
+}
+
+TEST(VarianceTest, PopulationVariance) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{3, 3, 3}), 0.0);
+}
+
+TEST(StdDevTest, SqrtOfVariance) {
+  std::vector<double> v = {0, 2};
+  EXPECT_DOUBLE_EQ(StdDev(v), 1.0);
+}
+
+TEST(QuantileTest, EndpointsAndMedian) {
+  std::vector<double> v = {4, 1, 3, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+}
+
+TEST(QuantileTest, LinearInterpolation) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 7.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  std::vector<double> v = {5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.3), 5.0);
+}
+
+TEST(PearsonTest, PerfectPositive) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftAndScaleInvariant) {
+  std::vector<double> a = {1, 5, 2, 8, 3};
+  std::vector<double> b = a;
+  for (double& x : b) x = 100.0 - 3.0 * x;
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  std::vector<double> a = {1, 1, 1};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(PearsonTest, IndependentSeriesNearZero) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(std::sin(0.1 * i));
+    b.push_back(std::sin(10000.0 + 7.3 * i));
+  }
+  EXPECT_LT(std::abs(PearsonCorrelation(a, b)), 0.15);
+}
+
+TEST(BoxStatsTest, FiveNumberSummary) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  BoxStats stats = ComputeBoxStats(v);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.q1, 2.0);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+  EXPECT_DOUBLE_EQ(stats.q3, 4.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+}
+
+TEST(EuclideanDistanceTest, KnownValues) {
+  std::vector<double> a = {0, 0};
+  std::vector<double> b = {3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(CorrelationDistanceTest, Range) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(CorrelationDistance(a, b), 0.0, 1e-12);
+  std::vector<double> c = {4, 3, 2, 1};
+  EXPECT_NEAR(CorrelationDistance(a, c), 0.0, 1e-12);  // |r| = 1
+}
+
+TEST(StatsDeathTest, EmptyInputs) {
+  std::vector<double> empty;
+  EXPECT_DEATH(Mean(empty), "");
+  EXPECT_DEATH(Quantile(empty, 0.5), "");
+}
+
+TEST(StatsDeathTest, MismatchedLengths) {
+  std::vector<double> a = {1, 2};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DEATH(PearsonCorrelation(a, b), "");
+  EXPECT_DEATH(EuclideanDistance(a, b), "");
+}
+
+}  // namespace
+}  // namespace emaf::ts

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "ts/normalize.h"
+#include "ts/window.h"
+
+namespace emaf::ts {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// data[t][v] = 10 t + v so every window element is identifiable.
+Tensor GridData(int64_t rows, int64_t cols) {
+  Tensor data = Tensor::Zeros(Shape{rows, cols});
+  double* d = data.data();
+  for (int64_t t = 0; t < rows; ++t) {
+    for (int64_t v = 0; v < cols; ++v) {
+      d[t * cols + v] = 10.0 * static_cast<double>(t) + static_cast<double>(v);
+    }
+  }
+  return data;
+}
+
+TEST(BuildWindowsTest, CountsWithoutContext) {
+  Tensor data = GridData(10, 3);
+  WindowDataset ds = BuildWindows(data, 2, 0, 10, /*allow_context=*/false);
+  // Targets at rows 2..9 -> 8 windows.
+  EXPECT_EQ(ds.num_windows(), 8);
+  EXPECT_EQ(ds.inputs.shape(), (Shape{8, 2, 3}));
+  EXPECT_EQ(ds.targets.shape(), (Shape{8, 3}));
+}
+
+TEST(BuildWindowsTest, InputPrecedesTarget) {
+  Tensor data = GridData(10, 2);
+  WindowDataset ds = BuildWindows(data, 3, 0, 10, false);
+  // First window: inputs rows 0,1,2 -> target row 3.
+  EXPECT_DOUBLE_EQ(ds.inputs.At({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ds.inputs.At({0, 2, 1}), 21.0);
+  EXPECT_DOUBLE_EQ(ds.targets.At({0, 0}), 30.0);
+  // Last window: target row 9.
+  EXPECT_DOUBLE_EQ(ds.targets.At({ds.num_windows() - 1, 0}), 90.0);
+}
+
+TEST(BuildWindowsTest, ContextReachesBeforeStart) {
+  Tensor data = GridData(10, 2);
+  // Test region rows [6, 10): with context every test row is a target.
+  WindowDataset ds = BuildWindows(data, 3, 6, 10, /*allow_context=*/true);
+  EXPECT_EQ(ds.num_windows(), 4);
+  // First target is row 6; its first input row is 3 (inside train region).
+  EXPECT_DOUBLE_EQ(ds.targets.At({0, 0}), 60.0);
+  EXPECT_DOUBLE_EQ(ds.inputs.At({0, 0, 0}), 30.0);
+}
+
+TEST(BuildWindowsTest, WithoutContextTestTargetsShift) {
+  Tensor data = GridData(10, 2);
+  WindowDataset ds = BuildWindows(data, 3, 6, 10, /*allow_context=*/false);
+  EXPECT_EQ(ds.num_windows(), 1);  // only row 9 has full in-region history
+  EXPECT_DOUBLE_EQ(ds.targets.At({0, 0}), 90.0);
+}
+
+TEST(BuildWindowsTest, ContextClampsAtSeriesStart) {
+  Tensor data = GridData(10, 2);
+  // Even with context, a target needs `input_length` rows of history.
+  WindowDataset ds = BuildWindows(data, 4, 0, 10, /*allow_context=*/true);
+  EXPECT_EQ(ds.num_windows(), 6);
+  EXPECT_DOUBLE_EQ(ds.targets.At({0, 0}), 40.0);
+}
+
+TEST(BuildWindowsTest, EmptyWhenRegionTooSmall) {
+  Tensor data = GridData(5, 2);
+  WindowDataset ds = BuildWindows(data, 5, 0, 5, false);
+  EXPECT_EQ(ds.num_windows(), 0);
+  EXPECT_FALSE(ds.inputs.defined());
+}
+
+TEST(BuildWindowsTest, SeqOneUsesSinglePreviousRow) {
+  Tensor data = GridData(4, 2);
+  WindowDataset ds = BuildWindows(data, 1, 0, 4, false);
+  EXPECT_EQ(ds.num_windows(), 3);
+  EXPECT_DOUBLE_EQ(ds.inputs.At({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ds.targets.At({0, 0}), 10.0);
+}
+
+TEST(SequentialSplitTest, SeventyThirty) {
+  EXPECT_EQ(SequentialSplitIndex(100, 0.7), 70);
+  EXPECT_EQ(SequentialSplitIndex(140, 0.7), 98);
+  EXPECT_EQ(SequentialSplitIndex(10, 0.7), 7);
+}
+
+TEST(SequentialSplitTest, NeverEmptySides) {
+  EXPECT_EQ(SequentialSplitIndex(2, 0.01), 1);
+  EXPECT_EQ(SequentialSplitIndex(2, 0.99), 1);
+  EXPECT_EQ(SequentialSplitIndex(3, 0.95), 2);
+}
+
+TEST(ZScoreTest, ColumnsBecomeStandardized) {
+  Tensor data = GridData(50, 3);
+  NormalizationStats stats = ZScoreColumns(&data);
+  const double* d = data.data();
+  for (int64_t v = 0; v < 3; ++v) {
+    double mean = 0.0;
+    for (int64_t t = 0; t < 50; ++t) mean += d[t * 3 + v];
+    mean /= 50.0;
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    double var = 0.0;
+    for (int64_t t = 0; t < 50; ++t) {
+      var += d[t * 3 + v] * d[t * 3 + v];
+    }
+    EXPECT_NEAR(var / 50.0, 1.0, 1e-10);
+  }
+  EXPECT_EQ(stats.mean.size(), 3u);
+}
+
+TEST(ZScoreTest, ConstantColumnCentredNotScaled) {
+  Tensor data = Tensor::Full(Shape{10, 1}, 4.0);
+  NormalizationStats stats = ZScoreColumns(&data);
+  for (double v : data.ToVector()) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev[0], 1.0);
+}
+
+TEST(ZScoreTest, InverseRestoresOriginal) {
+  Tensor data = GridData(20, 2);
+  Tensor original = data.Clone();
+  NormalizationStats stats = ZScoreColumns(&data);
+  InverseZScoreColumns(&data, stats);
+  for (int64_t i = 0; i < data.NumElements(); ++i) {
+    EXPECT_NEAR(data.data()[i], original.data()[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace emaf::ts
