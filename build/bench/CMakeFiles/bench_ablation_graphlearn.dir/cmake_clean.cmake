@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_graphlearn.dir/bench_ablation_graphlearn.cc.o"
+  "CMakeFiles/bench_ablation_graphlearn.dir/bench_ablation_graphlearn.cc.o.d"
+  "bench_ablation_graphlearn"
+  "bench_ablation_graphlearn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_graphlearn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pervariable.dir/bench_ablation_pervariable.cc.o"
+  "CMakeFiles/bench_ablation_pervariable.dir/bench_ablation_pervariable.cc.o.d"
+  "bench_ablation_pervariable"
+  "bench_ablation_pervariable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pervariable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

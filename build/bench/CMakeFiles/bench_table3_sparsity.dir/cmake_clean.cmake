@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sparsity.dir/bench_table3_sparsity.cc.o"
+  "CMakeFiles/bench_table3_sparsity.dir/bench_table3_sparsity.cc.o.d"
+  "bench_table3_sparsity"
+  "bench_table3_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_graph_export.dir/learned_graph_export.cpp.o"
+  "CMakeFiles/learned_graph_export.dir/learned_graph_export.cpp.o.d"
+  "learned_graph_export"
+  "learned_graph_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_graph_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

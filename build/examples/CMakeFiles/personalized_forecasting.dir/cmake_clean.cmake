@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_forecasting.dir/personalized_forecasting.cpp.o"
+  "CMakeFiles/personalized_forecasting.dir/personalized_forecasting.cpp.o.d"
+  "personalized_forecasting"
+  "personalized_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/emaf.dir/common/env.cc.o" "gcc" "src/CMakeFiles/emaf.dir/common/env.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/emaf.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/emaf.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/emaf.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/emaf.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/emaf.dir/common/status.cc.o" "gcc" "src/CMakeFiles/emaf.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/emaf.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/emaf.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/emaf.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/emaf.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/emaf.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/emaf.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/emaf.dir/core/report.cc.o" "gcc" "src/CMakeFiles/emaf.dir/core/report.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/emaf.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/emaf.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/emaf.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/emaf.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/emaf.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/emaf.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/ema_items.cc" "src/CMakeFiles/emaf.dir/data/ema_items.cc.o" "gcc" "src/CMakeFiles/emaf.dir/data/ema_items.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/emaf.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/emaf.dir/data/generator.cc.o.d"
+  "/root/repo/src/graph/adjacency.cc" "src/CMakeFiles/emaf.dir/graph/adjacency.cc.o" "gcc" "src/CMakeFiles/emaf.dir/graph/adjacency.cc.o.d"
+  "/root/repo/src/graph/construction.cc" "src/CMakeFiles/emaf.dir/graph/construction.cc.o" "gcc" "src/CMakeFiles/emaf.dir/graph/construction.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/CMakeFiles/emaf.dir/graph/metrics.cc.o" "gcc" "src/CMakeFiles/emaf.dir/graph/metrics.cc.o.d"
+  "/root/repo/src/graph/spectral.cc" "src/CMakeFiles/emaf.dir/graph/spectral.cc.o" "gcc" "src/CMakeFiles/emaf.dir/graph/spectral.cc.o.d"
+  "/root/repo/src/models/a3tgcn.cc" "src/CMakeFiles/emaf.dir/models/a3tgcn.cc.o" "gcc" "src/CMakeFiles/emaf.dir/models/a3tgcn.cc.o.d"
+  "/root/repo/src/models/astgcn.cc" "src/CMakeFiles/emaf.dir/models/astgcn.cc.o" "gcc" "src/CMakeFiles/emaf.dir/models/astgcn.cc.o.d"
+  "/root/repo/src/models/forecaster.cc" "src/CMakeFiles/emaf.dir/models/forecaster.cc.o" "gcc" "src/CMakeFiles/emaf.dir/models/forecaster.cc.o.d"
+  "/root/repo/src/models/lstm_forecaster.cc" "src/CMakeFiles/emaf.dir/models/lstm_forecaster.cc.o" "gcc" "src/CMakeFiles/emaf.dir/models/lstm_forecaster.cc.o.d"
+  "/root/repo/src/models/mtgnn.cc" "src/CMakeFiles/emaf.dir/models/mtgnn.cc.o" "gcc" "src/CMakeFiles/emaf.dir/models/mtgnn.cc.o.d"
+  "/root/repo/src/models/var_baseline.cc" "src/CMakeFiles/emaf.dir/models/var_baseline.cc.o" "gcc" "src/CMakeFiles/emaf.dir/models/var_baseline.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/emaf.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/emaf.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/emaf.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/graph_conv.cc" "src/CMakeFiles/emaf.dir/nn/graph_conv.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/graph_conv.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/emaf.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/emaf.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/emaf.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/emaf.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/emaf.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/CMakeFiles/emaf.dir/nn/rnn.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/rnn.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/emaf.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/emaf.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/tensor/autograd.cc" "src/CMakeFiles/emaf.dir/tensor/autograd.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/autograd.cc.o.d"
+  "/root/repo/src/tensor/grad_check.cc" "src/CMakeFiles/emaf.dir/tensor/grad_check.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/grad_check.cc.o.d"
+  "/root/repo/src/tensor/ops_activation.cc" "src/CMakeFiles/emaf.dir/tensor/ops_activation.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/ops_activation.cc.o.d"
+  "/root/repo/src/tensor/ops_conv.cc" "src/CMakeFiles/emaf.dir/tensor/ops_conv.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/ops_conv.cc.o.d"
+  "/root/repo/src/tensor/ops_elementwise.cc" "src/CMakeFiles/emaf.dir/tensor/ops_elementwise.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/ops_elementwise.cc.o.d"
+  "/root/repo/src/tensor/ops_loss.cc" "src/CMakeFiles/emaf.dir/tensor/ops_loss.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/ops_loss.cc.o.d"
+  "/root/repo/src/tensor/ops_matmul.cc" "src/CMakeFiles/emaf.dir/tensor/ops_matmul.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/ops_matmul.cc.o.d"
+  "/root/repo/src/tensor/ops_reduce.cc" "src/CMakeFiles/emaf.dir/tensor/ops_reduce.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/ops_reduce.cc.o.d"
+  "/root/repo/src/tensor/ops_shape.cc" "src/CMakeFiles/emaf.dir/tensor/ops_shape.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/ops_shape.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/emaf.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/emaf.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/emaf.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/ts/distance.cc" "src/CMakeFiles/emaf.dir/ts/distance.cc.o" "gcc" "src/CMakeFiles/emaf.dir/ts/distance.cc.o.d"
+  "/root/repo/src/ts/dtw.cc" "src/CMakeFiles/emaf.dir/ts/dtw.cc.o" "gcc" "src/CMakeFiles/emaf.dir/ts/dtw.cc.o.d"
+  "/root/repo/src/ts/normalize.cc" "src/CMakeFiles/emaf.dir/ts/normalize.cc.o" "gcc" "src/CMakeFiles/emaf.dir/ts/normalize.cc.o.d"
+  "/root/repo/src/ts/stats.cc" "src/CMakeFiles/emaf.dir/ts/stats.cc.o" "gcc" "src/CMakeFiles/emaf.dir/ts/stats.cc.o.d"
+  "/root/repo/src/ts/window.cc" "src/CMakeFiles/emaf.dir/ts/window.cc.o" "gcc" "src/CMakeFiles/emaf.dir/ts/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for emaf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_adjacency_test.dir/graph_adjacency_test.cc.o"
+  "CMakeFiles/graph_adjacency_test.dir/graph_adjacency_test.cc.o.d"
+  "graph_adjacency_test"
+  "graph_adjacency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_adjacency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

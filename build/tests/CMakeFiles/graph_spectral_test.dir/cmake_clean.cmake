@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_spectral_test.dir/graph_spectral_test.cc.o"
+  "CMakeFiles/graph_spectral_test.dir/graph_spectral_test.cc.o.d"
+  "graph_spectral_test"
+  "graph_spectral_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_spectral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtgnn_learner_test.dir/mtgnn_learner_test.cc.o"
+  "CMakeFiles/mtgnn_learner_test.dir/mtgnn_learner_test.cc.o.d"
+  "mtgnn_learner_test"
+  "mtgnn_learner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtgnn_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

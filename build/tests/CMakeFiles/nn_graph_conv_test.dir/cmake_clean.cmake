@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_graph_conv_test.dir/nn_graph_conv_test.cc.o"
+  "CMakeFiles/nn_graph_conv_test.dir/nn_graph_conv_test.cc.o.d"
+  "nn_graph_conv_test"
+  "nn_graph_conv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_graph_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_activation_test.dir/ops_activation_test.cc.o"
+  "CMakeFiles/ops_activation_test.dir/ops_activation_test.cc.o.d"
+  "ops_activation_test"
+  "ops_activation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_activation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_conv_test.dir/ops_conv_test.cc.o"
+  "CMakeFiles/ops_conv_test.dir/ops_conv_test.cc.o.d"
+  "ops_conv_test"
+  "ops_conv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

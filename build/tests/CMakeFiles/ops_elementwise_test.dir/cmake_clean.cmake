@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_elementwise_test.dir/ops_elementwise_test.cc.o"
+  "CMakeFiles/ops_elementwise_test.dir/ops_elementwise_test.cc.o.d"
+  "ops_elementwise_test"
+  "ops_elementwise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_elementwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_matmul_test.dir/ops_matmul_test.cc.o"
+  "CMakeFiles/ops_matmul_test.dir/ops_matmul_test.cc.o.d"
+  "ops_matmul_test"
+  "ops_matmul_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

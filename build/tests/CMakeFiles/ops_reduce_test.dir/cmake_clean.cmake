@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_reduce_test.dir/ops_reduce_test.cc.o"
+  "CMakeFiles/ops_reduce_test.dir/ops_reduce_test.cc.o.d"
+  "ops_reduce_test"
+  "ops_reduce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

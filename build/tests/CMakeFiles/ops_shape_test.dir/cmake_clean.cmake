@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_shape_test.dir/ops_shape_test.cc.o"
+  "CMakeFiles/ops_shape_test.dir/ops_shape_test.cc.o.d"
+  "ops_shape_test"
+  "ops_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_dtw_test.dir/ts_dtw_test.cc.o"
+  "CMakeFiles/ts_dtw_test.dir/ts_dtw_test.cc.o.d"
+  "ts_dtw_test"
+  "ts_dtw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_dtw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_stats_test.dir/ts_stats_test.cc.o"
+  "CMakeFiles/ts_stats_test.dir/ts_stats_test.cc.o.d"
+  "ts_stats_test"
+  "ts_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_window_test.dir/ts_window_test.cc.o"
+  "CMakeFiles/ts_window_test.dir/ts_window_test.cc.o.d"
+  "ts_window_test"
+  "ts_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

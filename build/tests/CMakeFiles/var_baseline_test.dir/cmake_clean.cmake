@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/var_baseline_test.dir/var_baseline_test.cc.o"
+  "CMakeFiles/var_baseline_test.dir/var_baseline_test.cc.o.d"
+  "var_baseline_test"
+  "var_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/var_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
