@@ -24,6 +24,7 @@ void SetHidden(core::ExperimentConfig* config, int64_t hidden) {
 
 void Run() {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::RunReporter reporter("ablation_capacity", scale);
   bench::PrintScale("Ablation: hidden units 16 vs 32", scale);
 
   core::TablePrinter table({"Model", "hidden=16", "hidden=32"});

@@ -30,6 +30,7 @@ struct Variant {
 
 void Run() {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::RunReporter reporter("ablation_graphlearn", scale);
   bench::PrintScale("Ablation: graph-learning mechanisms", scale);
 
   core::ExperimentConfig config = bench::MakeConfig(scale);

@@ -33,6 +33,7 @@ const char* BlockName(data::EmaBlock block) {
 
 void Run() {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::RunReporter reporter("ablation_pervariable", scale);
   bench::PrintScale("Ablation: per-variable MSE decomposition", scale);
 
   core::ExperimentConfig config = bench::MakeConfig(scale);

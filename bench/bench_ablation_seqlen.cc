@@ -15,6 +15,7 @@ namespace {
 
 void Run() {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::RunReporter reporter("ablation_seqlen", scale);
   bench::PrintScale("Ablation: input sequence length L = 1..8", scale);
 
   core::ExperimentConfig config = bench::MakeConfig(scale);

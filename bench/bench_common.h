@@ -16,11 +16,15 @@
 #ifndef EMAF_BENCH_BENCH_COMMON_H_
 #define EMAF_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/env.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "data/generator.h"
@@ -85,9 +89,58 @@ inline void PrintScale(const char* title, const BenchScale& scale) {
   std::cout << "=== " << title << " ===\n"
             << "scale: " << scale.individuals << " individuals, "
             << scale.days << " days, " << scale.epochs << " epochs, seed "
-            << scale.seed << (scale.full ? " [FULL]" : " [reduced]") << "\n"
-            << "(set EMAF_BENCH_FULL=1 for the paper-scale protocol)\n\n";
+            << scale.seed << ", "
+            << common::ThreadPool::Global().num_threads() << " thread(s)"
+            << (scale.full ? " [FULL]" : " [reduced]") << "\n"
+            << "(set EMAF_BENCH_FULL=1 for the paper-scale protocol, "
+               "EMAF_NUM_THREADS=N to parallelize)\n\n";
 }
+
+// RAII run reporter: measures the bench's wall clock and, on destruction,
+// prints one JSON line and writes BENCH_<name>.json next to it. The record
+// carries the thread count so BENCH_*.json trajectories stay comparable
+// across PRs (a faster wall clock at 4 threads is not a kernel win).
+// EMAF_BENCH_JSON_DIR overrides the output directory (default: cwd);
+// EMAF_BENCH_JSON_DIR=- disables the file, keeping the stdout line.
+class RunReporter {
+ public:
+  RunReporter(std::string name, const BenchScale& scale)
+      : name_(std::move(name)),
+        scale_(scale),
+        start_(std::chrono::steady_clock::now()) {}
+
+  RunReporter(const RunReporter&) = delete;
+  RunReporter& operator=(const RunReporter&) = delete;
+
+  ~RunReporter() {
+    double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::string json = StrCat(
+        "{\"bench\": \"", name_, "\", \"wall_seconds\": ", wall_seconds,
+        ", \"threads\": ", common::ThreadPool::Global().num_threads(),
+        ", \"individuals\": ", scale_.individuals,
+        ", \"epochs\": ", scale_.epochs, ", \"days\": ", scale_.days,
+        ", \"seed\": ", scale_.seed,
+        ", \"full\": ", scale_.full ? "true" : "false", "}");
+    std::cout << "\n[json] " << json << "\n";
+    std::string dir = GetEnvString("EMAF_BENCH_JSON_DIR", ".");
+    if (dir == "-") return;
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (out) {
+      out << json << "\n";
+    } else {
+      std::cout << "[json] failed to write " << path << "\n";
+    }
+  }
+
+ private:
+  std::string name_;
+  BenchScale scale_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace emaf::bench
 

@@ -34,6 +34,7 @@ std::vector<std::string> BoxRow(const std::string& label,
 
 void Run() {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::RunReporter reporter("fig3_learned_graphs", scale);
   bench::PrintScale("Fig. 3: Experiment C — static vs MTGNN-learned graphs",
                     scale);
 

@@ -20,6 +20,7 @@ namespace {
 
 void Run() {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/0);
+  bench::RunReporter reporter("table1_scenarios", scale);
   bench::PrintScale("Table I: examined scenarios", scale);
 
   core::ExperimentConfig config = bench::MakeConfig(scale);

@@ -30,6 +30,7 @@ core::AggregateStats VarRow(const data::Cohort& cohort, int64_t input_length) {
 
 void Run() {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::RunReporter reporter("table2_models", scale);
   bench::PrintScale("Table II: Experiment A — GNN models vs LSTM", scale);
 
   core::ExperimentConfig config = bench::MakeConfig(scale);

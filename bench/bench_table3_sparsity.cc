@@ -13,6 +13,7 @@ namespace {
 
 void Run() {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
+  bench::RunReporter reporter("table3_sparsity", scale);
   bench::PrintScale("Table III: Experiment B — graph sparsity (GDT)", scale);
 
   core::ExperimentConfig config = bench::MakeConfig(scale);

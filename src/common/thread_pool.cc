@@ -1,0 +1,190 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace emaf::common {
+
+namespace {
+
+thread_local bool in_worker = false;
+
+// Shared state of one ParallelFor call. Chunks are claimed by atomically
+// advancing `next_chunk`; the thread that finishes the last chunk signals
+// the caller. Heap-allocated and shared so helper tasks outlive an
+// exceptional unwind of the caller.
+struct ParallelForState {
+  int64_t begin = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  int64_t end = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t chunks_done = 0;  // guarded by mu
+  std::exception_ptr error;  // guarded by mu; first failure wins
+
+  // Claims and runs chunks until none remain. Skips (but still counts)
+  // chunks once a failure is recorded so the caller's wait terminates.
+  void RunChunks() {
+    for (;;) {
+      int64_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      if (!failed.load(std::memory_order_relaxed)) {
+        int64_t lo = begin + chunk * grain;
+        int64_t hi = std::min(lo + grain, end);
+        try {
+          (*fn)(lo, hi);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mu);
+          if (error == nullptr) error = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++chunks_done == num_chunks) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int64_t num_threads)
+    : num_threads_(std::max<int64_t>(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int64_t i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Drain semantics with zero workers: nothing can be queued (Submit runs
+  // inline), and workers only exit once the queue is empty.
+}
+
+void ThreadPool::WorkerLoop() {
+  in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  EMAF_CHECK(task != nullptr);
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  // Inline when there is no worker to hand off to — or when called from a
+  // worker: a task that enqueues subtasks and waits on their futures would
+  // deadlock once every worker is occupied by a waiting parent.
+  if (workers_.empty() || in_worker) {
+    (*packaged)();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EMAF_CHECK(!stopping_) << "Submit() on a stopping ThreadPool";
+    queue_.emplace_back([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  EMAF_CHECK_GE(grain, 1);
+  // Serial fast path: size-1 pool, single chunk, or nested call from a
+  // worker (outer ParallelFor tasks already occupy the pool; recursing
+  // onto the queue could deadlock and would oversubscribe anyway).
+  if (num_threads_ <= 1 || end - begin <= grain || in_worker) {
+    for (int64_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(lo + grain, end));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = (end - begin + grain - 1) / grain;
+  state->fn = &fn;
+
+  // One helper task per worker that could usefully claim a chunk; the
+  // caller is the +1th participant. Helpers that wake up late simply find
+  // no chunks left.
+  int64_t helpers = std::min<int64_t>(static_cast<int64_t>(workers_.size()),
+                                      state->num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] { state->RunChunks(); });
+    }
+  }
+  cv_.notify_all();
+
+  state->RunChunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock,
+                      [&] { return state->chunks_done == state->num_chunks; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+bool ThreadPool::InWorker() { return in_worker; }
+
+namespace {
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& pool = GlobalPoolSlot();
+  if (pool == nullptr) {
+    int64_t hardware =
+        static_cast<int64_t>(std::thread::hardware_concurrency());
+    pool = std::make_unique<ThreadPool>(
+        GetEnvInt64("EMAF_NUM_THREADS", std::max<int64_t>(1, hardware)));
+  }
+  return *pool;
+}
+
+void ThreadPool::SetGlobalNumThreads(int64_t num_threads) {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  GlobalPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace emaf::common

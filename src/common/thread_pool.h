@@ -1,0 +1,84 @@
+// Deterministic work-stealing thread pool.
+//
+// A fixed set of workers shares one task queue; `ParallelFor` additionally
+// lets idle threads (including the caller) steal unclaimed index chunks
+// from a shared atomic cursor, so load balances without any per-chunk
+// locking. Determinism contract: a chunk's computation never depends on
+// which thread runs it — callers write results into pre-sized disjoint
+// slots, so a parallel run is bit-for-bit identical to the serial one
+// (see DESIGN.md, "Parallel execution model").
+//
+// The pool size comes from EMAF_NUM_THREADS (default: hardware
+// concurrency) the first time `Global()` is used; tests and benches can
+// swap it with `SetGlobalNumThreads`.
+
+#ifndef EMAF_COMMON_THREAD_POOL_H_
+#define EMAF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emaf::common {
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the caller: a pool of N spawns N-1 workers and
+  // the calling thread participates in ParallelFor. N <= 1 means fully
+  // serial ParallelFor (no worker threads are used for it).
+  explicit ThreadPool(int64_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains the queue (every submitted task still runs), then joins.
+  ~ThreadPool();
+
+  int64_t num_threads() const { return num_threads_; }
+
+  // Enqueues one task. The returned future rethrows the task's exception
+  // on get(). Runs inline (before returning) with no workers
+  // (num_threads <= 1) or when called from inside a pool task — a parent
+  // task blocking on a child future must not deadlock the pool.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Splits [begin, end) into chunks of at most `grain` indices and calls
+  // `fn(chunk_begin, chunk_end)` for each, caller and workers stealing
+  // chunks until none remain. Blocks until every chunk finished. The
+  // first exception thrown by `fn` is rethrown here (remaining chunks are
+  // skipped). Runs inline (exact serial order) when the pool is size 1,
+  // the range fits one chunk, or when called from inside a pool task
+  // (nested parallelism stays serial rather than deadlocking).
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // True when the current thread is a pool worker running a task.
+  static bool InWorker();
+
+  // Process-wide pool, created on first use with EMAF_NUM_THREADS.
+  static ThreadPool& Global();
+
+  // Replaces the global pool (joins the old one first). For tests and
+  // benchmarks; must not race with concurrent Global() use.
+  static void SetGlobalNumThreads(int64_t num_threads);
+
+ private:
+  void WorkerLoop();
+
+  int64_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace emaf::common
+
+#endif  // EMAF_COMMON_THREAD_POOL_H_

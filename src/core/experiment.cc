@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "graph/metrics.h"
 #include "tensor/ops.h"
 
@@ -155,13 +156,28 @@ CellResult ExperimentRunner::RunCell(const CellSpec& spec) {
     return result;
   }
 
-  for (int64_t i = 0; i < cohort_.size(); ++i) {
-    double total = 0.0;
-    for (int64_t r = 0; r < repeats; ++r) {
-      total += TrainAndEvaluate(spec, i, r);
-    }
-    result.per_individual_mse.push_back(total / static_cast<double>(repeats));
+  // Learned-graph cells read the shared cache from every task: populate it
+  // once up front so the parallel region is read-only on `learned_cache_`.
+  if (spec.use_learned_graph) {
+    LearnedGraphs(spec.metric, spec.gdt, spec.input_length);
   }
+
+  // Per-individual cells are independent: each task forks its own Rng from
+  // StreamId(spec, i, r) and writes into its pre-sized slot, so any
+  // schedule produces bitwise the serial result, with no mutex on the hot
+  // path and a single aggregation at the end.
+  result.per_individual_mse.assign(static_cast<size_t>(cohort_.size()), 0.0);
+  common::ThreadPool::Global().ParallelFor(
+      0, cohort_.size(), /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          double total = 0.0;
+          for (int64_t r = 0; r < repeats; ++r) {
+            total += TrainAndEvaluate(spec, i, r);
+          }
+          result.per_individual_mse[static_cast<size_t>(i)] =
+              total / static_cast<double>(repeats);
+        }
+      });
   result.stats = Aggregate(result.per_individual_mse);
   EMAF_LOG(DEBUG) << spec.Label() << " mse " << result.stats.mean << " ("
                   << result.stats.stddev << ")";
@@ -181,26 +197,42 @@ const LearnedGraphSet& ExperimentRunner::LearnedGraphs(
   spec.metric = metric;
   spec.gdt = gdt;
   spec.input_length = input_length;
-  double correlation_total = 0.0;
-  for (int64_t i = 0; i < cohort_.size(); ++i) {
-    const data::Individual& individual =
-        cohort_.individuals[static_cast<size_t>(i)];
-    data::IndividualSplit split =
-        data::MakeSplit(individual, input_length, config_.train_fraction);
-    graph::AdjacencyMatrix static_graph = BuildStaticGraph(i, metric, gdt);
-    Rng rng = Rng(config_.seed).Fork(StreamId(spec, i, /*repeat=*/0));
-    models::Mtgnn model(&static_graph, individual.num_variables(),
-                        input_length, config_.mtgnn, &rng);
-    TrainForecaster(&model, split.train, config_.train);
-    set.mtgnn_mse.push_back(EvaluateMse(&model, split.test));
+  // Same slot discipline as RunCell: every individual trains independently
+  // into pre-sized vectors; the correlation reduction runs serially in
+  // index order afterwards so the mean is bitwise schedule-independent.
+  size_t n = static_cast<size_t>(cohort_.size());
+  // 1-node placeholders: AdjacencyMatrix has no default constructor; every
+  // slot is overwritten by its individual's task.
+  set.graphs.assign(n, graph::AdjacencyMatrix(1));
+  set.mtgnn_mse.assign(n, 0.0);
+  std::vector<double> correlations(n, 0.0);
+  common::ThreadPool::Global().ParallelFor(
+      0, cohort_.size(), /*grain=*/1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const data::Individual& individual =
+              cohort_.individuals[static_cast<size_t>(i)];
+          data::IndividualSplit split = data::MakeSplit(
+              individual, input_length, config_.train_fraction);
+          graph::AdjacencyMatrix static_graph =
+              BuildStaticGraph(i, metric, gdt);
+          Rng rng = Rng(config_.seed).Fork(StreamId(spec, i, /*repeat=*/0));
+          models::Mtgnn model(&static_graph, individual.num_variables(),
+                              input_length, config_.mtgnn, &rng);
+          TrainForecaster(&model, split.train, config_.train);
+          set.mtgnn_mse[static_cast<size_t>(i)] =
+              EvaluateMse(&model, split.test);
 
-    graph::AdjacencyMatrix learned = model.CurrentAdjacency();
-    graph::AdjacencyMatrix learned_sym = learned;
-    learned_sym.Symmetrize();
-    learned_sym.ZeroDiagonal();
-    correlation_total += graph::GraphCorrelation(learned_sym, static_graph);
-    set.graphs.push_back(std::move(learned));
-  }
+          graph::AdjacencyMatrix learned = model.CurrentAdjacency();
+          graph::AdjacencyMatrix learned_sym = learned;
+          learned_sym.Symmetrize();
+          learned_sym.ZeroDiagonal();
+          correlations[static_cast<size_t>(i)] =
+              graph::GraphCorrelation(learned_sym, static_graph);
+          set.graphs[static_cast<size_t>(i)] = std::move(learned);
+        }
+      });
+  double correlation_total = 0.0;
+  for (double c : correlations) correlation_total += c;
   set.mean_static_correlation =
       correlation_total / static_cast<double>(cohort_.size());
   auto [inserted, unused] = learned_cache_.emplace(key, std::move(set));

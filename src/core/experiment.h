@@ -82,7 +82,12 @@ class ExperimentRunner {
   const data::Cohort& cohort() const { return cohort_; }
   const ExperimentConfig& config() const { return config_; }
 
-  // Trains and evaluates one cell across the cohort.
+  // Trains and evaluates one cell across the cohort. Individuals run in
+  // parallel on the global ThreadPool (EMAF_NUM_THREADS); every task seeds
+  // its own Rng from a per-(cell, individual, repeat) stream id and writes
+  // a pre-sized result slot, so the output is bitwise identical to a
+  // serial run at any thread count (see DESIGN.md, "Parallel execution
+  // model"). RunCell itself is not re-entrant: call it from one thread.
   CellResult RunCell(const CellSpec& spec);
 
   // Static similarity graph for one individual (built on the training

@@ -17,6 +17,18 @@ namespace emaf::tensor::internal {
 void MatMulKernel(const Scalar* a, const Scalar* b, Scalar* c, int64_t m,
                   int64_t k, int64_t n);
 
+// MatMulKernel parallelized over rows of C on the global ThreadPool.
+// Partitions only at multiples of the kernel's 4-row block, so every row
+// runs the exact serial instruction sequence and the result is bitwise
+// identical to one MatMulKernel call at any thread count. Stays serial
+// below a flop threshold (kMatMulParallelMinFlops) where fork/join
+// overhead would dominate. Defined in ops_matmul.cc.
+void ParallelMatMul(const Scalar* a, const Scalar* b, Scalar* c, int64_t m,
+                    int64_t k, int64_t n);
+
+// m * k * n below which ParallelMatMul runs serially.
+inline constexpr int64_t kMatMulParallelMinFlops = 1 << 17;
+
 // Applies `f(x_i)` elementwise into a fresh tensor (no autograd recording;
 // callers attach their own GradFn).
 template <typename F>

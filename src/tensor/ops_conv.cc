@@ -1,9 +1,31 @@
+#include "common/thread_pool.h"
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
 
 namespace emaf::tensor {
 
 namespace {
+
+// im2col/col2im element count below which the batch loop stays serial
+// (fork/join overhead dominates on small tensors). Each batch element
+// touches a disjoint slab, so the parallel result is bitwise identical to
+// the serial one at any thread count.
+constexpr int64_t kConvParallelMinElems = 1 << 14;
+
+// Runs fn(n) for every batch index, in parallel when worthwhile.
+template <typename F>
+void ForEachBatch(int64_t batch, int64_t work_per_call, F fn) {
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  auto run = [&fn](int64_t lo, int64_t hi) {
+    for (int64_t n = lo; n < hi; ++n) fn(n);
+  };
+  if (pool.num_threads() > 1 && batch > 1 &&
+      batch * work_per_call >= kConvParallelMinElems) {
+    pool.ParallelFor(0, batch, 1, run);
+  } else {
+    run(0, batch);
+  }
+}
 
 int64_t ConvOutExtent(int64_t in, int64_t kernel, int64_t stride, int64_t pad,
                       int64_t dilation) {
@@ -35,7 +57,7 @@ Tensor Im2Col(const Scalar* in, const ConvDims& d, const Conv2dOptions& o) {
   Tensor col = Tensor::Zeros(Shape{d.rows(), d.cols()});
   Scalar* cd = col.data();
   const int64_t K = d.cols();
-  for (int64_t n = 0; n < d.batch; ++n) {
+  ForEachBatch(d.batch, d.out_h * d.out_w * K, [&](int64_t n) {
     const Scalar* in_n = in + n * d.in_channels * d.in_h * d.in_w;
     Scalar* col_n = cd + n * d.out_h * d.out_w * K;
     for (int64_t c = 0; c < d.in_channels; ++c) {
@@ -56,7 +78,7 @@ Tensor Im2Col(const Scalar* in, const ConvDims& d, const Conv2dOptions& o) {
         }
       }
     }
-  }
+  });
   return col;
 }
 
@@ -64,7 +86,7 @@ Tensor Im2Col(const Scalar* in, const ConvDims& d, const Conv2dOptions& o) {
 void Col2ImAdd(const Scalar* col, const ConvDims& d, const Conv2dOptions& o,
                Scalar* gin) {
   const int64_t K = d.cols();
-  for (int64_t n = 0; n < d.batch; ++n) {
+  ForEachBatch(d.batch, d.out_h * d.out_w * K, [&](int64_t n) {
     Scalar* gin_n = gin + n * d.in_channels * d.in_h * d.in_w;
     const Scalar* col_n = col + n * d.out_h * d.out_w * K;
     for (int64_t c = 0; c < d.in_channels; ++c) {
@@ -85,7 +107,7 @@ void Col2ImAdd(const Scalar* col, const ConvDims& d, const Conv2dOptions& o,
         }
       }
     }
-  }
+  });
 }
 
 // [O, K] -> [K, O] transpose copy (weights are small).
@@ -132,8 +154,8 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   Tensor col = Im2Col(input.data(), d, options);
   Tensor w_t = TransposeMatrix(weight.data(), d.out_channels, d.cols());
   Tensor out_mat = Tensor::Zeros(Shape{d.rows(), d.out_channels});
-  internal::MatMulKernel(col.data(), w_t.data(), out_mat.data(), d.rows(),
-                         d.cols(), d.out_channels);
+  internal::ParallelMatMul(col.data(), w_t.data(), out_mat.data(), d.rows(),
+                           d.cols(), d.out_channels);
 
   // Scatter [M, O] -> [N, O, out_h, out_w], adding the bias.
   Tensor out =
@@ -142,7 +164,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const Scalar* md = out_mat.data();
   const Scalar* b_d = bias.defined() ? bias.data() : nullptr;
   int64_t hw = d.out_h * d.out_w;
-  for (int64_t n = 0; n < d.batch; ++n) {
+  ForEachBatch(d.batch, d.out_channels * hw, [&](int64_t n) {
     for (int64_t o = 0; o < d.out_channels; ++o) {
       Scalar b = b_d != nullptr ? b_d[o] : 0.0;
       Scalar* plane = od + (n * d.out_channels + o) * hw;
@@ -151,7 +173,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         plane[i] = src[i * d.out_channels] + b;
       }
     }
-  }
+  });
 
   std::vector<Tensor> tracked = {input, weight};
   if (bias.defined()) tracked.push_back(bias);
@@ -173,7 +195,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
           {
             Scalar* gm = gmat.data();
             const Scalar* gd = g.data();
-            for (int64_t n = 0; n < d.batch; ++n) {
+            ForEachBatch(d.batch, d.out_channels * hw, [&](int64_t n) {
               for (int64_t o = 0; o < d.out_channels; ++o) {
                 const Scalar* plane = gd + (n * d.out_channels + o) * hw;
                 Scalar* dst = gm + n * hw * d.out_channels + o;
@@ -181,7 +203,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                   dst[i * d.out_channels] = plane[i];
                 }
               }
-            }
+            });
           }
 
           // gw [O, K] = gmat^T [O, M] x col [M, K].
@@ -189,13 +211,13 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               TransposeMatrix(gmat.data(), d.rows(), d.out_channels);
           Tensor gw = Tensor::Zeros(
               Shape{d.out_channels, d.in_channels, d.kernel_h, d.kernel_w});
-          internal::MatMulKernel(gmat_t.data(), col.data(), gw.data(),
-                                 d.out_channels, d.rows(), d.cols());
+          internal::ParallelMatMul(gmat_t.data(), col.data(), gw.data(),
+                                   d.out_channels, d.rows(), d.cols());
 
           // gcol [M, K] = gmat [M, O] x W [O, K]; then col2im scatter-add.
           Tensor gcol = Tensor::Zeros(Shape{d.rows(), d.cols()});
-          internal::MatMulKernel(gmat.data(), w_saved.data(), gcol.data(),
-                                 d.rows(), d.out_channels, d.cols());
+          internal::ParallelMatMul(gmat.data(), w_saved.data(), gcol.data(),
+                                   d.rows(), d.out_channels, d.cols());
           Tensor gin = Tensor::Zeros(input_shape);
           Col2ImAdd(gcol.data(), d, opts, gin.data());
 

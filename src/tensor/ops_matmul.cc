@@ -1,3 +1,6 @@
+#include <algorithm>
+
+#include "common/thread_pool.h"
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
 
@@ -48,6 +51,27 @@ void MatMulKernel(const Scalar* __restrict__ a, const Scalar* __restrict__ b,
   }
 }
 
+void ParallelMatMul(const Scalar* a, const Scalar* b, Scalar* c, int64_t m,
+                    int64_t k, int64_t n) {
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  if (pool.num_threads() <= 1 || m < 8 || m * k * n < kMatMulParallelMinFlops) {
+    MatMulKernel(a, b, c, m, k, n);
+    return;
+  }
+  // Chunk in units of the kernel's 4-row block: a chunk starting at a
+  // multiple of 4 replays exactly the serial schedule for its rows (the
+  // sub-4 remainder, if any, lands in the final chunk just as it does at
+  // the end of a serial sweep), so the output is bitwise identical.
+  int64_t num_blocks = (m + 3) / 4;
+  int64_t grain = std::max<int64_t>(
+      1, num_blocks / (pool.num_threads() * 4));
+  pool.ParallelFor(0, num_blocks, grain, [&](int64_t b0, int64_t b1) {
+    int64_t r0 = b0 * 4;
+    int64_t r1 = std::min(b1 * 4, m);
+    MatMulKernel(a + r0 * k, b, c + r0 * n, r1 - r0, k, n);
+  });
+}
+
 }  // namespace internal
 
 namespace {
@@ -87,20 +111,27 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     // run one large matmul — the hot path for linear layers and graph
     // propagation.
     int64_t rows = a.NumElements() / k;
-    internal::MatMulKernel(ad, bd, od, rows, k, n);
+    internal::ParallelMatMul(ad, bd, od, rows, k, n);
   } else {
-    // General broadcast-batched case, batch offsets via odometer.
+    // General broadcast-batched case, batch offsets via odometer. The
+    // odometer walk is cheap and stays serial; the per-batch kernels run
+    // in parallel over pre-computed offsets when the total work is large
+    // enough (each batch writes a disjoint output slab, and each batch's
+    // kernel is the same call as in the serial loop, so the result is
+    // bitwise identical).
     std::vector<int64_t> a_strides = BroadcastStrides(a_batch, batch);
     std::vector<int64_t> b_strides = BroadcastStrides(b_batch, batch);
     const std::vector<int64_t>& batch_dims = batch.dims();
     int64_t batch_rank = batch.rank();
     int64_t num_batches = batch.NumElements();
     std::vector<int64_t> index(static_cast<size_t>(batch_rank), 0);
+    std::vector<int64_t> a_offsets(static_cast<size_t>(num_batches));
+    std::vector<int64_t> b_offsets(static_cast<size_t>(num_batches));
     int64_t a_off = 0;
     int64_t b_off = 0;
     for (int64_t batch_idx = 0; batch_idx < num_batches; ++batch_idx) {
-      internal::MatMulKernel(ad + a_off * m * k, bd + b_off * k * n,
-                             od + batch_idx * m * n, m, k, n);
+      a_offsets[static_cast<size_t>(batch_idx)] = a_off * m * k;
+      b_offsets[static_cast<size_t>(batch_idx)] = b_off * k * n;
       for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
         a_off += a_strides[axis];
         b_off += b_strides[axis];
@@ -109,6 +140,21 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         b_off -= b_strides[axis] * batch_dims[axis];
         index[axis] = 0;
       }
+    }
+    common::ThreadPool& pool = common::ThreadPool::Global();
+    bool parallel = pool.num_threads() > 1 && num_batches > 1 &&
+                    num_batches * m * k * n >= internal::kMatMulParallelMinFlops;
+    auto run_batches = [&](int64_t lo, int64_t hi) {
+      for (int64_t batch_idx = lo; batch_idx < hi; ++batch_idx) {
+        internal::MatMulKernel(ad + a_offsets[static_cast<size_t>(batch_idx)],
+                               bd + b_offsets[static_cast<size_t>(batch_idx)],
+                               od + batch_idx * m * n, m, k, n);
+      }
+    };
+    if (parallel) {
+      pool.ParallelFor(0, num_batches, 1, run_batches);
+    } else {
+      run_batches(0, num_batches);
     }
   }
 
@@ -129,7 +175,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         int64_t rows = ad_saved.NumElements() / k;
         Tensor at = TransposeLast2(Reshape(ad_saved, Shape{rows, k}));
         gb = Tensor::Zeros(bd_saved.shape());
-        internal::MatMulKernel(at.data(), g.data(), gb.data(), k, rows, n);
+        internal::ParallelMatMul(at.data(), g.data(), gb.data(), k, rows, n);
       } else {
         gb = internal::SumTo(MatMul(TransposeLast2(ad_saved), g),
                              bd_saved.shape());

@@ -2,11 +2,14 @@
 // and round-trips checked across fuzzed shapes (deterministic seeds).
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "tensor/grad_check.h"
+#include "tensor/op_common.h"
 #include "tensor/ops.h"
 
 namespace emaf::tensor {
@@ -207,6 +210,105 @@ TEST_P(SeededPropertyTest, TopKMaskKeepsExactlyKPerSlice) {
     EXPECT_EQ(kept, k);
     if (k < cols) EXPECT_GE(min_kept, max_dropped);
   }
+}
+
+// Pins the global ThreadPool to `n` threads for one test body.
+struct ScopedThreads {
+  explicit ScopedThreads(int64_t n) {
+    common::ThreadPool::SetGlobalNumThreads(n);
+  }
+  ~ScopedThreads() { common::ThreadPool::SetGlobalNumThreads(1); }
+};
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.NumElements()) * sizeof(Scalar)),
+            0);
+}
+
+TEST_P(SeededPropertyTest, ParallelMatMulMatchesSerialKernelAcrossShapes) {
+  // Fuzzed sizes straddle kMatMulParallelMinFlops, so both the serial
+  // fallback and the 4-row-block partition are exercised; either way the
+  // 8-thread result must be bitwise the serial kernel's.
+  Rng rng(11000 + GetParam());
+  int64_t m = rng.UniformInt(1, 128);
+  int64_t k = rng.UniformInt(1, 64);
+  int64_t n = rng.UniformInt(1, 64);
+  Tensor a = Tensor::Uniform(Shape{m, k}, -2, 2, &rng);
+  Tensor b = Tensor::Uniform(Shape{k, n}, -2, 2, &rng);
+  Tensor reference = Tensor::Zeros(Shape{m, n});
+  internal::MatMulKernel(a.data(), b.data(), reference.data(), m, k, n);
+  ScopedThreads threads(8);
+  ExpectBitwiseEqual(MatMul(a, b), reference);
+}
+
+TEST_P(SeededPropertyTest, ParallelBatchedMatMulMatchesSerialKernel) {
+  Rng rng(12000 + GetParam());
+  int64_t batch = rng.UniformInt(1, 8);
+  int64_t m = rng.UniformInt(1, 48);
+  int64_t k = rng.UniformInt(1, 32);
+  int64_t n = rng.UniformInt(1, 32);
+  Tensor a = Tensor::Uniform(Shape{batch, m, k}, -2, 2, &rng);
+  Tensor b = Tensor::Uniform(Shape{batch, k, n}, -2, 2, &rng);
+  Tensor reference = Tensor::Zeros(Shape{batch, m, n});
+  for (int64_t i = 0; i < batch; ++i) {
+    internal::MatMulKernel(a.data() + i * m * k, b.data() + i * k * n,
+                           reference.data() + i * m * n, m, k, n);
+  }
+  ScopedThreads threads(8);
+  ExpectBitwiseEqual(MatMul(a, b), reference);
+}
+
+TEST_P(SeededPropertyTest, ParallelConvMatchesSerialRunAcrossShapes) {
+  Rng rng(13000 + GetParam());
+  int64_t batch = rng.UniformInt(1, 8);
+  int64_t cin = rng.UniformInt(1, 4);
+  int64_t hw = rng.UniformInt(4, 14);
+  int64_t cout = rng.UniformInt(1, 8);
+  int64_t kernel = rng.UniformInt(1, 3);
+  Conv2dOptions options;
+  options.pad_h = rng.UniformInt(0, 1);
+  options.pad_w = rng.UniformInt(0, 1);
+  Tensor input = Tensor::Uniform(Shape{batch, cin, hw, hw}, -2, 2, &rng);
+  Tensor weight =
+      Tensor::Uniform(Shape{cout, cin, kernel, kernel}, -2, 2, &rng);
+  Tensor bias = Tensor::Uniform(Shape{cout}, -2, 2, &rng);
+  Tensor serial = Conv2d(input, weight, bias, options);
+  ScopedThreads threads(8);
+  ExpectBitwiseEqual(Conv2d(input, weight, bias, options), serial);
+}
+
+TEST_P(SeededPropertyTest, ParallelMatMulPassesGradCheck) {
+  // 64*16*128 madds sits above the parallel threshold: the finite
+  // differences run against the multi-threaded forward/backward.
+  Rng rng(14000 + GetParam());
+  Tensor a = Tensor::Uniform(Shape{64, 16}, -1, 1, &rng);
+  Tensor b = Tensor::Uniform(Shape{16, 128}, -1, 1, &rng);
+  ScopedThreads threads(8);
+  GradCheckResult r = CheckGradients(
+      [b](const std::vector<Tensor>& in) { return Mean(MatMul(in[0], b)); },
+      {a}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << "err " << r.max_error;
+}
+
+TEST_P(SeededPropertyTest, ParallelConvPassesWeightGradCheck) {
+  // Batch x im2col size large enough that the batch loop and the conv
+  // matmul both take their parallel paths under the finite differences.
+  Rng rng(15000 + GetParam());
+  Tensor input = Tensor::Uniform(Shape{8, 2, 12, 12}, -1, 1, &rng);
+  Tensor weight = Tensor::Uniform(Shape{8, 2, 3, 3}, -1, 1, &rng);
+  Tensor bias = Tensor::Uniform(Shape{8}, -1, 1, &rng);
+  Conv2dOptions options;
+  options.pad_h = 1;
+  options.pad_w = 1;
+  ScopedThreads threads(8);
+  GradCheckResult r = CheckGradients(
+      [input, bias, options](const std::vector<Tensor>& in) {
+        return Mean(Conv2d(input, in[0], bias, options));
+      },
+      {weight}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << "err " << r.max_error;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,

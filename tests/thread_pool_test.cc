@@ -1,0 +1,156 @@
+// ThreadPool unit tests: task completion, exact ParallelFor coverage,
+// nested-submit safety, exception propagation, clean drain on destruction.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace emaf::common {
+namespace {
+
+TEST(ThreadPoolTest, SubmittedTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int64_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (int64_t size : {1, 5, 64, 1000}) {
+      for (int64_t grain : {1, 3, 64, 2000}) {
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(size));
+        for (auto& h : hits) h = 0;
+        pool.ParallelFor(0, size, grain, [&](int64_t lo, int64_t hi) {
+          EXPECT_LT(lo, hi);
+          EXPECT_LE(hi - lo, grain);
+          for (int64_t i = lo; i < hi; ++i) ++hits[static_cast<size_t>(i)];
+        });
+        for (int64_t i = 0; i < size; ++i) {
+          EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+              << "threads=" << threads << " size=" << size
+              << " grain=" << grain << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNonZeroBeginCoversRange) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(10, 110, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) total += i;
+  });
+  EXPECT_EQ(total.load(), (10 + 109) * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(5, 5, 1, [](int64_t, int64_t) { FAIL(); });
+  pool.ParallelFor(7, 3, 1, [](int64_t, int64_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromTaskIsSafe) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+       std::vector<std::future<void>> inner;
+       for (int i = 0; i < 8; ++i) {
+         inner.push_back(pool.Submit([&counter] { ++counter; }));
+       }
+       for (std::future<void>& f : inner) f.get();
+     })
+      .get();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // Inside a worker this must not re-enter the queue (deadlock);
+      // InWorker() is true for pool threads, false for the caller thread
+      // participating in the outer loop.
+      pool.ParallelFor(0, 4, 1, [&](int64_t ilo, int64_t ihi) {
+        total += ihi - ilo;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 4);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; }).get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionPropagatesToCaller) {
+  for (int64_t threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(0, 100, 1,
+                         [](int64_t lo, int64_t) {
+                           if (lo == 37) throw std::runtime_error("chunk boom");
+                         }),
+        std::runtime_error);
+    // Pool still usable afterwards.
+    std::atomic<int64_t> covered{0};
+    pool.ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {
+      covered += hi - lo;
+    });
+    EXPECT_EQ(covered.load(), 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ++completed;
+      });
+    }
+    // Destructor must run every queued task before joining.
+  }
+  EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsResizable) {
+  ThreadPool::SetGlobalNumThreads(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  ThreadPool::SetGlobalNumThreads(1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace emaf::common
