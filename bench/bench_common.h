@@ -23,8 +23,10 @@
 #include <string>
 
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "data/generator.h"
@@ -99,15 +101,22 @@ inline void PrintScale(const char* title, const BenchScale& scale) {
 // RAII run reporter: measures the bench's wall clock and, on destruction,
 // prints one JSON line and writes BENCH_<name>.json next to it. The record
 // carries the thread count so BENCH_*.json trajectories stay comparable
-// across PRs (a faster wall clock at 4 threads is not a kernel win).
+// across PRs (a faster wall clock at 4 threads is not a kernel win), and —
+// when the build has instrumentation compiled in (EMAF_METRICS=ON, the
+// default) — a "metrics" object holding the obs::Registry snapshot of the
+// run (counters / gauges / histograms; the registry is reset when the
+// reporter is constructed so the snapshot covers exactly this run).
 // EMAF_BENCH_JSON_DIR overrides the output directory (default: cwd);
 // EMAF_BENCH_JSON_DIR=- disables the file, keeping the stdout line.
+// If EMAF_TRACE_FILE is set, the buffered trace spans are flushed here too.
 class RunReporter {
  public:
   RunReporter(std::string name, const BenchScale& scale)
       : name_(std::move(name)),
         scale_(scale),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    obs::Registry::Global().Reset();
+  }
 
   RunReporter(const RunReporter&) = delete;
   RunReporter& operator=(const RunReporter&) = delete;
@@ -123,8 +132,19 @@ class RunReporter {
         ", \"individuals\": ", scale_.individuals,
         ", \"epochs\": ", scale_.epochs, ", \"days\": ", scale_.days,
         ", \"seed\": ", scale_.seed,
-        ", \"full\": ", scale_.full ? "true" : "false", "}");
+        ", \"full\": ", scale_.full ? "true" : "false");
+    obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+    if (!snapshot.empty()) {
+      json = StrCat(json, ", \"metrics\": ", snapshot.ToJson());
+    }
+    json += "}";
     std::cout << "\n[json] " << json << "\n";
+    if (obs::Trace::Enabled()) {
+      Status trace_status = obs::Trace::Flush();
+      if (!trace_status.ok()) {
+        std::cout << "[trace] " << trace_status.ToString() << "\n";
+      }
+    }
     std::string dir = GetEnvString("EMAF_BENCH_JSON_DIR", ".");
     if (dir == "-") return;
     std::string path = dir + "/BENCH_" + name_ + ".json";

@@ -1,0 +1,224 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace emaf::obs {
+
+namespace {
+
+// Doubles in snapshots are printed round-trip exact so a snapshot diff
+// never lies about what the registry held.
+void AppendDouble(std::ostringstream* out, double v) {
+  out->precision(17);
+  *out << v;
+}
+
+void AppendQuoted(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ", ";
+    first = false;
+    AppendQuoted(&out, name);
+    out << ": " << value;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out << ", ";
+    first = false;
+    AppendQuoted(&out, name);
+    out << ": ";
+    AppendDouble(&out, value);
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ", ";
+    first = false;
+    AppendQuoted(&out, name);
+    out << ": {\"count\": " << h.count << ", \"sum\": ";
+    AppendDouble(&out, h.sum);
+    out << ", \"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out << ", ";
+      AppendDouble(&out, h.bounds[i]);
+    }
+    out << "], \"counts\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << h.counts[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+const std::vector<double>& DefaultSecondsBounds() {
+  static const std::vector<double> bounds = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                             3e-2, 0.1,  0.3,  1.0,  3.0,
+                                             10.0, 30.0};
+  return bounds;
+}
+
+const std::vector<double>& DefaultValueBounds() {
+  static const std::vector<double> bounds = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                             3e-2, 0.1,  0.3,  1.0,  3.0,
+                                             10.0, 30.0, 100.0};
+  return bounds;
+}
+
+#if EMAF_METRICS_ENABLED
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  EMAF_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    EMAF_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose (inclusive) upper bound admits the value; the
+  // overflow bucket is index bounds_.size().
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts = bucket_counts();
+  snapshot.count = count();
+  snapshot.sum = sum();
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry;  // leaked: see header
+  return *registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+#else  // !EMAF_METRICS_ENABLED
+
+namespace {
+Counter stub_counter;
+Gauge stub_gauge;
+Histogram stub_histogram{{}};
+const std::vector<double> stub_bounds;
+}  // namespace
+
+const std::vector<double>& Histogram::bounds() const { return stub_bounds; }
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter* Registry::GetCounter(std::string_view) { return &stub_counter; }
+Gauge* Registry::GetGauge(std::string_view) { return &stub_gauge; }
+Histogram* Registry::GetHistogram(std::string_view, std::vector<double>) {
+  return &stub_histogram;
+}
+
+#endif  // EMAF_METRICS_ENABLED
+
+}  // namespace emaf::obs

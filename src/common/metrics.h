@@ -1,0 +1,310 @@
+// Structured metrics: counters, gauges, and fixed-bucket histograms in a
+// process-wide registry (`emaf::obs`).
+//
+// Model (see DESIGN.md, "Observability layer"):
+//   - Instruments are registered once by name under a mutex and live for
+//     the process lifetime; the returned pointers are stable, so call
+//     sites cache them in a function-local static and the hot path is a
+//     single relaxed atomic op — no lock, no allocation.
+//   - Reads (value(), Snapshot()) are lock-free on the instrument values:
+//     a snapshot taken while 8 threads write observes some valid
+//     intermediate state, never tears, and never blocks the writers.
+//   - Metrics are SIDE-BAND ONLY. They never feed back into computation,
+//     RNG streams, or reduction order, so the bitwise
+//     serial==parallel determinism contract (DESIGN.md, "Parallel
+//     execution model") is unaffected by instrumentation. Aggregates that
+//     sum doubles across threads (Histogram::sum) are themselves only
+//     approximately schedule-independent — fine for telemetry, which is
+//     why nothing numeric ever reads them back.
+//
+// Compile-out: configuring with -DEMAF_METRICS=OFF defines
+// EMAF_METRICS_ENABLED=0 and every EMAF_METRIC_* macro expands to
+// ((void)0); the stub registry below keeps non-macro callers (e.g. the
+// bench harness) compiling, with Snapshot() returning an empty snapshot.
+//
+// Usage:
+//   EMAF_METRIC_COUNTER_ADD("experiment.cells_total", 1);
+//   EMAF_METRIC_GAUGE_ADD("threadpool.queue_depth", -1.0);
+//   EMAF_METRIC_HISTOGRAM_OBSERVE("trainer.epoch_loss", loss,
+//                                 ::emaf::obs::DefaultLossBounds());
+//   { EMAF_METRIC_SCOPED_TIMER("graph.build_seconds"); BuildGraph(); }
+
+#ifndef EMAF_COMMON_METRICS_H_
+#define EMAF_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if !defined(EMAF_METRICS_ENABLED)
+#define EMAF_METRICS_ENABLED 1
+#endif
+
+namespace emaf::obs {
+
+inline constexpr bool kMetricsEnabled = EMAF_METRICS_ENABLED != 0;
+
+// --- Snapshot structs (defined in both build modes) ------------------------
+
+struct HistogramSnapshot {
+  // Upper bucket bounds (inclusive); counts has bounds.size() + 1 entries,
+  // the last being the overflow bucket (> bounds.back()).
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  // Deterministically ordered JSON object:
+  // {"counters":{...},"gauges":{...},"histograms":{"h":{"count":..,
+  //  "sum":..,"bounds":[..],"counts":[..]}}}
+  std::string ToJson() const;
+};
+
+// Default bucket bounds (seconds) for wall-clock histograms: 100us..30s,
+// roughly x3 per bucket.
+const std::vector<double>& DefaultSecondsBounds();
+// Default bucket bounds for loss / gradient-norm histograms: 1e-4..100,
+// decades with a 3x midpoint.
+const std::vector<double>& DefaultValueBounds();
+
+#if EMAF_METRICS_ENABLED
+
+// --- Instruments -----------------------------------------------------------
+
+// Monotone counter. All ops are relaxed atomics: counts are exact (every
+// Add lands) but carry no ordering relative to other memory.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-value gauge with atomic add (CAS loop) for up/down tracking such as
+// queue depth.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. A sample lands in the first bucket whose upper
+// bound is >= the value (bounds are inclusive); values above the last
+// bound land in the overflow bucket. Bounds are fixed at registration, so
+// Observe is one binary search plus three relaxed atomic ops.
+class Histogram {
+ public:
+  // `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// --- Registry --------------------------------------------------------------
+
+class Registry {
+ public:
+  // Process-wide registry (leaked singleton: instruments may be written
+  // from worker threads up to process exit, so it is never destroyed).
+  static Registry& Global();
+
+  // Get-or-create by name. Pointers are stable for the process lifetime.
+  // A histogram's bounds are fixed by its first registration; later calls
+  // with the same name ignore `bounds`.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  // Consistent-enough snapshot while writers run: each value is read with
+  // one relaxed load; no writer is blocked.
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered instrument, keeping registrations (and thus
+  // all cached pointers) valid. Benches call this at run start so the
+  // embedded snapshot covers exactly one run.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps only, never the values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Observes the elapsed seconds of its scope into a histogram (bucketed by
+// DefaultSecondsBounds). Instantiate through EMAF_METRIC_SCOPED_TIMER so
+// the object (and its clock reads) vanish under EMAF_METRICS=OFF.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+  ~ScopedHistogramTimer() {
+    histogram_->Observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // !EMAF_METRICS_ENABLED
+
+// No-op stubs: same surface, all inline and empty, so -DEMAF_METRICS=OFF
+// builds carry no atomics, locks, or clock reads from instrumentation.
+
+class Counter {
+ public:
+  void Add(uint64_t) {}
+  void Increment() {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  void Add(double) {}
+  double value() const { return 0.0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double>) {}
+  void Observe(double) {}
+  uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+  const std::vector<double>& bounds() const;
+  std::vector<uint64_t> bucket_counts() const { return {}; }
+  HistogramSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+};
+
+class Registry {
+ public:
+  static Registry& Global();
+  Counter* GetCounter(std::string_view);
+  Gauge* GetGauge(std::string_view);
+  Histogram* GetHistogram(std::string_view, std::vector<double>);
+  MetricsSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+};
+
+#endif  // EMAF_METRICS_ENABLED
+
+}  // namespace emaf::obs
+
+// --- Instrumentation macros ------------------------------------------------
+// Each macro caches the instrument pointer in a function-local static, so
+// the registry lock is taken once per call site, not per call. The
+// do-while scope keeps the static's name from colliding across sites.
+
+#if EMAF_METRICS_ENABLED
+
+#define EMAF_METRIC_COUNTER_ADD(name, n)                      \
+  do {                                                        \
+    static ::emaf::obs::Counter* emaf_metric_counter =        \
+        ::emaf::obs::Registry::Global().GetCounter(name);     \
+    emaf_metric_counter->Add(n);                              \
+  } while (0)
+
+// Uncached variant for computed names (one registry lookup per call; use
+// only off the innermost hot path). The cached macro above must only be
+// used with a name that is constant at the call site.
+#define EMAF_METRIC_COUNTER_ADD_DYN(name, n) \
+  ::emaf::obs::Registry::Global().GetCounter(name)->Add(n)
+
+#define EMAF_METRIC_GAUGE_SET(name, v)                        \
+  do {                                                        \
+    static ::emaf::obs::Gauge* emaf_metric_gauge =            \
+        ::emaf::obs::Registry::Global().GetGauge(name);       \
+    emaf_metric_gauge->Set(v);                                \
+  } while (0)
+
+#define EMAF_METRIC_GAUGE_ADD(name, delta)                    \
+  do {                                                        \
+    static ::emaf::obs::Gauge* emaf_metric_gauge =            \
+        ::emaf::obs::Registry::Global().GetGauge(name);       \
+    emaf_metric_gauge->Add(delta);                            \
+  } while (0)
+
+// `bounds` is evaluated once (first pass through the call site).
+#define EMAF_METRIC_HISTOGRAM_OBSERVE(name, value, bounds)        \
+  do {                                                            \
+    static ::emaf::obs::Histogram* emaf_metric_histogram =        \
+        ::emaf::obs::Registry::Global().GetHistogram(name, bounds); \
+    emaf_metric_histogram->Observe(value);                        \
+  } while (0)
+
+#define EMAF_METRIC_INTERNAL_CONCAT2(a, b) a##b
+#define EMAF_METRIC_INTERNAL_CONCAT(a, b) EMAF_METRIC_INTERNAL_CONCAT2(a, b)
+
+// Statement macro declaring a scope-timing RAII object.
+#define EMAF_METRIC_SCOPED_TIMER(name)                                      \
+  static ::emaf::obs::Histogram* EMAF_METRIC_INTERNAL_CONCAT(               \
+      emaf_metric_timer_hist_, __LINE__) =                                  \
+      ::emaf::obs::Registry::Global().GetHistogram(                         \
+          name, ::emaf::obs::DefaultSecondsBounds());                       \
+  ::emaf::obs::ScopedHistogramTimer EMAF_METRIC_INTERNAL_CONCAT(            \
+      emaf_metric_timer_, __LINE__)(                                        \
+      EMAF_METRIC_INTERNAL_CONCAT(emaf_metric_timer_hist_, __LINE__))
+
+#else  // !EMAF_METRICS_ENABLED
+
+#define EMAF_METRIC_COUNTER_ADD(name, n) ((void)0)
+#define EMAF_METRIC_COUNTER_ADD_DYN(name, n) ((void)0)
+#define EMAF_METRIC_GAUGE_SET(name, v) ((void)0)
+#define EMAF_METRIC_GAUGE_ADD(name, delta) ((void)0)
+#define EMAF_METRIC_HISTOGRAM_OBSERVE(name, value, bounds) ((void)0)
+#define EMAF_METRIC_SCOPED_TIMER(name) ((void)0)
+
+#endif  // EMAF_METRICS_ENABLED
+
+#endif  // EMAF_COMMON_METRICS_H_

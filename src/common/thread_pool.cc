@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace emaf::common {
 
@@ -40,6 +41,13 @@ struct ParallelForState {
     for (;;) {
       int64_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= num_chunks) return;
+      // "Stolen" = claimed by a pool worker rather than the calling
+      // thread; the ratio tells how much ParallelFor actually fans out.
+      if (ThreadPool::InWorker()) {
+        EMAF_METRIC_COUNTER_ADD("threadpool.chunks_stolen", 1);
+      } else {
+        EMAF_METRIC_COUNTER_ADD("threadpool.chunks_caller", 1);
+      }
       if (!failed.load(std::memory_order_relaxed)) {
         int64_t lo = begin + chunk * grain;
         int64_t hi = std::min(lo + grain, end);
@@ -88,6 +96,8 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      EMAF_METRIC_GAUGE_SET("threadpool.queue_depth",
+                            static_cast<double>(queue_.size()));
     }
     task();
   }
@@ -101,6 +111,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   // worker: a task that enqueues subtasks and waits on their futures would
   // deadlock once every worker is occupied by a waiting parent.
   if (workers_.empty() || in_worker) {
+    EMAF_METRIC_COUNTER_ADD("threadpool.tasks_inline", 1);
     (*packaged)();
     return future;
   }
@@ -108,6 +119,9 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     EMAF_CHECK(!stopping_) << "Submit() on a stopping ThreadPool";
     queue_.emplace_back([packaged] { (*packaged)(); });
+    EMAF_METRIC_COUNTER_ADD("threadpool.tasks_submitted", 1);
+    EMAF_METRIC_GAUGE_SET("threadpool.queue_depth",
+                          static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return future;
@@ -121,11 +135,13 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // worker (outer ParallelFor tasks already occupy the pool; recursing
   // onto the queue could deadlock and would oversubscribe anyway).
   if (num_threads_ <= 1 || end - begin <= grain || in_worker) {
+    EMAF_METRIC_COUNTER_ADD("threadpool.parallel_for_serial", 1);
     for (int64_t lo = begin; lo < end; lo += grain) {
       fn(lo, std::min(lo + grain, end));
     }
     return;
   }
+  EMAF_METRIC_COUNTER_ADD("threadpool.parallel_for_parallel", 1);
 
   auto state = std::make_shared<ParallelForState>();
   state->begin = begin;

@@ -1,0 +1,186 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace emaf::obs {
+
+namespace {
+
+std::atomic<int64_t> next_thread_id{0};
+thread_local int64_t tls_thread_id = -1;
+
+int64_t ThreadIdImpl() {
+  if (tls_thread_id < 0) {
+    tls_thread_id = next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_id;
+}
+
+#if EMAF_METRICS_ENABLED
+
+struct TraceEvent {
+  double ts_us;  // microseconds since recorder origin
+  int64_t tid;
+  char phase;  // 'B' or 'E'
+  std::string name;
+  const char* category;
+};
+
+// Leaked singleton: spans may close on worker threads during process
+// teardown, after function-static destructors would have run.
+struct TraceState {
+  std::mutex mu;
+  std::atomic<bool> enabled{false};
+  std::string path;                 // guarded by mu
+  std::vector<TraceEvent> events;   // guarded by mu
+  bool atexit_registered = false;   // guarded by mu
+  // Fixed at process start (never reset by Enable) so timestamps stay
+  // monotone across enable/disable cycles.
+  const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState;
+  return *state;
+}
+
+double NowMicros(const TraceState& state) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - state.origin)
+      .count();
+}
+
+void AtExitFlush() {
+  // Best effort; a failed write at exit has no one left to report to.
+  (void)Trace::Flush();
+}
+
+void InitFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::string path = GetEnvString("EMAF_TRACE_FILE", "");
+    if (!path.empty()) Trace::Enable(path);
+  });
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+#endif  // EMAF_METRICS_ENABLED
+
+}  // namespace
+
+int64_t Trace::CurrentThreadId() { return ThreadIdImpl(); }
+
+#if EMAF_METRICS_ENABLED
+
+bool Trace::Enabled() {
+  InitFromEnvOnce();
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void Trace::Enable(const std::string& path) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.path = path;
+  state.events.clear();
+  if (!state.atexit_registered) {
+    state.atexit_registered = true;
+    std::atexit(AtExitFlush);
+  }
+  state.enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Disable() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.enabled.store(false, std::memory_order_relaxed);
+  state.events.clear();
+}
+
+Status Trace::Flush() {
+  TraceState& state = State();
+  std::string path;
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.enabled.load(std::memory_order_relaxed)) return Status::Ok();
+    path = state.path;
+    events.swap(state.events);
+  }
+  if (events.empty()) return Status::Ok();
+  // Stable by timestamp: same-stamp begin/end pairs keep program order, so
+  // the emitted stream is balanced and non-decreasing in ts.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound(StrCat("cannot open trace file: ", path));
+  }
+  out.precision(17);
+  out << "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::string name;
+    AppendEscaped(&name, e.name);
+    out << "{\"name\": \"" << name << "\", \"cat\": \"" << e.category
+        << "\", \"ph\": \"" << e.phase << "\", \"ts\": " << e.ts_us
+        << ", \"pid\": 1, \"tid\": " << e.tid << "}"
+        << (i + 1 < events.size() ? ",\n" : "\n");
+  }
+  out << "]}\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal(StrCat("trace write failed: ", path));
+  }
+  return Status::Ok();
+}
+
+ScopedSpan::ScopedSpan(std::string name, const char* category)
+    : active_(Trace::Enabled()),
+      name_(std::move(name)),
+      category_(category) {
+  if (!active_) return;
+  // The begin timestamp is taken here; both events are appended at
+  // destruction under one lock, so the buffer only ever holds balanced
+  // pairs (a Flush can never split a span).
+  begin_ts_us_ = NowMicros(State());
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceState& state = State();
+  double end_ts = NowMicros(state);
+  int64_t tid = ThreadIdImpl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.enabled.load(std::memory_order_relaxed)) return;
+  state.events.push_back({begin_ts_us_, tid, 'B', name_, category_});
+  state.events.push_back({end_ts, tid, 'E', name_, category_});
+}
+
+#else  // !EMAF_METRICS_ENABLED
+
+bool Trace::Enabled() { return false; }
+void Trace::Enable(const std::string&) {}
+void Trace::Disable() {}
+Status Trace::Flush() { return Status::Ok(); }
+
+#endif  // EMAF_METRICS_ENABLED
+
+}  // namespace emaf::obs

@@ -1,0 +1,104 @@
+// Scoped tracing (`emaf::obs`): RAII spans emitted as a Chrome
+// `chrome://tracing` / Perfetto-compatible JSON trace file.
+//
+// Model (see DESIGN.md, "Observability layer"):
+//   - A span is a (begin, end) event pair on one thread. EMAF_TRACE_SPAN
+//     creates an RAII object recording "B" at construction and "E" at
+//     destruction, both stamped with a steady-clock timestamp
+//     (microseconds since recorder start) and a small dense thread id.
+//   - Recording is runtime-gated: spans are dropped with one relaxed
+//     atomic load unless tracing was enabled — by setting the
+//     EMAF_TRACE_FILE environment variable (checked once, on first use)
+//     or by calling Trace::Enable(path) (tests, benches).
+//   - Flush() sorts events by timestamp (stable, so same-timestamp
+//     begin/end pairs keep program order) and writes the standard
+//     {"traceEvents": [...]} JSON object. When enabled via environment
+//     variable, the recorder also flushes at process exit.
+//   - Tracing is SIDE-BAND ONLY: span lifetimes never alter RNG streams,
+//     scheduling decisions, or reduction order, preserving the bitwise
+//     serial==parallel determinism contract.
+//
+// The whole facility compiles to no-ops under -DEMAF_METRICS=OFF, same as
+// metrics.h.
+//
+// Usage:
+//   void TrainOne() {
+//     EMAF_TRACE_SPAN("TrainForecaster");          // literal name
+//     EMAF_TRACE_SPAN_DYN(StrCat("cell/", label)); // computed name
+//     ...
+//   }
+
+#ifndef EMAF_COMMON_TRACE_H_
+#define EMAF_COMMON_TRACE_H_
+
+#include <string>
+
+#include "common/metrics.h"  // EMAF_METRICS_ENABLED
+#include "common/status.h"
+
+namespace emaf::obs {
+
+class Trace {
+ public:
+  // True when spans are being recorded. First call latches EMAF_TRACE_FILE
+  // from the environment.
+  static bool Enabled();
+
+  // Starts recording; Flush() (and process exit) will write to `path`.
+  // Discards any previously buffered events.
+  static void Enable(const std::string& path);
+
+  // Stops recording and discards buffered events without writing.
+  static void Disable();
+
+  // Writes buffered events to the enabled path and clears the buffer.
+  // No-op (Ok) when tracing is disabled.
+  static Status Flush();
+
+  // Dense per-thread id (0 = first thread that recorded), stable for the
+  // thread's lifetime. Exposed for tests.
+  static int64_t CurrentThreadId();
+};
+
+#if EMAF_METRICS_ENABLED
+
+// RAII span. Prefer the EMAF_TRACE_SPAN macros, which compile away under
+// EMAF_METRICS=OFF.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, const char* category = "emaf");
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+ private:
+  bool active_;  // latched at construction so B/E stay balanced even if
+                 // tracing toggles mid-span
+  std::string name_;
+  const char* category_;
+  double begin_ts_us_ = 0.0;
+};
+
+#define EMAF_TRACE_INTERNAL_CONCAT2(a, b) a##b
+#define EMAF_TRACE_INTERNAL_CONCAT(a, b) EMAF_TRACE_INTERNAL_CONCAT2(a, b)
+
+#define EMAF_TRACE_SPAN(name)                              \
+  ::emaf::obs::ScopedSpan EMAF_TRACE_INTERNAL_CONCAT(      \
+      emaf_trace_span_, __LINE__)(name)
+#define EMAF_TRACE_SPAN_DYN(name_expr) EMAF_TRACE_SPAN(name_expr)
+
+#else  // !EMAF_METRICS_ENABLED
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string, const char* = "emaf") {}
+};
+
+#define EMAF_TRACE_SPAN(name) ((void)0)
+#define EMAF_TRACE_SPAN_DYN(name_expr) ((void)0)
+
+#endif  // EMAF_METRICS_ENABLED
+
+}  // namespace emaf::obs
+
+#endif  // EMAF_COMMON_TRACE_H_

@@ -4,8 +4,10 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "graph/metrics.h"
 #include "tensor/ops.h"
 
@@ -85,6 +87,10 @@ graph::AdjacencyMatrix ExperimentRunner::BuildStaticGraph(
 double ExperimentRunner::TrainAndEvaluate(const CellSpec& spec,
                                           int64_t individual_index,
                                           int64_t repeat) {
+  EMAF_TRACE_SPAN_DYN(
+      StrCat("cell/", spec.Label(), "/individual_", individual_index));
+  EMAF_METRIC_SCOPED_TIMER("experiment.individual_seconds");
+  EMAF_METRIC_COUNTER_ADD("experiment.individuals_total", 1);
   const data::Individual& individual =
       cohort_.individuals[static_cast<size_t>(individual_index)];
   data::IndividualSplit split =
@@ -139,6 +145,9 @@ double ExperimentRunner::TrainAndEvaluate(const CellSpec& spec,
 }
 
 CellResult ExperimentRunner::RunCell(const CellSpec& spec) {
+  EMAF_TRACE_SPAN_DYN(StrCat("RunCell/", spec.Label()));
+  EMAF_METRIC_SCOPED_TIMER("experiment.cell_seconds");
+  EMAF_METRIC_COUNTER_ADD("experiment.cells_total", 1);
   CellResult result;
   result.spec = spec;
   bool is_random = spec.metric == graph::GraphMetric::kRandom &&
@@ -189,7 +198,13 @@ const LearnedGraphSet& ExperimentRunner::LearnedGraphs(
   std::string key = StrCat(graph::GraphMetricName(metric), "|", gdt, "|",
                            input_length);
   auto it = learned_cache_.find(key);
-  if (it != learned_cache_.end()) return it->second;
+  if (it != learned_cache_.end()) {
+    EMAF_METRIC_COUNTER_ADD("experiment.learned_cache_hits", 1);
+    return it->second;
+  }
+  EMAF_METRIC_COUNTER_ADD("experiment.learned_cache_misses", 1);
+  EMAF_TRACE_SPAN_DYN(StrCat("LearnedGraphs/", key));
+  EMAF_METRIC_SCOPED_TIMER("experiment.learned_graphs_seconds");
 
   LearnedGraphSet set;
   CellSpec spec;

@@ -1,7 +1,12 @@
 #include "core/trainer.h"
 
+#include <chrono>
+
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 
@@ -13,6 +18,7 @@ TrainResult TrainForecaster(models::Forecaster* model,
   EMAF_CHECK(model != nullptr);
   EMAF_CHECK_GT(train.num_windows(), 0);
   EMAF_CHECK_GT(config.epochs, 0);
+  EMAF_TRACE_SPAN_DYN(StrCat("TrainForecaster/", model->name()));
 
   nn::AdamOptions adam;
   adam.lr = config.learning_rate;
@@ -22,17 +28,27 @@ TrainResult TrainForecaster(models::Forecaster* model,
   model->SetTraining(true);
   TrainResult result;
   result.epoch_losses.reserve(static_cast<size_t>(config.epochs));
+  result.epoch_grad_norms.reserve(static_cast<size_t>(config.epochs));
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    EMAF_METRIC_SCOPED_TIMER("trainer.epoch_seconds");
     optimizer.ZeroGrad();
     tensor::Tensor prediction = model->Forward(train.inputs);
     tensor::Tensor loss = tensor::MseLoss(prediction, train.targets);
     loss.Backward();
+    double grad_norm = 0.0;
     if (config.grad_clip_norm > 0.0) {
-      nn::ClipGradNorm(optimizer.parameters(), config.grad_clip_norm);
+      grad_norm =
+          nn::ClipGradNorm(optimizer.parameters(), config.grad_clip_norm);
     }
     optimizer.Step();
     double value = loss.item();
     result.epoch_losses.push_back(value);
+    result.epoch_grad_norms.push_back(grad_norm);
+    EMAF_METRIC_COUNTER_ADD("trainer.epochs_total", 1);
+    EMAF_METRIC_HISTOGRAM_OBSERVE("trainer.epoch_loss", value,
+                                  ::emaf::obs::DefaultValueBounds());
+    EMAF_METRIC_HISTOGRAM_OBSERVE("trainer.grad_norm", grad_norm,
+                                  ::emaf::obs::DefaultValueBounds());
     if (config.verbose && (epoch % config.log_every == 0 ||
                            epoch == config.epochs - 1)) {
       EMAF_LOG(INFO) << model->name() << " epoch " << epoch

@@ -25,6 +25,8 @@ struct TrainConfig {
 
 struct TrainResult {
   std::vector<double> epoch_losses;
+  // Pre-clip global gradient norm per epoch (0 when clipping is disabled).
+  std::vector<double> epoch_grad_norms;
   double final_loss = 0.0;
 };
 

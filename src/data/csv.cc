@@ -1,6 +1,8 @@
 #include "data/csv.h"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -11,7 +13,63 @@ namespace {
 
 constexpr int kPrecision = 17;  // round-trip exact for double
 
+// Parses one numeric cell: empty cells load as quiet NaN (missing EMA
+// beeps), everything else must parse as a double (ParseDouble already
+// accepts the nan/inf spellings strtod knows).
+bool ParseCell(std::string_view field, double* value) {
+  std::string trimmed = StrTrim(field);
+  if (trimmed.empty()) {
+    *value = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  return ParseDouble(trimmed, value);
+}
+
+// Quotes a header name when it contains a delimiter, quote, or newline so
+// SplitCsvLine round-trips it.
+std::string EncodeCsvField(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 }  // namespace
+
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');  // escaped quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
 
 Status SaveMatrixCsv(const tensor::Tensor& matrix,
                      const std::vector<std::string>& column_names,
@@ -29,7 +87,12 @@ Status SaveMatrixCsv(const tensor::Tensor& matrix,
     if (static_cast<int64_t>(column_names.size()) != cols) {
       return Status::InvalidArgument("column_names size mismatch");
     }
-    out << StrJoin(column_names, ",") << "\n";
+    std::vector<std::string> encoded;
+    encoded.reserve(column_names.size());
+    for (const std::string& name : column_names) {
+      encoded.push_back(EncodeCsvField(name));
+    }
+    out << StrJoin(encoded, ",") << "\n";
   }
   out.precision(kPrecision);
   const double* d = matrix.data();
@@ -58,14 +121,15 @@ Result<tensor::Tensor> LoadMatrixCsv(const std::string& path,
   bool first_line = true;
   while (std::getline(in, line)) {
     if (StrTrim(line).empty()) continue;
-    std::vector<std::string> fields = StrSplit(line, ',');
+    std::vector<std::string> fields = SplitCsvLine(line);
     if (first_line) {
       first_line = false;
-      // Detect a header: any field that does not parse as a number.
+      // Detect a header: any field that does not parse as a number (empty
+      // cells count as numeric — they are missing values, not names).
       bool numeric = true;
       for (const std::string& f : fields) {
         double unused;
-        if (!ParseDouble(f, &unused)) {
+        if (!ParseCell(f, &unused)) {
           numeric = false;
           break;
         }
@@ -88,7 +152,7 @@ Result<tensor::Tensor> LoadMatrixCsv(const std::string& path,
     }
     for (const std::string& f : fields) {
       double v = 0.0;
-      if (!ParseDouble(f, &v)) {
+      if (!ParseCell(f, &v)) {
         return Status::InvalidArgument(
             StrCat("non-numeric value '", f, "' in ", path));
       }

@@ -15,13 +15,24 @@
 
 namespace emaf::data {
 
+// Splits one CSV record into fields, honouring RFC-4180 quoting: a field
+// wrapped in double quotes may contain commas, and "" inside a quoted
+// field is a literal quote. A trailing '\r' (CRLF input read with
+// std::getline) is stripped before splitting.
+std::vector<std::string> SplitCsvLine(std::string_view line);
+
 // Writes a [R, C] matrix with an optional header row of column names.
 Status SaveMatrixCsv(const tensor::Tensor& matrix,
                      const std::vector<std::string>& column_names,
                      const std::string& path);
 
 // Reads a numeric CSV (optionally with one non-numeric header row, which is
-// returned through `column_names` when non-null).
+// returned through `column_names` when non-null). Accepts CRLF line
+// endings, quoted fields (including delimiters inside quotes), and blank
+// lines anywhere (skipped, so a trailing newline is harmless). Empty
+// cells and the spellings nan/NaN load as quiet NaN — missing EMA beeps
+// are the norm, not an error; callers that need completeness check for
+// NaN themselves.
 Result<tensor::Tensor> LoadMatrixCsv(const std::string& path,
                                      std::vector<std::string>* column_names);
 

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
 #include "ts/distance.h"
 #include "ts/stats.h"
 
@@ -170,6 +173,10 @@ AdjacencyMatrix BuildSimilarityGraph(const tensor::Tensor& data,
   EMAF_CHECK_EQ(data.rank(), 2) << "expected [T, V]";
   EMAF_CHECK_GE(data.dim(0), 2) << "need at least two time points";
   EMAF_CHECK_GE(data.dim(1), 2) << "need at least two variables";
+  EMAF_TRACE_SPAN_DYN(StrCat("BuildGraph/", GraphMetricName(options.metric)));
+  EMAF_METRIC_SCOPED_TIMER("graph.build_seconds");
+  EMAF_METRIC_COUNTER_ADD_DYN(
+      StrCat("graph.builds_total.", GraphMetricName(options.metric)), 1);
   switch (options.metric) {
     case GraphMetric::kEuclidean:
       return BuildEuclidean(data);

@@ -1,3 +1,4 @@
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
@@ -21,8 +22,10 @@ void ForEachBatch(int64_t batch, int64_t work_per_call, F fn) {
   };
   if (pool.num_threads() > 1 && batch > 1 &&
       batch * work_per_call >= kConvParallelMinElems) {
+    EMAF_METRIC_COUNTER_ADD("conv.dispatch_parallel", 1);
     pool.ParallelFor(0, batch, 1, run);
   } else {
+    EMAF_METRIC_COUNTER_ADD("conv.dispatch_serial", 1);
     run(0, batch);
   }
 }

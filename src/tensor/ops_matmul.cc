@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
@@ -55,9 +56,11 @@ void ParallelMatMul(const Scalar* a, const Scalar* b, Scalar* c, int64_t m,
                     int64_t k, int64_t n) {
   common::ThreadPool& pool = common::ThreadPool::Global();
   if (pool.num_threads() <= 1 || m < 8 || m * k * n < kMatMulParallelMinFlops) {
+    EMAF_METRIC_COUNTER_ADD("matmul.dispatch_serial", 1);
     MatMulKernel(a, b, c, m, k, n);
     return;
   }
+  EMAF_METRIC_COUNTER_ADD("matmul.dispatch_parallel", 1);
   // Chunk in units of the kernel's 4-row block: a chunk starting at a
   // multiple of 4 replays exactly the serial schedule for its rows (the
   // sub-4 remainder, if any, lands in the final chunk just as it does at
@@ -152,8 +155,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     };
     if (parallel) {
+      EMAF_METRIC_COUNTER_ADD("matmul.batched_dispatch_parallel", 1);
       pool.ParallelFor(0, num_batches, 1, run_batches);
     } else {
+      EMAF_METRIC_COUNTER_ADD("matmul.batched_dispatch_serial", 1);
       run_batches(0, num_batches);
     }
   }

@@ -1,4 +1,6 @@
+#include <cmath>
 #include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -123,6 +125,121 @@ TEST(CsvTest, IndividualRoundTrip) {
   EXPECT_EQ(loaded.value().observations.ToVector(),
             person.observations.ToVector());
   EXPECT_FALSE(loaded.value().ground_truth_network.has_value());
+}
+
+// --- Edge cases: CRLF, quoting, blank tails, missing values ---------------
+
+TEST(CsvTest, CrlfLineEndingsAccepted) {
+  std::string path = TempPath("crlf.csv");
+  std::ofstream out(path, std::ios::binary);
+  out << "a,b\r\n1,2\r\n3,4\r\n";
+  out.close();
+  std::vector<std::string> names;
+  Result<Tensor> loaded = LoadMatrixCsv(path, &names);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(loaded.value().ToVector(), (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(CsvTest, CrlfBlankLineAtEndAccepted) {
+  std::string path = TempPath("crlf_tail.csv");
+  std::ofstream out(path, std::ios::binary);
+  out << "1,2\r\n3,4\r\n\r\n";
+  out.close();
+  Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().shape(), (Shape{2, 2}));
+}
+
+TEST(CsvTest, QuotedHeaderFieldMayContainDelimiter) {
+  std::string path = TempPath("quoted_header.csv");
+  std::ofstream out(path);
+  out << "\"mood, positive\",energy\n0.5,0.25\n";
+  out.close();
+  std::vector<std::string> names;
+  Result<Tensor> loaded = LoadMatrixCsv(path, &names);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"mood, positive", "energy"}));
+  EXPECT_EQ(loaded.value().shape(), (Shape{1, 2}));
+}
+
+TEST(CsvTest, QuotedDataCellsAndEscapedQuotes) {
+  std::string path = TempPath("quoted_cells.csv");
+  std::ofstream out(path);
+  out << "\"he said \"\"hi\"\"\",y\n\"1.5\",\"2\"\n";
+  out.close();
+  std::vector<std::string> names;
+  Result<Tensor> loaded = LoadMatrixCsv(path, &names);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(names, (std::vector<std::string>{"he said \"hi\"", "y"}));
+  EXPECT_EQ(loaded.value().ToVector(), (std::vector<double>{1.5, 2}));
+}
+
+TEST(CsvTest, HeaderWithDelimiterRoundTrips) {
+  Tensor m = Tensor::FromVector(Shape{1, 2}, {1, 2});
+  std::string path = TempPath("hdr_comma.csv");
+  ASSERT_TRUE(SaveMatrixCsv(m, {"a,b", "c\"d"}, path).ok());
+  std::vector<std::string> names;
+  Result<Tensor> loaded = LoadMatrixCsv(path, &names);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(names, (std::vector<std::string>{"a,b", "c\"d"}));
+  EXPECT_EQ(loaded.value().ToVector(), m.ToVector());
+}
+
+TEST(CsvTest, NanSpellingsLoadAsNan) {
+  std::string path = TempPath("nan.csv");
+  std::ofstream out(path);
+  out << "1,nan\nNaN,4\n";
+  out.close();
+  Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const double* d = loaded.value().data();
+  EXPECT_EQ(d[0], 1.0);
+  EXPECT_TRUE(std::isnan(d[1]));
+  EXPECT_TRUE(std::isnan(d[2]));
+  EXPECT_EQ(d[3], 4.0);
+}
+
+TEST(CsvTest, EmptyCellsLoadAsNan) {
+  std::string path = TempPath("missing.csv");
+  std::ofstream out(path);
+  out << "a,b,c\n1,,3\n,5,\n";
+  out.close();
+  std::vector<std::string> names;
+  Result<Tensor> loaded = LoadMatrixCsv(path, &names);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().shape(), (Shape{2, 3}));
+  const double* d = loaded.value().data();
+  EXPECT_EQ(d[0], 1.0);
+  EXPECT_TRUE(std::isnan(d[1]));
+  EXPECT_EQ(d[2], 3.0);
+  EXPECT_TRUE(std::isnan(d[3]));
+  EXPECT_EQ(d[4], 5.0);
+  EXPECT_TRUE(std::isnan(d[5]));
+}
+
+TEST(CsvTest, NanRowsSurviveSaveLoadRoundTrip) {
+  Tensor m = Tensor::FromVector(
+      Shape{1, 3}, {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0});
+  std::string path = TempPath("nan_roundtrip.csv");
+  ASSERT_TRUE(SaveMatrixCsv(m, {}, path).ok());
+  Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const double* d = loaded.value().data();
+  EXPECT_EQ(d[0], 1.0);
+  EXPECT_TRUE(std::isnan(d[1]));
+  EXPECT_EQ(d[2], 3.0);
+}
+
+TEST(CsvTest, SplitCsvLineSemantics) {
+  EXPECT_EQ(SplitCsvLine("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(SplitCsvLine("\"x\"\"y\""), (std::vector<std::string>{"x\"y"}));
+  EXPECT_EQ(SplitCsvLine("a,b\r"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitCsvLine(""), (std::vector<std::string>{""}));
 }
 
 TEST(CsvTest, SaveRejectsWrongRank) {

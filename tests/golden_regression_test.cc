@@ -1,0 +1,159 @@
+// Golden numerics gate: a tiny seeded 2-individual x 2-model experiment
+// grid whose report CSV must match tests/golden/experiment_small.csv
+// BYTE FOR BYTE. Any PR that changes these bytes has changed the
+// numerics — deliberately or not — and must regenerate the golden file
+// and justify the diff in review. Perf work (kernel re-blocking, new
+// thread-pool schedules) and observability work (metrics ON/OFF,
+// EMAF_TRACE_FILE) must leave it untouched; the grid is run at 1, 2, and
+// 8 threads against the same file to hold the determinism contract too.
+//
+// Updating the golden file after an intentional numerics change:
+//   ./golden_regression_test --update-golden
+// or
+//   EMAF_UPDATE_GOLDEN=1 ./golden_regression_test
+// then commit the rewritten tests/golden/experiment_small.csv. The
+// update path runs at 1 thread and still fails if the other thread
+// counts disagree with the refreshed file.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "data/generator.h"
+
+namespace emaf {
+
+bool update_golden = false;  // set by main() below
+
+namespace {
+
+#ifndef EMAF_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define EMAF_GOLDEN_DIR"
+#endif
+
+std::string GoldenPath() {
+  return std::string(EMAF_GOLDEN_DIR) + "/experiment_small.csv";
+}
+
+// Round-trip exact formatting: 17 significant digits distinguish every
+// double, so a 1-ulp numerics change flips the golden bytes.
+std::string FormatExact(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+core::ExperimentConfig GoldenConfig() {
+  core::ExperimentConfig config;
+  config.generator.num_individuals = 2;
+  config.generator.num_variables = 8;
+  config.generator.days = 7;
+  config.generator.seed = 20240612;
+  config.train.epochs = 3;
+  config.knn_k = 3;
+  config.seed = 20240612;
+  return config;
+}
+
+// LSTM (graph-free baseline) and A3TGCN over the Pearson graph: one
+// non-graph and one graph model so both training paths stay pinned.
+std::vector<core::CellSpec> GoldenGrid() {
+  std::vector<core::CellSpec> grid;
+  core::CellSpec lstm;
+  lstm.model = core::ModelKind::kLstm;
+  lstm.input_length = 2;
+  grid.push_back(lstm);
+  core::CellSpec a3tgcn;
+  a3tgcn.model = core::ModelKind::kA3tgcn;
+  a3tgcn.metric = graph::GraphMetric::kCorrelation;
+  a3tgcn.gdt = 0.4;
+  a3tgcn.input_length = 2;
+  grid.push_back(a3tgcn);
+  return grid;
+}
+
+// The full report CSV for the golden grid, as written by TablePrinter.
+std::string RunGridCsv(int64_t threads) {
+  common::ThreadPool::SetGlobalNumThreads(threads);
+  core::ExperimentConfig config = GoldenConfig();
+  data::Cohort cohort = data::GenerateCohort(config.generator);
+  core::ExperimentRunner runner(std::move(cohort), config);
+
+  core::TablePrinter table(
+      {"cell", "mean_mse(std)", "mse_individual_0", "mse_individual_1"});
+  for (const core::CellSpec& spec : GoldenGrid()) {
+    core::CellResult result = runner.RunCell(spec);
+    EXPECT_EQ(result.per_individual_mse.size(), 2u);
+    table.AddRow({StrCat(spec.Label(), "_seq", spec.input_length),
+                  core::FormatMeanStd(result.stats),
+                  FormatExact(result.per_individual_mse[0]),
+                  FormatExact(result.per_individual_mse[1])});
+  }
+  common::ThreadPool::SetGlobalNumThreads(1);
+
+  std::string path =
+      std::string(::testing::TempDir()) + "/golden_candidate.csv";
+  EXPECT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open());
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+std::string ReadGolden() {
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  EXPECT_TRUE(in.is_open())
+      << GoldenPath()
+      << " missing — run ./golden_regression_test --update-golden once and "
+         "commit the file";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+TEST(GoldenRegressionTest, ReportCsvMatchesGoldenAtOneTwoEightThreads) {
+  std::string serial = RunGridCsv(1);
+  if (update_golden) {
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << GoldenPath();
+    out << serial;
+    ASSERT_TRUE(out.good());
+    std::cout << "[golden] rewrote " << GoldenPath() << "\n";
+  }
+  std::string golden = ReadGolden();
+  ASSERT_FALSE(golden.empty());
+  // Byte-for-byte: EXPECT_EQ on the full strings shows the first diff.
+  EXPECT_EQ(serial, golden) << "serial run diverged from golden CSV";
+  for (int64_t threads : {2, 8}) {
+    EXPECT_EQ(RunGridCsv(threads), golden)
+        << "threads=" << threads << " diverged from golden CSV";
+  }
+}
+
+}  // namespace
+}  // namespace emaf
+
+// Custom main so --update-golden can be passed alongside gtest flags
+// (gtest_main would reject nothing, but we need to see the flag).
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      emaf::update_golden = true;
+    }
+  }
+  const char* env = std::getenv("EMAF_UPDATE_GOLDEN");
+  if (env != nullptr && std::string(env) == "1") emaf::update_golden = true;
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,246 @@
+// Registry semantics for the observability subsystem (common/metrics.h):
+// counter monotonicity under concurrency, histogram bucket boundaries,
+// snapshot-while-writing from 8 threads (runs under the `tsan` ctest
+// label in a -DEMAF_SANITIZE=thread build), and the -DEMAF_METRICS=OFF
+// no-op contract.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace emaf::obs {
+namespace {
+
+#if EMAF_METRICS_ENABLED
+
+TEST(MetricsTest, CounterStartsAtZeroAndAdds) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, CounterExactUnderEightThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(3.5);
+  EXPECT_EQ(gauge.value(), 3.5);
+  gauge.Add(-1.25);
+  EXPECT_EQ(gauge.value(), 2.25);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsTest, GaugeAddExactUnderEightThreads) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      // +1/-1 in pairs plus one net +1 per iteration; every add is a CAS,
+      // so nothing is lost regardless of interleaving.
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        gauge.Add(2.0);
+        gauge.Add(-1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(gauge.value(), static_cast<double>(kThreads * kAddsPerThread));
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreUpperInclusive) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  // Bucket layout: (-inf,1], (1,2], (2,4], (4,inf).
+  histogram.Observe(0.5);
+  histogram.Observe(1.0);  // inclusive upper bound -> first bucket
+  histogram.Observe(1.5);
+  histogram.Observe(2.0);  // -> second bucket
+  histogram.Observe(3.0);
+  histogram.Observe(4.0);  // -> third bucket
+  histogram.Observe(5.0);  // overflow
+  std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 7u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 5.0);
+}
+
+TEST(MetricsTest, HistogramNegativeAndExtremeValues) {
+  Histogram histogram({0.0, 10.0});
+  histogram.Observe(-5.0);    // below every bound -> first bucket
+  histogram.Observe(1e300);   // overflow bucket
+  std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  Registry& registry = Registry::Global();
+  Counter* a = registry.GetCounter("metrics_test.stable");
+  Counter* b = registry.GetCounter("metrics_test.stable");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("metrics_test.stable_h", {1.0, 2.0});
+  // Second registration ignores the (different) bounds and returns the
+  // same instrument.
+  Histogram* h2 = registry.GetHistogram("metrics_test.stable_h", {9.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsRegistrations) {
+  Registry& registry = Registry::Global();
+  Counter* counter = registry.GetCounter("metrics_test.reset");
+  counter->Add(7);
+  registry.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  // Cached pointer still the registered instrument.
+  EXPECT_EQ(registry.GetCounter("metrics_test.reset"), counter);
+}
+
+// The core thread-safety claim: snapshots taken while 8 threads write see
+// monotone counter values and never tear, and the final snapshot is exact.
+TEST(MetricsTest, SnapshotWhileWritingUnderEightThreads) {
+  Registry& registry = Registry::Global();
+  registry.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 10000;
+  Counter* counter = registry.GetCounter("metrics_test.snapshot_counter");
+  Histogram* histogram =
+      registry.GetHistogram("metrics_test.snapshot_hist", {0.25, 0.5, 0.75});
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, histogram] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(static_cast<double>(i % 100) / 100.0);
+      }
+    });
+  }
+
+  uint64_t last_counter = 0;
+  uint64_t last_hist_count = 0;
+  for (int probe = 0; probe < 200; ++probe) {
+    MetricsSnapshot snapshot = registry.Snapshot();
+    uint64_t c = snapshot.counters.at("metrics_test.snapshot_counter");
+    EXPECT_GE(c, last_counter) << "counter went backwards";
+    last_counter = c;
+    const HistogramSnapshot& h =
+        snapshot.histograms.at("metrics_test.snapshot_hist");
+    EXPECT_GE(h.count, last_hist_count) << "histogram count went backwards";
+    last_hist_count = h.count;
+    ASSERT_EQ(h.counts.size(), 4u);
+  }
+  for (std::thread& t : threads) t.join();
+
+  MetricsSnapshot final_snapshot = registry.Snapshot();
+  EXPECT_EQ(final_snapshot.counters.at("metrics_test.snapshot_counter"),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  const HistogramSnapshot& h =
+      final_snapshot.histograms.at("metrics_test.snapshot_hist");
+  EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h.counts) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count);
+}
+
+TEST(MetricsTest, MacrosRecordThroughTheGlobalRegistry) {
+  Registry& registry = Registry::Global();
+  registry.Reset();
+  for (int i = 0; i < 3; ++i) EMAF_METRIC_COUNTER_ADD("metrics_test.macro", 2);
+  EMAF_METRIC_COUNTER_ADD_DYN(std::string("metrics_test.macro_dyn"), 5);
+  EMAF_METRIC_GAUGE_SET("metrics_test.macro_gauge", 1.5);
+  EMAF_METRIC_HISTOGRAM_OBSERVE("metrics_test.macro_hist", 0.2,
+                                DefaultSecondsBounds());
+  {
+    EMAF_METRIC_SCOPED_TIMER("metrics_test.macro_timer");
+  }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("metrics_test.macro"), 6u);
+  EXPECT_EQ(snapshot.counters.at("metrics_test.macro_dyn"), 5u);
+  EXPECT_EQ(snapshot.gauges.at("metrics_test.macro_gauge"), 1.5);
+  EXPECT_EQ(snapshot.histograms.at("metrics_test.macro_hist").count, 1u);
+  EXPECT_EQ(snapshot.histograms.at("metrics_test.macro_timer").count, 1u);
+}
+
+TEST(MetricsTest, SnapshotJsonIsDeterministicAndStructured) {
+  Registry& registry = Registry::Global();
+  registry.Reset();
+  EMAF_METRIC_COUNTER_ADD("metrics_test.json_counter", 3);
+  EMAF_METRIC_GAUGE_SET("metrics_test.json_gauge", 2.5);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"metrics_test.json_counter\": 3"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"metrics_test.json_gauge\": 2.5"), std::string::npos)
+      << json;
+  // Same snapshot -> same bytes (names come from an ordered map).
+  EXPECT_EQ(json, registry.Snapshot().ToJson());
+}
+
+#else  // !EMAF_METRICS_ENABLED
+
+// -DEMAF_METRICS=OFF compile check: the same API compiles, and every
+// instrument is a no-op (this binary is part of the OFF-build acceptance
+// criterion — see ISSUE/DESIGN).
+TEST(MetricsTest, CompiledOutInstrumentsAreNoOps) {
+  static_assert(!kMetricsEnabled);
+  Counter counter;
+  counter.Add(10);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 0u);
+
+  Gauge gauge;
+  gauge.Set(5.0);
+  gauge.Add(1.0);
+  EXPECT_EQ(gauge.value(), 0.0);
+
+  Histogram histogram({1.0});
+  histogram.Observe(0.5);
+  EXPECT_EQ(histogram.count(), 0u);
+
+  EMAF_METRIC_COUNTER_ADD("metrics_test.off", 1);
+  EMAF_METRIC_GAUGE_SET("metrics_test.off_gauge", 1.0);
+  EMAF_METRIC_HISTOGRAM_OBSERVE("metrics_test.off_hist", 1.0,
+                                DefaultSecondsBounds());
+  EMAF_METRIC_SCOPED_TIMER("metrics_test.off_timer");
+  MetricsSnapshot snapshot = Registry::Global().Snapshot();
+  EXPECT_TRUE(snapshot.empty());
+}
+
+#endif  // EMAF_METRICS_ENABLED
+
+TEST(MetricsTest, EnabledFlagMatchesBuildDefinition) {
+  EXPECT_EQ(kMetricsEnabled, EMAF_METRICS_ENABLED != 0);
+}
+
+}  // namespace
+}  // namespace emaf::obs

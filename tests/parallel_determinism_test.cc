@@ -7,14 +7,17 @@
 // holds that contract to exact double equality at 1, 2, and 8 threads,
 // above and below the serial-fallback size thresholds.
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "tensor/op_common.h"
@@ -206,6 +209,50 @@ TEST(ParallelDeterminismTest, ExperimentGridBitwiseEqualAcrossThreadCounts) {
                 core::FormatMeanStd(parallel[c].stats));
       EXPECT_EQ(serial[c].stats.count, parallel[c].stats.count);
     }
+  }
+}
+
+// Observability must be numerics-neutral: the experiment CSV is byte-for-
+// byte the same whether metrics/tracing actively record or not, at 1 and
+// 2 threads. Within one binary this compares recording-on vs recording-
+// off; across builds, golden_regression_test pins the -DEMAF_METRICS=ON
+// and =OFF binaries to the same checked-in CSV bytes, closing the loop.
+TEST(ParallelDeterminismTest, ObservabilityIsNumericsNeutral) {
+  auto grid_csv = [](int64_t threads, bool observed) {
+    if (observed) {
+      obs::Registry::Global().Reset();
+      obs::Trace::Enable(std::string(::testing::TempDir()) +
+                         "/determinism_trace.json");
+    }
+    std::vector<core::CellResult> results = RunGrid(threads);
+    if (observed) {
+      EXPECT_TRUE(obs::Trace::Flush().ok());
+      obs::Trace::Disable();
+    }
+    std::string csv;
+    for (const core::CellResult& cell : results) {
+      csv += cell.spec.Label() + "," + core::FormatMeanStd(cell.stats);
+      for (double mse : cell.per_individual_mse) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ",%.17g", mse);
+        csv += buf;
+      }
+      csv += "\n";
+    }
+    return csv;
+  };
+  for (int64_t threads : {int64_t{1}, int64_t{2}}) {
+    std::string plain = grid_csv(threads, false);
+    std::string observed = grid_csv(threads, true);
+    EXPECT_EQ(plain, observed)
+        << "metrics/trace recording changed numerics at threads=" << threads;
+  }
+  // And when compiled in, recording did actually happen side-band.
+  if (obs::kMetricsEnabled) {
+    EXPECT_GT(obs::Registry::Global()
+                  .Snapshot()
+                  .counters.at("experiment.cells_total"),
+              0u);
   }
 }
 
