@@ -52,7 +52,7 @@ void Run() {
       spec.metric = graph::GraphMetric::kCorrelation;
       spec.gdt = 0.2;
       spec.input_length = 5;
-      rows[m].push_back(core::FormatMeanStd(runner.RunCell(spec).stats));
+      rows[m].push_back(core::FormatMeanStd(runner.RunCellOrDie(spec).stats));
       std::cerr << "[capacity] " << spec.Label() << " hidden=" << hidden
                 << " done\n";
     }

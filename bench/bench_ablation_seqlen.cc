@@ -33,7 +33,7 @@ void Run() {
     std::vector<std::string> row = {spec.Label()};
     for (int64_t length : lengths) {
       spec.input_length = length;
-      row.push_back(core::FormatMeanStd(runner.RunCell(spec).stats));
+      row.push_back(core::FormatMeanStd(runner.RunCellOrDie(spec).stats));
       std::cerr << "[seqlen] " << spec.Label() << " L=" << length << " done\n";
     }
     table.AddRow(std::move(row));

@@ -72,6 +72,51 @@ inline core::ExperimentConfig MakeConfig(const BenchScale& scale) {
   return config;
 }
 
+// Checkpoint/resume plumbing for grid benches (see DESIGN.md, "Fault
+// tolerance"). `--journal <path>` (or EMAF_BENCH_JOURNAL) appends every
+// completed cell to a crash-tolerant journal; `--resume` reloads it and
+// skips recorded cells, reproducing the uninterrupted run byte-for-byte.
+// --resume without an explicit path defaults to <bench>.journal in cwd.
+struct GridFlags {
+  std::string journal_path;
+  bool resume = false;
+};
+
+inline GridFlags ParseGridFlags(int argc, char** argv,
+                                const std::string& bench_name) {
+  GridFlags flags;
+  flags.journal_path = GetEnvString("EMAF_BENCH_JOURNAL", "");
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--resume") {
+      flags.resume = true;
+    } else if (arg == "--journal" && i + 1 < argc) {
+      flags.journal_path = argv[++i];
+    }
+  }
+  if (flags.resume && flags.journal_path.empty()) {
+    flags.journal_path = bench_name + ".journal";
+  }
+  return flags;
+}
+
+inline core::GridOptions ToGridOptions(const GridFlags& flags) {
+  core::GridOptions options;
+  options.journal_path = flags.journal_path;
+  options.resume = flags.resume;
+  return options;
+}
+
+// Table cell for one grid outcome: mean(std) on success, a structured
+// FAILED(CODE) marker on graceful degradation — the bench keeps printing
+// the rest of the table instead of aborting.
+inline std::string FormatCellOutcome(const core::CellOutcome& outcome) {
+  if (outcome.status.ok()) {
+    return core::FormatMeanStd(outcome.result.stats);
+  }
+  return StrCat("FAILED(", StatusCodeName(outcome.status.code()), ")");
+}
+
 // Writes `table` as CSV into $EMAF_BENCH_CSV_DIR/<name>.csv when that
 // directory variable is set; silent no-op otherwise.
 inline void MaybeWriteCsv(const core::TablePrinter& table,

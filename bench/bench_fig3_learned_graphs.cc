@@ -59,7 +59,7 @@ void Run() {
     mtgnn.metric = metric;
     mtgnn.gdt = gdt;
     mtgnn.input_length = seq;
-    core::CellResult mtgnn_result = runner.RunCell(mtgnn);
+    core::CellResult mtgnn_result = runner.RunCellOrDie(mtgnn);
     table.AddRow(
         BoxRow(mtgnn.Label(), mtgnn_result.per_individual_mse, "-"));
 
@@ -70,9 +70,9 @@ void Run() {
       spec.metric = metric;
       spec.gdt = gdt;
       spec.input_length = seq;
-      core::CellResult static_result = runner.RunCell(spec);
+      core::CellResult static_result = runner.RunCellOrDie(spec);
       spec.use_learned_graph = true;
-      core::CellResult learned_result = runner.RunCell(spec);
+      core::CellResult learned_result = runner.RunCellOrDie(spec);
       double change = core::ExperimentRunner::MeanRelativeChangePercent(
           static_result, learned_result);
       spec.use_learned_graph = false;
@@ -85,7 +85,7 @@ void Run() {
     }
 
     const core::LearnedGraphSet& learned =
-        runner.LearnedGraphs(metric, gdt, seq);
+        runner.LearnedGraphsOrDie(metric, gdt, seq);
     std::cout << graph::GraphMetricName(metric)
               << ": learned-vs-static graph correlation = "
               << FormatFixed(learned.mean_static_correlation, 3) << "\n";

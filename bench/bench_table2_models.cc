@@ -28,7 +28,7 @@ core::AggregateStats VarRow(const data::Cohort& cohort, int64_t input_length) {
   return core::Aggregate(mses);
 }
 
-void Run() {
+void Run(const bench::GridFlags& flags) {
   bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/30);
   bench::RunReporter reporter("table2_models", scale);
   bench::PrintScale("Table II: Experiment A — GNN models vs LSTM", scale);
@@ -45,36 +45,51 @@ void Run() {
       core::ModelKind::kA3tgcn, core::ModelKind::kAstgcn,
       core::ModelKind::kMtgnn};
 
-  core::TablePrinter table({"Model", "Seq1", "Seq2", "Seq5"});
-
-  // Baseline LSTM row.
-  {
-    std::vector<std::string> row = {"Baseline LSTM"};
-    for (int64_t seq : seq_lengths) {
-      core::CellSpec spec;
-      spec.model = core::ModelKind::kLstm;
-      spec.input_length = seq;
-      row.push_back(core::FormatMeanStd(runner.RunCell(spec).stats));
-    }
-    table.AddRow(row);
-    std::cerr << "[table2] LSTM done\n";
+  // One flat grid (row-major: each table row's three seq cells are
+  // adjacent) run through RunGrid, so the whole bench checkpoints to
+  // --journal and resumes with --resume, and a failed cell degrades to a
+  // FAILED(CODE) table entry instead of aborting the run.
+  std::vector<core::CellSpec> grid;
+  for (int64_t seq : seq_lengths) {
+    core::CellSpec spec;
+    spec.model = core::ModelKind::kLstm;
+    spec.input_length = seq;
+    grid.push_back(spec);
   }
-
-  // GNN rows, grouped by metric as in the paper.
   for (graph::GraphMetric metric : metrics) {
     for (core::ModelKind model : gnn_models) {
-      core::CellSpec spec;
-      spec.model = model;
-      spec.metric = metric;
-      spec.gdt = 0.2;
-      std::vector<std::string> row = {spec.Label()};
       for (int64_t seq : seq_lengths) {
+        core::CellSpec spec;
+        spec.model = model;
+        spec.metric = metric;
+        spec.gdt = 0.2;
         spec.input_length = seq;
-        row.push_back(core::FormatMeanStd(runner.RunCell(spec).stats));
+        grid.push_back(spec);
       }
-      table.AddRow(row);
-      std::cerr << "[table2] " << spec.Label() << " done\n";
     }
+  }
+  core::GridResult result = runner.RunGrid(grid, bench::ToGridOptions(flags));
+  if (result.num_resumed > 0) {
+    std::cerr << "[table2] resumed " << result.num_resumed
+              << " cell(s) from " << flags.journal_path << "\n";
+  }
+  if (result.num_failed > 0) {
+    std::cerr << "[table2] " << result.num_failed
+              << " cell(s) failed (see rows marked FAILED)\n";
+  }
+
+  core::TablePrinter table({"Model", "Seq1", "Seq2", "Seq5"});
+  size_t next = 0;
+  auto take_row = [&](const std::string& label) {
+    std::vector<std::string> row = {label};
+    for (size_t s = 0; s < seq_lengths.size(); ++s) {
+      row.push_back(bench::FormatCellOutcome(result.cells[next++]));
+    }
+    table.AddRow(row);
+  };
+  take_row("Baseline LSTM");
+  for (size_t r = 0; r < metrics.size() * gnn_models.size(); ++r) {
+    take_row(result.cells[next].spec.Label());
   }
 
   // Extension: closed-form VAR ridge baseline.
@@ -97,7 +112,7 @@ void Run() {
 }  // namespace
 }  // namespace emaf
 
-int main() {
-  emaf::Run();
+int main(int argc, char** argv) {
+  emaf::Run(emaf::bench::ParseGridFlags(argc, argv, "table2_models"));
   return 0;
 }

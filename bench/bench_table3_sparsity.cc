@@ -39,7 +39,7 @@ void Run() {
       std::vector<std::string> row = {spec.Label()};
       for (double gdt : gdts) {
         spec.gdt = gdt;
-        row.push_back(core::FormatMeanStd(runner.RunCell(spec).stats));
+        row.push_back(core::FormatMeanStd(runner.RunCellOrDie(spec).stats));
       }
       table.AddRow(row);
       std::cerr << "[table3] " << spec.Label() << " done\n";

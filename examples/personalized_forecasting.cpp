@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
 
   std::cout << "training LSTM and MTGNN_CORR for " << individuals
             << " participants (" << epochs << " epochs each)...\n\n";
-  core::CellResult lstm_result = runner.RunCell(lstm);
-  core::CellResult mtgnn_result = runner.RunCell(mtgnn);
+  core::CellResult lstm_result = runner.RunCellOrDie(lstm);
+  core::CellResult mtgnn_result = runner.RunCellOrDie(mtgnn);
 
   core::TablePrinter table({"Participant", "LSTM", "MTGNN_CORR", "winner"});
   for (int64_t i = 0; i < cohort.size(); ++i) {

@@ -1,0 +1,219 @@
+#include "common/fault_injection.h"
+
+#if EMAF_FAULT_INJECTION_ENABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace emaf::fault {
+
+namespace {
+
+// SplitMix64-style avalanche; maps (seed, entry hash, token) to [0, 1).
+double UniformDraw(uint64_t seed, uint64_t entry_hash, uint64_t token) {
+  uint64_t z = seed ^ (entry_hash * 0x9e3779b97f4a7c15ULL) ^
+               (token + 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct Entry {
+  SiteSpec spec;
+  uint64_t hash = 0;
+  std::atomic<int64_t> evaluations{0};
+  std::atomic<int64_t> fires{0};
+};
+
+struct Config {
+  uint64_t seed = 0;
+  // Stable addresses: Entry holds atomics and is neither movable nor
+  // copyable.
+  std::vector<std::unique_ptr<Entry>> entries;
+};
+
+// Guards (re)configuration; lookups read `active_config` without the lock
+// (reconfiguration during parallel regions is documented as unsupported).
+std::mutex& ConfigMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::shared_ptr<Config>& ConfigSlot() {
+  static std::shared_ptr<Config> config;
+  return config;
+}
+
+std::atomic<bool> g_active{false};
+
+std::shared_ptr<Config> ActiveConfig() {
+  std::lock_guard<std::mutex> lock(ConfigMutex());
+  std::shared_ptr<Config>& slot = ConfigSlot();
+  if (slot == nullptr) {
+    // First use: configure from the environment.
+    auto config = std::make_shared<Config>();
+    std::string spec = GetEnvString("EMAF_FAULT_SPEC", "");
+    uint64_t seed = static_cast<uint64_t>(
+        GetEnvInt64("EMAF_FAULT_SEED", 0x5eedf417));
+    Result<std::vector<SiteSpec>> parsed = ParseFaultSpec(spec);
+    EMAF_CHECK(parsed.ok()) << "EMAF_FAULT_SPEC: "
+                            << parsed.status().ToString();
+    config->seed = seed;
+    for (SiteSpec& site : parsed.value()) {
+      auto entry = std::make_unique<Entry>();
+      entry->spec = std::move(site);
+      entry->hash = HashString(entry->spec.site);
+      config->entries.push_back(std::move(entry));
+    }
+    g_active.store(!config->entries.empty(), std::memory_order_relaxed);
+    if (!config->entries.empty()) {
+      EMAF_LOG(WARNING) << "fault injection ACTIVE (" << spec << ")";
+    }
+    slot = std::move(config);
+  }
+  return slot;
+}
+
+// Longest configured entry matching `site` (exact, or prefix ending at a
+// '/' boundary); nullptr when none match.
+Entry* FindEntry(Config* config, std::string_view site) {
+  Entry* best = nullptr;
+  for (const std::unique_ptr<Entry>& entry : config->entries) {
+    const std::string& name = entry->spec.site;
+    bool matches =
+        site == name ||
+        (site.size() > name.size() && site[name.size()] == '/' &&
+         site.substr(0, name.size()) == name);
+    if (matches && (best == nullptr ||
+                    name.size() > best->spec.site.size())) {
+      best = entry.get();
+    }
+  }
+  return best;
+}
+
+bool Decide(Config* config, Entry* entry, uint64_t token) {
+  if (entry == nullptr) return false;
+  if (entry->spec.probability <= 0.0) return false;
+  if (entry->spec.probability < 1.0 &&
+      UniformDraw(config->seed, entry->hash, token) >=
+          entry->spec.probability) {
+    return false;
+  }
+  if (entry->spec.max_triggers >= 0) {
+    // Atomically claim one of the bounded triggers.
+    int64_t claimed = entry->fires.fetch_add(1, std::memory_order_relaxed);
+    if (claimed >= entry->spec.max_triggers) return false;
+  } else {
+    entry->fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<SiteSpec>> ParseFaultSpec(std::string_view spec) {
+  std::vector<SiteSpec> sites;
+  if (StrTrim(spec).empty()) return sites;
+  for (const std::string& raw : StrSplit(spec, ',')) {
+    std::string entry = StrTrim(raw);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrCat("fault spec entry '", entry, "' is not site=prob[:max]"));
+    }
+    SiteSpec site;
+    site.site = StrTrim(entry.substr(0, eq));
+    std::string value = entry.substr(eq + 1);
+    size_t colon = value.find(':');
+    std::string prob_text =
+        colon == std::string::npos ? value : value.substr(0, colon);
+    if (!ParseDouble(StrTrim(prob_text), &site.probability) ||
+        site.probability < 0.0 || site.probability > 1.0) {
+      return Status::InvalidArgument(
+          StrCat("fault spec entry '", entry,
+                 "' has a bad probability (want [0, 1])"));
+    }
+    if (colon != std::string::npos) {
+      long long max_triggers = 0;
+      if (!ParseInt64(StrTrim(value.substr(colon + 1)), &max_triggers) ||
+          max_triggers < 0) {
+        return Status::InvalidArgument(
+            StrCat("fault spec entry '", entry, "' has a bad max_triggers"));
+      }
+      site.max_triggers = max_triggers;
+    }
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+bool Active() {
+  // Cheap steady-state check; falls through to lazy env configuration
+  // exactly once per process.
+  static std::once_flag once;
+  std::call_once(once, [] { ActiveConfig(); });
+  return g_active.load(std::memory_order_relaxed);
+}
+
+bool ShouldFail(std::string_view site) {
+  std::shared_ptr<Config> config = ActiveConfig();
+  Entry* entry = FindEntry(config.get(), site);
+  if (entry == nullptr) return false;
+  uint64_t token = static_cast<uint64_t>(
+      entry->evaluations.fetch_add(1, std::memory_order_relaxed));
+  return Decide(config.get(), entry, token);
+}
+
+bool ShouldFail(std::string_view site, uint64_t token) {
+  std::shared_ptr<Config> config = ActiveConfig();
+  Entry* entry = FindEntry(config.get(), site);
+  if (entry == nullptr) return false;
+  entry->evaluations.fetch_add(1, std::memory_order_relaxed);
+  return Decide(config.get(), entry, token);
+}
+
+Status Configure(std::string_view spec, uint64_t seed) {
+  Result<std::vector<SiteSpec>> parsed = ParseFaultSpec(spec);
+  if (!parsed.ok()) return parsed.status();
+  auto config = std::make_shared<Config>();
+  config->seed = seed;
+  for (SiteSpec& site : parsed.value()) {
+    auto entry = std::make_unique<Entry>();
+    entry->spec = std::move(site);
+    entry->hash = HashString(entry->spec.site);
+    config->entries.push_back(std::move(entry));
+  }
+  std::lock_guard<std::mutex> lock(ConfigMutex());
+  g_active.store(!config->entries.empty(), std::memory_order_relaxed);
+  ConfigSlot() = std::move(config);
+  return Status::Ok();
+}
+
+void CrashNow(std::string_view site) {
+  EMAF_LOG(WARNING) << "fault injection: simulated crash at '" << site
+                    << "' (exit " << kCrashExitCode << ")";
+  std::_Exit(kCrashExitCode);
+}
+
+}  // namespace emaf::fault
+
+#endif  // EMAF_FAULT_INJECTION_ENABLED

@@ -1,0 +1,129 @@
+// emaf::fault — deterministic fault injection for robustness testing.
+//
+// A fault "site" is a named point in the code that may be forced to fail:
+//
+//   if (EMAF_FAULT_SHOULD_FAIL("data.csv.load")) {
+//     return Status::DataLoss("injected fault: data.csv.load");
+//   }
+//
+// Which sites fail is controlled by EMAF_FAULT_SPEC, a comma-separated
+// list of `site=probability[:max_triggers]` entries, e.g.
+//
+//   EMAF_FAULT_SPEC="trainer.step/A3TGCN:CORR:0.5:3:static=1,graph.construction=0.5:2"
+//
+// An entry matches a runtime site when it is equal to it, or is a prefix
+// of it ending at a '/' boundary ("trainer.step" matches
+// "trainer.step/<cell-key>/i0"); the longest matching entry wins, so a
+// broad spec can be narrowed per cell or per individual. Decisions are
+// deterministic: the n-th evaluation of an entry (or the evaluation with
+// explicit token t) fires iff mix(EMAF_FAULT_SEED, entry, n-or-t) <
+// probability, and `max_triggers` bounds how many evaluations may fire.
+// Token-based checks (EMAF_FAULT_SHOULD_FAIL_T) are schedule-independent;
+// counter-based checks depend on evaluation order across threads and are
+// meant for probability-1 or single-threaded scenarios.
+//
+// Like emaf::obs, the whole subsystem compiles to nothing under
+// -DEMAF_FAULT_INJECTION=OFF: every macro folds to a false/void constant,
+// no emaf::fault symbol enters libemaf.a, and release numerics are
+// provably untouched (the golden harness is run against both builds).
+// Header-only stubs below keep test code compiling either way.
+
+#ifndef EMAF_COMMON_FAULT_INJECTION_H_
+#define EMAF_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+#if !defined(EMAF_FAULT_INJECTION_ENABLED)
+#define EMAF_FAULT_INJECTION_ENABLED 1
+#endif
+
+namespace emaf::fault {
+
+inline constexpr bool kFaultInjectionEnabled = EMAF_FAULT_INJECTION_ENABLED != 0;
+
+// Exit code used by EMAF_FAULT_CRASH_POINT so a parent process (or test)
+// can tell an injected crash from a genuine failure.
+inline constexpr int kCrashExitCode = 86;
+
+// One parsed EMAF_FAULT_SPEC entry.
+struct SiteSpec {
+  std::string site;
+  double probability = 0.0;
+  int64_t max_triggers = -1;  // < 0 = unlimited
+};
+
+#if EMAF_FAULT_INJECTION_ENABLED
+
+// Parses an EMAF_FAULT_SPEC string. Empty input yields an empty list.
+Result<std::vector<SiteSpec>> ParseFaultSpec(std::string_view spec);
+
+// True when any site is configured. One relaxed atomic load — the fast
+// path every EMAF_FAULT_* macro takes in a fault-free process.
+bool Active();
+
+// Counter-based decision for `site` (token = per-entry evaluation count).
+bool ShouldFail(std::string_view site);
+// Token-based decision: deterministic for a given (seed, entry, token)
+// regardless of thread schedule. Use a stable id (epoch, StreamId).
+bool ShouldFail(std::string_view site, uint64_t token);
+
+// Replaces the active configuration (tests; also called lazily on first
+// use with the EMAF_FAULT_SPEC / EMAF_FAULT_SEED environment variables).
+// An empty spec deactivates injection. Not thread-safe against concurrent
+// ShouldFail: reconfigure only between parallel regions.
+Status Configure(std::string_view spec, uint64_t seed);
+
+// Logs and terminates the process with kCrashExitCode, skipping all
+// destructors — simulates a hard crash for checkpoint/resume testing.
+[[noreturn]] void CrashNow(std::string_view site);
+
+#else  // !EMAF_FAULT_INJECTION_ENABLED
+
+// Inline no-op stubs so tests and tools referencing emaf::fault compile in
+// OFF builds without pulling any symbol into the library.
+inline Result<std::vector<SiteSpec>> ParseFaultSpec(std::string_view) {
+  return std::vector<SiteSpec>{};
+}
+inline bool Active() { return false; }
+inline bool ShouldFail(std::string_view) { return false; }
+inline bool ShouldFail(std::string_view, uint64_t) { return false; }
+inline Status Configure(std::string_view, uint64_t) { return Status::Ok(); }
+
+#endif  // EMAF_FAULT_INJECTION_ENABLED
+
+}  // namespace emaf::fault
+
+// --- Injection-site macros -------------------------------------------------
+// The OFF variants never evaluate their arguments, so sites may build
+// dynamic names (StrCat(...)) without cost in release builds.
+
+#if EMAF_FAULT_INJECTION_ENABLED
+
+#define EMAF_FAULT_ACTIVE() (::emaf::fault::Active())
+#define EMAF_FAULT_SHOULD_FAIL(site) \
+  (::emaf::fault::Active() && ::emaf::fault::ShouldFail((site)))
+#define EMAF_FAULT_SHOULD_FAIL_T(site, token) \
+  (::emaf::fault::Active() && ::emaf::fault::ShouldFail((site), (token)))
+// Hard-crash site (checkpoint testing): exits the process when it fires.
+#define EMAF_FAULT_CRASH_POINT(site)                                   \
+  do {                                                                 \
+    if (::emaf::fault::Active() && ::emaf::fault::ShouldFail((site))) { \
+      ::emaf::fault::CrashNow((site));                                 \
+    }                                                                  \
+  } while (0)
+
+#else  // !EMAF_FAULT_INJECTION_ENABLED
+
+#define EMAF_FAULT_ACTIVE() (false)
+#define EMAF_FAULT_SHOULD_FAIL(site) (false)
+#define EMAF_FAULT_SHOULD_FAIL_T(site, token) (false)
+#define EMAF_FAULT_CRASH_POINT(site) ((void)0)
+
+#endif  // EMAF_FAULT_INJECTION_ENABLED
+
+#endif  // EMAF_COMMON_FAULT_INJECTION_H_

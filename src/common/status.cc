@@ -14,8 +14,29 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
+  constexpr StatusCode kAllCodes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kFailedPrecondition,
+      StatusCode::kInternal,     StatusCode::kDataLoss,
+      StatusCode::kResourceExhausted, StatusCode::kAborted,
+      StatusCode::kUnavailable};
+  for (StatusCode code : kAllCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
@@ -21,10 +22,25 @@ enum class StatusCode : int {
   kNotFound = 2,
   kFailedPrecondition = 3,
   kInternal = 4,
+  // Unrecoverable data corruption: a malformed CSV record, a journal entry
+  // whose checksum does not match, a NaN-poisoned graph.
+  kDataLoss = 5,
+  // A bounded resource ran out (retry budget, memory, queue capacity).
+  kResourceExhausted = 6,
+  // The operation was aborted before completing — e.g. training stopped by
+  // the divergence guard.
+  kAborted = 7,
+  // A transient dependency failed (worker task fault); retrying later may
+  // succeed.
+  kUnavailable = 8,
 };
 
 // Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
 const char* StatusCodeName(StatusCode code);
+
+// Inverse of StatusCodeName; nullopt for unknown names. Used to round-trip
+// codes through the checkpoint journal.
+std::optional<StatusCode> StatusCodeFromName(std::string_view name);
 
 class Status {
  public:
@@ -44,6 +60,18 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Aborted(std::string message) {
+    return Status(StatusCode::kAborted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -70,6 +70,13 @@ std::string FormatFixed(double value, int digits) {
   return stream.str();
 }
 
+std::string FormatExact(double value) {
+  std::ostringstream stream;
+  stream.precision(17);
+  stream << value;
+  return stream.str();
+}
+
 bool ParseDouble(std::string_view text, double* value) {
   std::string trimmed = StrTrim(text);
   if (trimmed.empty()) return false;

@@ -31,6 +31,12 @@ std::string ToLower(std::string_view text);
 // Formats `value` with `digits` digits after the decimal point ("0.845").
 std::string FormatFixed(double value, int digits);
 
+// Formats `value` with 17 significant digits — enough to distinguish every
+// IEEE double, so ParseDouble(FormatExact(v)) == v bit-for-bit. Used by
+// the checkpoint journal and grid reports, whose byte-for-byte resume
+// contract depends on exact round-tripping.
+std::string FormatExact(double value);
+
 // Concatenates the streamed representation of all arguments.
 template <typename... Args>
 std::string StrCat(const Args&... args) {

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 
 namespace emaf::common {
@@ -52,6 +54,11 @@ struct ParallelForState {
         int64_t lo = begin + chunk * grain;
         int64_t hi = std::min(lo + grain, end);
         try {
+          // Injected task fault: thrown inside the chunk's try block so it
+          // takes the exact path a failing ParallelFor body takes.
+          if (EMAF_FAULT_SHOULD_FAIL("threadpool.task")) {
+            throw std::runtime_error("injected fault: threadpool.task");
+          }
           (*fn)(lo, hi);
         } catch (...) {
           failed.store(true, std::memory_order_relaxed);
@@ -137,6 +144,11 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   if (num_threads_ <= 1 || end - begin <= grain || in_worker) {
     EMAF_METRIC_COUNTER_ADD("threadpool.parallel_for_serial", 1);
     for (int64_t lo = begin; lo < end; lo += grain) {
+      // Same injection site as the parallel path, so a fault spec behaves
+      // identically at any thread count.
+      if (EMAF_FAULT_SHOULD_FAIL("threadpool.task")) {
+        throw std::runtime_error("injected fault: threadpool.task");
+      }
       fn(lo, std::min(lo + grain, end));
     }
     return;

@@ -1,0 +1,227 @@
+#include "core/checkpoint.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace emaf::core {
+
+namespace {
+
+constexpr std::string_view kVersionTag = "v1";
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Percent-escapes '%', '|', newline and carriage return so a field can
+// carry arbitrary status-message bytes on one '|'-separated line.
+std::string EscapeField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    if (c == '%' || c == '|' || c == '\n' || c == '\r') {
+      static constexpr char kHex[] = "0123456789ABCDEF";
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '%') {
+      out.push_back(field[i]);
+      continue;
+    }
+    if (i + 2 >= field.size() ||
+        !std::isxdigit(static_cast<unsigned char>(field[i + 1])) ||
+        !std::isxdigit(static_cast<unsigned char>(field[i + 2]))) {
+      return Status::DataLoss("bad percent escape in journal field");
+    }
+    auto nibble = [](char c) -> unsigned {
+      if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+      if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+      return static_cast<unsigned>(c - 'A' + 10);
+    };
+    out.push_back(static_cast<char>((nibble(field[i + 1]) << 4) |
+                                    nibble(field[i + 2])));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  const std::array<uint32_t, 256>& table = Crc32Table();
+  uint32_t crc = 0xffffffffu;
+  for (char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  std::vector<std::string> fields;
+  fields.emplace_back(kVersionTag);
+  fields.push_back(EscapeField(record.key));
+  fields.emplace_back(StatusCodeName(record.cell_status.code()));
+  fields.push_back(EscapeField(record.cell_status.message()));
+  fields.push_back(StrCat(record.retries));
+  fields.push_back(StrCat(record.per_individual_mse.size()));
+  for (double v : record.per_individual_mse) {
+    fields.push_back(FormatExact(v));
+  }
+  for (int64_t r : record.per_individual_retries) {
+    fields.push_back(StrCat(r));
+  }
+  std::string payload = StrJoin(fields, "|");
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload));
+  return StrCat(crc_hex, "|", payload);
+}
+
+Result<JournalRecord> DecodeJournalRecord(std::string_view line) {
+  size_t bar = line.find('|');
+  if (bar == std::string_view::npos) {
+    return Status::DataLoss("journal line has no checksum field");
+  }
+  std::string_view crc_text = line.substr(0, bar);
+  std::string_view payload = line.substr(bar + 1);
+  long long crc_value = 0;
+  {
+    // Hex parse (ParseInt64 is decimal-only).
+    std::string crc_string(crc_text);
+    char* end = nullptr;
+    crc_value = std::strtoll(crc_string.c_str(), &end, 16);
+    if (crc_text.empty() || end == nullptr || *end != '\0') {
+      return Status::DataLoss("journal line has a malformed checksum");
+    }
+  }
+  if (static_cast<uint32_t>(crc_value) != Crc32(payload)) {
+    return Status::DataLoss("journal record checksum mismatch");
+  }
+  std::vector<std::string> fields = StrSplit(payload, '|');
+  if (fields.size() < 6 || fields[0] != kVersionTag) {
+    return Status::DataLoss("journal record has a bad header");
+  }
+  JournalRecord record;
+  Result<std::string> key = UnescapeField(fields[1]);
+  if (!key.ok()) return key.status();
+  record.key = std::move(key.value());
+  std::optional<StatusCode> code = StatusCodeFromName(fields[2]);
+  if (!code.has_value()) {
+    return Status::DataLoss(
+        StrCat("journal record has unknown status code '", fields[2], "'"));
+  }
+  Result<std::string> message = UnescapeField(fields[3]);
+  if (!message.ok()) return message.status();
+  record.cell_status = *code == StatusCode::kOk
+                           ? Status::Ok()
+                           : Status(*code, std::move(message.value()));
+  long long retries = 0;
+  long long n = 0;
+  if (!ParseInt64(fields[4], &retries) || !ParseInt64(fields[5], &n) ||
+      retries < 0 || n < 0) {
+    return Status::DataLoss("journal record has bad counters");
+  }
+  record.retries = retries;
+  if (fields.size() != 6 + 2 * static_cast<size_t>(n)) {
+    return Status::DataLoss(
+        StrCat("journal record field count mismatch (", fields.size(),
+               " fields for n=", n, ")"));
+  }
+  for (long long i = 0; i < n; ++i) {
+    double v = 0.0;
+    if (!ParseDouble(fields[6 + static_cast<size_t>(i)], &v)) {
+      return Status::DataLoss("journal record has a malformed MSE value");
+    }
+    record.per_individual_mse.push_back(v);
+  }
+  for (long long i = 0; i < n; ++i) {
+    long long r = 0;
+    if (!ParseInt64(fields[6 + static_cast<size_t>(n + i)], &r) || r < 0) {
+      return Status::DataLoss("journal record has a malformed retry count");
+    }
+    record.per_individual_retries.push_back(r);
+  }
+  return record;
+}
+
+Result<CheckpointJournal> CheckpointJournal::OpenForAppend(
+    const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out.is_open()) {
+    return Status::NotFound(
+        StrCat("cannot open journal for appending: ", path));
+  }
+  return CheckpointJournal(path, std::move(out));
+}
+
+Status CheckpointJournal::Append(const JournalRecord& record) {
+  out_ << EncodeJournalRecord(record) << "\n";
+  out_.flush();
+  if (!out_.good()) {
+    return Status::Internal(StrCat("journal append failed: ", path_));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<JournalRecord>> CheckpointJournal::Load(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open journal: ", path));
+  }
+  std::vector<JournalRecord> records;
+  std::string line;
+  int64_t line_number = 0;
+  bool pending_error = false;
+  std::string pending_message;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (StrTrim(line).empty()) continue;
+    if (pending_error) {
+      // The bad line was NOT the trailing record: real corruption.
+      return Status::DataLoss(pending_message);
+    }
+    Result<JournalRecord> record = DecodeJournalRecord(line);
+    if (!record.ok()) {
+      pending_error = true;
+      pending_message = StrCat(path, ":", line_number, ": ",
+                               record.status().message());
+      continue;
+    }
+    records.push_back(std::move(record.value()));
+  }
+  if (pending_error) {
+    EMAF_LOG(WARNING) << "checkpoint journal: dropping torn trailing "
+                         "record (" << pending_message << ")";
+  }
+  return records;
+}
+
+}  // namespace emaf::core

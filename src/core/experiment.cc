@@ -1,13 +1,19 @@
 #include "core/experiment.h"
 
+#include <cmath>
+#include <exception>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/checkpoint.h"
 #include "graph/metrics.h"
 #include "tensor/ops.h"
 
@@ -29,6 +35,19 @@ uint64_t StreamId(const CellSpec& spec, int64_t individual, int64_t repeat) {
   mix(static_cast<uint64_t>(individual));
   mix(static_cast<uint64_t>(repeat));
   return h;
+}
+
+// Cache key of a learned-graph extraction (internal to this file).
+std::string LearnedKey(graph::GraphMetric metric, double gdt,
+                       int64_t input_length) {
+  return StrCat(graph::GraphMetricName(metric), "|", gdt, "|", input_length);
+}
+
+bool AdjacencyHasNonFinite(const graph::AdjacencyMatrix& adjacency) {
+  for (double v : adjacency.values()) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -53,6 +72,22 @@ std::string CellSpec::Label() const {
       StrCat(ModelKindName(model), "_", graph::GraphMetricName(metric));
   if (use_learned_graph) label += "_learned";
   return label;
+}
+
+std::string CellKey(const CellSpec& spec) {
+  // Every spec field, not just the label: an LSTM cell's RNG stream still
+  // mixes metric and gdt, so two LSTM cells with different metrics are
+  // different cells. ':' keeps the key free of the journal's '|' separator.
+  return StrCat(ModelKindName(spec.model), ":",
+                graph::GraphMetricName(spec.metric), ":",
+                FormatExact(spec.gdt), ":", spec.input_length, ":",
+                spec.use_learned_graph ? "learned" : "static");
+}
+
+int64_t CellResult::TotalRetries() const {
+  int64_t total = 0;
+  for (int64_t r : per_individual_retries) total += r;
+  return total;
 }
 
 ExperimentRunner::ExperimentRunner(data::Cohort cohort,
@@ -84,9 +119,9 @@ graph::AdjacencyMatrix ExperimentRunner::BuildStaticGraph(
   return graph::KeepTopFraction(full, gdt);
 }
 
-double ExperimentRunner::TrainAndEvaluate(const CellSpec& spec,
-                                          int64_t individual_index,
-                                          int64_t repeat) {
+Result<ExperimentRunner::IndividualRun> ExperimentRunner::RunIndividual(
+    const CellSpec& spec, int64_t individual_index, int64_t repeat,
+    bool extract_learned) {
   EMAF_TRACE_SPAN_DYN(
       StrCat("cell/", spec.Label(), "/individual_", individual_index));
   EMAF_METRIC_SCOPED_TIMER("experiment.individual_seconds");
@@ -95,61 +130,148 @@ double ExperimentRunner::TrainAndEvaluate(const CellSpec& spec,
       cohort_.individuals[static_cast<size_t>(individual_index)];
   data::IndividualSplit split =
       data::MakeSplit(individual, spec.input_length, config_.train_fraction);
-  Rng rng =
-      Rng(config_.seed).Fork(StreamId(spec, individual_index, repeat));
+  const uint64_t base_stream = StreamId(spec, individual_index, repeat);
 
-  std::unique_ptr<models::Forecaster> model;
-  switch (spec.model) {
-    case ModelKind::kLstm:
-      model = std::make_unique<models::LstmForecaster>(
-          individual.num_variables(), spec.input_length, config_.lstm, &rng);
-      break;
-    case ModelKind::kA3tgcn:
-    case ModelKind::kAstgcn: {
-      graph::AdjacencyMatrix adjacency(individual.num_variables());
-      if (spec.use_learned_graph) {
-        const LearnedGraphSet& learned =
-            LearnedGraphs(spec.metric, spec.gdt, spec.input_length);
-        // Learned graphs are directed: symmetrize, then apply the same GDT
-        // so the comparison against the static graph is edge-count matched.
-        graph::AdjacencyMatrix g =
-            learned.graphs[static_cast<size_t>(individual_index)];
-        g.Symmetrize();
-        g.ZeroDiagonal();
-        adjacency = graph::KeepTopFraction(g, spec.gdt);
-      } else {
-        adjacency =
-            BuildStaticGraph(individual_index, spec.metric, spec.gdt, repeat);
+  std::string last_failure = "never attempted";
+  for (int64_t attempt = 0; attempt <= config_.max_train_retries; ++attempt) {
+    // Attempt 0 is byte-identical to fault-free training; recovery
+    // attempts re-seed the model from a perturbed stream, halve the
+    // learning rate per attempt, and force gradient clipping on.
+    uint64_t stream = base_stream;
+    TrainConfig train = config_.train;
+    // Scoped by CellKey, not Label: two cells may share a label (same
+    // model and metric, different input length) and a fault spec must be
+    // able to target exactly one of them.
+    train.fault_scope = StrCat(CellKey(spec), "/i", individual_index);
+    if (attempt > 0) {
+      stream ^= 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt);
+      train.learning_rate =
+          config_.train.learning_rate / static_cast<double>(1LL << attempt);
+      if (train.grad_clip_norm <= 0.0) {
+        train.grad_clip_norm = config_.recovery_grad_clip_norm;
       }
-      if (spec.model == ModelKind::kA3tgcn) {
-        model = std::make_unique<models::A3tgcn>(
-            adjacency, spec.input_length, config_.a3tgcn, &rng);
-      } else {
-        model = std::make_unique<models::Astgcn>(
-            adjacency, spec.input_length, config_.astgcn, &rng);
+      EMAF_METRIC_COUNTER_ADD("experiment.recovery_retries_total", 1);
+      EMAF_LOG(WARNING) << spec.Label() << " individual " << individual_index
+                        << ": retry " << attempt << "/"
+                        << config_.max_train_retries << " after "
+                        << last_failure << " (lr " << train.learning_rate
+                        << ", clip " << train.grad_clip_norm << ")";
+    }
+    Rng rng = Rng(config_.seed).Fork(stream);
+
+    std::unique_ptr<models::Forecaster> model;
+    models::Mtgnn* mtgnn = nullptr;
+    // Kept alive through training for the learned-vs-static correlation.
+    graph::AdjacencyMatrix static_graph(1);
+    switch (spec.model) {
+      case ModelKind::kLstm:
+        model = std::make_unique<models::LstmForecaster>(
+            individual.num_variables(), spec.input_length, config_.lstm,
+            &rng);
+        break;
+      case ModelKind::kA3tgcn:
+      case ModelKind::kAstgcn: {
+        graph::AdjacencyMatrix adjacency(individual.num_variables());
+        if (spec.use_learned_graph) {
+          // RunCell populates the cache before its parallel region, so
+          // this lookup is read-only here; a miss is a programming error.
+          auto it = learned_cache_.find(
+              LearnedKey(spec.metric, spec.gdt, spec.input_length));
+          EMAF_CHECK(it != learned_cache_.end())
+              << "learned-graph cache not pre-populated for "
+              << spec.Label();
+          // Learned graphs are directed: symmetrize, then apply the same
+          // GDT so the comparison against the static graph is edge-count
+          // matched.
+          graph::AdjacencyMatrix g =
+              it->second.graphs[static_cast<size_t>(individual_index)];
+          g.Symmetrize();
+          g.ZeroDiagonal();
+          adjacency = graph::KeepTopFraction(g, spec.gdt);
+        } else {
+          adjacency = BuildStaticGraph(individual_index, spec.metric,
+                                       spec.gdt, repeat);
+        }
+        if (AdjacencyHasNonFinite(adjacency)) {
+          // Corrupt input, not a training accident: re-seeding cannot fix
+          // a deterministically rebuilt graph, so fail without retrying.
+          return Status::DataLoss(
+              StrCat(spec.Label(), " individual ", individual_index,
+                     ": adjacency matrix has non-finite entries"));
+        }
+        if (spec.model == ModelKind::kA3tgcn) {
+          model = std::make_unique<models::A3tgcn>(
+              adjacency, spec.input_length, config_.a3tgcn, &rng);
+        } else {
+          model = std::make_unique<models::Astgcn>(
+              adjacency, spec.input_length, config_.astgcn, &rng);
+        }
+        break;
       }
-      break;
+      case ModelKind::kMtgnn: {
+        static_graph = BuildStaticGraph(individual_index, spec.metric,
+                                        spec.gdt, repeat);
+        if (AdjacencyHasNonFinite(static_graph)) {
+          return Status::DataLoss(
+              StrCat(spec.Label(), " individual ", individual_index,
+                     ": adjacency matrix has non-finite entries"));
+        }
+        auto owned = std::make_unique<models::Mtgnn>(
+            &static_graph, individual.num_variables(), spec.input_length,
+            config_.mtgnn, &rng);
+        mtgnn = owned.get();
+        model = std::move(owned);
+        break;
+      }
     }
-    case ModelKind::kMtgnn: {
-      graph::AdjacencyMatrix adjacency =
-          BuildStaticGraph(individual_index, spec.metric, spec.gdt, repeat);
-      model = std::make_unique<models::Mtgnn>(
-          &adjacency, individual.num_variables(), spec.input_length,
-          config_.mtgnn, &rng);
-      break;
+
+    TrainResult trained = TrainForecaster(model.get(), split.train, train);
+    if (trained.diverged) {
+      last_failure = StrCat("divergence at epoch ", trained.divergence_epoch,
+                            " (loss ", trained.final_loss, ")");
+      continue;
     }
+    double mse = EvaluateMse(model.get(), split.test);
+    if (!std::isfinite(mse)) {
+      last_failure = "non-finite test MSE";
+      continue;
+    }
+
+    IndividualRun run;
+    run.mse = mse;
+    run.retries = attempt;
+    if (extract_learned) {
+      EMAF_CHECK(mtgnn != nullptr)
+          << "learned-graph extraction requires an MTGNN cell";
+      run.learned = mtgnn->CurrentAdjacency();
+      graph::AdjacencyMatrix learned_sym = run.learned;
+      learned_sym.Symmetrize();
+      learned_sym.ZeroDiagonal();
+      run.static_correlation =
+          graph::GraphCorrelation(learned_sym, static_graph);
+    }
+    return run;
   }
-
-  TrainForecaster(model.get(), split.train, config_.train);
-  return EvaluateMse(model.get(), split.test);
+  return Status::Aborted(
+      StrCat(spec.Label(), " individual ", individual_index,
+             ": recovery budget exhausted after ", config_.max_train_retries,
+             " retries; last failure: ", last_failure));
 }
 
-CellResult ExperimentRunner::RunCell(const CellSpec& spec) {
+CellOutcome ExperimentRunner::RunCellOutcome(const CellSpec& spec) {
   EMAF_TRACE_SPAN_DYN(StrCat("RunCell/", spec.Label()));
   EMAF_METRIC_SCOPED_TIMER("experiment.cell_seconds");
   EMAF_METRIC_COUNTER_ADD("experiment.cells_total", 1);
-  CellResult result;
-  result.spec = spec;
+  CellOutcome outcome;
+  outcome.spec = spec;
+  outcome.result.spec = spec;
+
+  if (EMAF_FAULT_SHOULD_FAIL(StrCat("experiment.cell/", CellKey(spec)))) {
+    outcome.status = Status::Unavailable(
+        StrCat("injected fault: experiment.cell/", CellKey(spec)));
+    return outcome;
+  }
+
   bool is_random = spec.metric == graph::GraphMetric::kRandom &&
                    spec.model != ModelKind::kLstm;
   int64_t repeats = is_random ? config_.random_graph_repeats : 1;
@@ -158,49 +280,201 @@ CellResult ExperimentRunner::RunCell(const CellSpec& spec) {
   // training procedure) so Experiments A/B/C stay consistent and cheap.
   if (spec.model == ModelKind::kMtgnn && !is_random &&
       config_.mtgnn.use_graph_learning) {
-    const LearnedGraphSet& learned =
+    Result<const LearnedGraphSet*> learned =
         LearnedGraphs(spec.metric, spec.gdt, spec.input_length);
-    result.per_individual_mse = learned.mtgnn_mse;
-    result.stats = Aggregate(result.per_individual_mse);
-    return result;
+    if (!learned.ok()) {
+      outcome.status = learned.status();
+      return outcome;
+    }
+    const LearnedGraphSet& set = *learned.value();
+    outcome.result.per_individual_mse = set.mtgnn_mse;
+    outcome.result.per_individual_retries = set.retries;
+    outcome.result.stats = Aggregate(outcome.result.per_individual_mse);
+    outcome.retries = outcome.result.TotalRetries();
+    return outcome;
   }
 
   // Learned-graph cells read the shared cache from every task: populate it
   // once up front so the parallel region is read-only on `learned_cache_`.
   if (spec.use_learned_graph) {
-    LearnedGraphs(spec.metric, spec.gdt, spec.input_length);
+    Result<const LearnedGraphSet*> learned =
+        LearnedGraphs(spec.metric, spec.gdt, spec.input_length);
+    if (!learned.ok()) {
+      outcome.status = learned.status();
+      return outcome;
+    }
   }
 
   // Per-individual cells are independent: each task forks its own Rng from
   // StreamId(spec, i, r) and writes into its pre-sized slot, so any
   // schedule produces bitwise the serial result, with no mutex on the hot
-  // path and a single aggregation at the end.
-  result.per_individual_mse.assign(static_cast<size_t>(cohort_.size()), 0.0);
-  common::ThreadPool::Global().ParallelFor(
-      0, cohort_.size(), /*grain=*/1, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          double total = 0.0;
-          for (int64_t r = 0; r < repeats; ++r) {
-            total += TrainAndEvaluate(spec, i, r);
+  // path and a single aggregation at the end. Failures land in per-index
+  // Status slots; the lowest failing index wins, so the reported error is
+  // schedule-independent too.
+  size_t n = static_cast<size_t>(cohort_.size());
+  outcome.result.per_individual_mse.assign(n, 0.0);
+  outcome.result.per_individual_retries.assign(n, 0);
+  std::vector<Status> statuses(n);
+  try {
+    common::ThreadPool::Global().ParallelFor(
+        0, cohort_.size(), /*grain=*/1, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            double total = 0.0;
+            int64_t retries = 0;
+            for (int64_t r = 0; r < repeats; ++r) {
+              Result<IndividualRun> run =
+                  RunIndividual(spec, i, r, /*extract_learned=*/false);
+              if (!run.ok()) {
+                statuses[static_cast<size_t>(i)] = run.status();
+                retries += config_.max_train_retries;
+                break;
+              }
+              total += run.value().mse;
+              retries += run.value().retries;
+            }
+            outcome.result.per_individual_mse[static_cast<size_t>(i)] =
+                total / static_cast<double>(repeats);
+            outcome.result.per_individual_retries[static_cast<size_t>(i)] =
+                retries;
           }
-          result.per_individual_mse[static_cast<size_t>(i)] =
-              total / static_cast<double>(repeats);
-        }
-      });
-  result.stats = Aggregate(result.per_individual_mse);
-  EMAF_LOG(DEBUG) << spec.Label() << " mse " << result.stats.mean << " ("
-                  << result.stats.stddev << ")";
+        });
+  } catch (const std::exception& e) {
+    // A worker task died (e.g. injected threadpool fault). The pool stays
+    // usable; the cell reports a transient failure.
+    outcome.status = Status::Unavailable(
+        StrCat(spec.Label(), ": worker task failed: ", e.what()));
+    outcome.result = CellResult{};
+    outcome.result.spec = spec;
+    return outcome;
+  }
+  outcome.retries = outcome.result.TotalRetries();
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      outcome.status = statuses[i];
+      // Partially filled slots must not leak into reports or journals:
+      // a failed cell's result is default-initialized by contract.
+      outcome.result = CellResult{};
+      outcome.result.spec = spec;
+      return outcome;
+    }
+  }
+  outcome.result.stats = Aggregate(outcome.result.per_individual_mse);
+  EMAF_LOG(DEBUG) << spec.Label() << " mse " << outcome.result.stats.mean
+                  << " (" << outcome.result.stats.stddev << ")";
+  return outcome;
+}
+
+Result<CellResult> ExperimentRunner::RunCell(const CellSpec& spec) {
+  CellOutcome outcome = RunCellOutcome(spec);
+  if (!outcome.status.ok()) return outcome.status;
+  return std::move(outcome.result);
+}
+
+CellResult ExperimentRunner::RunCellOrDie(const CellSpec& spec) {
+  Result<CellResult> result = RunCell(spec);
+  EMAF_CHECK(result.ok()) << "cell " << spec.Label()
+                          << " failed: " << result.status().ToString();
+  return std::move(result).value();
+}
+
+GridResult ExperimentRunner::RunGrid(const std::vector<CellSpec>& grid,
+                                     const GridOptions& options) {
+  EMAF_TRACE_SPAN_DYN(StrCat("RunGrid/", grid.size(), "_cells"));
+  GridResult result;
+
+  // Resume: reload completed outcomes (success AND failure — a failed cell
+  // was a *completed* decision; silently re-running it would make the
+  // resumed report diverge from the uninterrupted one).
+  std::unordered_map<std::string, JournalRecord> resumed;
+  if (options.resume && !options.journal_path.empty()) {
+    Result<std::vector<JournalRecord>> loaded =
+        CheckpointJournal::Load(options.journal_path);
+    if (loaded.ok()) {
+      for (JournalRecord& record : loaded.value()) {
+        std::string key = record.key;
+        resumed.emplace(std::move(key), std::move(record));
+      }
+    } else if (loaded.status().code() == StatusCode::kNotFound) {
+      EMAF_LOG(INFO) << "resume requested but no journal at "
+                     << options.journal_path << "; running from scratch";
+    } else {
+      // A corrupt journal cannot honor the byte-for-byte resume contract;
+      // that is a harness error, not a degradable cell failure.
+      EMAF_CHECK(false) << "cannot resume from " << options.journal_path
+                        << ": " << loaded.status().ToString();
+    }
+  }
+
+  std::optional<CheckpointJournal> journal;
+  if (!options.journal_path.empty()) {
+    Result<CheckpointJournal> opened =
+        CheckpointJournal::OpenForAppend(options.journal_path);
+    EMAF_CHECK(opened.ok()) << opened.status().ToString();
+    journal.emplace(std::move(opened).value());
+  }
+
+  for (const CellSpec& spec : grid) {
+    const std::string key = CellKey(spec);
+    auto it = resumed.find(key);
+    if (it != resumed.end()) {
+      const JournalRecord& record = it->second;
+      CellOutcome outcome;
+      outcome.spec = spec;
+      outcome.result.spec = spec;
+      outcome.status = record.cell_status;
+      outcome.retries = record.retries;
+      outcome.resumed = true;
+      if (outcome.status.ok()) {
+        outcome.result.per_individual_mse = record.per_individual_mse;
+        outcome.result.per_individual_retries =
+            record.per_individual_retries;
+        // Exact round-tripping (FormatExact) makes this recomputed
+        // aggregate bitwise the original.
+        outcome.result.stats = Aggregate(outcome.result.per_individual_mse);
+      } else {
+        ++result.num_failed;
+      }
+      ++result.num_resumed;
+      EMAF_LOG(INFO) << "resume: skipping completed cell " << key;
+      result.cells.push_back(std::move(outcome));
+      continue;
+    }
+
+    CellOutcome outcome = RunCellOutcome(spec);
+    if (!outcome.status.ok()) {
+      ++result.num_failed;
+      EMAF_METRIC_COUNTER_ADD("experiment.cells_failed", 1);
+      EMAF_LOG(ERROR) << "cell " << key
+                      << " failed: " << outcome.status.ToString();
+    }
+    if (journal.has_value()) {
+      JournalRecord record;
+      record.key = key;
+      record.cell_status = outcome.status;
+      record.retries = outcome.retries;
+      if (outcome.status.ok()) {
+        record.per_individual_mse = outcome.result.per_individual_mse;
+        record.per_individual_retries =
+            outcome.result.per_individual_retries;
+      }
+      Status appended = journal->Append(record);
+      EMAF_CHECK(appended.ok()) << appended.ToString();
+      // Crash site for fault_recovery_test: dying here proves the record
+      // just written survives and the next run resumes past this cell.
+      EMAF_FAULT_CRASH_POINT("checkpoint.post_append");
+    }
+    result.cells.push_back(std::move(outcome));
+  }
   return result;
 }
 
-const LearnedGraphSet& ExperimentRunner::LearnedGraphs(
+Result<const LearnedGraphSet*> ExperimentRunner::LearnedGraphs(
     graph::GraphMetric metric, double gdt, int64_t input_length) {
-  std::string key = StrCat(graph::GraphMetricName(metric), "|", gdt, "|",
-                           input_length);
+  std::string key = LearnedKey(metric, gdt, input_length);
   auto it = learned_cache_.find(key);
   if (it != learned_cache_.end()) {
     EMAF_METRIC_COUNTER_ADD("experiment.learned_cache_hits", 1);
-    return it->second;
+    return &it->second;
   }
   EMAF_METRIC_COUNTER_ADD("experiment.learned_cache_misses", 1);
   EMAF_TRACE_SPAN_DYN(StrCat("LearnedGraphs/", key));
@@ -220,38 +494,52 @@ const LearnedGraphSet& ExperimentRunner::LearnedGraphs(
   // slot is overwritten by its individual's task.
   set.graphs.assign(n, graph::AdjacencyMatrix(1));
   set.mtgnn_mse.assign(n, 0.0);
+  set.retries.assign(n, 0);
   std::vector<double> correlations(n, 0.0);
-  common::ThreadPool::Global().ParallelFor(
-      0, cohort_.size(), /*grain=*/1, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          const data::Individual& individual =
-              cohort_.individuals[static_cast<size_t>(i)];
-          data::IndividualSplit split = data::MakeSplit(
-              individual, input_length, config_.train_fraction);
-          graph::AdjacencyMatrix static_graph =
-              BuildStaticGraph(i, metric, gdt);
-          Rng rng = Rng(config_.seed).Fork(StreamId(spec, i, /*repeat=*/0));
-          models::Mtgnn model(&static_graph, individual.num_variables(),
-                              input_length, config_.mtgnn, &rng);
-          TrainForecaster(&model, split.train, config_.train);
-          set.mtgnn_mse[static_cast<size_t>(i)] =
-              EvaluateMse(&model, split.test);
-
-          graph::AdjacencyMatrix learned = model.CurrentAdjacency();
-          graph::AdjacencyMatrix learned_sym = learned;
-          learned_sym.Symmetrize();
-          learned_sym.ZeroDiagonal();
-          correlations[static_cast<size_t>(i)] =
-              graph::GraphCorrelation(learned_sym, static_graph);
-          set.graphs[static_cast<size_t>(i)] = std::move(learned);
-        }
-      });
+  std::vector<Status> statuses(n);
+  try {
+    common::ThreadPool::Global().ParallelFor(
+        0, cohort_.size(), /*grain=*/1, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            Result<IndividualRun> run =
+                RunIndividual(spec, i, /*repeat=*/0,
+                              /*extract_learned=*/true);
+            if (!run.ok()) {
+              statuses[static_cast<size_t>(i)] = run.status();
+              continue;
+            }
+            set.mtgnn_mse[static_cast<size_t>(i)] = run.value().mse;
+            set.retries[static_cast<size_t>(i)] = run.value().retries;
+            correlations[static_cast<size_t>(i)] =
+                run.value().static_correlation;
+            set.graphs[static_cast<size_t>(i)] =
+                std::move(run.value().learned);
+          }
+        });
+  } catch (const std::exception& e) {
+    return Status::Unavailable(
+        StrCat("LearnedGraphs/", key, ": worker task failed: ", e.what()));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    // A partial extraction is NOT cached: a later call retries from
+    // scratch instead of serving poisoned entries.
+    if (!statuses[i].ok()) return statuses[i];
+  }
   double correlation_total = 0.0;
   for (double c : correlations) correlation_total += c;
   set.mean_static_correlation =
       correlation_total / static_cast<double>(cohort_.size());
   auto [inserted, unused] = learned_cache_.emplace(key, std::move(set));
-  return inserted->second;
+  return &inserted->second;
+}
+
+const LearnedGraphSet& ExperimentRunner::LearnedGraphsOrDie(
+    graph::GraphMetric metric, double gdt, int64_t input_length) {
+  Result<const LearnedGraphSet*> learned =
+      LearnedGraphs(metric, gdt, input_length);
+  EMAF_CHECK(learned.ok()) << "learned-graph extraction failed: "
+                           << learned.status().ToString();
+  return *learned.value();
 }
 
 double ExperimentRunner::MeanRelativeChangePercent(const CellResult& a,

@@ -1,6 +1,14 @@
 // Experiment orchestration: one "cell" = (model, graph, GDT, input length)
 // trained and evaluated per individual across a cohort — the unit of every
 // entry in Tables II/III and every box in Fig. 3.
+//
+// Fault tolerance (DESIGN.md, "Fault tolerance"): training divergence and
+// corrupt inputs are expected events at grid scale, not programming
+// errors. Each individual gets a bounded recovery budget (re-seeded
+// model, halved learning rate, gradient clipping); a cell whose budget is
+// exhausted fails with a structured Status instead of aborting the
+// process, and RunGrid records the failure as a row, journals completed
+// cells to a checkpoint file, and can resume a crashed run byte-for-byte.
 
 #ifndef EMAF_CORE_EXPERIMENT_H_
 #define EMAF_CORE_EXPERIMENT_H_
@@ -10,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/evaluator.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
@@ -44,6 +53,11 @@ struct CellSpec {
   std::string Label() const;
 };
 
+// Stable identity of a cell covering every spec field (the label alone is
+// ambiguous: an LSTM cell's RNG stream still mixes metric and GDT). Keys
+// the checkpoint journal and the learned-graph cache.
+std::string CellKey(const CellSpec& spec);
+
 struct ExperimentConfig {
   data::GeneratorConfig generator;
   TrainConfig train;
@@ -58,18 +72,58 @@ struct ExperimentConfig {
   // Random-graph cells are averaged over this many draws (paper: 5).
   int64_t random_graph_repeats = 5;
   uint64_t seed = 42;
+  // Divergence recovery: how many times one individual's training may be
+  // retried (re-seeded from the cell's stream id, learning rate halved
+  // per attempt, gradient clipping forced on) before the cell fails.
+  int64_t max_train_retries = 2;
+  // Clip norm forced on retries when the configured training is unclipped
+  // (MTGNN's original training clips at 5).
+  double recovery_grad_clip_norm = 5.0;
 };
 
 struct CellResult {
   CellSpec spec;
   std::vector<double> per_individual_mse;
+  // Recovery retries consumed per individual (0 = first attempt clean).
+  std::vector<int64_t> per_individual_retries;
   AggregateStats stats;
+
+  int64_t TotalRetries() const;
+};
+
+// One grid cell's outcome: either a valid result or a structured failure.
+struct CellOutcome {
+  CellSpec spec;
+  Status status;      // OK <=> `result` is valid
+  CellResult result;  // default-initialized on failure
+  // Recovery retries consumed (counted on failure too, so a failed cell's
+  // report row shows how hard recovery tried).
+  int64_t retries = 0;
+  // True when the outcome was reloaded from a checkpoint journal.
+  bool resumed = false;
+};
+
+struct GridOptions {
+  // Non-empty: append every completed (or failed) cell to this journal so
+  // a crashed run can resume. Created if missing.
+  std::string journal_path;
+  // Reuse outcomes recorded in `journal_path` and skip those cells. The
+  // remaining cells re-run deterministically, so the resumed grid's
+  // report is byte-for-byte the uninterrupted one.
+  bool resume = false;
+};
+
+struct GridResult {
+  std::vector<CellOutcome> cells;  // grid order
+  int64_t num_failed = 0;
+  int64_t num_resumed = 0;
 };
 
 // Learned-graph extraction output for one (metric, gdt, input_length).
 struct LearnedGraphSet {
   std::vector<graph::AdjacencyMatrix> graphs;  // one per individual
   std::vector<double> mtgnn_mse;               // MTGNN's own test MSE
+  std::vector<int64_t> retries;                // recovery retries used
   // Mean Pearson correlation between the learned graph and the static
   // graph it was initialized from (paper reports ~0.88).
   double mean_static_correlation = 0.0;
@@ -87,8 +141,23 @@ class ExperimentRunner {
   // its own Rng from a per-(cell, individual, repeat) stream id and writes
   // a pre-sized result slot, so the output is bitwise identical to a
   // serial run at any thread count (see DESIGN.md, "Parallel execution
-  // model"). RunCell itself is not re-entrant: call it from one thread.
-  CellResult RunCell(const CellSpec& spec);
+  // model"). Fails (instead of CHECK-aborting) when an individual
+  // exhausts its recovery budget or an input is corrupt; the error's code
+  // tells why (kAborted: divergence, kDataLoss: corrupt graph/data,
+  // kUnavailable: worker task fault). RunCell itself is not re-entrant:
+  // call it from one thread.
+  Result<CellResult> RunCell(const CellSpec& spec);
+
+  // RunCell that CHECK-fails on error: for benches/examples where a cell
+  // failure means the harness itself is broken.
+  CellResult RunCellOrDie(const CellSpec& spec);
+
+  // Runs a whole grid with graceful degradation: a failed cell becomes a
+  // structured failure entry (see GridReportTable in core/report.h) and
+  // the remaining cells still run. With a journal configured, each cell
+  // is checkpointed as it completes and `resume` skips recorded cells.
+  GridResult RunGrid(const std::vector<CellSpec>& grid,
+                     const GridOptions& options = {});
 
   // Static similarity graph for one individual (built on the training
   // region only, then GDT-sparsified). `repeat` seeds random graphs.
@@ -97,9 +166,18 @@ class ExperimentRunner {
                                           double gdt, int64_t repeat = 0);
 
   // Trains MTGNN (graph learning with the static prior) per individual and
-  // extracts its learned adjacency. Cached per (metric, gdt, input_length).
-  const LearnedGraphSet& LearnedGraphs(graph::GraphMetric metric, double gdt,
-                                       int64_t input_length);
+  // extracts its learned adjacency. Cached per (metric, gdt, input_length);
+  // a partially failed extraction is NOT cached, so a later call retries
+  // from scratch instead of reusing poisoned entries. The pointer stays
+  // valid for the runner's lifetime.
+  Result<const LearnedGraphSet*> LearnedGraphs(graph::GraphMetric metric,
+                                               double gdt,
+                                               int64_t input_length);
+
+  // CHECK-failing variant, for callers that treat extraction failure as a
+  // harness bug.
+  const LearnedGraphSet& LearnedGraphsOrDie(graph::GraphMetric metric,
+                                            double gdt, int64_t input_length);
 
   // Per-individual relative MSE change (%) between two cells, paired by
   // individual: 100 * (b - a) / a, averaged (the red numbers in Fig. 3).
@@ -107,10 +185,21 @@ class ExperimentRunner {
                                           const CellResult& b);
 
  private:
-  // Builds the model for one individual under `spec` and returns its test
-  // MSE after training. `repeat` varies random graphs.
-  double TrainAndEvaluate(const CellSpec& spec, int64_t individual_index,
-                          int64_t repeat);
+  // One individual's training run under `spec`, including the divergence
+  // recovery loop. `extract_learned` additionally returns MTGNN's learned
+  // adjacency and its correlation to the static prior.
+  struct IndividualRun {
+    double mse = 0.0;
+    int64_t retries = 0;
+    graph::AdjacencyMatrix learned{1};  // only when extract_learned
+    double static_correlation = 0.0;
+  };
+  Result<IndividualRun> RunIndividual(const CellSpec& spec,
+                                      int64_t individual_index,
+                                      int64_t repeat, bool extract_learned);
+
+  // RunCell with the failure detail (retry counts) a grid report needs.
+  CellOutcome RunCellOutcome(const CellSpec& spec);
 
   data::Cohort cohort_;
   ExperimentConfig config_;

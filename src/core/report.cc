@@ -86,4 +86,35 @@ std::string FormatMeanStd(const AggregateStats& stats, int digits) {
                 FormatFixed(stats.stddev, digits), ")");
 }
 
+TablePrinter GridReportTable(const GridResult& grid_result,
+                             int64_t num_individuals) {
+  std::vector<std::string> header = {"cell", "status", "retries",
+                                     "mean_mse"};
+  for (int64_t i = 0; i < num_individuals; ++i) {
+    header.push_back(StrCat("mse_individual_", i));
+  }
+  TablePrinter table(std::move(header));
+  for (const CellOutcome& cell : grid_result.cells) {
+    std::vector<std::string> row;
+    row.push_back(CellKey(cell.spec));
+    row.push_back(StatusCodeName(cell.status.code()));
+    row.push_back(StrCat(cell.retries));
+    if (cell.status.ok()) {
+      EMAF_CHECK_EQ(
+          static_cast<int64_t>(cell.result.per_individual_mse.size()),
+          num_individuals);
+      row.push_back(FormatMeanStd(cell.result.stats));
+      for (double mse : cell.result.per_individual_mse) {
+        row.push_back(FormatExact(mse));
+      }
+    } else {
+      // Failure row: structured, but numerically empty.
+      row.push_back("");
+      for (int64_t i = 0; i < num_individuals; ++i) row.push_back("");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
 }  // namespace emaf::core

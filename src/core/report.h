@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/evaluator.h"
+#include "core/experiment.h"
 
 namespace emaf::core {
 
@@ -36,6 +37,16 @@ class TablePrinter {
 
 // "0.845(0.432)" — the paper's mean(std) cell format.
 std::string FormatMeanStd(const AggregateStats& stats, int digits = 3);
+
+// Grid report with graceful degradation: one row per cell in grid order —
+// cell key, status code, retry count, mean(std) MSE, then one exact
+// (17-significant-digit) MSE column per individual. Failed cells keep
+// their key/status/retries and leave the numeric cells empty, so a
+// partially failed grid still exports a complete, diffable CSV. Exact
+// per-individual formatting makes a resumed run's CSV byte-identical to
+// the uninterrupted one (fault_recovery_test).
+TablePrinter GridReportTable(const GridResult& grid_result,
+                             int64_t num_individuals);
 
 }  // namespace emaf::core
 

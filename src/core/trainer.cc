@@ -1,8 +1,12 @@
 #include "core/trainer.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -20,10 +24,18 @@ TrainResult TrainForecaster(models::Forecaster* model,
   EMAF_CHECK_GT(config.epochs, 0);
   EMAF_TRACE_SPAN_DYN(StrCat("TrainForecaster/", model->name()));
 
-  nn::AdamOptions adam;
-  adam.lr = config.learning_rate;
-  adam.weight_decay = config.weight_decay;
-  nn::Adam optimizer(model->Parameters(), adam);
+  std::unique_ptr<nn::Optimizer> optimizer;
+  if (config.optimizer == TrainOptimizer::kSgd) {
+    nn::SgdOptions sgd;
+    sgd.lr = config.learning_rate;
+    sgd.weight_decay = config.weight_decay;
+    optimizer = std::make_unique<nn::Sgd>(model->Parameters(), sgd);
+  } else {
+    nn::AdamOptions adam;
+    adam.lr = config.learning_rate;
+    adam.weight_decay = config.weight_decay;
+    optimizer = std::make_unique<nn::Adam>(model->Parameters(), adam);
+  }
 
   model->SetTraining(true);
   TrainResult result;
@@ -31,17 +43,21 @@ TrainResult TrainForecaster(models::Forecaster* model,
   result.epoch_grad_norms.reserve(static_cast<size_t>(config.epochs));
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     EMAF_METRIC_SCOPED_TIMER("trainer.epoch_seconds");
-    optimizer.ZeroGrad();
+    optimizer->ZeroGrad();
     tensor::Tensor prediction = model->Forward(train.inputs);
     tensor::Tensor loss = tensor::MseLoss(prediction, train.targets);
     loss.Backward();
-    double grad_norm = 0.0;
-    if (config.grad_clip_norm > 0.0) {
-      grad_norm =
-          nn::ClipGradNorm(optimizer.parameters(), config.grad_clip_norm);
-    }
-    optimizer.Step();
     double value = loss.item();
+    double grad_norm = nn::GlobalGradNorm(optimizer->parameters());
+    if (EMAF_FAULT_SHOULD_FAIL_T(
+            config.fault_scope.empty()
+                ? std::string("trainer.step")
+                : StrCat("trainer.step/", config.fault_scope),
+            static_cast<uint64_t>(epoch))) {
+      // Simulated numeric blow-up: poison the observed loss so the
+      // divergence guard (and the recovery policy above it) engages.
+      value = std::numeric_limits<double>::quiet_NaN();
+    }
     result.epoch_losses.push_back(value);
     result.epoch_grad_norms.push_back(grad_norm);
     EMAF_METRIC_COUNTER_ADD("trainer.epochs_total", 1);
@@ -49,6 +65,23 @@ TrainResult TrainForecaster(models::Forecaster* model,
                                   ::emaf::obs::DefaultValueBounds());
     EMAF_METRIC_HISTOGRAM_OBSERVE("trainer.grad_norm", grad_norm,
                                   ::emaf::obs::DefaultValueBounds());
+    if (config.detect_divergence &&
+        (!std::isfinite(value) || !std::isfinite(grad_norm) ||
+         value > config.divergence_loss_limit)) {
+      // Do not step: a non-finite gradient would poison the parameters
+      // and Adam's moment buffers beyond recovery.
+      result.diverged = true;
+      result.divergence_epoch = epoch;
+      EMAF_METRIC_COUNTER_ADD("trainer.divergences_total", 1);
+      EMAF_LOG(WARNING) << model->name() << " diverged at epoch " << epoch
+                        << " (loss " << value << ", grad norm " << grad_norm
+                        << ")";
+      break;
+    }
+    if (config.grad_clip_norm > 0.0 && grad_norm > config.grad_clip_norm) {
+      nn::ClipGradNorm(optimizer->parameters(), config.grad_clip_norm);
+    }
+    optimizer->Step();
     if (config.verbose && (epoch % config.log_every == 0 ||
                            epoch == config.epochs - 1)) {
       EMAF_LOG(INFO) << model->name() << " epoch " << epoch

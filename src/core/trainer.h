@@ -1,10 +1,20 @@
 // Per-individual training loop implementing the paper's protocol
 // (Section V-D): full-batch Adam, lr 0.01, 300 epochs, MSE loss.
+//
+// The loop carries a numeric-health guard: every epoch's loss and global
+// gradient norm are checked, and training stops early (diverged=true)
+// when either goes non-finite or the loss exceeds a configurable limit.
+// MTGNN-style models are known to blow up without gradient clipping
+// (Wu et al., KDD 2020 clip at norm 5), so divergence is treated as an
+// expected, recoverable event — ExperimentRunner retries a diverged
+// individual with a re-seeded model, halved learning rate, and clipping
+// enabled (DESIGN.md, "Fault tolerance").
 
 #ifndef EMAF_CORE_TRAINER_H_
 #define EMAF_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "models/forecaster.h"
@@ -12,22 +22,43 @@
 
 namespace emaf::core {
 
+// Adam is the paper's protocol; SGD exists for robustness stress tests
+// (plain SGD reproduces textbook gradient explosion, which Adam's update
+// normalization masks).
+enum class TrainOptimizer { kAdam, kSgd };
+
 struct TrainConfig {
   int64_t epochs = 300;
   double learning_rate = 0.01;
   double weight_decay = 0.0;
-  // Global gradient-norm clip; <= 0 disables. MTGNN's original training
-  // clips at 5, which also stabilizes the other models on short series.
-  double grad_clip_norm = 5.0;
+  // Global gradient-norm clip; <= 0 disables. Off by default
+  // (paper-faithful: Section V-D trains unclipped); the divergence
+  // recovery policy enables it on retry.
+  double grad_clip_norm = 0.0;
+  TrainOptimizer optimizer = TrainOptimizer::kAdam;
+  // Divergence guard: stop (without stepping) when an epoch loss or
+  // gradient norm is non-finite, or the loss exceeds this limit.
+  bool detect_divergence = true;
+  double divergence_loss_limit = 1e12;
   bool verbose = false;
   int64_t log_every = 50;
+  // Scope suffix for the trainer's fault-injection site: checks
+  // "trainer.step/<fault_scope>" so EMAF_FAULT_SPEC can target a single
+  // cell or individual. Empty = bare "trainer.step". No effect unless
+  // fault injection is compiled in AND a spec matches.
+  std::string fault_scope;
 };
 
 struct TrainResult {
   std::vector<double> epoch_losses;
-  // Pre-clip global gradient norm per epoch (0 when clipping is disabled).
+  // Pre-clip global gradient norm per epoch (always computed — the
+  // divergence guard needs it even when clipping is off).
   std::vector<double> epoch_grad_norms;
   double final_loss = 0.0;
+  // Set when the divergence guard stopped training early; the offending
+  // loss/norm is the last entry of the vectors above.
+  bool diverged = false;
+  int64_t divergence_epoch = -1;
 };
 
 // Trains `model` on all windows of `train` as one batch per epoch.

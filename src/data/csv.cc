@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace emaf::data {
@@ -110,6 +111,10 @@ Status SaveMatrixCsv(const tensor::Tensor& matrix,
 
 Result<tensor::Tensor> LoadMatrixCsv(const std::string& path,
                                      std::vector<std::string>* column_names) {
+  if (EMAF_FAULT_SHOULD_FAIL("data.csv.load")) {
+    return Status::DataLoss(
+        StrCat("injected fault: data.csv.load for ", path));
+  }
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound(StrCat("cannot open for reading: ", path));
@@ -117,9 +122,11 @@ Result<tensor::Tensor> LoadMatrixCsv(const std::string& path,
   std::vector<double> values;
   int64_t cols = -1;
   int64_t rows = 0;
+  int64_t line_number = 0;  // 1-based physical line, for error context
   std::string line;
   bool first_line = true;
   while (std::getline(in, line)) {
+    ++line_number;
     if (StrTrim(line).empty()) continue;
     std::vector<std::string> fields = SplitCsvLine(line);
     if (first_line) {
@@ -147,14 +154,18 @@ Result<tensor::Tensor> LoadMatrixCsv(const std::string& path,
     }
     if (cols < 0) cols = static_cast<int64_t>(fields.size());
     if (static_cast<int64_t>(fields.size()) != cols) {
-      return Status::InvalidArgument(
-          StrCat("ragged CSV at row ", rows, " in ", path));
+      // A row with the wrong arity is a truncated/corrupt record, not a
+      // caller mistake: report it as data loss with full position context.
+      return Status::DataLoss(StrCat(path, ":", line_number, ": ragged row (",
+                                     fields.size(), " fields, expected ",
+                                     cols, ")"));
     }
-    for (const std::string& f : fields) {
+    for (size_t c = 0; c < fields.size(); ++c) {
       double v = 0.0;
-      if (!ParseCell(f, &v)) {
+      if (!ParseCell(fields[c], &v)) {
         return Status::InvalidArgument(
-            StrCat("non-numeric value '", f, "' in ", path));
+            StrCat(path, ":", line_number, ":", c + 1,
+                   ": non-numeric value '", fields[c], "'"));
       }
       values.push_back(v);
     }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
@@ -177,20 +179,33 @@ AdjacencyMatrix BuildSimilarityGraph(const tensor::Tensor& data,
   EMAF_METRIC_SCOPED_TIMER("graph.build_seconds");
   EMAF_METRIC_COUNTER_ADD_DYN(
       StrCat("graph.builds_total.", GraphMetricName(options.metric)), 1);
+  AdjacencyMatrix graph(1);
   switch (options.metric) {
     case GraphMetric::kEuclidean:
-      return BuildEuclidean(data);
+      graph = BuildEuclidean(data);
+      break;
     case GraphMetric::kKnn:
-      return BuildKnn(data, options.knn_k);
+      graph = BuildKnn(data, options.knn_k);
+      break;
     case GraphMetric::kDtw:
-      return BuildDtw(data, options.dtw_window);
+      graph = BuildDtw(data, options.dtw_window);
+      break;
     case GraphMetric::kCorrelation:
-      return BuildCorrelation(data);
+      graph = BuildCorrelation(data);
+      break;
     case GraphMetric::kRandom:
-      return BuildRandom(data.dim(1), rng);
+      graph = BuildRandom(data.dim(1), rng);
+      break;
+    default:
+      EMAF_CHECK(false) << "unknown graph metric";
   }
-  EMAF_CHECK(false) << "unknown graph metric";
-  return AdjacencyMatrix(1);
+  if (EMAF_FAULT_SHOULD_FAIL("graph.construction")) {
+    // NaN-poison one edge weight: downstream numeric-health guards
+    // (HasNonFinite in ExperimentRunner) must catch this before training.
+    graph.set(0, 1, std::numeric_limits<double>::quiet_NaN());
+    graph.set(1, 0, std::numeric_limits<double>::quiet_NaN());
+  }
+  return graph;
 }
 
 AdjacencyMatrix KeepTopFraction(const AdjacencyMatrix& adjacency,

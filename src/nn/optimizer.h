@@ -65,6 +65,11 @@ class Adam : public Optimizer {
   std::vector<std::vector<double>> v_;
 };
 
+// Global L2 norm over all accumulated gradients (parameters without a
+// gradient contribute nothing). Read-only; used by the trainer's
+// divergence guard even when clipping is off.
+double GlobalGradNorm(const std::vector<tensor::Tensor*>& parameters);
+
 // Scales all gradients so their global L2 norm is at most `max_norm`.
 // Returns the pre-clipping norm.
 double ClipGradNorm(const std::vector<tensor::Tensor*>& parameters,

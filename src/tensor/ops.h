@@ -70,6 +70,11 @@ Tensor ArgMax(const Tensor& x, int64_t dim, bool keepdim);
 // (ties broken toward lower index). Constant — gradients do not flow.
 Tensor TopKMask(const Tensor& x, int64_t k, int64_t dim);
 
+// Numeric-health scan: true when any element is NaN or +/-inf. Early-exits
+// on the first bad element; not differentiable (reads values only). Used
+// by the fault-tolerance guards (DESIGN.md, "Fault tolerance").
+bool HasNonFinite(const Tensor& x);
+
 namespace internal {
 // Sum-reduces `x` to `target` (which must be broadcast-compatible with
 // x.shape()). NOT differentiable: used by op backward passes.

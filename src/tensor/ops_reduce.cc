@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "tensor/op_common.h"
@@ -305,6 +306,15 @@ Tensor TopKMask(const Tensor& x, int64_t k, int64_t dim) {
     }
   }
   return mask;
+}
+
+bool HasNonFinite(const Tensor& x) {
+  const Scalar* d = x.data();
+  int64_t n = x.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(d[i])) return true;
+  }
+  return false;
 }
 
 }  // namespace emaf::tensor

@@ -106,6 +106,41 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "ABORTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(StatusTest, CodeNamesRoundTripThroughFromName) {
+  // The checkpoint journal persists codes by name, so every code must
+  // survive StatusCodeName -> StatusCodeFromName.
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kDataLoss, StatusCode::kResourceExhausted,
+        StatusCode::kAborted, StatusCode::kUnavailable}) {
+    std::optional<StatusCode> back = StatusCodeFromName(StatusCodeName(code));
+    ASSERT_TRUE(back.has_value()) << StatusCodeName(code);
+    EXPECT_EQ(back.value(), code);
+  }
+}
+
+TEST(StatusTest, FromNameRejectsUnknownNames) {
+  EXPECT_FALSE(StatusCodeFromName("").has_value());
+  EXPECT_FALSE(StatusCodeFromName("NO_SUCH_CODE").has_value());
+  EXPECT_FALSE(StatusCodeFromName("ok").has_value());  // case-sensitive
+}
+
+TEST(StatusTest, NewFactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Aborted("budget exhausted").ToString(),
+            "ABORTED: budget exhausted");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -91,7 +91,7 @@ TEST_F(ExperimentRunnerTest, RunCellProducesPerIndividualScores) {
   CellSpec spec;
   spec.model = ModelKind::kLstm;
   spec.input_length = 2;
-  CellResult result = runner_.RunCell(spec);
+  CellResult result = runner_.RunCellOrDie(spec);
   ASSERT_EQ(result.per_individual_mse.size(), 2u);
   for (double mse : result.per_individual_mse) {
     EXPECT_GT(mse, 0.0);
@@ -108,18 +108,18 @@ TEST_F(ExperimentRunnerTest, RunCellIsReproducible) {
   spec.model = ModelKind::kAstgcn;
   spec.metric = graph::GraphMetric::kEuclidean;
   spec.input_length = 2;
-  CellResult a = runner_.RunCell(spec);
-  CellResult b = runner_.RunCell(spec);
+  CellResult a = runner_.RunCellOrDie(spec);
+  CellResult b = runner_.RunCellOrDie(spec);
   EXPECT_EQ(a.per_individual_mse, b.per_individual_mse);
 }
 
 TEST_F(ExperimentRunnerTest, LearnedGraphsAreCachedAndReused) {
   const LearnedGraphSet& first =
-      runner_.LearnedGraphs(graph::GraphMetric::kCorrelation, 0.2, 2);
+      runner_.LearnedGraphsOrDie(graph::GraphMetric::kCorrelation, 0.2, 2);
   ASSERT_EQ(first.graphs.size(), 2u);
   ASSERT_EQ(first.mtgnn_mse.size(), 2u);
   const LearnedGraphSet& second =
-      runner_.LearnedGraphs(graph::GraphMetric::kCorrelation, 0.2, 2);
+      runner_.LearnedGraphsOrDie(graph::GraphMetric::kCorrelation, 0.2, 2);
   EXPECT_EQ(&first, &second);  // same cached object
   // Correlation with the static prior is a valid correlation value.
   EXPECT_GE(first.mean_static_correlation, -1.0);
@@ -131,9 +131,9 @@ TEST_F(ExperimentRunnerTest, MtgnnCellReusesLearnedCache) {
   spec.model = ModelKind::kMtgnn;
   spec.metric = graph::GraphMetric::kDtw;
   spec.input_length = 2;
-  CellResult result = runner_.RunCell(spec);
+  CellResult result = runner_.RunCellOrDie(spec);
   const LearnedGraphSet& cache =
-      runner_.LearnedGraphs(graph::GraphMetric::kDtw, 0.2, 2);
+      runner_.LearnedGraphsOrDie(graph::GraphMetric::kDtw, 0.2, 2);
   EXPECT_EQ(result.per_individual_mse, cache.mtgnn_mse);
 }
 
@@ -143,7 +143,7 @@ TEST_F(ExperimentRunnerTest, LearnedGraphCellRuns) {
   spec.metric = graph::GraphMetric::kCorrelation;
   spec.input_length = 2;
   spec.use_learned_graph = true;
-  CellResult result = runner_.RunCell(spec);
+  CellResult result = runner_.RunCellOrDie(spec);
   EXPECT_EQ(result.per_individual_mse.size(), 2u);
 }
 

@@ -105,6 +105,73 @@ TEST(TrainerTest, ModelLeftInTrainingMode) {
   EXPECT_TRUE(model.training());
 }
 
+TEST(TrainerTest, SgdWithHighLearningRateExplodesWithoutClipping) {
+  // Plain SGD at an absurd learning rate reproduces textbook gradient
+  // explosion (Adam's update normalization masks it). The divergence
+  // guard must stop training instead of looping on NaN/inf losses.
+  Rng rng(9);
+  ts::WindowDataset ds = TinyDataset(&rng);
+  models::LstmConfig config;
+  config.hidden_units = 8;
+  config.dropout = 0.0;
+  Rng rng_model(10);
+  models::LstmForecaster model(3, 2, config, &rng_model);
+  TrainConfig train;
+  train.epochs = 200;
+  train.optimizer = TrainOptimizer::kSgd;
+  train.learning_rate = 50.0;
+  TrainResult result = TrainForecaster(&model, ds, train);
+  ASSERT_TRUE(result.diverged);
+  EXPECT_GE(result.divergence_epoch, 0);
+  // The guard stops before stepping: losses end at the offending epoch.
+  EXPECT_EQ(static_cast<int64_t>(result.epoch_losses.size()),
+            result.divergence_epoch + 1);
+  EXPECT_LT(result.divergence_epoch, train.epochs);
+}
+
+TEST(TrainerTest, GradClipTamesExplodingSgd) {
+  // Same optimizer and learning rate as above, with the recovery policy's
+  // clip: training must run to completion with finite losses throughout.
+  Rng rng(9);
+  ts::WindowDataset ds = TinyDataset(&rng);
+  models::LstmConfig config;
+  config.hidden_units = 8;
+  config.dropout = 0.0;
+  Rng rng_model(10);
+  models::LstmForecaster model(3, 2, config, &rng_model);
+  TrainConfig train;
+  train.epochs = 200;
+  train.optimizer = TrainOptimizer::kSgd;
+  train.learning_rate = 50.0;
+  train.grad_clip_norm = 0.01;
+  TrainResult result = TrainForecaster(&model, ds, train);
+  EXPECT_FALSE(result.diverged);
+  ASSERT_EQ(result.epoch_losses.size(), 200u);
+  for (double loss : result.epoch_losses) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+TEST(TrainerTest, DivergenceGuardCanBeDisabled) {
+  // With the guard off the loop must not early-exit (it may still produce
+  // non-finite losses — that is the caller's problem by contract).
+  Rng rng(9);
+  ts::WindowDataset ds = TinyDataset(&rng);
+  models::LstmConfig config;
+  config.hidden_units = 8;
+  config.dropout = 0.0;
+  Rng rng_model(10);
+  models::LstmForecaster model(3, 2, config, &rng_model);
+  TrainConfig train;
+  train.epochs = 20;
+  train.optimizer = TrainOptimizer::kSgd;
+  train.learning_rate = 50.0;
+  train.detect_divergence = false;
+  TrainResult result = TrainForecaster(&model, ds, train);
+  EXPECT_FALSE(result.diverged);
+  EXPECT_EQ(result.epoch_losses.size(), 20u);
+}
+
 TEST(TrainerDeathTest, EmptyDatasetRejected) {
   Rng rng(8);
   models::LstmConfig config;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "data/csv.h"
 #include "data/ema_items.h"
 #include "data/generator.h"
@@ -63,7 +64,11 @@ TEST(CsvTest, RaggedRowsRejected) {
   out.close();
   Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
   EXPECT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // Structural corruption (not a bad value): kDataLoss, with the
+  // offending physical line in the message.
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos)
+      << loaded.status().message();
 }
 
 TEST(CsvTest, NonNumericCellRejected) {
@@ -71,7 +76,28 @@ TEST(CsvTest, NonNumericCellRejected) {
   std::ofstream out(path);
   out << "1,2\n3,oops\n";
   out.close();
-  EXPECT_FALSE(LoadMatrixCsv(path, nullptr).ok());
+  Result<Tensor> loaded = LoadMatrixCsv(path, nullptr);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // Error context is file:line:column (both 1-based) plus the bad value.
+  EXPECT_NE(loaded.status().message().find(StrCat(path, ":2:2:")),
+            std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("'oops'"), std::string::npos);
+}
+
+TEST(CsvTest, NonNumericCellAfterHeaderCountsPhysicalLines) {
+  // Line numbers in errors are physical file lines: with a header on line
+  // 1 and a blank line 3, the bad cell on line 4 reports ":4:1:".
+  std::string path = TempPath("text_header.csv");
+  std::ofstream out(path);
+  out << "a,b\n1,2\n\nbad,4\n";
+  out.close();
+  std::vector<std::string> names;
+  Result<Tensor> loaded = LoadMatrixCsv(path, &names);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":4:1:"), std::string::npos)
+      << loaded.status().message();
 }
 
 TEST(CsvTest, EmptyFileRejected) {

@@ -1,0 +1,152 @@
+// Unit tests for emaf::fault (src/common/fault_injection.h): spec
+// parsing, site matching, deterministic decisions, trigger bounds.
+//
+// Configure() replaces process-global state; every test ends by clearing
+// it so suites can run in any order. In an -DEMAF_FAULT_INJECTION=OFF
+// build the stubs make everything inert, so the behavioral tests skip.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+
+namespace emaf::fault {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kFaultInjectionEnabled) {
+      GTEST_SKIP() << "fault injection compiled out";
+    }
+    ASSERT_TRUE(Configure("", 0).ok());
+  }
+  void TearDown() override {
+    if (kFaultInjectionEnabled) {
+      ASSERT_TRUE(Configure("", 0).ok());
+    }
+  }
+};
+
+TEST_F(FaultInjectionTest, ParseEmptySpecYieldsNoSites) {
+  Result<std::vector<SiteSpec>> parsed = ParseFaultSpec("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST_F(FaultInjectionTest, ParseFullSpec) {
+  Result<std::vector<SiteSpec>> parsed =
+      ParseFaultSpec("trainer.step=1,graph.construction=0.25:3");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].site, "trainer.step");
+  EXPECT_DOUBLE_EQ(parsed.value()[0].probability, 1.0);
+  EXPECT_EQ(parsed.value()[0].max_triggers, -1);
+  EXPECT_EQ(parsed.value()[1].site, "graph.construction");
+  EXPECT_DOUBLE_EQ(parsed.value()[1].probability, 0.25);
+  EXPECT_EQ(parsed.value()[1].max_triggers, 3);
+}
+
+TEST_F(FaultInjectionTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultSpec("no_equals").ok());
+  EXPECT_FALSE(ParseFaultSpec("site=").ok());
+  EXPECT_FALSE(ParseFaultSpec("site=abc").ok());
+  EXPECT_FALSE(ParseFaultSpec("site=2.0").ok());      // prob > 1
+  EXPECT_FALSE(ParseFaultSpec("site=-0.5").ok());     // prob < 0
+  EXPECT_FALSE(ParseFaultSpec("site=1:zero").ok());   // bad trigger count
+  EXPECT_FALSE(ParseFaultSpec("=1").ok());            // empty site
+}
+
+TEST_F(FaultInjectionTest, InactiveByDefault) {
+  EXPECT_FALSE(Active());
+  EXPECT_FALSE(ShouldFail("anything"));
+}
+
+TEST_F(FaultInjectionTest, ProbabilityOneAlwaysFires) {
+  ASSERT_TRUE(Configure("always=1", 0).ok());
+  EXPECT_TRUE(Active());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ShouldFail("always"));
+  EXPECT_FALSE(ShouldFail("other.site"));
+}
+
+TEST_F(FaultInjectionTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(Configure("never=0", 0).ok());
+  EXPECT_TRUE(Active());  // configured, even if it cannot fire
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(ShouldFail("never"));
+}
+
+TEST_F(FaultInjectionTest, PrefixMatchesAtSlashBoundaryOnly) {
+  ASSERT_TRUE(Configure("trainer.step/A3TGCN_CORR=1", 0).ok());
+  EXPECT_TRUE(ShouldFail("trainer.step/A3TGCN_CORR"));
+  EXPECT_TRUE(ShouldFail("trainer.step/A3TGCN_CORR/i0"));
+  EXPECT_FALSE(ShouldFail("trainer.step/A3TGCN_CORR_learned"));
+  EXPECT_FALSE(ShouldFail("trainer.step"));
+  EXPECT_FALSE(ShouldFail("trainer.step/LSTM"));
+}
+
+TEST_F(FaultInjectionTest, LongestMatchingEntryWins) {
+  // Broad entry fires everything EXCEPT the narrowed individual.
+  ASSERT_TRUE(Configure("trainer.step=1,trainer.step/LSTM/i1=0", 0).ok());
+  EXPECT_TRUE(ShouldFail("trainer.step/LSTM/i0"));
+  EXPECT_FALSE(ShouldFail("trainer.step/LSTM/i1"));
+  EXPECT_TRUE(ShouldFail("trainer.step/MTGNN_CORR/i7"));
+}
+
+TEST_F(FaultInjectionTest, TokenDecisionsAreDeterministic) {
+  ASSERT_TRUE(Configure("p=0.5", 42).ok());
+  std::vector<bool> first;
+  for (uint64_t t = 0; t < 64; ++t) first.push_back(ShouldFail("p", t));
+  // Same seed, same tokens -> same decisions (schedule-independent).
+  ASSERT_TRUE(Configure("p=0.5", 42).ok());
+  for (uint64_t t = 0; t < 64; ++t) {
+    EXPECT_EQ(ShouldFail("p", t), first[static_cast<size_t>(t)]) << t;
+  }
+  // A fair coin over 64 tokens should land well away from both extremes.
+  int fired = 0;
+  for (bool b : first) fired += b ? 1 : 0;
+  EXPECT_GT(fired, 8);
+  EXPECT_LT(fired, 56);
+}
+
+TEST_F(FaultInjectionTest, SeedChangesTokenDecisions) {
+  ASSERT_TRUE(Configure("p=0.5", 1).ok());
+  std::vector<bool> a;
+  for (uint64_t t = 0; t < 64; ++t) a.push_back(ShouldFail("p", t));
+  ASSERT_TRUE(Configure("p=0.5", 2).ok());
+  int differing = 0;
+  for (uint64_t t = 0; t < 64; ++t) {
+    if (ShouldFail("p", t) != a[static_cast<size_t>(t)]) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST_F(FaultInjectionTest, MaxTriggersBoundsFirings) {
+  ASSERT_TRUE(Configure("bounded=1:3", 0).ok());
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += ShouldFail("bounded") ? 1 : 0;
+  EXPECT_EQ(fired, 3);
+  // Exhausted entries stay exhausted.
+  EXPECT_FALSE(ShouldFail("bounded"));
+}
+
+TEST_F(FaultInjectionTest, CounterDecisionsAdvancePerEntry) {
+  // With p=0.5 and a counter token, consecutive calls must not be
+  // perfectly correlated: over 64 calls we expect a mix.
+  ASSERT_TRUE(Configure("c=0.5", 7).ok());
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) fired += ShouldFail("c") ? 1 : 0;
+  EXPECT_GT(fired, 8);
+  EXPECT_LT(fired, 56);
+}
+
+TEST_F(FaultInjectionTest, ConfigureRejectsBadSpec) {
+  EXPECT_FALSE(Configure("bad spec", 0).ok());
+  // A failed Configure leaves injection inactive.
+  EXPECT_FALSE(Active());
+}
+
+}  // namespace
+}  // namespace emaf::fault

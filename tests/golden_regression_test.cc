@@ -60,6 +60,10 @@ core::ExperimentConfig GoldenConfig() {
   config.generator.days = 7;
   config.generator.seed = 20240612;
   config.train.epochs = 3;
+  // The golden numerics were frozen when training always clipped at norm
+  // 5; the library default is now unclipped (paper-faithful), so the
+  // golden grid pins the original value to keep the bytes stable.
+  config.train.grad_clip_norm = 5.0;
   config.knn_k = 3;
   config.seed = 20240612;
   return config;
@@ -92,7 +96,7 @@ std::string RunGridCsv(int64_t threads) {
   core::TablePrinter table(
       {"cell", "mean_mse(std)", "mse_individual_0", "mse_individual_1"});
   for (const core::CellSpec& spec : GoldenGrid()) {
-    core::CellResult result = runner.RunCell(spec);
+    core::CellResult result = runner.RunCellOrDie(spec);
     EXPECT_EQ(result.per_individual_mse.size(), 2u);
     table.AddRow({StrCat(spec.Label(), "_seq", spec.input_length),
                   core::FormatMeanStd(result.stats),

@@ -46,7 +46,7 @@ TEST(IntegrationTest, MiniExperimentAProducesTable) {
     spec.model = model;
     spec.metric = graph::GraphMetric::kCorrelation;
     spec.input_length = 2;
-    core::CellResult result = runner.RunCell(spec);
+    core::CellResult result = runner.RunCellOrDie(spec);
     table.AddRow({spec.Label(), core::FormatMeanStd(result.stats)});
     EXPECT_TRUE(std::isfinite(result.stats.mean));
     EXPECT_GT(result.stats.mean, 0.0);
@@ -66,11 +66,11 @@ TEST(IntegrationTest, LearnedGraphPipelineExperimentC) {
   static_spec.model = core::ModelKind::kAstgcn;
   static_spec.metric = graph::GraphMetric::kCorrelation;
   static_spec.input_length = 2;
-  core::CellResult static_result = runner.RunCell(static_spec);
+  core::CellResult static_result = runner.RunCellOrDie(static_spec);
 
   core::CellSpec learned_spec = static_spec;
   learned_spec.use_learned_graph = true;
-  core::CellResult learned_result = runner.RunCell(learned_spec);
+  core::CellResult learned_result = runner.RunCellOrDie(learned_spec);
 
   double change = core::ExperimentRunner::MeanRelativeChangePercent(
       static_result, learned_result);
@@ -78,7 +78,7 @@ TEST(IntegrationTest, LearnedGraphPipelineExperimentC) {
   // The learned and static graphs should be positively related (the paper
   // reports ~0.88 correlation at full scale).
   const core::LearnedGraphSet& learned =
-      runner.LearnedGraphs(graph::GraphMetric::kCorrelation, 0.2, 2);
+      runner.LearnedGraphsOrDie(graph::GraphMetric::kCorrelation, 0.2, 2);
   EXPECT_GT(learned.mean_static_correlation, 0.0);
 }
 

@@ -178,7 +178,7 @@ std::vector<core::CellResult> RunGrid(int64_t threads) {
   core::ExperimentRunner runner(std::move(cohort), config);
   std::vector<core::CellResult> results;
   for (const core::CellSpec& spec : SmallGrid()) {
-    results.push_back(runner.RunCell(spec));
+    results.push_back(runner.RunCellOrDie(spec));
   }
   common::ThreadPool::SetGlobalNumThreads(1);
   return results;
@@ -269,7 +269,7 @@ TEST(ParallelDeterminismTest, LearnedGraphCellBitwiseEqual) {
     spec.gdt = 0.4;
     spec.input_length = 2;
     spec.use_learned_graph = true;  // exercises parallel LearnedGraphs()
-    core::CellResult result = runner.RunCell(spec);
+    core::CellResult result = runner.RunCellOrDie(spec);
     common::ThreadPool::SetGlobalNumThreads(1);
     return result;
   };

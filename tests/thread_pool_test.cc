@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
+
 namespace emaf::common {
 namespace {
 
@@ -150,6 +152,81 @@ TEST(ThreadPoolTest, GlobalPoolIsResizable) {
   EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
   ThreadPool::SetGlobalNumThreads(1);
   EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+// Fault-injection coverage: the "threadpool.task" site throws inside a
+// worker; the pool must surface it at the ParallelFor call site, leave
+// every other chunk's writes intact, and stay usable afterwards.
+class ThreadPoolFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::kFaultInjectionEnabled) {
+      GTEST_SKIP() << "fault injection compiled out";
+    }
+    ASSERT_TRUE(fault::Configure("", 0).ok());
+  }
+  void TearDown() override {
+    if (fault::kFaultInjectionEnabled) {
+      ASSERT_TRUE(fault::Configure("", 0).ok());
+    }
+  }
+};
+
+TEST_F(ThreadPoolFaultTest, InjectedTaskFaultPropagatesFromParallelFor) {
+  for (int64_t threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    ASSERT_TRUE(fault::Configure("threadpool.task=1:1", 0).ok());
+    std::vector<int64_t> slots(64, 0);
+    try {
+      pool.ParallelFor(0, 64, 8, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) slots[static_cast<size_t>(i)] = 1;
+      });
+      FAIL() << "injected fault did not propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "injected fault: threadpool.task");
+    }
+    // The fault fires before a chunk's body, and later chunks are
+    // skipped once a failure is recorded — so completed chunks wrote
+    // fully (multiples of the grain) and at least the faulted one wrote
+    // nothing. No torn chunk writes either way.
+    int64_t written = 0;
+    for (int64_t s : slots) written += s;
+    EXPECT_LE(written, 64 - 8);
+    EXPECT_EQ(written % 8, 0) << "chunk writes must be all-or-nothing";
+
+    // The pool survives: with injection cleared the same loop covers
+    // every index (no dead workers, no stuck queue).
+    ASSERT_TRUE(fault::Configure("", 0).ok());
+    std::atomic<int64_t> covered{0};
+    pool.ParallelFor(0, 64, 8, [&](int64_t lo, int64_t hi) {
+      covered += hi - lo;
+    });
+    EXPECT_EQ(covered.load(), 64);
+  }
+}
+
+TEST_F(ThreadPoolFaultTest, ProbabilisticFaultsEventuallyExhaustTriggers) {
+  // A bounded spec (p=0.5, max 2 triggers) throws at most twice across
+  // repeated loops, then the pool runs clean forever after.
+  ThreadPool pool(2);
+  ASSERT_TRUE(fault::Configure("threadpool.task=0.5:2", 11).ok());
+  int64_t throws = 0;
+  for (int round = 0; round < 32; ++round) {
+    try {
+      pool.ParallelFor(0, 16, 4, [](int64_t, int64_t) {});
+    } catch (const std::runtime_error&) {
+      ++throws;
+    }
+  }
+  EXPECT_GE(throws, 1);
+  EXPECT_LE(throws, 2);
+  ASSERT_TRUE(fault::Configure("", 0).ok());
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 16, 4, [&](int64_t lo, int64_t hi) {
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered.load(), 16);
 }
 
 }  // namespace
