@@ -17,6 +17,7 @@
 #include "core/report.h"
 #include "graph/metrics.h"
 #include "models/mtgnn.h"
+#include "models/registry.h"
 
 namespace emaf {
 namespace {
@@ -66,13 +67,20 @@ void Run() {
       mtgnn_config.learner_kind = variant.kind;
       if (!variant.use_prior) mtgnn_config.static_prior_weight = 0.0;
       Rng rng(static_cast<uint64_t>(500 + i));
-      const graph::AdjacencyMatrix* prior =
-          (variant.use_prior || !variant.learning) ? &static_graph : nullptr;
-      models::Mtgnn model(prior, person.num_variables(), seq, mtgnn_config,
-                          &rng);
-      core::TrainForecaster(&model, split.train, config.train);
-      mses.push_back(core::EvaluateMse(&model, split.test));
-      graph::AdjacencyMatrix learned = model.CurrentAdjacency();
+      models::ModelConfig model_config;
+      model_config.family = "MTGNN";
+      model_config.num_variables = person.num_variables();
+      model_config.input_length = seq;
+      model_config.mtgnn = mtgnn_config;
+      if (variant.use_prior || !variant.learning) {
+        model_config.adjacency = static_graph;
+      }
+      std::unique_ptr<models::Forecaster> forecaster =
+          models::CreateForecasterOrDie(model_config, &rng);
+      auto* model = dynamic_cast<models::Mtgnn*>(forecaster.get());
+      core::TrainForecaster(model, split.train, config.train);
+      mses.push_back(core::EvaluateMse(model, split.test));
+      graph::AdjacencyMatrix learned = model->CurrentAdjacency();
       learned.Symmetrize();
       learned.ZeroDiagonal();
       correlation += graph::GraphCorrelation(learned, static_graph);

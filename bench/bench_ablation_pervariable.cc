@@ -13,8 +13,7 @@
 #include "common/string_util.h"
 #include "core/report.h"
 #include "data/ema_items.h"
-#include "models/lstm_forecaster.h"
-#include "models/mtgnn.h"
+#include "models/registry.h"
 
 namespace emaf {
 namespace {
@@ -48,17 +47,32 @@ void Run() {
     data::IndividualSplit split = data::MakeSplit(person, seq);
     Rng rng(static_cast<uint64_t>(1000 + i));
 
-    models::LstmForecaster lstm(person.num_variables(), seq, config.lstm,
-                                &rng);
-    core::TrainForecaster(&lstm, split.train, config.train);
-    std::vector<double> lstm_pv = core::EvaluatePerVariableMse(&lstm, split.test);
+    // Both models come from the registry (the grid's and the serving
+    // engine's construction path); the Rng stream matches the former
+    // inline constructors exactly.
+    models::ModelConfig lstm_config;
+    lstm_config.family = "LSTM";
+    lstm_config.num_variables = person.num_variables();
+    lstm_config.input_length = seq;
+    lstm_config.lstm = config.lstm;
+    std::unique_ptr<models::Forecaster> lstm =
+        models::CreateForecasterOrDie(lstm_config, &rng);
+    core::TrainForecaster(lstm.get(), split.train, config.train);
+    std::vector<double> lstm_pv =
+        core::EvaluatePerVariableMse(lstm.get(), split.test);
 
-    graph::AdjacencyMatrix adj =
+    models::ModelConfig mtgnn_config;
+    mtgnn_config.family = "MTGNN";
+    mtgnn_config.num_variables = person.num_variables();
+    mtgnn_config.input_length = seq;
+    mtgnn_config.mtgnn = config.mtgnn;
+    mtgnn_config.adjacency =
         runner.BuildStaticGraph(i, graph::GraphMetric::kCorrelation, 0.2);
-    models::Mtgnn mtgnn(&adj, person.num_variables(), seq, config.mtgnn, &rng);
-    core::TrainForecaster(&mtgnn, split.train, config.train);
+    std::unique_ptr<models::Forecaster> mtgnn =
+        models::CreateForecasterOrDie(mtgnn_config, &rng);
+    core::TrainForecaster(mtgnn.get(), split.train, config.train);
     std::vector<double> mtgnn_pv =
-        core::EvaluatePerVariableMse(&mtgnn, split.test);
+        core::EvaluatePerVariableMse(mtgnn.get(), split.test);
 
     for (size_t v = 0; v < 26; ++v) {
       lstm_mse[v] += lstm_pv[v];

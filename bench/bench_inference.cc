@@ -1,0 +1,217 @@
+// Serving-latency bench: trains all five forecaster families on one
+// synthetic individual, snapshots them, loads the serve::InferenceEngine,
+// and measures per-request forecast latency and heap allocations per
+// request with and without the inference arena. The "no_arena" pass calls
+// core::Predict directly on the loaded models (every tensor buffer is a
+// fresh heap allocation); the "arena" pass goes through the engine, whose
+// shared InferenceArena recycles buffers so steady-state requests
+// allocate nothing.
+//
+// Emits BENCH_inference.json (EMAF_BENCH_JSON_DIR, default cwd):
+//   {"bench": "inference", ..., "no_arena": {"p50_seconds", "p99_seconds",
+//    "allocs_per_request"}, "arena": {...}, "arena_hit_rate"}
+// allocs_per_request comes from the tensor.storage_allocs counter and is
+// reported as -1 when the build has metrics compiled out.
+//
+//   EMAF_BENCH_INFER_REQUESTS  timed requests per pass (default 512)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/check.h"
+#include "common/metrics.h"
+#include "core/evaluator.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "graph/construction.h"
+#include "models/registry.h"
+#include "models/var_forecaster.h"
+#include "serve/inference_engine.h"
+#include "tensor/ops.h"
+
+namespace emaf {
+namespace {
+
+struct PassStats {
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double allocs_per_request = -1.0;  // -1: metrics compiled out
+};
+
+double Quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  index = std::min(index, sorted.size() - 1);
+  return sorted[index];
+}
+
+uint64_t StorageAllocs() {
+  return obs::Registry::Global()
+      .GetCounter("tensor.storage_allocs")
+      ->value();
+}
+
+std::string PassJson(const PassStats& stats) {
+  return StrCat("{\"p50_seconds\": ", stats.p50_seconds,
+                ", \"p99_seconds\": ", stats.p99_seconds,
+                ", \"allocs_per_request\": ", stats.allocs_per_request, "}");
+}
+
+// Runs `requests` forecasts round-robin over the ids, timing each request
+// and counting storage allocations across the pass.
+template <typename ForecastOnce>
+PassStats TimedPass(const std::vector<std::string>& ids, int64_t requests,
+                    ForecastOnce forecast) {
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(requests));
+  uint64_t allocs_before = StorageAllocs();
+  for (int64_t r = 0; r < requests; ++r) {
+    const std::string& id = ids[static_cast<size_t>(r) % ids.size()];
+    auto start = std::chrono::steady_clock::now();
+    forecast(id);
+    latencies.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  uint64_t allocs_after = StorageAllocs();
+  std::sort(latencies.begin(), latencies.end());
+  PassStats stats;
+  stats.p50_seconds = Quantile(latencies, 0.5);
+  stats.p99_seconds = Quantile(latencies, 0.99);
+  if (obs::kMetricsEnabled) {
+    stats.allocs_per_request =
+        static_cast<double>(allocs_after - allocs_before) /
+        static_cast<double>(requests);
+  }
+  return stats;
+}
+
+void Run() {
+  bench::BenchScale scale = bench::ReadScale(/*default_epochs=*/5);
+  bench::PrintScale("Serving: request latency, arena on/off", scale);
+  const int64_t requests = GetEnvInt64("EMAF_BENCH_INFER_REQUESTS", 512);
+  const int64_t seq = 5;
+  auto wall_start = std::chrono::steady_clock::now();
+
+  // One individual, five snapshots — one per registry family, trained just
+  // enough to have non-degenerate weights (latency does not depend on fit
+  // quality).
+  data::GeneratorConfig gen;
+  gen.days = scale.days;
+  gen.seed = scale.seed;
+  data::Individual person = data::GenerateIndividual(gen, 0);
+  data::IndividualSplit split = data::MakeSplit(person, seq);
+  graph::GraphBuildOptions graph_options;
+  graph_options.metric = graph::GraphMetric::kCorrelation;
+  graph::AdjacencyMatrix adj = graph::KeepTopFraction(
+      graph::BuildSimilarityGraph(person.observations, graph_options), 0.2);
+
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "emaf_bench_inference";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  core::TrainConfig train;
+  train.epochs = scale.epochs;
+  for (const char* family : {"LSTM", "VAR", "A3TGCN", "ASTGCN", "MTGNN"}) {
+    models::ModelConfig config;
+    config.family = family;
+    config.num_variables = person.num_variables();
+    config.input_length = seq;
+    if (config.family != "LSTM" && config.family != "VAR") {
+      config.adjacency = adj;
+    }
+    Rng rng(scale.seed);
+    std::unique_ptr<models::Forecaster> model =
+        models::CreateForecasterOrDie(config, &rng);
+    if (auto* var = dynamic_cast<models::VarForecaster*>(model.get())) {
+      var->Fit(split.train.inputs, split.train.targets);
+    } else {
+      core::TrainForecaster(model.get(), split.train, train);
+    }
+    std::string path = (dir / (std::string(family) + ".snapshot")).string();
+    Status saved = models::SaveForecasterSnapshot(model.get(), config, path);
+    EMAF_CHECK(saved.ok()) << saved.ToString();
+  }
+
+  Result<serve::InferenceEngine> engine = serve::InferenceEngine::Load(
+      dir.string());
+  EMAF_CHECK(engine.ok()) << engine.status().ToString();
+  std::vector<std::string> ids = engine.value().individual_ids();
+  Rng window_rng(scale.seed + 1);
+  tensor::Tensor window = tensor::Tensor::Uniform(
+      tensor::Shape{1, seq, person.num_variables()}, -1, 1, &window_rng);
+
+  // Warm up both paths once per model so lazy first-request work (arena
+  // cold misses, page faults in fresh weights) stays out of the timings.
+  for (const std::string& id : ids) {
+    core::Predict(engine.value().model(id), window);
+    Result<tensor::Tensor> warm = engine.value().Forecast(id, window);
+    EMAF_CHECK(warm.ok()) << warm.status().ToString();
+  }
+
+  PassStats no_arena = TimedPass(ids, requests, [&](const std::string& id) {
+    core::Predict(engine.value().model(id), window);
+  });
+  PassStats arena = TimedPass(ids, requests, [&](const std::string& id) {
+    Result<tensor::Tensor> out = engine.value().Forecast(id, window);
+    EMAF_CHECK(out.ok()) << out.status().ToString();
+  });
+  tensor::InferenceArena::Stats arena_stats = engine.value().arena_stats();
+  double hit_rate =
+      arena_stats.hits + arena_stats.misses == 0
+          ? 0.0
+          : static_cast<double>(arena_stats.hits) /
+                static_cast<double>(arena_stats.hits + arena_stats.misses);
+
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::string json = StrCat(
+      "{\"bench\": \"inference\", \"wall_seconds\": ", wall_seconds,
+      ", \"threads\": ", common::ThreadPool::Global().num_threads(),
+      ", \"requests\": ", requests, ", \"families\": ", ids.size(),
+      ", \"no_arena\": ", PassJson(no_arena),
+      ", \"arena\": ", PassJson(arena),
+      ", \"arena_hit_rate\": ", hit_rate, "}");
+
+  std::cout << "requests per pass: " << requests << " across " << ids.size()
+            << " families\n"
+            << "no arena: p50 " << no_arena.p50_seconds * 1e6 << "us, p99 "
+            << no_arena.p99_seconds * 1e6 << "us, allocs/request "
+            << no_arena.allocs_per_request << "\n"
+            << "arena:    p50 " << arena.p50_seconds * 1e6 << "us, p99 "
+            << arena.p99_seconds * 1e6 << "us, allocs/request "
+            << arena.allocs_per_request << " (hit rate "
+            << FormatFixed(hit_rate, 4) << ")\n";
+  std::cout << "\n[json] " << json << "\n";
+
+  std::string json_dir = GetEnvString("EMAF_BENCH_JSON_DIR", ".");
+  if (json_dir != "-") {
+    std::string path = json_dir + "/BENCH_inference.json";
+    std::ofstream out(path);
+    if (out) {
+      out << json << "\n";
+    } else {
+      std::cout << "[json] failed to write " << path << "\n";
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace emaf
+
+int main() {
+  emaf::Run();
+  return 0;
+}

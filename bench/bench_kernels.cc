@@ -8,10 +8,7 @@
 #include "data/generator.h"
 #include "graph/construction.h"
 #include "graph/spectral.h"
-#include "models/a3tgcn.h"
-#include "models/astgcn.h"
-#include "models/lstm_forecaster.h"
-#include "models/mtgnn.h"
+#include "models/registry.h"
 #include "tensor/ops.h"
 #include "ts/dtw.h"
 
@@ -125,6 +122,20 @@ void BM_ChebyshevStack(benchmark::State& state) {
 }
 BENCHMARK(BM_ChebyshevStack);
 
+// Builds the named family through the model registry — the same path the
+// experiment grid and the serving engine use.
+std::unique_ptr<models::Forecaster> MakeRegistryModel(
+    const char* family, const graph::AdjacencyMatrix& adj, Rng* rng) {
+  models::ModelConfig config;
+  config.family = family;
+  config.num_variables = adj.num_nodes();
+  config.input_length = 5;
+  if (config.family != "LSTM" && config.family != "VAR") {
+    config.adjacency = adj;
+  }
+  return models::CreateForecasterOrDie(config, rng);
+}
+
 // One full training epoch per model at paper-like sizes: the unit of cost
 // for every experiment bench.
 template <typename MakeModel>
@@ -149,32 +160,28 @@ void EpochBenchmark(benchmark::State& state, MakeModel make) {
 
 void BM_EpochLstm(benchmark::State& state) {
   EpochBenchmark(state, [](const graph::AdjacencyMatrix& adj, Rng* rng) {
-    return std::make_unique<models::LstmForecaster>(adj.num_nodes(), 5,
-                                                    models::LstmConfig{}, rng);
+    return MakeRegistryModel("LSTM", adj, rng);
   });
 }
 BENCHMARK(BM_EpochLstm);
 
 void BM_EpochA3tgcn(benchmark::State& state) {
   EpochBenchmark(state, [](const graph::AdjacencyMatrix& adj, Rng* rng) {
-    return std::make_unique<models::A3tgcn>(adj, 5, models::A3tgcnConfig{},
-                                            rng);
+    return MakeRegistryModel("A3TGCN", adj, rng);
   });
 }
 BENCHMARK(BM_EpochA3tgcn);
 
 void BM_EpochAstgcn(benchmark::State& state) {
   EpochBenchmark(state, [](const graph::AdjacencyMatrix& adj, Rng* rng) {
-    return std::make_unique<models::Astgcn>(adj, 5, models::AstgcnConfig{},
-                                            rng);
+    return MakeRegistryModel("ASTGCN", adj, rng);
   });
 }
 BENCHMARK(BM_EpochAstgcn);
 
 void BM_EpochMtgnn(benchmark::State& state) {
   EpochBenchmark(state, [](const graph::AdjacencyMatrix& adj, Rng* rng) {
-    return std::make_unique<models::Mtgnn>(&adj, adj.num_nodes(), 5,
-                                           models::MtgnnConfig{}, rng);
+    return MakeRegistryModel("MTGNN", adj, rng);
   });
 }
 BENCHMARK(BM_EpochMtgnn);

@@ -11,7 +11,8 @@
 
 #include "bench/bench_common.h"
 #include "core/report.h"
-#include "models/var_baseline.h"
+#include "models/registry.h"
+#include "models/var_forecaster.h"
 
 namespace emaf {
 namespace {
@@ -20,10 +21,18 @@ core::AggregateStats VarRow(const data::Cohort& cohort, int64_t input_length) {
   std::vector<double> mses;
   for (const data::Individual& person : cohort.individuals) {
     data::IndividualSplit split = data::MakeSplit(person, input_length);
-    models::VarBaseline var(/*ridge=*/25.0);
-    var.Fit(split.train.inputs, split.train.targets);
-    mses.push_back(
-        core::MseBetween(var.Predict(split.test.inputs), split.test.targets));
+    // VAR through the registry, like every served family (Table 2 "VAR").
+    models::ModelConfig config;
+    config.family = "VAR";
+    config.num_variables = person.num_variables();
+    config.input_length = input_length;
+    config.var.ridge = 25.0;
+    Rng rng(0);  // VAR construction draws nothing; Fit is closed-form
+    std::unique_ptr<models::Forecaster> var =
+        models::CreateForecasterOrDie(config, &rng);
+    dynamic_cast<models::VarForecaster*>(var.get())
+        ->Fit(split.train.inputs, split.train.targets);
+    mses.push_back(core::EvaluateMse(var.get(), split.test));
   }
   return core::Aggregate(mses);
 }

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "common/string_util.h"
 #include "core/evaluator.h"
@@ -15,9 +16,8 @@
 #include "data/generator.h"
 #include "graph/construction.h"
 #include "graph/metrics.h"
-#include "models/astgcn.h"
 #include "models/mtgnn.h"
-#include "nn/serialize.h"
+#include "models/registry.h"
 #include "tensor/ops.h"
 
 int main(int argc, char** argv) {
@@ -40,25 +40,34 @@ int main(int argc, char** argv) {
   graph::AdjacencyMatrix static_graph = graph::KeepTopFraction(
       graph::BuildSimilarityGraph(train_rows, options), 0.2);
 
-  // 1. Train MTGNN with graph learning initialized from the prior.
+  // 1. Train MTGNN with graph learning initialized from the prior, built
+  //    through the model registry (the grid's and the serving engine's
+  //    construction path).
   Rng rng(11);
-  models::MtgnnConfig mtgnn_config;
-  models::Mtgnn mtgnn(&static_graph, person.num_variables(), seq,
-                      mtgnn_config, &rng);
+  models::ModelConfig mtgnn_model_config;
+  mtgnn_model_config.family = "MTGNN";
+  mtgnn_model_config.num_variables = person.num_variables();
+  mtgnn_model_config.input_length = seq;
+  mtgnn_model_config.adjacency = static_graph;
+  std::unique_ptr<models::Forecaster> mtgnn_forecaster =
+      models::CreateForecasterOrDie(mtgnn_model_config, &rng);
+  auto* mtgnn = dynamic_cast<models::Mtgnn*>(mtgnn_forecaster.get());
   core::TrainConfig train;
   train.epochs = epochs;
-  core::TrainForecaster(&mtgnn, split.train, train);
-  double mtgnn_mse = core::EvaluateMse(&mtgnn, split.test);
+  core::TrainForecaster(mtgnn, split.train, train);
+  double mtgnn_mse = core::EvaluateMse(mtgnn, split.test);
   std::cout << "MTGNN test MSE: " << FormatFixed(mtgnn_mse, 3) << "\n";
 
-  // 2. Checkpoint the trained model.
-  std::string ckpt = output_dir + "/mtgnn_individual0.emaf";
-  Status saved = nn::SaveParameters(&mtgnn, ckpt);
-  std::cout << "checkpoint: " << (saved.ok() ? ckpt : saved.ToString())
+  // 2. Checkpoint the trained model as a v2 snapshot (embedded config), so
+  //    serve::InferenceEngine can rebuild it without this source file.
+  std::string ckpt = output_dir + "/mtgnn_individual0.snapshot";
+  Status saved =
+      models::SaveForecasterSnapshot(mtgnn, mtgnn_model_config, ckpt);
+  std::cout << "snapshot: " << (saved.ok() ? ckpt : saved.ToString())
             << "\n";
 
   // 3. Export the learned graph and compare to the static prior.
-  graph::AdjacencyMatrix learned = mtgnn.CurrentAdjacency();
+  graph::AdjacencyMatrix learned = mtgnn->CurrentAdjacency();
   graph::AdjacencyMatrix learned_sym = learned;
   learned_sym.Symmetrize();
   learned_sym.ZeroDiagonal();
@@ -74,16 +83,24 @@ int main(int argc, char** argv) {
   // 4. Feed the (symmetrized, GDT-matched) learned graph to ASTGCN.
   graph::AdjacencyMatrix learned_sparse =
       graph::KeepTopFraction(learned_sym, 0.2);
+  models::ModelConfig ast_model_config;
+  ast_model_config.family = "ASTGCN";
+  ast_model_config.num_variables = person.num_variables();
+  ast_model_config.input_length = seq;
+
   Rng rng_ast(12);
-  models::AstgcnConfig ast_config;
-  models::Astgcn astgcn_static(static_graph, seq, ast_config, &rng_ast);
-  core::TrainForecaster(&astgcn_static, split.train, train);
-  double static_mse = core::EvaluateMse(&astgcn_static, split.test);
+  ast_model_config.adjacency = static_graph;
+  std::unique_ptr<models::Forecaster> astgcn_static =
+      models::CreateForecasterOrDie(ast_model_config, &rng_ast);
+  core::TrainForecaster(astgcn_static.get(), split.train, train);
+  double static_mse = core::EvaluateMse(astgcn_static.get(), split.test);
 
   Rng rng_ast2(12);  // same init, different graph: isolates the graph effect
-  models::Astgcn astgcn_learned(learned_sparse, seq, ast_config, &rng_ast2);
-  core::TrainForecaster(&astgcn_learned, split.train, train);
-  double learned_mse = core::EvaluateMse(&astgcn_learned, split.test);
+  ast_model_config.adjacency = learned_sparse;
+  std::unique_ptr<models::Forecaster> astgcn_learned =
+      models::CreateForecasterOrDie(ast_model_config, &rng_ast2);
+  core::TrainForecaster(astgcn_learned.get(), split.train, train);
+  double learned_mse = core::EvaluateMse(astgcn_learned.get(), split.test);
 
   std::cout << "ASTGCN with static CORR graph:   "
             << FormatFixed(static_mse, 3) << "\n"

@@ -22,27 +22,33 @@ double MseBetween(const tensor::Tensor& prediction,
   return total / static_cast<double>(n);
 }
 
+tensor::Tensor Predict(models::Forecaster* model,
+                       const tensor::Tensor& inputs) {
+  EMAF_CHECK(model != nullptr);
+  tensor::NoGradGuard guard;
+  if (!model->training()) {
+    // Serve path: the model was put in eval mode once at load time; not
+    // touching the training flag keeps concurrent requests write-free.
+    return model->Forward(inputs);
+  }
+  model->SetTraining(false);
+  tensor::Tensor prediction = model->Forward(inputs);
+  model->SetTraining(true);
+  return prediction;
+}
+
 double EvaluateMse(models::Forecaster* model, const ts::WindowDataset& test) {
   EMAF_CHECK(model != nullptr);
   EMAF_CHECK_GT(test.num_windows(), 0);
-  tensor::NoGradGuard guard;
-  bool was_training = model->training();
-  model->SetTraining(false);
-  tensor::Tensor prediction = model->Forward(test.inputs);
-  double mse = MseBetween(prediction, test.targets);
-  model->SetTraining(was_training);
-  return mse;
+  tensor::Tensor prediction = Predict(model, test.inputs);
+  return MseBetween(prediction, test.targets);
 }
 
 std::vector<double> EvaluatePerVariableMse(models::Forecaster* model,
                                            const ts::WindowDataset& test) {
   EMAF_CHECK(model != nullptr);
   EMAF_CHECK_GT(test.num_windows(), 0);
-  tensor::NoGradGuard guard;
-  bool was_training = model->training();
-  model->SetTraining(false);
-  tensor::Tensor prediction = model->Forward(test.inputs);
-  model->SetTraining(was_training);
+  tensor::Tensor prediction = Predict(model, test.inputs);
 
   int64_t batch = prediction.dim(0);
   int64_t vars = prediction.dim(1);

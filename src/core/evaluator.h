@@ -16,6 +16,13 @@ namespace emaf::core {
 double MseBetween(const tensor::Tensor& prediction,
                   const tensor::Tensor& target);
 
+// Forward pass in eval mode under NoGradGuard: dropout is identity and no
+// autodiff tape is built. A model already in eval mode is never written to
+// (no SetTraining call), so concurrent Predict calls on a shared served
+// model are race-free; a model in training mode is toggled back afterwards.
+tensor::Tensor Predict(models::Forecaster* model,
+                       const tensor::Tensor& inputs);
+
 // Test MSE of a trained model (eval mode, no gradients).
 double EvaluateMse(models::Forecaster* model, const ts::WindowDataset& test);
 

@@ -15,6 +15,7 @@
 #include "common/trace.h"
 #include "core/checkpoint.h"
 #include "graph/metrics.h"
+#include "models/registry.h"
 #include "tensor/ops.h"
 
 namespace emaf::core {
@@ -159,18 +160,29 @@ Result<ExperimentRunner::IndividualRun> ExperimentRunner::RunIndividual(
     }
     Rng rng = Rng(config_.seed).Fork(stream);
 
-    std::unique_ptr<models::Forecaster> model;
-    models::Mtgnn* mtgnn = nullptr;
+    // Every model family goes through the registry; the cell's job here is
+    // only to assemble the ModelConfig (including the adjacency, which the
+    // graph models bake into constants at construction). CreateForecaster
+    // invokes the same constructors with the same `rng` as the former
+    // inline construction, so RNG streams — and the golden experiment
+    // bytes — are unchanged.
+    models::ModelConfig model_config;
+    model_config.num_variables = individual.num_variables();
+    model_config.input_length = spec.input_length;
+    model_config.lstm = config_.lstm;
+    model_config.a3tgcn = config_.a3tgcn;
+    model_config.astgcn = config_.astgcn;
+    model_config.mtgnn = config_.mtgnn;
     // Kept alive through training for the learned-vs-static correlation.
     graph::AdjacencyMatrix static_graph(1);
     switch (spec.model) {
       case ModelKind::kLstm:
-        model = std::make_unique<models::LstmForecaster>(
-            individual.num_variables(), spec.input_length, config_.lstm,
-            &rng);
+        model_config.family = "LSTM";
         break;
       case ModelKind::kA3tgcn:
       case ModelKind::kAstgcn: {
+        model_config.family =
+            spec.model == ModelKind::kA3tgcn ? "A3TGCN" : "ASTGCN";
         graph::AdjacencyMatrix adjacency(individual.num_variables());
         if (spec.use_learned_graph) {
           // RunCell populates the cache before its parallel region, so
@@ -199,16 +211,11 @@ Result<ExperimentRunner::IndividualRun> ExperimentRunner::RunIndividual(
               StrCat(spec.Label(), " individual ", individual_index,
                      ": adjacency matrix has non-finite entries"));
         }
-        if (spec.model == ModelKind::kA3tgcn) {
-          model = std::make_unique<models::A3tgcn>(
-              adjacency, spec.input_length, config_.a3tgcn, &rng);
-        } else {
-          model = std::make_unique<models::Astgcn>(
-              adjacency, spec.input_length, config_.astgcn, &rng);
-        }
+        model_config.adjacency = std::move(adjacency);
         break;
       }
       case ModelKind::kMtgnn: {
+        model_config.family = "MTGNN";
         static_graph = BuildStaticGraph(individual_index, spec.metric,
                                         spec.gdt, repeat);
         if (AdjacencyHasNonFinite(static_graph)) {
@@ -216,14 +223,15 @@ Result<ExperimentRunner::IndividualRun> ExperimentRunner::RunIndividual(
               StrCat(spec.Label(), " individual ", individual_index,
                      ": adjacency matrix has non-finite entries"));
         }
-        auto owned = std::make_unique<models::Mtgnn>(
-            &static_graph, individual.num_variables(), spec.input_length,
-            config_.mtgnn, &rng);
-        mtgnn = owned.get();
-        model = std::move(owned);
+        model_config.adjacency = static_graph;
         break;
       }
     }
+    Result<std::unique_ptr<models::Forecaster>> created =
+        models::CreateForecaster(model_config, &rng);
+    if (!created.ok()) return created.status();
+    std::unique_ptr<models::Forecaster> model = std::move(created).value();
+    auto* mtgnn = dynamic_cast<models::Mtgnn*>(model.get());
 
     TrainResult trained = TrainForecaster(model.get(), split.train, train);
     if (trained.diverged) {

@@ -1,0 +1,56 @@
+#include "models/var_forecaster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "models/var_baseline.h"
+#include "tensor/ops.h"
+
+namespace emaf::models {
+
+using tensor::Shape;
+
+VarForecaster::VarForecaster(int64_t num_variables, int64_t input_length,
+                             const VarConfig& config)
+    : num_variables_(num_variables),
+      input_length_(input_length),
+      ridge_(config.ridge) {
+  EMAF_CHECK_GT(num_variables, 0);
+  EMAF_CHECK_GT(input_length, 0);
+  int64_t features = input_length * num_variables + 1;
+  coefficients_ = RegisterParameter(
+      "coefficients", Tensor::Zeros(Shape{features, num_variables}));
+}
+
+void VarForecaster::Fit(const Tensor& inputs, const Tensor& targets) {
+  EMAF_CHECK_EQ(inputs.rank(), 3);
+  EMAF_CHECK_EQ(inputs.dim(1), input_length_);
+  EMAF_CHECK_EQ(inputs.dim(2), num_variables_);
+  VarBaseline baseline(ridge_);
+  baseline.Fit(inputs, targets);
+  const Tensor& fitted = baseline.coefficients();
+  EMAF_CHECK(fitted.shape() == coefficients_->shape());
+  // Copy into the registered parameter in place so the pointer handed out
+  // by NamedParameters stays valid.
+  std::copy(fitted.data(), fitted.data() + fitted.NumElements(),
+            coefficients_->data());
+}
+
+Tensor VarForecaster::Forward(const Tensor& window) {
+  CheckWindow(window);
+  int64_t batch = window.dim(0);
+  int64_t features = input_length_ * num_variables_ + 1;
+  // Same design-matrix construction as VarBaseline::Predict, so the two
+  // paths produce byte-identical forecasts from equal coefficients.
+  Tensor design = Tensor::Ones(Shape{batch, features});
+  const double* in = window.data();
+  double* dd = design.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t f = 0; f < features - 1; ++f) {
+      dd[b * features + f] = in[b * (features - 1) + f];
+    }
+  }
+  return tensor::MatMul(design, *coefficients_);
+}
+
+}  // namespace emaf::models

@@ -1,0 +1,57 @@
+// VAR(L) ridge baseline wrapped as a Forecaster Module.
+//
+// VarBaseline (var_baseline.h) is the closed-form fit and is not a Module,
+// so it cannot be snapshotted or served. This adapter registers the
+// coefficient matrix as a module parameter and reproduces
+// VarBaseline::Predict bit-for-bit in Forward, which makes VAR
+// constructible through the registry, serializable through nn::serialize,
+// and servable through serve::InferenceEngine like the neural families.
+
+#ifndef EMAF_MODELS_VAR_FORECASTER_H_
+#define EMAF_MODELS_VAR_FORECASTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "models/forecaster.h"
+
+namespace emaf::models {
+
+struct VarConfig {
+  // L2 penalty on the coefficients (intercept unpenalized), matching
+  // VarBaseline's default.
+  double ridge = 1.0;
+};
+
+class VarForecaster : public Forecaster {
+ public:
+  VarForecaster(int64_t num_variables, int64_t input_length,
+                const VarConfig& config);
+
+  // Closed-form ridge fit on inputs [B, L, V] -> targets [B, V]; the
+  // resulting coefficients land in the registered parameter. Delegates to
+  // VarBaseline so the arithmetic is identical to the standalone baseline.
+  void Fit(const Tensor& inputs, const Tensor& targets);
+
+  // Identical arithmetic to VarBaseline::Predict. Before Fit (or a
+  // parameter load) the coefficients are zero and the forecast is zero.
+  Tensor Forward(const Tensor& window) override;
+
+  std::string name() const override { return "VAR"; }
+  int64_t num_variables() const override { return num_variables_; }
+  int64_t input_length() const override { return input_length_; }
+
+  double ridge() const { return ridge_; }
+  // [L*V + 1, V]; last row is the intercept.
+  const Tensor& coefficients() const { return *coefficients_; }
+
+ private:
+  int64_t num_variables_;
+  int64_t input_length_;
+  double ridge_;
+  Tensor* coefficients_;
+};
+
+}  // namespace emaf::models
+
+#endif  // EMAF_MODELS_VAR_FORECASTER_H_

@@ -11,7 +11,11 @@ namespace emaf::nn {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'M', 'A', 'F'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionNoConfig = 1;
+constexpr uint32_t kVersionWithConfig = 2;
+// Config blobs are small text (a ModelConfig is well under a kilobyte even
+// with an embedded adjacency for V ~ 100); anything larger is corruption.
+constexpr uint64_t kMaxConfigBytes = 64ULL << 20;
 
 void WriteU32(std::ofstream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -36,16 +40,57 @@ bool ReadI64(std::ifstream& in, int64_t* v) {
   return in.good();
 }
 
+// Reads magic + version and, for v2, the config blob (into `config` when
+// non-null, skipped otherwise). Leaves `in` positioned at the parameter
+// count.
+Status ReadHeader(std::ifstream& in, const std::string& path,
+                  std::string* config) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::string(magic, 4) != std::string(kMagic, 4)) {
+    return Status::InvalidArgument(StrCat("bad checkpoint magic in ", path));
+  }
+  uint32_t version = 0;
+  if (!ReadU32(in, &version) ||
+      (version != kVersionNoConfig && version != kVersionWithConfig)) {
+    return Status::InvalidArgument(
+        StrCat("unsupported checkpoint version in ", path));
+  }
+  if (version == kVersionWithConfig) {
+    uint64_t config_len = 0;
+    if (!ReadU64(in, &config_len) || config_len > kMaxConfigBytes) {
+      return Status::InvalidArgument(StrCat("corrupt checkpoint: ", path));
+    }
+    if (config != nullptr) {
+      config->assign(config_len, '\0');
+      in.read(config->data(), static_cast<std::streamsize>(config_len));
+    } else {
+      in.ignore(static_cast<std::streamsize>(config_len));
+    }
+    if (!in.good()) {
+      return Status::InvalidArgument(StrCat("truncated checkpoint: ", path));
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status SaveParameters(Module* module, const std::string& path) {
+  return SaveParameters(module, path, std::string_view());
+}
+
+Status SaveParameters(Module* module, const std::string& path,
+                      std::string_view config) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
     return Status::NotFound(StrCat("cannot open for writing: ", path));
   }
   std::vector<NamedParameter> params = module->NamedParameters();
   out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kVersion);
+  WriteU32(out, kVersionWithConfig);
+  WriteU64(out, config.size());
+  out.write(config.data(), static_cast<std::streamsize>(config.size()));
   WriteU64(out, params.size());
   for (const NamedParameter& p : params) {
     WriteU64(out, p.name.size());
@@ -67,16 +112,7 @@ Status LoadParameters(Module* module, const std::string& path) {
   if (!in.is_open()) {
     return Status::NotFound(StrCat("cannot open for reading: ", path));
   }
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::string(magic, 4) != std::string(kMagic, 4)) {
-    return Status::InvalidArgument(StrCat("bad checkpoint magic in ", path));
-  }
-  uint32_t version = 0;
-  if (!ReadU32(in, &version) || version != kVersion) {
-    return Status::InvalidArgument(
-        StrCat("unsupported checkpoint version in ", path));
-  }
+  EMAF_RETURN_IF_ERROR(ReadHeader(in, path, /*config=*/nullptr));
   uint64_t count = 0;
   if (!ReadU64(in, &count)) {
     return Status::InvalidArgument(StrCat("truncated checkpoint: ", path));
@@ -129,6 +165,16 @@ Status LoadParameters(Module* module, const std::string& path) {
     }
   }
   return Status::Ok();
+}
+
+Result<std::string> ReadSnapshotConfig(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open for reading: ", path));
+  }
+  std::string config;
+  EMAF_RETURN_IF_ERROR(ReadHeader(in, path, &config));
+  return config;
 }
 
 }  // namespace emaf::nn

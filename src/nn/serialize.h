@@ -1,26 +1,43 @@
 // Binary checkpointing of module parameters.
 //
-// Format (little-endian):
-//   magic "EMAF"  | uint32 version | uint64 parameter count
+// Format v2 (little-endian):
+//   magic "EMAF"  | uint32 version | uint64 config length | config bytes |
+//   uint64 parameter count
 //   per parameter: uint64 name length | name bytes |
 //                  uint64 rank | int64 dims[rank] | double data[numel]
+//
+// The config blob is an opaque string (the model registry stores a
+// serialized ModelConfig there) so a serving process can rebuild the
+// module before loading its weights. v1 files — identical except for the
+// missing config length/bytes — are still readable; new files are always
+// written as v2.
 
 #ifndef EMAF_NN_SERIALIZE_H_
 #define EMAF_NN_SERIALIZE_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "nn/module.h"
 
 namespace emaf::nn {
 
-// Writes every named parameter of `module` to `path`.
+// Writes every named parameter of `module` to `path` (v2, empty config).
 Status SaveParameters(Module* module, const std::string& path);
 
-// Loads a checkpoint into `module`. Every parameter in the file must exist
-// in the module with an identical shape, and vice versa.
+// As above, embedding `config` verbatim in the snapshot header.
+Status SaveParameters(Module* module, const std::string& path,
+                      std::string_view config);
+
+// Loads a checkpoint (v1 or v2) into `module`. Every parameter in the file
+// must exist in the module with an identical shape, and vice versa. The
+// embedded config, if any, is ignored here — use ReadSnapshotConfig.
 Status LoadParameters(Module* module, const std::string& path);
+
+// Returns the config blob embedded in a snapshot; empty string for a v1
+// file or a v2 file saved without a config.
+Result<std::string> ReadSnapshotConfig(const std::string& path);
 
 }  // namespace emaf::nn
 

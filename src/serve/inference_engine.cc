@@ -1,0 +1,140 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "models/registry.h"
+
+namespace emaf::serve {
+
+namespace {
+
+// hits / (hits + misses), 0 before the first request. Only consumed by
+// the metrics gauge, so unused when the build compiles metrics out.
+[[maybe_unused]] double HitRate(const tensor::InferenceArena::Stats& stats) {
+  uint64_t total = stats.hits + stats.misses;
+  if (total == 0) return 0.0;
+  return static_cast<double>(stats.hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+Result<InferenceEngine> InferenceEngine::Load(const std::string& snapshot_dir,
+                                              const EngineOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(snapshot_dir, ec) || ec) {
+    return Status::NotFound(
+        StrCat("snapshot directory not found: ", snapshot_dir));
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(snapshot_dir, ec)) {
+    if (entry.path().extension() == options.extension) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::Internal(
+        StrCat("cannot list snapshot directory ", snapshot_dir, ": ",
+               ec.message()));
+  }
+  // Directory iteration order is unspecified; sort for determinism.
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    return Status::NotFound(StrCat("no *", options.extension,
+                                   " snapshots in ", snapshot_dir));
+  }
+
+  InferenceEngine engine;
+  for (const fs::path& path : files) {
+    std::string filename = path.filename().string();
+    if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.load/", filename))) {
+      return Status::Unavailable(
+          StrCat("injected fault: serve.load/", filename));
+    }
+    Rng rng(options.seed);
+    Result<std::unique_ptr<models::Forecaster>> model =
+        models::LoadForecasterSnapshot(path.string(), &rng);
+    if (!model.ok()) {
+      return Status(model.status().code(),
+                    StrCat("loading ", filename, ": ",
+                           model.status().message()));
+    }
+    // Eval mode is set exactly once, here: the request path never writes
+    // to the module tree, which is what makes concurrent requests against
+    // one model race-free (core::Predict).
+    model.value()->SetTraining(false);
+    engine.models_.emplace(path.stem().string(), std::move(model).value());
+  }
+  EMAF_METRIC_GAUGE_SET("serve.loaded_models",
+                        static_cast<double>(engine.models_.size()));
+  return engine;
+}
+
+std::vector<std::string> InferenceEngine::individual_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(models_.size());
+  for (const auto& [id, unused] : models_) ids.push_back(id);
+  return ids;
+}
+
+models::Forecaster* InferenceEngine::model(const std::string& id) const {
+  auto it = models_.find(id);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+Result<tensor::Tensor> InferenceEngine::Forecast(
+    const std::string& individual_id, const tensor::Tensor& window) {
+  EMAF_METRIC_SCOPED_TIMER("serve.request_seconds");
+  EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
+  auto it = models_.find(individual_id);
+  if (it == models_.end()) {
+    return Status::NotFound(
+        StrCat("no model loaded for individual: ", individual_id));
+  }
+  if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.request/", individual_id))) {
+    return Status::Unavailable(
+        StrCat("injected fault: serve.request/", individual_id));
+  }
+  tensor::Tensor prediction;
+  {
+    // Every tensor allocated by the forward pass draws from the shared
+    // pool; the buffers return to it as the intermediates die, so a
+    // steady-state request performs zero heap allocation.
+    tensor::ArenaScope scope(&arena_);
+    prediction = core::Predict(it->second.get(), window);
+  }
+  EMAF_METRIC_GAUGE_SET("serve.arena_hit_rate", HitRate(arena_.stats()));
+  return prediction;
+}
+
+std::vector<Result<tensor::Tensor>> InferenceEngine::ForecastBatch(
+    const std::vector<ForecastRequest>& requests) {
+  std::vector<Result<tensor::Tensor>> results(
+      requests.size(), Status::Internal("request not executed"));
+  if (requests.empty()) return results;
+  // Requests are independent and each writes its own pre-sized slot, so
+  // any schedule produces bitwise the serial result (DESIGN.md, "Parallel
+  // execution model").
+  common::ThreadPool::Global().ParallelFor(
+      0, static_cast<int64_t>(requests.size()), /*grain=*/1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const ForecastRequest& request = requests[static_cast<size_t>(i)];
+          results[static_cast<size_t>(i)] =
+              Forecast(request.individual_id, request.window);
+        }
+      });
+  return results;
+}
+
+}  // namespace emaf::serve

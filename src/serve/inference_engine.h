@@ -1,0 +1,99 @@
+// InferenceEngine: the serving half of the train/serve split (DESIGN.md,
+// "Serving layer").
+//
+// A training process saves one snapshot per individual via
+// models::SaveForecasterSnapshot; the engine loads a directory of those
+// snapshots, rebuilds every model from its embedded config, puts it in
+// eval mode once, and then answers 1-lag forecast requests:
+//
+//   - tape-free: every forward runs under NoGradGuard (core::Predict), so
+//     no GradFn node is ever allocated on the serve path;
+//   - allocation-free at steady state: all requests run inside the
+//     engine's shared tensor::InferenceArena, so after the first (warm-up)
+//     request per model every tensor buffer is recycled from the pool;
+//   - write-free on models: eval mode is set at load time and
+//     core::Predict never touches the training flag of a model already in
+//     eval mode, so concurrent requests against one model are race-free;
+//   - deterministic: a request's bytes equal Evaluator's prediction for
+//     the same model and window, at any thread count.
+//
+// Instrumentation: serve.request_seconds (histogram),
+// serve.requests_total (counter), serve.loaded_models and
+// serve.arena_hit_rate (gauges). Fault sites: serve.load/<file> fails a
+// snapshot load, serve.request/<id> fails one request.
+
+#ifndef EMAF_SERVE_INFERENCE_ENGINE_H_
+#define EMAF_SERVE_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "models/forecaster.h"
+#include "tensor/arena.h"
+#include "tensor/tensor.h"
+
+namespace emaf::serve {
+
+struct EngineOptions {
+  // Snapshot filename extension looked for in the directory; the stem is
+  // the individual id ("i07.snapshot" serves individual "i07").
+  std::string extension = ".snapshot";
+  // Seed for model construction. Irrelevant to the forecasts — every
+  // weight is overwritten by the snapshot load — but fixed so the engine
+  // itself is deterministic.
+  uint64_t seed = 0x5e59edULL;
+};
+
+struct ForecastRequest {
+  std::string individual_id;
+  tensor::Tensor window;  // [B, L, V]
+};
+
+class InferenceEngine {
+ public:
+  // Loads every `<id><extension>` file in `snapshot_dir`, sorted by
+  // filename. Fails if the directory is missing, holds no snapshots, or
+  // any snapshot is unreadable (fault site serve.load/<filename>).
+  static Result<InferenceEngine> Load(const std::string& snapshot_dir,
+                                      const EngineOptions& options = {});
+
+  InferenceEngine(InferenceEngine&&) = default;
+  InferenceEngine& operator=(InferenceEngine&&) = default;
+
+  int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
+  // Sorted ids of the loaded individuals.
+  std::vector<std::string> individual_ids() const;
+  // The loaded model for `id`; nullptr when unknown. Models are in eval
+  // mode; callers must not mutate them.
+  models::Forecaster* model(const std::string& id) const;
+
+  // One forecast: window [B, L, V] -> [B, V]. NotFound for an unknown id;
+  // Unavailable when fault site serve.request/<id> fires.
+  Result<tensor::Tensor> Forecast(const std::string& individual_id,
+                                  const tensor::Tensor& window);
+
+  // Runs a batch of requests concurrently on the global ThreadPool.
+  // Results align with `requests`; each request computes independently
+  // into its own slot, so the output is bitwise identical at any thread
+  // count.
+  std::vector<Result<tensor::Tensor>> ForecastBatch(
+      const std::vector<ForecastRequest>& requests);
+
+  // Buffer-pool statistics of the engine's arena (hit rate, outstanding).
+  tensor::InferenceArena::Stats arena_stats() const { return arena_.stats(); }
+
+ private:
+  InferenceEngine() = default;
+
+  std::map<std::string, std::unique_ptr<models::Forecaster>> models_;
+  // Shared by all request threads; Acquire/release are briefly locked.
+  tensor::InferenceArena arena_;
+};
+
+}  // namespace emaf::serve
+
+#endif  // EMAF_SERVE_INFERENCE_ENGINE_H_

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace emaf::tensor {
 
@@ -45,6 +46,7 @@ bool ShouldRecord(const std::vector<Tensor>& inputs) {
 void SetGradFn(Tensor* output, std::string name, std::vector<Tensor> inputs,
                std::function<std::vector<Tensor>(const Tensor&)> backward) {
   EMAF_CHECK(output->defined());
+  EMAF_METRIC_COUNTER_ADD("tensor.gradfn_allocs", 1);
   auto fn = std::make_shared<GradFn>();
   fn->name = std::move(name);
   fn->inputs = std::move(inputs);

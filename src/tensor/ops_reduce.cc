@@ -197,7 +197,9 @@ Tensor Sum(const Tensor& x, const std::vector<int64_t>& dims, bool keepdim) {
   Shape keep = KeepShape(x.shape(), axes);
   Tensor reduced = internal::SumTo(x, keep);
   Shape out_shape = keepdim ? keep : DropShape(x.shape(), axes);
-  Tensor out = Tensor::FromVector(out_shape, reduced.ToVector());
+  // `reduced` is freshly materialized and tracks no grad, so reshaping it
+  // in place (storage-sharing) is safe and avoids a second allocation.
+  Tensor out = Reshape(reduced, out_shape);
   if (ShouldRecord({x})) {
     Shape x_shape = x.shape();
     SetGradFn(&out, "SumDims", {x}, [x_shape, keep](const Tensor& g) {

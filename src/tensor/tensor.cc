@@ -1,8 +1,11 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "tensor/arena.h"
 #include "tensor/autograd.h"
 
 namespace emaf::tensor {
@@ -12,8 +15,16 @@ namespace {
 std::shared_ptr<TensorImpl> NewImpl(const Shape& shape) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->storage = std::make_shared<std::vector<Scalar>>(
-      static_cast<size_t>(shape.NumElements()));
+  if (InferenceArena* arena = CurrentArena()) {
+    // Serving path: recycle a pooled buffer of matching numel instead of
+    // heap-allocating (DESIGN.md, "Serving layer"). Recycled buffers hold
+    // stale values — exactly the MakeUninitialized contract.
+    impl->storage = arena->Acquire(shape.NumElements());
+  } else {
+    EMAF_METRIC_COUNTER_ADD("tensor.storage_allocs", 1);
+    impl->storage = std::make_shared<std::vector<Scalar>>(
+        static_cast<size_t>(shape.NumElements()));
+  }
   return impl;
 }
 
@@ -23,7 +34,13 @@ Tensor MakeUninitialized(const Shape& shape) {
   return Tensor(NewImpl(shape));
 }
 
-Tensor Tensor::Zeros(const Shape& shape) { return MakeUninitialized(shape); }
+Tensor Tensor::Zeros(const Shape& shape) {
+  Tensor t = MakeUninitialized(shape);
+  // A fresh std::vector is value-initialized to 0.0, so the heap path is
+  // already zero; an arena buffer is recycled and must be cleared.
+  if (CurrentArena() != nullptr) t.Fill(0.0);
+  return t;
+}
 
 Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0); }
 
@@ -35,6 +52,9 @@ Tensor Tensor::Full(const Shape& shape, Scalar value) {
 
 Tensor Tensor::FromVector(const Shape& shape, std::vector<Scalar> values) {
   EMAF_CHECK_EQ(shape.NumElements(), static_cast<int64_t>(values.size()));
+  // Adopts the caller's heap buffer, so this always counts as a storage
+  // allocation — even under an ArenaScope, which FromVector bypasses.
+  EMAF_METRIC_COUNTER_ADD("tensor.storage_allocs", 1);
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
   impl->storage = std::make_shared<std::vector<Scalar>>(std::move(values));
@@ -148,7 +168,11 @@ void Tensor::Fill(Scalar value) {
 
 Tensor Tensor::Clone() const {
   EMAF_CHECK(defined());
-  return FromVector(shape(), *impl_->storage);
+  // Copies through MakeUninitialized (not FromVector) so clones made under
+  // an active ArenaScope reuse pooled storage instead of heap-allocating.
+  Tensor out = MakeUninitialized(shape());
+  std::copy(impl_->storage->begin(), impl_->storage->end(), out.data());
+  return out;
 }
 
 Tensor Tensor::Detach() const {

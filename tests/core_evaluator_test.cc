@@ -3,6 +3,7 @@
 #include "common/rng.h"
 #include "core/evaluator.h"
 #include "models/lstm_forecaster.h"
+#include "tensor/autograd.h"
 #include "tensor/ops.h"
 
 namespace emaf::core {
@@ -61,6 +62,58 @@ TEST(EvaluateMseTest, DeterministicDespiteDropout) {
   test.inputs = Tensor::Uniform(Shape{4, 2, 3}, -1, 1, &data_rng);
   test.targets = Tensor::Uniform(Shape{4, 3}, -1, 1, &data_rng);
   EXPECT_DOUBLE_EQ(EvaluateMse(&model, test), EvaluateMse(&model, test));
+}
+
+TEST(PredictTest, MatchesManualEvalForward) {
+  Rng rng(20);
+  models::LstmConfig config;
+  config.hidden_units = 4;
+  config.dropout = 0.5;
+  models::LstmForecaster model(3, 2, config, &rng);
+  Rng data_rng(21);
+  Tensor inputs = Tensor::Uniform(Shape{4, 2, 3}, -1, 1, &data_rng);
+  Tensor prediction = Predict(&model, inputs);
+  model.SetTraining(false);
+  tensor::NoGradGuard guard;
+  EXPECT_EQ(prediction.ToVector(), model.Forward(inputs).ToVector());
+}
+
+TEST(PredictTest, BuildsNoTape) {
+  Rng rng(22);
+  models::LstmConfig config;
+  config.hidden_units = 4;
+  models::LstmForecaster model(3, 2, config, &rng);
+  Rng data_rng(23);
+  Tensor inputs = Tensor::Uniform(Shape{2, 2, 3}, -1, 1, &data_rng);
+  Tensor prediction = Predict(&model, inputs);
+  EXPECT_FALSE(prediction.TracksGrad());
+  EXPECT_EQ(prediction.impl()->grad_fn, nullptr);
+}
+
+TEST(PredictTest, RestoresTrainingModeOnTrainingModel) {
+  Rng rng(24);
+  models::LstmConfig config;
+  models::LstmForecaster model(3, 2, config, &rng);
+  model.SetTraining(true);
+  Predict(&model, Tensor::Zeros(Shape{2, 2, 3}));
+  EXPECT_TRUE(model.training());
+}
+
+TEST(PredictTest, NeverWritesAnEvalModeModel) {
+  // The serving contract: a model already in eval mode must not have its
+  // training flag touched (concurrent requests rely on a write-free
+  // forward). Detect writes by checking every submodule stays in eval.
+  Rng rng(25);
+  models::LstmConfig config;
+  config.dropout = 0.5;
+  models::LstmForecaster model(3, 2, config, &rng);
+  model.SetTraining(false);
+  Tensor first = Predict(&model, Tensor::Zeros(Shape{2, 2, 3}));
+  EXPECT_FALSE(model.training());
+  // And the result is identical across repeated calls (no hidden state,
+  // no RNG consumption in eval mode).
+  Tensor second = Predict(&model, Tensor::Zeros(Shape{2, 2, 3}));
+  EXPECT_EQ(first.ToVector(), second.ToVector());
 }
 
 TEST(PerVariableMseTest, DecompositionAveragesToTotal) {

@@ -111,6 +111,35 @@ TEST(DropoutModuleTest, HasNoParameters) {
   EXPECT_EQ(dropout.ParameterCount(), 0);
 }
 
+TEST(DropoutModuleTest, EvalModeIsBitwisePassThrough) {
+  Rng rng(15);
+  Dropout dropout(0.5, &rng);
+  dropout.SetTraining(false);
+  Rng data_rng(16);
+  Tensor x = Tensor::Uniform(Shape{4, 6}, -1, 1, &data_rng);
+  Tensor out = dropout.Forward(x);
+  // Exact identity, not an equal copy: eval dropout returns the input
+  // tensor itself, so the serving path spends no copy and no allocation.
+  EXPECT_EQ(out.impl(), x.impl());
+  EXPECT_EQ(out.data(), x.data());
+}
+
+TEST(DropoutModuleTest, EvalModeDrawsNothingFromTheRngStream) {
+  Rng rng_a(17);
+  Rng rng_b(17);
+  Dropout exercised(0.5, &rng_a);
+  Dropout fresh(0.5, &rng_b);
+  Rng data_rng(18);
+  Tensor x = Tensor::Uniform(Shape{8, 8}, -1, 1, &data_rng);
+  exercised.SetTraining(false);
+  for (int i = 0; i < 5; ++i) exercised.Forward(x);
+  exercised.SetTraining(true);
+  fresh.SetTraining(true);
+  // Had any eval forward consumed a Bernoulli draw, the first training
+  // masks of the two (identically seeded) layers would diverge.
+  EXPECT_EQ(exercised.Forward(x).ToVector(), fresh.Forward(x).ToVector());
+}
+
 TEST(LayerNormTest, NormalizesLastAxis) {
   LayerNorm ln({4});
   Tensor x = Tensor::FromVector(Shape{2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});

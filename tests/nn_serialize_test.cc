@@ -1,10 +1,17 @@
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "graph/adjacency.h"
+#include "models/registry.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/serialize.h"
@@ -129,6 +136,180 @@ TEST(SerializeTest, SaveToUnwritablePathFails) {
   SmallNet net(&rng);
   Status status = SaveParameters(&net, "/nonexistent_dir/x.emaf");
   EXPECT_FALSE(status.ok());
+}
+
+// --- v2 config embedding and v1 compatibility ------------------------------
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Rewrites a config-free v2 snapshot as the legacy v1 layout: patch the
+// version word and drop the (zero) config-length field. This is exactly
+// the byte stream pre-v2 builds wrote.
+std::string V2ToV1(const std::string& v2) {
+  EXPECT_GE(v2.size(), 16u);
+  uint64_t config_len = 0;
+  std::memcpy(&config_len, v2.data() + 8, sizeof(config_len));
+  EXPECT_EQ(config_len, 0u);
+  std::string v1 = v2.substr(0, 4);
+  uint32_t version = 1;
+  v1.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  v1.append(v2.substr(16));  // skip v2's version + config_len
+  return v1;
+}
+
+TEST(SerializeTest, SaveAlwaysWritesV2) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  std::string path = TempPath("v2_version.emaf");
+  ASSERT_TRUE(SaveParameters(&net, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GE(bytes.size(), 8u);
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  EXPECT_EQ(version, 2u);
+}
+
+TEST(SerializeTest, V1SnapshotStillLoads) {
+  Rng rng_a(1);
+  SmallNet net_a(&rng_a);
+  std::string v2_path = TempPath("compat_v2.emaf");
+  ASSERT_TRUE(SaveParameters(&net_a, v2_path).ok());
+
+  std::string v1_path = TempPath("compat_v1.emaf");
+  {
+    std::ofstream out(v1_path, std::ios::binary | std::ios::trunc);
+    out << V2ToV1(ReadFileBytes(v2_path));
+  }
+  Rng rng_b(99);
+  SmallNet net_b(&rng_b);
+  ASSERT_TRUE(LoadParameters(&net_b, v1_path).ok());
+  Rng data_rng(3);
+  Tensor x = Tensor::Uniform(Shape{5, 3}, -1, 1, &data_rng);
+  EXPECT_EQ(net_a.Forward(x).ToVector(), net_b.Forward(x).ToVector());
+  // A v1 file has no embedded config, reported as the empty blob.
+  Result<std::string> config = ReadSnapshotConfig(v1_path);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value(), "");
+}
+
+TEST(SerializeTest, ReadSnapshotConfigReturnsEmbeddedBlob) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  std::string path = TempPath("with_config.emaf");
+  const std::string blob = "family=TEST\nanswer=42\n";
+  ASSERT_TRUE(SaveParameters(&net, path, blob).ok());
+  Result<std::string> read_back = ReadSnapshotConfig(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back.value(), blob);
+  // The embedded blob must not disturb parameter loading.
+  EXPECT_TRUE(LoadParameters(&net, path).ok());
+}
+
+// --- Forecaster snapshots across all five families -------------------------
+
+constexpr int64_t kVars = 5;
+constexpr int64_t kSteps = 3;
+
+models::ModelConfig FamilyConfig(const std::string& family) {
+  models::ModelConfig config;
+  config.family = family;
+  config.num_variables = kVars;
+  config.input_length = kSteps;
+  config.lstm.hidden_units = 8;
+  config.a3tgcn.hidden_units = 8;
+  config.astgcn.hidden_units = 8;
+  config.astgcn.num_blocks = 2;
+  config.mtgnn.residual_channels = 8;
+  config.mtgnn.conv_channels = 8;
+  config.mtgnn.skip_channels = 8;
+  config.mtgnn.end_channels = 16;
+  config.mtgnn.embedding_dim = 4;
+  if (family != "LSTM" && family != "VAR") {
+    graph::AdjacencyMatrix adj(kVars);
+    for (int64_t i = 0; i + 1 < kVars; ++i) {
+      adj.set(i, i + 1, 0.1 + static_cast<double>(i) / 3.0);
+      adj.set(i + 1, i, 0.7 - static_cast<double>(i) / 7.0);
+    }
+    config.adjacency = adj;
+  }
+  return config;
+}
+
+class SnapshotFamilyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SnapshotFamilyTest, SnapshotRoundTripsToByteIdenticalForecaster) {
+  models::ModelConfig config = FamilyConfig(GetParam());
+  Rng rng(7);
+  std::unique_ptr<models::Forecaster> original =
+      models::CreateForecasterOrDie(config, &rng);
+  std::string path = TempPath(("snapshot_" + GetParam() + ".snapshot").c_str());
+  ASSERT_TRUE(
+      models::SaveForecasterSnapshot(original.get(), config, path).ok());
+
+  // The loader learns everything from the file: family, dims, adjacency.
+  Rng load_rng(1234);  // deliberately different stream
+  Result<std::unique_ptr<models::Forecaster>> restored =
+      models::LoadForecasterSnapshot(path, &load_rng);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value()->name(), GetParam());
+
+  original->SetTraining(false);
+  restored.value()->SetTraining(false);
+  Rng data_rng(8);
+  Tensor window = Tensor::Uniform(Shape{3, kSteps, kVars}, -1, 1, &data_rng);
+  EXPECT_EQ(original->Forward(window).ToVector(),
+            restored.value()->Forward(window).ToVector());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SnapshotFamilyTest,
+                         ::testing::Values("LSTM", "VAR", "A3TGCN", "ASTGCN",
+                                           "MTGNN"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(SnapshotTest, LoadIntoRejectsMismatchedEmbeddedConfig) {
+  models::ModelConfig written = FamilyConfig("LSTM");
+  Rng rng(9);
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(written, &rng);
+  std::string path = TempPath("config_mismatch.snapshot");
+  ASSERT_TRUE(models::SaveForecasterSnapshot(model.get(), written, path).ok());
+
+  models::ModelConfig expected = written;
+  expected.lstm.dropout = 0.123;  // differs from the embedded config
+  Rng other_rng(10);
+  std::unique_ptr<models::Forecaster> target =
+      models::CreateForecasterOrDie(expected, &other_rng);
+  Status status = models::LoadForecasterInto(target.get(), expected, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("config mismatch"), std::string::npos);
+  // With the matching config it loads fine.
+  EXPECT_TRUE(models::LoadForecasterInto(target.get(), written, path).ok());
+}
+
+TEST(SnapshotTest, LoadForecasterSnapshotRejectsV1Files) {
+  models::ModelConfig config = FamilyConfig("LSTM");
+  Rng rng(11);
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(config, &rng);
+  // SaveParameters without a config emulates a pre-registry snapshot once
+  // rewritten to the v1 layout: no family to rebuild from.
+  std::string v2_path = TempPath("headless_v2.snapshot");
+  ASSERT_TRUE(SaveParameters(model.get(), v2_path).ok());
+  std::string v1_path = TempPath("headless_v1.snapshot");
+  {
+    std::ofstream out(v1_path, std::ios::binary | std::ios::trunc);
+    out << V2ToV1(ReadFileBytes(v2_path));
+  }
+  Rng load_rng(12);
+  Result<std::unique_ptr<models::Forecaster>> restored =
+      models::LoadForecasterSnapshot(v1_path, &load_rng);
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

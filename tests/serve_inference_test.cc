@@ -1,0 +1,269 @@
+// End-to-end train -> snapshot -> serve tests (ISSUE acceptance): for every
+// model family in the paper's Table 2, an InferenceEngine loaded from a
+// snapshot directory reproduces core::Predict's test-set predictions
+// byte-for-byte at any thread count, serves steady-state requests without
+// heap allocation or tape construction, and exposes metrics and fault
+// sites for the observability harness.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "core/trainer.h"
+#include "graph/adjacency.h"
+#include "models/registry.h"
+#include "models/var_forecaster.h"
+#include "serve/inference_engine.h"
+#include "tensor/tensor.h"
+#include "ts/window.h"
+
+namespace emaf::serve {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr int64_t kVars = 5;
+constexpr int64_t kSteps = 3;
+
+graph::AdjacencyMatrix TestGraph() {
+  graph::AdjacencyMatrix adj(kVars);
+  for (int64_t i = 0; i + 1 < kVars; ++i) {
+    adj.set(i, i + 1, 0.1 + static_cast<double>(i) / 3.0);
+    adj.set(i + 1, i, 0.7 - static_cast<double>(i) / 7.0);
+  }
+  return adj;
+}
+
+models::ModelConfig FamilyConfig(const std::string& family) {
+  models::ModelConfig config;
+  config.family = family;
+  config.num_variables = kVars;
+  config.input_length = kSteps;
+  config.lstm.hidden_units = 8;
+  config.a3tgcn.hidden_units = 8;
+  config.astgcn.hidden_units = 8;
+  config.astgcn.num_blocks = 2;
+  config.mtgnn.residual_channels = 8;
+  config.mtgnn.conv_channels = 8;
+  config.mtgnn.skip_channels = 8;
+  config.mtgnn.end_channels = 16;
+  config.mtgnn.embedding_dim = 4;
+  if (family != "LSTM" && family != "VAR") config.adjacency = TestGraph();
+  return config;
+}
+
+const std::vector<std::string>& AllFamilies() {
+  static const std::vector<std::string> families = {"LSTM", "VAR", "A3TGCN",
+                                                    "ASTGCN", "MTGNN"};
+  return families;
+}
+
+// Trains all five families once, snapshots them into one directory, and
+// records the predictions core::Predict makes on a fixed test window — the
+// ground truth every serving assertion compares against byte-for-byte.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    namespace fs = std::filesystem;
+    dir_ = new std::string(::testing::TempDir() + "/serve_snapshots");
+    fs::remove_all(*dir_);
+    ASSERT_TRUE(fs::create_directories(*dir_));
+
+    Rng data_rng(71);
+    ts::WindowDataset train;
+    train.inputs = Tensor::Uniform(Shape{16, kSteps, kVars}, -1, 1, &data_rng);
+    train.targets = Tensor::Uniform(Shape{16, kVars}, -1, 1, &data_rng);
+    test_inputs_ = new Tensor(
+        Tensor::Uniform(Shape{4, kSteps, kVars}, -1, 1, &data_rng));
+    expected_ = new std::map<std::string, std::vector<double>>();
+
+    for (size_t i = 0; i < AllFamilies().size(); ++i) {
+      const std::string& family = AllFamilies()[i];
+      models::ModelConfig config = FamilyConfig(family);
+      Rng model_rng(100 + static_cast<uint64_t>(i));
+      std::unique_ptr<models::Forecaster> model =
+          models::CreateForecasterOrDie(config, &model_rng);
+      if (auto* var = dynamic_cast<models::VarForecaster*>(model.get())) {
+        var->Fit(train.inputs, train.targets);
+      } else {
+        core::TrainConfig train_config;
+        train_config.epochs = 10;
+        core::TrainForecaster(model.get(), train, train_config);
+      }
+      (*expected_)[family] =
+          core::Predict(model.get(), *test_inputs_).ToVector();
+      Status saved = models::SaveForecasterSnapshot(
+          model.get(), config, *dir_ + "/" + family + ".snapshot");
+      ASSERT_TRUE(saved.ok()) << saved.ToString();
+    }
+  }
+
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete expected_;
+    expected_ = nullptr;
+    delete test_inputs_;
+    test_inputs_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static InferenceEngine LoadEngineOrDie() {
+    Result<InferenceEngine> engine = InferenceEngine::Load(*dir_);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    return std::move(engine).value();
+  }
+
+  static std::string* dir_;
+  static Tensor* test_inputs_;
+  static std::map<std::string, std::vector<double>>* expected_;
+};
+
+std::string* ServeTest::dir_ = nullptr;
+Tensor* ServeTest::test_inputs_ = nullptr;
+std::map<std::string, std::vector<double>>* ServeTest::expected_ = nullptr;
+
+TEST_F(ServeTest, LoadsAllSnapshotsSortedAndInEvalMode) {
+  InferenceEngine engine = LoadEngineOrDie();
+  EXPECT_EQ(engine.num_models(), 5);
+  // Ids are snapshot filename stems, sorted.
+  EXPECT_EQ(engine.individual_ids(),
+            (std::vector<std::string>{"A3TGCN", "ASTGCN", "LSTM", "MTGNN",
+                                      "VAR"}));
+  for (const std::string& family : AllFamilies()) {
+    ASSERT_NE(engine.model(family), nullptr) << family;
+    // Eval mode is set once at load; the request path never writes it.
+    EXPECT_FALSE(engine.model(family)->training()) << family;
+  }
+  EXPECT_EQ(engine.model("nobody"), nullptr);
+}
+
+TEST_F(ServeTest, ForecastMatchesEvaluatorBytesForEveryFamily) {
+  InferenceEngine engine = LoadEngineOrDie();
+  for (const std::string& family : AllFamilies()) {
+    Result<Tensor> prediction = engine.Forecast(family, *test_inputs_);
+    ASSERT_TRUE(prediction.ok()) << family << ": "
+                                 << prediction.status().ToString();
+    // Byte-for-byte: the snapshot round-trip (weights as raw doubles,
+    // adjacency via FormatExact) must lose nothing.
+    EXPECT_EQ(prediction.value().ToVector(), expected_->at(family)) << family;
+  }
+}
+
+TEST_F(ServeTest, BatchIsByteIdenticalAtOneTwoAndEightThreads) {
+  InferenceEngine engine = LoadEngineOrDie();
+  // Two requests per family so threads genuinely contend on shared models.
+  std::vector<ForecastRequest> requests;
+  for (const std::string& family : AllFamilies()) {
+    requests.push_back({family, *test_inputs_});
+    requests.push_back({family, *test_inputs_});
+  }
+  for (int64_t threads : {1, 2, 8}) {
+    common::ThreadPool::SetGlobalNumThreads(threads);
+    std::vector<Result<Tensor>> results = engine.ForecastBatch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << "threads=" << threads << " request " << i;
+      EXPECT_EQ(results[i].value().ToVector(),
+                expected_->at(requests[i].individual_id))
+          << "threads=" << threads << " request " << i;
+    }
+  }
+  common::ThreadPool::SetGlobalNumThreads(
+      static_cast<int64_t>(std::thread::hardware_concurrency()));
+}
+
+TEST_F(ServeTest, SteadyStateRequestsAreHeapAndTapeFree) {
+  InferenceEngine engine = LoadEngineOrDie();
+  for (const std::string& family : AllFamilies()) {
+    ASSERT_TRUE(engine.Forecast(family, *test_inputs_).ok());  // warm-up
+  }
+  tensor::InferenceArena::Stats warm = engine.arena_stats();
+  obs::Registry& registry = obs::Registry::Global();
+  uint64_t storage_allocs_before =
+      registry.GetCounter("tensor.storage_allocs")->value();
+  uint64_t gradfn_allocs_before =
+      registry.GetCounter("tensor.gradfn_allocs")->value();
+  for (const std::string& family : AllFamilies()) {
+    ASSERT_TRUE(engine.Forecast(family, *test_inputs_).ok());
+  }
+  tensor::InferenceArena::Stats steady = engine.arena_stats();
+  // Warm pool: the second pass recycles every buffer (no new misses) and
+  // allocates nothing on the heap; NoGradGuard keeps the tape empty.
+  EXPECT_EQ(steady.misses, warm.misses);
+  EXPECT_GT(steady.hits, warm.hits);
+  EXPECT_EQ(registry.GetCounter("tensor.storage_allocs")->value(),
+            storage_allocs_before);
+  EXPECT_EQ(registry.GetCounter("tensor.gradfn_allocs")->value(),
+            gradfn_allocs_before);
+}
+
+TEST_F(ServeTest, RequestAndLoadMetricsAreRecorded) {
+  obs::Registry& registry = obs::Registry::Global();
+  uint64_t requests_before =
+      registry.GetCounter("serve.requests_total")->value();
+  InferenceEngine engine = LoadEngineOrDie();
+  ASSERT_TRUE(engine.Forecast("LSTM", *test_inputs_).ok());
+  ASSERT_TRUE(engine.Forecast("VAR", *test_inputs_).ok());
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(registry.GetCounter("serve.requests_total")->value(),
+              requests_before + 2);
+    EXPECT_EQ(registry.GetGauge("serve.loaded_models")->value(), 5.0);
+    double hit_rate = registry.GetGauge("serve.arena_hit_rate")->value();
+    EXPECT_GE(hit_rate, 0.0);
+    EXPECT_LE(hit_rate, 1.0);
+    EXPECT_GE(registry
+                  .GetHistogram("serve.request_seconds",
+                                obs::DefaultSecondsBounds())
+                  ->count(),
+              2u);
+  }
+}
+
+TEST_F(ServeTest, UnknownIndividualIsNotFound) {
+  InferenceEngine engine = LoadEngineOrDie();
+  Result<Tensor> result = engine.Forecast("stranger", *test_inputs_);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, MissingAndEmptyDirectoriesAreNotFound) {
+  EXPECT_EQ(InferenceEngine::Load("/nonexistent/snapshots").status().code(),
+            StatusCode::kNotFound);
+  std::string empty_dir = ::testing::TempDir() + "/serve_empty";
+  std::filesystem::create_directories(empty_dir);
+  EXPECT_EQ(InferenceEngine::Load(empty_dir).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, LoadFaultSiteFailsTheLoad) {
+  if (!fault::kFaultInjectionEnabled) GTEST_SKIP();
+  ASSERT_TRUE(fault::Configure("serve.load=1", 1).ok());
+  Result<InferenceEngine> engine = InferenceEngine::Load(*dir_);
+  EXPECT_EQ(engine.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(fault::Configure("", 0).ok());
+}
+
+TEST_F(ServeTest, RequestFaultSiteFailsOnlyTheTargetedIndividual) {
+  if (!fault::kFaultInjectionEnabled) GTEST_SKIP();
+  InferenceEngine engine = LoadEngineOrDie();
+  ASSERT_TRUE(fault::Configure("serve.request/LSTM=1", 1).ok());
+  EXPECT_EQ(engine.Forecast("LSTM", *test_inputs_).status().code(),
+            StatusCode::kUnavailable);
+  // The site is scoped per individual: other ids keep serving.
+  EXPECT_TRUE(engine.Forecast("VAR", *test_inputs_).ok());
+  ASSERT_TRUE(fault::Configure("", 0).ok());
+}
+
+}  // namespace
+}  // namespace emaf::serve

@@ -1,0 +1,131 @@
+// Tape-absence tests (DESIGN.md, "Serving layer"): under NoGradGuard no op
+// attaches a grad_fn, and the tensor.gradfn_allocs counter proves the tape
+// is never even allocated — the property the serving path's cost model
+// rests on.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace emaf::tensor {
+namespace {
+
+uint64_t GradFnAllocs() {
+  return obs::Registry::Global().GetCounter("tensor.gradfn_allocs")->value();
+}
+
+// Every tensor an op family produces under NoGradGuard must be tape-free:
+// null grad_fn and TracksGrad() false, even though the inputs require grad.
+void ExpectTapeFree(const Tensor& t) {
+  ASSERT_TRUE(t.defined());
+  EXPECT_EQ(t.impl()->grad_fn, nullptr);
+  EXPECT_FALSE(t.TracksGrad());
+}
+
+class NoGradOpFamilyTest : public ::testing::Test {
+ protected:
+  NoGradOpFamilyTest() : rng_(91) {
+    x_ = Tensor::Uniform(Shape{2, 3}, 0.1, 1.0, &rng_).SetRequiresGrad(true);
+    y_ = Tensor::Uniform(Shape{2, 3}, 0.1, 1.0, &rng_).SetRequiresGrad(true);
+  }
+  Rng rng_;
+  Tensor x_;
+  Tensor y_;
+};
+
+TEST_F(NoGradOpFamilyTest, ElementwiseBinary) {
+  NoGradGuard guard;
+  ExpectTapeFree(Add(x_, y_));
+  ExpectTapeFree(Sub(x_, y_));
+  ExpectTapeFree(Mul(x_, y_));
+  ExpectTapeFree(Div(x_, y_));
+  ExpectTapeFree(Maximum(x_, y_));
+}
+
+TEST_F(NoGradOpFamilyTest, ElementwiseUnary) {
+  NoGradGuard guard;
+  ExpectTapeFree(Neg(x_));
+  ExpectTapeFree(Exp(x_));
+  ExpectTapeFree(Log(x_));
+  ExpectTapeFree(Sqrt(x_));
+  ExpectTapeFree(Pow(x_, 2.0));
+  ExpectTapeFree(Clamp(x_, 0.2, 0.8));
+  ExpectTapeFree(AddScalar(x_, 1.0));
+  ExpectTapeFree(MulScalar(x_, 2.0));
+}
+
+TEST_F(NoGradOpFamilyTest, MatMul) {
+  NoGradGuard guard;
+  ExpectTapeFree(MatMul(x_, TransposeLast2(y_)));
+}
+
+TEST_F(NoGradOpFamilyTest, Reductions) {
+  NoGradGuard guard;
+  ExpectTapeFree(Sum(x_));
+  ExpectTapeFree(Sum(x_, {1}, /*keepdim=*/false));
+  ExpectTapeFree(Mean(x_));
+  ExpectTapeFree(Mean(x_, {0}, /*keepdim=*/true));
+  ExpectTapeFree(Max(x_, 1, /*keepdim=*/false));
+}
+
+TEST_F(NoGradOpFamilyTest, ShapeOps) {
+  NoGradGuard guard;
+  ExpectTapeFree(Reshape(x_, Shape{3, 2}));
+  ExpectTapeFree(Transpose(x_, 0, 1));
+  ExpectTapeFree(Unsqueeze(x_, 0));
+  ExpectTapeFree(Slice(x_, 1, 0, 2));
+  ExpectTapeFree(Cat({x_, y_}, 0));
+  ExpectTapeFree(Stack({x_, y_}, 0));
+  ExpectTapeFree(BroadcastTo(Unsqueeze(x_, 0), Shape{4, 2, 3}));
+}
+
+TEST_F(NoGradOpFamilyTest, Activations) {
+  NoGradGuard guard;
+  ExpectTapeFree(Relu(x_));
+  ExpectTapeFree(LeakyRelu(x_, 0.1));
+  ExpectTapeFree(Sigmoid(x_));
+  ExpectTapeFree(Tanh(x_));
+  ExpectTapeFree(Softmax(x_, 1));
+  Rng dropout_rng(92);
+  ExpectTapeFree(Dropout(x_, 0.5, /*training=*/true, &dropout_rng));
+}
+
+TEST_F(NoGradOpFamilyTest, Losses) {
+  NoGradGuard guard;
+  ExpectTapeFree(MseLoss(x_, y_));
+  ExpectTapeFree(MaeLoss(x_, y_));
+  ExpectTapeFree(HuberLoss(x_, y_, 1.0));
+}
+
+TEST_F(NoGradOpFamilyTest, GradFnAllocCounterStaysFlatUnderNoGrad) {
+  uint64_t before = GradFnAllocs();
+  {
+    NoGradGuard guard;
+    Tensor h = Tanh(MatMul(x_, TransposeLast2(y_)));
+    Tensor loss = MseLoss(Sum(h, {1}, false), Tensor::Zeros(Shape{2}));
+    (void)loss;
+  }
+  // Not one GradFn node was built for the whole expression tree.
+  EXPECT_EQ(GradFnAllocs(), before);
+}
+
+TEST_F(NoGradOpFamilyTest, GradFnAllocCounterMovesWhenRecording) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP();
+  uint64_t before = GradFnAllocs();
+  Tensor loss = MseLoss(Tanh(MatMul(x_, TransposeLast2(y_))),
+                        Tensor::Zeros(Shape{2, 2}));
+  // Sanity check on the instrument itself: with grad mode on, the same
+  // expression allocates tape nodes (MatMul, Tanh, MseLoss at minimum).
+  EXPECT_GE(GradFnAllocs(), before + 3);
+  EXPECT_TRUE(loss.TracksGrad());
+}
+
+}  // namespace
+}  // namespace emaf::tensor
