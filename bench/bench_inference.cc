@@ -7,9 +7,19 @@
 // shared InferenceArena recycles buffers so steady-state requests
 // allocate nothing.
 //
+// A third pass measures the multi-tenant ModelStore under a constrained
+// budget: 32 tiny snapshots on disk, 8 resident, a Zipf-ish request mix
+// (rank r drawn with probability ~ 1/(r+1)), so the head of the
+// distribution stays warm while the tail churns through cold loads and
+// evictions. Each request is classified cold/warm by the cold_loads delta
+// around it, giving the cold-load vs warm-acquire latency split.
+//
 // Emits BENCH_inference.json (EMAF_BENCH_JSON_DIR, default cwd):
 //   {"bench": "inference", ..., "no_arena": {"p50_seconds", "p99_seconds",
-//    "allocs_per_request"}, "arena": {...}, "arena_hit_rate"}
+//    "allocs_per_request"}, "arena": {...}, "arena_hit_rate",
+//    "store": {"models_on_disk", "max_resident", "requests",
+//     "cold": {"p50_seconds", "p99_seconds"}, "warm": {...},
+//     "hit_rate", "cold_loads", "evictions"}}
 // allocs_per_request comes from the tensor.storage_allocs counter and is
 // reported as -1 when the build has metrics compiled out.
 //
@@ -35,6 +45,7 @@
 #include "models/registry.h"
 #include "models/var_forecaster.h"
 #include "serve/inference_engine.h"
+#include "serve/model_store.h"
 #include "tensor/ops.h"
 
 namespace emaf {
@@ -92,6 +103,103 @@ PassStats TimedPass(const std::vector<std::string>& ids, int64_t requests,
         static_cast<double>(requests);
   }
   return stats;
+}
+
+struct StoreStats {
+  double cold_p50 = 0.0, cold_p99 = 0.0;
+  double warm_p50 = 0.0, warm_p99 = 0.0;
+  double hit_rate = 0.0;
+  uint64_t cold_loads = 0;
+  uint64_t evictions = 0;
+  int64_t models_on_disk = 0;
+  int64_t max_resident = 0;
+  int64_t requests = 0;
+};
+
+// Constrained-budget scenario: many tenants, few residency slots, skewed
+// traffic. Models are tiny and untrained — store behavior (lock shards,
+// LRU bookkeeping, snapshot reads) is what's being measured, not kernels.
+StoreStats RunStoreScenario(int64_t requests) {
+  constexpr int64_t kTenants = 32;
+  constexpr int64_t kBudget = 8;
+  constexpr int64_t kVars = 3;
+  constexpr int64_t kSteps = 2;
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "emaf_bench_model_store";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  for (int64_t i = 0; i < kTenants; ++i) {
+    models::ModelConfig config;
+    config.family = "LSTM";
+    config.num_variables = kVars;
+    config.input_length = kSteps;
+    config.lstm.hidden_units = 4;
+    Rng rng(2000 + static_cast<uint64_t>(i));
+    std::unique_ptr<models::Forecaster> model =
+        models::CreateForecasterOrDie(config, &rng);
+    std::string id = StrCat("t", i < 10 ? "0" : "", i);
+    Status saved = models::SaveForecasterSnapshot(
+        model.get(), config, (dir / (id + ".snapshot")).string());
+    EMAF_CHECK(saved.ok()) << saved.ToString();
+  }
+
+  serve::ModelStoreOptions options;
+  options.max_resident_models = kBudget;
+  Result<serve::ModelStore> store =
+      serve::ModelStore::Open(dir.string(), options);
+  EMAF_CHECK(store.ok()) << store.status().ToString();
+  std::vector<std::string> ids = store.value().individual_ids();
+
+  // Zipf-ish CDF over tenant ranks: weight(r) = 1/(r+1).
+  std::vector<double> cdf(ids.size());
+  double total = 0.0;
+  for (size_t r = 0; r < ids.size(); ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  Rng mix_rng(4242);
+  tensor::Tensor window = tensor::Tensor::Uniform(
+      tensor::Shape{1, kSteps, kVars}, -1, 1, &mix_rng);
+  std::vector<double> cold_latencies;
+  std::vector<double> warm_latencies;
+  for (int64_t r = 0; r < requests; ++r) {
+    double u = mix_rng.Uniform();
+    size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    rank = std::min(rank, ids.size() - 1);
+    uint64_t cold_before = store.value().stats().cold_loads;
+    auto start = std::chrono::steady_clock::now();
+    Result<serve::ModelHandle> handle = store.value().Get(ids[rank]);
+    EMAF_CHECK(handle.ok()) << handle.status().ToString();
+    core::Predict(handle.value().get(), window);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    bool cold = store.value().stats().cold_loads != cold_before;
+    (cold ? cold_latencies : warm_latencies).push_back(seconds);
+  }
+
+  serve::ModelStore::Stats stats = store.value().stats();
+  StoreStats result;
+  std::sort(cold_latencies.begin(), cold_latencies.end());
+  std::sort(warm_latencies.begin(), warm_latencies.end());
+  result.cold_p50 = Quantile(cold_latencies, 0.5);
+  result.cold_p99 = Quantile(cold_latencies, 0.99);
+  result.warm_p50 = Quantile(warm_latencies, 0.5);
+  result.warm_p99 = Quantile(warm_latencies, 0.99);
+  result.hit_rate = stats.lookups == 0
+                        ? 0.0
+                        : static_cast<double>(stats.warm_hits) /
+                              static_cast<double>(stats.lookups);
+  result.cold_loads = stats.cold_loads;
+  result.evictions = stats.evictions;
+  result.models_on_disk = kTenants;
+  result.max_resident = kBudget;
+  result.requests = requests;
+  std::filesystem::remove_all(dir);
+  return result;
 }
 
 void Run() {
@@ -172,6 +280,8 @@ void Run() {
           : static_cast<double>(arena_stats.hits) /
                 static_cast<double>(arena_stats.hits + arena_stats.misses);
 
+  StoreStats store = RunStoreScenario(requests);
+
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -182,7 +292,17 @@ void Run() {
       ", \"requests\": ", requests, ", \"families\": ", ids.size(),
       ", \"no_arena\": ", PassJson(no_arena),
       ", \"arena\": ", PassJson(arena),
-      ", \"arena_hit_rate\": ", hit_rate, "}");
+      ", \"arena_hit_rate\": ", hit_rate,
+      ", \"store\": {\"models_on_disk\": ", store.models_on_disk,
+      ", \"max_resident\": ", store.max_resident,
+      ", \"requests\": ", store.requests,
+      ", \"cold\": {\"p50_seconds\": ", store.cold_p50,
+      ", \"p99_seconds\": ", store.cold_p99,
+      "}, \"warm\": {\"p50_seconds\": ", store.warm_p50,
+      ", \"p99_seconds\": ", store.warm_p99,
+      "}, \"hit_rate\": ", store.hit_rate,
+      ", \"cold_loads\": ", store.cold_loads,
+      ", \"evictions\": ", store.evictions, "}}");
 
   std::cout << "requests per pass: " << requests << " across " << ids.size()
             << " families\n"
@@ -192,7 +312,14 @@ void Run() {
             << "arena:    p50 " << arena.p50_seconds * 1e6 << "us, p99 "
             << arena.p99_seconds * 1e6 << "us, allocs/request "
             << arena.allocs_per_request << " (hit rate "
-            << FormatFixed(hit_rate, 4) << ")\n";
+            << FormatFixed(hit_rate, 4) << ")\n"
+            << "store (" << store.max_resident << " of "
+            << store.models_on_disk << " resident): cold p50 "
+            << store.cold_p50 * 1e6 << "us, p99 " << store.cold_p99 * 1e6
+            << "us; warm p50 " << store.warm_p50 * 1e6 << "us, p99 "
+            << store.warm_p99 * 1e6 << "us; hit rate "
+            << FormatFixed(store.hit_rate, 4) << ", " << store.cold_loads
+            << " cold loads, " << store.evictions << " evictions\n";
   std::cout << "\n[json] " << json << "\n";
 
   std::string json_dir = GetEnvString("EMAF_BENCH_JSON_DIR", ".");

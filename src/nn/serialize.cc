@@ -11,8 +11,8 @@ namespace emaf::nn {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'M', 'A', 'F'};
-constexpr uint32_t kVersionNoConfig = 1;
-constexpr uint32_t kVersionWithConfig = 2;
+constexpr uint32_t kVersionNoConfig = kSnapshotVersionParamsOnly;
+constexpr uint32_t kVersionWithConfig = kSnapshotVersionWithConfig;
 // Config blobs are small text (a ModelConfig is well under a kilobyte even
 // with an embedded adjacency for V ~ 100); anything larger is corruption.
 constexpr uint64_t kMaxConfigBytes = 64ULL << 20;
@@ -175,6 +175,25 @@ Result<std::string> ReadSnapshotConfig(const std::string& path) {
   std::string config;
   EMAF_RETURN_IF_ERROR(ReadHeader(in, path, &config));
   return config;
+}
+
+Result<uint32_t> ReadSnapshotVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open for reading: ", path));
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::string(magic, 4) != std::string(kMagic, 4)) {
+    return Status::InvalidArgument(StrCat("bad checkpoint magic in ", path));
+  }
+  uint32_t version = 0;
+  if (!ReadU32(in, &version) ||
+      (version != kVersionNoConfig && version != kVersionWithConfig)) {
+    return Status::InvalidArgument(
+        StrCat("unsupported checkpoint version in ", path));
+  }
+  return version;
 }
 
 }  // namespace emaf::nn

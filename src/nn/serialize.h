@@ -23,6 +23,11 @@
 
 namespace emaf::nn {
 
+// Snapshot format versions (see the format comment above): v1 = params
+// only, v2 = embedded config. New files are always written as v2.
+inline constexpr uint32_t kSnapshotVersionParamsOnly = 1;
+inline constexpr uint32_t kSnapshotVersionWithConfig = 2;
+
 // Writes every named parameter of `module` to `path` (v2, empty config).
 Status SaveParameters(Module* module, const std::string& path);
 
@@ -38,6 +43,10 @@ Status LoadParameters(Module* module, const std::string& path);
 // Returns the config blob embedded in a snapshot; empty string for a v1
 // file or a v2 file saved without a config.
 Result<std::string> ReadSnapshotConfig(const std::string& path);
+
+// Returns the format version of a snapshot (1 or 2) without reading its
+// parameters — lets callers report a config-less v1 file precisely.
+Result<uint32_t> ReadSnapshotVersion(const std::string& path);
 
 }  // namespace emaf::nn
 

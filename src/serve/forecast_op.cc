@@ -1,0 +1,31 @@
+#include "serve/forecast_op.h"
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "core/evaluator.h"
+
+namespace emaf::serve {
+
+Result<tensor::Tensor> ExecuteForecast(models::Forecaster* model,
+                                       const std::string& individual_id,
+                                       const tensor::Tensor& window,
+                                       tensor::InferenceArena* arena) {
+  EMAF_METRIC_SCOPED_TIMER("serve.request_seconds");
+  EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
+  if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.request/", individual_id))) {
+    return Status::Unavailable(
+        StrCat("injected fault: serve.request/", individual_id));
+  }
+  tensor::Tensor prediction;
+  {
+    // Every tensor the forward pass allocates draws from the pool; the
+    // buffers return as the intermediates die, so a steady-state request
+    // performs zero heap allocation.
+    tensor::ArenaScope scope(arena);
+    prediction = core::Predict(model, window);
+  }
+  return prediction;
+}
+
+}  // namespace emaf::serve

@@ -1,0 +1,40 @@
+// The one forecast operation every serving path executes, factored out so
+// the direct engine path and the scheduler's micro-batch path share a
+// single definition of the request contract:
+//
+//   - metrics: serve.requests_total is bumped and serve.request_seconds
+//     observed for every executed request, whichever path ran it;
+//   - fault site serve.request/<id> fails exactly this request;
+//   - the forward runs inside an ArenaScope on the caller-provided pool
+//     and through core::Predict (tape-free, write-free on eval models).
+//
+// Callers hand in an already-resident model (a pinned ModelStore handle or
+// an eagerly loaded engine model); this layer never loads or evicts.
+
+#ifndef EMAF_SERVE_FORECAST_OP_H_
+#define EMAF_SERVE_FORECAST_OP_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "models/forecaster.h"
+#include "tensor/arena.h"
+#include "tensor/tensor.h"
+
+namespace emaf::serve {
+
+struct ForecastRequest {
+  std::string individual_id;
+  tensor::Tensor window;  // [B, L, V]
+};
+
+// One forecast: window [B, L, V] -> [B, V]. `model` must be non-null and
+// in eval mode; `arena` may be null to run on the plain heap.
+Result<tensor::Tensor> ExecuteForecast(models::Forecaster* model,
+                                       const std::string& individual_id,
+                                       const tensor::Tensor& window,
+                                       tensor::InferenceArena* arena);
+
+}  // namespace emaf::serve
+
+#endif  // EMAF_SERVE_FORECAST_OP_H_

@@ -1,17 +1,13 @@
 #include "serve/inference_engine.h"
 
-#include <algorithm>
-#include <filesystem>
+#include <map>
+#include <optional>
 #include <utility>
 
-#include "common/check.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
-#include "common/rng.h"
 #include "common/string_util.h"
-#include "common/thread_pool.h"
-#include "core/evaluator.h"
-#include "models/registry.h"
+#include "serve/scheduler.h"
 
 namespace emaf::serve {
 
@@ -27,93 +23,101 @@ namespace {
 
 }  // namespace
 
+// Heap-allocated so the scheduler's pointers into the store/arena/clock
+// survive moves of the engine value.
+struct InferenceEngine::State {
+  EngineOptions options;
+  std::optional<ModelStore> store;
+  tensor::InferenceArena arena;
+  ManualClock clock;
+  // Eager mode: one pinned handle per id keeps every model resident and
+  // its model() pointer stable. Empty in budgeted mode.
+  std::map<std::string, ModelHandle> pinned;
+  std::unique_ptr<RequestScheduler> scheduler;
+
+  void UpdateServeGauges() {
+    EMAF_METRIC_GAUGE_SET(
+        "serve.loaded_models",
+        static_cast<double>(store->stats().resident_models));
+    EMAF_METRIC_GAUGE_SET("serve.arena_hit_rate", HitRate(arena.stats()));
+  }
+};
+
+InferenceEngine::InferenceEngine() : state_(std::make_unique<State>()) {}
+InferenceEngine::InferenceEngine(InferenceEngine&&) noexcept = default;
+InferenceEngine& InferenceEngine::operator=(InferenceEngine&&) noexcept =
+    default;
+InferenceEngine::~InferenceEngine() = default;
+
 Result<InferenceEngine> InferenceEngine::Load(const std::string& snapshot_dir,
                                               const EngineOptions& options) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(snapshot_dir, ec) || ec) {
-    return Status::NotFound(
-        StrCat("snapshot directory not found: ", snapshot_dir));
-  }
-  std::vector<fs::path> files;
-  for (const fs::directory_entry& entry :
-       fs::directory_iterator(snapshot_dir, ec)) {
-    if (entry.path().extension() == options.extension) {
-      files.push_back(entry.path());
-    }
-  }
-  if (ec) {
-    return Status::Internal(
-        StrCat("cannot list snapshot directory ", snapshot_dir, ": ",
-               ec.message()));
-  }
-  // Directory iteration order is unspecified; sort for determinism.
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
-    return Status::NotFound(StrCat("no *", options.extension,
-                                   " snapshots in ", snapshot_dir));
-  }
-
   InferenceEngine engine;
-  for (const fs::path& path : files) {
-    std::string filename = path.filename().string();
-    if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.load/", filename))) {
-      return Status::Unavailable(
-          StrCat("injected fault: serve.load/", filename));
+  State& state = *engine.state_;
+  state.options = options;
+
+  ModelStoreOptions store_options;
+  store_options.extension = options.extension;
+  store_options.seed = options.seed;
+  store_options.max_resident_models = options.max_resident_models;
+  store_options.max_resident_bytes = options.max_resident_bytes;
+  Result<ModelStore> store = ModelStore::Open(snapshot_dir, store_options);
+  if (!store.ok()) return store.status();
+  state.store.emplace(std::move(store).value());
+
+  const bool eager =
+      options.max_resident_models <= 0 && options.max_resident_bytes <= 0;
+  if (eager) {
+    for (const std::string& id : state.store->individual_ids()) {
+      // The PR-4 fault site keyed by filename, kept for compatibility
+      // (the store's own site is serve.store.load/<id>).
+      std::string filename = StrCat(id, options.extension);
+      if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.load/", filename))) {
+        return Status::Unavailable(
+            StrCat("injected fault: serve.load/", filename));
+      }
+      Result<ModelHandle> handle = state.store->Get(id);
+      if (!handle.ok()) return handle.status();
+      state.pinned.emplace(id, std::move(handle).value());
     }
-    Rng rng(options.seed);
-    Result<std::unique_ptr<models::Forecaster>> model =
-        models::LoadForecasterSnapshot(path.string(), &rng);
-    if (!model.ok()) {
-      return Status(model.status().code(),
-                    StrCat("loading ", filename, ": ",
-                           model.status().message()));
-    }
-    // Eval mode is set exactly once, here: the request path never writes
-    // to the module tree, which is what makes concurrent requests against
-    // one model race-free (core::Predict).
-    model.value()->SetTraining(false);
-    engine.models_.emplace(path.stem().string(), std::move(model).value());
   }
-  EMAF_METRIC_GAUGE_SET("serve.loaded_models",
-                        static_cast<double>(engine.models_.size()));
+  state.UpdateServeGauges();
+
+  SchedulerOptions scheduler_options;
+  scheduler_options.max_queue = 0;  // ForecastBatch never rejects
+  // One micro-batch per ForecastBatch call: the whole request vector fans
+  // out at once, exactly the PR-4 dispatch shape.
+  scheduler_options.max_batch = int64_t{1} << 30;
+  scheduler_options.max_delay_ticks = 0;
+  state.scheduler = std::make_unique<RequestScheduler>(
+      &*state.store, &state.arena, scheduler_options, &state.clock);
   return engine;
 }
 
+int64_t InferenceEngine::num_models() const {
+  return state_->store->num_known_models();
+}
+
 std::vector<std::string> InferenceEngine::individual_ids() const {
-  std::vector<std::string> ids;
-  ids.reserve(models_.size());
-  for (const auto& [id, unused] : models_) ids.push_back(id);
-  return ids;
+  return state_->store->individual_ids();
 }
 
 models::Forecaster* InferenceEngine::model(const std::string& id) const {
-  auto it = models_.find(id);
-  return it == models_.end() ? nullptr : it->second.get();
+  auto it = state_->pinned.find(id);
+  return it == state_->pinned.end() ? nullptr : it->second.get();
 }
 
 Result<tensor::Tensor> InferenceEngine::Forecast(
     const std::string& individual_id, const tensor::Tensor& window) {
-  EMAF_METRIC_SCOPED_TIMER("serve.request_seconds");
-  EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
-  auto it = models_.find(individual_id);
-  if (it == models_.end()) {
-    return Status::NotFound(
-        StrCat("no model loaded for individual: ", individual_id));
+  Result<ModelHandle> handle = state_->store->Get(individual_id);
+  if (!handle.ok()) {
+    // Keep serve.requests_total covering every request, including ones
+    // that fail before execution (unknown id, budget, load fault).
+    EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
+    return handle.status();
   }
-  if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.request/", individual_id))) {
-    return Status::Unavailable(
-        StrCat("injected fault: serve.request/", individual_id));
-  }
-  tensor::Tensor prediction;
-  {
-    // Every tensor allocated by the forward pass draws from the shared
-    // pool; the buffers return to it as the intermediates die, so a
-    // steady-state request performs zero heap allocation.
-    tensor::ArenaScope scope(&arena_);
-    prediction = core::Predict(it->second.get(), window);
-  }
-  EMAF_METRIC_GAUGE_SET("serve.arena_hit_rate", HitRate(arena_.stats()));
+  Result<tensor::Tensor> prediction = ExecuteForecast(
+      handle.value().get(), individual_id, window, &state_->arena);
+  state_->UpdateServeGauges();
   return prediction;
 }
 
@@ -122,19 +126,26 @@ std::vector<Result<tensor::Tensor>> InferenceEngine::ForecastBatch(
   std::vector<Result<tensor::Tensor>> results(
       requests.size(), Status::Internal("request not executed"));
   if (requests.empty()) return results;
-  // Requests are independent and each writes its own pre-sized slot, so
-  // any schedule produces bitwise the serial result (DESIGN.md, "Parallel
-  // execution model").
-  common::ThreadPool::Global().ParallelFor(
-      0, static_cast<int64_t>(requests.size()), /*grain=*/1,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          const ForecastRequest& request = requests[static_cast<size_t>(i)];
-          results[static_cast<size_t>(i)] =
-              Forecast(request.individual_id, request.window);
-        }
-      });
+  std::vector<RequestTicket> tickets;
+  tickets.reserve(requests.size());
+  for (const ForecastRequest& request : requests) {
+    Result<RequestTicket> ticket = state_->scheduler->Submit(request);
+    // The engine's scheduler queue is unbounded, so Submit cannot reject.
+    tickets.push_back(std::move(ticket).value());
+  }
+  state_->scheduler->Flush();
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    results[i] = tickets[i].result();
+  }
+  state_->UpdateServeGauges();
   return results;
 }
+
+tensor::InferenceArena::Stats InferenceEngine::arena_stats() const {
+  return state_->arena.stats();
+}
+
+ModelStore& InferenceEngine::store() { return *state_->store; }
+const ModelStore& InferenceEngine::store() const { return *state_->store; }
 
 }  // namespace emaf::serve

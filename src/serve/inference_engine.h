@@ -1,38 +1,41 @@
-// InferenceEngine: the serving half of the train/serve split (DESIGN.md,
-// "Serving layer").
+// InferenceEngine: the serving facade (DESIGN.md, "Serving layer" and
+// "Model store & scheduler").
 //
-// A training process saves one snapshot per individual via
-// models::SaveForecasterSnapshot; the engine loads a directory of those
-// snapshots, rebuilds every model from its embedded config, puts it in
-// eval mode once, and then answers 1-lag forecast requests:
+// Since the model-store split the engine is a thin composition of the two
+// serving primitives: a serve::ModelStore owns which models are resident
+// (lazy loading, refcounted pins, LRU eviction under a budget) and a
+// serve::RequestScheduler owns batching. The engine's PR-4 public API and
+// metric names (serve.requests_total, serve.request_seconds,
+// serve.loaded_models, serve.arena_hit_rate) and fault sites
+// (serve.load/<file>, serve.request/<id>) are unchanged.
 //
-//   - tape-free: every forward runs under NoGradGuard (core::Predict), so
-//     no GradFn node is ever allocated on the serve path;
-//   - allocation-free at steady state: all requests run inside the
-//     engine's shared tensor::InferenceArena, so after the first (warm-up)
-//     request per model every tensor buffer is recycled from the pool;
-//   - write-free on models: eval mode is set at load time and
-//     core::Predict never touches the training flag of a model already in
-//     eval mode, so concurrent requests against one model are race-free;
-//   - deterministic: a request's bytes equal Evaluator's prediction for
-//     the same model and window, at any thread count.
+// Two residency modes, selected by EngineOptions:
+//   - eager (default, both budgets unlimited): Load() cold-loads every
+//     snapshot up front and pins it resident forever — exactly the PR-4
+//     engine. model() returns stable pointers; nothing is ever evicted.
+//   - budgeted (a budget set): Load() only lists the directory; models
+//     load on first request and the least-recently-used idle ones are
+//     evicted when the budget is exceeded. Served bytes are identical to
+//     eager mode for any eviction/reload schedule (snapshot round-trips
+//     are bit-exact), which the anchor test proves per model family.
 //
-// Instrumentation: serve.request_seconds (histogram),
-// serve.requests_total (counter), serve.loaded_models and
-// serve.arena_hit_rate (gauges). Fault sites: serve.load/<file> fails a
-// snapshot load, serve.request/<id> fails one request.
+// Request guarantees (inherited from the PR-4 engine, now enforced in
+// serve::ExecuteForecast): tape-free (NoGradGuard), allocation-free at
+// steady state (shared InferenceArena), write-free on eval-mode models,
+// and batch outputs bitwise identical at any thread count.
 
 #ifndef EMAF_SERVE_INFERENCE_ENGINE_H_
 #define EMAF_SERVE_INFERENCE_ENGINE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "models/forecaster.h"
+#include "serve/forecast_op.h"
+#include "serve/model_store.h"
 #include "tensor/arena.h"
 #include "tensor/tensor.h"
 
@@ -46,52 +49,63 @@ struct EngineOptions {
   // weight is overwritten by the snapshot load — but fixed so the engine
   // itself is deterministic.
   uint64_t seed = 0x5e59edULL;
-};
-
-struct ForecastRequest {
-  std::string individual_id;
-  tensor::Tensor window;  // [B, L, V]
+  // Residency budgets, forwarded to the ModelStore. <= 0 = unlimited;
+  // both unlimited selects eager mode (load-and-pin-everything, the PR-4
+  // behavior). See ModelStoreOptions for the budget semantics.
+  int64_t max_resident_models = 0;
+  int64_t max_resident_bytes = 0;
 };
 
 class InferenceEngine {
  public:
-  // Loads every `<id><extension>` file in `snapshot_dir`, sorted by
-  // filename. Fails if the directory is missing, holds no snapshots, or
-  // any snapshot is unreadable (fault site serve.load/<filename>).
+  // Opens the snapshot directory. Eager mode additionally loads every
+  // `<id><extension>` file, sorted by filename, and fails if any snapshot
+  // is unreadable (fault site serve.load/<filename>); budgeted mode
+  // defers loading (and load errors) to the first request per id. Fails
+  // if the directory is missing or holds no snapshots.
   static Result<InferenceEngine> Load(const std::string& snapshot_dir,
                                       const EngineOptions& options = {});
 
-  InferenceEngine(InferenceEngine&&) = default;
-  InferenceEngine& operator=(InferenceEngine&&) = default;
+  InferenceEngine(InferenceEngine&&) noexcept;
+  InferenceEngine& operator=(InferenceEngine&&) noexcept;
+  ~InferenceEngine();
 
-  int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
-  // Sorted ids of the loaded individuals.
+  // Snapshots known in the directory (all resident in eager mode).
+  int64_t num_models() const;
+  // Sorted ids of the known individuals.
   std::vector<std::string> individual_ids() const;
-  // The loaded model for `id`; nullptr when unknown. Models are in eval
-  // mode; callers must not mutate them.
+  // Eager mode: the pinned model for `id` (stable for the engine's
+  // lifetime), nullptr when unknown. Budgeted mode: always nullptr —
+  // residency is transient, so callers must go through Forecast, which
+  // pins the model for the duration of the request.
   models::Forecaster* model(const std::string& id) const;
 
   // One forecast: window [B, L, V] -> [B, V]. NotFound for an unknown id;
-  // Unavailable when fault site serve.request/<id> fires.
+  // Unavailable when fault site serve.request/<id> fires; in budgeted
+  // mode also kResourceExhausted when the budget is exceeded and every
+  // resident model is pinned.
   Result<tensor::Tensor> Forecast(const std::string& individual_id,
                                   const tensor::Tensor& window);
 
-  // Runs a batch of requests concurrently on the global ThreadPool.
-  // Results align with `requests`; each request computes independently
-  // into its own slot, so the output is bitwise identical at any thread
-  // count.
+  // Runs a batch of requests through the scheduler as one micro-batch on
+  // the global ThreadPool. Results align with `requests`; each request
+  // computes independently into its own slot, so the output is bitwise
+  // identical at any thread count.
   std::vector<Result<tensor::Tensor>> ForecastBatch(
       const std::vector<ForecastRequest>& requests);
 
   // Buffer-pool statistics of the engine's arena (hit rate, outstanding).
-  tensor::InferenceArena::Stats arena_stats() const { return arena_.stats(); }
+  tensor::InferenceArena::Stats arena_stats() const;
+
+  // The underlying model store — residency stats, EvictIdle, etc.
+  ModelStore& store();
+  const ModelStore& store() const;
 
  private:
-  InferenceEngine() = default;
+  InferenceEngine();
 
-  std::map<std::string, std::unique_ptr<models::Forecaster>> models_;
-  // Shared by all request threads; Acquire/release are briefly locked.
-  tensor::InferenceArena arena_;
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace emaf::serve

@@ -1,0 +1,445 @@
+#include "serve/model_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "models/registry.h"
+
+namespace emaf::serve {
+
+namespace internal {
+
+struct StoreEntry {
+  std::string id;
+  std::string path;
+  int64_t file_bytes = 0;
+  size_t shard = 0;
+
+  // Guarded by the owning shard's mutex.
+  std::shared_ptr<models::Forecaster> model;
+  bool loading = false;
+
+  // Lock-free: pins are released and recency stamped without the shard
+  // lock; eviction re-reads both under it.
+  std::atomic<int64_t> pins{0};
+  std::atomic<uint64_t> last_used{0};
+
+  // Shared with the store's Impl so a handle outliving the store can
+  // still stamp recency on release.
+  std::shared_ptr<std::atomic<uint64_t>> tick;
+};
+
+}  // namespace internal
+
+using internal::StoreEntry;
+
+// --- ModelHandle -----------------------------------------------------------
+
+ModelHandle::ModelHandle(std::shared_ptr<StoreEntry> entry,
+                         std::shared_ptr<models::Forecaster> model)
+    : entry_(std::move(entry)), model_(std::move(model)) {}
+
+ModelHandle::ModelHandle(ModelHandle&& other) noexcept
+    : entry_(std::move(other.entry_)), model_(std::move(other.model_)) {
+  other.entry_.reset();
+  other.model_.reset();
+}
+
+ModelHandle& ModelHandle::operator=(ModelHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    entry_ = std::move(other.entry_);
+    model_ = std::move(other.model_);
+    other.entry_.reset();
+    other.model_.reset();
+  }
+  return *this;
+}
+
+ModelHandle::~ModelHandle() { Release(); }
+
+void ModelHandle::Release() {
+  if (entry_ == nullptr) return;
+  // Recency reflects end-of-use, so a model released last is evicted last.
+  entry_->last_used.store(
+      entry_->tick->fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  entry_->pins.fetch_sub(1, std::memory_order_release);
+  entry_.reset();
+  model_.reset();
+}
+
+const std::string& ModelHandle::id() const {
+  EMAF_CHECK(entry_ != nullptr) << "id() on an empty ModelHandle";
+  return entry_->id;
+}
+
+// --- ModelStore::Impl ------------------------------------------------------
+
+struct ModelStore::Impl {
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::string, std::shared_ptr<StoreEntry>> entries;
+  };
+
+  ModelStoreOptions options;
+  std::vector<std::string> ids;  // sorted
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::shared_ptr<std::atomic<uint64_t>> tick =
+      std::make_shared<std::atomic<uint64_t>>(0);
+
+  std::atomic<int64_t> resident_models{0};
+  std::atomic<int64_t> resident_bytes{0};
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<uint64_t> warm_hits{0};
+  std::atomic<uint64_t> cold_loads{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> load_failures{0};
+  std::atomic<uint64_t> exhausted{0};
+
+  Shard& ShardFor(const std::string& id) {
+    return *shards[std::hash<std::string>{}(id) % shards.size()];
+  }
+
+  uint64_t NextTick() {
+    return tick->fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  bool OverBudget(int64_t extra_models, int64_t extra_bytes) const {
+    if (options.max_resident_models > 0 &&
+        resident_models.load(std::memory_order_relaxed) + extra_models >
+            options.max_resident_models) {
+      return true;
+    }
+    if (options.max_resident_bytes > 0 &&
+        resident_bytes.load(std::memory_order_relaxed) + extra_bytes >
+            options.max_resident_bytes) {
+      return true;
+    }
+    return false;
+  }
+
+  // Evicts the globally least-recently-used idle resident model (ties
+  // break toward the smaller id). Entries in `skip` are passed over —
+  // that's how a fault-injected eviction failure is handled without
+  // retrying the same victim forever. Returns false when nothing is
+  // evictable.
+  bool EvictLruIdle(std::set<std::string>* skip) {
+    while (true) {
+      // Phase 1: scan for a candidate, one shard lock at a time (no path
+      // in the store ever holds two locks).
+      std::shared_ptr<StoreEntry> victim;
+      uint64_t victim_tick = 0;
+      for (const std::unique_ptr<Shard>& shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        for (const auto& [id, entry] : shard->entries) {
+          if (entry->model == nullptr || entry->loading) continue;
+          if (entry->pins.load(std::memory_order_acquire) != 0) continue;
+          if (skip->count(id) != 0) continue;
+          uint64_t t = entry->last_used.load(std::memory_order_relaxed);
+          if (victim == nullptr || t < victim_tick ||
+              (t == victim_tick && entry->id < victim->id)) {
+            victim = entry;
+            victim_tick = t;
+          }
+        }
+      }
+      if (victim == nullptr) return false;
+      // Phase 2: re-validate under the victim's shard lock; a concurrent
+      // Get may have pinned or refreshed it since the scan.
+      bool evicted = false;
+      {
+        Shard& shard = *shards[victim->shard];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (victim->model == nullptr || victim->loading ||
+            victim->pins.load(std::memory_order_acquire) != 0 ||
+            victim->last_used.load(std::memory_order_relaxed) !=
+                victim_tick) {
+          continue;  // state moved under us; pick again
+        }
+        if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.store.evict/", victim->id))) {
+          skip->insert(victim->id);
+          continue;  // victim is non-evictable this pass
+        }
+        victim->model.reset();
+        resident_models.fetch_sub(1, std::memory_order_relaxed);
+        resident_bytes.fetch_sub(victim->file_bytes,
+                                 std::memory_order_relaxed);
+        evicted = true;
+      }
+      if (evicted) {
+        evictions.fetch_add(1, std::memory_order_relaxed);
+        EMAF_METRIC_COUNTER_ADD("serve.store.evictions_total", 1);
+        UpdateGauges();
+        return true;
+      }
+    }
+  }
+
+  // Makes room for one more resident model of `extra_bytes`, evicting LRU
+  // idle models as needed. kResourceExhausted when over budget with
+  // nothing evictable.
+  Status EnsureBudgetFor(int64_t extra_bytes) {
+    std::set<std::string> skip;
+    while (OverBudget(/*extra_models=*/1, extra_bytes)) {
+      if (!EvictLruIdle(&skip)) {
+        exhausted.fetch_add(1, std::memory_order_relaxed);
+        EMAF_METRIC_COUNTER_ADD("serve.store.exhausted_total", 1);
+        return Status::ResourceExhausted(StrCat(
+            "model budget exhausted (resident_models=",
+            resident_models.load(std::memory_order_relaxed),
+            ", resident_bytes=",
+            resident_bytes.load(std::memory_order_relaxed),
+            ", max_resident_models=", options.max_resident_models,
+            ", max_resident_bytes=", options.max_resident_bytes,
+            ") and no idle model to evict"));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Best-effort convergence after concurrent admissions raced past the
+  // budget check together; never fails the request that just loaded.
+  void TrimOverBudget() {
+    std::set<std::string> skip;
+    while (OverBudget(/*extra_models=*/0, /*extra_bytes=*/0)) {
+      if (!EvictLruIdle(&skip)) return;
+    }
+  }
+
+  void UpdateGauges() {
+    EMAF_METRIC_GAUGE_SET(
+        "serve.store.resident_models",
+        static_cast<double>(resident_models.load(std::memory_order_relaxed)));
+    EMAF_METRIC_GAUGE_SET(
+        "serve.store.resident_bytes",
+        static_cast<double>(resident_bytes.load(std::memory_order_relaxed)));
+  }
+
+  void UpdateHitRate() {
+    uint64_t total = lookups.load(std::memory_order_relaxed);
+    if (total == 0) return;
+    EMAF_METRIC_GAUGE_SET(
+        "serve.store.hit_rate",
+        static_cast<double>(warm_hits.load(std::memory_order_relaxed)) /
+            static_cast<double>(total));
+  }
+};
+
+// --- ModelStore ------------------------------------------------------------
+
+ModelStore::ModelStore() : impl_(std::make_unique<Impl>()) {}
+ModelStore::ModelStore(ModelStore&&) noexcept = default;
+ModelStore& ModelStore::operator=(ModelStore&&) noexcept = default;
+ModelStore::~ModelStore() = default;
+
+Result<ModelStore> ModelStore::Open(const std::string& snapshot_dir,
+                                    const ModelStoreOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(snapshot_dir, ec) || ec) {
+    return Status::NotFound(
+        StrCat("snapshot directory not found: ", snapshot_dir));
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(snapshot_dir, ec)) {
+    if (entry.path().extension() == options.extension) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::Internal(StrCat("cannot list snapshot directory ",
+                                   snapshot_dir, ": ", ec.message()));
+  }
+  if (files.empty()) {
+    return Status::NotFound(
+        StrCat("no *", options.extension, " snapshots in ", snapshot_dir));
+  }
+  // Directory iteration order is unspecified; sort for determinism.
+  std::sort(files.begin(), files.end());
+
+  ModelStore store;
+  Impl& impl = *store.impl_;
+  impl.options = options;
+  impl.options.num_shards = std::max<int64_t>(1, options.num_shards);
+  impl.shards.reserve(static_cast<size_t>(impl.options.num_shards));
+  for (int64_t i = 0; i < impl.options.num_shards; ++i) {
+    impl.shards.push_back(std::make_unique<Impl::Shard>());
+  }
+  for (const fs::path& path : files) {
+    auto entry = std::make_shared<StoreEntry>();
+    entry->id = path.stem().string();
+    entry->path = path.string();
+    std::error_code size_ec;
+    uintmax_t bytes = fs::file_size(path, size_ec);
+    entry->file_bytes = size_ec ? 0 : static_cast<int64_t>(bytes);
+    entry->shard = std::hash<std::string>{}(entry->id) %
+                   impl.shards.size();
+    entry->tick = impl.tick;
+    impl.shards[entry->shard]->entries.emplace(entry->id, entry);
+    impl.ids.push_back(entry->id);
+  }
+  std::sort(impl.ids.begin(), impl.ids.end());
+  return store;
+}
+
+int64_t ModelStore::num_known_models() const {
+  return static_cast<int64_t>(impl_->ids.size());
+}
+
+std::vector<std::string> ModelStore::individual_ids() const {
+  return impl_->ids;
+}
+
+bool ModelStore::resident(const std::string& id) const {
+  Impl::Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  return it != shard.entries.end() && it->second->model != nullptr;
+}
+
+Result<ModelHandle> ModelStore::Get(const std::string& id) {
+  [[maybe_unused]] std::chrono::steady_clock::time_point start;
+  if constexpr (obs::kMetricsEnabled) {
+    start = std::chrono::steady_clock::now();
+  }
+  [[maybe_unused]] auto elapsed = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  Impl::Shard& shard = impl_->ShardFor(id);
+  std::shared_ptr<StoreEntry> entry;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(id);
+    if (it == shard.entries.end()) {
+      return Status::NotFound(StrCat("no snapshot for individual: ", id));
+    }
+    entry = it->second;
+    impl_->lookups.fetch_add(1, std::memory_order_relaxed);
+    while (true) {
+      if (entry->model != nullptr) {
+        // Warm hit: pin and refresh recency under the shard lock (the
+        // only place pins are incremented, so eviction's pins==0 check
+        // under the same lock cannot race with a new pin).
+        entry->pins.fetch_add(1, std::memory_order_relaxed);
+        entry->last_used.store(impl_->NextTick(), std::memory_order_relaxed);
+        std::shared_ptr<models::Forecaster> model = entry->model;
+        lock.unlock();
+        impl_->warm_hits.fetch_add(1, std::memory_order_relaxed);
+        impl_->UpdateHitRate();
+        if constexpr (obs::kMetricsEnabled) {
+          EMAF_METRIC_HISTOGRAM_OBSERVE("serve.store.warm_acquire_seconds",
+                                        elapsed(),
+                                        obs::DefaultSecondsBounds());
+        }
+        return ModelHandle(std::move(entry), std::move(model));
+      }
+      if (!entry->loading) break;
+      // Another thread is cold-loading this id; coalesce on it rather
+      // than hitting the disk twice (single-flight).
+      shard.cv.wait(lock);
+    }
+    entry->loading = true;
+  }
+
+  // Cold path — no locks held for admission or the disk load.
+  auto fail = [&](Status status) -> Result<ModelHandle> {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      entry->loading = false;
+    }
+    shard.cv.notify_all();
+    return status;
+  };
+
+  Status admitted = impl_->EnsureBudgetFor(entry->file_bytes);
+  if (!admitted.ok()) return fail(admitted);
+
+  if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.store.load/", id))) {
+    impl_->load_failures.fetch_add(1, std::memory_order_relaxed);
+    EMAF_METRIC_COUNTER_ADD("serve.store.load_failures_total", 1);
+    return fail(
+        Status::Unavailable(StrCat("injected fault: serve.store.load/", id)));
+  }
+  Rng rng(impl_->options.seed);
+  Result<std::unique_ptr<models::Forecaster>> loaded =
+      models::LoadForecasterSnapshot(entry->path, &rng);
+  if (!loaded.ok()) {
+    impl_->load_failures.fetch_add(1, std::memory_order_relaxed);
+    EMAF_METRIC_COUNTER_ADD("serve.store.load_failures_total", 1);
+    return fail(Status(loaded.status().code(),
+                       StrCat("loading model ", id, ": ",
+                              loaded.status().message())));
+  }
+  // Eval mode is set exactly once, here: the request path never writes to
+  // the module tree, which is what makes concurrent requests against one
+  // model race-free (core::Predict).
+  loaded.value()->SetTraining(false);
+  std::shared_ptr<models::Forecaster> model = std::move(loaded).value();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entry->model = model;
+    entry->loading = false;
+    entry->pins.fetch_add(1, std::memory_order_relaxed);
+    entry->last_used.store(impl_->NextTick(), std::memory_order_relaxed);
+  }
+  shard.cv.notify_all();
+  impl_->cold_loads.fetch_add(1, std::memory_order_relaxed);
+  impl_->resident_models.fetch_add(1, std::memory_order_relaxed);
+  impl_->resident_bytes.fetch_add(entry->file_bytes,
+                                  std::memory_order_relaxed);
+  EMAF_METRIC_COUNTER_ADD("serve.store.cold_loads_total", 1);
+  impl_->UpdateGauges();
+  impl_->UpdateHitRate();
+  if constexpr (obs::kMetricsEnabled) {
+    EMAF_METRIC_HISTOGRAM_OBSERVE("serve.store.cold_load_seconds", elapsed(),
+                                  obs::DefaultSecondsBounds());
+  }
+  // Concurrent admissions can race past the budget check together; shed
+  // any overshoot now (best effort — this request keeps its model).
+  impl_->TrimOverBudget();
+  return ModelHandle(std::move(entry), std::move(model));
+}
+
+int64_t ModelStore::EvictIdle(int64_t max_to_evict) {
+  std::set<std::string> skip;
+  int64_t evicted = 0;
+  while (max_to_evict < 0 || evicted < max_to_evict) {
+    if (!impl_->EvictLruIdle(&skip)) break;
+    ++evicted;
+  }
+  return evicted;
+}
+
+ModelStore::Stats ModelStore::stats() const {
+  Stats stats;
+  stats.lookups = impl_->lookups.load(std::memory_order_relaxed);
+  stats.warm_hits = impl_->warm_hits.load(std::memory_order_relaxed);
+  stats.cold_loads = impl_->cold_loads.load(std::memory_order_relaxed);
+  stats.evictions = impl_->evictions.load(std::memory_order_relaxed);
+  stats.load_failures = impl_->load_failures.load(std::memory_order_relaxed);
+  stats.exhausted = impl_->exhausted.load(std::memory_order_relaxed);
+  stats.resident_models =
+      impl_->resident_models.load(std::memory_order_relaxed);
+  stats.resident_bytes = impl_->resident_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace emaf::serve

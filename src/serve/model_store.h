@@ -1,0 +1,157 @@
+// ModelStore: a sharded, capacity-bounded registry of per-individual
+// forecaster snapshots (DESIGN.md, "Model store & scheduler").
+//
+// The paper trains one model per individual; at millions of tenants the
+// per-model memory cost is irreducible (MTGNN-style per-graph weights), so
+// residency itself must be managed. Open() only lists the snapshot
+// directory — nothing is loaded until the first Get() for an id, which
+// cold-loads through the PR-4 registry path (snapshot v2, embedded
+// config), puts the model in eval mode once, and pins it with a
+// refcounted ModelHandle. When a configurable budget is exceeded
+// (`max_resident_models` models and/or `max_resident_bytes` approximate
+// bytes, a resident model being charged its snapshot file size), the
+// least-recently-used *idle* model is evicted; a pinned model is never
+// evicted, and a handle additionally co-owns the model storage, so even a
+// buggy eviction could not free memory in use. Get() returns
+// kResourceExhausted only when the budget is exceeded and nothing is
+// evictable (every resident model pinned).
+//
+// Determinism: a reloaded model is rebuilt from the same snapshot bytes
+// (bit-exact config round-trip + raw-double weights), so its forecasts are
+// bitwise identical to a never-evicted instance — any eviction/reload
+// schedule serves the same bytes.
+//
+// Concurrency: entries are sharded by id hash; each shard has one mutex.
+// No path ever holds two locks, and disk loads run outside any lock —
+// concurrent Get()s of one id coalesce on a per-shard condition variable
+// (single-flight), concurrent Get()s of different ids on different shards
+// never contend. Pin release is a lock-free atomic decrement.
+//
+// Instrumentation: serve.store.resident_models / resident_bytes (gauges),
+// serve.store.cold_loads_total / evictions_total / load_failures_total /
+// exhausted_total (counters), serve.store.hit_rate (gauge), and the
+// cold/warm latency split as serve.store.cold_load_seconds /
+// warm_acquire_seconds histograms. Fault sites: serve.store.load/<id>
+// fails one cold load (other tenants unaffected); serve.store.evict/<id>
+// makes one victim non-evictable for that eviction pass.
+
+#ifndef EMAF_SERVE_MODEL_STORE_H_
+#define EMAF_SERVE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "models/forecaster.h"
+
+namespace emaf::serve {
+
+struct ModelStoreOptions {
+  // Snapshot filename extension looked for in the directory; the stem is
+  // the individual id ("i07.snapshot" serves individual "i07").
+  std::string extension = ".snapshot";
+  // Seed for model construction. Irrelevant to the forecasts — every
+  // weight is overwritten by the snapshot load — but fixed so the store
+  // itself is deterministic.
+  uint64_t seed = 0x5e59edULL;
+  // Residency budget. <= 0 means unlimited. A Get() that would exceed a
+  // budget evicts LRU idle models first and fails with kResourceExhausted
+  // only when nothing is evictable.
+  int64_t max_resident_models = 0;
+  // Approximate byte budget: a resident model is charged its snapshot
+  // file size (raw-double parameters dominate both). <= 0 = unlimited.
+  int64_t max_resident_bytes = 0;
+  // Lock sharding for the entry maps; clamped to >= 1.
+  int64_t num_shards = 8;
+};
+
+namespace internal {
+struct StoreEntry;
+}  // namespace internal
+
+// A pinned, resident model. While any handle to an entry is alive the
+// model cannot be evicted; the handle also co-owns the model object, so it
+// stays valid even across (hypothetical) eviction. Release is lock-free
+// and refreshes the entry's LRU recency.
+class ModelHandle {
+ public:
+  ModelHandle() = default;
+  ModelHandle(ModelHandle&& other) noexcept;
+  ModelHandle& operator=(ModelHandle&& other) noexcept;
+  ModelHandle(const ModelHandle&) = delete;
+  ModelHandle& operator=(const ModelHandle&) = delete;
+  ~ModelHandle();
+
+  explicit operator bool() const { return model_ != nullptr; }
+  // The pinned model, in eval mode; callers must not mutate it.
+  models::Forecaster* get() const { return model_.get(); }
+  models::Forecaster* operator->() const { return model_.get(); }
+  const std::string& id() const;
+
+ private:
+  friend class ModelStore;
+  ModelHandle(std::shared_ptr<internal::StoreEntry> entry,
+              std::shared_ptr<models::Forecaster> model);
+  void Release();
+
+  std::shared_ptr<internal::StoreEntry> entry_;
+  std::shared_ptr<models::Forecaster> model_;
+};
+
+class ModelStore {
+ public:
+  // Lists every `<id><extension>` file in `snapshot_dir` (sorted by id)
+  // without loading any of them. Fails with kNotFound when the directory
+  // is missing or holds no snapshots. The id set is fixed at Open time.
+  static Result<ModelStore> Open(const std::string& snapshot_dir,
+                                 const ModelStoreOptions& options = {});
+
+  ModelStore(ModelStore&&) noexcept;
+  ModelStore& operator=(ModelStore&&) noexcept;
+  ~ModelStore();
+
+  // Ids known on disk (not necessarily resident), sorted.
+  int64_t num_known_models() const;
+  std::vector<std::string> individual_ids() const;
+  // True when `id` is currently loaded in memory.
+  bool resident(const std::string& id) const;
+
+  // The pinned model for `id`, cold-loading it on first use.
+  //   kNotFound          — no snapshot for `id` in the directory;
+  //   kResourceExhausted — budget exceeded and every resident model is
+  //                        pinned (nothing evictable);
+  //   kUnavailable       — fault site serve.store.load/<id> fired;
+  //   kInvalidArgument   — snapshot malformed (e.g. a v1 file with no
+  //                        embedded config; the message names the file and
+  //                        the expected version).
+  Result<ModelHandle> Get(const std::string& id);
+
+  // Evicts up to `max_to_evict` (< 0 = all) idle resident models in LRU
+  // order; returns how many were evicted. Used by tests and by operators
+  // to shed memory; Get() calls the same machinery on budget pressure.
+  int64_t EvictIdle(int64_t max_to_evict = -1);
+
+  struct Stats {
+    uint64_t lookups = 0;        // Get() calls for known ids
+    uint64_t warm_hits = 0;      // served without touching disk
+    uint64_t cold_loads = 0;     // snapshot loads (first use or reload)
+    uint64_t evictions = 0;      // models dropped by LRU or EvictIdle
+    uint64_t load_failures = 0;  // cold loads that errored (incl. faults)
+    uint64_t exhausted = 0;      // Get() rejections with kResourceExhausted
+    int64_t resident_models = 0;
+    int64_t resident_bytes = 0;  // approximate (snapshot file sizes)
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  ModelStore();
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace emaf::serve
+
+#endif  // EMAF_SERVE_MODEL_STORE_H_

@@ -310,6 +310,41 @@ TEST(SnapshotTest, LoadForecasterSnapshotRejectsV1Files) {
   Result<std::unique_ptr<models::Forecaster>> restored =
       models::LoadForecasterSnapshot(v1_path, &load_rng);
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  // The serve path surfaces this to operators, so the message must say
+  // which file is bad and which versions are involved.
+  EXPECT_NE(restored.status().message().find(v1_path), std::string::npos)
+      << restored.status().message();
+  EXPECT_NE(restored.status().message().find("v1"), std::string::npos);
+  EXPECT_NE(restored.status().message().find("v2"), std::string::npos);
+}
+
+TEST(SerializeTest, ReadSnapshotVersionDistinguishesFormats) {
+  Rng rng(13);
+  SmallNet net(&rng);
+  std::string v2_path = TempPath("version_probe_v2.emaf");
+  ASSERT_TRUE(SaveParameters(&net, v2_path).ok());
+  Result<uint32_t> v2 = ReadSnapshotVersion(v2_path);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2.value(), kSnapshotVersionWithConfig);
+
+  std::string v1_path = TempPath("version_probe_v1.emaf");
+  {
+    std::ofstream out(v1_path, std::ios::binary | std::ios::trunc);
+    out << V2ToV1(ReadFileBytes(v2_path));
+  }
+  Result<uint32_t> v1 = ReadSnapshotVersion(v1_path);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1.value(), kSnapshotVersionParamsOnly);
+
+  EXPECT_EQ(ReadSnapshotVersion(TempPath("no_such_probe.emaf")).status().code(),
+            StatusCode::kNotFound);
+  std::string junk_path = TempPath("version_probe_junk.emaf");
+  {
+    std::ofstream out(junk_path, std::ios::binary | std::ios::trunc);
+    out << "JUNKJUNK";
+  }
+  EXPECT_EQ(ReadSnapshotVersion(junk_path).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

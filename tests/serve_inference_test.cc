@@ -231,6 +231,64 @@ TEST_F(ServeTest, RequestAndLoadMetricsAreRecorded) {
   }
 }
 
+// The ISSUE acceptance anchor for budgeted serving: a 2-of-5 residency
+// budget forces continual eviction and reload across a request sweep, yet
+// every family's bytes match the unconstrained (PR-4 eager) engine — i.e.
+// core::Predict's ground truth — at 1, 2 and 8 threads.
+TEST_F(ServeTest, ConstrainedBudgetSweepIsByteIdenticalToEagerEngine) {
+  obs::Registry& registry = obs::Registry::Global();
+  uint64_t evictions_before =
+      obs::kMetricsEnabled
+          ? registry.GetCounter("serve.store.evictions_total")->value()
+          : 0;
+  EngineOptions options;
+  options.max_resident_models = 2;
+  Result<InferenceEngine> engine = InferenceEngine::Load(*dir_, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // Budgeted mode lists without loading.
+  EXPECT_EQ(engine.value().num_models(), 5);
+  EXPECT_EQ(engine.value().store().stats().cold_loads, 0u);
+
+  for (int64_t threads : {1, 2, 8}) {
+    common::ThreadPool::SetGlobalNumThreads(threads);
+    for (int round = 0; round < 2; ++round) {
+      for (const std::string& family : AllFamilies()) {
+        Result<Tensor> prediction =
+            engine.value().Forecast(family, *test_inputs_);
+        ASSERT_TRUE(prediction.ok())
+            << family << " threads=" << threads << ": "
+            << prediction.status().ToString();
+        // An evicted-and-reloaded model must serve the same bytes as one
+        // that was never evicted.
+        EXPECT_EQ(prediction.value().ToVector(), expected_->at(family))
+            << family << " threads=" << threads;
+      }
+    }
+  }
+  common::ThreadPool::SetGlobalNumThreads(1);
+
+  ModelStore::Stats stats = engine.value().store().stats();
+  EXPECT_LE(stats.resident_models, 2);
+  // 5 tenants cycling through 2 slots: the budget provably bound.
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.cold_loads, 5u);  // reloads happened, not just first loads
+  if (obs::kMetricsEnabled) {
+    EXPECT_GT(registry.GetCounter("serve.store.evictions_total")->value(),
+              evictions_before);
+  }
+}
+
+TEST_F(ServeTest, BudgetedModeHasNoStableModelPointers) {
+  EngineOptions options;
+  options.max_resident_models = 2;
+  Result<InferenceEngine> engine = InferenceEngine::Load(*dir_, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE(engine.value().Forecast("LSTM", *test_inputs_).ok());
+  // Residency is transient under a budget, so the engine refuses to hand
+  // out raw pointers that an eviction could invalidate.
+  EXPECT_EQ(engine.value().model("LSTM"), nullptr);
+}
+
 TEST_F(ServeTest, UnknownIndividualIsNotFound) {
   InferenceEngine engine = LoadEngineOrDie();
   Result<Tensor> result = engine.Forecast("stranger", *test_inputs_);

@@ -1,0 +1,302 @@
+// RequestScheduler suite (ctest labels: store, fast, tsan): virtual-clock
+// micro-batching (close on full or aged, never on wall time), backpressure
+// (kUnavailable at max_queue), per-request error isolation inside a batch,
+// same-id coalescing onto one cold load, and the determinism anchor — a
+// scripted submit/advance/pump schedule produces byte-identical results
+// and identical batch boundaries at 1, 2 and 8 pool threads.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "serve/model_store.h"
+#include "serve/scheduler.h"
+#include "serve_test_util.h"
+#include "tensor/arena.h"
+#include "tensor/tensor.h"
+
+namespace emaf::serve {
+namespace {
+
+using testutil::MakeTinySnapshotDir;
+using testutil::TinyWindow;
+
+const std::vector<std::string>& Ids() {
+  static const std::vector<std::string> ids = {"s0", "s1", "s2", "s3"};
+  return ids;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(::testing::TempDir() + "/scheduler_snapshots");
+    expected_ = new std::map<std::string, std::vector<double>>(
+        MakeTinySnapshotDir(*dir_, Ids()));
+    window_ = new tensor::Tensor(TinyWindow());
+  }
+
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete window_;
+    window_ = nullptr;
+    delete expected_;
+    expected_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  void SetUp() override { common::ThreadPool::SetGlobalNumThreads(1); }
+  void TearDown() override { common::ThreadPool::SetGlobalNumThreads(1); }
+
+  static ModelStore OpenStoreOrDie(const ModelStoreOptions& options = {}) {
+    Result<ModelStore> store = ModelStore::Open(*dir_, options);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return std::move(store).value();
+  }
+
+  static ForecastRequest RequestFor(const std::string& id) {
+    return ForecastRequest{id, *window_};
+  }
+
+  static std::string* dir_;
+  static std::map<std::string, std::vector<double>>* expected_;
+  static tensor::Tensor* window_;
+};
+
+std::string* SchedulerTest::dir_ = nullptr;
+std::map<std::string, std::vector<double>>* SchedulerTest::expected_ =
+    nullptr;
+tensor::Tensor* SchedulerTest::window_ = nullptr;
+
+TEST_F(SchedulerTest, BatchClosesOnAgeNotBefore) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_batch = 8;
+  options.max_delay_ticks = 2;
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+
+  Result<RequestTicket> ticket = scheduler.Submit(RequestFor("s0"));
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_FALSE(ticket.value().done());
+
+  // Not full and not aged: Pump must leave the batch open.
+  EXPECT_EQ(scheduler.Pump(), 0);
+  clock.Advance(1);
+  EXPECT_EQ(scheduler.Pump(), 0);
+  EXPECT_EQ(scheduler.queue_depth(), 1);
+
+  // At age == max_delay_ticks the batch is due.
+  clock.Advance(1);
+  EXPECT_EQ(scheduler.Pump(), 1);
+  EXPECT_EQ(scheduler.queue_depth(), 0);
+  ASSERT_TRUE(ticket.value().done());
+  ASSERT_TRUE(ticket.value().result().ok());
+  EXPECT_EQ(ticket.value().result().value().ToVector(), expected_->at("s0"));
+  EXPECT_EQ(scheduler.stats().batches, 1u);
+}
+
+TEST_F(SchedulerTest, FullBatchClosesWithoutClockAdvance) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_batch = 2;
+  options.max_delay_ticks = 100;  // age alone would never close it
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+
+  ASSERT_TRUE(scheduler.Submit(RequestFor("s0")).ok());
+  ASSERT_TRUE(scheduler.Submit(RequestFor("s1")).ok());
+  EXPECT_EQ(scheduler.Pump(), 2);  // full at max_batch, age irrelevant
+  EXPECT_EQ(scheduler.stats().batches, 1u);
+}
+
+TEST_F(SchedulerTest, OverfullQueueSplitsIntoMaxBatchChunks) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_batch = 3;
+  options.max_delay_ticks = 0;  // every Pump drains
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+
+  std::vector<RequestTicket> tickets;
+  for (int i = 0; i < 7; ++i) {
+    Result<RequestTicket> ticket =
+        scheduler.Submit(RequestFor(Ids()[i % Ids().size()]));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  EXPECT_EQ(scheduler.Pump(), 7);
+  EXPECT_EQ(scheduler.stats().batches, 3u);  // 3 + 3 + 1
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].done()) << i;
+    ASSERT_TRUE(tickets[i].result().ok()) << i;
+    EXPECT_EQ(tickets[i].result().value().ToVector(),
+              expected_->at(Ids()[i % Ids().size()]))
+        << i;
+  }
+}
+
+TEST_F(SchedulerTest, FullQueueRejectsWithUnavailable) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_queue = 2;
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+
+  ASSERT_TRUE(scheduler.Submit(RequestFor("s0")).ok());
+  ASSERT_TRUE(scheduler.Submit(RequestFor("s1")).ok());
+  Result<RequestTicket> rejected = scheduler.Submit(RequestFor("s2"));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+  EXPECT_EQ(scheduler.queue_depth(), 2);
+
+  // Draining the queue makes room again.
+  EXPECT_EQ(scheduler.Flush(), 2);
+  EXPECT_TRUE(scheduler.Submit(RequestFor("s2")).ok());
+  EXPECT_EQ(scheduler.stats().submitted, 3u);
+}
+
+TEST_F(SchedulerTest, PerRequestErrorsDoNotPoisonTheBatch) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  RequestScheduler scheduler(&store, nullptr, SchedulerOptions{}, &clock);
+
+  Result<RequestTicket> good = scheduler.Submit(RequestFor("s0"));
+  Result<RequestTicket> bad = scheduler.Submit(RequestFor("nobody"));
+  Result<RequestTicket> also_good = scheduler.Submit(RequestFor("s1"));
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());  // admission succeeds; the *result* is the error
+  ASSERT_TRUE(also_good.ok());
+  EXPECT_EQ(scheduler.Flush(), 3);
+
+  EXPECT_EQ(bad.value().result().status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(good.value().result().ok());
+  EXPECT_EQ(good.value().result().value().ToVector(), expected_->at("s0"));
+  ASSERT_TRUE(also_good.value().result().ok());
+  EXPECT_EQ(also_good.value().result().value().ToVector(),
+            expected_->at("s1"));
+  EXPECT_EQ(scheduler.stats().executed, 3u);
+}
+
+TEST_F(SchedulerTest, SameIdRequestsCoalesceOnOneColdLoad) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  common::ThreadPool::SetGlobalNumThreads(8);
+  RequestScheduler scheduler(&store, nullptr, SchedulerOptions{}, &clock);
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(scheduler.Submit(RequestFor("s3")).ok());
+  }
+  EXPECT_EQ(scheduler.Flush(), 8);
+  // The batch ran 8-wide, yet the store's single-flight logic hit the
+  // disk exactly once for the shared tenant.
+  EXPECT_EQ(store.stats().cold_loads, 1u);
+  EXPECT_EQ(store.stats().warm_hits, 7u);
+}
+
+// The determinism anchor: one scripted schedule, replayed at 1, 2 and 8
+// pool threads, must produce identical batch boundaries and bitwise
+// identical forecast bytes.
+TEST_F(SchedulerTest, ScriptedScheduleIsByteIdenticalAcrossThreadCounts) {
+  struct Run {
+    std::vector<std::vector<double>> bytes;
+    uint64_t batches = 0;
+    uint64_t executed = 0;
+  };
+  auto run_schedule = [&](int64_t num_threads) {
+    common::ThreadPool::SetGlobalNumThreads(num_threads);
+    // Budget == max_batch: a batch's concurrent pins always fit (no
+    // spurious exhaustion at high thread counts), while the 4th distinct
+    // id still forces evictions mid-schedule.
+    ModelStoreOptions store_options;
+    store_options.max_resident_models = 3;
+    ModelStore store = OpenStoreOrDie(store_options);
+    tensor::InferenceArena arena;
+    ManualClock clock;
+    SchedulerOptions options;
+    options.max_batch = 3;
+    options.max_delay_ticks = 2;
+    RequestScheduler scheduler(&store, &arena, options, &clock);
+
+    std::vector<RequestTicket> tickets;
+    auto submit = [&](const std::string& id) {
+      Result<RequestTicket> ticket = scheduler.Submit(RequestFor(id));
+      ASSERT_TRUE(ticket.ok());
+      tickets.push_back(ticket.value());
+    };
+    // Scripted: mixes full-batch closes, age closes and a final flush.
+    submit("s0");
+    submit("s1");
+    submit("s2");  // full batch of 3
+    scheduler.Pump();
+    submit("s3");
+    submit("s0");
+    clock.Advance(2);  // ages the pair past max_delay_ticks
+    scheduler.Pump();
+    submit("s1");
+    submit("s2");
+    submit("s3");
+    submit("s1");  // 4 pending: one full batch + a remainder
+    scheduler.Flush();
+
+    Run run;
+    for (RequestTicket& ticket : tickets) {
+      EXPECT_TRUE(ticket.done());
+      EXPECT_TRUE(ticket.result().ok()) << ticket.result().status().ToString();
+      run.bytes.push_back(ticket.result().value().ToVector());
+    }
+    run.batches = scheduler.stats().batches;
+    run.executed = scheduler.stats().executed;
+    EXPECT_GT(store.stats().evictions, 0u);  // the budget really did bind
+    return run;
+  };
+
+  Run serial = run_schedule(1);
+  EXPECT_EQ(serial.executed, 9u);
+  EXPECT_EQ(serial.batches, 4u);  // 3-full, 2-aged, 3-full, 1-flushed
+  for (int64_t num_threads : {2, 8}) {
+    Run parallel = run_schedule(num_threads);
+    EXPECT_EQ(parallel.bytes, serial.bytes) << num_threads << " threads";
+    EXPECT_EQ(parallel.batches, serial.batches);
+    EXPECT_EQ(parallel.executed, serial.executed);
+  }
+}
+
+TEST_F(SchedulerTest, MetricsRecordSchedulerActivity) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP();
+  obs::Registry& registry = obs::Registry::Global();
+  uint64_t submitted_before =
+      registry.GetCounter("serve.scheduler.submitted_total")->value();
+  uint64_t rejected_before =
+      registry.GetCounter("serve.scheduler.rejected_total")->value();
+  uint64_t batches_before =
+      registry.GetCounter("serve.scheduler.batches_total")->value();
+
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_queue = 1;
+  options.max_delay_ticks = 0;
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+  ASSERT_TRUE(scheduler.Submit(RequestFor("s0")).ok());
+  EXPECT_FALSE(scheduler.Submit(RequestFor("s1")).ok());
+  EXPECT_EQ(scheduler.Pump(), 1);
+
+  EXPECT_EQ(registry.GetCounter("serve.scheduler.submitted_total")->value(),
+            submitted_before + 1);
+  EXPECT_EQ(registry.GetCounter("serve.scheduler.rejected_total")->value(),
+            rejected_before + 1);
+  EXPECT_EQ(registry.GetCounter("serve.scheduler.batches_total")->value(),
+            batches_before + 1);
+  EXPECT_EQ(registry.GetGauge("serve.scheduler.queue_depth")->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace emaf::serve
