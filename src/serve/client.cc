@@ -1,0 +1,180 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace emaf::serve {
+
+Client::Client(int fd, const ClientOptions& options)
+    : fd_(fd), options_(options), decoder_(options.max_frame_bytes) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      options_(std::move(other.options_)),
+      decoder_(std::move(other.decoder_)),
+      next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    options_ = std::move(other.options_);
+    decoder_ = std::move(other.decoder_);
+    next_request_id_ = other.next_request_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Client> Client::Connect(uint16_t port, const ClientOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.recv_timeout_ms / 1000;
+    tv.tv_usec = (options.recv_timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(StrCat("bad host: ", options.host));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Unavailable(StrCat("connect to ", options.host,
+                                               ":", port, ": ",
+                                               std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd, options);
+}
+
+Status Client::SendBytes(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    size_t chunk = bytes.size() - offset;
+    if (options_.write_chunk_bytes > 0) {
+      chunk = std::min(chunk, options_.write_chunk_bytes);
+    }
+    ssize_t n = ::write(fd_, bytes.data() + offset, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StrCat("write: ", std::strerror(errno)));
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Client::SendFrame(const Frame& frame) {
+  return SendBytes(EncodeFrame(frame));
+}
+
+Result<Frame> Client::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  while (true) {
+    if (std::optional<Result<Frame>> next = decoder_.Next()) {
+      return std::move(*next);
+    }
+    char buffer[4096];
+    ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable(
+          StrCat("no reply within ", options_.recv_timeout_ms, " ms"));
+    }
+    return Status::Unavailable(StrCat("read: ", std::strerror(errno)));
+  }
+}
+
+Result<uint64_t> Client::SendForecastRequest(const std::string& tenant_id,
+                                             const tensor::Tensor& window) {
+  Frame frame;
+  frame.type = FrameType::kForecastRequest;
+  frame.request_id = next_request_id_++;
+  frame.tenant_id = tenant_id;
+  frame.payload = EncodeTensorPayload(window);
+  Status sent = SendFrame(frame);
+  if (!sent.ok()) return sent;
+  return frame.request_id;
+}
+
+Result<tensor::Tensor> Client::Forecast(const std::string& tenant_id,
+                                        const tensor::Tensor& window) {
+  Result<uint64_t> id = SendForecastRequest(tenant_id, window);
+  if (!id.ok()) return id.status();
+  while (true) {
+    Result<Frame> reply = ReadFrame();
+    if (!reply.ok()) return reply.status();
+    if (reply.value().request_id != id.value()) continue;  // stale reply
+    if (reply.value().type == FrameType::kForecastResponse) {
+      return DecodeTensorPayload(reply.value().payload);
+    }
+    if (reply.value().type == FrameType::kError) {
+      Status carried = Status::Ok();
+      Status parse = DecodeStatusPayload(reply.value().payload, &carried);
+      if (!parse.ok()) return parse;
+      return carried;
+    }
+    return Status::Internal(StrCat("unexpected reply frame type ",
+                                   FrameTypeName(reply.value().type)));
+  }
+}
+
+Status Client::Ping() {
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = next_request_id_++;
+  EMAF_RETURN_IF_ERROR(SendFrame(ping));
+  while (true) {
+    Result<Frame> reply = ReadFrame();
+    if (!reply.ok()) return reply.status();
+    if (reply.value().request_id != ping.request_id) continue;
+    if (reply.value().type == FrameType::kPong) return Status::Ok();
+    if (reply.value().type == FrameType::kError) {
+      Status carried = Status::Ok();
+      Status parse = DecodeStatusPayload(reply.value().payload, &carried);
+      return parse.ok() ? carried : parse;
+    }
+    return Status::Internal(StrCat("unexpected reply frame type ",
+                                   FrameTypeName(reply.value().type)));
+  }
+}
+
+}  // namespace emaf::serve

@@ -1,0 +1,87 @@
+// In-repo client for the serve::Server wire protocol, shared by the
+// loopback tests, the bench_serving load generator, and the quickstart
+// example — one implementation of framing, request-id matching and error
+// decoding instead of three.
+//
+// The client is a plain blocking TCP socket. Two usage styles:
+//
+//   - Request/response: Forecast() / Ping() send one frame and block until
+//     the matching reply (by request id) arrives. A kError reply decodes
+//     into the server's Status — so a rejected request surfaces exactly
+//     the structured kUnavailable (or kNotFound, ...) the server sent.
+//   - Pipelined: SendForecastRequest() queues any number of requests
+//     without reading; ReadFrame() then yields replies in arrival order,
+//     to be matched by request id. One thread may send while another
+//     reads (the two directions share no state), which is how the
+//     open-loop bench issues at a target rate regardless of completions.
+//
+// Test hooks: `write_chunk_bytes` splits every send into chunks of that
+// many bytes (1 = the pathological byte-at-a-time client the server's
+// reassembly must survive), and SendBytes() puts arbitrary bytes on the
+// wire for conformance/fuzz cases.
+
+#ifndef EMAF_SERVE_CLIENT_H_
+#define EMAF_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "tensor/tensor.h"
+
+namespace emaf::serve {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // 0 = each frame in one write(); N > 0 = split sends into N-byte chunks
+  // (stress for the server's partial-read reassembly).
+  size_t write_chunk_bytes = 0;
+  // Receive timeout; a read that sees no byte for this long fails with
+  // kUnavailable instead of hanging a test forever. <= 0 = no timeout.
+  int64_t recv_timeout_ms = 30000;
+};
+
+class Client {
+ public:
+  static Result<Client> Connect(uint16_t port,
+                                const ClientOptions& options = {});
+
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+  ~Client();  // closes the socket
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Blocking request/response round trips.
+  Result<tensor::Tensor> Forecast(const std::string& tenant_id,
+                                  const tensor::Tensor& window);
+  Status Ping();
+
+  // Pipelined sending; returns the request id to match the reply with.
+  Result<uint64_t> SendForecastRequest(const std::string& tenant_id,
+                                       const tensor::Tensor& window);
+
+  // Raw frame / byte access for tests and the load generator.
+  Status SendFrame(const Frame& frame);
+  Status SendBytes(std::string_view bytes);
+  // Next frame from the server, in arrival order. kUnavailable when the
+  // server closed the connection or the receive timeout expired;
+  // kInvalidArgument / kDataLoss when the reply stream is malformed.
+  Result<Frame> ReadFrame();
+
+ private:
+  Client(int fd, const ClientOptions& options);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  FrameDecoder decoder_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace emaf::serve
+
+#endif  // EMAF_SERVE_CLIENT_H_

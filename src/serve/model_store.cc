@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <set>
@@ -246,6 +247,54 @@ ModelStore::ModelStore(ModelStore&&) noexcept = default;
 ModelStore& ModelStore::operator=(ModelStore&&) noexcept = default;
 ModelStore::~ModelStore() = default;
 
+namespace {
+
+// Parses `snapshot_dir/MANIFEST` into (id, absolute path) pairs. See
+// kManifestFilename: `id<TAB>relpath` per line, '#' comments, blank lines
+// skipped. Errors name the offending line number.
+Status ReadManifest(const std::string& snapshot_dir,
+                    const std::filesystem::path& manifest_path,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  namespace fs = std::filesystem;
+  std::ifstream in(manifest_path);
+  if (!in) {
+    return Status::Internal(
+        StrCat("cannot read manifest ", manifest_path.string()));
+  }
+  std::set<std::string> seen;
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
+      return Status::InvalidArgument(
+          StrCat("manifest ", manifest_path.string(), " line ", lineno,
+                 ": expected `id<TAB>relative-path`, got \"", line, "\""));
+    }
+    std::string id = line.substr(0, tab);
+    std::string rel = line.substr(tab + 1);
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument(
+          StrCat("manifest ", manifest_path.string(), " line ", lineno,
+                 ": duplicate id \"", id, "\""));
+    }
+    fs::path full = fs::path(snapshot_dir) / rel;
+    std::error_code ec;
+    if (!fs::is_regular_file(full, ec) || ec) {
+      return Status::InvalidArgument(
+          StrCat("manifest ", manifest_path.string(), " line ", lineno,
+                 ": snapshot file not found: ", full.string()));
+    }
+    out->emplace_back(std::move(id), full.string());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Result<ModelStore> ModelStore::Open(const std::string& snapshot_dir,
                                     const ModelStoreOptions& options) {
   namespace fs = std::filesystem;
@@ -254,23 +303,39 @@ Result<ModelStore> ModelStore::Open(const std::string& snapshot_dir,
     return Status::NotFound(
         StrCat("snapshot directory not found: ", snapshot_dir));
   }
-  std::vector<fs::path> files;
-  for (const fs::directory_entry& entry :
-       fs::directory_iterator(snapshot_dir, ec)) {
-    if (entry.path().extension() == options.extension) {
-      files.push_back(entry.path());
+  // (id, snapshot path); the manifest — when present — is authoritative,
+  // and lets many tenant ids alias one physical snapshot file.
+  std::vector<std::pair<std::string, std::string>> listed;
+  const fs::path manifest_path = fs::path(snapshot_dir) / kManifestFilename;
+  if (fs::is_regular_file(manifest_path, ec) && !ec) {
+    EMAF_RETURN_IF_ERROR(ReadManifest(snapshot_dir, manifest_path, &listed));
+    if (listed.empty()) {
+      return Status::NotFound(StrCat("manifest ", manifest_path.string(),
+                                     " lists no snapshots"));
+    }
+  } else {
+    std::vector<fs::path> files;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(snapshot_dir, ec)) {
+      if (entry.path().extension() == options.extension) {
+        files.push_back(entry.path());
+      }
+    }
+    if (ec) {
+      return Status::Internal(StrCat("cannot list snapshot directory ",
+                                     snapshot_dir, ": ", ec.message()));
+    }
+    if (files.empty()) {
+      return Status::NotFound(
+          StrCat("no *", options.extension, " snapshots in ", snapshot_dir));
+    }
+    for (const fs::path& path : files) {
+      listed.emplace_back(path.stem().string(), path.string());
     }
   }
-  if (ec) {
-    return Status::Internal(StrCat("cannot list snapshot directory ",
-                                   snapshot_dir, ": ", ec.message()));
-  }
-  if (files.empty()) {
-    return Status::NotFound(
-        StrCat("no *", options.extension, " snapshots in ", snapshot_dir));
-  }
-  // Directory iteration order is unspecified; sort for determinism.
-  std::sort(files.begin(), files.end());
+  // Listing order is unspecified (directory iteration) or author-chosen
+  // (manifest); sort by id for determinism either way.
+  std::sort(listed.begin(), listed.end());
 
   ModelStore store;
   Impl& impl = *store.impl_;
@@ -280,10 +345,10 @@ Result<ModelStore> ModelStore::Open(const std::string& snapshot_dir,
   for (int64_t i = 0; i < impl.options.num_shards; ++i) {
     impl.shards.push_back(std::make_unique<Impl::Shard>());
   }
-  for (const fs::path& path : files) {
+  for (const auto& [id, path] : listed) {
     auto entry = std::make_shared<StoreEntry>();
-    entry->id = path.stem().string();
-    entry->path = path.string();
+    entry->id = id;
+    entry->path = path;
     std::error_code size_ec;
     uintmax_t bytes = fs::file_size(path, size_ec);
     entry->file_bytes = size_ec ? 0 : static_cast<int64_t>(bytes);

@@ -100,11 +100,23 @@ class ModelHandle {
   std::shared_ptr<models::Forecaster> model_;
 };
 
+// When this file exists inside the snapshot directory, Open() reads it
+// instead of listing the directory. Each non-comment line is
+// `<id>\t<relative snapshot path>`; many ids may alias one snapshot file,
+// which is how the serving bench stands up 100k tenants from a handful of
+// physical snapshots laid out in sharded subdirectories.
+inline constexpr char kManifestFilename[] = "MANIFEST";
+
 class ModelStore {
  public:
   // Lists every `<id><extension>` file in `snapshot_dir` (sorted by id)
   // without loading any of them. Fails with kNotFound when the directory
   // is missing or holds no snapshots. The id set is fixed at Open time.
+  //
+  // If `snapshot_dir/MANIFEST` exists it is authoritative instead: lines
+  // of `id<TAB>relpath` ('#' comments and blank lines ignored). A
+  // malformed line, a duplicate id, or a missing snapshot file fails with
+  // kInvalidArgument naming the line.
   static Result<ModelStore> Open(const std::string& snapshot_dir,
                                  const ModelStoreOptions& options = {});
 

@@ -126,6 +126,10 @@ void RequestScheduler::Execute(Batch* batch) {
             EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
             pending.slot->result.emplace(handle.status());
           }
+          if (!pending.slot->result->ok()) {
+            failed_.fetch_add(1, std::memory_order_relaxed);
+            EMAF_METRIC_COUNTER_ADD("serve.scheduler.failed_total", 1);
+          }
           pending.slot->done.store(true, std::memory_order_release);
         }
       });
@@ -165,6 +169,7 @@ RequestScheduler::Stats RequestScheduler::stats() const {
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -23,8 +23,9 @@
 // Flush() to drain everything regardless of age.
 //
 // Instrumentation: serve.scheduler.submitted_total / rejected_total /
-// batches_total / executed_total (counters), serve.scheduler.queue_depth
-// (gauge), serve.scheduler.batch_size (histogram).
+// batches_total / executed_total / failed_total (counters),
+// serve.scheduler.queue_depth (gauge), serve.scheduler.batch_size
+// (histogram).
 
 #ifndef EMAF_SERVE_SCHEDULER_H_
 #define EMAF_SERVE_SCHEDULER_H_
@@ -128,6 +129,12 @@ class RequestScheduler {
     uint64_t rejected = 0;   // refused with kUnavailable (queue full)
     uint64_t batches = 0;    // micro-batches dispatched
     uint64_t executed = 0;   // requests completed (ok or error)
+    // Of `executed`, how many completed with an error status (store load
+    // failure or forecast error). Before this counter existed a tenant
+    // failing inside a batch was indistinguishable from success in the
+    // stats, even though its peers were served — the fault-injection
+    // server test pins both halves of that contract.
+    uint64_t failed = 0;
   };
   Stats stats() const;
 
@@ -156,6 +163,7 @@ class RequestScheduler {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> failed_{0};
 };
 
 }  // namespace emaf::serve

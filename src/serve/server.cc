@@ -1,0 +1,521 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "tensor/arena.h"
+
+namespace emaf::serve {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrCat(what, ": ", std::strerror(errno)));
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // One accepted socket. Owned exclusively by the loop thread.
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;  // accept-order index; names the fault sites
+    FrameDecoder decoder;
+    std::string out;       // encoded frames awaiting the socket
+    size_t out_offset = 0;
+    bool want_write = false;  // EPOLLOUT currently armed
+    bool closing = false;     // close once `out` drains
+
+    explicit Conn(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+  };
+
+  // One admitted forecast request whose ticket has not completed yet.
+  struct InFlight {
+    RequestTicket ticket;
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  ServerOptions options;
+  // optional: ModelStore is only constructible via ModelStore::Open.
+  std::optional<ModelStore> model_store;
+  tensor::InferenceArena arena;
+  ManualClock clock;
+  std::optional<RequestScheduler> scheduler;
+
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  uint16_t bound_port = 0;
+  std::thread loop;
+  std::atomic<bool> stop{false};
+  bool stopped = false;  // guards double Stop(); main thread only
+
+  uint64_t next_conn_id = 2;  // 0 = listen socket, 1 = wake eventfd
+  std::map<uint64_t, std::unique_ptr<Conn>> conns;
+  std::vector<InFlight> in_flight;
+
+  // Stats are written by the loop thread, read from any thread.
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> requests_ok{0};
+  std::atomic<uint64_t> requests_rejected{0};
+  std::atomic<uint64_t> requests_failed{0};
+  std::atomic<uint64_t> protocol_errors{0};
+
+  // Joins the loop thread (idempotent; main thread only). Descriptors are
+  // closed only after the join, so the loop never races a close.
+  void Shutdown() {
+    if (stopped) return;
+    stopped = true;
+    stop.store(true, std::memory_order_release);
+    if (wake_fd >= 0) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t r = ::write(wake_fd, &one, sizeof(one));
+    }
+    if (loop.joinable()) loop.join();
+  }
+
+  ~Impl() {
+    Shutdown();
+    for (auto& [id, conn] : conns) {
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+  }
+
+  // --- Socket plumbing (loop thread only) ----------------------------------
+
+  void EpollSet(Conn* conn) {
+    epoll_event event{};
+    event.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+    event.data.u64 = conn->id;
+    EMAF_CHECK(epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &event) == 0)
+        << "epoll_ctl(MOD): " << std::strerror(errno);
+  }
+
+  void CloseConn(uint64_t conn_id) {
+    auto it = conns.find(conn_id);
+    if (it == conns.end()) return;
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
+    ::close(it->second->fd);
+    conns.erase(it);
+    connections_closed.fetch_add(1, std::memory_order_relaxed);
+    EMAF_METRIC_GAUGE_SET("serve.server.active_connections",
+                          static_cast<double>(conns.size()));
+    // In-flight requests of this connection keep executing; their results
+    // are discarded in DrainCompleted when the conn id no longer resolves.
+  }
+
+  void SendFrame(Conn* conn, const Frame& frame) {
+    conn->out.append(EncodeFrame(frame));
+    frames_sent.fetch_add(1, std::memory_order_relaxed);
+    EMAF_METRIC_COUNTER_ADD("serve.server.frames_sent_total", 1);
+    FlushWrites(conn);
+  }
+
+  void SendError(Conn* conn, uint64_t request_id, const Status& status) {
+    Frame frame;
+    frame.type = FrameType::kError;
+    frame.request_id = request_id;
+    frame.payload = EncodeStatusPayload(status);
+    SendFrame(conn, frame);
+  }
+
+  // Drains as much of conn->out as the socket accepts; arms EPOLLOUT for
+  // the rest. Closes the connection on write failure or injected fault.
+  void FlushWrites(Conn* conn) {
+    if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.server.write/", conn->id))) {
+      CloseConn(conn->id);
+      return;
+    }
+    while (conn->out_offset < conn->out.size()) {
+      ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_offset,
+                          conn->out.size() - conn->out_offset);
+      if (n > 0) {
+        conn->out_offset += static_cast<size_t>(n);
+        bytes_written.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+        EMAF_METRIC_COUNTER_ADD("serve.server.bytes_written_total",
+                                static_cast<uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      CloseConn(conn->id);  // peer vanished mid-write
+      return;
+    }
+    if (conn->out_offset == conn->out.size()) {
+      conn->out.clear();
+      conn->out_offset = 0;
+      if (conn->closing) {
+        CloseConn(conn->id);
+        return;
+      }
+      if (conn->want_write) {
+        conn->want_write = false;
+        EpollSet(conn);
+      }
+    } else if (!conn->want_write) {
+      conn->want_write = true;
+      EpollSet(conn);
+    }
+  }
+
+  void AcceptAll() {
+    while (true) {
+      int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;  // transient accept failure; the listener stays armed
+      }
+      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      EMAF_METRIC_COUNTER_ADD("serve.server.connections_total", 1);
+      if (EMAF_FAULT_SHOULD_FAIL("serve.server.accept") ||
+          static_cast<int64_t>(conns.size()) >= options.max_connections) {
+        ::close(fd);
+        connections_closed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Conn>(options.max_frame_bytes);
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      epoll_event event{};
+      event.events = EPOLLIN;
+      event.data.u64 = conn->id;
+      EMAF_CHECK(epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) == 0)
+          << "epoll_ctl(ADD): " << std::strerror(errno);
+      conns.emplace(conn->id, std::move(conn));
+      EMAF_METRIC_GAUGE_SET("serve.server.active_connections",
+                            static_cast<double>(conns.size()));
+    }
+  }
+
+  void HandleFrame(Conn* conn, Frame frame) {
+    frames_received.fetch_add(1, std::memory_order_relaxed);
+    EMAF_METRIC_COUNTER_ADD("serve.server.frames_received_total", 1);
+    switch (frame.type) {
+      case FrameType::kPing: {
+        Frame pong;
+        pong.type = FrameType::kPong;
+        pong.request_id = frame.request_id;
+        SendFrame(conn, pong);
+        return;
+      }
+      case FrameType::kForecastRequest: {
+        Result<tensor::Tensor> window = DecodeTensorPayload(frame.payload);
+        if (!window.ok()) {
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          EMAF_METRIC_COUNTER_ADD("serve.server.protocol_errors_total", 1);
+          SendError(conn, frame.request_id, window.status());
+          return;  // framing is intact; the connection survives
+        }
+        Result<RequestTicket> ticket = scheduler->Submit(
+            ForecastRequest{frame.tenant_id, std::move(window).value()});
+        if (!ticket.ok()) {
+          // The backpressure door: a saturated queue answers a structured
+          // kUnavailable immediately instead of hanging or dropping.
+          requests_rejected.fetch_add(1, std::memory_order_relaxed);
+          EMAF_METRIC_COUNTER_ADD("serve.server.rejected_total", 1);
+          SendError(conn, frame.request_id, ticket.status());
+          return;
+        }
+        in_flight.push_back(InFlight{std::move(ticket).value(), conn->id,
+                                     frame.request_id,
+                                     std::chrono::steady_clock::now()});
+        return;
+      }
+      default: {
+        // Clients send requests and pings; anything else means the peer is
+        // confused, and with it the stream.
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        EMAF_METRIC_COUNTER_ADD("serve.server.protocol_errors_total", 1);
+        // `closing` is set before the send: SendError's flush may close the
+        // connection (write fault, or fully drained), after which `conn` is
+        // gone and must not be touched.
+        conn->closing = true;
+        SendError(conn, frame.request_id,
+                  Status::InvalidArgument(
+                      StrCat("unexpected frame type ",
+                             FrameTypeName(frame.type), " from a client")));
+        return;
+      }
+    }
+  }
+
+  void HandleRead(uint64_t conn_id) {
+    auto it = conns.find(conn_id);
+    if (it == conns.end()) return;
+    Conn* conn = it->second.get();
+    if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.server.read/", conn->id))) {
+      CloseConn(conn_id);
+      return;
+    }
+    char buffer[4096];
+    bool peer_closed = false;
+    while (true) {
+      ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        bytes_read.fetch_add(static_cast<uint64_t>(n),
+                             std::memory_order_relaxed);
+        EMAF_METRIC_COUNTER_ADD("serve.server.bytes_read_total",
+                                static_cast<uint64_t>(n));
+        conn->decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      peer_closed = true;  // ECONNRESET and friends
+      break;
+    }
+    // Dispatch every complete frame buffered so far — all of them before
+    // the next Pump(), so one segment of pipelined requests meets the
+    // admission queue as one burst.
+    while (std::optional<Result<Frame>> next = conn->decoder.Next()) {
+      if (!next->ok()) {
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        EMAF_METRIC_COUNTER_ADD("serve.server.protocol_errors_total", 1);
+        // closing first: the flush inside SendError may free `conn`.
+        conn->closing = true;
+        SendError(conn, /*request_id=*/0, next->status());
+        return;
+      }
+      // A frame may close the connection (unexpected type); stop if so.
+      HandleFrame(conn, std::move(next)->value());
+      if (conns.find(conn_id) == conns.end()) return;
+      if (conn->closing) break;
+    }
+    if (peer_closed) {
+      // Flush what we can, then drop. In-flight work is discarded on
+      // completion; the store was never pinned on this path.
+      conn->closing = true;
+      FlushWrites(conn);
+      if (conns.find(conn_id) != conns.end()) CloseConn(conn_id);
+    }
+  }
+
+  // Encodes every completed ticket into its connection's write buffer (or
+  // discards it when the connection is gone).
+  void DrainCompleted() {
+    size_t kept = 0;
+    for (size_t i = 0; i < in_flight.size(); ++i) {
+      InFlight& entry = in_flight[i];
+      if (!entry.ticket.done()) {
+        if (kept != i) in_flight[kept] = std::move(entry);
+        ++kept;
+        continue;
+      }
+      const Result<tensor::Tensor>& result = entry.ticket.result();
+      auto it = conns.find(entry.conn_id);
+      if (it != conns.end()) {
+        if (result.ok()) {
+          requests_ok.fetch_add(1, std::memory_order_relaxed);
+          Frame response;
+          response.type = FrameType::kForecastResponse;
+          response.request_id = entry.request_id;
+          response.payload = EncodeTensorPayload(result.value());
+          SendFrame(it->second.get(), response);
+        } else {
+          requests_failed.fetch_add(1, std::memory_order_relaxed);
+          SendError(it->second.get(), entry.request_id, result.status());
+        }
+        if constexpr (obs::kMetricsEnabled) {
+          EMAF_METRIC_HISTOGRAM_OBSERVE(
+              "serve.server.request_seconds",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            entry.start)
+                  .count(),
+              obs::DefaultSecondsBounds());
+        }
+      }
+    }
+    in_flight.resize(kept);
+  }
+
+  void Loop() {
+    epoll_event events[64];
+    while (!stop.load(std::memory_order_acquire)) {
+      int n = epoll_wait(epoll_fd, events, 64,
+                         static_cast<int>(options.poll_timeout_ms));
+      if (n < 0 && errno != EINTR) break;
+      for (int i = 0; i < n; ++i) {
+        const uint64_t id = events[i].data.u64;
+        if (id == 0) {
+          AcceptAll();
+        } else if (id == 1) {
+          uint64_t drained = 0;
+          [[maybe_unused]] ssize_t r =
+              ::read(wake_fd, &drained, sizeof(drained));
+        } else {
+          if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+            // Let HandleRead consume whatever arrived before the hangup.
+            HandleRead(id);
+            CloseConn(id);
+            continue;
+          }
+          if (events[i].events & EPOLLIN) HandleRead(id);
+          auto it = conns.find(id);
+          if (it != conns.end() && (events[i].events & EPOLLOUT)) {
+            FlushWrites(it->second.get());
+          }
+        }
+      }
+      // One virtual tick per loop turn: batches age by event-loop turns,
+      // never by wall clock, so batching is reproducible from arrivals.
+      clock.Advance(1);
+      scheduler->Pump();
+      DrainCompleted();
+    }
+    // Shutdown: run whatever was admitted so no ticket is left dangling,
+    // then discard the results (their clients are being dropped anyway).
+    scheduler->Flush();
+    DrainCompleted();
+  }
+};
+
+// --- Server ----------------------------------------------------------------
+
+Server::Server() : impl_(std::make_unique<Impl>()) {}
+Server::Server(Server&&) noexcept = default;
+
+Server& Server::operator=(Server&& other) noexcept {
+  if (this != &other) {
+    if (impl_ != nullptr) impl_->Shutdown();
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+Server::~Server() {
+  if (impl_ != nullptr) impl_->Shutdown();
+}
+
+Result<Server> Server::Start(const std::string& snapshot_dir,
+                             const ServerOptions& options) {
+  Result<ModelStore> store = ModelStore::Open(snapshot_dir, options.store);
+  if (!store.ok()) return store.status();
+
+  Server server;
+  Impl& impl = *server.impl_;
+  impl.options = options;
+  impl.model_store.emplace(std::move(store).value());
+  impl.scheduler.emplace(&*impl.model_store, &impl.arena, options.scheduler,
+                         &impl.clock);
+
+  impl.listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (impl.listen_fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(impl.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(impl.listen_fd, 128) != 0) return Errno("listen");
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return Errno("getsockname");
+  }
+  impl.bound_port = ntohs(addr.sin_port);
+
+  impl.wake_fd = ::eventfd(0, EFD_NONBLOCK);
+  if (impl.wake_fd < 0) return Errno("eventfd");
+  impl.epoll_fd = ::epoll_create1(0);
+  if (impl.epoll_fd < 0) return Errno("epoll_create1");
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = 0;
+  if (epoll_ctl(impl.epoll_fd, EPOLL_CTL_ADD, impl.listen_fd, &event) != 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  event.data.u64 = 1;
+  if (epoll_ctl(impl.epoll_fd, EPOLL_CTL_ADD, impl.wake_fd, &event) != 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+
+  impl.loop = std::thread([impl_ptr = server.impl_.get()] {
+    impl_ptr->Loop();
+  });
+  EMAF_LOG(INFO) << "serve::Server listening on 127.0.0.1:" << impl.bound_port
+                 << " (" << impl.model_store->num_known_models()
+                 << " tenants known)";
+  return server;
+}
+
+uint16_t Server::port() const { return impl_->bound_port; }
+
+void Server::Stop() { impl_->Shutdown(); }
+
+Server::Stats Server::stats() const {
+  const Impl& impl = *impl_;
+  Stats stats;
+  stats.connections_accepted =
+      impl.connections_accepted.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      impl.connections_closed.load(std::memory_order_relaxed);
+  stats.frames_received = impl.frames_received.load(std::memory_order_relaxed);
+  stats.frames_sent = impl.frames_sent.load(std::memory_order_relaxed);
+  stats.bytes_read = impl.bytes_read.load(std::memory_order_relaxed);
+  stats.bytes_written = impl.bytes_written.load(std::memory_order_relaxed);
+  stats.requests_ok = impl.requests_ok.load(std::memory_order_relaxed);
+  stats.requests_rejected =
+      impl.requests_rejected.load(std::memory_order_relaxed);
+  stats.requests_failed =
+      impl.requests_failed.load(std::memory_order_relaxed);
+  stats.protocol_errors =
+      impl.protocol_errors.load(std::memory_order_relaxed);
+  stats.active_connections =
+      impl.connections_accepted.load(std::memory_order_relaxed) >=
+              impl.connections_closed.load(std::memory_order_relaxed)
+          ? static_cast<int64_t>(
+                impl.connections_accepted.load(std::memory_order_relaxed) -
+                impl.connections_closed.load(std::memory_order_relaxed))
+          : 0;
+  return stats;
+}
+
+ModelStore& Server::store() { return *impl_->model_store; }
+
+RequestScheduler::Stats Server::scheduler_stats() const {
+  return impl_->scheduler->stats();
+}
+
+}  // namespace emaf::serve
