@@ -54,6 +54,10 @@ Result<Client> Client::Connect(uint16_t port, const ClientOptions& options) {
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.recv_buffer_bytes > 0) {
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options.recv_buffer_bytes,
+               sizeof(options.recv_buffer_bytes));
+  }
   if (options.recv_timeout_ms > 0) {
     timeval tv{};
     tv.tv_sec = options.recv_timeout_ms / 1000;
@@ -85,9 +89,15 @@ Status Client::SendBytes(std::string_view bytes) {
     if (options_.write_chunk_bytes > 0) {
       chunk = std::min(chunk, options_.write_chunk_bytes);
     }
-    ssize_t n = ::write(fd_, bytes.data() + offset, chunk);
+    // MSG_NOSIGNAL: a server that closed this stream (protocol error, slow
+    // reader) must surface as a Status, not as a SIGPIPE killing the
+    // process. EPIPE/ECONNRESET are that normal close.
+    ssize_t n = ::send(fd_, bytes.data() + offset, chunk, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("server closed the connection");
+      }
       return Status::Unavailable(StrCat("write: ", std::strerror(errno)));
     }
     offset += static_cast<size_t>(n);

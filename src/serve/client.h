@@ -42,6 +42,10 @@ struct ClientOptions {
   // Receive timeout; a read that sees no byte for this long fails with
   // kUnavailable instead of hanging a test forever. <= 0 = no timeout.
   int64_t recv_timeout_ms = 30000;
+  // SO_RCVBUF for the socket (set before connect); 0 keeps the kernel
+  // default and its autotuning. Tiny values make a deliberately-not-reading
+  // client exert real backpressure, which the slow-reader tests rely on.
+  int recv_buffer_bytes = 0;
 };
 
 class Client {

@@ -204,14 +204,21 @@ Result<tensor::Tensor> DecodeTensorPayload(std::string_view payload) {
   }
   std::vector<int64_t> dims(rank);
   uint64_t numel = 1;
+  // The payload itself bounds any decodable shape: every element needs 8
+  // data bytes, so the announced product can never exceed payload/8 —
+  // whatever frame ceiling the transport was configured with. The
+  // division form keeps the running product overflow-free.
+  const uint64_t max_numel = payload.size() / 8;
   for (uint32_t i = 0; i < rank; ++i) {
     dims[i] = ReadLe<uint32_t>(payload.data() + 4 + 4 * i);
-    numel *= static_cast<uint64_t>(dims[i]);
-    if (numel > (kDefaultMaxFrameBytes / 8)) {
+    const uint64_t dim = static_cast<uint64_t>(dims[i]);
+    if (dim != 0 && numel > max_numel / dim) {
       return Status::InvalidArgument(
-          StrCat("tensor payload dims announce ", numel,
-                 "+ elements, over the frame ceiling"));
+          StrCat("tensor payload dims announce more than ", max_numel,
+                 " elements, over what the ", payload.size(),
+                 "-byte payload can hold"));
     }
+    numel *= dim;
   }
   const size_t data_offset = 4 + 4 * static_cast<size_t>(rank);
   const size_t data_bytes = payload.size() - data_offset;

@@ -87,6 +87,7 @@ struct Server::Impl {
   std::atomic<uint64_t> requests_rejected{0};
   std::atomic<uint64_t> requests_failed{0};
   std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> slow_reader_drops{0};
 
   // Joins the loop thread (idempotent; main thread only). Descriptors are
   // closed only after the join, so the loop never races a close.
@@ -138,7 +139,21 @@ struct Server::Impl {
     conn->out.append(EncodeFrame(frame));
     frames_sent.fetch_add(1, std::memory_order_relaxed);
     EMAF_METRIC_COUNTER_ADD("serve.server.frames_sent_total", 1);
-    FlushWrites(conn);
+    const uint64_t conn_id = conn->id;
+    FlushWrites(conn);  // may close the connection; re-resolve before use
+    auto it = conns.find(conn_id);
+    if (it == conns.end()) return;
+    conn = it->second.get();
+    // A peer that keeps the request direction busy but never reads its
+    // socket would grow `out` without limit — the scheduler queue bounds
+    // forecast responses, but pong and error replies bypass admission.
+    // Such a slow reader is dropped once its backlog exceeds the ceiling.
+    if (conn->out.size() - conn->out_offset >
+        options.max_conn_buffered_bytes) {
+      slow_reader_drops.fetch_add(1, std::memory_order_relaxed);
+      EMAF_METRIC_COUNTER_ADD("serve.server.slow_reader_drops_total", 1);
+      CloseConn(conn_id);
+    }
   }
 
   void SendError(Conn* conn, uint64_t request_id, const Status& status) {
@@ -157,8 +172,11 @@ struct Server::Impl {
       return;
     }
     while (conn->out_offset < conn->out.size()) {
-      ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_offset,
-                          conn->out.size() - conn->out_offset);
+      // MSG_NOSIGNAL: writing to a peer that already reset the connection
+      // must fail with EPIPE (a normal close, handled below), never raise
+      // SIGPIPE and kill the whole server.
+      ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_offset,
+                         conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
       if (n > 0) {
         conn->out_offset += static_cast<size_t>(n);
         bytes_written.fetch_add(static_cast<uint64_t>(n),
@@ -207,6 +225,10 @@ struct Server::Impl {
       }
       int one = 1;
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (options.send_buffer_bytes > 0) {
+        setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.send_buffer_bytes,
+                   sizeof(options.send_buffer_bytes));
+      }
       auto conn = std::make_unique<Conn>(options.max_frame_bytes);
       conn->fd = fd;
       conn->id = next_conn_id++;
@@ -502,6 +524,8 @@ Server::Stats Server::stats() const {
       impl.requests_failed.load(std::memory_order_relaxed);
   stats.protocol_errors =
       impl.protocol_errors.load(std::memory_order_relaxed);
+  stats.slow_reader_drops =
+      impl.slow_reader_drops.load(std::memory_order_relaxed);
   stats.active_connections =
       impl.connections_accepted.load(std::memory_order_relaxed) >=
               impl.connections_closed.load(std::memory_order_relaxed)

@@ -32,8 +32,9 @@
 //
 // Instrumentation: serve.server.connections_total / active_connections /
 // frames_received_total / frames_sent_total / bytes_read_total /
-// bytes_written_total / rejected_total / protocol_errors_total and the
-// serve.server.request_seconds latency histogram. Fault sites:
+// bytes_written_total / rejected_total / protocol_errors_total /
+// slow_reader_drops_total and the serve.server.request_seconds latency
+// histogram. Fault sites:
 // serve.server.accept (drops an incoming connection),
 // serve.server.read/<conn> and serve.server.write/<conn> (fail one
 // connection's I/O; <conn> is the connection's accept-order index).
@@ -61,6 +62,17 @@ struct ServerOptions {
   int64_t max_connections = 256;
   // Frame-size ceiling enforced by the per-connection decoders.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Ceiling on encoded reply bytes buffered toward one connection (frames
+  // the socket has not yet accepted). A peer that pipelines requests but
+  // never reads its socket is dropped once its backlog exceeds this —
+  // bounding per-connection memory; the scheduler queue alone does not,
+  // because ping/pong and error replies bypass admission. Must be at
+  // least max_frame_bytes or a single max-size response can trip it.
+  size_t max_conn_buffered_bytes = 4 * kDefaultMaxFrameBytes;
+  // SO_SNDBUF for accepted sockets; 0 keeps the kernel default (and its
+  // autotuning). Tiny values make write backpressure observable, which
+  // the slow-reader tests rely on.
+  int send_buffer_bytes = 0;
   // Residency budgets etc. for the underlying ModelStore.
   ModelStoreOptions store;
   // Admission bound and micro-batch shape for the RequestScheduler. The
@@ -100,6 +112,7 @@ class Server {
     uint64_t requests_rejected = 0;  // kUnavailable backpressure replies
     uint64_t requests_failed = 0;    // per-request errors (store, forecast)
     uint64_t protocol_errors = 0;    // malformed frames / streams
+    uint64_t slow_reader_drops = 0;  // write backlog over the ceiling
     int64_t active_connections = 0;
   };
   Stats stats() const;

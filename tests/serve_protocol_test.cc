@@ -89,6 +89,42 @@ TEST(ProtocolTest, TensorPayloadRoundTripsBitwise) {
   }
 }
 
+// The payload itself, not any frame ceiling, bounds the announced shape:
+// a tensor larger than kDefaultMaxFrameBytes still decodes when handed to
+// the codec directly, so a transport configured with a larger frame
+// ceiling never has valid tensors rejected by the payload decoder.
+TEST(ProtocolTest, TensorPayloadLargerThanTheDefaultFrameCeilingDecodes) {
+  const int64_t elements =
+      static_cast<int64_t>(kDefaultMaxFrameBytes / 8) + 16;
+  Tensor big = Tensor::FromVector(
+      Shape{elements},
+      std::vector<double>(static_cast<size_t>(elements), 0.5));
+  std::string payload = EncodeTensorPayload(big);
+  ASSERT_GT(payload.size(), kDefaultMaxFrameBytes);
+  Result<Tensor> decoded = DecodeTensorPayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().shape().dims(), big.shape().dims());
+}
+
+// Announced dims whose product dwarfs the payload (rank 8, every dim
+// 0xFFFFFFFF — a product that would overflow u64 many times over) are
+// rejected from the payload size alone, without overflow and without
+// allocating.
+TEST(ProtocolTest, TensorPayloadDimsOverThePayloadAreRejected) {
+  std::string payload(4 + 4 * 8, '\0');
+  const uint32_t rank = 8;
+  std::memcpy(payload.data(), &rank, 4);
+  for (size_t i = 0; i < 8; ++i) {
+    const uint32_t dim = 0xFFFFFFFFu;
+    std::memcpy(payload.data() + 4 + 4 * i, &dim, 4);
+  }
+  Result<Tensor> decoded = DecodeTensorPayload(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("payload can hold"),
+            std::string::npos);
+}
+
 TEST(ProtocolTest, StatusPayloadRoundTrips) {
   Status original = Status::NotFound("no snapshot for tenant x");
   Status decoded = Status::Ok();

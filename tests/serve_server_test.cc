@@ -479,6 +479,50 @@ TEST_F(ServerTest, StopIsIdempotentAndDrainsInFlightWork) {
   EXPECT_GE(server.scheduler_stats().executed, 0u);
 }
 
+// The per-connection write buffer is bounded: a client that pipelines
+// pings but never reads would otherwise grow the server-side backlog
+// without limit once the kernel buffers fill (pong and error replies
+// bypass the scheduler's admission queue). Instead the slow reader is
+// dropped — counted in slow_reader_drops — and the server stays healthy
+// for everyone else. The failing sends on the dropped socket also pin the
+// client half of the SIGPIPE fix: they surface kUnavailable as a Status
+// instead of a signal killing this very process.
+TEST_F(ServerTest, SlowReaderIsDroppedOnceItsWriteBacklogExceedsTheCeiling) {
+  ServerOptions options;
+  options.send_buffer_bytes = 4096;  // cap kernel-side absorption
+  options.max_conn_buffered_bytes = 64 * 1024;
+  Server server = StartServerOrDie(options);
+  ClientOptions never_reads;
+  never_reads.recv_buffer_bytes = 4096;
+  Client client = ConnectOrDie(server, never_reads);
+  std::string burst;
+  Frame ping;
+  ping.type = FrameType::kPing;
+  for (uint64_t id = 1; id <= 4096; ++id) {
+    ping.request_id = id;
+    burst += EncodeFrame(ping);  // ~96 KiB of pings -> ~96 KiB of pongs
+  }
+  // Pour pings without ever reading a pong. Well before 64 rounds the
+  // un-read pongs exceed kernel buffers plus the 64 KiB ceiling, the
+  // server drops the connection, and further sends fail cleanly.
+  for (int round = 0; round < 64; ++round) {
+    Status sent = client.SendBytes(burst);
+    if (!sent.ok()) {
+      EXPECT_EQ(sent.code(), StatusCode::kUnavailable);
+      break;
+    }
+    if (server.stats().slow_reader_drops >= 1) break;
+  }
+  EXPECT_TRUE(WaitFor([&] { return server.stats().slow_reader_drops >= 1; }));
+  EXPECT_TRUE(WaitFor([&] { return server.stats().active_connections == 0; }));
+  // The server is unharmed for well-behaved clients.
+  Client healthy = ConnectOrDie(server);
+  EXPECT_TRUE(healthy.Ping().ok());
+  Result<Tensor> forecast = healthy.Forecast("t0", *window_);
+  ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+  EXPECT_EQ(forecast.value().ToVector(), expected_->at("t0"));
+}
+
 TEST_F(ServerTest, ConnectionsOverTheCapAreClosedImmediately) {
   ServerOptions options;
   options.max_connections = 1;
