@@ -14,14 +14,25 @@
 // evictions. Each request is classified cold/warm by the cold_loads delta
 // around it, giving the cold-load vs warm-acquire latency split.
 //
+// A fourth pass measures compiled inference plans (src/plan/): the same
+// engine requests with EngineOptions.use_compiled_plans on vs off. The
+// "arena" pass pins use_compiled_plans=false so it keeps measuring the
+// module path (tape-free core::Predict through the shared arena); the
+// "plan" pass replays the recorded op plan and also reports how many
+// interpreter instructions each request executed and how many fused
+// elementwise chains the five compiled plans contain.
+//
 // Emits BENCH_inference.json (EMAF_BENCH_JSON_DIR, default cwd):
 //   {"bench": "inference", ..., "no_arena": {"p50_seconds", "p99_seconds",
 //    "allocs_per_request"}, "arena": {...}, "arena_hit_rate",
+//    "plan": {"p50_seconds", "p99_seconds", "allocs_per_request",
+//     "instructions_per_request", "fused_chains"},
 //    "store": {"models_on_disk", "max_resident", "requests",
 //     "cold": {"p50_seconds", "p99_seconds"}, "warm": {...},
 //     "hit_rate", "cold_loads", "evictions"}}
 // allocs_per_request comes from the tensor.storage_allocs counter and is
-// reported as -1 when the build has metrics compiled out.
+// reported as -1 (like the plan instruction/fusion fields) when the build
+// has metrics compiled out.
 //
 //   EMAF_BENCH_INFER_REQUESTS  timed requests per pass (default 512)
 
@@ -250,29 +261,93 @@ void Run() {
     EMAF_CHECK(saved.ok()) << saved.ToString();
   }
 
+  // Two engines over the same snapshots: `engine` pins the module path
+  // (plans off) so the no_arena/arena passes keep their historical
+  // meaning; `plan_engine` serves from compiled plans (the default).
+  serve::EngineOptions module_options;
+  module_options.use_compiled_plans = false;
   Result<serve::InferenceEngine> engine = serve::InferenceEngine::Load(
-      dir.string());
+      dir.string(), module_options);
   EMAF_CHECK(engine.ok()) << engine.status().ToString();
+  Result<serve::InferenceEngine> plan_engine = serve::InferenceEngine::Load(
+      dir.string());
+  EMAF_CHECK(plan_engine.ok()) << plan_engine.status().ToString();
   std::vector<std::string> ids = engine.value().individual_ids();
   Rng window_rng(scale.seed + 1);
   tensor::Tensor window = tensor::Tensor::Uniform(
       tensor::Shape{1, seq, person.num_variables()}, -1, 1, &window_rng);
 
-  // Warm up both paths once per model so lazy first-request work (arena
-  // cold misses, page faults in fresh weights) stays out of the timings.
+  // Warm up every path once per model so lazy first-request work (arena
+  // cold misses, page faults in fresh weights, plan compilation) stays
+  // out of the timings. The fused-chain delta around the plan warm-up is
+  // the chain count across the five compiled plans.
+  uint64_t chains_before =
+      obs::Registry::Global().GetCounter("plan.fused_chains")->value();
   for (const std::string& id : ids) {
     core::Predict(engine.value().model(id), window);
     Result<tensor::Tensor> warm = engine.value().Forecast(id, window);
     EMAF_CHECK(warm.ok()) << warm.status().ToString();
+    Result<tensor::Tensor> compiled = plan_engine.value().Forecast(id, window);
+    EMAF_CHECK(compiled.ok()) << compiled.status().ToString();
   }
+  uint64_t fused_chains =
+      obs::Registry::Global().GetCounter("plan.fused_chains")->value() -
+      chains_before;
 
   PassStats no_arena = TimedPass(ids, requests, [&](const std::string& id) {
     core::Predict(engine.value().model(id), window);
   });
-  PassStats arena = TimedPass(ids, requests, [&](const std::string& id) {
-    Result<tensor::Tensor> out = engine.value().Forecast(id, window);
-    EMAF_CHECK(out.ok()) << out.status().ToString();
-  });
+  // Module vs plan, interleaved request by request: both passes see the
+  // same machine-noise profile, so their p50 delta reflects the execution
+  // paths rather than whichever pass a background hiccup landed on.
+  std::vector<double> module_latencies, plan_latencies;
+  module_latencies.reserve(static_cast<size_t>(requests));
+  plan_latencies.reserve(static_cast<size_t>(requests));
+  uint64_t module_allocs = 0, plan_allocs = 0;
+  uint64_t instructions_before =
+      obs::Registry::Global().GetCounter("plan.instructions_total")->value();
+  for (int64_t r = 0; r < requests; ++r) {
+    const std::string& id = ids[static_cast<size_t>(r) % ids.size()];
+    uint64_t allocs = StorageAllocs();
+    auto start = std::chrono::steady_clock::now();
+    Result<tensor::Tensor> module_out = engine.value().Forecast(id, window);
+    module_latencies.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    EMAF_CHECK(module_out.ok()) << module_out.status().ToString();
+    module_allocs += StorageAllocs() - allocs;
+
+    allocs = StorageAllocs();
+    start = std::chrono::steady_clock::now();
+    Result<tensor::Tensor> plan_out = plan_engine.value().Forecast(id, window);
+    plan_latencies.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    EMAF_CHECK(plan_out.ok()) << plan_out.status().ToString();
+    plan_allocs += StorageAllocs() - allocs;
+  }
+  double instructions_per_request =
+      obs::kMetricsEnabled
+          ? static_cast<double>(
+                obs::Registry::Global()
+                    .GetCounter("plan.instructions_total")
+                    ->value() -
+                instructions_before) /
+                static_cast<double>(requests)
+          : -1.0;
+  auto finish_pass = [&](std::vector<double> latencies, uint64_t allocs) {
+    std::sort(latencies.begin(), latencies.end());
+    PassStats stats;
+    stats.p50_seconds = Quantile(latencies, 0.5);
+    stats.p99_seconds = Quantile(latencies, 0.99);
+    if (obs::kMetricsEnabled) {
+      stats.allocs_per_request =
+          static_cast<double>(allocs) / static_cast<double>(requests);
+    }
+    return stats;
+  };
+  PassStats arena = finish_pass(std::move(module_latencies), module_allocs);
+  PassStats plan = finish_pass(std::move(plan_latencies), plan_allocs);
   tensor::InferenceArena::Stats arena_stats = engine.value().arena_stats();
   double hit_rate =
       arena_stats.hits + arena_stats.misses == 0
@@ -293,6 +368,12 @@ void Run() {
       ", \"no_arena\": ", PassJson(no_arena),
       ", \"arena\": ", PassJson(arena),
       ", \"arena_hit_rate\": ", hit_rate,
+      ", \"plan\": {\"p50_seconds\": ", plan.p50_seconds,
+      ", \"p99_seconds\": ", plan.p99_seconds,
+      ", \"allocs_per_request\": ", plan.allocs_per_request,
+      ", \"instructions_per_request\": ", instructions_per_request,
+      ", \"fused_chains\": ",
+      obs::kMetricsEnabled ? static_cast<double>(fused_chains) : -1.0, "}",
       ", \"store\": {\"models_on_disk\": ", store.models_on_disk,
       ", \"max_resident\": ", store.max_resident,
       ", \"requests\": ", store.requests,
@@ -313,6 +394,11 @@ void Run() {
             << arena.p99_seconds * 1e6 << "us, allocs/request "
             << arena.allocs_per_request << " (hit rate "
             << FormatFixed(hit_rate, 4) << ")\n"
+            << "plan:     p50 " << plan.p50_seconds * 1e6 << "us, p99 "
+            << plan.p99_seconds * 1e6 << "us, allocs/request "
+            << plan.allocs_per_request << " ("
+            << instructions_per_request << " instructions/request, "
+            << fused_chains << " fused chains)\n"
             << "store (" << store.max_resident << " of "
             << store.models_on_disk << " resident): cold p50 "
             << store.cold_p50 * 1e6 << "us, p99 " << store.cold_p99 * 1e6

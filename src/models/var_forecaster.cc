@@ -40,16 +40,14 @@ Tensor VarForecaster::Forward(const Tensor& window) {
   CheckWindow(window);
   int64_t batch = window.dim(0);
   int64_t features = input_length_ * num_variables_ + 1;
-  // Same design-matrix construction as VarBaseline::Predict, so the two
-  // paths produce byte-identical forecasts from equal coefficients.
-  Tensor design = Tensor::Ones(Shape{batch, features});
-  const double* in = window.data();
-  double* dd = design.data();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t f = 0; f < features - 1; ++f) {
-      dd[b * features + f] = in[b * (features - 1) + f];
-    }
-  }
+  // Same design-matrix layout as VarBaseline::Predict — the lag block is a
+  // row-major copy of the window with a trailing ones column — expressed
+  // through tensor ops so the whole forward is visible to plan recording
+  // (tensor/plan_hook.h). Cat copies the flattened window rows verbatim,
+  // so the forecasts stay byte-identical to the hand-rolled fill.
+  Tensor lags = tensor::Reshape(window, Shape{batch, features - 1});
+  Tensor design =
+      tensor::Cat({lags, Tensor::Ones(Shape{batch, 1})}, /*dim=*/1);
   return tensor::MatMul(design, *coefficients_);
 }
 

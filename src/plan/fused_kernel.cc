@@ -1,0 +1,148 @@
+// Compiled with -ffp-contract=off (see src/CMakeLists.txt) — the step
+// formulas below must produce bit-identical results to the op lambdas in
+// tensor/ops_elementwise.cc and tensor/ops_activation.cc, which each run
+// in their own loop where no cross-op FMA contraction is possible.
+//
+// Execution is step-major: the output buffer starts as a copy of the
+// stream, then each step runs as one tight pass over the whole buffer
+// with the opcode switch hoisted out of the element loop, so the
+// arithmetic cases vectorize like the original op loops do. Elements are
+// independent, so per element this applies the exact same operations in
+// the exact same order as a per-element chain would — bitwise identical —
+// while the buffers involved (one chain's worth of activations) stay
+// cache-resident between passes.
+
+#include "plan/fused_kernel.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace emaf::plan {
+
+using tensor::Scalar;
+using tensor::Tensor;
+
+namespace {
+
+// One step applied across the whole buffer, in place. Mirrors the op
+// lambdas verbatim: Sigmoid's branch-stable logistic, Elu's
+// alpha * (exp(v) - 1.0), ... For binary steps `other` is the second
+// operand array (dst itself when the step consumes the accumulator
+// twice); for unary/scalar steps it is ignored.
+void ApplyStep(const FusedStep& step, Scalar* dst, const Scalar* other,
+               int64_t n) {
+  auto binary = [&](auto op) {
+    EMAF_CHECK(other != nullptr)
+        << "binary fused step without an operand: " << OpCodeName(step.op);
+    if (step.acc_rhs) {
+      for (int64_t i = 0; i < n; ++i) dst[i] = op(other[i], dst[i]);
+    } else {
+      for (int64_t i = 0; i < n; ++i) dst[i] = op(dst[i], other[i]);
+    }
+  };
+  switch (step.op) {
+    case OpCode::kAdd:
+      binary([](Scalar a, Scalar b) { return a + b; });
+      break;
+    case OpCode::kSub:
+      binary([](Scalar a, Scalar b) { return a - b; });
+      break;
+    case OpCode::kMul:
+      binary([](Scalar a, Scalar b) { return a * b; });
+      break;
+    case OpCode::kDiv:
+      binary([](Scalar a, Scalar b) { return a / b; });
+      break;
+    case OpCode::kMaximum:
+      binary([](Scalar a, Scalar b) { return a > b ? a : b; });
+      break;
+    case OpCode::kMinimum:
+      binary([](Scalar a, Scalar b) { return a < b ? a : b; });
+      break;
+    case OpCode::kNeg:
+      for (int64_t i = 0; i < n; ++i) dst[i] = -dst[i];
+      break;
+    case OpCode::kExp:
+      for (int64_t i = 0; i < n; ++i) dst[i] = std::exp(dst[i]);
+      break;
+    case OpCode::kLog:
+      for (int64_t i = 0; i < n; ++i) dst[i] = std::log(dst[i]);
+      break;
+    case OpCode::kSqrt:
+      for (int64_t i = 0; i < n; ++i) dst[i] = std::sqrt(dst[i]);
+      break;
+    case OpCode::kAbs:
+      for (int64_t i = 0; i < n; ++i) dst[i] = std::abs(dst[i]);
+      break;
+    case OpCode::kPow:
+      for (int64_t i = 0; i < n; ++i) dst[i] = std::pow(dst[i], step.s0);
+      break;
+    case OpCode::kClamp:
+      for (int64_t i = 0; i < n; ++i) {
+        const Scalar v = dst[i];
+        dst[i] = v < step.s0 ? step.s0 : (v > step.s1 ? step.s1 : v);
+      }
+      break;
+    case OpCode::kAddScalar:
+      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] + step.s0;
+      break;
+    case OpCode::kMulScalar:
+      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] * step.s0;
+      break;
+    case OpCode::kRelu:
+      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] > 0 ? dst[i] : 0.0;
+      break;
+    case OpCode::kLeakyRelu:
+      for (int64_t i = 0; i < n; ++i) {
+        const Scalar v = dst[i];
+        dst[i] = v > 0 ? v : step.s0 * v;
+      }
+      break;
+    case OpCode::kElu:
+      for (int64_t i = 0; i < n; ++i) {
+        const Scalar v = dst[i];
+        dst[i] = v > 0 ? v : step.s0 * (std::exp(v) - 1.0);
+      }
+      break;
+    case OpCode::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) {
+        const Scalar v = dst[i];
+        if (v >= 0) {
+          const Scalar e = std::exp(-v);
+          dst[i] = 1.0 / (1.0 + e);
+        } else {
+          const Scalar e = std::exp(v);
+          dst[i] = e / (1.0 + e);
+        }
+      }
+      break;
+    case OpCode::kTanh:
+      for (int64_t i = 0; i < n; ++i) dst[i] = std::tanh(dst[i]);
+      break;
+    default:
+      EMAF_CHECK(false) << "non-elementwise op in fused chain: "
+                        << OpCodeName(step.op);
+  }
+}
+
+}  // namespace
+
+Tensor ExecuteFusedChain(const Instruction& instr, const Tensor& stream,
+                         const std::vector<const Scalar*>& operands) {
+  EMAF_CHECK_EQ(operands.size(), instr.steps.size());
+  Tensor out = tensor::MakeUninitialized(instr.out_shape);
+  Scalar* dst = out.data();
+  const int64_t n = instr.out_shape.NumElements();
+  std::memcpy(dst, stream.data(), static_cast<size_t>(n) * sizeof(Scalar));
+  for (size_t s = 0; s < instr.steps.size(); ++s) {
+    const FusedStep& step = instr.steps[s];
+    const Scalar* other = step.operand == kAccSlot ? dst : operands[s];
+    ApplyStep(step, dst, other, n);
+  }
+  return out;
+}
+
+}  // namespace emaf::plan

@@ -1,0 +1,32 @@
+// The kFusedChain per-element kernel.
+//
+// Lives in its own translation unit compiled with -ffp-contract=off: the
+// staged module path evaluates each elementwise op as a separate loop, so
+// no mul-then-add ever sits in one expression where the compiler could
+// contract it into an FMA. The fused loop chains those expressions
+// through `acc`, and under the toolchain's default contraction a
+// Mul-step feeding an Add-step would become fma(a, b, c) — bitwise
+// different from the staged bytes. Disabling contraction for just this
+// TU restores the exact staged arithmetic at fused speed.
+
+#ifndef EMAF_PLAN_FUSED_KERNEL_H_
+#define EMAF_PLAN_FUSED_KERNEL_H_
+
+#include <vector>
+
+#include "plan/ir.h"
+#include "tensor/tensor.h"
+
+namespace emaf::plan {
+
+// Runs instr.steps over every element of `stream`. operands[i] is the
+// data pointer for step i's binary operand (nullptr for unary steps and
+// for kAccSlot steps, which read the accumulator instead). Allocates the
+// output via MakeUninitialized under the caller's ArenaScope.
+tensor::Tensor ExecuteFusedChain(
+    const Instruction& instr, const tensor::Tensor& stream,
+    const std::vector<const tensor::Scalar*>& operands);
+
+}  // namespace emaf::plan
+
+#endif  // EMAF_PLAN_FUSED_KERNEL_H_

@@ -1,0 +1,34 @@
+#include "plan/plan_cache.h"
+
+#include <utility>
+
+#include "plan/recorder.h"
+
+namespace emaf::plan {
+
+PlanCache::Acquired PlanCache::GetOrCompile(models::Forecaster* model,
+                                            const tensor::Tensor& window) {
+  if (disabled()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window.shape() == shape_) {
+    if (plan_ != nullptr) return {plan_, /*hit=*/true};
+    if (failed_) return {};
+  }
+  // New shape (or first call): compile under the lock so a burst for one
+  // tenant records once. The forward run inside Compile is tape-free and
+  // write-free on the eval-mode model, so it is safe alongside concurrent
+  // module-path requests on other threads.
+  shape_ = window.shape();
+  plan_.reset();
+  failed_ = false;
+  Result<std::shared_ptr<const Plan>> compiled = Compile(model, window);
+  if (!compiled.ok()) {
+    failed_ = true;
+    return {};
+  }
+  plan_ = std::move(compiled).value();
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  return {plan_, /*hit=*/false};
+}
+
+}  // namespace emaf::plan

@@ -1,0 +1,66 @@
+// PlanCache: one compiled plan per resident model (DESIGN.md, "Compiled
+// plans").
+//
+// The ModelStore hangs one PlanCache off each StoreEntry, created at cold
+// load and dropped with the model at eviction — a reloaded model starts
+// with an empty cache, so a stale plan can never outlive the weights it
+// was recorded from. The cache holds the plan for the most recent window
+// shape (EMA serving reuses one window geometry per tenant; a shape
+// change recompiles and replaces). Compilation failures are remembered
+// per shape so a forward the recorder cannot express degrades to the
+// module path once, not per request; Disable() (the plan.execute fault
+// reaction) turns the cache off permanently for this residency.
+
+#ifndef EMAF_PLAN_PLAN_CACHE_H_
+#define EMAF_PLAN_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "models/forecaster.h"
+#include "plan/ir.h"
+#include "tensor/tensor.h"
+
+namespace emaf::plan {
+
+class PlanCache {
+ public:
+  struct Acquired {
+    // Null when the caller must run the module path (cache disabled, or
+    // compilation failed for this shape).
+    std::shared_ptr<const Plan> plan;
+    // True when the plan was served without compiling on this call.
+    bool hit = false;
+  };
+
+  // Returns the cached plan for window.shape(), compiling one if needed.
+  // Thread-safe; concurrent callers for the same shape coalesce on the
+  // cache mutex (one compiles, the rest wait and hit).
+  Acquired GetOrCompile(models::Forecaster* model,
+                        const tensor::Tensor& window);
+
+  // Permanent module fallback for this cache (and thus this residency).
+  void Disable() { disabled_.store(true, std::memory_order_relaxed); }
+  bool disabled() const {
+    return disabled_.load(std::memory_order_relaxed);
+  }
+
+  // Successful compiles over the cache lifetime (tests, bench).
+  int64_t compiles() const {
+    return compiles_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::shared_ptr<const Plan> plan_;
+  tensor::Shape shape_;      // the shape plan_/failed_ refer to
+  bool failed_ = false;      // Compile failed for shape_
+  std::atomic<bool> disabled_{false};
+  std::atomic<int64_t> compiles_{0};
+};
+
+}  // namespace emaf::plan
+
+#endif  // EMAF_PLAN_PLAN_CACHE_H_

@@ -4,18 +4,43 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/evaluator.h"
+#include "plan/interpreter.h"
 
 namespace emaf::serve {
 
 Result<tensor::Tensor> ExecuteForecast(models::Forecaster* model,
                                        const std::string& individual_id,
                                        const tensor::Tensor& window,
-                                       tensor::InferenceArena* arena) {
+                                       tensor::InferenceArena* arena,
+                                       plan::PlanCache* plans) {
   EMAF_METRIC_SCOPED_TIMER("serve.request_seconds");
   EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
   if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.request/", individual_id))) {
     return Status::Unavailable(
         StrCat("injected fault: serve.request/", individual_id));
+  }
+  if (plans != nullptr && !plans->disabled()) {
+    plan::PlanCache::Acquired acquired = plans->GetOrCompile(model, window);
+    if (acquired.hit) {
+      EMAF_METRIC_COUNTER_ADD("serve.plan_cache_hits", 1);
+    } else {
+      EMAF_METRIC_COUNTER_ADD("serve.plan_cache_misses", 1);
+    }
+    if (acquired.plan != nullptr) {
+      if (EMAF_FAULT_SHOULD_FAIL(StrCat("plan.execute/", individual_id))) {
+        // Structured per-request failure; this residency of the model
+        // permanently falls back to the module path (the conservative
+        // reaction to an execution-layer fault), later requests succeed.
+        plans->Disable();
+        return Status::Internal(
+            StrCat("injected fault: plan.execute/", individual_id));
+      }
+      Result<tensor::Tensor> prediction =
+          plan::Execute(*acquired.plan, window, arena);
+      if (prediction.ok()) return prediction;
+      plans->Disable();  // unexpected execute failure: stop using plans
+    }
+    // acquired.plan == nullptr (compile failed): module path below.
   }
   tensor::Tensor prediction;
   {

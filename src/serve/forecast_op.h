@@ -6,7 +6,12 @@
 //     observed for every executed request, whichever path ran it;
 //   - fault site serve.request/<id> fails exactly this request;
 //   - the forward runs inside an ArenaScope on the caller-provided pool
-//     and through core::Predict (tape-free, write-free on eval models).
+//     and through core::Predict (tape-free, write-free on eval models);
+//   - when a plan::PlanCache is supplied, the request executes through a
+//     compiled plan instead of the module graph — bitwise-identical bytes
+//     (the plan compiler verifies equality before serving; see DESIGN.md
+//     "Compiled plans") — with automatic module fallback when the plan
+//     cannot compile or fault site plan.execute/<id> fires.
 //
 // Callers hand in an already-resident model (a pinned ModelStore handle or
 // an eagerly loaded engine model); this layer never loads or evicts.
@@ -18,6 +23,7 @@
 
 #include "common/status.h"
 #include "models/forecaster.h"
+#include "plan/plan_cache.h"
 #include "tensor/arena.h"
 #include "tensor/tensor.h"
 
@@ -29,11 +35,13 @@ struct ForecastRequest {
 };
 
 // One forecast: window [B, L, V] -> [B, V]. `model` must be non-null and
-// in eval mode; `arena` may be null to run on the plain heap.
+// in eval mode; `arena` may be null to run on the plain heap; `plans`
+// null runs the module path unconditionally (plans disabled).
 Result<tensor::Tensor> ExecuteForecast(models::Forecaster* model,
                                        const std::string& individual_id,
                                        const tensor::Tensor& window,
-                                       tensor::InferenceArena* arena);
+                                       tensor::InferenceArena* arena,
+                                       plan::PlanCache* plans = nullptr);
 
 }  // namespace emaf::serve
 

@@ -83,6 +83,7 @@ Result<InferenceEngine> InferenceEngine::Load(const std::string& snapshot_dir,
   state.UpdateServeGauges();
 
   SchedulerOptions scheduler_options;
+  scheduler_options.use_compiled_plans = options.use_compiled_plans;
   scheduler_options.max_queue = 0;  // ForecastBatch never rejects
   // One micro-batch per ForecastBatch call: the whole request vector fans
   // out at once, exactly the PR-4 dispatch shape.
@@ -116,7 +117,8 @@ Result<tensor::Tensor> InferenceEngine::Forecast(
     return handle.status();
   }
   Result<tensor::Tensor> prediction = ExecuteForecast(
-      handle.value().get(), individual_id, window, &state_->arena);
+      handle.value().get(), individual_id, window, &state_->arena,
+      state_->options.use_compiled_plans ? handle.value().plans() : nullptr);
   state_->UpdateServeGauges();
   return prediction;
 }

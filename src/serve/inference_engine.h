@@ -54,6 +54,12 @@ struct EngineOptions {
   // behavior). See ModelStoreOptions for the budget semantics.
   int64_t max_resident_models = 0;
   int64_t max_resident_bytes = 0;
+  // Execute requests through compiled inference plans (DESIGN.md,
+  // "Compiled plans"): the first request per resident model records the
+  // forward into a flat instruction plan, later requests interpret it.
+  // Served bytes are bitwise identical either way (verified at compile
+  // time); off replays the module graph per request.
+  bool use_compiled_plans = true;
 };
 
 class InferenceEngine {

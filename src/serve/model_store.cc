@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "models/registry.h"
+#include "plan/plan_cache.h"
 
 namespace emaf::serve {
 
@@ -28,8 +29,11 @@ struct StoreEntry {
   int64_t file_bytes = 0;
   size_t shard = 0;
 
-  // Guarded by the owning shard's mutex.
+  // Guarded by the owning shard's mutex. The plan cache is created with
+  // the model at cold load and dropped with it at eviction, so plans
+  // compiled against one residency's weights die with that residency.
   std::shared_ptr<models::Forecaster> model;
+  std::shared_ptr<plan::PlanCache> plans;
   bool loading = false;
 
   // Lock-free: pins are released and recency stamped without the shard
@@ -49,13 +53,19 @@ using internal::StoreEntry;
 // --- ModelHandle -----------------------------------------------------------
 
 ModelHandle::ModelHandle(std::shared_ptr<StoreEntry> entry,
-                         std::shared_ptr<models::Forecaster> model)
-    : entry_(std::move(entry)), model_(std::move(model)) {}
+                         std::shared_ptr<models::Forecaster> model,
+                         std::shared_ptr<plan::PlanCache> plans)
+    : entry_(std::move(entry)),
+      model_(std::move(model)),
+      plans_(std::move(plans)) {}
 
 ModelHandle::ModelHandle(ModelHandle&& other) noexcept
-    : entry_(std::move(other.entry_)), model_(std::move(other.model_)) {
+    : entry_(std::move(other.entry_)),
+      model_(std::move(other.model_)),
+      plans_(std::move(other.plans_)) {
   other.entry_.reset();
   other.model_.reset();
+  other.plans_.reset();
 }
 
 ModelHandle& ModelHandle::operator=(ModelHandle&& other) noexcept {
@@ -63,8 +73,10 @@ ModelHandle& ModelHandle::operator=(ModelHandle&& other) noexcept {
     Release();
     entry_ = std::move(other.entry_);
     model_ = std::move(other.model_);
+    plans_ = std::move(other.plans_);
     other.entry_.reset();
     other.model_.reset();
+    other.plans_.reset();
   }
   return *this;
 }
@@ -80,6 +92,7 @@ void ModelHandle::Release() {
   entry_->pins.fetch_sub(1, std::memory_order_release);
   entry_.reset();
   model_.reset();
+  plans_.reset();
 }
 
 const std::string& ModelHandle::id() const {
@@ -176,6 +189,7 @@ struct ModelStore::Impl {
           continue;  // victim is non-evictable this pass
         }
         victim->model.reset();
+        victim->plans.reset();
         resident_models.fetch_sub(1, std::memory_order_relaxed);
         resident_bytes.fetch_sub(victim->file_bytes,
                                  std::memory_order_relaxed);
@@ -406,6 +420,7 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
         entry->pins.fetch_add(1, std::memory_order_relaxed);
         entry->last_used.store(impl_->NextTick(), std::memory_order_relaxed);
         std::shared_ptr<models::Forecaster> model = entry->model;
+        std::shared_ptr<plan::PlanCache> plans = entry->plans;
         lock.unlock();
         impl_->warm_hits.fetch_add(1, std::memory_order_relaxed);
         impl_->UpdateHitRate();
@@ -414,7 +429,8 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
                                         elapsed(),
                                         obs::DefaultSecondsBounds());
         }
-        return ModelHandle(std::move(entry), std::move(model));
+        return ModelHandle(std::move(entry), std::move(model),
+                           std::move(plans));
       }
       if (!entry->loading) break;
       // Another thread is cold-loading this id; coalesce on it rather
@@ -458,9 +474,11 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
   // model race-free (core::Predict).
   loaded.value()->SetTraining(false);
   std::shared_ptr<models::Forecaster> model = std::move(loaded).value();
+  std::shared_ptr<plan::PlanCache> plans = std::make_shared<plan::PlanCache>();
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     entry->model = model;
+    entry->plans = plans;
     entry->loading = false;
     entry->pins.fetch_add(1, std::memory_order_relaxed);
     entry->last_used.store(impl_->NextTick(), std::memory_order_relaxed);
@@ -480,7 +498,7 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
   // Concurrent admissions can race past the budget check together; shed
   // any overshoot now (best effort — this request keeps its model).
   impl_->TrimOverBudget();
-  return ModelHandle(std::move(entry), std::move(model));
+  return ModelHandle(std::move(entry), std::move(model), std::move(plans));
 }
 
 int64_t ModelStore::EvictIdle(int64_t max_to_evict) {

@@ -46,6 +46,10 @@
 #include "common/status.h"
 #include "models/forecaster.h"
 
+namespace emaf::plan {
+class PlanCache;
+}  // namespace emaf::plan
+
 namespace emaf::serve {
 
 struct ModelStoreOptions {
@@ -89,15 +93,22 @@ class ModelHandle {
   models::Forecaster* get() const { return model_.get(); }
   models::Forecaster* operator->() const { return model_.get(); }
   const std::string& id() const;
+  // The compiled-plan cache living with this residency of the model. The
+  // handle co-owns it like the model, so a plan being executed survives
+  // (hypothetical) eviction; a reloaded model gets a fresh empty cache,
+  // so a stale plan can never serve new weights.
+  plan::PlanCache* plans() const { return plans_.get(); }
 
  private:
   friend class ModelStore;
   ModelHandle(std::shared_ptr<internal::StoreEntry> entry,
-              std::shared_ptr<models::Forecaster> model);
+              std::shared_ptr<models::Forecaster> model,
+              std::shared_ptr<plan::PlanCache> plans);
   void Release();
 
   std::shared_ptr<internal::StoreEntry> entry_;
   std::shared_ptr<models::Forecaster> model_;
+  std::shared_ptr<plan::PlanCache> plans_;
 };
 
 // When this file exists inside the snapshot directory, Open() reads it

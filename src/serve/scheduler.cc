@@ -116,10 +116,11 @@ void RequestScheduler::Execute(Batch* batch) {
           Result<ModelHandle> handle =
               store_->Get(pending.request.individual_id);
           if (handle.ok()) {
-            pending.slot->result.emplace(
-                ExecuteForecast(handle.value().get(),
-                                pending.request.individual_id,
-                                pending.request.window, arena_));
+            pending.slot->result.emplace(ExecuteForecast(
+                handle.value().get(), pending.request.individual_id,
+                pending.request.window, arena_,
+                options_.use_compiled_plans ? handle.value().plans()
+                                            : nullptr));
           } else {
             // Count the failed request so serve.requests_total covers
             // every admitted request, executed or degraded.

@@ -78,6 +78,9 @@ struct SchedulerOptions {
   // A non-full batch closes once its oldest request is this many virtual
   // ticks old. 0 = every Pump() drains whatever is pending.
   uint64_t max_delay_ticks = 1;
+  // Execute through each model's compiled-plan cache (bitwise-identical
+  // bytes, module fallback). Mirrors EngineOptions.use_compiled_plans.
+  bool use_compiled_plans = true;
 };
 
 // Completion slot for one submitted request. Tickets are cheap to copy;

@@ -2,12 +2,15 @@
 
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
+#include "tensor/plan_hook.h"
 
 namespace emaf::tensor {
 
 namespace {
 
 using internal::MapUnary;
+
+namespace ph = plan_hook;
 
 void DecomposeAround(const Shape& shape, int64_t axis, int64_t* outer,
                      int64_t* d, int64_t* inner) {
@@ -22,6 +25,7 @@ void DecomposeAround(const Shape& shape, int64_t axis, int64_t* outer,
 
 Tensor Relu(const Tensor& x) {
   Tensor out = MapUnary(x, [](Scalar v) { return v > 0 ? v : 0.0; });
+  if (ph::Active()) ph::Record({ph::OpKind::kRelu, {x}, out});
   if (ShouldRecord({x})) {
     Tensor xd = x.Detach();
     SetGradFn(&out, "Relu", {x}, [xd](const Tensor& g) {
@@ -43,6 +47,9 @@ Tensor Relu(const Tensor& x) {
 Tensor LeakyRelu(const Tensor& x, Scalar negative_slope) {
   Tensor out = MapUnary(
       x, [negative_slope](Scalar v) { return v > 0 ? v : negative_slope * v; });
+  if (ph::Active()) {
+    ph::Record({ph::OpKind::kLeakyRelu, {x}, out, negative_slope});
+  }
   if (ShouldRecord({x})) {
     Tensor xd = x.Detach();
     SetGradFn(&out, "LeakyRelu", {x}, [xd, negative_slope](const Tensor& g) {
@@ -64,6 +71,7 @@ Tensor LeakyRelu(const Tensor& x, Scalar negative_slope) {
 Tensor Elu(const Tensor& x, Scalar alpha) {
   Tensor out = MapUnary(
       x, [alpha](Scalar v) { return v > 0 ? v : alpha * (std::exp(v) - 1.0); });
+  if (ph::Active()) ph::Record({ph::OpKind::kElu, {x}, out, alpha});
   if (ShouldRecord({x})) {
     Tensor xd = x.Detach();
     Tensor y = out.Detach();
@@ -95,6 +103,7 @@ Tensor Sigmoid(const Tensor& x) {
     Scalar e = std::exp(v);
     return e / (1.0 + e);
   });
+  if (ph::Active()) ph::Record({ph::OpKind::kSigmoid, {x}, out});
   if (ShouldRecord({x})) {
     Tensor y = out.Detach();
     SetGradFn(&out, "Sigmoid", {x}, [y](const Tensor& g) {
@@ -115,6 +124,7 @@ Tensor Sigmoid(const Tensor& x) {
 
 Tensor Tanh(const Tensor& x) {
   Tensor out = MapUnary(x, [](Scalar v) { return std::tanh(v); });
+  if (ph::Active()) ph::Record({ph::OpKind::kTanh, {x}, out});
   if (ShouldRecord({x})) {
     Tensor y = out.Detach();
     SetGradFn(&out, "Tanh", {x}, [y](const Tensor& g) {
@@ -160,6 +170,9 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
     }
   }
 
+  if (ph::Active()) {
+    ph::Record({ph::OpKind::kSoftmax, {x}, out, 0.0, 0.0, {axis}});
+  }
   if (ShouldRecord({x})) {
     Tensor y = out.Detach();
     SetGradFn(&out, "Softmax", {x}, [y, outer, d, inner](const Tensor& g) {
@@ -217,6 +230,9 @@ Tensor LogSoftmax(const Tensor& x, int64_t dim) {
     }
   }
 
+  if (ph::Active()) {
+    ph::Record({ph::OpKind::kLogSoftmax, {x}, out, 0.0, 0.0, {axis}});
+  }
   if (ShouldRecord({x})) {
     Tensor y = out.Detach();
     SetGradFn(&out, "LogSoftmax", {x}, [y, outer, d, inner](const Tensor& g) {

@@ -2,6 +2,7 @@
 #include "common/thread_pool.h"
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
+#include "tensor/plan_hook.h"
 
 namespace emaf::tensor {
 
@@ -178,6 +179,16 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     }
   });
 
+  if (plan_hook::Active()) {
+    plan_hook::Record({plan_hook::OpKind::kConv2d,
+                       {input, weight, bias},
+                       out,
+                       0.0,
+                       0.0,
+                       {options.stride_h, options.stride_w, options.pad_h,
+                        options.pad_w, options.dilation_h,
+                        options.dilation_w}});
+  }
   std::vector<Tensor> tracked = {input, weight};
   if (bias.defined()) tracked.push_back(bias);
   if (ShouldRecord(tracked)) {

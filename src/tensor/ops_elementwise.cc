@@ -2,6 +2,7 @@
 
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
+#include "tensor/plan_hook.h"
 
 namespace emaf::tensor {
 
@@ -11,10 +12,13 @@ using internal::MapBinary;
 using internal::MapUnary;
 using internal::SumTo;
 
+namespace ph = plan_hook;
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   Tensor out = MapBinary(a, b, [](Scalar x, Scalar y) { return x + y; });
+  if (ph::Active()) ph::Record({ph::OpKind::kAdd, {a, b}, out});
   if (ShouldRecord({a, b})) {
     Shape sa = a.shape();
     Shape sb = b.shape();
@@ -27,6 +31,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   Tensor out = MapBinary(a, b, [](Scalar x, Scalar y) { return x - y; });
+  if (ph::Active()) ph::Record({ph::OpKind::kSub, {a, b}, out});
   if (ShouldRecord({a, b})) {
     Shape sa = a.shape();
     Shape sb = b.shape();
@@ -43,6 +48,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   Tensor out = MapBinary(a, b, [](Scalar x, Scalar y) { return x * y; });
+  if (ph::Active()) ph::Record({ph::OpKind::kMul, {a, b}, out});
   if (ShouldRecord({a, b})) {
     Tensor ad = a.Detach();
     Tensor bd = b.Detach();
@@ -57,6 +63,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   Tensor out = MapBinary(a, b, [](Scalar x, Scalar y) { return x / y; });
+  if (ph::Active()) ph::Record({ph::OpKind::kDiv, {a, b}, out});
   if (ShouldRecord({a, b})) {
     Tensor ad = a.Detach();
     Tensor bd = b.Detach();
@@ -74,6 +81,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 Tensor Maximum(const Tensor& a, const Tensor& b) {
   Tensor out =
       MapBinary(a, b, [](Scalar x, Scalar y) { return x > y ? x : y; });
+  if (ph::Active()) ph::Record({ph::OpKind::kMaximum, {a, b}, out});
   if (ShouldRecord({a, b})) {
     Tensor ad = a.Detach();
     Tensor bd = b.Detach();
@@ -94,6 +102,7 @@ Tensor Maximum(const Tensor& a, const Tensor& b) {
 Tensor Minimum(const Tensor& a, const Tensor& b) {
   Tensor out =
       MapBinary(a, b, [](Scalar x, Scalar y) { return x < y ? x : y; });
+  if (ph::Active()) ph::Record({ph::OpKind::kMinimum, {a, b}, out});
   if (ShouldRecord({a, b})) {
     Tensor ad = a.Detach();
     Tensor bd = b.Detach();
@@ -112,6 +121,7 @@ Tensor Minimum(const Tensor& a, const Tensor& b) {
 
 Tensor Neg(const Tensor& x) {
   Tensor out = MapUnary(x, [](Scalar v) { return -v; });
+  if (ph::Active()) ph::Record({ph::OpKind::kNeg, {x}, out});
   if (ShouldRecord({x})) {
     SetGradFn(&out, "Neg", {x}, [](const Tensor& g) {
       NoGradGuard guard;
@@ -123,6 +133,7 @@ Tensor Neg(const Tensor& x) {
 
 Tensor Exp(const Tensor& x) {
   Tensor out = MapUnary(x, [](Scalar v) { return std::exp(v); });
+  if (ph::Active()) ph::Record({ph::OpKind::kExp, {x}, out});
   if (ShouldRecord({x})) {
     Tensor y = out.Detach();
     SetGradFn(&out, "Exp", {x}, [y](const Tensor& g) {
@@ -135,6 +146,7 @@ Tensor Exp(const Tensor& x) {
 
 Tensor Log(const Tensor& x) {
   Tensor out = MapUnary(x, [](Scalar v) { return std::log(v); });
+  if (ph::Active()) ph::Record({ph::OpKind::kLog, {x}, out});
   if (ShouldRecord({x})) {
     Tensor xd = x.Detach();
     SetGradFn(&out, "Log", {x}, [xd](const Tensor& g) {
@@ -147,6 +159,7 @@ Tensor Log(const Tensor& x) {
 
 Tensor Sqrt(const Tensor& x) {
   Tensor out = MapUnary(x, [](Scalar v) { return std::sqrt(v); });
+  if (ph::Active()) ph::Record({ph::OpKind::kSqrt, {x}, out});
   if (ShouldRecord({x})) {
     Tensor y = out.Detach();
     SetGradFn(&out, "Sqrt", {x}, [y](const Tensor& g) {
@@ -160,6 +173,7 @@ Tensor Sqrt(const Tensor& x) {
 
 Tensor Abs(const Tensor& x) {
   Tensor out = MapUnary(x, [](Scalar v) { return std::abs(v); });
+  if (ph::Active()) ph::Record({ph::OpKind::kAbs, {x}, out});
   if (ShouldRecord({x})) {
     Tensor xd = x.Detach();
     SetGradFn(&out, "Abs", {x}, [xd](const Tensor& g) {
@@ -174,6 +188,7 @@ Tensor Abs(const Tensor& x) {
 
 Tensor Pow(const Tensor& x, Scalar exponent) {
   Tensor out = MapUnary(x, [exponent](Scalar v) { return std::pow(v, exponent); });
+  if (ph::Active()) ph::Record({ph::OpKind::kPow, {x}, out, exponent});
   if (ShouldRecord({x})) {
     Tensor xd = x.Detach();
     SetGradFn(&out, "Pow", {x}, [xd, exponent](const Tensor& g) {
@@ -190,6 +205,7 @@ Tensor Clamp(const Tensor& x, Scalar low, Scalar high) {
   EMAF_CHECK_LE(low, high);
   Tensor out = MapUnary(
       x, [low, high](Scalar v) { return v < low ? low : (v > high ? high : v); });
+  if (ph::Active()) ph::Record({ph::OpKind::kClamp, {x}, out, low, high});
   if (ShouldRecord({x})) {
     Tensor xd = x.Detach();
     SetGradFn(&out, "Clamp", {x}, [xd, low, high](const Tensor& g) {
@@ -205,6 +221,7 @@ Tensor Clamp(const Tensor& x, Scalar low, Scalar high) {
 
 Tensor AddScalar(const Tensor& x, Scalar s) {
   Tensor out = MapUnary(x, [s](Scalar v) { return v + s; });
+  if (ph::Active()) ph::Record({ph::OpKind::kAddScalar, {x}, out, s});
   if (ShouldRecord({x})) {
     SetGradFn(&out, "AddScalar", {x}, [](const Tensor& g) {
       return std::vector<Tensor>{g.Clone()};
@@ -215,6 +232,7 @@ Tensor AddScalar(const Tensor& x, Scalar s) {
 
 Tensor MulScalar(const Tensor& x, Scalar s) {
   Tensor out = MapUnary(x, [s](Scalar v) { return v * s; });
+  if (ph::Active()) ph::Record({ph::OpKind::kMulScalar, {x}, out, s});
   if (ShouldRecord({x})) {
     SetGradFn(&out, "MulScalar", {x}, [s](const Tensor& g) {
       NoGradGuard guard;

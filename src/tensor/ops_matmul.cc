@@ -4,6 +4,7 @@
 #include "common/thread_pool.h"
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
+#include "tensor/plan_hook.h"
 
 namespace emaf::tensor {
 
@@ -163,6 +164,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     }
   }
 
+  if (plan_hook::Active()) {
+    plan_hook::Record({plan_hook::OpKind::kMatMul, {a, b}, out});
+  }
   if (ShouldRecord({a, b})) {
     Tensor ad_saved = a.Detach();
     Tensor bd_saved = b.Detach();

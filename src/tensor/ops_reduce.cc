@@ -4,13 +4,24 @@
 
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
+#include "tensor/plan_hook.h"
 
 namespace emaf::tensor {
+
+namespace {
+namespace ph = plan_hook;
+}  // namespace
 
 namespace internal {
 
 Tensor SumTo(const Tensor& x, const Shape& target) {
-  if (x.shape() == target) return x.Clone();
+  if (x.shape() == target) {
+    Tensor out = x.Clone();
+    if (ph::Active()) {
+      ph::Record({ph::OpKind::kSumTo, {x}, out, 0.0, 0.0, target.dims()});
+    }
+    return out;
+  }
   EMAF_CHECK(IsBroadcastableTo(target, x.shape()))
       << "cannot sum-reduce " << x.shape().ToString() << " to "
       << target.ToString();
@@ -32,6 +43,9 @@ Tensor SumTo(const Tensor& x, const Shape& target) {
       off -= t_strides[axis] * dims[axis];
       index[axis] = 0;
     }
+  }
+  if (ph::Active()) {
+    ph::Record({ph::OpKind::kSumTo, {x}, out, 0.0, 0.0, target.dims()});
   }
   return out;
 }

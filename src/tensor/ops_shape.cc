@@ -2,10 +2,13 @@
 
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
+#include "tensor/plan_hook.h"
 
 namespace emaf::tensor {
 
 namespace {
+
+namespace ph = plan_hook;
 
 // Copies x into a tensor of shape `out_shape`, where reading follows
 // `in_strides` (aligned to out_shape axes). Shared by Permute/BroadcastTo.
@@ -65,6 +68,9 @@ Tensor Reshape(const Tensor& x, const Shape& shape) {
   impl->shape = shape;
   impl->storage = x.impl()->storage;  // view: same data
   Tensor out(std::move(impl));
+  if (ph::Active()) {
+    ph::Record({ph::OpKind::kReshape, {x}, out, 0.0, 0.0, shape.dims()});
+  }
   if (ShouldRecord({x})) {
     Shape x_shape = x.shape();
     SetGradFn(&out, "Reshape", {x}, [x_shape](const Tensor& g) {
@@ -90,6 +96,7 @@ Tensor Permute(const Tensor& x, const std::vector<int64_t>& perm) {
   }
   Shape out_shape(out_dims);
   Tensor out = StridedCopy(x, out_shape, in_strides);
+  if (ph::Active()) ph::Record({ph::OpKind::kPermute, {x}, out, 0.0, 0.0, perm});
   if (ShouldRecord({x})) {
     std::vector<int64_t> canonical(perm.size());
     for (size_t i = 0; i < perm.size(); ++i) canonical[i] = xs.CanonicalAxis(perm[i]);
@@ -161,6 +168,9 @@ Tensor Slice(const Tensor& x, int64_t dim, int64_t start, int64_t end) {
     Scalar* dst = od + o * len * inner;
     std::copy(src, src + len * inner, dst);
   }
+  if (ph::Active()) {
+    ph::Record({ph::OpKind::kSlice, {x}, out, 0.0, 0.0, {axis, start, end}});
+  }
   if (ShouldRecord({x})) {
     Shape x_shape = xs;
     SetGradFn(&out, "Slice", {x},
@@ -224,6 +234,9 @@ Tensor Cat(const std::vector<Tensor>& tensors, int64_t dim) {
     written += len;
   }
 
+  if (ph::Active()) {
+    ph::Record({ph::OpKind::kCat, tensors, out, 0.0, 0.0, {axis}});
+  }
   if (ShouldRecord(tensors)) {
     std::vector<int64_t> lengths;
     lengths.reserve(tensors.size());
@@ -288,6 +301,15 @@ Tensor Pad(const Tensor& x,
     }
   }
 
+  if (ph::Active()) {
+    std::vector<int64_t> flat;
+    flat.reserve(padding.size() * 2);
+    for (const auto& [before, after] : padding) {
+      flat.push_back(before);
+      flat.push_back(after);
+    }
+    ph::Record({ph::OpKind::kPad, {x}, out, 0.0, 0.0, std::move(flat)});
+  }
   if (ShouldRecord({x})) {
     Shape x_shape = xs;
     SetGradFn(&out, "Pad", {x}, [x_shape, padding](const Tensor& g) {
@@ -308,6 +330,9 @@ Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
       << x.shape().ToString() << " -> " << shape.ToString();
   std::vector<int64_t> in_strides = BroadcastStrides(x.shape(), shape);
   Tensor out = StridedCopy(x, shape, in_strides);
+  if (ph::Active()) {
+    ph::Record({ph::OpKind::kBroadcastTo, {x}, out, 0.0, 0.0, shape.dims()});
+  }
   if (ShouldRecord({x})) {
     Shape x_shape = x.shape();
     SetGradFn(&out, "BroadcastTo", {x}, [x_shape](const Tensor& g) {

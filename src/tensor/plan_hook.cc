@@ -1,0 +1,25 @@
+#include "tensor/plan_hook.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace emaf::tensor::plan_hook {
+
+namespace internal {
+thread_local Sink* tls_sink = nullptr;
+}  // namespace internal
+
+void Record(OpRecord record) {
+  EMAF_CHECK(internal::tls_sink != nullptr)
+      << "plan_hook::Record with no sink installed";
+  internal::tls_sink->Record(std::move(record));
+}
+
+ScopedSink::ScopedSink(Sink* sink) : previous_(internal::tls_sink) {
+  internal::tls_sink = sink;
+}
+
+ScopedSink::~ScopedSink() { internal::tls_sink = previous_; }
+
+}  // namespace emaf::tensor::plan_hook

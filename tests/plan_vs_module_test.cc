@@ -1,0 +1,184 @@
+// Differential harness for compiled inference plans (DESIGN.md, "Compiled
+// plans"): for every model family in the paper's Table 2, across
+// randomized seeds and window geometries, the compiled plan's output must
+// be bitwise identical to the module forward (core::Predict) — at 1, 2
+// and 8 pool threads, and under ArenaScope buffer reuse across repeated
+// requests. Compile() must *succeed* in every sweep cell (asserted), so
+// the comparison is genuinely plan-vs-module, never fallback-vs-module.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "graph/adjacency.h"
+#include "models/registry.h"
+#include "plan/interpreter.h"
+#include "plan/recorder.h"
+#include "tensor/arena.h"
+#include "tensor/tensor.h"
+
+namespace emaf::plan {
+namespace {
+
+using tensor::Scalar;
+using tensor::Shape;
+using tensor::Tensor;
+
+const std::vector<std::string>& AllFamilies() {
+  static const std::vector<std::string> families = {"LSTM", "VAR", "A3TGCN",
+                                                    "ASTGCN", "MTGNN"};
+  return families;
+}
+
+// Pins the global ThreadPool to `n` threads for one scope (same idiom as
+// tensor_property_test).
+struct ScopedThreads {
+  explicit ScopedThreads(int64_t n) {
+    common::ThreadPool::SetGlobalNumThreads(n);
+  }
+  ~ScopedThreads() { common::ThreadPool::SetGlobalNumThreads(1); }
+};
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.shape(), b.shape()) << context;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.NumElements()) * sizeof(Scalar)),
+            0)
+      << context;
+}
+
+// Random but seed-reproducible model geometry, in the same spirit as
+// tensor_property_test's RandomShape: small enough to sweep widely,
+// varied enough to hit rank-edge paths (single-variable graphs, length-2
+// windows, batch-1 requests).
+models::ModelConfig RandomConfig(const std::string& family, Rng* rng) {
+  models::ModelConfig config;
+  config.family = family;
+  config.num_variables = rng->UniformInt(2, 6);
+  config.input_length = rng->UniformInt(2, 5);
+  int64_t hidden = 1 << rng->UniformInt(2, 3);  // 4 or 8
+  config.lstm.hidden_units = hidden;
+  config.a3tgcn.hidden_units = hidden;
+  config.astgcn.hidden_units = hidden;
+  config.astgcn.num_blocks = rng->UniformInt(1, 2);
+  config.mtgnn.residual_channels = hidden;
+  config.mtgnn.conv_channels = hidden;
+  config.mtgnn.skip_channels = hidden;
+  config.mtgnn.end_channels = 2 * hidden;
+  config.mtgnn.embedding_dim = rng->UniformInt(2, 4);
+  if (family != "LSTM" && family != "VAR") {
+    graph::AdjacencyMatrix adjacency(config.num_variables);
+    for (int64_t i = 0; i < config.num_variables; ++i) {
+      for (int64_t j = 0; j < config.num_variables; ++j) {
+        if (i != j && rng->Uniform() < 0.6) {
+          adjacency.set(i, j, 0.1 + 0.9 * rng->Uniform());
+        }
+      }
+    }
+    config.adjacency = adjacency;
+  }
+  return config;
+}
+
+class PlanVsModuleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanVsModuleTest, BitwiseEqualAcrossFamiliesThreadsAndArenaReuse) {
+  Rng rng(43000 + GetParam());
+  for (const std::string& family : AllFamilies()) {
+    models::ModelConfig config = RandomConfig(family, &rng);
+    Rng model_rng(500 + static_cast<uint64_t>(GetParam()));
+    std::unique_ptr<models::Forecaster> model =
+        models::CreateForecasterOrDie(config, &model_rng);
+    model->SetTraining(false);
+
+    int64_t batch = rng.UniformInt(1, 4);
+    Shape window_shape{batch, config.input_length, config.num_variables};
+    Tensor window = Tensor::Uniform(window_shape, -2, 2, &rng);
+    const std::string context =
+        family + " seed=" + std::to_string(GetParam()) +
+        " window=" + window_shape.ToString();
+
+    Tensor reference = core::Predict(model.get(), window);
+    Result<std::shared_ptr<const Plan>> compiled =
+        Compile(model.get(), window);
+    // A compile failure would silently degrade every assertion below to
+    // module-vs-module; fail loudly instead.
+    ASSERT_TRUE(compiled.ok()) << context << ": "
+                               << compiled.status().ToString();
+    const Plan& plan = *compiled.value();
+    EXPECT_EQ(plan.family, family);
+    EXPECT_EQ(plan.input_shape, window_shape) << context;
+
+    tensor::InferenceArena arena;
+    for (int64_t threads : {1, 2, 8}) {
+      ScopedThreads scoped(threads);
+      std::string at = context + " threads=" + std::to_string(threads);
+      // The module path itself must not move across thread counts
+      // (established determinism), so one reference serves all cells.
+      ExpectBitwiseEqual(core::Predict(model.get(), window), reference, at);
+      // Repeated requests through one shared arena: buffers recycle
+      // between and within iterations (instruction release lists), and
+      // every pass must still produce the reference bytes.
+      for (int iteration = 0; iteration < 3; ++iteration) {
+        Result<Tensor> out = Execute(plan, window, &arena);
+        ASSERT_TRUE(out.ok()) << at << ": " << out.status().ToString();
+        ExpectBitwiseEqual(out.value(), reference,
+                           at + " iteration=" + std::to_string(iteration));
+      }
+      // Interleave a module forward drawing from the same arena, then a
+      // plan pass again — cross-path buffer sharing must not leak bytes.
+      {
+        tensor::ArenaScope scope(&arena);
+        ExpectBitwiseEqual(core::Predict(model.get(), window), reference,
+                           at + " module-on-arena");
+      }
+      Result<Tensor> again = Execute(plan, window, &arena);
+      ASSERT_TRUE(again.ok()) << at;
+      ExpectBitwiseEqual(again.value(), reference, at + " after-interleave");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanVsModuleTest, ::testing::Range(0, 6));
+
+// The plan executes the *recorded* constants, so retraining (mutating
+// parameters in place) must invalidate any previously compiled plan at a
+// higher layer; at this layer, a plan is a snapshot. Pin that contract:
+// executing a stale plan after a weight change reproduces the OLD bytes.
+TEST(PlanSnapshotSemantics, StalePlanServesRecordedWeights) {
+  Rng rng(7);
+  models::ModelConfig config;
+  config.family = "LSTM";
+  config.num_variables = 3;
+  config.input_length = 2;
+  config.lstm.hidden_units = 4;
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(config, &rng);
+  model->SetTraining(false);
+  Tensor window = Tensor::Uniform(Shape{1, 2, 3}, -1, 1, &rng);
+
+  Tensor before = core::Predict(model.get(), window);
+  Result<std::shared_ptr<const Plan>> compiled = Compile(model.get(), window);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  for (const auto& named : model->NamedParameters()) {
+    Scalar* d = named.value->data();
+    for (int64_t i = 0; i < named.value->NumElements(); ++i) d[i] += 0.25;
+  }
+  Tensor after = core::Predict(model.get(), window);
+  ASSERT_NE(before.ToVector(), after.ToVector());
+
+  Result<Tensor> stale = Execute(*compiled.value(), window, nullptr);
+  ASSERT_TRUE(stale.ok());
+  ExpectBitwiseEqual(stale.value(), before, "stale plan");
+}
+
+}  // namespace
+}  // namespace emaf::plan

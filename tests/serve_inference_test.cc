@@ -24,6 +24,7 @@
 #include "models/registry.h"
 #include "models/var_forecaster.h"
 #include "serve/inference_engine.h"
+#include "serve_test_util.h"
 #include "tensor/tensor.h"
 #include "ts/window.h"
 
@@ -234,48 +235,122 @@ TEST_F(ServeTest, RequestAndLoadMetricsAreRecorded) {
 // The ISSUE acceptance anchor for budgeted serving: a 2-of-5 residency
 // budget forces continual eviction and reload across a request sweep, yet
 // every family's bytes match the unconstrained (PR-4 eager) engine — i.e.
-// core::Predict's ground truth — at 1, 2 and 8 threads.
+// core::Predict's ground truth — at 1, 2 and 8 threads. The sweep runs
+// once per execution mode (compiled plans on / off); both modes must
+// serve the same ground-truth bytes, and with plans on the continual
+// eviction means every reload compiles against a fresh cache — a stale
+// plan surviving eviction would diverge from the reloaded weights here.
 TEST_F(ServeTest, ConstrainedBudgetSweepIsByteIdenticalToEagerEngine) {
   obs::Registry& registry = obs::Registry::Global();
-  uint64_t evictions_before =
-      obs::kMetricsEnabled
-          ? registry.GetCounter("serve.store.evictions_total")->value()
-          : 0;
-  EngineOptions options;
-  options.max_resident_models = 2;
-  Result<InferenceEngine> engine = InferenceEngine::Load(*dir_, options);
-  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-  // Budgeted mode lists without loading.
-  EXPECT_EQ(engine.value().num_models(), 5);
-  EXPECT_EQ(engine.value().store().stats().cold_loads, 0u);
+  for (bool use_plans : {true, false}) {
+    uint64_t evictions_before =
+        obs::kMetricsEnabled
+            ? registry.GetCounter("serve.store.evictions_total")->value()
+            : 0;
+    uint64_t plan_compiles_before =
+        obs::kMetricsEnabled
+            ? registry.GetCounter("serve.plan_cache_misses")->value()
+            : 0;
+    EngineOptions options;
+    options.max_resident_models = 2;
+    options.use_compiled_plans = use_plans;
+    Result<InferenceEngine> engine = InferenceEngine::Load(*dir_, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    // Budgeted mode lists without loading.
+    EXPECT_EQ(engine.value().num_models(), 5);
+    EXPECT_EQ(engine.value().store().stats().cold_loads, 0u);
 
-  for (int64_t threads : {1, 2, 8}) {
-    common::ThreadPool::SetGlobalNumThreads(threads);
-    for (int round = 0; round < 2; ++round) {
-      for (const std::string& family : AllFamilies()) {
-        Result<Tensor> prediction =
-            engine.value().Forecast(family, *test_inputs_);
-        ASSERT_TRUE(prediction.ok())
-            << family << " threads=" << threads << ": "
-            << prediction.status().ToString();
-        // An evicted-and-reloaded model must serve the same bytes as one
-        // that was never evicted.
-        EXPECT_EQ(prediction.value().ToVector(), expected_->at(family))
-            << family << " threads=" << threads;
+    for (int64_t threads : {1, 2, 8}) {
+      common::ThreadPool::SetGlobalNumThreads(threads);
+      for (int round = 0; round < 2; ++round) {
+        for (const std::string& family : AllFamilies()) {
+          Result<Tensor> prediction =
+              engine.value().Forecast(family, *test_inputs_);
+          ASSERT_TRUE(prediction.ok())
+              << family << " plans=" << use_plans << " threads=" << threads
+              << ": " << prediction.status().ToString();
+          // An evicted-and-reloaded model must serve the same bytes as one
+          // that was never evicted — in either execution mode.
+          EXPECT_EQ(prediction.value().ToVector(), expected_->at(family))
+              << family << " plans=" << use_plans << " threads=" << threads;
+        }
+      }
+    }
+    common::ThreadPool::SetGlobalNumThreads(1);
+
+    ModelStore::Stats stats = engine.value().store().stats();
+    EXPECT_LE(stats.resident_models, 2);
+    // 5 tenants cycling through 2 slots: the budget provably bound.
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.cold_loads, 5u);  // reloads, not just first loads
+    if (obs::kMetricsEnabled) {
+      EXPECT_GT(registry.GetCounter("serve.store.evictions_total")->value(),
+                evictions_before);
+      uint64_t plan_compiles =
+          registry.GetCounter("serve.plan_cache_misses")->value();
+      if (use_plans) {
+        // Each reload recompiles (the plan cache dies with residency).
+        EXPECT_GT(plan_compiles, plan_compiles_before);
+      } else {
+        EXPECT_EQ(plan_compiles, plan_compiles_before);
       }
     }
   }
-  common::ThreadPool::SetGlobalNumThreads(1);
+}
 
-  ModelStore::Stats stats = engine.value().store().stats();
-  EXPECT_LE(stats.resident_models, 2);
-  // 5 tenants cycling through 2 slots: the budget provably bound.
-  EXPECT_GT(stats.evictions, 0u);
-  EXPECT_GT(stats.cold_loads, 5u);  // reloads happened, not just first loads
-  if (obs::kMetricsEnabled) {
-    EXPECT_GT(registry.GetCounter("serve.store.evictions_total")->value(),
-              evictions_before);
+// The plan-invalidation contract, pinned end to end: a compiled plan is
+// cached per residency, so evicting a model drops its plan with it, and a
+// re-request after the snapshot file changed on disk must serve the NEW
+// weights' bytes — a stale plan surviving eviction would keep serving the
+// old constants.
+TEST(ServePlanLifecycle, EvictionDropsCachedPlanAndReloadServesNewWeights) {
+  namespace tu = testutil;
+  std::string dir = ::testing::TempDir() + "/plan_lifecycle_snapshots";
+  std::map<std::string, std::vector<double>> old_expected =
+      tu::MakeTinySnapshotDir(dir, {"alpha"});
+  Tensor window = tu::TinyWindow();
+
+  obs::Registry& registry = obs::Registry::Global();
+  uint64_t hits_before =
+      obs::kMetricsEnabled
+          ? registry.GetCounter("serve.plan_cache_hits")->value()
+          : 0;
+
+  EngineOptions options;
+  options.max_resident_models = 1;
+  Result<InferenceEngine> engine = InferenceEngine::Load(dir, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Two requests within one residency: the second reuses the cached plan.
+  for (int i = 0; i < 2; ++i) {
+    Result<Tensor> served = engine.value().Forecast("alpha", window);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served.value().ToVector(), old_expected.at("alpha"));
   }
+  if (obs::kMetricsEnabled) {
+    EXPECT_GT(registry.GetCounter("serve.plan_cache_hits")->value(),
+              hits_before);
+  }
+
+  // Replace the snapshot on disk with a differently-seeded model.
+  models::ModelConfig config = tu::TinyLstmConfig();
+  Rng rng(990099);
+  std::unique_ptr<models::Forecaster> fresh =
+      models::CreateForecasterOrDie(config, &rng);
+  std::vector<double> new_expected =
+      core::Predict(fresh.get(), window).ToVector();
+  ASSERT_NE(new_expected, old_expected.at("alpha"));
+  ASSERT_TRUE(models::SaveForecasterSnapshot(fresh.get(), config,
+                                             dir + "/alpha.snapshot")
+                  .ok());
+
+  // Evict: the residency ends and the plan cache must die with it.
+  EXPECT_GE(engine.value().store().EvictIdle(-1), 1);
+  Result<Tensor> reloaded = engine.value().Forecast("alpha", window);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().ToVector(), new_expected)
+      << "stale plan served the pre-reload weights";
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(ServeTest, BudgetedModeHasNoStableModelPointers) {

@@ -22,11 +22,13 @@
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/evaluator.h"
 #include "graph/adjacency.h"
 #include "models/registry.h"
 #include "serve/client.h"
 #include "serve/inference_engine.h"
 #include "serve/server.h"
+#include "serve_test_util.h"
 #include "tensor/tensor.h"
 
 namespace emaf::serve {
@@ -185,6 +187,66 @@ TEST_F(ServerTest, ServedBytesMatchEngineForEveryFamilyAtAnyThreadCount) {
   }
   common::ThreadPool::SetGlobalNumThreads(
       static_cast<int64_t>(std::thread::hardware_concurrency()));
+}
+
+// Compiled plans are on by default, so the fixture's ground truth (and
+// every other test here) already exercises the plan path over the wire.
+// This test flips the execution mode off: the module path must serve the
+// very same bytes over loopback — the plans-on/plans-off bitwise contract
+// at the outermost layer of the stack.
+TEST_F(ServerTest, DisablingCompiledPlansServesIdenticalBytesOverLoopback) {
+  ServerOptions options;
+  options.scheduler.use_compiled_plans = false;
+  Server server = StartServerOrDie(options);
+  Client client = ConnectOrDie(server);
+  for (const std::string& family : AllFamilies()) {
+    Result<Tensor> forecast = client.Forecast(family, *window_);
+    ASSERT_TRUE(forecast.ok()) << family << ": "
+                               << forecast.status().ToString();
+    EXPECT_EQ(forecast.value().ToVector(), expected_->at(family)) << family;
+  }
+}
+
+// No stale-plan reuse across a snapshot reload, over the wire: after the
+// snapshot file changes on disk and the store evicts the tenant, the next
+// request must serve the NEW weights' bytes. A plan cache outliving the
+// residency would keep answering with the old recorded constants. Uses
+// its own snapshot directory so the shared fixture stays immutable.
+TEST_F(ServerTest, EvictedTenantReloadsFreshPlanAndServesNewSnapshotBytes) {
+  namespace tu = testutil;
+  std::string dir = ::testing::TempDir() + "/server_plan_reload_snapshots";
+  std::map<std::string, std::vector<double>> old_expected =
+      tu::MakeTinySnapshotDir(dir, {"alpha"});
+  Tensor window = tu::TinyWindow();
+
+  Result<Server> server = Server::Start(dir);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  Client client = ConnectOrDie(server.value());
+  // Two requests: the second is served from the cached plan.
+  for (int i = 0; i < 2; ++i) {
+    Result<Tensor> served = client.Forecast("alpha", window);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served.value().ToVector(), old_expected.at("alpha"));
+  }
+
+  models::ModelConfig config = tu::TinyLstmConfig();
+  Rng rng(880088);
+  std::unique_ptr<models::Forecaster> fresh =
+      models::CreateForecasterOrDie(config, &rng);
+  std::vector<double> new_expected =
+      core::Predict(fresh.get(), window).ToVector();
+  ASSERT_NE(new_expected, old_expected.at("alpha"));
+  ASSERT_TRUE(models::SaveForecasterSnapshot(fresh.get(), config,
+                                             dir + "/alpha.snapshot")
+                  .ok());
+
+  // No requests are in flight, so everything resident is idle-evictable.
+  EXPECT_GE(server.value().store().EvictIdle(-1), 1);
+  Result<Tensor> reloaded = client.Forecast("alpha", window);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().ToVector(), new_expected)
+      << "stale plan served the pre-reload weights over the wire";
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(ServerTest, SurvivesAOneByteAtATimeWriter) {
