@@ -18,6 +18,13 @@
 //                                "2000,8000,32000")
 //   EMAF_BENCH_ZIPF_S            Zipf skew exponent      (default 1.1)
 //   EMAF_BENCH_SEED              load-mix seed           (default 42)
+//   EMAF_BENCH_DEADLINE_TICKS    per-request deadline    (default 0 = none)
+//   EMAF_BENCH_SLA_MS            goodput latency bound   (default 50)
+//
+// Every reply is classified: ok (and, when under EMAF_BENCH_SLA_MS,
+// goodput), rejected (kUnavailable backpressure), deadline_missed
+// (kDeadlineExceeded sheds when EMAF_BENCH_DEADLINE_TICKS is set), or
+// errors. The sweep starts only after a health probe reports SERVING.
 //
 // `--smoke` shrinks everything (16 tenants / 4 snapshots / 100 requests /
 // one point), runs in well under a second, and then re-reads the emitted
@@ -63,6 +70,8 @@ struct ServingScale {
   std::vector<double> target_qps = {2000, 8000, 32000};
   double zipf_s = 1.1;
   uint64_t seed = 42;
+  uint64_t deadline_ticks = 0;  // 0 = no per-request deadline
+  double sla_ms = 50;           // ok replies at/below this count as goodput
   bool smoke = false;
 };
 
@@ -75,6 +84,9 @@ ServingScale ReadServingScale(bool smoke) {
   scale.requests = GetEnvInt64("EMAF_BENCH_REQUESTS", smoke ? 100 : 2000);
   scale.zipf_s = GetEnvDouble("EMAF_BENCH_ZIPF_S", 1.1);
   scale.seed = static_cast<uint64_t>(GetEnvInt64("EMAF_BENCH_SEED", 42));
+  scale.deadline_ticks =
+      static_cast<uint64_t>(GetEnvInt64("EMAF_BENCH_DEADLINE_TICKS", 0));
+  scale.sla_ms = GetEnvDouble("EMAF_BENCH_SLA_MS", 50);
   std::string qps =
       GetEnvString("EMAF_BENCH_QPS", smoke ? "20000" : "2000,8000,32000");
   scale.target_qps.clear();
@@ -163,13 +175,17 @@ struct PointResult {
   double target_qps = 0;
   int64_t sent = 0;
   int64_t ok = 0;
-  int64_t rejected = 0;
+  int64_t goodput = 0;  // ok replies answered within the SLA bound
+  int64_t rejected = 0;         // kUnavailable — admission backpressure
+  int64_t deadline_missed = 0;  // kDeadlineExceeded — shed past deadline
   int64_t errors = 0;
   double rejection_rate = 0;
+  double deadline_miss_rate = 0;
   double p50_ms = 0;
   double p99_ms = 0;
   double p999_ms = 0;
   double achieved_qps = 0;
+  double goodput_qps = 0;
   double wall_seconds = 0;
 };
 
@@ -210,7 +226,7 @@ Result<PointResult> RunPoint(uint16_t port, const ServingScale& scale,
             std::chrono::steady_clock::now();
       }
       Result<uint64_t> id = client.SendForecastRequest(
-          plan[static_cast<size_t>(i)], window);
+          plan[static_cast<size_t>(i)], window, scale.deadline_ticks);
       if (!id.ok()) {
         send_failed.store(true);
         return;
@@ -243,9 +259,22 @@ Result<PointResult> RunPoint(uint16_t port, const ServingScale& scale,
     }
     if (reply.value().type == serve::FrameType::kForecastResponse) {
       ++point.ok;
+      if (ms <= scale.sla_ms) ++point.goodput;
       latencies_ms.push_back(ms);
     } else if (reply.value().type == serve::FrameType::kError) {
-      ++point.rejected;
+      // Split backpressure from deadline shedding: the structured status
+      // travels in the payload.
+      Status carried = Status::Ok();
+      Status parse =
+          serve::DecodeStatusPayload(reply.value().payload, &carried);
+      if (parse.ok() && carried.code() == StatusCode::kDeadlineExceeded) {
+        ++point.deadline_missed;
+      } else if (parse.ok() &&
+                 carried.code() == StatusCode::kUnavailable) {
+        ++point.rejected;
+      } else {
+        ++point.errors;
+      }
     } else {
       ++point.errors;
     }
@@ -267,9 +296,18 @@ Result<PointResult> RunPoint(uint16_t port, const ServingScale& scale,
           ? static_cast<double>(point.rejected) /
                 static_cast<double>(point.sent)
           : 0;
+  point.deadline_miss_rate =
+      point.sent > 0
+          ? static_cast<double>(point.deadline_missed) /
+                static_cast<double>(point.sent)
+          : 0;
   point.achieved_qps =
       point.wall_seconds > 0
           ? static_cast<double>(point.ok) / point.wall_seconds
+          : 0;
+  point.goodput_qps =
+      point.wall_seconds > 0
+          ? static_cast<double>(point.goodput) / point.wall_seconds
           : 0;
   return point;
 }
@@ -281,18 +319,24 @@ std::string ToJson(const ServingScale& scale,
       << ", \"unique_snapshots\": " << scale.unique_snapshots
       << ", \"requests_per_point\": " << scale.requests
       << ", \"zipf_s\": " << scale.zipf_s << ", \"seed\": " << scale.seed
+      << ", \"deadline_ticks\": " << scale.deadline_ticks
+      << ", \"sla_ms\": " << scale.sla_ms
       << ", \"smoke\": " << (scale.smoke ? "true" : "false")
       << ", \"points\": [";
   for (size_t i = 0; i < points.size(); ++i) {
     const PointResult& p = points[i];
     if (i > 0) out << ", ";
     out << "{\"target_qps\": " << p.target_qps << ", \"sent\": " << p.sent
-        << ", \"ok\": " << p.ok << ", \"rejected\": " << p.rejected
+        << ", \"ok\": " << p.ok << ", \"goodput\": " << p.goodput
+        << ", \"rejected\": " << p.rejected
+        << ", \"deadline_missed\": " << p.deadline_missed
         << ", \"errors\": " << p.errors
         << ", \"rejection_rate\": " << p.rejection_rate
+        << ", \"deadline_miss_rate\": " << p.deadline_miss_rate
         << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
         << ", \"p999_ms\": " << p.p999_ms
         << ", \"achieved_qps\": " << p.achieved_qps
+        << ", \"goodput_qps\": " << p.goodput_qps
         << ", \"wall_seconds\": " << p.wall_seconds << "}";
   }
   out << "]}";
@@ -313,10 +357,12 @@ bool ValidateSchema(const std::string& path) {
   bool ok = true;
   for (const char* key :
        {"\"bench\"", "\"tenants\"", "\"unique_snapshots\"",
-        "\"requests_per_point\"", "\"zipf_s\"", "\"points\"",
-        "\"target_qps\"", "\"sent\"", "\"ok\"", "\"rejected\"",
-        "\"errors\"", "\"rejection_rate\"", "\"p50_ms\"", "\"p99_ms\"",
-        "\"p999_ms\"", "\"achieved_qps\"", "\"wall_seconds\""}) {
+        "\"requests_per_point\"", "\"zipf_s\"", "\"deadline_ticks\"",
+        "\"sla_ms\"", "\"points\"", "\"target_qps\"", "\"sent\"",
+        "\"ok\"", "\"goodput\"", "\"rejected\"", "\"deadline_missed\"",
+        "\"errors\"", "\"rejection_rate\"", "\"deadline_miss_rate\"",
+        "\"p50_ms\"", "\"p99_ms\"", "\"p999_ms\"", "\"achieved_qps\"",
+        "\"goodput_qps\"", "\"wall_seconds\""}) {
     if (json.find(key) == std::string::npos) {
       std::cerr << "[smoke] BENCH_serving.json is missing " << key << "\n";
       ok = false;
@@ -353,8 +399,27 @@ int Run(bool smoke) {
     return 1;
   }
   serve::Server server = std::move(started).value();
+
+  // Health gate: the sweep only starts against a server that says SERVING.
+  {
+    Result<serve::Client> probe = serve::Client::Connect(server.port());
+    if (!probe.ok()) {
+      std::cerr << "health probe connect failed: "
+                << probe.status().ToString() << "\n";
+      return 1;
+    }
+    Result<serve::HealthInfo> health = probe.value().Health();
+    if (!health.ok() ||
+        health.value().state != serve::ServeState::kServing) {
+      std::cerr << "server not healthy before sweep: "
+                << (health.ok() ? "state != SERVING"
+                                : health.status().ToString())
+                << "\n";
+      return 1;
+    }
+  }
   std::cout << "server on 127.0.0.1:" << server.port() << ", "
-            << scale.tenants << " tenants known\n\n";
+            << scale.tenants << " tenants known, health=SERVING\n\n";
 
   Rng window_rng(scale.seed);
   Tensor window =
@@ -370,11 +435,15 @@ int Run(bool smoke) {
     }
     const PointResult& p = point.value();
     std::cout << "target " << qps << " qps: sent=" << p.sent
-              << " ok=" << p.ok << " rejected=" << p.rejected
+              << " ok=" << p.ok << " goodput=" << p.goodput
+              << " rejected=" << p.rejected
+              << " deadline_missed=" << p.deadline_missed
               << " errors=" << p.errors << " reject_rate="
-              << p.rejection_rate << "\n  p50=" << p.p50_ms
-              << "ms p99=" << p.p99_ms << "ms p999=" << p.p999_ms
-              << "ms achieved=" << p.achieved_qps << " qps\n";
+              << p.rejection_rate << " miss_rate=" << p.deadline_miss_rate
+              << "\n  p50=" << p.p50_ms << "ms p99=" << p.p99_ms
+              << "ms p999=" << p.p999_ms << "ms achieved="
+              << p.achieved_qps << " qps goodput=" << p.goodput_qps
+              << " qps\n";
     points.push_back(p);
   }
   server.Stop();
@@ -395,10 +464,16 @@ int Run(bool smoke) {
 
   if (smoke) {
     if (out_dir == "-" || !ValidateSchema(path)) return 1;
-    // Accounting must close: every sent request was answered or counted.
+    // Accounting must close: every sent request was answered or counted,
+    // and goodput can never exceed the ok replies it is carved from.
     for (const PointResult& p : points) {
-      if (p.ok + p.rejected + p.errors != p.sent || p.sent == 0) {
+      if (p.ok + p.rejected + p.deadline_missed + p.errors != p.sent ||
+          p.sent == 0) {
         std::cerr << "[smoke] request accounting does not close\n";
+        return 1;
+      }
+      if (p.goodput > p.ok) {
+        std::cerr << "[smoke] goodput exceeds ok\n";
         return 1;
       }
     }

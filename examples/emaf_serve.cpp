@@ -11,6 +11,7 @@
 // ("Network serving"); the same Client class drives the loopback tests
 // and the bench_serving load generator.
 
+#include <csignal>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -22,6 +23,14 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "tensor/tensor.h"
+
+namespace {
+// SIGTERM/SIGINT request a *graceful* drain, not an abrupt exit: finish
+// in-flight forecasts, flush their replies, refuse new work with a
+// structured "draining" error — the lifecycle a process manager expects.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace emaf;  // NOLINT: example brevity
@@ -103,9 +112,20 @@ int main(int argc, char** argv) {
             << " ok, " << stats.requests_failed << " failed\n";
 
   if (serve_forever) {
+    std::signal(SIGTERM, HandleShutdownSignal);
+    std::signal(SIGINT, HandleShutdownSignal);
     std::cout << "serving forever on 127.0.0.1:" << server.port()
-              << " (ctrl-c to stop)\n";
-    while (true) std::this_thread::sleep_for(std::chrono::seconds(1));
+              << " (SIGTERM/ctrl-c drains gracefully)\n";
+    while (g_shutdown_requested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cout << "shutdown signal received; draining...\n";
+    server.BeginDrain();
+    const bool clean = server.WaitDrained(/*timeout_ms=*/10000);
+    std::cout << (clean ? "drained: all in-flight work finished and flushed"
+                        : "drain timed out; stopping anyway")
+              << "\n";
+    server.Stop();
   }
   std::filesystem::remove_all(dir);
   return 0;

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ABORTED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -32,7 +34,7 @@ std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
       StatusCode::kNotFound,     StatusCode::kFailedPrecondition,
       StatusCode::kInternal,     StatusCode::kDataLoss,
       StatusCode::kResourceExhausted, StatusCode::kAborted,
-      StatusCode::kUnavailable};
+      StatusCode::kUnavailable,       StatusCode::kDeadlineExceeded};
   for (StatusCode code : kAllCodes) {
     if (name == StatusCodeName(code)) return code;
   }

@@ -33,6 +33,9 @@ enum class StatusCode : int {
   // A transient dependency failed (worker task fault); retrying later may
   // succeed.
   kUnavailable = 8,
+  // The caller's deadline elapsed before the operation completed. Never
+  // retryable: by the time the answer could arrive nobody wants it.
+  kDeadlineExceeded = 9,
 };
 
 // Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -72,6 +75,9 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,22 +7,29 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/string_util.h"
 
 namespace emaf::serve {
 
-Client::Client(int fd, const ClientOptions& options)
-    : fd_(fd), options_(options), decoder_(options.max_frame_bytes) {}
+Client::Client(int fd, uint16_t port, const ClientOptions& options)
+    : fd_(fd), port_(port), options_(options),
+      decoder_(options.max_frame_bytes) {}
 
 Client::Client(Client&& other) noexcept
     : fd_(other.fd_),
+      port_(other.port_),
       options_(std::move(other.options_)),
       decoder_(std::move(other.decoder_)),
-      next_request_id_(other.next_request_id_) {
+      next_request_id_(other.next_request_id_),
+      stream_broken_(other.stream_broken_) {
   other.fd_ = -1;
 }
 
@@ -30,9 +37,11 @@ Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    port_ = other.port_;
     options_ = std::move(other.options_);
     decoder_ = std::move(other.decoder_);
     next_request_id_ = other.next_request_id_;
+    stream_broken_ = other.stream_broken_;
     other.fd_ = -1;
   }
   return *this;
@@ -78,7 +87,21 @@ Result<Client> Client::Connect(uint16_t port, const ClientOptions& options) {
     ::close(fd);
     return status;
   }
-  return Client(fd, options);
+  return Client(fd, port, options);
+}
+
+Status Client::Reconnect() {
+  Close();
+  Result<Client> fresh = Connect(port_, options_);
+  if (!fresh.ok()) return fresh.status();
+  // Adopt the new socket and decoder but keep counting request ids from
+  // where this client left off — replies from a previous connection can
+  // then never alias a new request.
+  fd_ = fresh.value().fd_;
+  fresh.value().fd_ = -1;
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+  stream_broken_ = false;
+  return Status::Ok();
 }
 
 Status Client::SendBytes(std::string_view bytes) {
@@ -95,6 +118,7 @@ Status Client::SendBytes(std::string_view bytes) {
     ssize_t n = ::send(fd_, bytes.data() + offset, chunk, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      stream_broken_ = true;
       if (errno == EPIPE || errno == ECONNRESET) {
         return Status::Unavailable("server closed the connection");
       }
@@ -113,6 +137,9 @@ Result<Frame> Client::ReadFrame() {
   if (fd_ < 0) return Status::FailedPrecondition("client is closed");
   while (true) {
     if (std::optional<Result<Frame>> next = decoder_.Next()) {
+      // A terminal decode failure means framing is lost: the connection
+      // can only be torn down, so mark the stream broken for retry logic.
+      if (decoder_.failed()) stream_broken_ = true;
       return std::move(*next);
     }
     char buffer[4096];
@@ -122,22 +149,29 @@ Result<Frame> Client::ReadFrame() {
       continue;
     }
     if (n == 0) {
+      stream_broken_ = true;
       return Status::Unavailable("server closed the connection");
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return Status::Unavailable(
+      // The caller's wait budget ran out, not the connection: the stream
+      // is intact (a late reply may still arrive), so this is a terminal
+      // per-request outcome, deliberately not retryable.
+      return Status::DeadlineExceeded(
           StrCat("no reply within ", options_.recv_timeout_ms, " ms"));
     }
+    stream_broken_ = true;
     return Status::Unavailable(StrCat("read: ", std::strerror(errno)));
   }
 }
 
 Result<uint64_t> Client::SendForecastRequest(const std::string& tenant_id,
-                                             const tensor::Tensor& window) {
+                                             const tensor::Tensor& window,
+                                             uint64_t deadline_ticks) {
   Frame frame;
   frame.type = FrameType::kForecastRequest;
   frame.request_id = next_request_id_++;
+  if (deadline_ticks > 0) frame.SetDeadline(deadline_ticks);
   frame.tenant_id = tenant_id;
   frame.payload = EncodeTensorPayload(window);
   Status sent = SendFrame(frame);
@@ -146,8 +180,9 @@ Result<uint64_t> Client::SendForecastRequest(const std::string& tenant_id,
 }
 
 Result<tensor::Tensor> Client::Forecast(const std::string& tenant_id,
-                                        const tensor::Tensor& window) {
-  Result<uint64_t> id = SendForecastRequest(tenant_id, window);
+                                        const tensor::Tensor& window,
+                                        uint64_t deadline_ticks) {
+  Result<uint64_t> id = SendForecastRequest(tenant_id, window, deadline_ticks);
   if (!id.ok()) return id.status();
   while (true) {
     Result<Frame> reply = ReadFrame();
@@ -185,6 +220,65 @@ Status Client::Ping() {
     return Status::Internal(StrCat("unexpected reply frame type ",
                                    FrameTypeName(reply.value().type)));
   }
+}
+
+Result<HealthInfo> Client::Health() {
+  Frame probe;
+  probe.type = FrameType::kHealth;
+  probe.request_id = next_request_id_++;
+  Status sent = SendFrame(probe);
+  if (!sent.ok()) return sent;
+  while (true) {
+    Result<Frame> reply = ReadFrame();
+    if (!reply.ok()) return reply.status();
+    if (reply.value().request_id != probe.request_id) continue;
+    if (reply.value().type == FrameType::kHealthReply) {
+      return DecodeHealthPayload(reply.value().payload);
+    }
+    if (reply.value().type == FrameType::kError) {
+      Status carried = Status::Ok();
+      Status parse = DecodeStatusPayload(reply.value().payload, &carried);
+      if (!parse.ok()) return parse;
+      return carried;
+    }
+    return Status::Internal(StrCat("unexpected reply frame type ",
+                                   FrameTypeName(reply.value().type)));
+  }
+}
+
+Result<tensor::Tensor> Client::ForecastWithRetry(const std::string& tenant_id,
+                                                 const tensor::Tensor& window,
+                                                 uint64_t deadline_ticks) {
+  const RetryPolicy& policy = options_.retry;
+  const int64_t attempts = std::max<int64_t>(1, policy.max_attempts);
+  Rng jitter(policy.jitter_seed);
+  Status last = Status::Ok();
+  for (int64_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      const int64_t wait_ms =
+          BackoffWithJitterMs(policy, attempt - 1, &jitter);
+      if (options_.backoff_sleeper) {
+        options_.backoff_sleeper(wait_ms);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+      }
+    }
+    if (!connected() || stream_broken_) {
+      Status redial = Reconnect();
+      if (!redial.ok()) {
+        // Connect failures are kUnavailable (transient) or config errors
+        // (terminal); the shared retryability test handles both.
+        last = redial;
+        if (!IsRetryableStatus(last)) return last;
+        continue;
+      }
+    }
+    Result<tensor::Tensor> out = Forecast(tenant_id, window, deadline_ticks);
+    if (out.ok()) return out;
+    last = out.status();
+    if (!IsRetryableStatus(last)) return last;
+  }
+  return last;
 }
 
 }  // namespace emaf::serve

@@ -15,6 +15,14 @@
 //     reads (the two directions share no state), which is how the
 //     open-loop bench issues at a target rate regardless of completions.
 //
+// Retry: ForecastWithRetry() wraps Forecast() in the RetryPolicy from
+// ClientOptions — retrying only kUnavailable (backpressure, a draining
+// server, a dropped connection), reconnecting automatically when the
+// stream itself broke (EPIPE/ECONNRESET, server close, corrupt framing),
+// and backing off exponentially with jitter between attempts. The jitter
+// stream is seeded and the sleeper injectable, so tests observe a
+// bitwise-reproducible wait sequence.
+//
 // Test hooks: `write_chunk_bytes` splits every send into chunks of that
 // many bytes (1 = the pathological byte-at-a-time client the server's
 // reassembly must survive), and SendBytes() puts arbitrary bytes on the
@@ -24,11 +32,13 @@
 #define EMAF_SERVE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 #include "serve/protocol.h"
+#include "serve/retry.h"
 #include "tensor/tensor.h"
 
 namespace emaf::serve {
@@ -40,12 +50,21 @@ struct ClientOptions {
   // (stress for the server's partial-read reassembly).
   size_t write_chunk_bytes = 0;
   // Receive timeout; a read that sees no byte for this long fails with
-  // kUnavailable instead of hanging a test forever. <= 0 = no timeout.
+  // kDeadlineExceeded instead of hanging a test forever — a terminal
+  // outcome, never retried (only genuine connection loss is retryable).
+  // <= 0 = no timeout.
   int64_t recv_timeout_ms = 30000;
   // SO_RCVBUF for the socket (set before connect); 0 keeps the kernel
   // default and its autotuning. Tiny values make a deliberately-not-reading
   // client exert real backpressure, which the slow-reader tests rely on.
   int recv_buffer_bytes = 0;
+  // Policy for ForecastWithRetry. The default (max_attempts = 1) makes
+  // it behave exactly like Forecast.
+  RetryPolicy retry;
+  // Called with each backoff wait in ms; nullptr = real sleep. Tests
+  // inject a recorder to observe the deterministic wait sequence without
+  // slowing the suite down.
+  std::function<void(int64_t)> backoff_sleeper;
 };
 
 class Client {
@@ -59,31 +78,59 @@ class Client {
 
   bool connected() const { return fd_ >= 0; }
   void Close();
+  // True once the byte stream is untrustworthy (connection dropped,
+  // corrupt framing): further sends/reads on this connection cannot
+  // succeed, only Reconnect() can.
+  bool stream_broken() const { return stream_broken_; }
 
-  // Blocking request/response round trips.
+  // Drops the current connection (if any) and dials the same host:port
+  // again with a fresh decoder. Request ids keep counting up, so replies
+  // from before the reconnect can never be confused with new ones.
+  Status Reconnect();
+
+  // Blocking request/response round trips. `deadline_ticks` travels in
+  // the frame header (0 = none): the server sheds the request with
+  // kDeadlineExceeded once that many virtual-clock ticks pass without a
+  // forward running.
   Result<tensor::Tensor> Forecast(const std::string& tenant_id,
-                                  const tensor::Tensor& window);
+                                  const tensor::Tensor& window,
+                                  uint64_t deadline_ticks = 0);
   Status Ping();
+  // Readiness probe; answered even by a draining server.
+  Result<HealthInfo> Health();
+
+  // As Forecast, but retried per ClientOptions::retry: only kUnavailable
+  // is retried (never kDeadlineExceeded or kInvalidArgument), with
+  // deterministic exponential backoff + jitter between attempts and an
+  // automatic Reconnect when the connection itself broke. Returns the
+  // last attempt's error when the budget runs out.
+  Result<tensor::Tensor> ForecastWithRetry(const std::string& tenant_id,
+                                           const tensor::Tensor& window,
+                                           uint64_t deadline_ticks = 0);
 
   // Pipelined sending; returns the request id to match the reply with.
   Result<uint64_t> SendForecastRequest(const std::string& tenant_id,
-                                       const tensor::Tensor& window);
+                                       const tensor::Tensor& window,
+                                       uint64_t deadline_ticks = 0);
 
   // Raw frame / byte access for tests and the load generator.
   Status SendFrame(const Frame& frame);
   Status SendBytes(std::string_view bytes);
   // Next frame from the server, in arrival order. kUnavailable when the
-  // server closed the connection or the receive timeout expired;
-  // kInvalidArgument / kDataLoss when the reply stream is malformed.
+  // server closed the connection; kDeadlineExceeded when the receive
+  // timeout expired; kInvalidArgument / kDataLoss when the reply stream
+  // is malformed.
   Result<Frame> ReadFrame();
 
  private:
-  Client(int fd, const ClientOptions& options);
+  Client(int fd, uint16_t port, const ClientOptions& options);
 
   int fd_ = -1;
+  uint16_t port_ = 0;  // remembered for Reconnect
   ClientOptions options_;
   FrameDecoder decoder_;
   uint64_t next_request_id_ = 1;
+  bool stream_broken_ = false;
 };
 
 }  // namespace emaf::serve

@@ -1,0 +1,44 @@
+// Virtual time for the serving stack.
+//
+// Batching, deadlines and drain decisions never read the wall clock: they
+// observe a VirtualClock that the owner advances (per event-loop turn, per
+// poll, per test step). That single choice is what makes batch boundaries,
+// deadline expiry and the scheduler's shed/execute split bitwise
+// reproducible under a test's ManualClock — and it is why a wire deadline
+// travels in *ticks*, not milliseconds (DESIGN.md, "Request lifecycle &
+// failure semantics").
+
+#ifndef EMAF_SERVE_CLOCK_H_
+#define EMAF_SERVE_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace emaf::serve {
+
+// Monotone tick source for batching and deadline decisions. Deliberately
+// not wall clock: the owner advances it, which is what makes scheduling
+// reproducible.
+class VirtualClock {
+ public:
+  virtual ~VirtualClock() = default;
+  virtual uint64_t Ticks() const = 0;
+};
+
+// A hand-driven clock; Advance is thread-safe.
+class ManualClock final : public VirtualClock {
+ public:
+  uint64_t Ticks() const override {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+  void Advance(uint64_t n = 1) {
+    ticks_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> ticks_{0};
+};
+
+}  // namespace emaf::serve
+
+#endif  // EMAF_SERVE_CLOCK_H_

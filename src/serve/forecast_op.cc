@@ -12,9 +12,16 @@ Result<tensor::Tensor> ExecuteForecast(models::Forecaster* model,
                                        const std::string& individual_id,
                                        const tensor::Tensor& window,
                                        tensor::InferenceArena* arena,
-                                       plan::PlanCache* plans) {
+                                       plan::PlanCache* plans,
+                                       const Deadline& deadline) {
   EMAF_METRIC_SCOPED_TIMER("serve.request_seconds");
   EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded(
+        StrCat("deadline expired before execution for ", individual_id,
+               ": now tick ", deadline.clock->Ticks(), ", expiry tick ",
+               deadline.expiry_tick));
+  }
   if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.request/", individual_id))) {
     return Status::Unavailable(
         StrCat("injected fault: serve.request/", individual_id));

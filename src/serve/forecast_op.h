@@ -19,11 +19,13 @@
 #ifndef EMAF_SERVE_FORECAST_OP_H_
 #define EMAF_SERVE_FORECAST_OP_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
 #include "models/forecaster.h"
 #include "plan/plan_cache.h"
+#include "serve/clock.h"
 #include "tensor/arena.h"
 #include "tensor/tensor.h"
 
@@ -32,16 +34,35 @@ namespace emaf::serve {
 struct ForecastRequest {
   std::string individual_id;
   tensor::Tensor window;  // [B, L, V]
+  // Relative deadline in virtual-clock ticks from the request's arrival
+  // at the scheduler; 0 = no deadline. Expired requests are shed with
+  // kDeadlineExceeded before any forward pass runs.
+  uint64_t deadline_ticks = 0;
+};
+
+// Absolute expiry against a virtual clock, as threaded from the scheduler
+// into ExecuteForecast. Default-constructed = no deadline (never expires).
+struct Deadline {
+  const VirtualClock* clock = nullptr;
+  uint64_t expiry_tick = ~uint64_t{0};
+
+  bool expired() const {
+    return clock != nullptr && clock->Ticks() > expiry_tick;
+  }
 };
 
 // One forecast: window [B, L, V] -> [B, V]. `model` must be non-null and
 // in eval mode; `arena` may be null to run on the plain heap; `plans`
-// null runs the module path unconditionally (plans disabled).
+// null runs the module path unconditionally (plans disabled). The
+// deadline is re-checked at entry — before the plan/module branch — so a
+// request that expired between batch-close and slot start returns
+// kDeadlineExceeded without burning a forward pass.
 Result<tensor::Tensor> ExecuteForecast(models::Forecaster* model,
                                        const std::string& individual_id,
                                        const tensor::Tensor& window,
                                        tensor::InferenceArena* arena,
-                                       plan::PlanCache* plans = nullptr);
+                                       plan::PlanCache* plans = nullptr,
+                                       const Deadline& deadline = {});
 
 }  // namespace emaf::serve
 

@@ -38,35 +38,45 @@ std::string CrcHex(uint32_t crc) {
   return hex;
 }
 
-// Shared header validation for the one-shot and streaming decoders:
-// everything checkable from the first kFrameHeaderBytes alone. On success
-// fills the announced tenant/payload lengths.
-Status ValidateHeader(std::string_view header, size_t max_frame_bytes,
-                      size_t* tenant_len, size_t* payload_len) {
-  EMAF_CHECK(header.size() >= kFrameHeaderBytes);
-  if (std::memcmp(header.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+// Shared prefix validation for the one-shot and streaming decoders: each
+// field is checked as soon as its bytes are available, in wire order, so
+// a v1 frame (whose 20-byte header is shorter than ours) dies on its
+// version byte — before the decoder could misread its layout, and before
+// any CRC check. Once the full header is present, fills the announced
+// tenant/payload lengths and sets *header_done.
+Status ValidatePrefix(std::string_view bytes, size_t max_frame_bytes,
+                      size_t* tenant_len, size_t* payload_len,
+                      bool* header_done) {
+  *header_done = false;
+  const size_t magic_avail = std::min(bytes.size(), sizeof(kFrameMagic));
+  if (std::memcmp(bytes.data(), kFrameMagic, magic_avail) != 0) {
+    std::string got;
+    for (size_t i = 0; i < magic_avail; ++i) {
+      if (i > 0) got += ' ';
+      got += StrCat(static_cast<int>(static_cast<unsigned char>(bytes[i])));
+    }
     return Status::InvalidArgument(StrCat(
-        "bad magic: frame does not start with \"EMAF\" (got bytes ",
-        static_cast<int>(static_cast<unsigned char>(header[0])), " ",
-        static_cast<int>(static_cast<unsigned char>(header[1])), " ",
-        static_cast<int>(static_cast<unsigned char>(header[2])), " ",
-        static_cast<int>(static_cast<unsigned char>(header[3])), ")"));
+        "bad magic: frame does not start with \"EMAF\" (got bytes ", got,
+        ")"));
   }
-  const uint8_t version = static_cast<uint8_t>(header[4]);
+  if (bytes.size() < 5) return Status::Ok();
+  const uint8_t version = static_cast<uint8_t>(bytes[4]);
   if (version != kProtocolVersion) {
     return Status::InvalidArgument(
         StrCat("unsupported protocol version ", static_cast<int>(version),
                ": this endpoint speaks version ",
                static_cast<int>(kProtocolVersion), " only"));
   }
-  const uint8_t type = static_cast<uint8_t>(header[5]);
+  if (bytes.size() < 6) return Status::Ok();
+  const uint8_t type = static_cast<uint8_t>(bytes[5]);
   if (!IsKnownFrameType(type)) {
     return Status::InvalidArgument(StrCat(
         "unknown frame type ", static_cast<int>(type),
-        " (known types: 1=FORECAST_REQUEST .. 5=PONG)"));
+        " (known types: 1=FORECAST_REQUEST .. 7=HEALTH_REPLY)"));
   }
-  *tenant_len = ReadLe<uint16_t>(header.data() + 6);
-  *payload_len = ReadLe<uint32_t>(header.data() + 8);
+  if (bytes.size() < kFrameHeaderBytes) return Status::Ok();
+  *tenant_len = ReadLe<uint16_t>(bytes.data() + 6);
+  *payload_len = ReadLe<uint32_t>(bytes.data() + 8);
   const size_t total =
       kFrameHeaderBytes + *tenant_len + *payload_len + kFrameTrailerBytes;
   if (total > max_frame_bytes) {
@@ -75,6 +85,19 @@ Status ValidateHeader(std::string_view header, size_t max_frame_bytes,
         " + payload length ", *payload_len, " gives a ", total,
         "-byte frame, over the ", max_frame_bytes, "-byte ceiling"));
   }
+  const uint8_t flags = static_cast<uint8_t>(bytes[20]);
+  if ((flags & static_cast<uint8_t>(~kFrameFlagMask)) != 0) {
+    return Status::InvalidArgument(StrCat(
+        "reserved flags bits set: flags byte is ", static_cast<int>(flags),
+        ", known bits are ", static_cast<int>(kFrameFlagMask)));
+  }
+  const uint64_t deadline = ReadLe<uint64_t>(bytes.data() + 21);
+  if ((flags & kFrameFlagHasDeadline) == 0 && deadline != 0) {
+    return Status::InvalidArgument(StrCat(
+        "deadline field is ", deadline,
+        " ticks but the HAS_DEADLINE flag is not set"));
+  }
+  *header_done = true;
   return Status::Ok();
 }
 
@@ -92,13 +115,17 @@ const char* FrameTypeName(FrameType type) {
       return "PING";
     case FrameType::kPong:
       return "PONG";
+    case FrameType::kHealth:
+      return "HEALTH";
+    case FrameType::kHealthReply:
+      return "HEALTH_REPLY";
   }
   return "UNKNOWN";
 }
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kForecastRequest) &&
-         type <= static_cast<uint8_t>(FrameType::kPong);
+         type <= static_cast<uint8_t>(FrameType::kHealthReply);
 }
 
 size_t EncodedFrameBytes(const Frame& frame) {
@@ -112,6 +139,10 @@ std::string EncodeFrame(const Frame& frame) {
       << frame.tenant_id.size() << " bytes";
   EMAF_CHECK(EncodedFrameBytes(frame) <= kDefaultMaxFrameBytes)
       << "frame exceeds kDefaultMaxFrameBytes: " << EncodedFrameBytes(frame);
+  EMAF_CHECK((frame.flags & static_cast<uint8_t>(~kFrameFlagMask)) == 0)
+      << "frame sets reserved flag bits: " << static_cast<int>(frame.flags);
+  EMAF_CHECK(frame.deadline_ticks == 0 || frame.has_deadline())
+      << "deadline_ticks set without kFrameFlagHasDeadline; use SetDeadline";
   std::string out;
   out.reserve(EncodedFrameBytes(frame));
   out.append(kFrameMagic, sizeof(kFrameMagic));
@@ -120,6 +151,8 @@ std::string EncodeFrame(const Frame& frame) {
   AppendLe<uint16_t>(&out, static_cast<uint16_t>(frame.tenant_id.size()));
   AppendLe<uint32_t>(&out, static_cast<uint32_t>(frame.payload.size()));
   AppendLe<uint64_t>(&out, frame.request_id);
+  out.push_back(static_cast<char>(frame.flags));
+  AppendLe<uint64_t>(&out, frame.deadline_ticks);
   out.append(frame.tenant_id);
   out.append(frame.payload);
   AppendLe<uint32_t>(&out, core::Crc32(out));
@@ -127,15 +160,16 @@ std::string EncodeFrame(const Frame& frame) {
 }
 
 Result<Frame> DecodeFrame(std::string_view bytes, size_t max_frame_bytes) {
-  if (bytes.size() < kFrameHeaderBytes) {
+  size_t tenant_len = 0;
+  size_t payload_len = 0;
+  bool header_done = false;
+  EMAF_RETURN_IF_ERROR(ValidatePrefix(bytes, max_frame_bytes, &tenant_len,
+                                      &payload_len, &header_done));
+  if (!header_done) {
     return Status::InvalidArgument(
         StrCat("truncated header: got ", bytes.size(),
                " byte(s), need the ", kFrameHeaderBytes, "-byte frame header"));
   }
-  size_t tenant_len = 0;
-  size_t payload_len = 0;
-  EMAF_RETURN_IF_ERROR(
-      ValidateHeader(bytes, max_frame_bytes, &tenant_len, &payload_len));
   const size_t total =
       kFrameHeaderBytes + tenant_len + payload_len + kFrameTrailerBytes;
   if (bytes.size() < total) {
@@ -161,6 +195,8 @@ Result<Frame> DecodeFrame(std::string_view bytes, size_t max_frame_bytes) {
   Frame frame;
   frame.type = static_cast<FrameType>(bytes[5]);
   frame.request_id = ReadLe<uint64_t>(bytes.data() + 12);
+  frame.flags = static_cast<uint8_t>(bytes[20]);
+  frame.deadline_ticks = ReadLe<uint64_t>(bytes.data() + 21);
   frame.tenant_id.assign(bytes.data() + kFrameHeaderBytes, tenant_len);
   frame.payload.assign(bytes.data() + kFrameHeaderBytes + tenant_len,
                        payload_len);
@@ -250,13 +286,61 @@ Status DecodeStatusPayload(std::string_view payload, Status* decoded) {
                " byte(s), need the 4-byte status code"));
   }
   const uint32_t code = ReadLe<uint32_t>(payload.data());
-  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+  if (code == 0 ||
+      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument(
         StrCat("status payload carries invalid status code ", code));
   }
   *decoded = Status(static_cast<StatusCode>(code),
                     std::string(payload.substr(4)));
   return Status::Ok();
+}
+
+const char* ServeStateName(ServeState state) {
+  switch (state) {
+    case ServeState::kStarting:
+      return "STARTING";
+    case ServeState::kServing:
+      return "SERVING";
+    case ServeState::kDraining:
+      return "DRAINING";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+// u8 state | u64 resident | u64 known | u64 queue depth.
+constexpr size_t kHealthPayloadBytes = 1 + 8 + 8 + 8;
+}  // namespace
+
+std::string EncodeHealthPayload(const HealthInfo& info) {
+  std::string out;
+  out.reserve(kHealthPayloadBytes);
+  out.push_back(static_cast<char>(info.state));
+  AppendLe<uint64_t>(&out, info.resident_models);
+  AppendLe<uint64_t>(&out, info.known_models);
+  AppendLe<uint64_t>(&out, info.queue_depth);
+  return out;
+}
+
+Result<HealthInfo> DecodeHealthPayload(std::string_view payload) {
+  if (payload.size() != kHealthPayloadBytes) {
+    return Status::InvalidArgument(
+        StrCat("health payload is ", payload.size(), " byte(s), expected ",
+               kHealthPayloadBytes));
+  }
+  const uint8_t state = static_cast<uint8_t>(payload[0]);
+  if (state > static_cast<uint8_t>(ServeState::kDraining)) {
+    return Status::InvalidArgument(StrCat(
+        "health payload carries unknown serve state ",
+        static_cast<int>(state), " (known states: 0=STARTING .. 2=DRAINING)"));
+  }
+  HealthInfo info;
+  info.state = static_cast<ServeState>(state);
+  info.resident_models = ReadLe<uint64_t>(payload.data() + 1);
+  info.known_models = ReadLe<uint64_t>(payload.data() + 9);
+  info.queue_depth = ReadLe<uint64_t>(payload.data() + 17);
+  return info;
 }
 
 // --- FrameDecoder ----------------------------------------------------------
@@ -277,19 +361,18 @@ void FrameDecoder::Feed(std::string_view bytes) {
 Status FrameDecoder::Precheck() {
   const std::string_view pending =
       std::string_view(buffer_).substr(offset_);
-  // Magic is rejectable from the first 4 bytes — garbage streams die
-  // before buffering anything.
-  const size_t magic_check = std::min(pending.size(), sizeof(kFrameMagic));
-  if (std::memcmp(pending.data(), kFrameMagic, magic_check) != 0) {
-    return Status::InvalidArgument(
-        "bad magic: stream is not aligned on an \"EMAF\" frame");
-  }
-  if (pending.size() < kFrameHeaderBytes) return Status::Ok();
+  // ValidatePrefix rejects each field as soon as it arrives — garbage
+  // magic after 4 bytes, a foreign protocol version after 5 — so broken
+  // streams die before buffering anything.
   size_t tenant_len = 0;
   size_t payload_len = 0;
-  EMAF_RETURN_IF_ERROR(
-      ValidateHeader(pending, max_frame_bytes_, &tenant_len, &payload_len));
-  total_ = kFrameHeaderBytes + tenant_len + payload_len + kFrameTrailerBytes;
+  bool header_done = false;
+  EMAF_RETURN_IF_ERROR(ValidatePrefix(pending, max_frame_bytes_, &tenant_len,
+                                      &payload_len, &header_done));
+  if (header_done) {
+    total_ =
+        kFrameHeaderBytes + tenant_len + payload_len + kFrameTrailerBytes;
+  }
   return Status::Ok();
 }
 

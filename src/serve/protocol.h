@@ -3,27 +3,41 @@
 // by pure functions with no socket dependency, so the codec is unit- and
 // fuzz-testable in complete isolation from the event loop.
 //
-// Frame layout (all integers little-endian):
+// Frame layout, version 2 (all integers little-endian):
 //
 //   offset size  field
 //   0      4     magic            'E' 'M' 'A' 'F'
-//   4      1     version          kProtocolVersion (currently 1)
+//   4      1     version          kProtocolVersion (currently 2)
 //   5      1     type             FrameType
 //   6      2     tenant id length (u16)
 //   8      4     payload length   (u32)
 //   12     8     request id       (u64, echoed verbatim in every reply)
-//   20     ...   tenant id bytes
+//   20     1     flags            (bit 0 = HAS_DEADLINE; others reserved,
+//                                  must be zero)
+//   21     8     deadline         (u64 virtual-clock ticks, relative to
+//                                  server-side arrival; meaningful only
+//                                  with HAS_DEADLINE, else must be zero)
+//   29     ...   tenant id bytes
 //   ...    ...   payload bytes
 //   last   4     CRC-32 (IEEE, same polynomial as the checkpoint journal)
 //                over every preceding byte of the frame
 //
-// Decode validates strictly in header order — magic, version, type,
-// lengths against the frame-size ceiling, completeness, CRC — and every
+// v2 appends the flags byte and the deadline to the v1 header, so every
+// v1 field keeps its offset. The deadline travels in *virtual-clock
+// ticks* (see serve/clock.h), not milliseconds: the server's batching
+// clock is the only time base deadline expiry is judged against, which
+// keeps shed/execute decisions reproducible under a test's ManualClock.
+//
+// Decode validates each field as soon as its bytes are available, in
+// wire order — magic, version, type, lengths against the frame-size
+// ceiling, flags, deadline consistency, completeness, CRC — and every
 // rejection is a Status whose message names the offending field, so a
 // conformance suite can pin the exact failure for each corruption.
 // Version negotiation is deliberately minimal: a server rejects any
-// version other than its own with a message naming both versions, and the
-// client surfaces that message; there is no downgrade path.
+// version other than its own with a message naming both versions (a v1
+// frame dies on its version byte, before the v2 decoder could misread
+// its shorter header, and before any CRC check), and the client surfaces
+// that message; there is no downgrade path.
 //
 // Payload conventions per frame type:
 //   kForecastRequest   tensor payload — the window [B, L, V]
@@ -32,6 +46,9 @@
 //                      bitwise identical to the in-process tensor
 //   kError             status payload — u32 StatusCode + message bytes
 //   kPing / kPong      empty
+//   kHealth            empty (a readiness probe)
+//   kHealthReply       health payload — u8 ServeState + u64 resident
+//                      models + u64 known models + u64 queue depth
 //
 // FrameDecoder is the incremental flavor for byte streams: feed it
 // whatever read() returned (1 byte at a time is fine) and it yields
@@ -51,9 +68,13 @@
 namespace emaf::serve {
 
 inline constexpr char kFrameMagic[4] = {'E', 'M', 'A', 'F'};
-inline constexpr uint8_t kProtocolVersion = 1;
-inline constexpr size_t kFrameHeaderBytes = 20;
+inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr size_t kFrameHeaderBytes = 29;
 inline constexpr size_t kFrameTrailerBytes = 4;  // CRC-32
+
+// Header flags byte (offset 20). Unknown bits are rejected by name.
+inline constexpr uint8_t kFrameFlagHasDeadline = 0x01;
+inline constexpr uint8_t kFrameFlagMask = kFrameFlagHasDeadline;
 // Ceiling on one whole frame (header + tenant + payload + CRC). A peer
 // announcing a larger frame is rejected from the header alone, before any
 // payload bytes are buffered.
@@ -65,6 +86,8 @@ enum class FrameType : uint8_t {
   kError = 3,
   kPing = 4,
   kPong = 5,
+  kHealth = 6,
+  kHealthReply = 7,
 };
 
 // "FORECAST_REQUEST", ...; "UNKNOWN" for values outside the enum.
@@ -74,8 +97,20 @@ bool IsKnownFrameType(uint8_t type);
 struct Frame {
   FrameType type = FrameType::kPing;
   uint64_t request_id = 0;
-  std::string tenant_id;  // empty for ping/pong/error
+  // kFrameFlag* bits. Encode checks consistency: deadline_ticks != 0
+  // requires kFrameFlagHasDeadline (use SetDeadline to keep them in sync).
+  uint8_t flags = 0;
+  // Relative deadline in virtual-clock ticks; meaningful only when
+  // kFrameFlagHasDeadline is set (0 is treated as no deadline).
+  uint64_t deadline_ticks = 0;
+  std::string tenant_id;  // empty for ping/pong/error/health
   std::string payload;
+
+  void SetDeadline(uint64_t ticks) {
+    flags = static_cast<uint8_t>(flags | kFrameFlagHasDeadline);
+    deadline_ticks = ticks;
+  }
+  bool has_deadline() const { return (flags & kFrameFlagHasDeadline) != 0; }
 
   bool operator==(const Frame& other) const = default;
 };
@@ -92,7 +127,8 @@ std::string EncodeFrame(const Frame& frame);
 // messages name the offending field):
 //   kInvalidArgument — truncated header/frame, bad magic, unsupported
 //                      version, unknown frame type, tenant/payload length
-//                      exceeding `max_frame_bytes`, trailing bytes;
+//                      exceeding `max_frame_bytes`, reserved flag bits,
+//                      a deadline without its flag, trailing bytes;
 //   kDataLoss        — CRC mismatch (frame bytes corrupted in flight).
 Result<Frame> DecodeFrame(std::string_view bytes,
                           size_t max_frame_bytes = kDefaultMaxFrameBytes);
@@ -113,6 +149,33 @@ std::string EncodeStatusPayload(const Status& status);
 // decode outcome itself — kInvalidArgument when the payload is malformed.
 // (Not Result<Status>: Result's value/error constructors would collide.)
 Status DecodeStatusPayload(std::string_view payload, Status* decoded);
+
+// Lifecycle state a server reports in kHealthReply frames. A load
+// balancer (or the bench) gates traffic on kServing; kDraining means
+// finish what you have in flight and go elsewhere.
+enum class ServeState : uint8_t {
+  kStarting = 0,
+  kServing = 1,
+  kDraining = 2,
+};
+
+// "STARTING", "SERVING", "DRAINING"; "UNKNOWN" outside the enum.
+const char* ServeStateName(ServeState state);
+
+struct HealthInfo {
+  ServeState state = ServeState::kStarting;
+  uint64_t resident_models = 0;  // pinned or idle in the ModelStore
+  uint64_t known_models = 0;     // registered snapshot ids
+  uint64_t queue_depth = 0;      // scheduler admission queue
+
+  bool operator==(const HealthInfo& other) const = default;
+};
+
+// u8 ServeState | u64 resident | u64 known | u64 queue depth.
+std::string EncodeHealthPayload(const HealthInfo& info);
+// kInvalidArgument when truncated, oversized, or carrying an unknown
+// state value; messages name the offending field.
+Result<HealthInfo> DecodeHealthPayload(std::string_view payload);
 
 // --- Incremental decoding --------------------------------------------------
 

@@ -1,0 +1,31 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace emaf::serve {
+
+bool IsRetryableStatus(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
+
+int64_t BackoffWithJitterMs(const RetryPolicy& policy, int64_t attempt,
+                            Rng* rng) {
+  EMAF_CHECK(rng != nullptr);
+  EMAF_CHECK(attempt >= 1) << "backoff is for retries; attempt " << attempt;
+  const int64_t base = std::max<int64_t>(1, policy.base_backoff_ms);
+  const int64_t cap = std::max<int64_t>(base, policy.max_backoff_ms);
+  // base << (attempt-1), saturating at the cap without overflowing: stop
+  // doubling as soon as the cap is reached.
+  int64_t backoff = base;
+  for (int64_t k = 1; k < attempt && backoff < cap; ++k) {
+    backoff = backoff > cap / 2 ? cap : backoff * 2;
+  }
+  backoff = std::min(backoff, cap);
+  // Jitter to [half, full]: never zero (a zero wait defeats backoff),
+  // never over the cap.
+  return backoff / 2 + rng->UniformInt(0, backoff - backoff / 2);
+}
+
+}  // namespace emaf::serve

@@ -1,0 +1,53 @@
+// Client-side retry policy: which failures are worth a second attempt,
+// and how long to wait between attempts.
+//
+// The retryable set is deliberately tiny — kUnavailable only. That code
+// covers exactly the transient conditions (admission-queue backpressure,
+// a draining server, a dropped connection) where a later attempt can
+// genuinely succeed. kDeadlineExceeded is never retried: by the time a
+// retry could answer, the deadline has long passed and the answer is
+// stale. kInvalidArgument (and every other code) is never retried: the
+// request itself is wrong and will be wrong again.
+//
+// Backoff is exponential with jitter, computed from an explicit Rng so a
+// test seeding the same policy observes the exact same wait sequence —
+// bitwise reproducible, like every other scheduling decision in the
+// serving stack (DESIGN.md, "Request lifecycle & failure semantics").
+
+#ifndef EMAF_SERVE_RETRY_H_
+#define EMAF_SERVE_RETRY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace emaf::serve {
+
+struct RetryPolicy {
+  // Total attempts, including the first; 1 = no retry. Clamped >= 1.
+  int64_t max_attempts = 1;
+  // Backoff before retry k (1-based) grows as base << (k-1), capped.
+  int64_t base_backoff_ms = 10;
+  int64_t max_backoff_ms = 1000;
+  // Seeds the jitter stream; the same seed reproduces the same waits.
+  uint64_t jitter_seed = 0x45'4d'41'46;  // "EMAF"
+};
+
+// True only for kUnavailable (see the header comment for why).
+bool IsRetryableStatus(StatusCode code);
+inline bool IsRetryableStatus(const Status& status) {
+  return IsRetryableStatus(status.code());
+}
+
+// Wait before retry attempt `attempt` (1-based: the wait after the
+// attempt-1 failure). Exponential growth clamped to max_backoff_ms, then
+// jittered to [half, full] of the clamped value — desynchronizing a
+// thundering herd without ever collapsing the wait to zero. Deterministic
+// in (policy, attempt, rng state).
+int64_t BackoffWithJitterMs(const RetryPolicy& policy, int64_t attempt,
+                            Rng* rng);
+
+}  // namespace emaf::serve
+
+#endif  // EMAF_SERVE_RETRY_H_

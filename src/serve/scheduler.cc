@@ -13,11 +13,21 @@ namespace emaf::serve {
 
 namespace {
 
+constexpr uint64_t kNoExpiry = ~uint64_t{0};
+
 // Batch-size histogram buckets: powers of two up to the practical batch
 // ceiling (micro-batches are small by design).
 [[maybe_unused]] const std::vector<double>& BatchSizeBounds() {
   static const std::vector<double> bounds = {1, 2, 4, 8, 16, 32, 64, 128, 256};
   return bounds;
+}
+
+// Absolute expiry for a request arriving now: arrival + deadline,
+// saturating; kNoExpiry when the request carries no deadline.
+uint64_t ExpiryTick(uint64_t arrival, uint64_t deadline_ticks) {
+  if (deadline_ticks == 0) return kNoExpiry;
+  const uint64_t expiry = arrival + deadline_ticks;
+  return expiry < arrival ? kNoExpiry : expiry;  // overflow saturates
 }
 
 }  // namespace
@@ -64,7 +74,9 @@ Result<RequestTicket> RequestScheduler::Submit(const ForecastRequest& request) {
                  "): request for ", request.individual_id, " rejected"));
     }
     slot = std::make_shared<RequestTicket::Slot>();
-    pending_.push_back(Pending{request, slot, clock_->Ticks()});
+    const uint64_t arrival = clock_->Ticks();
+    pending_.push_back(Pending{request, slot, arrival,
+                               ExpiryTick(arrival, request.deadline_ticks)});
     EMAF_METRIC_GAUGE_SET("serve.scheduler.queue_depth",
                           static_cast<double>(pending_.size()));
   }
@@ -78,6 +90,26 @@ std::vector<RequestScheduler::Batch> RequestScheduler::CloseBatches(
   std::vector<Batch> batches;
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t now = clock_->Ticks();
+  // Shed expired requests before forming batches: their tickets complete
+  // with kDeadlineExceeded right here, they never occupy a batch slot,
+  // and the forward pass they would have burned goes to live requests.
+  // (Deadlines vary per request, so an expired entry can sit anywhere in
+  // the FIFO — scan the whole queue, not just the head.)
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now > it->expiry) {
+      it->slot->result.emplace(Status::DeadlineExceeded(
+          StrCat("deadline expired before dispatch for ",
+                 it->request.individual_id, ": arrival tick ", it->arrival,
+                 ", deadline ", it->request.deadline_ticks,
+                 " tick(s), now tick ", now)));
+      it->slot->done.store(true, std::memory_order_release);
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      EMAF_METRIC_COUNTER_ADD("serve.scheduler.expired_total", 1);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   while (!pending_.empty()) {
     bool full =
         static_cast<int64_t>(pending_.size()) >= options_.max_batch;
@@ -113,23 +145,41 @@ void RequestScheduler::Execute(Batch* batch) {
       [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
           Pending& pending = (*batch)[static_cast<size_t>(i)];
-          Result<ModelHandle> handle =
-              store_->Get(pending.request.individual_id);
-          if (handle.ok()) {
-            pending.slot->result.emplace(ExecuteForecast(
-                handle.value().get(), pending.request.individual_id,
-                pending.request.window, arena_,
-                options_.use_compiled_plans ? handle.value().plans()
-                                            : nullptr));
-          } else {
-            // Count the failed request so serve.requests_total covers
-            // every admitted request, executed or degraded.
+          const Deadline deadline{clock_, pending.expiry};
+          if (deadline.expired()) {
+            // Expired between batch-close and slot start: shed before the
+            // store lookup so a doomed request cannot trigger a cold load.
             EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
-            pending.slot->result.emplace(handle.status());
+            pending.slot->result.emplace(Status::DeadlineExceeded(
+                StrCat("deadline expired at batch entry for ",
+                       pending.request.individual_id, ": now tick ",
+                       clock_->Ticks(), ", expiry tick ", pending.expiry)));
+          } else {
+            Result<ModelHandle> handle =
+                store_->Get(pending.request.individual_id);
+            if (handle.ok()) {
+              pending.slot->result.emplace(ExecuteForecast(
+                  handle.value().get(), pending.request.individual_id,
+                  pending.request.window, arena_,
+                  options_.use_compiled_plans ? handle.value().plans()
+                                              : nullptr,
+                  deadline));
+            } else {
+              // Count the failed request so serve.requests_total covers
+              // every admitted request, executed or degraded.
+              EMAF_METRIC_COUNTER_ADD("serve.requests_total", 1);
+              pending.slot->result.emplace(handle.status());
+            }
           }
           if (!pending.slot->result->ok()) {
-            failed_.fetch_add(1, std::memory_order_relaxed);
-            EMAF_METRIC_COUNTER_ADD("serve.scheduler.failed_total", 1);
+            if (pending.slot->result->status().code() ==
+                StatusCode::kDeadlineExceeded) {
+              expired_.fetch_add(1, std::memory_order_relaxed);
+              EMAF_METRIC_COUNTER_ADD("serve.scheduler.expired_total", 1);
+            } else {
+              failed_.fetch_add(1, std::memory_order_relaxed);
+              EMAF_METRIC_COUNTER_ADD("serve.scheduler.failed_total", 1);
+            }
           }
           pending.slot->done.store(true, std::memory_order_release);
         }
@@ -171,6 +221,7 @@ RequestScheduler::Stats RequestScheduler::stats() const {
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.executed = executed_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
   return stats;
 }
 

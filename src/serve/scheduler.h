@@ -22,10 +22,18 @@
 // InferenceEngine facade, a test) calls Pump() on its own cadence, or
 // Flush() to drain everything regardless of age.
 //
+// Deadlines: a request may carry `deadline_ticks` (relative to its
+// arrival tick; 0 = none). Pump sheds already-expired requests at
+// batch-close time, *before* any store lookup or forward pass, completing
+// their tickets with kDeadlineExceeded — doomed work never burns a
+// forward. A second check at batch-entry (inside Execute / the shared
+// ExecuteForecast) catches requests that expire between close and slot
+// start.
+//
 // Instrumentation: serve.scheduler.submitted_total / rejected_total /
-// batches_total / executed_total / failed_total (counters),
-// serve.scheduler.queue_depth (gauge), serve.scheduler.batch_size
-// (histogram).
+// batches_total / executed_total / failed_total / expired_total
+// (counters), serve.scheduler.queue_depth (gauge),
+// serve.scheduler.batch_size (histogram).
 
 #ifndef EMAF_SERVE_SCHEDULER_H_
 #define EMAF_SERVE_SCHEDULER_H_
@@ -38,35 +46,13 @@
 #include <vector>
 
 #include "common/status.h"
+#include "serve/clock.h"
 #include "serve/forecast_op.h"
 #include "serve/model_store.h"
 #include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace emaf::serve {
-
-// Monotone tick source for batching decisions. Deliberately not wall
-// clock: the owner advances it (per event-loop turn, per poll, per test
-// step), which is what makes batch boundaries reproducible.
-class VirtualClock {
- public:
-  virtual ~VirtualClock() = default;
-  virtual uint64_t Ticks() const = 0;
-};
-
-// A hand-driven clock; Advance is thread-safe.
-class ManualClock final : public VirtualClock {
- public:
-  uint64_t Ticks() const override {
-    return ticks_.load(std::memory_order_relaxed);
-  }
-  void Advance(uint64_t n = 1) {
-    ticks_.fetch_add(n, std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<uint64_t> ticks_{0};
-};
 
 struct SchedulerOptions {
   // Admission bound: Submit rejects with kUnavailable once this many
@@ -138,6 +124,11 @@ class RequestScheduler {
     // stats, even though its peers were served — the fault-injection
     // server test pins both halves of that contract.
     uint64_t failed = 0;
+    // Requests whose deadline elapsed before a forward pass ran: shed at
+    // batch-close or caught at batch-entry, completed with
+    // kDeadlineExceeded. Disjoint from `failed`; shed requests are not
+    // counted in `executed` (they were never dispatched into a batch).
+    uint64_t expired = 0;
   };
   Stats stats() const;
 
@@ -146,10 +137,14 @@ class RequestScheduler {
     ForecastRequest request;
     std::shared_ptr<RequestTicket::Slot> slot;
     uint64_t arrival = 0;
+    // Absolute expiry tick (arrival + deadline_ticks, saturating);
+    // kNoExpiry when the request carries no deadline.
+    uint64_t expiry = ~uint64_t{0};
   };
   using Batch = std::vector<Pending>;
 
-  // Pops all closable batches off the queue (under the lock).
+  // Pops all closable batches off the queue (under the lock), shedding
+  // expired requests (completed with kDeadlineExceeded) as a side effect.
   std::vector<Batch> CloseBatches(bool flush);
   // Runs one batch: per-request store lookup + forecast into its slot.
   void Execute(Batch* batch);
@@ -167,6 +162,7 @@ class RequestScheduler {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> expired_{0};
 };
 
 }  // namespace emaf::serve

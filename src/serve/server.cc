@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -72,6 +73,20 @@ struct Server::Impl {
   std::atomic<bool> stop{false};
   bool stopped = false;  // guards double Stop(); main thread only
 
+  // Graceful-drain state machine (DESIGN.md, "Request lifecycle & failure
+  // semantics"). `drain_requested` is the cross-thread signal; the loop
+  // thread owns the transition into kDraining and sets `drained` once the
+  // queue, the in-flight set and (best-effort) the write buffers are empty.
+  std::atomic<uint8_t> serve_state{static_cast<uint8_t>(ServeState::kStarting)};
+  std::atomic<bool> drain_requested{false};
+  std::atomic<bool> drained{false};
+  int64_t drain_turns = 0;  // loop thread only
+
+  bool draining() const {
+    return serve_state.load(std::memory_order_acquire) ==
+           static_cast<uint8_t>(ServeState::kDraining);
+  }
+
   uint64_t next_conn_id = 2;  // 0 = listen socket, 1 = wake eventfd
   std::map<uint64_t, std::unique_ptr<Conn>> conns;
   std::vector<InFlight> in_flight;
@@ -89,8 +104,10 @@ struct Server::Impl {
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> slow_reader_drops{0};
 
-  // Joins the loop thread (idempotent; main thread only). Descriptors are
-  // closed only after the join, so the loop never races a close.
+  // Joins the loop thread, then closes every socket (idempotent; main
+  // thread only). Descriptors are closed only after the join, so the loop
+  // never races a close — and clients of a Stop()ed-but-still-alive Server
+  // see EOF instead of hanging on a half-dead connection.
   void Shutdown() {
     if (stopped) return;
     stopped = true;
@@ -100,17 +117,17 @@ struct Server::Impl {
       [[maybe_unused]] ssize_t r = ::write(wake_fd, &one, sizeof(one));
     }
     if (loop.joinable()) loop.join();
-  }
-
-  ~Impl() {
-    Shutdown();
     for (auto& [id, conn] : conns) {
       if (conn->fd >= 0) ::close(conn->fd);
     }
+    conns.clear();
     if (listen_fd >= 0) ::close(listen_fd);
     if (wake_fd >= 0) ::close(wake_fd);
     if (epoll_fd >= 0) ::close(epoll_fd);
+    listen_fd = wake_fd = epoll_fd = -1;
   }
+
+  ~Impl() { Shutdown(); }
 
   // --- Socket plumbing (loop thread only) ----------------------------------
 
@@ -254,7 +271,38 @@ struct Server::Impl {
         SendFrame(conn, pong);
         return;
       }
+      case FrameType::kHealth: {
+        // Answered in every state — a draining server must keep telling
+        // its load balancer *why* it refuses work, or probes would read
+        // the refusals as a crash.
+        HealthInfo info;
+        info.state =
+            static_cast<ServeState>(serve_state.load(std::memory_order_acquire));
+        info.resident_models = static_cast<uint64_t>(
+            std::max<int64_t>(0, model_store->stats().resident_models));
+        info.known_models =
+            static_cast<uint64_t>(model_store->num_known_models());
+        info.queue_depth = static_cast<uint64_t>(scheduler->queue_depth());
+        Frame reply;
+        reply.type = FrameType::kHealthReply;
+        reply.request_id = frame.request_id;
+        reply.payload = EncodeHealthPayload(info);
+        SendFrame(conn, reply);
+        return;
+      }
       case FrameType::kForecastRequest: {
+        if (draining()) {
+          // New work during drain gets a structured refusal, not a hang:
+          // the client's retry policy treats it like any backpressure
+          // rejection and goes elsewhere.
+          requests_rejected.fetch_add(1, std::memory_order_relaxed);
+          EMAF_METRIC_COUNTER_ADD("serve.server.rejected_total", 1);
+          SendError(conn, frame.request_id,
+                    Status::Unavailable(
+                        "draining: server is shutting down and no longer "
+                        "admits forecast requests"));
+          return;
+        }
         Result<tensor::Tensor> window = DecodeTensorPayload(frame.payload);
         if (!window.ok()) {
           protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -263,7 +311,8 @@ struct Server::Impl {
           return;  // framing is intact; the connection survives
         }
         Result<RequestTicket> ticket = scheduler->Submit(
-            ForecastRequest{frame.tenant_id, std::move(window).value()});
+            ForecastRequest{frame.tenant_id, std::move(window).value(),
+                            frame.has_deadline() ? frame.deadline_ticks : 0});
         if (!ticket.ok()) {
           // The backpressure door: a saturated queue answers a structured
           // kUnavailable immediately instead of hanging or dropping.
@@ -388,9 +437,50 @@ struct Server::Impl {
     in_flight.resize(kept);
   }
 
+  // Transition into kDraining (loop thread only): stop accepting — the
+  // listen socket closes outright, so new connects are refused instead of
+  // parking in the kernel backlog forever.
+  void EnterDrain() {
+    serve_state.store(static_cast<uint8_t>(ServeState::kDraining),
+                      std::memory_order_release);
+    if (listen_fd >= 0) {
+      epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    drain_turns = 0;
+  }
+
+  // One drain turn after the scheduler flushed: true once shutdown may
+  // complete — every admitted request finished and every write buffer
+  // drained (or the linger bound expired; a peer that never reads cannot
+  // hold the process hostage).
+  bool DrainFinished() {
+    if (scheduler->queue_depth() > 0 || !in_flight.empty()) return false;
+    bool writes_flushed = true;
+    for (auto& [id, conn] : conns) {
+      if (conn->out.size() > conn->out_offset) {
+        FlushWrites(conn.get());  // best-effort, bounded by the linger
+      }
+    }
+    for (auto& [id, conn] : conns) {
+      if (conn->out.size() > conn->out_offset) {
+        writes_flushed = false;
+        break;
+      }
+    }
+    ++drain_turns;
+    return writes_flushed || drain_turns > options.drain_linger_turns;
+  }
+
   void Loop() {
+    serve_state.store(static_cast<uint8_t>(ServeState::kServing),
+                      std::memory_order_release);
     epoll_event events[64];
     while (!stop.load(std::memory_order_acquire)) {
+      if (drain_requested.load(std::memory_order_acquire) && !draining()) {
+        EnterDrain();
+      }
       int n = epoll_wait(epoll_fd, events, 64,
                          static_cast<int>(options.poll_timeout_ms));
       if (n < 0 && errno != EINTR) break;
@@ -399,9 +489,9 @@ struct Server::Impl {
         if (id == 0) {
           AcceptAll();
         } else if (id == 1) {
-          uint64_t drained = 0;
+          uint64_t token = 0;
           [[maybe_unused]] ssize_t r =
-              ::read(wake_fd, &drained, sizeof(drained));
+              ::read(wake_fd, &token, sizeof(token));
         } else {
           if (events[i].events & (EPOLLHUP | EPOLLERR)) {
             // Let HandleRead consume whatever arrived before the hangup.
@@ -419,6 +509,21 @@ struct Server::Impl {
       // One virtual tick per loop turn: batches age by event-loop turns,
       // never by wall clock, so batching is reproducible from arrivals.
       clock.Advance(1);
+      if (draining()) {
+        // Nothing new will arrive: age no longer matters, run everything
+        // admitted so every outstanding ticket reaches a terminal state.
+        scheduler->Flush();
+        DrainCompleted();
+        if (DrainFinished()) {
+          std::vector<uint64_t> ids;
+          ids.reserve(conns.size());
+          for (auto& [id, conn] : conns) ids.push_back(id);
+          for (uint64_t id : ids) CloseConn(id);
+          drained.store(true, std::memory_order_release);
+          return;  // drain complete; the loop parks until join
+        }
+        continue;
+      }
       scheduler->Pump();
       DrainCompleted();
     }
@@ -505,6 +610,30 @@ Result<Server> Server::Start(const std::string& snapshot_dir,
 uint16_t Server::port() const { return impl_->bound_port; }
 
 void Server::Stop() { impl_->Shutdown(); }
+
+void Server::BeginDrain() {
+  Impl& impl = *impl_;
+  impl.drain_requested.store(true, std::memory_order_release);
+  if (impl.wake_fd >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(impl.wake_fd, &one, sizeof(one));
+  }
+}
+
+bool Server::WaitDrained(int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!impl_->drained.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+ServeState Server::state() const {
+  return static_cast<ServeState>(
+      impl_->serve_state.load(std::memory_order_acquire));
+}
 
 Server::Stats Server::stats() const {
   const Impl& impl = *impl_;

@@ -81,6 +81,11 @@ struct ServerOptions {
   // epoll_wait timeout: the pacing of batch-aging Pump() turns when no
   // socket activity wakes the loop earlier.
   int64_t poll_timeout_ms = 1;
+  // Drain bound: once every admitted request has finished, the drain
+  // lingers at most this many loop turns waiting for peers to accept
+  // their buffered replies (the best-effort flush). A peer that never
+  // reads cannot stall shutdown beyond poll_timeout_ms * this.
+  int64_t drain_linger_turns = 2000;
 };
 
 class Server {
@@ -98,8 +103,23 @@ class Server {
   uint16_t port() const;
 
   // Stops accepting, drains in-flight batches, joins the loop thread, and
-  // closes every socket. Idempotent.
+  // closes every socket. Idempotent. Abrupt: buffered replies are
+  // discarded; use BeginDrain for a graceful handoff.
   void Stop();
+
+  // Graceful shutdown, async: the server stops accepting connections,
+  // answers new forecast requests with a structured kUnavailable
+  // ("draining"), finishes every in-flight batch, best-effort flushes the
+  // buffered replies (bounded by drain_linger_turns), then closes all
+  // connections and parks the loop. Health probes and pings keep working
+  // throughout, so a load balancer sees the DRAINING state instead of a
+  // dead port. Idempotent; follow with WaitDrained() and Stop().
+  void BeginDrain();
+  // Blocks until the drain completes or `timeout_ms` elapses; returns
+  // whether it completed. False when no drain was begun.
+  bool WaitDrained(int64_t timeout_ms);
+  // Lifecycle state as reported in health replies.
+  ServeState state() const;
 
   struct Stats {
     uint64_t connections_accepted = 0;

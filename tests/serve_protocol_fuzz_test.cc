@@ -28,8 +28,11 @@ constexpr uint64_t kFuzzSeed = 0xEAFEAF2024ull;
 
 std::string RandomValidFrame(Rng* rng) {
   Frame frame;
-  frame.type = static_cast<FrameType>(rng->UniformInt(1, 5));
+  frame.type = static_cast<FrameType>(rng->UniformInt(1, 7));
   frame.request_id = static_cast<uint64_t>(rng->UniformInt(0, 1 << 30));
+  if (rng->UniformInt(0, 3) == 0) {
+    frame.SetDeadline(static_cast<uint64_t>(rng->UniformInt(0, 1 << 20)));
+  }
   const int64_t tenant_len = rng->UniformInt(0, 24);
   for (int64_t i = 0; i < tenant_len; ++i) {
     frame.tenant_id.push_back(

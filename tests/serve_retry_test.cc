@@ -1,0 +1,214 @@
+// Client retry policy suite (ISSUE PR-8): the retryable set is exactly
+// kUnavailable; backoff sequences are deterministic (same seed, same
+// waits, bitwise) and capped; ForecastWithRetry survives a transient
+// store fault with one deterministic backoff wait, never retries
+// kNotFound or kDeadlineExceeded, and reconnects automatically when the
+// server drops the connection mid-conversation.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "serve/client.h"
+#include "serve/retry.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+#include "tensor/tensor.h"
+
+namespace emaf::serve {
+namespace {
+
+TEST(RetryPolicyTest, RetryableSetIsExactlyUnavailable) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kDataLoss, StatusCode::kResourceExhausted,
+        StatusCode::kAborted, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded}) {
+    EXPECT_EQ(IsRetryableStatus(code), code == StatusCode::kUnavailable)
+        << StatusCodeName(code);
+  }
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("queue full")));
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("too late")));
+}
+
+TEST(RetryPolicyTest, BackoffSequenceIsDeterministicBoundedAndCapped) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 100;
+
+  auto sequence = [&](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<int64_t> waits;
+    for (int64_t attempt = 1; attempt <= 10; ++attempt) {
+      waits.push_back(BackoffWithJitterMs(policy, attempt, &rng));
+    }
+    return waits;
+  };
+
+  // Same seed -> the exact same wait sequence, bitwise.
+  std::vector<int64_t> first = sequence(policy.jitter_seed);
+  EXPECT_EQ(first, sequence(policy.jitter_seed));
+
+  // Every wait sits in [half, full] of the capped exponential envelope —
+  // never zero, never over the cap.
+  std::vector<int64_t> envelope = {10, 20, 40, 80, 100, 100, 100, 100, 100,
+                                   100};
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_GE(first[i], envelope[i] / 2) << "attempt " << i + 1;
+    EXPECT_LE(first[i], envelope[i]) << "attempt " << i + 1;
+  }
+}
+
+TEST(RetryPolicyTest, DegenerateBoundsAreClampedSanely) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 0;   // clamped to 1
+  policy.max_backoff_ms = -50;  // clamped to >= base
+  Rng rng(1);
+  for (int64_t attempt = 1; attempt <= 5; ++attempt) {
+    int64_t wait = BackoffWithJitterMs(policy, attempt, &rng);
+    EXPECT_GE(wait, 0);
+    EXPECT_LE(wait, 1);
+  }
+}
+
+// End-to-end fixture: one tiny tenant behind a real loopback server.
+class RetryClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/retry_client_snapshots";
+    expected_ = testutil::MakeTinySnapshotDir(dir_, {"alpha"});
+    window_ = testutil::TinyWindow();
+  }
+  void TearDown() override {
+    if (fault::kFaultInjectionEnabled) {
+      ASSERT_TRUE(fault::Configure("", 0).ok());
+    }
+    std::filesystem::remove_all(dir_);
+  }
+
+  Server StartServerOrDie(const ServerOptions& options = {}) {
+    Result<Server> server = Server::Start(dir_, options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(server).value();
+  }
+
+  std::string dir_;
+  std::map<std::string, std::vector<double>> expected_;
+  tensor::Tensor window_ = tensor::Tensor::Zeros(tensor::Shape{1});
+};
+
+// A transient cold-load fault: attempt 1 is answered kUnavailable, the
+// policy waits exactly one deterministic backoff, attempt 2 is served the
+// exact bytes. The observed wait equals the one computed from a fresh Rng
+// with the policy seed — the whole retry schedule is reproducible.
+TEST_F(RetryClientTest, TransientStoreFaultIsRetriedOnceThenServed) {
+  if (!fault::kFaultInjectionEnabled) GTEST_SKIP();
+  Server server = StartServerOrDie();
+  ASSERT_TRUE(fault::Configure("serve.store.load/alpha=1:1", 7).ok());
+
+  ClientOptions options;
+  options.retry.max_attempts = 3;
+  std::vector<int64_t> waits;
+  options.backoff_sleeper = [&](int64_t ms) { waits.push_back(ms); };
+  Result<Client> client = Client::Connect(server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Result<tensor::Tensor> out = client.value().ForecastWithRetry("alpha",
+                                                                window_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().ToVector(), expected_.at("alpha"));
+
+  Rng jitter(options.retry.jitter_seed);
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_EQ(waits[0], BackoffWithJitterMs(options.retry, 1, &jitter));
+}
+
+TEST_F(RetryClientTest, NotFoundIsTerminalAndNeverRetried) {
+  Server server = StartServerOrDie();
+  ClientOptions options;
+  options.retry.max_attempts = 5;
+  int64_t sleeps = 0;
+  options.backoff_sleeper = [&](int64_t) { ++sleeps; };
+  Result<Client> client = Client::Connect(server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Result<tensor::Tensor> out =
+      client.value().ForecastWithRetry("stranger", window_);
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(sleeps, 0);  // the request is wrong; it will be wrong again
+}
+
+TEST_F(RetryClientTest, DeadlineExceededIsTerminalAndNeverRetried) {
+  // Batches never close by age, so a 1-tick deadline deterministically
+  // expires before any forward runs.
+  ServerOptions server_options;
+  server_options.scheduler.max_delay_ticks = 1'000'000'000;
+  Server server = StartServerOrDie(server_options);
+  ClientOptions options;
+  options.retry.max_attempts = 5;
+  int64_t sleeps = 0;
+  options.backoff_sleeper = [&](int64_t) { ++sleeps; };
+  Result<Client> client = Client::Connect(server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Result<tensor::Tensor> out = client.value().ForecastWithRetry(
+      "alpha", window_, /*deadline_ticks=*/1);
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(sleeps, 0);  // a late answer helps nobody
+}
+
+// The server kills the first connection via a read fault: the client sees
+// kUnavailable ("server closed"), marks its stream broken, reconnects on
+// the retry, and is served — all inside one ForecastWithRetry call.
+TEST_F(RetryClientTest, ConnectionLossReconnectsAndSucceeds) {
+  if (!fault::kFaultInjectionEnabled) GTEST_SKIP();
+  Server server = StartServerOrDie();
+  // Conn index 2 is the first accepted connection (0 = listen, 1 = wake).
+  ASSERT_TRUE(fault::Configure("serve.server.read/2=1:1", 7).ok());
+
+  ClientOptions options;
+  options.retry.max_attempts = 3;
+  std::vector<int64_t> waits;
+  options.backoff_sleeper = [&](int64_t ms) { waits.push_back(ms); };
+  Result<Client> client = Client::Connect(server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Result<tensor::Tensor> out = client.value().ForecastWithRetry("alpha",
+                                                                window_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().ToVector(), expected_.at("alpha"));
+  EXPECT_EQ(waits.size(), 1u);  // one loss, one backoff, one reconnect
+  EXPECT_FALSE(client.value().stream_broken());  // healed by the reconnect
+  EXPECT_GE(server.stats().connections_accepted, 2u);
+}
+
+// Reconnect() alone: after a deliberate break the same Client object dials
+// back in, and request ids keep counting up so stale replies can never
+// alias a post-reconnect request.
+TEST_F(RetryClientTest, ReconnectKeepsRequestIdsMonotonic) {
+  Server server = StartServerOrDie();
+  Result<Client> connected = Client::Connect(server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Client client = std::move(connected).value();
+
+  Result<uint64_t> first = client.SendForecastRequest("alpha", window_);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(client.Reconnect().ok());
+  EXPECT_FALSE(client.stream_broken());
+  Result<uint64_t> second = client.SendForecastRequest("alpha", window_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second.value(), first.value());
+  Result<Frame> reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().request_id, second.value());
+}
+
+}  // namespace
+}  // namespace emaf::serve

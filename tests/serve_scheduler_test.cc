@@ -269,6 +269,142 @@ TEST_F(SchedulerTest, ScriptedScheduleIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// --- Deadlines --------------------------------------------------------------
+
+TEST_F(SchedulerTest, ExpiredRequestIsShedAtBatchCloseNotExecuted) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_delay_ticks = 0;  // every Pump closes what is pending
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+
+  ForecastRequest request = RequestFor("s0");
+  request.deadline_ticks = 2;
+  Result<RequestTicket> ticket = scheduler.Submit(request);
+  ASSERT_TRUE(ticket.ok());
+
+  // The deadline is absolute from arrival: arrival tick 0 + 2 = expiry at
+  // tick 2, so the request is still live at tick 2 and dead at tick 3.
+  // Pump returns 0 — a shed request never occupied a batch slot — but the
+  // ticket still completes with a terminal status.
+  clock.Advance(3);
+  EXPECT_EQ(scheduler.Pump(), 0);
+  ASSERT_TRUE(ticket.value().done());
+  const Status& status = ticket.value().result().status();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("deadline"), std::string::npos)
+      << status.ToString();
+
+  RequestScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.executed, 0u);  // shed, not run
+  EXPECT_EQ(stats.failed, 0u);    // expiry is its own bucket
+  // Shedding happens before the store is consulted: no cold load was paid
+  // for a forecast nobody can use.
+  EXPECT_EQ(store.stats().cold_loads, 0u);
+  EXPECT_EQ(store.stats().lookups, 0u);
+}
+
+TEST_F(SchedulerTest, LiveDeadlineStillServesExactBytes) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_delay_ticks = 0;
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+
+  ForecastRequest request = RequestFor("s1");
+  request.deadline_ticks = 10;
+  Result<RequestTicket> ticket = scheduler.Submit(request);
+  ASSERT_TRUE(ticket.ok());
+  clock.Advance(10);  // exactly at the expiry tick: still live
+  EXPECT_EQ(scheduler.Pump(), 1);
+  ASSERT_TRUE(ticket.value().done());
+  ASSERT_TRUE(ticket.value().result().ok())
+      << ticket.value().result().status().ToString();
+  EXPECT_EQ(ticket.value().result().value().ToVector(), expected_->at("s1"));
+  EXPECT_EQ(scheduler.stats().expired, 0u);
+  EXPECT_EQ(scheduler.stats().executed, 1u);
+}
+
+TEST_F(SchedulerTest, MixedBatchShedsOnlyTheExpiredPeer) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_delay_ticks = 0;
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+
+  ForecastRequest doomed = RequestFor("s0");
+  doomed.deadline_ticks = 1;
+  ForecastRequest fine = RequestFor("s2");
+  fine.deadline_ticks = 100;
+  Result<RequestTicket> doomed_ticket = scheduler.Submit(doomed);
+  Result<RequestTicket> fine_ticket = scheduler.Submit(fine);
+  Result<RequestTicket> no_deadline_ticket =
+      scheduler.Submit(RequestFor("s3"));
+  ASSERT_TRUE(doomed_ticket.ok());
+  ASSERT_TRUE(fine_ticket.ok());
+  ASSERT_TRUE(no_deadline_ticket.ok());
+
+  clock.Advance(2);  // past `doomed`'s expiry, inside `fine`'s
+  EXPECT_EQ(scheduler.Pump(), 2);  // the shed peer never reached a batch
+
+  EXPECT_EQ(doomed_ticket.value().result().status().code(),
+            StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(fine_ticket.value().result().ok());
+  EXPECT_EQ(fine_ticket.value().result().value().ToVector(),
+            expected_->at("s2"));
+  ASSERT_TRUE(no_deadline_ticket.value().result().ok());
+  EXPECT_EQ(no_deadline_ticket.value().result().value().ToVector(),
+            expected_->at("s3"));
+
+  RequestScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.executed, 2u);
+  // Only the live tenants' snapshots were loaded.
+  EXPECT_EQ(store.stats().cold_loads, 2u);
+}
+
+TEST_F(SchedulerTest, DeadlineOverflowSaturatesInsteadOfWrapping) {
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_delay_ticks = 0;
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+
+  clock.Advance(5);  // nonzero arrival tick so a wrap would land near 0
+  ForecastRequest request = RequestFor("s0");
+  request.deadline_ticks = ~uint64_t{0};  // arrival + this overflows u64
+  Result<RequestTicket> ticket = scheduler.Submit(request);
+  ASSERT_TRUE(ticket.ok());
+  clock.Advance(1000);
+  EXPECT_EQ(scheduler.Pump(), 1);
+  ASSERT_TRUE(ticket.value().done());
+  ASSERT_TRUE(ticket.value().result().ok())
+      << ticket.value().result().status().ToString();
+  EXPECT_EQ(scheduler.stats().expired, 0u);
+}
+
+TEST_F(SchedulerTest, ExpiredTotalMetricCountsSheds) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP();
+  obs::Registry& registry = obs::Registry::Global();
+  uint64_t expired_before =
+      registry.GetCounter("serve.scheduler.expired_total")->value();
+
+  ModelStore store = OpenStoreOrDie();
+  ManualClock clock;
+  SchedulerOptions options;
+  options.max_delay_ticks = 0;
+  RequestScheduler scheduler(&store, nullptr, options, &clock);
+  ForecastRequest request = RequestFor("s0");
+  request.deadline_ticks = 1;
+  ASSERT_TRUE(scheduler.Submit(request).ok());
+  clock.Advance(2);
+  EXPECT_EQ(scheduler.Pump(), 0);
+
+  EXPECT_EQ(registry.GetCounter("serve.scheduler.expired_total")->value(),
+            expired_before + 1);
+}
+
 TEST_F(SchedulerTest, MetricsRecordSchedulerActivity) {
   if (!obs::kMetricsEnabled) GTEST_SKIP();
   obs::Registry& registry = obs::Registry::Global();

@@ -429,14 +429,17 @@ TEST_F(ServerTest, AcceptFaultDropsTheConnectionButNotTheServer) {
   EXPECT_TRUE(healthy.Ping().ok());
 }
 
-// Version negotiation: a frame carrying version 2 is answered with a
-// kError naming both versions, then the connection closes (framing on a
-// version we do not speak cannot be trusted).
+// Version negotiation: a frame carrying the old version 1 is answered
+// with a kError naming both versions, then the connection closes (framing
+// on a version we do not speak cannot be trusted).
 TEST_F(ServerTest, WrongVersionIsNamedInTheErrorAndClosesTheConnection) {
   Server server = StartServerOrDie();
   Client client = ConnectOrDie(server);
-  std::string bytes = EncodeFrame(Frame{FrameType::kPing, 9, "", ""});
-  bytes[4] = 2;  // version byte surgery; CRC is NOT restamped — the server
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 9;
+  std::string bytes = EncodeFrame(ping);
+  bytes[4] = 1;  // version byte surgery; CRC is NOT restamped — the server
                  // must reject on version before it ever reaches the CRC
   ASSERT_TRUE(client.SendBytes(bytes).ok());
   Result<Frame> reply = client.ReadFrame();
@@ -446,9 +449,9 @@ TEST_F(ServerTest, WrongVersionIsNamedInTheErrorAndClosesTheConnection) {
   Status carried = Status::Ok();
   ASSERT_TRUE(DecodeStatusPayload(reply.value().payload, &carried).ok());
   EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(carried.message().find("unsupported protocol version 2"),
+  EXPECT_NE(carried.message().find("unsupported protocol version 1"),
             std::string::npos);
-  EXPECT_NE(carried.message().find("speaks version 1"), std::string::npos);
+  EXPECT_NE(carried.message().find("speaks version 2"), std::string::npos);
   EXPECT_EQ(client.ReadFrame().status().code(), StatusCode::kUnavailable);
 }
 
@@ -583,6 +586,147 @@ TEST_F(ServerTest, SlowReaderIsDroppedOnceItsWriteBacklogExceedsTheCeiling) {
   Result<Tensor> forecast = healthy.Forecast("t0", *window_);
   ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
   EXPECT_EQ(forecast.value().ToVector(), expected_->at("t0"));
+}
+
+TEST_F(ServerTest, HealthProbeReportsStateAndModelCounts) {
+  Server server = StartServerOrDie();
+  Client client = ConnectOrDie(server);
+  Result<HealthInfo> health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.value().state, ServeState::kServing);
+  EXPECT_EQ(health.value().known_models, 9u);  // 5 families + t0..t3
+  EXPECT_EQ(health.value().resident_models, 0u);  // nothing loaded yet
+
+  ASSERT_TRUE(client.Forecast("t0", *window_).ok());
+  Result<HealthInfo> after = client.Health();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_GE(after.value().resident_models, 1u);
+  EXPECT_EQ(after.value().state, ServeState::kServing);
+}
+
+// Deadline propagation end to end: the deadline travels in the frame
+// header, the scheduler sheds the expired request, and the client reads a
+// structured kDeadlineExceeded reply — while a request with a generous
+// deadline is served the exact engine bytes.
+TEST_F(ServerTest, TinyDeadlineIsShedOverTheWireGenerousDeadlineIsServed) {
+  // Age-close is pushed out of reach, so a single pending request can only
+  // terminate by expiring: a 1-tick deadline against a clock that advances
+  // every loop turn is deterministically dead before any batch closes.
+  ServerOptions options;
+  options.scheduler.max_delay_ticks = 1'000'000'000;
+  Server server = StartServerOrDie(options);
+  Client client = ConnectOrDie(server);
+  Result<Tensor> shed = client.Forecast("t0", *window_, /*deadline_ticks=*/1);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(shed.status().message().find("deadline"), std::string::npos)
+      << shed.status().ToString();
+  EXPECT_GE(server.scheduler_stats().expired, 1u);
+  EXPECT_EQ(server.scheduler_stats().executed, 0u);
+
+  // A normally-batching server and a deadline that cannot plausibly
+  // expire: served, and bitwise what the in-process engine computes.
+  Server normal = StartServerOrDie();
+  Client normal_client = ConnectOrDie(normal);
+  Result<Tensor> served = normal_client.Forecast(
+      "t0", *window_, /*deadline_ticks=*/1'000'000'000);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served.value().ToVector(), expected_->at("t0"));
+  EXPECT_GE(normal.scheduler_stats().executed, 1u);
+  EXPECT_EQ(normal.scheduler_stats().expired, 0u);
+}
+
+// Satellite 2 + drain core: an admitted request's reply is still
+// delivered after BeginDrain (finish in-flight, flush, then close).
+TEST_F(ServerTest, ReplyAdmittedBeforeDrainIsStillDeliveredAndDrainCompletes) {
+  Server server = StartServerOrDie();
+  Client client = ConnectOrDie(server);
+  Result<uint64_t> id = client.SendForecastRequest("t1", *window_);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // Once the frame is received it is admitted within the same loop turn;
+  // the drain flag is only honored at the top of the next turn.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().frames_received >= 1; }));
+  server.BeginDrain();
+  server.BeginDrain();  // idempotent
+
+  Result<Frame> reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply.value().type, FrameType::kForecastResponse);
+  EXPECT_EQ(reply.value().request_id, id.value());
+  Result<Tensor> forecast = DecodeTensorPayload(reply.value().payload);
+  ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+  EXPECT_EQ(forecast.value().ToVector(), expected_->at("t1"));
+
+  EXPECT_TRUE(server.WaitDrained(/*timeout_ms=*/10000));
+  EXPECT_EQ(server.state(), ServeState::kDraining);
+  // Zero leaked pins: everything the drained server loaded is evictable.
+  EXPECT_GE(server.store().EvictIdle(-1), 1);
+  EXPECT_EQ(server.store().stats().resident_models, 0);
+  // The drained server's socket is gone for old and new clients alike.
+  EXPECT_EQ(client.ReadFrame().status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(Client::Connect(server.port()).ok());
+  server.Stop();
+}
+
+// The full drain choreography, held open deliberately: a slow reader's
+// un-flushed pongs keep the drain lingering, during which a second
+// (pre-drain) connection observes the "draining" rejection and the
+// DRAINING health state; once the slow reader finally reads its backlog,
+// the flush completes and the drain finishes.
+TEST_F(ServerTest, DrainRefusesNewWorkAnswersHealthAndFlushesBacklog) {
+  constexpr int kPings = 3000;  // ~100 KiB of pongs, far over 4 KiB buffers
+  ServerOptions options;
+  options.send_buffer_bytes = 4096;
+  options.drain_linger_turns = 60000;  // the test ends the linger itself
+  Server server = StartServerOrDie(options);
+
+  ClientOptions slow;
+  slow.recv_buffer_bytes = 4096;
+  Client backlogged = ConnectOrDie(server, slow);
+  Client observer = ConnectOrDie(server);  // connected before the drain
+  ASSERT_TRUE(observer.Forecast("t2", *window_).ok());  // a model is resident
+
+  std::string burst;
+  Frame ping;
+  ping.type = FrameType::kPing;
+  for (uint64_t id = 1; id <= kPings; ++id) {
+    ping.request_id = id;
+    burst += EncodeFrame(ping);
+  }
+  ASSERT_TRUE(backlogged.SendBytes(burst).ok());
+  // All pings are read (reads don't block on the stuck writes), so the
+  // pong backlog now exceeds what the kernel buffers can absorb.
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.stats().frames_received >= kPings + 1; }));
+
+  server.BeginDrain();
+  ASSERT_TRUE(WaitFor([&] { return server.state() == ServeState::kDraining; }));
+  EXPECT_FALSE(server.WaitDrained(/*timeout_ms=*/20));  // held by the backlog
+
+  // A pre-drain connection: new forecasts are refused with a structured
+  // "draining" kUnavailable, and health still answers — naming the state.
+  Result<Tensor> refused = observer.Forecast("t3", *window_);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find("draining"), std::string::npos)
+      << refused.status().ToString();
+  Result<HealthInfo> health = observer.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.value().state, ServeState::kDraining);
+  EXPECT_GE(server.stats().requests_rejected, 1u);
+
+  // The slow reader finally reads everything: the best-effort flush can
+  // complete, and with it the drain.
+  for (int i = 0; i < kPings; ++i) {
+    Result<Frame> pong = backlogged.ReadFrame();
+    ASSERT_TRUE(pong.ok()) << "pong " << i << ": "
+                           << pong.status().ToString();
+    ASSERT_EQ(pong.value().type, FrameType::kPong);
+  }
+  EXPECT_TRUE(server.WaitDrained(/*timeout_ms=*/10000));
+  EXPECT_GE(server.store().EvictIdle(-1), 1);
+  EXPECT_EQ(server.store().stats().resident_models, 0);
+  server.Stop();
 }
 
 TEST_F(ServerTest, ConnectionsOverTheCapAreClosedImmediately) {
