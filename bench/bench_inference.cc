@@ -29,7 +29,15 @@
 //     "instructions_per_request", "fused_chains"},
 //    "store": {"models_on_disk", "max_resident", "requests",
 //     "cold": {"p50_seconds", "p99_seconds"}, "warm": {...},
-//     "hit_rate", "cold_loads", "evictions"}}
+//     "hit_rate", "cold_loads", "evictions"},
+//    "dtype": {"f64": {"module": {...}, "plan": {...}},
+//     "f32": {"module": {...}, "plan": {...}},
+//     "max_abs_error_f32_vs_f64", "plan_p50_speedup_f32_vs_f64"}}
+// The dtype section compares EngineOptions::inference_dtype f64 vs f32
+// over the same snapshots: the four paths run interleaved request by
+// request, max_abs_error_f32_vs_f64 is the largest forecast-element
+// divergence of the f32 plan path from the f64 plan path across the five
+// families, and the speedup field is f64-plan p50 over f32-plan p50.
 // allocs_per_request comes from the tensor.storage_allocs counter and is
 // reported as -1 (like the plan instruction/fusion fields) when the build
 // has metrics compiled out.
@@ -272,6 +280,19 @@ void Run() {
   Result<serve::InferenceEngine> plan_engine = serve::InferenceEngine::Load(
       dir.string());
   EMAF_CHECK(plan_engine.ok()) << plan_engine.status().ToString();
+  // The same two paths with f32 residents: cold-loads cast the weights,
+  // requests run the f32 kernels and cast window/forecast at the boundary.
+  serve::EngineOptions f32_module_options;
+  f32_module_options.use_compiled_plans = false;
+  f32_module_options.inference_dtype = tensor::DType::kF32;
+  Result<serve::InferenceEngine> f32_engine = serve::InferenceEngine::Load(
+      dir.string(), f32_module_options);
+  EMAF_CHECK(f32_engine.ok()) << f32_engine.status().ToString();
+  serve::EngineOptions f32_plan_options;
+  f32_plan_options.inference_dtype = tensor::DType::kF32;
+  Result<serve::InferenceEngine> f32_plan_engine = serve::InferenceEngine::Load(
+      dir.string(), f32_plan_options);
+  EMAF_CHECK(f32_plan_engine.ok()) << f32_plan_engine.status().ToString();
   std::vector<std::string> ids = engine.value().individual_ids();
   Rng window_rng(scale.seed + 1);
   tensor::Tensor window = tensor::Tensor::Uniform(
@@ -290,51 +311,81 @@ void Run() {
     Result<tensor::Tensor> compiled = plan_engine.value().Forecast(id, window);
     EMAF_CHECK(compiled.ok()) << compiled.status().ToString();
   }
+  // Counted before the f32 warm-ups so the field keeps meaning "chains in
+  // the five f64 plans" (the f32 plans fuse identically anyway).
   uint64_t fused_chains =
       obs::Registry::Global().GetCounter("plan.fused_chains")->value() -
       chains_before;
+  double max_abs_error = 0.0;
+  for (const std::string& id : ids) {
+    Result<tensor::Tensor> f32_warm = f32_engine.value().Forecast(id, window);
+    EMAF_CHECK(f32_warm.ok()) << f32_warm.status().ToString();
+    Result<tensor::Tensor> f32_compiled =
+        f32_plan_engine.value().Forecast(id, window);
+    EMAF_CHECK(f32_compiled.ok()) << f32_compiled.status().ToString();
+    Result<tensor::Tensor> f64_ref = plan_engine.value().Forecast(id, window);
+    EMAF_CHECK(f64_ref.ok()) << f64_ref.status().ToString();
+    // Accuracy cost of serving in f32, measured on the wire (both outputs
+    // are f64 doubles): the largest per-element divergence from the
+    // bit-pinned f64 plan path.
+    const double* ref = f64_ref.value().data();
+    const double* got = f32_compiled.value().data();
+    for (int64_t i = 0; i < f64_ref.value().NumElements(); ++i) {
+      max_abs_error = std::max(max_abs_error, std::abs(ref[i] - got[i]));
+    }
+  }
 
   PassStats no_arena = TimedPass(ids, requests, [&](const std::string& id) {
     core::Predict(engine.value().model(id), window);
   });
-  // Module vs plan, interleaved request by request: both passes see the
-  // same machine-noise profile, so their p50 delta reflects the execution
-  // paths rather than whichever pass a background hiccup landed on.
-  std::vector<double> module_latencies, plan_latencies;
-  module_latencies.reserve(static_cast<size_t>(requests));
-  plan_latencies.reserve(static_cast<size_t>(requests));
-  uint64_t module_allocs = 0, plan_allocs = 0;
-  uint64_t instructions_before =
-      obs::Registry::Global().GetCounter("plan.instructions_total")->value();
+  // Module vs plan and f64 vs f32, interleaved request by request: all
+  // four paths see the same machine-noise profile, so their p50 deltas
+  // reflect the execution paths rather than whichever pass a background
+  // hiccup landed on.
+  struct TimedPath {
+    serve::InferenceEngine* engine;
+    std::vector<double> latencies;
+    uint64_t allocs = 0;
+  };
+  TimedPath paths[4] = {{&engine.value(), {}, 0},
+                        {&plan_engine.value(), {}, 0},
+                        {&f32_engine.value(), {}, 0},
+                        {&f32_plan_engine.value(), {}, 0}};
+  for (TimedPath& path : paths) {
+    path.latencies.reserve(static_cast<size_t>(requests));
+  }
+  // Instruction counting brackets only the f64 plan requests — the f32
+  // plan path bumps the same process-global counter.
+  uint64_t instructions_total = 0;
   for (int64_t r = 0; r < requests; ++r) {
     const std::string& id = ids[static_cast<size_t>(r) % ids.size()];
-    uint64_t allocs = StorageAllocs();
-    auto start = std::chrono::steady_clock::now();
-    Result<tensor::Tensor> module_out = engine.value().Forecast(id, window);
-    module_latencies.push_back(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count());
-    EMAF_CHECK(module_out.ok()) << module_out.status().ToString();
-    module_allocs += StorageAllocs() - allocs;
-
-    allocs = StorageAllocs();
-    start = std::chrono::steady_clock::now();
-    Result<tensor::Tensor> plan_out = plan_engine.value().Forecast(id, window);
-    plan_latencies.push_back(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count());
-    EMAF_CHECK(plan_out.ok()) << plan_out.status().ToString();
-    plan_allocs += StorageAllocs() - allocs;
+    for (size_t p = 0; p < 4; ++p) {
+      uint64_t allocs = StorageAllocs();
+      uint64_t instructions_before =
+          p == 1 ? obs::Registry::Global()
+                       .GetCounter("plan.instructions_total")
+                       ->value()
+                 : 0;
+      auto start = std::chrono::steady_clock::now();
+      Result<tensor::Tensor> out = paths[p].engine->Forecast(id, window);
+      paths[p].latencies.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+      EMAF_CHECK(out.ok()) << out.status().ToString();
+      paths[p].allocs += StorageAllocs() - allocs;
+      if (p == 1) {
+        instructions_total += obs::Registry::Global()
+                                  .GetCounter("plan.instructions_total")
+                                  ->value() -
+                              instructions_before;
+      }
+    }
   }
   double instructions_per_request =
-      obs::kMetricsEnabled
-          ? static_cast<double>(
-                obs::Registry::Global()
-                    .GetCounter("plan.instructions_total")
-                    ->value() -
-                instructions_before) /
-                static_cast<double>(requests)
-          : -1.0;
+      obs::kMetricsEnabled ? static_cast<double>(instructions_total) /
+                                 static_cast<double>(requests)
+                           : -1.0;
   auto finish_pass = [&](std::vector<double> latencies, uint64_t allocs) {
     std::sort(latencies.begin(), latencies.end());
     PassStats stats;
@@ -346,8 +397,14 @@ void Run() {
     }
     return stats;
   };
-  PassStats arena = finish_pass(std::move(module_latencies), module_allocs);
-  PassStats plan = finish_pass(std::move(plan_latencies), plan_allocs);
+  PassStats arena = finish_pass(std::move(paths[0].latencies), paths[0].allocs);
+  PassStats plan = finish_pass(std::move(paths[1].latencies), paths[1].allocs);
+  PassStats f32_module =
+      finish_pass(std::move(paths[2].latencies), paths[2].allocs);
+  PassStats f32_plan =
+      finish_pass(std::move(paths[3].latencies), paths[3].allocs);
+  double plan_speedup =
+      f32_plan.p50_seconds > 0 ? plan.p50_seconds / f32_plan.p50_seconds : 0.0;
   tensor::InferenceArena::Stats arena_stats = engine.value().arena_stats();
   double hit_rate =
       arena_stats.hits + arena_stats.misses == 0
@@ -383,7 +440,17 @@ void Run() {
       ", \"p99_seconds\": ", store.warm_p99,
       "}, \"hit_rate\": ", store.hit_rate,
       ", \"cold_loads\": ", store.cold_loads,
-      ", \"evictions\": ", store.evictions, "}}");
+      ", \"evictions\": ", store.evictions, "}",
+      ", \"dtype\": {\"f64\": {\"module\": ", PassJson(arena),
+      ", \"plan\": ", PassJson(plan),
+      "}, \"f32\": {\"module\": ", PassJson(f32_module),
+      ", \"plan\": ", PassJson(f32_plan),
+      "}, \"max_abs_error_f32_vs_f64\": ", max_abs_error,
+      ", \"plan_p50_speedup_f32_vs_f64\": ", plan_speedup,
+      ", \"resident_bytes\": {\"f64\": ",
+      engine.value().store().stats().resident_bytes,
+      ", \"f32\": ", f32_engine.value().store().stats().resident_bytes,
+      "}}}");
 
   std::cout << "requests per pass: " << requests << " across " << ids.size()
             << " families\n"
@@ -399,6 +466,14 @@ void Run() {
             << plan.allocs_per_request << " ("
             << instructions_per_request << " instructions/request, "
             << fused_chains << " fused chains)\n"
+            << "f32 mod:  p50 " << f32_module.p50_seconds * 1e6 << "us, p99 "
+            << f32_module.p99_seconds * 1e6 << "us, allocs/request "
+            << f32_module.allocs_per_request << "\n"
+            << "f32 plan: p50 " << f32_plan.p50_seconds * 1e6 << "us, p99 "
+            << f32_plan.p99_seconds * 1e6 << "us, allocs/request "
+            << f32_plan.allocs_per_request << " ("
+            << FormatFixed(plan_speedup, 2) << "x f64 plan p50, max |err| "
+            << max_abs_error << ")\n"
             << "store (" << store.max_resident << " of "
             << store.models_on_disk << " resident): cold p50 "
             << store.cold_p50 * 1e6 << "us, p99 " << store.cold_p99 * 1e6

@@ -46,8 +46,8 @@ Tensor VarForecaster::Forward(const Tensor& window) {
   // (tensor/plan_hook.h). Cat copies the flattened window rows verbatim,
   // so the forecasts stay byte-identical to the hand-rolled fill.
   Tensor lags = tensor::Reshape(window, Shape{batch, features - 1});
-  Tensor design =
-      tensor::Cat({lags, Tensor::Ones(Shape{batch, 1})}, /*dim=*/1);
+  Tensor design = tensor::Cat(
+      {lags, Tensor::Ones(Shape{batch, 1}, window.dtype())}, /*dim=*/1);
   return tensor::MatMul(design, *coefficients_);
 }
 

@@ -1,6 +1,7 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <map>
 
@@ -13,6 +14,7 @@ namespace {
 constexpr char kMagic[4] = {'E', 'M', 'A', 'F'};
 constexpr uint32_t kVersionNoConfig = kSnapshotVersionParamsOnly;
 constexpr uint32_t kVersionWithConfig = kSnapshotVersionWithConfig;
+constexpr uint32_t kVersionWithDtype = kSnapshotVersionWithDtype;
 // Config blobs are small text (a ModelConfig is well under a kilobyte even
 // with an embedded adjacency for V ~ 100); anything larger is corruption.
 constexpr uint64_t kMaxConfigBytes = 64ULL << 20;
@@ -40,23 +42,24 @@ bool ReadI64(std::ifstream& in, int64_t* v) {
   return in.good();
 }
 
-// Reads magic + version and, for v2, the config blob (into `config` when
+// Reads magic + version and, for v2+, the config blob (into `config` when
 // non-null, skipped otherwise). Leaves `in` positioned at the parameter
-// count.
+// count and reports the version via `version_out` when non-null.
 Status ReadHeader(std::ifstream& in, const std::string& path,
-                  std::string* config) {
+                  std::string* config, uint32_t* version_out = nullptr) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::string(magic, 4) != std::string(kMagic, 4)) {
     return Status::InvalidArgument(StrCat("bad checkpoint magic in ", path));
   }
   uint32_t version = 0;
-  if (!ReadU32(in, &version) ||
-      (version != kVersionNoConfig && version != kVersionWithConfig)) {
+  if (!ReadU32(in, &version) || version < kVersionNoConfig ||
+      version > kVersionWithDtype) {
     return Status::InvalidArgument(
         StrCat("unsupported checkpoint version in ", path));
   }
-  if (version == kVersionWithConfig) {
+  if (version_out != nullptr) *version_out = version;
+  if (version >= kVersionWithConfig) {
     uint64_t config_len = 0;
     if (!ReadU64(in, &config_len) || config_len > kMaxConfigBytes) {
       return Status::InvalidArgument(StrCat("corrupt checkpoint: ", path));
@@ -88,19 +91,20 @@ Status SaveParameters(Module* module, const std::string& path,
   }
   std::vector<NamedParameter> params = module->NamedParameters();
   out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kVersionWithConfig);
+  WriteU32(out, kVersionWithDtype);
   WriteU64(out, config.size());
   out.write(config.data(), static_cast<std::streamsize>(config.size()));
   WriteU64(out, params.size());
   for (const NamedParameter& p : params) {
     WriteU64(out, p.name.size());
     out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const uint8_t dtype_byte = static_cast<uint8_t>(p.value->dtype());
+    out.write(reinterpret_cast<const char*>(&dtype_byte), 1);
     const tensor::Shape& shape = p.value->shape();
     WriteU64(out, static_cast<uint64_t>(shape.rank()));
     for (int64_t d : shape.dims()) WriteI64(out, d);
-    out.write(reinterpret_cast<const char*>(p.value->data()),
-              static_cast<std::streamsize>(p.value->NumElements() *
-                                           sizeof(tensor::Scalar)));
+    out.write(reinterpret_cast<const char*>(p.value->raw_data()),
+              static_cast<std::streamsize>(p.value->byte_size()));
   }
   out.flush();
   if (!out.good()) return Status::Internal(StrCat("write failed: ", path));
@@ -112,7 +116,8 @@ Status LoadParameters(Module* module, const std::string& path) {
   if (!in.is_open()) {
     return Status::NotFound(StrCat("cannot open for reading: ", path));
   }
-  EMAF_RETURN_IF_ERROR(ReadHeader(in, path, /*config=*/nullptr));
+  uint32_t version = 0;
+  EMAF_RETURN_IF_ERROR(ReadHeader(in, path, /*config=*/nullptr, &version));
   uint64_t count = 0;
   if (!ReadU64(in, &count)) {
     return Status::InvalidArgument(StrCat("truncated checkpoint: ", path));
@@ -135,8 +140,24 @@ Status LoadParameters(Module* module, const std::string& path) {
     }
     std::string name(name_len, '\0');
     in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in.good()) {
+      return Status::InvalidArgument(StrCat("corrupt checkpoint: ", path));
+    }
+    // v1/v2 predate per-parameter dtypes: every payload is f64.
+    tensor::DType file_dtype = tensor::DType::kF64;
+    if (version >= kVersionWithDtype) {
+      uint8_t dtype_byte = 0;
+      in.read(reinterpret_cast<char*>(&dtype_byte), 1);
+      if (!in.good() || !tensor::IsValidDType(dtype_byte)) {
+        return Status::InvalidArgument(
+            StrCat("corrupt checkpoint: invalid dtype byte ",
+                   static_cast<int>(dtype_byte), " for parameter ", name,
+                   " in ", path));
+      }
+      file_dtype = static_cast<tensor::DType>(dtype_byte);
+    }
     uint64_t rank = 0;
-    if (!in.good() || !ReadU64(in, &rank) || rank > 16) {
+    if (!ReadU64(in, &rank) || rank > 16) {
       return Status::InvalidArgument(StrCat("corrupt checkpoint: ", path));
     }
     std::vector<int64_t> dims(rank);
@@ -157,9 +178,23 @@ Status LoadParameters(Module* module, const std::string& path) {
                  file_shape.ToString(), " vs module ",
                  it->second->shape().ToString()));
     }
-    in.read(reinterpret_cast<char*>(it->second->data()),
-            static_cast<std::streamsize>(it->second->NumElements() *
-                                         sizeof(tensor::Scalar)));
+    tensor::Tensor* param = it->second;
+    if (file_dtype == param->dtype()) {
+      in.read(reinterpret_cast<char*>(param->raw_data()),
+              static_cast<std::streamsize>(param->byte_size()));
+    } else {
+      // Payload dtype differs from the receiving parameter's: stage the
+      // payload and convert element-wise into the existing storage (the
+      // registered Tensor* must stay stable).
+      tensor::Tensor staged = tensor::MakeUninitialized(file_shape, file_dtype);
+      in.read(reinterpret_cast<char*>(staged.raw_data()),
+              static_cast<std::streamsize>(staged.byte_size()));
+      if (in.good()) {
+        tensor::Tensor cast = staged.CastTo(param->dtype());
+        std::memcpy(param->raw_data(), cast.raw_data(),
+                    static_cast<size_t>(param->byte_size()));
+      }
+    }
     if (!in.good()) {
       return Status::InvalidArgument(StrCat("truncated checkpoint: ", path));
     }
@@ -188,8 +223,8 @@ Result<uint32_t> ReadSnapshotVersion(const std::string& path) {
     return Status::InvalidArgument(StrCat("bad checkpoint magic in ", path));
   }
   uint32_t version = 0;
-  if (!ReadU32(in, &version) ||
-      (version != kVersionNoConfig && version != kVersionWithConfig)) {
+  if (!ReadU32(in, &version) || version < kVersionNoConfig ||
+      version > kVersionWithDtype) {
     return Status::InvalidArgument(
         StrCat("unsupported checkpoint version in ", path));
   }

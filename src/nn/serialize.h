@@ -1,16 +1,21 @@
 // Binary checkpointing of module parameters.
 //
-// Format v2 (little-endian):
+// Format v3 (little-endian):
 //   magic "EMAF"  | uint32 version | uint64 config length | config bytes |
 //   uint64 parameter count
-//   per parameter: uint64 name length | name bytes |
-//                  uint64 rank | int64 dims[rank] | double data[numel]
+//   per parameter: uint64 name length | name bytes | uint8 dtype |
+//                  uint64 rank | int64 dims[rank] | data[numel]
 //
-// The config blob is an opaque string (the model registry stores a
-// serialized ModelConfig there) so a serving process can rebuild the
-// module before loading its weights. v1 files — identical except for the
-// missing config length/bytes — are still readable; new files are always
-// written as v2.
+// The dtype byte is the tensor::DType enum value (0 = f64, 1 = f32) and
+// governs the element width of the data payload that follows. The config
+// blob is an opaque string (the model registry stores a serialized
+// ModelConfig there) so a serving process can rebuild the module before
+// loading its weights. Older files are still readable: v2 lacks the
+// per-parameter dtype byte (every payload is f64), v1 additionally lacks
+// the config length/bytes. New files are always written as v3; on load a
+// payload whose dtype differs from the receiving parameter's is converted
+// element-wise, so an f64 training snapshot can fill an f32 resident and
+// vice versa.
 
 #ifndef EMAF_NN_SERIALIZE_H_
 #define EMAF_NN_SERIALIZE_H_
@@ -24,28 +29,32 @@
 namespace emaf::nn {
 
 // Snapshot format versions (see the format comment above): v1 = params
-// only, v2 = embedded config. New files are always written as v2.
+// only, v2 = embedded config, v3 = per-parameter dtype byte. New files
+// are always written as v3.
 inline constexpr uint32_t kSnapshotVersionParamsOnly = 1;
 inline constexpr uint32_t kSnapshotVersionWithConfig = 2;
+inline constexpr uint32_t kSnapshotVersionWithDtype = 3;
 
-// Writes every named parameter of `module` to `path` (v2, empty config).
+// Writes every named parameter of `module` to `path` (v3, empty config).
 Status SaveParameters(Module* module, const std::string& path);
 
 // As above, embedding `config` verbatim in the snapshot header.
 Status SaveParameters(Module* module, const std::string& path,
                       std::string_view config);
 
-// Loads a checkpoint (v1 or v2) into `module`. Every parameter in the file
-// must exist in the module with an identical shape, and vice versa. The
-// embedded config, if any, is ignored here — use ReadSnapshotConfig.
+// Loads a checkpoint (v1, v2 or v3) into `module`. Every parameter in the
+// file must exist in the module with an identical shape, and vice versa;
+// payloads are converted element-wise when their dtype differs from the
+// receiving parameter's. The embedded config, if any, is ignored here —
+// use ReadSnapshotConfig.
 Status LoadParameters(Module* module, const std::string& path);
 
 // Returns the config blob embedded in a snapshot; empty string for a v1
-// file or a v2 file saved without a config.
+// file or a newer file saved without a config.
 Result<std::string> ReadSnapshotConfig(const std::string& path);
 
-// Returns the format version of a snapshot (1 or 2) without reading its
-// parameters — lets callers report a config-less v1 file precisely.
+// Returns the format version of a snapshot (1, 2 or 3) without reading
+// its parameters — lets callers report a config-less v1 file precisely.
 Result<uint32_t> ReadSnapshotVersion(const std::string& path);
 
 }  // namespace emaf::nn

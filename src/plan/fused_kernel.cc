@@ -11,14 +11,24 @@
 // the exact same order as a per-element chain would — bitwise identical —
 // while the buffers involved (one chain's worth of activations) stay
 // cache-resident between passes.
+//
+// The kernel is generic over the stream's element type. The f64 arm is
+// the original scalar code (T-pure literals collapse to the same doubles).
+// The f32 arm sends every single-IEEE-operation step (add/mul/max/relu/
+// clamp/...) through tensor/simd_f32.h, whose AVX2 and scalar arms are
+// bitwise-identical by contract, and keeps the transcendental steps
+// (exp/log/pow/elu/sigmoid/tanh) as float-pure scalar loops that call the
+// same libm floats the module-path op loops call.
 
 #include "plan/fused_kernel.h"
 
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 
 #include "common/check.h"
 #include "tensor/ops.h"
+#include "tensor/simd_f32.h"
 
 namespace emaf::plan {
 
@@ -29,11 +39,11 @@ namespace {
 
 // One step applied across the whole buffer, in place. Mirrors the op
 // lambdas verbatim: Sigmoid's branch-stable logistic, Elu's
-// alpha * (exp(v) - 1.0), ... For binary steps `other` is the second
+// alpha * (exp(v) - 1), ... For binary steps `other` is the second
 // operand array (dst itself when the step consumes the accumulator
 // twice); for unary/scalar steps it is ignored.
-void ApplyStep(const FusedStep& step, Scalar* dst, const Scalar* other,
-               int64_t n) {
+template <typename T>
+void ApplyStepT(const FusedStep& step, T* dst, const T* other, int64_t n) {
   auto binary = [&](auto op) {
     EMAF_CHECK(other != nullptr)
         << "binary fused step without an operand: " << OpCodeName(step.op);
@@ -45,22 +55,22 @@ void ApplyStep(const FusedStep& step, Scalar* dst, const Scalar* other,
   };
   switch (step.op) {
     case OpCode::kAdd:
-      binary([](Scalar a, Scalar b) { return a + b; });
+      binary([](T a, T b) { return a + b; });
       break;
     case OpCode::kSub:
-      binary([](Scalar a, Scalar b) { return a - b; });
+      binary([](T a, T b) { return a - b; });
       break;
     case OpCode::kMul:
-      binary([](Scalar a, Scalar b) { return a * b; });
+      binary([](T a, T b) { return a * b; });
       break;
     case OpCode::kDiv:
-      binary([](Scalar a, Scalar b) { return a / b; });
+      binary([](T a, T b) { return a / b; });
       break;
     case OpCode::kMaximum:
-      binary([](Scalar a, Scalar b) { return a > b ? a : b; });
+      binary([](T a, T b) { return a > b ? a : b; });
       break;
     case OpCode::kMinimum:
-      binary([](Scalar a, Scalar b) { return a < b ? a : b; });
+      binary([](T a, T b) { return a < b ? a : b; });
       break;
     case OpCode::kNeg:
       for (int64_t i = 0; i < n; ++i) dst[i] = -dst[i];
@@ -78,44 +88,54 @@ void ApplyStep(const FusedStep& step, Scalar* dst, const Scalar* other,
       for (int64_t i = 0; i < n; ++i) dst[i] = std::abs(dst[i]);
       break;
     case OpCode::kPow:
-      for (int64_t i = 0; i < n; ++i) dst[i] = std::pow(dst[i], step.s0);
-      break;
-    case OpCode::kClamp:
+      // static_cast keeps the float instantiation on powf.
       for (int64_t i = 0; i < n; ++i) {
-        const Scalar v = dst[i];
-        dst[i] = v < step.s0 ? step.s0 : (v > step.s1 ? step.s1 : v);
+        dst[i] = std::pow(dst[i], static_cast<T>(step.s0));
       }
       break;
+    case OpCode::kClamp: {
+      const T lo = static_cast<T>(step.s0);
+      const T hi = static_cast<T>(step.s1);
+      for (int64_t i = 0; i < n; ++i) {
+        const T v = dst[i];
+        dst[i] = v < lo ? lo : (v > hi ? hi : v);
+      }
+      break;
+    }
     case OpCode::kAddScalar:
-      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] + step.s0;
+      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] + static_cast<T>(step.s0);
       break;
     case OpCode::kMulScalar:
-      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] * step.s0;
+      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] * static_cast<T>(step.s0);
       break;
     case OpCode::kRelu:
-      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] > 0 ? dst[i] : 0.0;
+      for (int64_t i = 0; i < n; ++i) dst[i] = dst[i] > T(0) ? dst[i] : T(0);
       break;
-    case OpCode::kLeakyRelu:
+    case OpCode::kLeakyRelu: {
+      const T slope = static_cast<T>(step.s0);
       for (int64_t i = 0; i < n; ++i) {
-        const Scalar v = dst[i];
-        dst[i] = v > 0 ? v : step.s0 * v;
+        const T v = dst[i];
+        dst[i] = v > T(0) ? v : slope * v;
       }
       break;
-    case OpCode::kElu:
+    }
+    case OpCode::kElu: {
+      const T alpha = static_cast<T>(step.s0);
       for (int64_t i = 0; i < n; ++i) {
-        const Scalar v = dst[i];
-        dst[i] = v > 0 ? v : step.s0 * (std::exp(v) - 1.0);
+        const T v = dst[i];
+        dst[i] = v > T(0) ? v : alpha * (std::exp(v) - T(1));
       }
       break;
+    }
     case OpCode::kSigmoid:
       for (int64_t i = 0; i < n; ++i) {
-        const Scalar v = dst[i];
-        if (v >= 0) {
-          const Scalar e = std::exp(-v);
-          dst[i] = 1.0 / (1.0 + e);
+        const T v = dst[i];
+        if (v >= T(0)) {
+          const T e = std::exp(-v);
+          dst[i] = T(1) / (T(1) + e);
         } else {
-          const Scalar e = std::exp(v);
-          dst[i] = e / (1.0 + e);
+          const T e = std::exp(v);
+          dst[i] = e / (T(1) + e);
         }
       }
       break;
@@ -128,21 +148,97 @@ void ApplyStep(const FusedStep& step, Scalar* dst, const Scalar* other,
   }
 }
 
+// f32 steps that are a single IEEE operation per element go through the
+// runtime-dispatched kernels; everything else (the transcendental steps)
+// falls back to the float instantiation of the generic loop above.
+void ApplyStepF32(const FusedStep& step, float* dst, const float* other,
+                  int64_t n) {
+  namespace simd = tensor::simd;
+  const float s0 = static_cast<float>(step.s0);
+  const float s1 = static_cast<float>(step.s1);
+  simd::EwOp ew;
+  switch (step.op) {
+    case OpCode::kAdd:
+      ew = simd::EwOp::kAdd;
+      break;
+    case OpCode::kSub:
+      ew = simd::EwOp::kSub;
+      break;
+    case OpCode::kMul:
+      ew = simd::EwOp::kMul;
+      break;
+    case OpCode::kDiv:
+      ew = simd::EwOp::kDiv;
+      break;
+    case OpCode::kMaximum:
+      ew = simd::EwOp::kMax;
+      break;
+    case OpCode::kMinimum:
+      ew = simd::EwOp::kMin;
+      break;
+    case OpCode::kNeg:
+      simd::UnaryF32(simd::UnOp::kNeg, dst, s0, s1, n);
+      return;
+    case OpCode::kAbs:
+      simd::UnaryF32(simd::UnOp::kAbs, dst, s0, s1, n);
+      return;
+    case OpCode::kSqrt:
+      simd::UnaryF32(simd::UnOp::kSqrt, dst, s0, s1, n);
+      return;
+    case OpCode::kRelu:
+      simd::UnaryF32(simd::UnOp::kRelu, dst, s0, s1, n);
+      return;
+    case OpCode::kLeakyRelu:
+      simd::UnaryF32(simd::UnOp::kLeakyRelu, dst, s0, s1, n);
+      return;
+    case OpCode::kClamp:
+      simd::UnaryF32(simd::UnOp::kClamp, dst, s0, s1, n);
+      return;
+    case OpCode::kAddScalar:
+      simd::UnaryF32(simd::UnOp::kAddScalar, dst, s0, s1, n);
+      return;
+    case OpCode::kMulScalar:
+      simd::UnaryF32(simd::UnOp::kMulScalar, dst, s0, s1, n);
+      return;
+    default:
+      ApplyStepT<float>(step, dst, other, n);
+      return;
+  }
+  EMAF_CHECK(other != nullptr)
+      << "binary fused step without an operand: " << OpCodeName(step.op);
+  simd::BinaryF32(ew, dst, other, step.acc_rhs, n);
+}
+
+template <typename T>
+Tensor ExecuteFusedChainT(const Instruction& instr, const Tensor& stream,
+                          const std::vector<const void*>& operands) {
+  Tensor out = tensor::MakeUninitialized(instr.out_shape, stream.dtype());
+  T* dst = out.data<T>();
+  const int64_t n = instr.out_shape.NumElements();
+  std::memcpy(dst, stream.raw_data(), static_cast<size_t>(n) * sizeof(T));
+  for (size_t s = 0; s < instr.steps.size(); ++s) {
+    const FusedStep& step = instr.steps[s];
+    const T* other = step.operand == kAccSlot
+                         ? dst
+                         : static_cast<const T*>(operands[s]);
+    if constexpr (std::is_same_v<T, float>) {
+      ApplyStepF32(step, dst, other, n);
+    } else {
+      ApplyStepT<T>(step, dst, other, n);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Tensor ExecuteFusedChain(const Instruction& instr, const Tensor& stream,
-                         const std::vector<const Scalar*>& operands) {
+                         const std::vector<const void*>& operands) {
   EMAF_CHECK_EQ(operands.size(), instr.steps.size());
-  Tensor out = tensor::MakeUninitialized(instr.out_shape);
-  Scalar* dst = out.data();
-  const int64_t n = instr.out_shape.NumElements();
-  std::memcpy(dst, stream.data(), static_cast<size_t>(n) * sizeof(Scalar));
-  for (size_t s = 0; s < instr.steps.size(); ++s) {
-    const FusedStep& step = instr.steps[s];
-    const Scalar* other = step.operand == kAccSlot ? dst : operands[s];
-    ApplyStep(step, dst, other, n);
+  if (stream.dtype() == tensor::DType::kF32) {
+    return ExecuteFusedChainT<float>(instr, stream, operands);
   }
-  return out;
+  return ExecuteFusedChainT<Scalar>(instr, stream, operands);
 }
 
 }  // namespace emaf::plan

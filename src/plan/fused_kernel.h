@@ -20,12 +20,16 @@
 namespace emaf::plan {
 
 // Runs instr.steps over every element of `stream`. operands[i] is the
-// data pointer for step i's binary operand (nullptr for unary steps and
-// for kAccSlot steps, which read the accumulator instead). Allocates the
-// output via MakeUninitialized under the caller's ArenaScope.
-tensor::Tensor ExecuteFusedChain(
-    const Instruction& instr, const tensor::Tensor& stream,
-    const std::vector<const tensor::Scalar*>& operands);
+// raw data pointer for step i's binary operand — elements of the stream's
+// dtype (nullptr for unary steps and for kAccSlot steps, which read the
+// accumulator instead). Allocates the output, of the stream's dtype, via
+// MakeUninitialized under the caller's ArenaScope. The f32 path routes
+// single-IEEE-op steps through the dispatched tensor/simd_f32.h kernels
+// and keeps transcendental steps as float-pure scalar loops, so its bytes
+// match the staged f32 module loops on either dispatch arm.
+tensor::Tensor ExecuteFusedChain(const Instruction& instr,
+                                 const tensor::Tensor& stream,
+                                 const std::vector<const void*>& operands);
 
 }  // namespace emaf::plan
 

@@ -24,6 +24,12 @@ Result<Tensor> Execute(const Plan& plan, const Tensor& input,
                plan.input_shape.ToString(), ", got ",
                input.shape().ToString()));
   }
+  if (input.dtype() != plan.dtype) {
+    return Status::InvalidArgument(
+        StrCat("plan: ", plan.family, " compiled for ",
+               tensor::DTypeName(plan.dtype), " input, got ",
+               tensor::DTypeName(input.dtype())));
+  }
   EMAF_METRIC_COUNTER_ADD("plan.instructions_total",
                           static_cast<int64_t>(plan.instructions.size()));
 
@@ -158,11 +164,11 @@ Result<Tensor> Execute(const Plan& plan, const Tensor& input,
       }
       case OpCode::kFusedChain: {
         const Tensor& stream = resolve(ins.inputs[0]);
-        std::vector<const Scalar*> operands(ins.steps.size(), nullptr);
+        std::vector<const void*> operands(ins.steps.size(), nullptr);
         for (size_t s = 0; s < ins.steps.size(); ++s) {
           SlotRef ref = ins.steps[s].operand;
           if (ref != kNoSlot && ref != kAccSlot) {
-            operands[s] = resolve(ref).data();
+            operands[s] = resolve(ref).raw_data();
           }
         }
         out = ExecuteFusedChain(ins, stream, operands);

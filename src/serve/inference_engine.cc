@@ -60,6 +60,7 @@ Result<InferenceEngine> InferenceEngine::Load(const std::string& snapshot_dir,
   store_options.seed = options.seed;
   store_options.max_resident_models = options.max_resident_models;
   store_options.max_resident_bytes = options.max_resident_bytes;
+  store_options.load_dtype = options.inference_dtype;
   Result<ModelStore> store = ModelStore::Open(snapshot_dir, store_options);
   if (!store.ok()) return store.status();
   state.store.emplace(std::move(store).value());

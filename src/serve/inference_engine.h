@@ -60,6 +60,13 @@ struct EngineOptions {
   // Served bytes are bitwise identical either way (verified at compile
   // time); off replays the module graph per request.
   bool use_compiled_plans = true;
+  // Element type models execute in (DESIGN.md, "Dtype layer & SIMD
+  // dispatch"). The default, kF64, is the historical bit-pinned path.
+  // kF32 cold-loads residents as f32 (half the memory), runs the f32
+  // op/plan kernels (AVX2-dispatched), and converts each request's window
+  // and forecast at the engine boundary — the wire stays doubles, at the
+  // cost of float rounding in the forecast values.
+  tensor::DType inference_dtype = tensor::DType::kF64;
 };
 
 class InferenceEngine {

@@ -27,6 +27,11 @@ struct StoreEntry {
   std::string id;
   std::string path;
   int64_t file_bytes = 0;
+  // Actual in-memory parameter bytes of the loaded model (reflecting the
+  // store's load_dtype). 0 until the first cold load; kept across
+  // eviction — the same snapshot at the same dtype always reloads to the
+  // same size, so reload admission uses the exact figure.
+  int64_t resident_bytes = 0;
   size_t shard = 0;
 
   // Guarded by the owning shard's mutex. The plan cache is created with
@@ -191,7 +196,7 @@ struct ModelStore::Impl {
         victim->model.reset();
         victim->plans.reset();
         resident_models.fetch_sub(1, std::memory_order_relaxed);
-        resident_bytes.fetch_sub(victim->file_bytes,
+        resident_bytes.fetch_sub(victim->resident_bytes,
                                  std::memory_order_relaxed);
         evicted = true;
       }
@@ -450,7 +455,17 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
     return status;
   };
 
-  Status admitted = impl_->EnsureBudgetFor(entry->file_bytes);
+  // Admission estimate: a reload knows its exact in-memory size from the
+  // previous residency; a first-time load scales the snapshot file size
+  // by the load dtype (the payload is raw f64 weights, so an f32 resident
+  // lands near half of it).
+  int64_t admission_bytes = entry->resident_bytes;
+  if (admission_bytes == 0) {
+    admission_bytes = impl_->options.load_dtype == tensor::DType::kF32
+                          ? entry->file_bytes / 2
+                          : entry->file_bytes;
+  }
+  Status admitted = impl_->EnsureBudgetFor(admission_bytes);
   if (!admitted.ok()) return fail(admitted);
 
   if (EMAF_FAULT_SHOULD_FAIL(StrCat("serve.store.load/", id))) {
@@ -461,7 +476,8 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
   }
   Rng rng(impl_->options.seed);
   Result<std::unique_ptr<models::Forecaster>> loaded =
-      models::LoadForecasterSnapshot(entry->path, &rng);
+      models::LoadForecasterSnapshot(entry->path, &rng,
+                                     impl_->options.load_dtype);
   if (!loaded.ok()) {
     impl_->load_failures.fetch_add(1, std::memory_order_relaxed);
     EMAF_METRIC_COUNTER_ADD("serve.store.load_failures_total", 1);
@@ -475,9 +491,15 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
   loaded.value()->SetTraining(false);
   std::shared_ptr<models::Forecaster> model = std::move(loaded).value();
   std::shared_ptr<plan::PlanCache> plans = std::make_shared<plan::PlanCache>();
+  // What the budget actually pays for: the loaded tensors' bytes at the
+  // store's dtype (parameters dominate a model's footprint; the few baked
+  // graph buffers are not enumerable through the Module interface).
+  int64_t model_bytes = 0;
+  for (tensor::Tensor* t : model->Parameters()) model_bytes += t->byte_size();
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     entry->model = model;
+    entry->resident_bytes = model_bytes;
     entry->plans = plans;
     entry->loading = false;
     entry->pins.fetch_add(1, std::memory_order_relaxed);
@@ -486,8 +508,7 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
   shard.cv.notify_all();
   impl_->cold_loads.fetch_add(1, std::memory_order_relaxed);
   impl_->resident_models.fetch_add(1, std::memory_order_relaxed);
-  impl_->resident_bytes.fetch_add(entry->file_bytes,
-                                  std::memory_order_relaxed);
+  impl_->resident_bytes.fetch_add(model_bytes, std::memory_order_relaxed);
   EMAF_METRIC_COUNTER_ADD("serve.store.cold_loads_total", 1);
   impl_->UpdateGauges();
   impl_->UpdateHitRate();

@@ -8,8 +8,9 @@
 // cold-loads through the PR-4 registry path (snapshot v2, embedded
 // config), puts the model in eval mode once, and pins it with a
 // refcounted ModelHandle. When a configurable budget is exceeded
-// (`max_resident_models` models and/or `max_resident_bytes` approximate
-// bytes, a resident model being charged its snapshot file size), the
+// (`max_resident_models` models and/or `max_resident_bytes` bytes, a
+// resident model being charged its actual in-memory parameter bytes —
+// half as much per model when `load_dtype` is f32), the
 // least-recently-used *idle* model is evicted; a pinned model is never
 // evicted, and a handle additionally co-owns the model storage, so even a
 // buggy eviction could not free memory in use. Get() returns
@@ -45,6 +46,7 @@
 
 #include "common/status.h"
 #include "models/forecaster.h"
+#include "tensor/dtype.h"
 
 namespace emaf::plan {
 class PlanCache;
@@ -64,9 +66,17 @@ struct ModelStoreOptions {
   // budget evicts LRU idle models first and fails with kResourceExhausted
   // only when nothing is evictable.
   int64_t max_resident_models = 0;
-  // Approximate byte budget: a resident model is charged its snapshot
-  // file size (raw-double parameters dominate both). <= 0 = unlimited.
+  // Byte budget: a resident model is charged the in-memory bytes of its
+  // parameter tensors once loaded (which reflect `load_dtype` — an f32
+  // resident costs half its f64 snapshot). Admission of a first-time load
+  // uses the snapshot file size scaled by the dtype as the estimate;
+  // reloads know the exact size. <= 0 = unlimited.
   int64_t max_resident_bytes = 0;
+  // Element type residents are cast to at cold load. Training snapshots
+  // stay f64 on disk; kF32 halves each resident's memory and enables the
+  // f32 op/plan kernels. The forecast path converts request windows and
+  // outputs at the boundary, so wire bytes stay doubles either way.
+  tensor::DType load_dtype = tensor::DType::kF64;
   // Lock sharding for the entry maps; clamped to >= 1.
   int64_t num_shards = 8;
 };
@@ -164,7 +174,9 @@ class ModelStore {
     uint64_t load_failures = 0;  // cold loads that errored (incl. faults)
     uint64_t exhausted = 0;      // Get() rejections with kResourceExhausted
     int64_t resident_models = 0;
-    int64_t resident_bytes = 0;  // approximate (snapshot file sizes)
+    // In-memory parameter bytes of resident models (per load_dtype), not
+    // the snapshot-file-size proxy earlier revisions reported.
+    int64_t resident_bytes = 0;
   };
   Stats stats() const;
 

@@ -19,8 +19,9 @@ thread_local InferenceArena* current_arena = nullptr;
 // they capture, so the pool never dies before its last buffer returns.
 struct InferenceArena::State {
   std::mutex mu;
-  // numel -> resting buffers of exactly that element count.
-  std::unordered_map<int64_t, std::vector<std::unique_ptr<std::vector<Scalar>>>>
+  // byte count -> resting buffers of exactly that size.
+  std::unordered_map<int64_t,
+                     std::vector<std::unique_ptr<std::vector<std::byte>>>>
       free_lists;
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -52,12 +53,13 @@ void InferenceArena::Clear() {
   state_->pooled = 0;
 }
 
-std::shared_ptr<std::vector<Scalar>> InferenceArena::Acquire(int64_t numel) {
-  EMAF_CHECK_GE(numel, 0);
-  std::unique_ptr<std::vector<Scalar>> buffer;
+std::shared_ptr<std::vector<std::byte>> InferenceArena::Acquire(
+    int64_t bytes) {
+  EMAF_CHECK_GE(bytes, 0);
+  std::unique_ptr<std::vector<std::byte>> buffer;
   {
     std::lock_guard<std::mutex> lock(state_->mu);
-    auto it = state_->free_lists.find(numel);
+    auto it = state_->free_lists.find(bytes);
     if (it != state_->free_lists.end() && !it->second.empty()) {
       buffer = std::move(it->second.back());
       it->second.pop_back();
@@ -71,15 +73,16 @@ std::shared_ptr<std::vector<Scalar>> InferenceArena::Acquire(int64_t numel) {
   if (buffer == nullptr) {
     EMAF_METRIC_COUNTER_ADD("tensor.arena_misses", 1);
     EMAF_METRIC_COUNTER_ADD("tensor.storage_allocs", 1);
-    buffer = std::make_unique<std::vector<Scalar>>(static_cast<size_t>(numel));
+    buffer =
+        std::make_unique<std::vector<std::byte>>(static_cast<size_t>(bytes));
   } else {
     EMAF_METRIC_COUNTER_ADD("tensor.arena_hits", 1);
   }
   // The deleter owns a strong reference to the pool state, so a buffer
   // released after the arena handle is gone still parks safely.
   std::shared_ptr<State> state = state_;
-  return std::shared_ptr<std::vector<Scalar>>(
-      buffer.release(), [state](std::vector<Scalar>* v) {
+  return std::shared_ptr<std::vector<std::byte>>(
+      buffer.release(), [state](std::vector<std::byte>* v) {
         std::lock_guard<std::mutex> lock(state->mu);
         state->free_lists[static_cast<int64_t>(v->size())].emplace_back(v);
         --state->outstanding;

@@ -1,11 +1,11 @@
 // InferenceArena: a storage pool that recycles tensor buffers of matching
-// numel, so steady-state inference performs zero heap allocation after
+// byte size, so steady-state inference performs zero heap allocation after
 // warm-up (DESIGN.md, "Serving layer").
 //
 // Mechanics: while an ArenaScope is active on a thread, MakeUninitialized
 // asks the scoped arena for storage instead of the heap. The arena keeps a
-// free list per element count; a request that finds a pooled buffer of the
-// exact numel reuses it (hit), otherwise the buffer is heap-allocated once
+// free list per byte count; a request that finds a pooled buffer of the
+// exact size reuses it (hit), otherwise the buffer is heap-allocated once
 // (miss) and joins the pool when its last Tensor reference drops — the
 // storage shared_ptr carries a custom deleter that returns the vector to
 // the arena instead of freeing it. After the first request through a model
@@ -28,6 +28,7 @@
 #ifndef EMAF_TENSOR_ARENA_H_
 #define EMAF_TENSOR_ARENA_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -52,9 +53,11 @@ class InferenceArena {
   // Frees every pooled buffer; outstanding buffers still return and pool.
   void Clear();
 
-  // Storage for `numel` scalars, recycled when a matching buffer is
-  // pooled. Called by MakeUninitialized under an active ArenaScope.
-  std::shared_ptr<std::vector<Scalar>> Acquire(int64_t numel);
+  // Storage for `bytes` bytes, recycled when a matching buffer is pooled.
+  // Called by MakeUninitialized under an active ArenaScope; keying by byte
+  // count means an f32 tensor and an f64 tensor of the same numel use
+  // separate pools.
+  std::shared_ptr<std::vector<std::byte>> Acquire(int64_t bytes);
 
  private:
   struct State;

@@ -11,7 +11,7 @@ namespace emaf::tensor {
 
 GradCheckResult CheckGradients(
     const std::function<Tensor(const std::vector<Tensor>&)>& fn,
-    std::vector<Tensor> inputs, double epsilon, double tolerance) {
+    std::vector<Tensor> inputs, Scalar epsilon, Scalar tolerance) {
   EMAF_CHECK(!inputs.empty());
   for (Tensor& t : inputs) {
     EMAF_CHECK(t.defined());
@@ -33,8 +33,8 @@ GradCheckResult CheckGradients(
     const Scalar* a = analytic.data();
     for (int64_t i = 0; i < input.NumElements(); ++i) {
       Scalar original = x[i];
-      double plus;
-      double minus;
+      Scalar plus;
+      Scalar minus;
       {
         NoGradGuard guard;
         x[i] = original + epsilon;
@@ -43,9 +43,9 @@ GradCheckResult CheckGradients(
         minus = fn(inputs).item();
         x[i] = original;
       }
-      double numeric = (plus - minus) / (2.0 * epsilon);
-      double denom = std::max({1.0, std::abs(a[i]), std::abs(numeric)});
-      double error = std::abs(a[i] - numeric) / denom;
+      Scalar numeric = (plus - minus) / (2.0 * epsilon);
+      Scalar denom = std::max({1.0, std::abs(a[i]), std::abs(numeric)});
+      Scalar error = std::abs(a[i] - numeric) / denom;
       result.max_error = std::max(result.max_error, error);
     }
   }

@@ -14,7 +14,7 @@ namespace emaf::tensor {
 struct GradCheckResult {
   // max over all input elements of |analytic - numeric| /
   // max(1, |analytic|, |numeric|).
-  double max_error = 0.0;
+  Scalar max_error = 0.0;
   bool ok = false;
 };
 
@@ -24,8 +24,8 @@ struct GradCheckResult {
 // FD step, `tolerance` the max accepted relative error.
 GradCheckResult CheckGradients(
     const std::function<Tensor(const std::vector<Tensor>&)>& fn,
-    std::vector<Tensor> inputs, double epsilon = 1e-5,
-    double tolerance = 1e-6);
+    std::vector<Tensor> inputs, Scalar epsilon = 1e-5,
+    Scalar tolerance = 1e-6);
 
 }  // namespace emaf::tensor
 

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "tensor/autograd.h"
+#include "tensor/dtype.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -26,43 +27,59 @@ void MatMulKernel(const Scalar* a, const Scalar* b, Scalar* c, int64_t m,
 void ParallelMatMul(const Scalar* a, const Scalar* b, Scalar* c, int64_t m,
                     int64_t k, int64_t n);
 
+// f32 overload: rows of C are fully independent in the f32 kernel
+// (simd_f32.h), so any row partition is bitwise-safe at any thread count.
+// Dispatches to the AVX2/FMA microkernel or its scalar-fmaf fallback per
+// simd::Enabled(); both arms produce identical bytes.
+void ParallelMatMul(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n);
+
 // m * k * n below which ParallelMatMul runs serially.
 inline constexpr int64_t kMatMulParallelMinFlops = 1 << 17;
 
-// Applies `f(x_i)` elementwise into a fresh tensor (no autograd recording;
-// callers attach their own GradFn).
-template <typename F>
-Tensor MapUnary(const Tensor& x, F f) {
-  Tensor out = MakeUninitialized(x.shape());
-  const Scalar* xd = x.data();
-  Scalar* od = out.data();
+// Applies `f(x_i)` elementwise into a fresh tensor of x's dtype (no
+// autograd recording; callers attach their own GradFn). `f` must be
+// generic (or Scalar-typed for f64-only callers such as backward passes);
+// at float instantiation every literal inside `f` must be T-pure or the
+// arithmetic silently promotes to double.
+template <typename T, typename F>
+Tensor MapUnaryT(const Tensor& x, F f) {
+  Tensor out = MakeUninitialized(x.shape(), x.dtype());
+  const T* xd = x.template data<T>();
+  T* od = out.template data<T>();
   int64_t n = x.NumElements();
   for (int64_t i = 0; i < n; ++i) od[i] = f(xd[i]);
   return out;
 }
 
-// Applies `f(a_i, b_i)` with broadcasting into a fresh tensor (no autograd).
 template <typename F>
-Tensor MapBinary(const Tensor& a, const Tensor& b, F f) {
+Tensor MapUnary(const Tensor& x, F f) {
+  if (x.dtype() == DType::kF32) return MapUnaryT<float>(x, f);
+  return MapUnaryT<double>(x, f);
+}
+
+// Applies `f(a_i, b_i)` with broadcasting into a fresh tensor (no autograd).
+template <typename T, typename F>
+Tensor MapBinaryT(const Tensor& a, const Tensor& b, F f) {
   if (a.shape() == b.shape()) {
-    Tensor out = MakeUninitialized(a.shape());
-    const Scalar* ad = a.data();
-    const Scalar* bd = b.data();
-    Scalar* od = out.data();
+    Tensor out = MakeUninitialized(a.shape(), a.dtype());
+    const T* ad = a.template data<T>();
+    const T* bd = b.template data<T>();
+    T* od = out.template data<T>();
     int64_t n = a.NumElements();
     for (int64_t i = 0; i < n; ++i) od[i] = f(ad[i], bd[i]);
     return out;
   }
   Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out = MakeUninitialized(out_shape);
+  Tensor out = MakeUninitialized(out_shape, a.dtype());
   std::vector<int64_t> a_strides = BroadcastStrides(a.shape(), out_shape);
   std::vector<int64_t> b_strides = BroadcastStrides(b.shape(), out_shape);
   const std::vector<int64_t>& dims = out_shape.dims();
   int64_t rank = out_shape.rank();
   std::vector<int64_t> index(rank, 0);
-  const Scalar* ad = a.data();
-  const Scalar* bd = b.data();
-  Scalar* od = out.data();
+  const T* ad = a.template data<T>();
+  const T* bd = b.template data<T>();
+  T* od = out.template data<T>();
   int64_t n = out_shape.NumElements();
   int64_t a_off = 0;
   int64_t b_off = 0;
@@ -80,6 +97,15 @@ Tensor MapBinary(const Tensor& a, const Tensor& b, F f) {
     }
   }
   return out;
+}
+
+template <typename F>
+Tensor MapBinary(const Tensor& a, const Tensor& b, F f) {
+  EMAF_CHECK(a.dtype() == b.dtype())
+      << "binary op on " << DTypeName(a.dtype()) << " and "
+      << DTypeName(b.dtype());
+  if (a.dtype() == DType::kF32) return MapBinaryT<float>(a, b, f);
+  return MapBinaryT<double>(a, b, f);
 }
 
 }  // namespace emaf::tensor::internal

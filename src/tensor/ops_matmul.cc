@@ -5,6 +5,7 @@
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
 #include "tensor/plan_hook.h"
+#include "tensor/simd_f32.h"
 
 namespace emaf::tensor {
 
@@ -76,6 +77,28 @@ void ParallelMatMul(const Scalar* a, const Scalar* b, Scalar* c, int64_t m,
   });
 }
 
+void ParallelMatMul(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  if (pool.num_threads() <= 1 || m < 8 || m * k * n < kMatMulParallelMinFlops) {
+    EMAF_METRIC_COUNTER_ADD("matmul.dispatch_serial", 1);
+    simd::MatMulF32(a, b, c, m, k, n);
+    return;
+  }
+  EMAF_METRIC_COUNTER_ADD("matmul.dispatch_parallel", 1);
+  // Rows of the f32 kernel are fully independent (simd_f32.h: no
+  // zero-skip, no cross-row state), so any row partition is bitwise-safe;
+  // chunk at the kernel's 4-row block so full blocks stay intact.
+  int64_t num_blocks = (m + 3) / 4;
+  int64_t grain = std::max<int64_t>(
+      1, num_blocks / (pool.num_threads() * 4));
+  pool.ParallelFor(0, num_blocks, grain, [&](int64_t b0, int64_t b1) {
+    int64_t r0 = b0 * 4;
+    int64_t r1 = std::min(b1 * 4, m);
+    simd::MatMulF32(a + r0 * k, b, c + r0 * n, r1 - r0, k, n);
+  });
+}
+
 }  // namespace internal
 
 namespace {
@@ -84,6 +107,83 @@ namespace {
 Shape BatchShape(const Shape& s) {
   std::vector<int64_t> dims(s.dims().begin(), s.dims().end() - 2);
   return Shape(dims);
+}
+
+// The serial per-batch kernel for each element type: f64 keeps the
+// zero-skipping MatMulKernel verbatim (golden bytes), f32 routes through
+// the dispatched simd kernel.
+inline void SerialKernel(const Scalar* a, const Scalar* b, Scalar* c,
+                         int64_t m, int64_t k, int64_t n) {
+  internal::MatMulKernel(a, b, c, m, k, n);
+}
+inline void SerialKernel(const float* a, const float* b, float* c, int64_t m,
+                         int64_t k, int64_t n) {
+  simd::MatMulF32(a, b, c, m, k, n);
+}
+
+// The dtype-generic compute body of MatMul: out must be zero-initialized
+// with the broadcast-batched output shape.
+template <typename T>
+void MatMulCompute(const Tensor& a, const Tensor& b, Tensor* out, int64_t m,
+                   int64_t k, int64_t n, const Shape& a_batch,
+                   const Shape& b_batch, const Shape& batch) {
+  const T* ad = a.data<T>();
+  const T* bd = b.data<T>();
+  T* od = out->data<T>();
+
+  if (b.rank() == 2) {
+    // Shared right matrix: collapse all leading axes of `a` into rows and
+    // run one large matmul — the hot path for linear layers and graph
+    // propagation.
+    int64_t rows = a.NumElements() / k;
+    internal::ParallelMatMul(ad, bd, od, rows, k, n);
+    return;
+  }
+  // General broadcast-batched case, batch offsets via odometer. The
+  // odometer walk is cheap and stays serial; the per-batch kernels run
+  // in parallel over pre-computed offsets when the total work is large
+  // enough (each batch writes a disjoint output slab, and each batch's
+  // kernel is the same call as in the serial loop, so the result is
+  // bitwise identical).
+  std::vector<int64_t> a_strides = BroadcastStrides(a_batch, batch);
+  std::vector<int64_t> b_strides = BroadcastStrides(b_batch, batch);
+  const std::vector<int64_t>& batch_dims = batch.dims();
+  int64_t batch_rank = batch.rank();
+  int64_t num_batches = batch.NumElements();
+  std::vector<int64_t> index(static_cast<size_t>(batch_rank), 0);
+  std::vector<int64_t> a_offsets(static_cast<size_t>(num_batches));
+  std::vector<int64_t> b_offsets(static_cast<size_t>(num_batches));
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  for (int64_t batch_idx = 0; batch_idx < num_batches; ++batch_idx) {
+    a_offsets[static_cast<size_t>(batch_idx)] = a_off * m * k;
+    b_offsets[static_cast<size_t>(batch_idx)] = b_off * k * n;
+    for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
+      a_off += a_strides[axis];
+      b_off += b_strides[axis];
+      if (++index[axis] < batch_dims[axis]) break;
+      a_off -= a_strides[axis] * batch_dims[axis];
+      b_off -= b_strides[axis] * batch_dims[axis];
+      index[axis] = 0;
+    }
+  }
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  bool parallel = pool.num_threads() > 1 && num_batches > 1 &&
+                  num_batches * m * k * n >= internal::kMatMulParallelMinFlops;
+  auto run_batches = [&](int64_t lo, int64_t hi) {
+    for (int64_t batch_idx = lo; batch_idx < hi; ++batch_idx) {
+      SerialKernel(ad + a_offsets[static_cast<size_t>(batch_idx)],
+                   bd + b_offsets[static_cast<size_t>(batch_idx)],
+                   od + batch_idx * m * n, m, k, n);
+    }
+  };
+  if (parallel) {
+    EMAF_METRIC_COUNTER_ADD("matmul.batched_dispatch_parallel", 1);
+    pool.ParallelFor(0, num_batches, 1, run_batches);
+  } else {
+    EMAF_METRIC_COUNTER_ADD("matmul.batched_dispatch_serial", 1);
+    run_batches(0, num_batches);
+  }
 }
 
 }  // namespace
@@ -98,70 +198,21 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   EMAF_CHECK_EQ(k, k2) << "MatMul inner dimension mismatch: "
                        << a.shape().ToString() << " x " << b.shape().ToString();
 
+  EMAF_CHECK(a.dtype() == b.dtype())
+      << "MatMul on " << DTypeName(a.dtype()) << " and "
+      << DTypeName(b.dtype());
   Shape a_batch = BatchShape(a.shape());
   Shape b_batch = BatchShape(b.shape());
   Shape batch = BroadcastShapes(a_batch, b_batch);
   std::vector<int64_t> out_dims = batch.dims();
   out_dims.push_back(m);
   out_dims.push_back(n);
-  Tensor out = Tensor::Zeros(Shape(out_dims));
+  Tensor out = Tensor::Zeros(Shape(out_dims), a.dtype());
 
-  const Scalar* ad = a.data();
-  const Scalar* bd = b.data();
-  Scalar* od = out.data();
-
-  if (b.rank() == 2) {
-    // Shared right matrix: collapse all leading axes of `a` into rows and
-    // run one large matmul — the hot path for linear layers and graph
-    // propagation.
-    int64_t rows = a.NumElements() / k;
-    internal::ParallelMatMul(ad, bd, od, rows, k, n);
+  if (a.dtype() == DType::kF32) {
+    MatMulCompute<float>(a, b, &out, m, k, n, a_batch, b_batch, batch);
   } else {
-    // General broadcast-batched case, batch offsets via odometer. The
-    // odometer walk is cheap and stays serial; the per-batch kernels run
-    // in parallel over pre-computed offsets when the total work is large
-    // enough (each batch writes a disjoint output slab, and each batch's
-    // kernel is the same call as in the serial loop, so the result is
-    // bitwise identical).
-    std::vector<int64_t> a_strides = BroadcastStrides(a_batch, batch);
-    std::vector<int64_t> b_strides = BroadcastStrides(b_batch, batch);
-    const std::vector<int64_t>& batch_dims = batch.dims();
-    int64_t batch_rank = batch.rank();
-    int64_t num_batches = batch.NumElements();
-    std::vector<int64_t> index(static_cast<size_t>(batch_rank), 0);
-    std::vector<int64_t> a_offsets(static_cast<size_t>(num_batches));
-    std::vector<int64_t> b_offsets(static_cast<size_t>(num_batches));
-    int64_t a_off = 0;
-    int64_t b_off = 0;
-    for (int64_t batch_idx = 0; batch_idx < num_batches; ++batch_idx) {
-      a_offsets[static_cast<size_t>(batch_idx)] = a_off * m * k;
-      b_offsets[static_cast<size_t>(batch_idx)] = b_off * k * n;
-      for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
-        a_off += a_strides[axis];
-        b_off += b_strides[axis];
-        if (++index[axis] < batch_dims[axis]) break;
-        a_off -= a_strides[axis] * batch_dims[axis];
-        b_off -= b_strides[axis] * batch_dims[axis];
-        index[axis] = 0;
-      }
-    }
-    common::ThreadPool& pool = common::ThreadPool::Global();
-    bool parallel = pool.num_threads() > 1 && num_batches > 1 &&
-                    num_batches * m * k * n >= internal::kMatMulParallelMinFlops;
-    auto run_batches = [&](int64_t lo, int64_t hi) {
-      for (int64_t batch_idx = lo; batch_idx < hi; ++batch_idx) {
-        internal::MatMulKernel(ad + a_offsets[static_cast<size_t>(batch_idx)],
-                               bd + b_offsets[static_cast<size_t>(batch_idx)],
-                               od + batch_idx * m * n, m, k, n);
-      }
-    };
-    if (parallel) {
-      EMAF_METRIC_COUNTER_ADD("matmul.batched_dispatch_parallel", 1);
-      pool.ParallelFor(0, num_batches, 1, run_batches);
-    } else {
-      EMAF_METRIC_COUNTER_ADD("matmul.batched_dispatch_serial", 1);
-      run_batches(0, num_batches);
-    }
+    MatMulCompute<Scalar>(a, b, &out, m, k, n, a_batch, b_batch, batch);
   }
 
   if (plan_hook::Active()) {

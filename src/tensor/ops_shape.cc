@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
 
 #include "tensor/op_common.h"
 #include "tensor/ops.h"
@@ -12,14 +14,15 @@ namespace ph = plan_hook;
 
 // Copies x into a tensor of shape `out_shape`, where reading follows
 // `in_strides` (aligned to out_shape axes). Shared by Permute/BroadcastTo.
-Tensor StridedCopy(const Tensor& x, const Shape& out_shape,
-                   const std::vector<int64_t>& in_strides) {
-  Tensor out = MakeUninitialized(out_shape);
+template <typename T>
+Tensor StridedCopyT(const Tensor& x, const Shape& out_shape,
+                    const std::vector<int64_t>& in_strides) {
+  Tensor out = MakeUninitialized(out_shape, x.dtype());
   const std::vector<int64_t>& dims = out_shape.dims();
   int64_t rank = out_shape.rank();
   std::vector<int64_t> index(rank, 0);
-  const Scalar* xd = x.data();
-  Scalar* od = out.data();
+  const T* xd = x.data<T>();
+  T* od = out.data<T>();
   int64_t n = out_shape.NumElements();
   // Fast path: innermost axis is contiguous in the input -> copy rows.
   if (rank >= 1 && in_strides[rank - 1] == 1 && dims[rank - 1] > 1) {
@@ -51,6 +54,14 @@ Tensor StridedCopy(const Tensor& x, const Shape& out_shape,
   return out;
 }
 
+Tensor StridedCopy(const Tensor& x, const Shape& out_shape,
+                   const std::vector<int64_t>& in_strides) {
+  if (x.dtype() == DType::kF32) {
+    return StridedCopyT<float>(x, out_shape, in_strides);
+  }
+  return StridedCopyT<Scalar>(x, out_shape, in_strides);
+}
+
 std::vector<int64_t> InversePerm(const std::vector<int64_t>& perm) {
   std::vector<int64_t> inverse(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) {
@@ -66,6 +77,7 @@ Tensor Reshape(const Tensor& x, const Shape& shape) {
       << "reshape " << x.shape().ToString() << " -> " << shape.ToString();
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
+  impl->dtype = x.impl()->dtype;
   impl->storage = x.impl()->storage;  // view: same data
   Tensor out(std::move(impl));
   if (ph::Active()) {
@@ -160,13 +172,14 @@ Tensor Slice(const Tensor& x, int64_t dim, int64_t start, int64_t end) {
 
   std::vector<int64_t> out_dims = xs.dims();
   out_dims[axis] = len;
-  Tensor out = MakeUninitialized(Shape(out_dims));
-  const Scalar* xd = x.data();
-  Scalar* od = out.data();
+  Tensor out = MakeUninitialized(Shape(out_dims), x.dtype());
+  const int64_t esize = DTypeSize(x.dtype());
+  const std::byte* xd = static_cast<const std::byte*>(x.raw_data());
+  std::byte* od = static_cast<std::byte*>(out.raw_data());
   for (int64_t o = 0; o < outer; ++o) {
-    const Scalar* src = xd + (o * d + start) * inner;
-    Scalar* dst = od + o * len * inner;
-    std::copy(src, src + len * inner, dst);
+    const std::byte* src = xd + (o * d + start) * inner * esize;
+    std::byte* dst = od + o * len * inner * esize;
+    std::memcpy(dst, src, static_cast<size_t>(len * inner * esize));
   }
   if (ph::Active()) {
     ph::Record({ph::OpKind::kSlice, {x}, out, 0.0, 0.0, {axis, start, end}});
@@ -211,25 +224,30 @@ Tensor Cat(const std::vector<Tensor>& tensors, int64_t dim) {
     }
     total += t.shape().dim(axis);
   }
+  for (const Tensor& t : tensors) {
+    EMAF_CHECK(t.dtype() == tensors[0].dtype())
+        << "Cat inputs must share a dtype";
+  }
   std::vector<int64_t> out_dims = first.dims();
   out_dims[axis] = total;
   Shape out_shape(out_dims);
-  Tensor out = MakeUninitialized(out_shape);
+  Tensor out = MakeUninitialized(out_shape, tensors[0].dtype());
 
   int64_t outer = 1;
   int64_t inner = 1;
   for (int64_t i = 0; i < axis; ++i) outer *= first.dim(i);
   for (int64_t i = axis + 1; i < first.rank(); ++i) inner *= first.dim(i);
 
-  Scalar* od = out.data();
+  const int64_t esize = DTypeSize(out.dtype());
+  std::byte* od = static_cast<std::byte*>(out.raw_data());
   int64_t written = 0;
   for (const Tensor& t : tensors) {
     int64_t len = t.shape().dim(axis);
-    const Scalar* td = t.data();
+    const std::byte* td = static_cast<const std::byte*>(t.raw_data());
     for (int64_t o = 0; o < outer; ++o) {
-      const Scalar* src = td + o * len * inner;
-      Scalar* dst = od + (o * total + written) * inner;
-      std::copy(src, src + len * inner, dst);
+      const std::byte* src = td + o * len * inner * esize;
+      std::byte* dst = od + (o * total + written) * inner * esize;
+      std::memcpy(dst, src, static_cast<size_t>(len * inner * esize));
     }
     written += len;
   }
@@ -275,15 +293,16 @@ Tensor Pad(const Tensor& x,
     out_dims[i] = xs.dim(i) + padding[i].first + padding[i].second;
   }
   Shape out_shape(out_dims);
-  Tensor out = Tensor::Zeros(out_shape);
+  Tensor out = Tensor::Zeros(out_shape, x.dtype());
 
   // Copy x into the interior region via odometer over x indices.
   std::vector<int64_t> out_strides = out_shape.Strides();
   const std::vector<int64_t>& dims = xs.dims();
   int64_t rank = xs.rank();
   std::vector<int64_t> index(rank, 0);
-  const Scalar* xd = x.data();
-  Scalar* od = out.data();
+  const int64_t esize = DTypeSize(x.dtype());
+  const std::byte* xd = static_cast<const std::byte*>(x.raw_data());
+  std::byte* od = static_cast<std::byte*>(out.raw_data());
   int64_t base = 0;
   for (int64_t i = 0; i < rank; ++i) base += padding[i].first * out_strides[i];
   int64_t n = xs.NumElements();
@@ -292,7 +311,8 @@ Tensor Pad(const Tensor& x,
   int64_t rows = n / row;
   int64_t off = base;
   for (int64_t r = 0; r < rows; ++r) {
-    std::copy(xd + r * row, xd + (r + 1) * row, od + off);
+    std::memcpy(od + off * esize, xd + r * row * esize,
+                static_cast<size_t>(row * esize));
     for (int64_t axis = rank - 2; axis >= 0; --axis) {
       off += out_strides[axis];
       if (++index[axis] < dims[axis]) break;

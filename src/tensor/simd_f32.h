@@ -1,0 +1,76 @@
+// Runtime-dispatched f32 kernels: an AVX2/FMA arm and a scalar fallback
+// that produce bitwise-identical results (DESIGN.md, "Dtype layer & SIMD
+// dispatch").
+//
+// Dispatch: Enabled() is true when the CPU reports AVX2+FMA and the
+// process was not started with EMAF_NO_SIMD=1; tests flip arms with
+// SetEnabledForTest. Both arms of every kernel perform the same IEEE
+// operations in the same order — the SIMD matmul arm uses
+// _mm256_fmadd_ps where the scalar arm uses std::fmaf (one fused
+// multiply-add either way), and the elementwise kernels are single
+// IEEE-exact operations (add/mul/max/...) whose lane order never affects
+// the per-element result. That is the contract the f32 plan path's
+// bitwise determinism (across thread counts AND dispatch arms) rests on.
+//
+// This header is included from op and plan code; the implementation lives
+// in its own TU (simd_f32.cc) compiled with -ffp-contract=off, pinned in
+// src/CMakeLists.txt like plan/fused_kernel.cc, so the compiler cannot
+// contract neighboring mul/add expressions into FMAs we did not write.
+// The explicit std::fmaf calls are unaffected: contraction settings only
+// govern *implicit* fusion.
+//
+// Layering: tensor/ must not see plan/ headers, so the fused-chain entry
+// points take this file's own op enums; plan/fused_kernel.cc maps its
+// OpCode values onto them.
+
+#ifndef EMAF_TENSOR_SIMD_F32_H_
+#define EMAF_TENSOR_SIMD_F32_H_
+
+#include <cstdint>
+
+namespace emaf::tensor::simd {
+
+// True when the AVX2/FMA arm is active (CPUID check minus the
+// EMAF_NO_SIMD=1 env knob, or the last SetEnabledForTest override).
+bool Enabled();
+
+// Test hook: force the scalar fallback (false) or re-run the CPUID+env
+// probe (true). Returns the resulting Enabled() value — passing true on a
+// machine without AVX2 still yields false.
+bool SetEnabledForTest(bool enabled);
+
+// C += A B on raw row-major f32 buffers; C must be zero-initialized (or
+// hold a partial sum). Rows of C are fully independent — no zero-skip, no
+// cross-row state — so callers may partition rows arbitrarily across
+// threads and still get bytes identical to one serial call.
+void MatMulF32(const float* a, const float* b, float* c, int64_t m,
+               int64_t k, int64_t n);
+
+// Binary elementwise ops that are a single IEEE operation per element
+// (bitwise-equal across arms by IEEE determinism).
+enum class EwOp : uint8_t { kAdd, kSub, kMul, kDiv, kMax, kMin };
+
+// dst[i] = op(dst[i], other[i]) — or op(other[i], dst[i]) when `swapped`
+// (for non-commutative ops whose accumulator is the right operand).
+void BinaryF32(EwOp op, float* dst, const float* other, bool swapped,
+               int64_t n);
+
+// Unary elementwise ops that are a single IEEE operation per element.
+// s0/s1 carry the op's immediates (clamp bounds, scalar addend, ...).
+enum class UnOp : uint8_t {
+  kNeg,
+  kAbs,
+  kSqrt,
+  kRelu,
+  kLeakyRelu,  // v > 0 ? v : s0 * v
+  kClamp,      // min(max(v, s0), s1)
+  kAddScalar,  // v + s0
+  kMulScalar,  // v * s0
+};
+
+// dst[i] = op(dst[i], s0, s1), in place.
+void UnaryF32(UnOp op, float* dst, float s0, float s1, int64_t n);
+
+}  // namespace emaf::tensor::simd
+
+#endif  // EMAF_TENSOR_SIMD_F32_H_

@@ -1,0 +1,453 @@
+// Dtype layer tests (DESIGN.md, "Dtype layer & SIMD dispatch").
+//
+// Four invariants, each load-bearing for the f32 serving path:
+//   1. SIMD-vs-scalar — both arms of every f32 kernel produce bitwise
+//      identical bytes (the dispatch decision must be unobservable);
+//   2. accuracy — casting a model to f32 moves its forecast by float
+//      rounding only, for every model family;
+//   3. plan-vs-module, within dtype — a compiled f32 plan reproduces the
+//      f32 module forward bitwise at 1/2/8 pool threads and on either
+//      dispatch arm, and an f32 plan rejects f64 input;
+//   4. engine — inference_dtype=kF32 halves resident bytes, keeps the
+//      wire f64, and serves forecasts within float rounding of the f64
+//      engine.
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/adjacency.h"
+#include "models/registry.h"
+#include "plan/interpreter.h"
+#include "plan/recorder.h"
+#include "serve/inference_engine.h"
+#include "tensor/autograd.h"
+#include "tensor/dtype.h"
+#include "tensor/ops.h"
+#include "tensor/simd_f32.h"
+#include "tensor/tensor.h"
+
+namespace emaf {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr int64_t kVars = 5;
+constexpr int64_t kSteps = 3;
+
+models::ModelConfig FamilyConfig(const std::string& family) {
+  models::ModelConfig config;
+  config.family = family;
+  config.num_variables = kVars;
+  config.input_length = kSteps;
+  config.lstm.hidden_units = 8;
+  config.a3tgcn.hidden_units = 8;
+  config.astgcn.hidden_units = 8;
+  config.astgcn.num_blocks = 2;
+  config.mtgnn.residual_channels = 8;
+  config.mtgnn.conv_channels = 8;
+  config.mtgnn.skip_channels = 8;
+  config.mtgnn.end_channels = 16;
+  config.mtgnn.embedding_dim = 4;
+  if (family != "LSTM" && family != "VAR") {
+    graph::AdjacencyMatrix adj(kVars);
+    for (int64_t i = 0; i + 1 < kVars; ++i) {
+      adj.set(i, i + 1, 0.1 + static_cast<double>(i) / 3.0);
+      adj.set(i + 1, i, 0.7 - static_cast<double>(i) / 7.0);
+    }
+    config.adjacency = adj;
+  }
+  return config;
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.dtype(), b.dtype()) << context;
+  ASSERT_EQ(a.shape(), b.shape()) << context;
+  EXPECT_EQ(std::memcmp(a.raw_data(), b.raw_data(),
+                        static_cast<size_t>(a.byte_size())),
+            0)
+      << context;
+}
+
+// Restores the dispatch arm (and thread count) no matter how a test exits,
+// so a failing assertion cannot leak a forced-scalar process state into
+// later suites.
+class DispatchGuard {
+ public:
+  DispatchGuard() : was_enabled_(tensor::simd::Enabled()) {}
+  ~DispatchGuard() {
+    tensor::simd::SetEnabledForTest(was_enabled_);
+    common::ThreadPool::SetGlobalNumThreads(1);
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+// --- Tensor-level cast semantics --------------------------------------------
+
+TEST(DtypeTest, CastRoundTripAndSharing) {
+  Rng rng(3);
+  Tensor x = Tensor::Uniform(Shape{4, 7}, -2, 2, &rng);
+  ASSERT_EQ(x.dtype(), DType::kF64);
+  EXPECT_EQ(x.byte_size(), 4 * 7 * int64_t{8});
+
+  // Matching cast is free: same storage, not a copy.
+  Tensor same = x.CastTo(DType::kF64);
+  EXPECT_EQ(same.raw_data(), x.raw_data());
+
+  Tensor f32 = x.CastTo(DType::kF32);
+  EXPECT_EQ(f32.dtype(), DType::kF32);
+  EXPECT_EQ(f32.byte_size(), 4 * 7 * int64_t{4});
+  const double* xd = x.data();
+  const float* f = f32.data<float>();
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    EXPECT_EQ(f[i], static_cast<float>(xd[i]));
+  }
+
+  // Round-tripping back to f64 is exact for values that started as f64
+  // only up to float rounding; widening the f32 values back is exact.
+  Tensor back = f32.CastTo(DType::kF64);
+  const double* bd = back.data();
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    EXPECT_EQ(bd[i], static_cast<double>(f[i]));
+  }
+}
+
+// --- SIMD vs scalar: kernel-level bitwise equality --------------------------
+
+// Sizes straddling the 8-lane AVX2 width: full vectors, remainder tails,
+// and sub-vector runs must all agree with the scalar arm.
+const int64_t kKernelSizes[] = {1, 3, 7, 8, 9, 16, 31, 64, 100};
+
+std::vector<float> RandomFloats(int64_t n, Rng* rng, double lo = -3.0,
+                                double hi = 3.0) {
+  std::vector<float> v(static_cast<size_t>(n));
+  Tensor t = Tensor::Uniform(Shape{n}, lo, hi, rng);
+  const double* d = t.data();
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = static_cast<float>(d[i]);
+  return v;
+}
+
+TEST(SimdDispatchTest, MatMulBitwiseAcrossArms) {
+  DispatchGuard guard;
+  Rng rng(11);
+  for (int64_t m : {1, 2, 5}) {
+    for (int64_t k : {1, 7, 24}) {
+      for (int64_t n : {1, 8, 13, 33}) {
+        std::vector<float> a = RandomFloats(m * k, &rng);
+        std::vector<float> b = RandomFloats(k * n, &rng);
+        std::vector<float> c_simd(static_cast<size_t>(m * n), 0.0f);
+        std::vector<float> c_scalar(static_cast<size_t>(m * n), 0.0f);
+        tensor::simd::SetEnabledForTest(true);
+        tensor::simd::MatMulF32(a.data(), b.data(), c_simd.data(), m, k, n);
+        tensor::simd::SetEnabledForTest(false);
+        tensor::simd::MatMulF32(a.data(), b.data(), c_scalar.data(), m, k, n);
+        EXPECT_EQ(std::memcmp(c_simd.data(), c_scalar.data(),
+                              c_simd.size() * sizeof(float)),
+                  0)
+            << "m=" << m << " k=" << k << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, BinaryOpsBitwiseAcrossArms) {
+  DispatchGuard guard;
+  Rng rng(12);
+  using tensor::simd::EwOp;
+  for (EwOp op : {EwOp::kAdd, EwOp::kSub, EwOp::kMul, EwOp::kDiv, EwOp::kMax,
+                  EwOp::kMin}) {
+    for (int64_t n : kKernelSizes) {
+      for (bool swapped : {false, true}) {
+        std::vector<float> dst = RandomFloats(n, &rng);
+        std::vector<float> other = RandomFloats(n, &rng);
+        std::vector<float> dst_scalar = dst;
+        tensor::simd::SetEnabledForTest(true);
+        tensor::simd::BinaryF32(op, dst.data(), other.data(), swapped, n);
+        tensor::simd::SetEnabledForTest(false);
+        tensor::simd::BinaryF32(op, dst_scalar.data(), other.data(), swapped,
+                                n);
+        EXPECT_EQ(std::memcmp(dst.data(), dst_scalar.data(),
+                              dst.size() * sizeof(float)),
+                  0)
+            << "op=" << static_cast<int>(op) << " n=" << n
+            << " swapped=" << swapped;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, UnaryOpsBitwiseAcrossArms) {
+  DispatchGuard guard;
+  Rng rng(13);
+  using tensor::simd::UnOp;
+  struct Case {
+    UnOp op;
+    float s0, s1;
+  };
+  const Case cases[] = {
+      {UnOp::kNeg, 0, 0},         {UnOp::kAbs, 0, 0},
+      {UnOp::kSqrt, 0, 0},        {UnOp::kRelu, 0, 0},
+      {UnOp::kLeakyRelu, 0.01f, 0}, {UnOp::kClamp, -0.5f, 0.75f},
+      {UnOp::kAddScalar, 1.25f, 0}, {UnOp::kMulScalar, -2.5f, 0},
+  };
+  for (const Case& c : cases) {
+    for (int64_t n : kKernelSizes) {
+      // kSqrt of a negative input is NaN on both arms; keep inputs
+      // positive there so memcmp compares equal payloads, not NaN bits.
+      std::vector<float> dst = RandomFloats(
+          n, &rng, c.op == UnOp::kSqrt ? 0.0 : -3.0, 3.0);
+      std::vector<float> dst_scalar = dst;
+      tensor::simd::SetEnabledForTest(true);
+      tensor::simd::UnaryF32(c.op, dst.data(), c.s0, c.s1, n);
+      tensor::simd::SetEnabledForTest(false);
+      tensor::simd::UnaryF32(c.op, dst_scalar.data(), c.s0, c.s1, n);
+      EXPECT_EQ(std::memcmp(dst.data(), dst_scalar.data(),
+                            dst.size() * sizeof(float)),
+                0)
+          << "op=" << static_cast<int>(c.op) << " n=" << n;
+    }
+  }
+}
+
+// vmaxps/vminps pick the second operand when either input is NaN, and the
+// scalar arm mirrors that exactly — pin it so a "cleanup" to std::fmax
+// (which prefers the non-NaN operand) cannot slip in on one arm only.
+TEST(SimdDispatchTest, MaxMinNanSemanticsMatchAcrossArms) {
+  DispatchGuard guard;
+  const float nan = std::nanf("");
+  for (auto op : {tensor::simd::EwOp::kMax, tensor::simd::EwOp::kMin}) {
+    std::vector<float> dst = {nan, 1.0f, nan, -2.0f, 0.5f, nan, 3.0f, nan,
+                              nan};
+    std::vector<float> other = {1.0f, nan, nan, 4.0f, nan, -1.0f, nan, nan,
+                                2.0f};
+    std::vector<float> dst_scalar = dst;
+    tensor::simd::SetEnabledForTest(true);
+    tensor::simd::BinaryF32(op, dst.data(), other.data(), false,
+                            static_cast<int64_t>(dst.size()));
+    tensor::simd::SetEnabledForTest(false);
+    tensor::simd::BinaryF32(op, dst_scalar.data(), other.data(), false,
+                            static_cast<int64_t>(dst_scalar.size()));
+    EXPECT_EQ(std::memcmp(dst.data(), dst_scalar.data(),
+                          dst.size() * sizeof(float)),
+              0);
+  }
+}
+
+// --- Per-family f32 accuracy and bitwise plan equivalence -------------------
+
+class DtypeFamilyTest : public ::testing::TestWithParam<std::string> {};
+
+// Casting a model to f32 perturbs its forecast by float rounding only:
+// bounded relative to the f64 output scale, far beyond any training-level
+// signal but far from garbage. This is the accuracy contract
+// EngineOptions::inference_dtype documents.
+TEST_P(DtypeFamilyTest, F32ForecastWithinFloatRoundingOfF64) {
+  models::ModelConfig config = FamilyConfig(GetParam());
+  Rng rng(21);
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(config, &rng);
+  model->SetTraining(false);
+  tensor::NoGradGuard no_grad;
+
+  Rng data_rng(22);
+  Tensor window = Tensor::Uniform(Shape{3, kSteps, kVars}, -1, 1, &data_rng);
+  Tensor f64_out = model->Forward(window);
+
+  model->CastTo(DType::kF32);
+  EXPECT_EQ(model->dtype(), DType::kF32);
+  Tensor f32_out = model->Forward(window.CastTo(DType::kF32));
+  ASSERT_EQ(f32_out.dtype(), DType::kF32);
+  ASSERT_EQ(f32_out.shape(), f64_out.shape());
+
+  const double* ref = f64_out.data();
+  const float* got = f32_out.data<float>();
+  double max_abs_ref = 0.0;
+  double max_abs_err = 0.0;
+  for (int64_t i = 0; i < f64_out.NumElements(); ++i) {
+    max_abs_ref = std::max(max_abs_ref, std::abs(ref[i]));
+    max_abs_err =
+        std::max(max_abs_err, std::abs(ref[i] - static_cast<double>(got[i])));
+  }
+  EXPECT_LE(max_abs_err, 1e-3 * (1.0 + max_abs_ref))
+      << GetParam() << ": max|f64 - f32| = " << max_abs_err
+      << " at output scale " << max_abs_ref;
+}
+
+// A plan compiled from an f32 forward replays it bitwise — at 1/2/8 pool
+// threads and on both dispatch arms. Same anchor the f64 path has had
+// since the plan layer landed, now per dtype.
+TEST_P(DtypeFamilyTest, F32PlanMatchesModuleBitwiseAcrossThreadsAndArms) {
+  DispatchGuard guard;
+  models::ModelConfig config = FamilyConfig(GetParam());
+  Rng rng(31);
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(config, &rng);
+  model->SetTraining(false);
+  model->CastTo(DType::kF32);
+  tensor::NoGradGuard no_grad;
+
+  Rng data_rng(32);
+  Tensor window =
+      Tensor::Uniform(Shape{2, kSteps, kVars}, -1, 1, &data_rng)
+          .CastTo(DType::kF32);
+
+  Result<std::shared_ptr<const plan::Plan>> compiled =
+      plan::Compile(model.get(), window);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled.value()->dtype, DType::kF32);
+
+  // The f32 plan refuses f64 input rather than silently reinterpreting.
+  Tensor f64_window = window.CastTo(DType::kF64);
+  Result<Tensor> wrong = plan::Execute(*compiled.value(), f64_window, nullptr);
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(wrong.status().message().find("f64"), std::string::npos)
+      << wrong.status().message();
+
+  for (bool simd_arm : {true, false}) {
+    tensor::simd::SetEnabledForTest(simd_arm);
+    Tensor module_out = model->Forward(window);
+    for (int64_t threads : {1, 2, 8}) {
+      common::ThreadPool::SetGlobalNumThreads(threads);
+      Result<Tensor> plan_out = plan::Execute(*compiled.value(), window, nullptr);
+      ASSERT_TRUE(plan_out.ok()) << plan_out.status().ToString();
+      ExpectBitwiseEqual(module_out, plan_out.value(),
+                         GetParam() + " simd=" + (simd_arm ? "on" : "off") +
+                             " threads=" + std::to_string(threads));
+    }
+    common::ThreadPool::SetGlobalNumThreads(1);
+  }
+}
+
+// The whole f32 forward — module path, not just kernels — lands on
+// identical bytes whichever dispatch arm ran it.
+TEST_P(DtypeFamilyTest, F32ModuleForwardBitwiseAcrossArms) {
+  DispatchGuard guard;
+  models::ModelConfig config = FamilyConfig(GetParam());
+  Rng rng(41);
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(config, &rng);
+  model->SetTraining(false);
+  model->CastTo(DType::kF32);
+  tensor::NoGradGuard no_grad;
+
+  Rng data_rng(42);
+  Tensor window =
+      Tensor::Uniform(Shape{2, kSteps, kVars}, -1, 1, &data_rng)
+          .CastTo(DType::kF32);
+
+  tensor::simd::SetEnabledForTest(true);
+  Tensor simd_out = model->Forward(window);
+  tensor::simd::SetEnabledForTest(false);
+  Tensor scalar_out = model->Forward(window);
+  ExpectBitwiseEqual(simd_out, scalar_out, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DtypeFamilyTest,
+                         ::testing::Values("LSTM", "VAR", "A3TGCN", "ASTGCN",
+                                           "MTGNN"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// --- Engine-level f32 serving -----------------------------------------------
+
+class DtypeEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-unique: dtype_test and dtype_test_nosimd run this fixture
+    // concurrently under `ctest -j` and must not share the directory.
+    dir_ = std::string(::testing::TempDir()) + "/dtype_engine_snapshots_" +
+           std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(std::filesystem::create_directories(dir_));
+    for (const char* spec : {"i00:LSTM", "i01:MTGNN"}) {
+      std::string id(spec, 3);
+      models::ModelConfig config = FamilyConfig(spec + 4);
+      Rng rng(std::hash<std::string>{}(id));
+      std::unique_ptr<models::Forecaster> model =
+          models::CreateForecasterOrDie(config, &rng);
+      ASSERT_TRUE(models::SaveForecasterSnapshot(
+                      model.get(), config, dir_ + "/" + id + ".snapshot")
+                      .ok());
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DtypeEngineTest, F32EngineHalvesResidentBytesAndKeepsWireF64) {
+  serve::EngineOptions f64_options;
+  Result<serve::InferenceEngine> f64_engine =
+      serve::InferenceEngine::Load(dir_, f64_options);
+  ASSERT_TRUE(f64_engine.ok()) << f64_engine.status().ToString();
+
+  serve::EngineOptions f32_options;
+  f32_options.inference_dtype = DType::kF32;
+  Result<serve::InferenceEngine> f32_engine =
+      serve::InferenceEngine::Load(dir_, f32_options);
+  ASSERT_TRUE(f32_engine.ok()) << f32_engine.status().ToString();
+
+  // Residency accounting reflects the real in-memory element width: the
+  // f32 store holds exactly half the parameter bytes of the f64 store.
+  int64_t f64_bytes = f64_engine.value().store().stats().resident_bytes;
+  int64_t f32_bytes = f32_engine.value().store().stats().resident_bytes;
+  ASSERT_GT(f64_bytes, 0);
+  EXPECT_EQ(f32_bytes * 2, f64_bytes);
+
+  Rng data_rng(55);
+  Tensor window = Tensor::Uniform(Shape{1, kSteps, kVars}, -1, 1, &data_rng);
+  for (const std::string& id : f64_engine.value().individual_ids()) {
+    Result<Tensor> ref = f64_engine.value().Forecast(id, window);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    Result<Tensor> got = f32_engine.value().Forecast(id, window);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // The wire dtype never changes: f64 in, f64 out, whatever the
+    // resident dtype.
+    ASSERT_EQ(got.value().dtype(), DType::kF64);
+    ASSERT_EQ(got.value().shape(), ref.value().shape());
+    const double* r = ref.value().data();
+    const double* g = got.value().data();
+    for (int64_t i = 0; i < ref.value().NumElements(); ++i) {
+      EXPECT_NEAR(r[i], g[i], 1e-3 * (1.0 + std::abs(r[i]))) << id;
+    }
+  }
+}
+
+// Repeated f32 forecasts for one id are bitwise identical — determinism
+// survives the boundary casts and the plan warm-up.
+TEST_F(DtypeEngineTest, F32ForecastsAreDeterministic) {
+  serve::EngineOptions options;
+  options.inference_dtype = DType::kF32;
+  Result<serve::InferenceEngine> engine =
+      serve::InferenceEngine::Load(dir_, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  Rng data_rng(66);
+  Tensor window = Tensor::Uniform(Shape{1, kSteps, kVars}, -1, 1, &data_rng);
+  Result<Tensor> first = engine.value().Forecast("i00", window);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  for (int round = 0; round < 3; ++round) {
+    Result<Tensor> again = engine.value().Forecast("i00", window);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    ExpectBitwiseEqual(first.value(), again.value(),
+                       "round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace emaf

@@ -138,12 +138,55 @@ TEST(SerializeTest, SaveToUnwritablePathFails) {
   EXPECT_FALSE(status.ok());
 }
 
-// --- v2 config embedding and v1 compatibility ------------------------------
+// --- v3 dtype byte, v2 config embedding, v1 compatibility ------------------
 
 std::string ReadFileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   return std::string(std::istreambuf_iterator<char>(in),
                      std::istreambuf_iterator<char>());
+}
+
+// Rewrites an all-f64 v3 snapshot as the v2 layout: patch the version
+// word and drop each parameter's dtype byte. This is exactly the byte
+// stream pre-v3 builds wrote.
+std::string V3ToV2(const std::string& v3) {
+  EXPECT_GE(v3.size(), 16u);
+  std::string v2 = v3.substr(0, 4);
+  uint32_t version = 2;
+  v2.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  size_t pos = 8;
+  uint64_t config_len = 0;
+  std::memcpy(&config_len, v3.data() + pos, sizeof(config_len));
+  v2.append(v3.substr(pos, 8 + config_len));  // config length + blob
+  pos += 8 + config_len;
+  uint64_t count = 0;
+  std::memcpy(&count, v3.data() + pos, sizeof(count));
+  v2.append(v3.substr(pos, 8));
+  pos += 8;
+  for (uint64_t p = 0; p < count; ++p) {
+    uint64_t name_len = 0;
+    std::memcpy(&name_len, v3.data() + pos, sizeof(name_len));
+    v2.append(v3.substr(pos, 8 + name_len));  // name length + name
+    pos += 8 + name_len;
+    EXPECT_EQ(v3[pos], '\0') << "expected an f64 dtype byte";
+    pos += 1;  // the dtype byte v2 lacks
+    uint64_t rank = 0;
+    std::memcpy(&rank, v3.data() + pos, sizeof(rank));
+    v2.append(v3.substr(pos, 8));
+    pos += 8;
+    uint64_t numel = 1;
+    for (uint64_t d = 0; d < rank; ++d) {
+      int64_t dim = 0;
+      std::memcpy(&dim, v3.data() + pos, sizeof(dim));
+      v2.append(v3.substr(pos, 8));
+      pos += 8;
+      numel *= static_cast<uint64_t>(dim);
+    }
+    v2.append(v3.substr(pos, numel * sizeof(double)));
+    pos += numel * sizeof(double);
+  }
+  EXPECT_EQ(pos, v3.size());
+  return v2;
 }
 
 // Rewrites a config-free v2 snapshot as the legacy v1 layout: patch the
@@ -161,28 +204,47 @@ std::string V2ToV1(const std::string& v2) {
   return v1;
 }
 
-TEST(SerializeTest, SaveAlwaysWritesV2) {
+TEST(SerializeTest, SaveAlwaysWritesV3) {
   Rng rng(1);
   SmallNet net(&rng);
-  std::string path = TempPath("v2_version.emaf");
+  std::string path = TempPath("v3_version.emaf");
   ASSERT_TRUE(SaveParameters(&net, path).ok());
   std::string bytes = ReadFileBytes(path);
   ASSERT_GE(bytes.size(), 8u);
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 4, sizeof(version));
-  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(version, 3u);
+}
+
+TEST(SerializeTest, V2SnapshotStillLoads) {
+  Rng rng_a(1);
+  SmallNet net_a(&rng_a);
+  std::string v3_path = TempPath("compat_down_v3.emaf");
+  ASSERT_TRUE(SaveParameters(&net_a, v3_path).ok());
+
+  std::string v2_path = TempPath("compat_down_v2.emaf");
+  {
+    std::ofstream out(v2_path, std::ios::binary | std::ios::trunc);
+    out << V3ToV2(ReadFileBytes(v3_path));
+  }
+  Rng rng_b(99);
+  SmallNet net_b(&rng_b);
+  ASSERT_TRUE(LoadParameters(&net_b, v2_path).ok());
+  Rng data_rng(3);
+  Tensor x = Tensor::Uniform(Shape{5, 3}, -1, 1, &data_rng);
+  EXPECT_EQ(net_a.Forward(x).ToVector(), net_b.Forward(x).ToVector());
 }
 
 TEST(SerializeTest, V1SnapshotStillLoads) {
   Rng rng_a(1);
   SmallNet net_a(&rng_a);
-  std::string v2_path = TempPath("compat_v2.emaf");
-  ASSERT_TRUE(SaveParameters(&net_a, v2_path).ok());
+  std::string v3_path = TempPath("compat_v3.emaf");
+  ASSERT_TRUE(SaveParameters(&net_a, v3_path).ok());
 
   std::string v1_path = TempPath("compat_v1.emaf");
   {
     std::ofstream out(v1_path, std::ios::binary | std::ios::trunc);
-    out << V2ToV1(ReadFileBytes(v2_path));
+    out << V2ToV1(V3ToV2(ReadFileBytes(v3_path)));
   }
   Rng rng_b(99);
   SmallNet net_b(&rng_b);
@@ -194,6 +256,76 @@ TEST(SerializeTest, V1SnapshotStillLoads) {
   Result<std::string> config = ReadSnapshotConfig(v1_path);
   ASSERT_TRUE(config.ok());
   EXPECT_EQ(config.value(), "");
+}
+
+// The dtype byte is load-bearing: a value outside the enum must be
+// rejected with a message naming the field and the parameter, not read as
+// a garbage element width.
+TEST(SerializeTest, RejectsInvalidDtypeByte) {
+  Rng rng(1);
+  SmallNet net(&rng);
+  std::string path = TempPath("bad_dtype.emaf");
+  ASSERT_TRUE(SaveParameters(&net, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // First parameter record sits right after the count: its dtype byte
+  // follows the 8-byte name length and the name itself.
+  size_t pos = 8;  // magic + version
+  uint64_t config_len = 0;
+  std::memcpy(&config_len, bytes.data() + pos, sizeof(config_len));
+  pos += 8 + config_len + 8;  // config, count
+  uint64_t name_len = 0;
+  std::memcpy(&name_len, bytes.data() + pos, sizeof(name_len));
+  pos += 8 + name_len;
+  ASSERT_EQ(bytes[pos], '\0');
+  bytes[pos] = 7;  // not a DType
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  Status status = LoadParameters(&net, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("dtype"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("fc1.weight"), std::string::npos)
+      << status.message();
+}
+
+// An f32 module round-trips through v3 natively (dtype byte 1, 4-byte
+// payload), and a dtype mismatch between file and module converts
+// element-wise instead of failing.
+TEST(SerializeTest, DtypeRoundTripAndCrossDtypeLoad) {
+  Rng rng_a(1);
+  SmallNet net_a(&rng_a);
+  net_a.CastTo(tensor::DType::kF32);
+  std::string path = TempPath("f32_roundtrip.emaf");
+  ASSERT_TRUE(SaveParameters(&net_a, path).ok());
+
+  // f32 file -> f32 module: exact bytes back.
+  Rng rng_b(99);
+  SmallNet net_b(&rng_b);
+  net_b.CastTo(tensor::DType::kF32);
+  ASSERT_TRUE(LoadParameters(&net_b, path).ok());
+  std::vector<NamedParameter> pa = net_a.NamedParameters();
+  std::vector<NamedParameter> pb = net_b.NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pb[i].value->dtype(), tensor::DType::kF32);
+    EXPECT_EQ(std::memcmp(pa[i].value->raw_data(), pb[i].value->raw_data(),
+                          static_cast<size_t>(pa[i].value->byte_size())),
+              0)
+        << pa[i].name;
+  }
+
+  // f32 file -> f64 module: payload widens; values equal the f32 values.
+  Rng rng_c(7);
+  SmallNet net_c(&rng_c);
+  ASSERT_TRUE(LoadParameters(&net_c, path).ok());
+  std::vector<NamedParameter> pc = net_c.NamedParameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pc[i].value->dtype(), tensor::DType::kF64);
+    const float* af = pa[i].value->data<float>();
+    const double* cd = pc[i].value->data();
+    for (int64_t j = 0; j < pa[i].value->NumElements(); ++j) {
+      EXPECT_EQ(cd[j], static_cast<double>(af[j])) << pa[i].name;
+    }
+  }
 }
 
 TEST(SerializeTest, ReadSnapshotConfigReturnsEmbeddedBlob) {
@@ -299,12 +431,12 @@ TEST(SnapshotTest, LoadForecasterSnapshotRejectsV1Files) {
       models::CreateForecasterOrDie(config, &rng);
   // SaveParameters without a config emulates a pre-registry snapshot once
   // rewritten to the v1 layout: no family to rebuild from.
-  std::string v2_path = TempPath("headless_v2.snapshot");
-  ASSERT_TRUE(SaveParameters(model.get(), v2_path).ok());
+  std::string v3_path = TempPath("headless_v3.snapshot");
+  ASSERT_TRUE(SaveParameters(model.get(), v3_path).ok());
   std::string v1_path = TempPath("headless_v1.snapshot");
   {
     std::ofstream out(v1_path, std::ios::binary | std::ios::trunc);
-    out << V2ToV1(ReadFileBytes(v2_path));
+    out << V2ToV1(V3ToV2(ReadFileBytes(v3_path)));
   }
   Rng load_rng(12);
   Result<std::unique_ptr<models::Forecaster>> restored =
@@ -321,8 +453,17 @@ TEST(SnapshotTest, LoadForecasterSnapshotRejectsV1Files) {
 TEST(SerializeTest, ReadSnapshotVersionDistinguishesFormats) {
   Rng rng(13);
   SmallNet net(&rng);
+  std::string v3_path = TempPath("version_probe_v3.emaf");
+  ASSERT_TRUE(SaveParameters(&net, v3_path).ok());
+  Result<uint32_t> v3 = ReadSnapshotVersion(v3_path);
+  ASSERT_TRUE(v3.ok()) << v3.status().ToString();
+  EXPECT_EQ(v3.value(), kSnapshotVersionWithDtype);
+
   std::string v2_path = TempPath("version_probe_v2.emaf");
-  ASSERT_TRUE(SaveParameters(&net, v2_path).ok());
+  {
+    std::ofstream out(v2_path, std::ios::binary | std::ios::trunc);
+    out << V3ToV2(ReadFileBytes(v3_path));
+  }
   Result<uint32_t> v2 = ReadSnapshotVersion(v2_path);
   ASSERT_TRUE(v2.ok()) << v2.status().ToString();
   EXPECT_EQ(v2.value(), kSnapshotVersionWithConfig);

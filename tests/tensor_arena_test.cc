@@ -1,8 +1,9 @@
 // InferenceArena contract tests (DESIGN.md, "Serving layer"): buffer
-// recycling by numel, scope nesting/suspension, stale-buffer safety of the
-// factory functions, lifetime of buffers that outlive the arena handle,
+// recycling by byte size, scope nesting/suspension, stale-buffer safety of
+// the factory functions, lifetime of buffers that outlive the arena handle,
 // and thread safety of the shared pool.
 
+#include <cstddef>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -123,7 +124,7 @@ TEST(InferenceArenaTest, ArenaIsThreadLocal) {
 }
 
 TEST(InferenceArenaTest, BuffersOutliveTheArenaHandle) {
-  std::shared_ptr<std::vector<Scalar>> buffer;
+  std::shared_ptr<std::vector<std::byte>> buffer;
   {
     InferenceArena arena;
     buffer = arena.Acquire(7);
@@ -136,7 +137,7 @@ TEST(InferenceArenaTest, BuffersOutliveTheArenaHandle) {
 
 TEST(InferenceArenaTest, ClearDropsPooledBuffersOnly) {
   InferenceArena arena;
-  std::shared_ptr<std::vector<Scalar>> held = arena.Acquire(4);
+  std::shared_ptr<std::vector<std::byte>> held = arena.Acquire(4);
   { auto released = arena.Acquire(4); }
   EXPECT_EQ(arena.stats().pooled, 1u);
   arena.Clear();
@@ -171,7 +172,7 @@ TEST(InferenceArenaTest, SharedPoolIsThreadSafe) {
       for (int i = 0; i < kIterations; ++i) {
         // Mix two sizes so free lists are contended from both sides.
         auto buffer = arena.Acquire((t + i) % 2 == 0 ? 16 : 32);
-        (*buffer)[0] = static_cast<Scalar>(i);
+        (*buffer)[0] = static_cast<std::byte>(i);
       }
     });
   }
