@@ -1,0 +1,339 @@
+#include "online/observation_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "core/checkpoint.h"
+#include "tensor/tensor.h"
+
+namespace emaf::online {
+
+namespace {
+
+constexpr char kLogExtension[] = ".obslog";
+constexpr char kLineVersion[] = "v1";
+
+}  // namespace
+
+std::string EncodeObservationLine(uint64_t sequence,
+                                  std::span<const double> values) {
+  // Everything after the leading CRC field, built first so the CRC can
+  // cover it — mirroring EncodeJournalRecord.
+  std::string body = StrCat(kLineVersion, "|", sequence);
+  for (double v : values) {
+    body += '|';
+    body += FormatExact(v);
+  }
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", core::Crc32(body));
+  return StrCat(crc, "|", body);
+}
+
+Result<DecodedObservation> DecodeObservationLine(std::string_view line) {
+  const size_t bar = line.find('|');
+  if (bar == std::string_view::npos) {
+    return Status::InvalidArgument("observation line has no CRC delimiter");
+  }
+  const std::string_view crc_hex = line.substr(0, bar);
+  const std::string_view body = line.substr(bar + 1);
+  long long crc_value = 0;
+  {
+    // Hex parse by hand: ParseInt64 reads decimal.
+    if (crc_hex.size() != 8) {
+      return Status::InvalidArgument(
+          StrCat("observation line CRC field must be 8 hex digits, got \"",
+                 crc_hex, "\""));
+    }
+    for (char c : crc_hex) {
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("observation line CRC field must be 8 hex digits, got \"",
+                   crc_hex, "\""));
+      }
+      crc_value = (crc_value << 4) | digit;
+    }
+  }
+  if (static_cast<uint32_t>(crc_value) != core::Crc32(body)) {
+    return Status::DataLoss("observation line CRC mismatch");
+  }
+  const std::vector<std::string> fields = StrSplit(body, '|');
+  if (fields.size() < 3) {
+    return Status::InvalidArgument(StrCat(
+        "observation line has ", fields.size(),
+        " fields after the CRC; expected at least version|seq|value"));
+  }
+  if (fields[0] != kLineVersion) {
+    return Status::InvalidArgument(
+        StrCat("observation line version \"", fields[0], "\" (expected ",
+               kLineVersion, ")"));
+  }
+  DecodedObservation out;
+  long long seq = 0;
+  if (!ParseInt64(fields[1], &seq) || seq <= 0) {
+    return Status::InvalidArgument(
+        StrCat("observation line sequence \"", fields[1],
+               "\" is not a positive integer"));
+  }
+  out.sequence = static_cast<uint64_t>(seq);
+  out.values.reserve(fields.size() - 2);
+  for (size_t i = 2; i < fields.size(); ++i) {
+    double value = 0.0;
+    if (!ParseDouble(fields[i], &value)) {
+      return Status::InvalidArgument(
+          StrCat("observation line value ", i - 2, " \"", fields[i],
+                 "\" is not a double"));
+    }
+    out.values.push_back(value);
+  }
+  return out;
+}
+
+// --- ObservationLog --------------------------------------------------------
+
+struct ObservationLog::Impl {
+  struct Individual {
+    std::ofstream out;       // append mode, opened lazily / at recovery
+    uint64_t last_seq = 0;
+    int64_t num_variables = 0;
+    std::vector<double> rows;  // row-major [rows, num_variables]
+    int64_t num_rows = 0;
+  };
+
+  std::string dir;
+  ObservationLogOptions options;
+  mutable std::mutex mu;
+  std::map<std::string, Individual> individuals;
+  int64_t torn_tails = 0;
+
+  std::string PathFor(const std::string& id) const {
+    return (std::filesystem::path(dir) / StrCat(id, kLogExtension)).string();
+  }
+};
+
+ObservationLog::ObservationLog() : impl_(std::make_unique<Impl>()) {}
+ObservationLog::ObservationLog(ObservationLog&&) noexcept = default;
+ObservationLog& ObservationLog::operator=(ObservationLog&&) noexcept = default;
+ObservationLog::~ObservationLog() = default;
+
+Result<ObservationLog> ObservationLog::Open(
+    const std::string& dir, const ObservationLogOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir)) {
+    return Status::Internal(
+        StrCat("cannot create observation log directory ", dir));
+  }
+  ObservationLog log;
+  Impl& impl = *log.impl_;
+  impl.dir = dir;
+  impl.options = options;
+
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == kLogExtension) {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::Internal(StrCat("cannot list observation log directory ",
+                                   dir, ": ", ec.message()));
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    const std::string id = path.stem().string();
+    Impl::Individual ind;
+    std::ifstream in(path);
+    if (!in) {
+      return Status::Internal(
+          StrCat("cannot read observation log ", path.string()));
+    }
+    std::string line;
+    int64_t lineno = 0;
+    // Byte length of the valid prefix, so a torn tail can be truncated
+    // away before the file is reopened for appending.
+    uintmax_t valid_bytes = 0;
+    bool torn = false;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const size_t line_bytes = line.size() + 1;  // '\n'
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      Result<DecodedObservation> decoded = DecodeObservationLine(line);
+      const bool last_line = in.peek() == std::ifstream::traits_type::eof();
+      if (!decoded.ok()) {
+        if (last_line) {
+          // Torn append during a crash: the acknowledged prefix is intact,
+          // so recover it and drop the tail.
+          torn = true;
+          break;
+        }
+        return Status::DataLoss(StrCat("observation log ", path.string(),
+                                       " line ", lineno, ": ",
+                                       decoded.status().message()));
+      }
+      const DecodedObservation& obs = decoded.value();
+      if (obs.sequence != ind.last_seq + 1) {
+        return Status::DataLoss(StrCat(
+            "observation log ", path.string(), " line ", lineno,
+            ": sequence ", obs.sequence, " after ", ind.last_seq,
+            " (must be contiguous)"));
+      }
+      const int64_t width = static_cast<int64_t>(obs.values.size());
+      const int64_t expected =
+          ind.num_variables > 0 ? ind.num_variables : options.num_variables;
+      if (expected > 0 && width != expected) {
+        return Status::InvalidArgument(
+            StrCat("observation log ", path.string(), " line ", lineno,
+                   ": row width ", width, " != expected ", expected));
+      }
+      ind.num_variables = width;
+      ind.last_seq = obs.sequence;
+      ind.rows.insert(ind.rows.end(), obs.values.begin(), obs.values.end());
+      ++ind.num_rows;
+      valid_bytes += line_bytes;
+    }
+    in.close();
+    if (torn) {
+      ++impl.torn_tails;
+      EMAF_METRIC_COUNTER_ADD("online.log.torn_tails_total", 1);
+      fs::resize_file(path, valid_bytes, ec);
+      if (ec) {
+        return Status::Internal(StrCat("cannot truncate torn tail of ",
+                                       path.string(), ": ", ec.message()));
+      }
+    }
+    ind.out.open(path, std::ios::app);
+    if (!ind.out) {
+      return Status::Internal(
+          StrCat("cannot reopen observation log ", path.string()));
+    }
+    impl.individuals.emplace(id, std::move(ind));
+  }
+  EMAF_METRIC_GAUGE_SET("online.log.individuals",
+                        static_cast<double>(impl.individuals.size()));
+  return log;
+}
+
+Result<uint64_t> ObservationLog::Append(const std::string& id,
+                                        std::span<const double> row) {
+  if (id.empty() || id.find('/') != std::string::npos ||
+      id.find('\\') != std::string::npos) {
+    return Status::InvalidArgument(
+        StrCat("invalid observation log id: \"", id, "\""));
+  }
+  if (row.empty()) {
+    return Status::InvalidArgument("observation row is empty");
+  }
+  if (EMAF_FAULT_SHOULD_FAIL(StrCat("online.append/", id))) {
+    return Status::Unavailable(StrCat("injected fault: online.append/", id));
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto [it, inserted] = impl_->individuals.try_emplace(id);
+  Impl::Individual& ind = it->second;
+  const int64_t width = static_cast<int64_t>(row.size());
+  const int64_t expected =
+      ind.num_variables > 0 ? ind.num_variables : impl_->options.num_variables;
+  if (expected > 0 && width != expected) {
+    if (inserted) impl_->individuals.erase(it);
+    return Status::InvalidArgument(StrCat("observation row width ", width,
+                                          " != expected ", expected,
+                                          " for individual ", id));
+  }
+  if (!ind.out.is_open()) {
+    ind.out.open(impl_->PathFor(id), std::ios::app);
+    if (!ind.out) {
+      if (inserted) impl_->individuals.erase(it);
+      return Status::Internal(
+          StrCat("cannot open observation log ", impl_->PathFor(id)));
+    }
+    if (inserted) {
+      EMAF_METRIC_GAUGE_SET("online.log.individuals",
+                            static_cast<double>(impl_->individuals.size()));
+    }
+  }
+  const uint64_t seq = ind.last_seq + 1;
+  ind.out << EncodeObservationLine(seq, row) << '\n' << std::flush;
+  if (!ind.out) {
+    return Status::Internal(
+        StrCat("write to observation log failed for individual ", id));
+  }
+  ind.last_seq = seq;
+  ind.num_variables = width;
+  ind.rows.insert(ind.rows.end(), row.begin(), row.end());
+  ++ind.num_rows;
+  EMAF_METRIC_COUNTER_ADD("online.log.appends_total", 1);
+  return seq;
+}
+
+Result<tensor::Tensor> ObservationLog::Replay(const std::string& id) const {
+  return Tail(id, std::numeric_limits<int64_t>::max());
+}
+
+Result<tensor::Tensor> ObservationLog::Tail(const std::string& id,
+                                            int64_t max_rows) const {
+  if (max_rows < 1) {
+    return Status::InvalidArgument(
+        StrCat("Tail(", id, "): max_rows must be >= 1, got ", max_rows));
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->individuals.find(id);
+  if (it == impl_->individuals.end()) {
+    return Status::NotFound(StrCat("no observations for individual: ", id));
+  }
+  const Impl::Individual& ind = it->second;
+  if (ind.num_rows == 0) {
+    return Status::FailedPrecondition(
+        StrCat("individual ", id, " has no observation rows"));
+  }
+  const int64_t n = std::min(max_rows, ind.num_rows);
+  tensor::Tensor out = tensor::Tensor::Zeros(tensor::Shape{n, ind.num_variables});
+  const double* src =
+      ind.rows.data() + (ind.num_rows - n) * ind.num_variables;
+  std::copy(src, src + n * ind.num_variables, out.data());
+  return out;
+}
+
+std::vector<std::string> ObservationLog::individual_ids() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> ids;
+  ids.reserve(impl_->individuals.size());
+  for (const auto& [id, ind] : impl_->individuals) {
+    if (ind.num_rows > 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+int64_t ObservationLog::rows(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->individuals.find(id);
+  return it == impl_->individuals.end() ? 0 : it->second.num_rows;
+}
+
+uint64_t ObservationLog::last_sequence(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->individuals.find(id);
+  return it == impl_->individuals.end() ? 0 : it->second.last_seq;
+}
+
+int64_t ObservationLog::torn_tails_recovered() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->torn_tails;
+}
+
+const std::string& ObservationLog::dir() const { return impl_->dir; }
+
+}  // namespace emaf::online

@@ -1,0 +1,88 @@
+#include "online/pipeline.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace emaf::online {
+
+OnlinePipeline::OnlinePipeline(ObservationLog* log,
+                               SnapshotPublisher* publisher,
+                               serve::ModelStore* store,
+                               OnlinePipelineOptions options)
+    : log_(log),
+      publisher_(publisher),
+      store_(store),
+      options_(std::move(options)),
+      graph_builder_(options_.graph),
+      trainer_(options_.train) {}
+
+Result<UpdateOutcome> OnlinePipeline::UpdateIndividual(const std::string& id) {
+  [[maybe_unused]] std::chrono::steady_clock::time_point start;
+  if constexpr (obs::kMetricsEnabled) {
+    start = std::chrono::steady_clock::now();
+  }
+  auto refused = [](Result<UpdateOutcome> r) {
+    EMAF_METRIC_COUNTER_ADD("online.pipeline.refused_total", 1);
+    return r;
+  };
+
+  // Warm-start source: whatever the store is serving right now.
+  Result<std::string> snapshot = store_->snapshot_path(id);
+  if (!snapshot.ok()) return refused(snapshot.status());
+
+  Result<tensor::Tensor> window = log_->Tail(id, options_.graph.window_rows);
+  if (!window.ok()) return refused(window.status());
+
+  // Graph re-derivation is best-effort below the builder's minimum: a
+  // fine-tune on the snapshot's own graph still beats no update at all.
+  std::optional<graph::AdjacencyMatrix> adjacency;
+  bool rederived = false;
+  if (options_.rederive_graph &&
+      window.value().dim(0) >= options_.graph.min_rows) {
+    Result<graph::AdjacencyMatrix> built = graph_builder_.Build(*log_, id);
+    if (!built.ok()) return refused(built.status());
+    adjacency = std::move(built).value();
+    rederived = true;
+  }
+
+  Result<FineTuneResult> tuned =
+      trainer_.FineTune(id, snapshot.value(), window.value(), adjacency);
+  if (!tuned.ok()) return refused(tuned.status());
+
+  Result<PublishedSnapshot> published = publisher_->Publish(
+      id, tuned.value().model.get(), tuned.value().config);
+  if (!published.ok()) return refused(published.status());
+
+  // Only now — the new version durably on disk — does serving retarget.
+  Status swapped = store_->Publish(id, published.value().path,
+                                   published.value().version);
+  if (!swapped.ok()) return refused(swapped);
+
+  EMAF_METRIC_COUNTER_ADD("online.pipeline.updates_total", 1);
+  if constexpr (obs::kMetricsEnabled) {
+    EMAF_METRIC_HISTOGRAM_OBSERVE(
+        "online.pipeline.update_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count(),
+        obs::DefaultSecondsBounds());
+  }
+  UpdateOutcome outcome;
+  outcome.version = published.value().version;
+  outcome.path = published.value().path;
+  outcome.rows_used = window.value().dim(0);
+  // A build for a family that bakes no graph (LSTM/VAR, pure-learning
+  // MTGNN) was ignored by the trainer; report what the published snapshot
+  // actually carries.
+  outcome.graph_rederived =
+      rederived && tuned.value().config.adjacency.has_value();
+  outcome.edges_changed = graph_builder_.last_edges_changed(id);
+  outcome.final_loss = tuned.value().train.final_loss;
+  outcome.attempts = tuned.value().attempts;
+  return outcome;
+}
+
+}  // namespace emaf::online

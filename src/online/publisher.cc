@@ -1,0 +1,205 @@
+#include "online/publisher.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "serve/model_store.h"
+
+namespace emaf::online {
+
+namespace {
+
+constexpr char kSnapshotExtension[] = ".snapshot";
+
+// `<stem>.v<N>.snapshot` -> (id, N); nullopt when the name has no version
+// component. Mirrors the parser ModelStore::Publish uses to derive its
+// watermark, so the two sides always agree on what a filename means.
+std::optional<std::pair<std::string, uint64_t>> SplitVersionedName(
+    const std::string& filename) {
+  const std::string_view name = filename;
+  if (!name.ends_with(kSnapshotExtension)) return std::nullopt;
+  const std::string_view stem =
+      name.substr(0, name.size() - std::char_traits<char>::length(
+                                       kSnapshotExtension));
+  const size_t dot_v = stem.rfind(".v");
+  if (dot_v == std::string_view::npos) return std::nullopt;
+  const std::string_view digits = stem.substr(dot_v + 2);
+  if (digits.empty()) return std::nullopt;
+  uint64_t version = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    version = version * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return std::make_pair(std::string(stem.substr(0, dot_v)), version);
+}
+
+}  // namespace
+
+struct SnapshotPublisher::Impl {
+  std::string dir;
+  mutable std::mutex mu;
+  std::map<std::string, uint64_t> versions;      // latest per id
+  std::map<std::string, std::string> manifest;   // id -> relative path
+
+  Status RewriteManifest() {
+    namespace fs = std::filesystem;
+    const fs::path manifest_path = fs::path(dir) / serve::kManifestFilename;
+    const fs::path tmp_path = fs::path(dir) / ".MANIFEST.tmp";
+    {
+      std::ofstream out(tmp_path, std::ios::trunc);
+      if (!out) {
+        return Status::Internal(
+            StrCat("cannot write manifest ", tmp_path.string()));
+      }
+      out << "# rewritten by SnapshotPublisher; id<TAB>relative-path\n";
+      for (const auto& [id, rel] : manifest) {
+        out << id << '\t' << rel << '\n';
+      }
+      out.flush();
+      if (!out) {
+        return Status::Internal(
+            StrCat("write to manifest ", tmp_path.string(), " failed"));
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, manifest_path, ec);
+    if (ec) {
+      fs::remove(tmp_path, ec);
+      return Status::Internal(StrCat("cannot move manifest into place: ",
+                                     manifest_path.string()));
+    }
+    return Status::Ok();
+  }
+};
+
+SnapshotPublisher::SnapshotPublisher() : impl_(std::make_unique<Impl>()) {}
+SnapshotPublisher::SnapshotPublisher(SnapshotPublisher&&) noexcept = default;
+SnapshotPublisher& SnapshotPublisher::operator=(SnapshotPublisher&&) noexcept =
+    default;
+SnapshotPublisher::~SnapshotPublisher() = default;
+
+Result<SnapshotPublisher> SnapshotPublisher::Open(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir)) {
+    return Status::Internal(StrCat("cannot create publish directory ", dir));
+  }
+  SnapshotPublisher publisher;
+  Impl& impl = *publisher.impl_;
+  impl.dir = dir;
+  // Seed version counters above anything ever published here, whether or
+  // not MANIFEST still mentions it — monotonicity must survive restarts.
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const auto split = SplitVersionedName(entry.path().filename().string());
+    if (!split.has_value()) continue;
+    uint64_t& version = impl.versions[split->first];
+    version = std::max(version, split->second);
+  }
+  if (ec) {
+    return Status::Internal(
+        StrCat("cannot list publish directory ", dir, ": ", ec.message()));
+  }
+  const fs::path manifest_path = fs::path(dir) / serve::kManifestFilename;
+  if (fs::is_regular_file(manifest_path, ec) && !ec) {
+    std::ifstream in(manifest_path);
+    if (!in) {
+      return Status::Internal(
+          StrCat("cannot read manifest ", manifest_path.string()));
+    }
+    std::string line;
+    int64_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      const size_t tab = line.find('\t');
+      if (tab == std::string::npos || tab == 0 || tab + 1 >= line.size()) {
+        return Status::InvalidArgument(
+            StrCat("manifest ", manifest_path.string(), " line ", lineno,
+                   ": expected `id<TAB>relative-path`, got \"", line, "\""));
+      }
+      impl.manifest[line.substr(0, tab)] = line.substr(tab + 1);
+    }
+  }
+  return publisher;
+}
+
+Result<PublishedSnapshot> SnapshotPublisher::Publish(
+    const std::string& id, models::Forecaster* model,
+    const models::ModelConfig& config) {
+  namespace fs = std::filesystem;
+  if (id.empty() || id.find('/') != std::string::npos ||
+      id.find('\\') != std::string::npos) {
+    return Status::InvalidArgument(StrCat("invalid publish id: \"", id, "\""));
+  }
+  // Pre-mutation by contract: a publish fault must leave the previous
+  // version — file and MANIFEST entry both — exactly as it was.
+  if (EMAF_FAULT_SHOULD_FAIL(StrCat("online.publish/", id))) {
+    return Status::Unavailable(StrCat("injected fault: online.publish/", id));
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const uint64_t version = impl_->versions[id] + 1;
+  const std::string filename =
+      StrCat(id, ".v", version, kSnapshotExtension);
+  const fs::path full = fs::path(impl_->dir) / filename;
+  const fs::path tmp = fs::path(impl_->dir) / StrCat(".", filename, ".tmp");
+  Status saved = models::SaveForecasterSnapshot(model, config, tmp.string());
+  if (!saved.ok()) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return saved;
+  }
+  std::error_code ec;
+  fs::rename(tmp, full, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal(
+        StrCat("cannot move snapshot into place: ", full.string()));
+  }
+  // The versioned file is durable from here on: even if the manifest
+  // rewrite below fails, the version counter stays consumed and a rescan
+  // at next Open seeds above it.
+  impl_->versions[id] = version;
+  impl_->manifest[id] = filename;
+  EMAF_RETURN_IF_ERROR(impl_->RewriteManifest());
+  EMAF_METRIC_COUNTER_ADD("online.publish.published_total", 1);
+  uint64_t max_version = 0;
+  for (const auto& [_, v] : impl_->versions) max_version = std::max(max_version, v);
+  EMAF_METRIC_GAUGE_SET("online.publish.max_version",
+                        static_cast<double>(max_version));
+  PublishedSnapshot out;
+  out.path = full.string();
+  out.version = version;
+  return out;
+}
+
+uint64_t SnapshotPublisher::latest_version(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->versions.find(id);
+  return it == impl_->versions.end() ? 0 : it->second;
+}
+
+Result<std::string> SnapshotPublisher::latest_path(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->manifest.find(id);
+  if (it == impl_->manifest.end()) {
+    return Status::NotFound(StrCat("no published snapshot for: ", id));
+  }
+  return (std::filesystem::path(impl_->dir) / it->second).string();
+}
+
+const std::string& SnapshotPublisher::dir() const { return impl_->dir; }
+
+}  // namespace emaf::online

@@ -1,0 +1,79 @@
+#include "online/windowed_graph.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace emaf::online {
+
+int64_t CountEdgeChanges(const graph::AdjacencyMatrix& a,
+                         const graph::AdjacencyMatrix& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    // Different variable sets share no edges: every edge of each counts.
+    return a.NumUndirectedEdges() + b.NumUndirectedEdges();
+  }
+  int64_t changed = 0;
+  for (int64_t i = 0; i < a.num_nodes(); ++i) {
+    for (int64_t j = i + 1; j < a.num_nodes(); ++j) {
+      const bool in_a = a.at(i, j) != 0.0 || a.at(j, i) != 0.0;
+      const bool in_b = b.at(i, j) != 0.0 || b.at(j, i) != 0.0;
+      if (in_a != in_b) ++changed;
+    }
+  }
+  return changed;
+}
+
+WindowedGraphBuilder::WindowedGraphBuilder(WindowedGraphOptions options)
+    : options_(std::move(options)) {}
+
+Result<graph::AdjacencyMatrix> WindowedGraphBuilder::Build(
+    const ObservationLog& log, const std::string& id) {
+  if (options_.build.metric == graph::GraphMetric::kRandom) {
+    return Status::InvalidArgument(
+        "windowed graph builds reject kRandom: replicas replaying one log "
+        "must derive identical graphs");
+  }
+  if (options_.keep_fraction <= 0.0 || options_.keep_fraction > 1.0) {
+    return Status::InvalidArgument(StrCat("keep_fraction must be in (0, 1], got ",
+                                          options_.keep_fraction));
+  }
+  if (options_.window_rows < options_.min_rows) {
+    return Status::InvalidArgument(
+        StrCat("window_rows (", options_.window_rows, ") < min_rows (",
+               options_.min_rows, ")"));
+  }
+  Result<tensor::Tensor> tail = log.Tail(id, options_.window_rows);
+  if (!tail.ok()) return tail.status();
+  const tensor::Tensor& window = tail.value();
+  if (window.dim(0) < options_.min_rows) {
+    return Status::FailedPrecondition(
+        StrCat("individual ", id, " has ", window.dim(0),
+               " observation rows; windowed graph build needs at least ",
+               options_.min_rows));
+  }
+  graph::AdjacencyMatrix adjacency =
+      graph::BuildSimilarityGraph(window, options_.build);
+  if (options_.keep_fraction < 1.0) {
+    adjacency = graph::KeepTopFraction(adjacency, options_.keep_fraction);
+  }
+  EMAF_METRIC_COUNTER_ADD("online.graph.builds_total", 1);
+  auto prev = previous_.find(id);
+  if (prev != previous_.end()) {
+    const int64_t changed = CountEdgeChanges(prev->second, adjacency);
+    edges_changed_[id] = changed;
+    EMAF_METRIC_GAUGE_SET("online.graph.edges_changed",
+                          static_cast<double>(changed));
+    prev->second = adjacency;
+  } else {
+    previous_.emplace(id, adjacency);
+  }
+  return adjacency;
+}
+
+int64_t WindowedGraphBuilder::last_edges_changed(const std::string& id) const {
+  auto it = edges_changed_.find(id);
+  return it == edges_changed_.end() ? -1 : it->second;
+}
+
+}  // namespace emaf::online

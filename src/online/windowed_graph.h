@@ -1,0 +1,83 @@
+// Sliding-window similarity-graph re-derivation for the online pipeline
+// (DESIGN.md, "Online ingestion & hot-swap").
+//
+// The paper derives each individual's variable graph from their full EMA
+// history once, offline. Streaming ingestion makes the history a moving
+// target: as observations land, the graph that best explains the
+// individual drifts. WindowedGraphBuilder re-derives the Section III-D
+// similarity graph (EUC / kNN / DTW / CORR, then the GDT sparsification)
+// over the most recent `window_rows` observations of the log — exactly
+// the rows a ts::SlidingBuffer of that capacity would retain — so a
+// fine-tune sees a graph matched to the data it trains on.
+//
+// Determinism: Build is a pure function of the log prefix it reads
+// (ObservationLog::Tail is deterministic, the similarity builders are
+// deterministic, kRandom is rejected), so two replicas replaying one log
+// derive bitwise-identical graphs.
+//
+// Instrumentation: online.graph.builds_total (counter) and
+// online.graph.edges_changed (gauge) — undirected edges whose presence
+// differs between consecutive builds for the same individual, the drift
+// signal an operator watches to decide how often fine-tunes are worth it.
+
+#ifndef EMAF_ONLINE_WINDOWED_GRAPH_H_
+#define EMAF_ONLINE_WINDOWED_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "graph/adjacency.h"
+#include "graph/construction.h"
+#include "online/observation_log.h"
+
+namespace emaf::online {
+
+struct WindowedGraphOptions {
+  // Rows of log tail the graph is derived from. A build needs at least
+  // `min_rows` to be meaningful (correlations over 2 rows are noise).
+  int64_t window_rows = 64;
+  int64_t min_rows = 8;
+  // Section III-D builder configuration. kRandom is rejected at Build
+  // time: a nondeterministic graph would break replica convergence.
+  graph::GraphBuildOptions build;
+  // Graph-density threshold applied after the metric (paper's GDT).
+  double keep_fraction = 1.0;
+};
+
+class WindowedGraphBuilder {
+ public:
+  explicit WindowedGraphBuilder(WindowedGraphOptions options);
+
+  // Derives the graph over the last min(window_rows, rows(id)) rows of
+  // `log` for `id`.
+  //   kInvalidArgument    — options request kRandom, or bad fraction;
+  //   kNotFound           — `id` has no rows in the log;
+  //   kFailedPrecondition — fewer than min_rows rows available.
+  Result<graph::AdjacencyMatrix> Build(const ObservationLog& log,
+                                       const std::string& id);
+
+  // Undirected edge-presence difference between the last two Build calls
+  // for `id` (-1 before the second build). Also exported as the
+  // online.graph.edges_changed gauge.
+  int64_t last_edges_changed(const std::string& id) const;
+
+  const WindowedGraphOptions& options() const { return options_; }
+
+ private:
+  WindowedGraphOptions options_;
+  // Previous build per individual, for the delta metric. Value semantics,
+  // no locking: the pipeline owns one builder.
+  std::map<std::string, graph::AdjacencyMatrix> previous_;
+  std::map<std::string, int64_t> edges_changed_;
+};
+
+// Undirected edges present in exactly one of the two graphs (symmetric
+// difference of the edge sets). Exposed for tests.
+int64_t CountEdgeChanges(const graph::AdjacencyMatrix& a,
+                         const graph::AdjacencyMatrix& b);
+
+}  // namespace emaf::online
+
+#endif  // EMAF_ONLINE_WINDOWED_GRAPH_H_

@@ -246,6 +246,36 @@ Result<HealthInfo> Client::Health() {
   }
 }
 
+Result<uint64_t> Client::Append(const std::string& tenant_id,
+                                const std::vector<double>& values) {
+  tensor::Tensor row =
+      tensor::Tensor::Zeros(tensor::Shape{static_cast<int64_t>(values.size())});
+  std::copy(values.begin(), values.end(), row.data());
+  Frame frame;
+  frame.type = FrameType::kAppend;
+  frame.request_id = next_request_id_++;
+  frame.tenant_id = tenant_id;
+  frame.payload = EncodeTensorPayload(row);
+  Status sent = SendFrame(frame);
+  if (!sent.ok()) return sent;
+  while (true) {
+    Result<Frame> reply = ReadFrame();
+    if (!reply.ok()) return reply.status();
+    if (reply.value().request_id != frame.request_id) continue;
+    if (reply.value().type == FrameType::kAppendReply) {
+      return DecodeAppendReplyPayload(reply.value().payload);
+    }
+    if (reply.value().type == FrameType::kError) {
+      Status carried = Status::Ok();
+      Status parse = DecodeStatusPayload(reply.value().payload, &carried);
+      if (!parse.ok()) return parse;
+      return carried;
+    }
+    return Status::Internal(StrCat("unexpected reply frame type ",
+                                   FrameTypeName(reply.value().type)));
+  }
+}
+
 Result<tensor::Tensor> Client::ForecastWithRetry(const std::string& tenant_id,
                                                  const tensor::Tensor& window,
                                                  uint64_t deadline_ticks) {

@@ -35,6 +35,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/protocol.h"
@@ -98,6 +99,12 @@ class Client {
   Status Ping();
   // Readiness probe; answered even by a draining server.
   Result<HealthInfo> Health();
+  // Streams one observation row into the tenant's server-side journal
+  // (kAppend); returns the sequence number the log assigned. Surfaces the
+  // server's refusal verbatim (kFailedPrecondition when ingestion is
+  // disabled, kUnavailable when draining).
+  Result<uint64_t> Append(const std::string& tenant_id,
+                          const std::vector<double>& values);
 
   // As Forecast, but retried per ClientOptions::retry: only kUnavailable
   // is retried (never kDeadlineExceeded or kInvalidArgument), with

@@ -40,6 +40,12 @@ struct StoreEntry {
   std::shared_ptr<models::Forecaster> model;
   std::shared_ptr<plan::PlanCache> plans;
   bool loading = false;
+  // Bumped by Publish/Invalidate under the shard lock. A cold load
+  // captures the value when it claims `loading` and installs nothing on
+  // mismatch: its own request is still served the bytes it loaded, but a
+  // superseded residency never enters the store — so post-swap Gets can
+  // only ever see the new snapshot.
+  uint64_t generation = 0;
 
   // Lock-free: pins are released and recency stamped without the shard
   // lock; eviction re-reads both under it.
@@ -115,7 +121,11 @@ struct ModelStore::Impl {
   };
 
   ModelStoreOptions options;
-  std::vector<std::string> ids;  // sorted
+  std::string snapshot_dir;
+  // Sorted; guarded by ids_mu — Publish can register new tenants after
+  // Open, so readers can no longer treat the vector as immutable.
+  mutable std::mutex ids_mu;
+  std::vector<std::string> ids;
   std::vector<std::unique_ptr<Shard>> shards;
   std::shared_ptr<std::atomic<uint64_t>> tick =
       std::make_shared<std::atomic<uint64_t>>(0);
@@ -128,6 +138,9 @@ struct ModelStore::Impl {
   std::atomic<uint64_t> evictions{0};
   std::atomic<uint64_t> load_failures{0};
   std::atomic<uint64_t> exhausted{0};
+  std::atomic<uint64_t> swaps{0};
+  std::atomic<uint64_t> invalidations{0};
+  std::atomic<uint64_t> max_published{0};
 
   Shard& ShardFor(const std::string& id) {
     return *shards[std::hash<std::string>{}(id) % shards.size()];
@@ -312,6 +325,28 @@ Status ReadManifest(const std::string& snapshot_dir,
   return Status::Ok();
 }
 
+// "<stem>.v<N>.<ext>" filename component -> N: the snapshot publisher
+// encodes its monotonic version in the filename, so a Publish(id, path)
+// with version 0 can recover it. 0 when no `.v<digits>` component exists;
+// the last well-formed component wins.
+uint64_t VersionFromFilename(const std::string& path) {
+  const std::string name = std::filesystem::path(path).filename().string();
+  uint64_t version = 0;
+  for (size_t pos = name.find(".v"); pos != std::string::npos;
+       pos = name.find(".v", pos + 1)) {
+    size_t i = pos + 2;
+    uint64_t value = 0;
+    bool any_digit = false;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+      any_digit = true;
+      ++i;
+    }
+    if (any_digit && (i == name.size() || name[i] == '.')) version = value;
+  }
+  return version;
+}
+
 }  // namespace
 
 Result<ModelStore> ModelStore::Open(const std::string& snapshot_dir,
@@ -336,9 +371,13 @@ Result<ModelStore> ModelStore::Open(const std::string& snapshot_dir,
     std::vector<fs::path> files;
     for (const fs::directory_entry& entry :
          fs::directory_iterator(snapshot_dir, ec)) {
-      if (entry.path().extension() == options.extension) {
-        files.push_back(entry.path());
-      }
+      if (entry.path().extension() != options.extension) continue;
+      // `<id>.v<N><ext>` files are publisher artifacts: versions of an id,
+      // not tenants named "<id>.vN". They are reached via the MANIFEST the
+      // publisher rewrites (authoritative above) or an explicit Publish —
+      // never by inventing a tenant from the listing.
+      if (VersionFromFilename(entry.path().filename().string()) > 0) continue;
+      files.push_back(entry.path());
     }
     if (ec) {
       return Status::Internal(StrCat("cannot list snapshot directory ",
@@ -359,6 +398,7 @@ Result<ModelStore> ModelStore::Open(const std::string& snapshot_dir,
   ModelStore store;
   Impl& impl = *store.impl_;
   impl.options = options;
+  impl.snapshot_dir = snapshot_dir;
   impl.options.num_shards = std::max<int64_t>(1, options.num_shards);
   impl.shards.reserve(static_cast<size_t>(impl.options.num_shards));
   for (int64_t i = 0; i < impl.options.num_shards; ++i) {
@@ -382,10 +422,12 @@ Result<ModelStore> ModelStore::Open(const std::string& snapshot_dir,
 }
 
 int64_t ModelStore::num_known_models() const {
+  std::lock_guard<std::mutex> lock(impl_->ids_mu);
   return static_cast<int64_t>(impl_->ids.size());
 }
 
 std::vector<std::string> ModelStore::individual_ids() const {
+  std::lock_guard<std::mutex> lock(impl_->ids_mu);
   return impl_->ids;
 }
 
@@ -409,6 +451,7 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
 
   Impl::Shard& shard = impl_->ShardFor(id);
   std::shared_ptr<StoreEntry> entry;
+  uint64_t load_generation = 0;
   {
     std::unique_lock<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(id);
@@ -443,6 +486,7 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
       shard.cv.wait(lock);
     }
     entry->loading = true;
+    load_generation = entry->generation;
   }
 
   // Cold path — no locks held for admission or the disk load.
@@ -496,21 +540,31 @@ Result<ModelHandle> ModelStore::Get(const std::string& id) {
   // graph buffers are not enumerable through the Module interface).
   int64_t model_bytes = 0;
   for (tensor::Tensor* t : model->Parameters()) model_bytes += t->byte_size();
+  bool installed = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    entry->model = model;
-    entry->resident_bytes = model_bytes;
-    entry->plans = plans;
     entry->loading = false;
+    if (entry->generation == load_generation) {
+      entry->model = model;
+      entry->resident_bytes = model_bytes;
+      entry->plans = plans;
+      installed = true;
+    }
+    // On a generation mismatch a Publish/Invalidate landed while the disk
+    // load ran: the bytes just loaded are already superseded, so they are
+    // handed only to this request (the handle below co-owns them) and the
+    // store stays empty for the id — the next Get cold-loads the new path.
     entry->pins.fetch_add(1, std::memory_order_relaxed);
     entry->last_used.store(impl_->NextTick(), std::memory_order_relaxed);
   }
   shard.cv.notify_all();
   impl_->cold_loads.fetch_add(1, std::memory_order_relaxed);
-  impl_->resident_models.fetch_add(1, std::memory_order_relaxed);
-  impl_->resident_bytes.fetch_add(model_bytes, std::memory_order_relaxed);
   EMAF_METRIC_COUNTER_ADD("serve.store.cold_loads_total", 1);
-  impl_->UpdateGauges();
+  if (installed) {
+    impl_->resident_models.fetch_add(1, std::memory_order_relaxed);
+    impl_->resident_bytes.fetch_add(model_bytes, std::memory_order_relaxed);
+    impl_->UpdateGauges();
+  }
   impl_->UpdateHitRate();
   if constexpr (obs::kMetricsEnabled) {
     EMAF_METRIC_HISTOGRAM_OBSERVE("serve.store.cold_load_seconds", elapsed(),
@@ -532,6 +586,149 @@ int64_t ModelStore::EvictIdle(int64_t max_to_evict) {
   return evicted;
 }
 
+Status ModelStore::Publish(const std::string& id, const std::string& path,
+                           uint64_t version) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec) || ec) {
+    return Status::NotFound(
+        StrCat("Publish(", id, "): snapshot file not found: ", path));
+  }
+  uintmax_t bytes = fs::file_size(path, ec);
+  const int64_t file_bytes = ec ? 0 : static_cast<int64_t>(bytes);
+  if (version == 0) version = VersionFromFilename(path);
+
+  Impl::Shard& shard = impl_->ShardFor(id);
+  bool added = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::shared_ptr<StoreEntry> entry;
+    auto it = shard.entries.find(id);
+    if (it == shard.entries.end()) {
+      entry = std::make_shared<StoreEntry>();
+      entry->id = id;
+      entry->shard = std::hash<std::string>{}(id) % impl_->shards.size();
+      entry->tick = impl_->tick;
+      shard.entries.emplace(id, entry);
+      added = true;
+    } else {
+      entry = it->second;
+    }
+    if (entry->model != nullptr) {
+      // Same critical section as the eviction path: the store's references
+      // to the stale residency and its PlanCache drop here; in-flight
+      // handles co-own both, so pinned requests finish on the old bytes.
+      entry->model.reset();
+      entry->plans.reset();
+      impl_->resident_models.fetch_sub(1, std::memory_order_relaxed);
+      impl_->resident_bytes.fetch_sub(entry->resident_bytes,
+                                      std::memory_order_relaxed);
+    }
+    // The old residency's size says nothing about the new snapshot's, so
+    // the estimate resets instead of leaking into swap-admission math.
+    entry->resident_bytes = 0;
+    entry->path = path;
+    entry->file_bytes = file_bytes;
+    ++entry->generation;  // a cold load in flight must not install
+  }
+  if (added) {
+    std::lock_guard<std::mutex> lock(impl_->ids_mu);
+    impl_->ids.insert(
+        std::lower_bound(impl_->ids.begin(), impl_->ids.end(), id), id);
+  }
+  impl_->swaps.fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = impl_->max_published.load(std::memory_order_relaxed);
+  while (version > prev &&
+         !impl_->max_published.compare_exchange_weak(
+             prev, version, std::memory_order_relaxed)) {
+  }
+  EMAF_METRIC_COUNTER_ADD("serve.store.swaps_total", 1);
+  EMAF_METRIC_GAUGE_SET("serve.store.published_version",
+                        static_cast<double>(impl_->max_published.load(
+                            std::memory_order_relaxed)));
+  impl_->UpdateGauges();
+  return Status::Ok();
+}
+
+bool ModelStore::Invalidate(const std::string& id) {
+  Impl::Shard& shard = impl_->ShardFor(id);
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(id);
+    if (it == shard.entries.end()) return false;
+    StoreEntry& entry = *it->second;
+    // Unconditional: a cold load in flight may already hold bytes read
+    // before whatever prompted the invalidation (e.g. an in-place snapshot
+    // rewrite), so it must not install either.
+    ++entry.generation;
+    // The snapshot file may have been rewritten to a different size; both
+    // cached figures are re-derived on the next load.
+    std::error_code ec;
+    uintmax_t bytes = std::filesystem::file_size(entry.path, ec);
+    if (!ec) entry.file_bytes = static_cast<int64_t>(bytes);
+    if (entry.model != nullptr) {
+      entry.model.reset();
+      entry.plans.reset();
+      impl_->resident_models.fetch_sub(1, std::memory_order_relaxed);
+      impl_->resident_bytes.fetch_sub(entry.resident_bytes,
+                                      std::memory_order_relaxed);
+      entry.resident_bytes = 0;
+      dropped = true;
+    }
+  }
+  if (dropped) {
+    impl_->invalidations.fetch_add(1, std::memory_order_relaxed);
+    EMAF_METRIC_COUNTER_ADD("serve.store.invalidations_total", 1);
+    impl_->UpdateGauges();
+  }
+  return dropped;
+}
+
+Status ModelStore::ReloadManifest() {
+  namespace fs = std::filesystem;
+  const fs::path manifest_path =
+      fs::path(impl_->snapshot_dir) / kManifestFilename;
+  std::error_code ec;
+  if (!fs::is_regular_file(manifest_path, ec) || ec) {
+    return Status::NotFound(
+        StrCat("manifest not found: ", manifest_path.string()));
+  }
+  // Parse and validate the whole rewrite before touching any state: a
+  // malformed line rejects the reload and the old mapping keeps serving.
+  std::vector<std::pair<std::string, std::string>> listed;
+  EMAF_RETURN_IF_ERROR(
+      ReadManifest(impl_->snapshot_dir, manifest_path, &listed));
+  std::sort(listed.begin(), listed.end());
+  for (const auto& [id, path] : listed) {
+    bool changed = true;
+    {
+      Impl::Shard& shard = impl_->ShardFor(id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.entries.find(id);
+      if (it != shard.entries.end() && it->second->path == path) {
+        changed = false;  // unchanged mapping: leave the residency alone
+      }
+    }
+    if (changed) EMAF_RETURN_IF_ERROR(Publish(id, path));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ModelStore::snapshot_path(const std::string& id) const {
+  Impl::Shard& shard = impl_->ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) {
+    return Status::NotFound(StrCat("no snapshot for individual: ", id));
+  }
+  return it->second->path;
+}
+
+uint64_t ModelStore::max_published_version() const {
+  return impl_->max_published.load(std::memory_order_relaxed);
+}
+
 ModelStore::Stats ModelStore::stats() const {
   Stats stats;
   stats.lookups = impl_->lookups.load(std::memory_order_relaxed);
@@ -540,6 +737,10 @@ ModelStore::Stats ModelStore::stats() const {
   stats.evictions = impl_->evictions.load(std::memory_order_relaxed);
   stats.load_failures = impl_->load_failures.load(std::memory_order_relaxed);
   stats.exhausted = impl_->exhausted.load(std::memory_order_relaxed);
+  stats.swaps = impl_->swaps.load(std::memory_order_relaxed);
+  stats.invalidations = impl_->invalidations.load(std::memory_order_relaxed);
+  stats.max_published_version =
+      impl_->max_published.load(std::memory_order_relaxed);
   stats.resident_models =
       impl_->resident_models.load(std::memory_order_relaxed);
   stats.resident_bytes = impl_->resident_bytes.load(std::memory_order_relaxed);

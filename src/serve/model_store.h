@@ -28,13 +28,26 @@
 // (single-flight), concurrent Get()s of different ids on different shards
 // never contend. Pin release is a lock-free atomic decrement.
 //
+// Hot swap (DESIGN.md, "Online ingestion & hot-swap"): Publish(id, path)
+// atomically retargets a tenant to a new snapshot file. Requests already
+// pinned on the old residency finish on it (their handles co-own the old
+// model), the next Get cold-loads the new file, and the store's reference
+// to the stale copy — including its PlanCache, in the same critical
+// section as the eviction path — is dropped at publish time, so no
+// request is ever dropped or served a mix of versions. Invalidate(id) is
+// the path-preserving flavor: drop the resident copy so the next Get
+// re-reads whatever bytes now live at the same path. ReloadManifest()
+// re-reads MANIFEST and applies it as adds + publishes; a malformed
+// rewrite is rejected whole, the old mapping keeps serving.
+//
 // Instrumentation: serve.store.resident_models / resident_bytes (gauges),
 // serve.store.cold_loads_total / evictions_total / load_failures_total /
-// exhausted_total (counters), serve.store.hit_rate (gauge), and the
-// cold/warm latency split as serve.store.cold_load_seconds /
-// warm_acquire_seconds histograms. Fault sites: serve.store.load/<id>
-// fails one cold load (other tenants unaffected); serve.store.evict/<id>
-// makes one victim non-evictable for that eviction pass.
+// exhausted_total / swaps_total / invalidations_total (counters),
+// serve.store.hit_rate / published_version (gauges), and the cold/warm
+// latency split as serve.store.cold_load_seconds / warm_acquire_seconds
+// histograms. Fault sites: serve.store.load/<id> fails one cold load
+// (other tenants unaffected); serve.store.evict/<id> makes one victim
+// non-evictable for that eviction pass.
 
 #ifndef EMAF_SERVE_MODEL_STORE_H_
 #define EMAF_SERVE_MODEL_STORE_H_
@@ -166,6 +179,46 @@ class ModelStore {
   // to shed memory; Get() calls the same machinery on budget pressure.
   int64_t EvictIdle(int64_t max_to_evict = -1);
 
+  // Hot-swaps `id` to the snapshot file at `path` (absolute or relative
+  // to the working directory). Under the entry's shard lock the target
+  // path is retargeted, the resident copy and its PlanCache are dropped
+  // (in-flight handles keep the old model alive and finish on it), and
+  // the stale resident-byte estimate is cleared so the swap cannot leak
+  // accounting. A cold load already in flight for the old path installs
+  // nothing (its request is still served the old bytes — never a mixed
+  // version); the next Get() cold-loads `path`. An unknown `id` is
+  // registered as a new tenant. `version` feeds the store's monotonic
+  // published-version watermark; 0 derives it from a `.v<N>` filename
+  // component when present.
+  //   kNotFound — `path` is not a readable file (the store is unchanged).
+  Status Publish(const std::string& id, const std::string& path,
+                 uint64_t version = 0);
+
+  // Drops the resident copy of `id` (if any) without changing its path,
+  // so the next Get() re-reads the snapshot file — the explicit form of
+  // what LRU eviction previously did only incidentally when a snapshot
+  // file was overwritten in place. In-flight handles keep serving the old
+  // bytes; a cold load in flight installs nothing. Returns true when a
+  // resident copy was dropped.
+  bool Invalidate(const std::string& id);
+
+  // Re-reads `snapshot_dir/MANIFEST` and applies it: new ids are added,
+  // ids whose path changed are Publish()ed (versions derived from
+  // `.v<N>` filename components). Ids missing from the rewritten file
+  // keep serving their current snapshot — the manifest only ever grows
+  // the mapping. A malformed or unreadable rewrite is rejected whole
+  // (kInvalidArgument / kNotFound naming the problem) with no state
+  // changed: the old mapping keeps serving.
+  Status ReloadManifest();
+
+  // Path of the snapshot file currently serving `id` (kNotFound for an
+  // unknown id). The online fine-tune pipeline warm-starts from this.
+  Result<std::string> snapshot_path(const std::string& id) const;
+
+  // Highest version ever Publish()ed into this store (0 = none). Surfaced
+  // in health replies so clients can detect a completed swap.
+  uint64_t max_published_version() const;
+
   struct Stats {
     uint64_t lookups = 0;        // Get() calls for known ids
     uint64_t warm_hits = 0;      // served without touching disk
@@ -173,6 +226,9 @@ class ModelStore {
     uint64_t evictions = 0;      // models dropped by LRU or EvictIdle
     uint64_t load_failures = 0;  // cold loads that errored (incl. faults)
     uint64_t exhausted = 0;      // Get() rejections with kResourceExhausted
+    uint64_t swaps = 0;          // Publish() calls that landed
+    uint64_t invalidations = 0;  // Invalidate() calls that dropped a copy
+    uint64_t max_published_version = 0;  // watermark (0 = nothing published)
     int64_t resident_models = 0;
     // In-memory parameter bytes of resident models (per load_dtype), not
     // the snapshot-file-size proxy earlier revisions reported.

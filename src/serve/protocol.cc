@@ -72,7 +72,7 @@ Status ValidatePrefix(std::string_view bytes, size_t max_frame_bytes,
   if (!IsKnownFrameType(type)) {
     return Status::InvalidArgument(StrCat(
         "unknown frame type ", static_cast<int>(type),
-        " (known types: 1=FORECAST_REQUEST .. 7=HEALTH_REPLY)"));
+        " (known types: 1=FORECAST_REQUEST .. 9=APPEND_REPLY)"));
   }
   if (bytes.size() < kFrameHeaderBytes) return Status::Ok();
   *tenant_len = ReadLe<uint16_t>(bytes.data() + 6);
@@ -119,13 +119,17 @@ const char* FrameTypeName(FrameType type) {
       return "HEALTH";
     case FrameType::kHealthReply:
       return "HEALTH_REPLY";
+    case FrameType::kAppend:
+      return "APPEND";
+    case FrameType::kAppendReply:
+      return "APPEND_REPLY";
   }
   return "UNKNOWN";
 }
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kForecastRequest) &&
-         type <= static_cast<uint8_t>(FrameType::kHealthReply);
+         type <= static_cast<uint8_t>(FrameType::kAppendReply);
 }
 
 size_t EncodedFrameBytes(const Frame& frame) {
@@ -309,8 +313,9 @@ const char* ServeStateName(ServeState state) {
 }
 
 namespace {
-// u8 state | u64 resident | u64 known | u64 queue depth.
-constexpr size_t kHealthPayloadBytes = 1 + 8 + 8 + 8;
+// u8 state | u64 resident | u64 known | u64 queue depth | u64 max
+// published version.
+constexpr size_t kHealthPayloadBytes = 1 + 8 + 8 + 8 + 8;
 }  // namespace
 
 std::string EncodeHealthPayload(const HealthInfo& info) {
@@ -320,6 +325,7 @@ std::string EncodeHealthPayload(const HealthInfo& info) {
   AppendLe<uint64_t>(&out, info.resident_models);
   AppendLe<uint64_t>(&out, info.known_models);
   AppendLe<uint64_t>(&out, info.queue_depth);
+  AppendLe<uint64_t>(&out, info.max_published_version);
   return out;
 }
 
@@ -340,7 +346,24 @@ Result<HealthInfo> DecodeHealthPayload(std::string_view payload) {
   info.resident_models = ReadLe<uint64_t>(payload.data() + 1);
   info.known_models = ReadLe<uint64_t>(payload.data() + 9);
   info.queue_depth = ReadLe<uint64_t>(payload.data() + 17);
+  info.max_published_version = ReadLe<uint64_t>(payload.data() + 25);
   return info;
+}
+
+std::string EncodeAppendReplyPayload(uint64_t sequence) {
+  std::string out;
+  out.reserve(8);
+  AppendLe<uint64_t>(&out, sequence);
+  return out;
+}
+
+Result<uint64_t> DecodeAppendReplyPayload(std::string_view payload) {
+  if (payload.size() != 8) {
+    return Status::InvalidArgument(
+        StrCat("append-reply payload is ", payload.size(),
+               " byte(s), expected the 8-byte sequence number"));
+  }
+  return ReadLe<uint64_t>(payload.data());
 }
 
 // --- FrameDecoder ----------------------------------------------------------

@@ -48,7 +48,17 @@
 //   kPing / kPong      empty
 //   kHealth            empty (a readiness probe)
 //   kHealthReply       health payload — u8 ServeState + u64 resident
-//                      models + u64 known models + u64 queue depth
+//                      models + u64 known models + u64 queue depth +
+//                      u64 max published snapshot version (0 until a
+//                      hot-swap Publish lands; lets a client detect a
+//                      completed swap without side channels)
+//   kAppend            tensor payload — one observation row [V] appended
+//                      to the tenant's streaming log (DESIGN.md, "Online
+//                      ingestion & hot-swap"); same header, same framing,
+//                      so the v2 protocol grows the streaming-ingestion
+//                      direction without a version bump
+//   kAppendReply       append-reply payload — u64 sequence number the log
+//                      assigned to the appended observation
 //
 // FrameDecoder is the incremental flavor for byte streams: feed it
 // whatever read() returned (1 byte at a time is fine) and it yields
@@ -88,6 +98,8 @@ enum class FrameType : uint8_t {
   kPong = 5,
   kHealth = 6,
   kHealthReply = 7,
+  kAppend = 8,
+  kAppendReply = 9,
 };
 
 // "FORECAST_REQUEST", ...; "UNKNOWN" for values outside the enum.
@@ -167,15 +179,26 @@ struct HealthInfo {
   uint64_t resident_models = 0;  // pinned or idle in the ModelStore
   uint64_t known_models = 0;     // registered snapshot ids
   uint64_t queue_depth = 0;      // scheduler admission queue
+  // Highest snapshot version the store has hot-swapped in via Publish
+  // (0 = nothing published since Open). Monotonic, so a client polling
+  // health can tell exactly when a fine-tuned snapshot went live.
+  uint64_t max_published_version = 0;
 
   bool operator==(const HealthInfo& other) const = default;
 };
 
-// u8 ServeState | u64 resident | u64 known | u64 queue depth.
+// u8 ServeState | u64 resident | u64 known | u64 queue depth |
+// u64 max published version.
 std::string EncodeHealthPayload(const HealthInfo& info);
 // kInvalidArgument when truncated, oversized, or carrying an unknown
 // state value; messages name the offending field.
 Result<HealthInfo> DecodeHealthPayload(std::string_view payload);
+
+// u64 sequence number assigned by the observation log — the kAppendReply
+// payload.
+std::string EncodeAppendReplyPayload(uint64_t sequence);
+// kInvalidArgument when the payload is not exactly 8 bytes.
+Result<uint64_t> DecodeAppendReplyPayload(std::string_view payload);
 
 // --- Incremental decoding --------------------------------------------------
 

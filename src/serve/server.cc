@@ -15,6 +15,7 @@
 #include <cstring>
 #include <map>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "online/observation_log.h"
 #include "tensor/arena.h"
 
 namespace emaf::serve {
@@ -64,6 +66,10 @@ struct Server::Impl {
   tensor::InferenceArena arena;
   ManualClock clock;
   std::optional<RequestScheduler> scheduler;
+  // Streaming ingestion journal; engaged only when observation_log_dir is
+  // set. The log does its own locking — appends land on the loop thread,
+  // while an in-process online pipeline may read tails from another.
+  std::optional<online::ObservationLog> observation_log;
 
   int listen_fd = -1;
   int epoll_fd = -1;
@@ -101,6 +107,8 @@ struct Server::Impl {
   std::atomic<uint64_t> requests_ok{0};
   std::atomic<uint64_t> requests_rejected{0};
   std::atomic<uint64_t> requests_failed{0};
+  std::atomic<uint64_t> appends_ok{0};
+  std::atomic<uint64_t> appends_failed{0};
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> slow_reader_drops{0};
 
@@ -283,6 +291,7 @@ struct Server::Impl {
         info.known_models =
             static_cast<uint64_t>(model_store->num_known_models());
         info.queue_depth = static_cast<uint64_t>(scheduler->queue_depth());
+        info.max_published_version = model_store->max_published_version();
         Frame reply;
         reply.type = FrameType::kHealthReply;
         reply.request_id = frame.request_id;
@@ -324,6 +333,58 @@ struct Server::Impl {
         in_flight.push_back(InFlight{std::move(ticket).value(), conn->id,
                                      frame.request_id,
                                      std::chrono::steady_clock::now()});
+        return;
+      }
+      case FrameType::kAppend: {
+        if (draining()) {
+          appends_failed.fetch_add(1, std::memory_order_relaxed);
+          SendError(conn, frame.request_id,
+                    Status::Unavailable(
+                        "draining: server is shutting down and no longer "
+                        "accepts observation appends"));
+          return;
+        }
+        if (!observation_log.has_value()) {
+          appends_failed.fetch_add(1, std::memory_order_relaxed);
+          SendError(conn, frame.request_id,
+                    Status::FailedPrecondition(
+                        "observation appends are disabled: the server was "
+                        "started without an observation_log_dir"));
+          return;
+        }
+        Result<tensor::Tensor> row = DecodeTensorPayload(frame.payload);
+        if (!row.ok()) {
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          EMAF_METRIC_COUNTER_ADD("serve.server.protocol_errors_total", 1);
+          SendError(conn, frame.request_id, row.status());
+          return;
+        }
+        if (row.value().rank() != 1) {
+          appends_failed.fetch_add(1, std::memory_order_relaxed);
+          SendError(conn, frame.request_id,
+                    Status::InvalidArgument(
+                        StrCat("kAppend payload must be one observation row "
+                               "[V], got rank ",
+                               row.value().rank())));
+          return;
+        }
+        Result<uint64_t> seq = observation_log->Append(
+            frame.tenant_id,
+            std::span<const double>(row.value().data(),
+                                    static_cast<size_t>(row.value().dim(0))));
+        if (!seq.ok()) {
+          appends_failed.fetch_add(1, std::memory_order_relaxed);
+          EMAF_METRIC_COUNTER_ADD("serve.server.appends_failed_total", 1);
+          SendError(conn, frame.request_id, seq.status());
+          return;
+        }
+        appends_ok.fetch_add(1, std::memory_order_relaxed);
+        EMAF_METRIC_COUNTER_ADD("serve.server.appends_total", 1);
+        Frame reply;
+        reply.type = FrameType::kAppendReply;
+        reply.request_id = frame.request_id;
+        reply.payload = EncodeAppendReplyPayload(seq.value());
+        SendFrame(conn, reply);
         return;
       }
       default: {
@@ -562,6 +623,12 @@ Result<Server> Server::Start(const std::string& snapshot_dir,
   impl.model_store.emplace(std::move(store).value());
   impl.scheduler.emplace(&*impl.model_store, &impl.arena, options.scheduler,
                          &impl.clock);
+  if (!options.observation_log_dir.empty()) {
+    Result<online::ObservationLog> log =
+        online::ObservationLog::Open(options.observation_log_dir);
+    if (!log.ok()) return log.status();
+    impl.observation_log.emplace(std::move(log).value());
+  }
 
   impl.listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (impl.listen_fd < 0) return Errno("socket");
@@ -651,6 +718,8 @@ Server::Stats Server::stats() const {
       impl.requests_rejected.load(std::memory_order_relaxed);
   stats.requests_failed =
       impl.requests_failed.load(std::memory_order_relaxed);
+  stats.appends_ok = impl.appends_ok.load(std::memory_order_relaxed);
+  stats.appends_failed = impl.appends_failed.load(std::memory_order_relaxed);
   stats.protocol_errors =
       impl.protocol_errors.load(std::memory_order_relaxed);
   stats.slow_reader_drops =
@@ -669,6 +738,11 @@ ModelStore& Server::store() { return *impl_->model_store; }
 
 RequestScheduler::Stats Server::scheduler_stats() const {
   return impl_->scheduler->stats();
+}
+
+online::ObservationLog* Server::observation_log() {
+  return impl_->observation_log.has_value() ? &*impl_->observation_log
+                                            : nullptr;
 }
 
 }  // namespace emaf::serve

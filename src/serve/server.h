@@ -51,6 +51,10 @@
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 
+namespace emaf::online {
+class ObservationLog;
+}  // namespace emaf::online
+
 namespace emaf::serve {
 
 struct ServerOptions {
@@ -86,6 +90,11 @@ struct ServerOptions {
   // their buffered replies (the best-effort flush). A peer that never
   // reads cannot stall shutdown beyond poll_timeout_ms * this.
   int64_t drain_linger_turns = 2000;
+  // Directory for the per-tenant streaming observation journals
+  // (online/observation_log.h), enabling kAppend frames. Empty (the
+  // default) refuses appends with kFailedPrecondition — forecast-only
+  // deployments carry no ingestion surface.
+  std::string observation_log_dir;
 };
 
 class Server {
@@ -131,6 +140,8 @@ class Server {
     uint64_t requests_ok = 0;        // forecast responses served
     uint64_t requests_rejected = 0;  // kUnavailable backpressure replies
     uint64_t requests_failed = 0;    // per-request errors (store, forecast)
+    uint64_t appends_ok = 0;         // observation rows journaled
+    uint64_t appends_failed = 0;     // kAppend frames refused or errored
     uint64_t protocol_errors = 0;    // malformed frames / streams
     uint64_t slow_reader_drops = 0;  // write backlog over the ceiling
     int64_t active_connections = 0;
@@ -141,6 +152,9 @@ class Server {
   // — for tests and operators; both outlive any request.
   ModelStore& store();
   RequestScheduler::Stats scheduler_stats() const;
+  // The streaming observation journal; nullptr unless observation_log_dir
+  // was set. An in-process online pipeline shares it with the wire path.
+  online::ObservationLog* observation_log();
 
  private:
   Server();

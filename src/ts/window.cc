@@ -46,6 +46,42 @@ WindowDataset BuildWindows(const Tensor& data, int64_t input_length,
   return out;
 }
 
+SlidingBuffer::SlidingBuffer(int64_t capacity, int64_t num_variables)
+    : capacity_(capacity), num_variables_(num_variables) {
+  EMAF_CHECK_GE(capacity, 1);
+  EMAF_CHECK_GE(num_variables, 1);
+  rows_.resize(static_cast<size_t>(capacity * num_variables));
+}
+
+void SlidingBuffer::Push(std::span<const double> row) {
+  EMAF_CHECK_EQ(static_cast<int64_t>(row.size()), num_variables_)
+      << "SlidingBuffer::Push row width mismatch";
+  double* slot = rows_.data() + head_ * num_variables_;
+  for (int64_t v = 0; v < num_variables_; ++v) {
+    slot[v] = row[static_cast<size_t>(v)];
+  }
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+  ++total_pushed_;
+}
+
+Tensor SlidingBuffer::ToTensor() const {
+  EMAF_CHECK_GT(size_, 0) << "SlidingBuffer::ToTensor on an empty buffer";
+  Tensor out = Tensor::Zeros(Shape{size_, num_variables_});
+  double* dst = out.data();
+  // Oldest retained row: once the ring wrapped, it sits at head_ (the slot
+  // the next push will reclaim); before that, at slot 0.
+  int64_t oldest = size_ == capacity_ ? head_ : 0;
+  for (int64_t r = 0; r < size_; ++r) {
+    const double* src =
+        rows_.data() + ((oldest + r) % capacity_) * num_variables_;
+    for (int64_t v = 0; v < num_variables_; ++v) {
+      dst[r * num_variables_ + v] = src[v];
+    }
+  }
+  return out;
+}
+
 int64_t SequentialSplitIndex(int64_t num_rows, double train_fraction) {
   EMAF_CHECK_GT(num_rows, 0);
   EMAF_CHECK_GT(train_fraction, 0.0);

@@ -3,11 +3,21 @@
 // Given an individual's [T, V] matrix and an input length L, windows pair
 // inputs X_{t-L..t-1} (all V variables) with the 1-lag target X_t — the
 // forecasting problem of Section III-B.
+//
+// SlidingBuffer is the streaming counterpart: a fixed-capacity ring over
+// the most recent rows of an unbounded observation stream, materializable
+// as a [min(pushed, capacity), V] tensor in arrival order. The online
+// subsystem (DESIGN.md, "Online ingestion & hot-swap") windows the
+// observation log through it, so graph rebuilds and warm-start fine-tunes
+// see exactly the last R observations — deterministically, since the
+// materialized tensor is a pure function of the pushed row sequence.
 
 #ifndef EMAF_TS_WINDOW_H_
 #define EMAF_TS_WINDOW_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -30,6 +40,39 @@ WindowDataset BuildWindows(const tensor::Tensor& data, int64_t input_length,
 // Sequential split: the first `train_fraction` of rows train, the rest test
 // (paper: 70/30). Returns the first test row index.
 int64_t SequentialSplitIndex(int64_t num_rows, double train_fraction);
+
+// Fixed-capacity ring buffer over the most recent rows of a [*, V]
+// observation stream. Push overwrites the oldest row once `capacity` rows
+// are held; ToTensor materializes the retained rows oldest-first, so the
+// result is exactly what BuildWindows would see over the stream's last
+// min(total_pushed, capacity) rows. Value semantics, no locking: the
+// online pipeline owns one buffer per individual.
+class SlidingBuffer {
+ public:
+  SlidingBuffer(int64_t capacity, int64_t num_variables);
+
+  int64_t capacity() const { return capacity_; }
+  int64_t num_variables() const { return num_variables_; }
+  // Rows currently retained (<= capacity).
+  int64_t size() const { return size_; }
+  // Rows pushed over the buffer's lifetime (>= size()).
+  int64_t total_pushed() const { return total_pushed_; }
+
+  // Appends one row; `row.size()` must equal num_variables().
+  void Push(std::span<const double> row);
+
+  // The retained rows as a [size(), V] tensor, oldest first. Checked
+  // failure when empty (a zero-row tensor has no meaningful shape here).
+  tensor::Tensor ToTensor() const;
+
+ private:
+  int64_t capacity_;
+  int64_t num_variables_;
+  int64_t size_ = 0;
+  int64_t head_ = 0;  // slot the next Push writes
+  int64_t total_pushed_ = 0;
+  std::vector<double> rows_;  // row-major [capacity, V] ring storage
+};
 
 }  // namespace emaf::ts
 

@@ -1,0 +1,183 @@
+// WindowedGraphBuilder suite (ctest labels: online, fast). Pins the
+// determinism contract (same log prefix -> bitwise-identical adjacency,
+// across metrics and across a reopened log), the edges_changed drift
+// metric, the GDT keep_fraction hook, and the refusal codes (kRandom,
+// bad fraction, unknown id, below min_rows).
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/construction.h"
+#include "online/observation_log.h"
+#include "online/windowed_graph.h"
+
+namespace emaf::online {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// A smooth multivariate signal whose inter-variable structure drifts
+// with time, so later windows derive different graphs.
+std::vector<double> Row(int64_t t, int64_t width) {
+  std::vector<double> row(width);
+  for (int64_t v = 0; v < width; ++v) {
+    const double phase = 0.3 * static_cast<double>(t) +
+                         0.05 * static_cast<double>(t) * static_cast<double>(v);
+    row[static_cast<size_t>(v)] =
+        std::sin(phase) + 0.25 * static_cast<double>(v);
+  }
+  return row;
+}
+
+void Fill(ObservationLog& log, const std::string& id, int64_t rows,
+          int64_t width) {
+  for (int64_t t = 0; t < rows; ++t) {
+    ASSERT_TRUE(log.Append(id, Row(t, width)).ok());
+  }
+}
+
+WindowedGraphOptions Options(graph::GraphMetric metric) {
+  WindowedGraphOptions options;
+  options.window_rows = 16;
+  options.min_rows = 8;
+  options.build.metric = metric;
+  options.build.knn_k = 2;
+  return options;
+}
+
+TEST(WindowedGraphTest, SameLogPrefixSameGraphAcrossMetrics) {
+  const std::string dir_a = FreshDir("wgraph_det_a");
+  const std::string dir_b = FreshDir("wgraph_det_b");
+  Result<ObservationLog> a = ObservationLog::Open(dir_a);
+  Result<ObservationLog> b = ObservationLog::Open(dir_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Fill(a.value(), "p01", 20, 4);
+  Fill(b.value(), "p01", 20, 4);
+  for (graph::GraphMetric metric :
+       {graph::GraphMetric::kEuclidean, graph::GraphMetric::kKnn,
+        graph::GraphMetric::kDtw, graph::GraphMetric::kCorrelation}) {
+    WindowedGraphBuilder first(Options(metric));
+    WindowedGraphBuilder second(Options(metric));
+    Result<graph::AdjacencyMatrix> ga = first.Build(a.value(), "p01");
+    Result<graph::AdjacencyMatrix> gb = second.Build(b.value(), "p01");
+    ASSERT_TRUE(ga.ok()) << ga.status().ToString();
+    ASSERT_TRUE(gb.ok()) << gb.status().ToString();
+    EXPECT_TRUE(ga.value() == gb.value())
+        << "metric " << graph::GraphMetricName(metric);
+  }
+}
+
+TEST(WindowedGraphTest, SurvivesLogReopen) {
+  const std::string dir = FreshDir("wgraph_reopen");
+  {
+    Result<ObservationLog> log = ObservationLog::Open(dir);
+    ASSERT_TRUE(log.ok());
+    Fill(log.value(), "p02", 12, 3);
+  }
+  Result<ObservationLog> before = ObservationLog::Open(dir);
+  ASSERT_TRUE(before.ok());
+  WindowedGraphBuilder builder(Options(graph::GraphMetric::kCorrelation));
+  Result<graph::AdjacencyMatrix> g1 = builder.Build(before.value(), "p02");
+  ASSERT_TRUE(g1.ok());
+  Result<ObservationLog> after = ObservationLog::Open(dir);
+  ASSERT_TRUE(after.ok());
+  WindowedGraphBuilder rebuilt(Options(graph::GraphMetric::kCorrelation));
+  Result<graph::AdjacencyMatrix> g2 = rebuilt.Build(after.value(), "p02");
+  ASSERT_TRUE(g2.ok());
+  EXPECT_TRUE(g1.value() == g2.value());
+}
+
+TEST(WindowedGraphTest, TracksEdgeChangesBetweenBuilds) {
+  const std::string dir = FreshDir("wgraph_drift");
+  Result<ObservationLog> log = ObservationLog::Open(dir);
+  ASSERT_TRUE(log.ok());
+  Fill(log.value(), "p03", 16, 4);
+  WindowedGraphOptions options = Options(graph::GraphMetric::kKnn);
+  WindowedGraphBuilder builder(options);
+  EXPECT_EQ(builder.last_edges_changed("p03"), -1);
+  ASSERT_TRUE(builder.Build(log.value(), "p03").ok());
+  EXPECT_EQ(builder.last_edges_changed("p03"), -1);  // needs two builds
+  // Identical window again: zero drift.
+  ASSERT_TRUE(builder.Build(log.value(), "p03").ok());
+  EXPECT_EQ(builder.last_edges_changed("p03"), 0);
+  // Push the window forward; the drifting signal changes the kNN graph.
+  Fill(log.value(), "p03", 16, 4);
+  Result<graph::AdjacencyMatrix> g2 = builder.Build(log.value(), "p03");
+  ASSERT_TRUE(g2.ok());
+  EXPECT_GE(builder.last_edges_changed("p03"), 0);
+}
+
+TEST(WindowedGraphTest, CountEdgeChangesIsSymmetricDifference) {
+  graph::AdjacencyMatrix a(3);
+  graph::AdjacencyMatrix b(3);
+  a.set(0, 1, 0.5);
+  a.set(1, 2, 0.5);  // a: {01, 12}
+  b.set(0, 1, 0.9);
+  b.set(0, 2, 0.9);  // b: {01, 02}
+  EXPECT_EQ(CountEdgeChanges(a, b), 2);  // 12 gone, 02 new
+  EXPECT_EQ(CountEdgeChanges(a, a), 0);
+  graph::AdjacencyMatrix wider(4);
+  wider.set(0, 1, 1.0);
+  EXPECT_EQ(CountEdgeChanges(a, wider), 3);  // incomparable: sum of both
+}
+
+TEST(WindowedGraphTest, AppliesKeepFraction) {
+  const std::string dir = FreshDir("wgraph_gdt");
+  Result<ObservationLog> log = ObservationLog::Open(dir);
+  ASSERT_TRUE(log.ok());
+  Fill(log.value(), "p04", 16, 5);
+  WindowedGraphOptions dense = Options(graph::GraphMetric::kEuclidean);
+  WindowedGraphOptions sparse = dense;
+  sparse.keep_fraction = 0.4;
+  WindowedGraphBuilder dense_builder(dense);
+  WindowedGraphBuilder sparse_builder(sparse);
+  Result<graph::AdjacencyMatrix> full = dense_builder.Build(log.value(), "p04");
+  Result<graph::AdjacencyMatrix> cut = sparse_builder.Build(log.value(), "p04");
+  ASSERT_TRUE(full.ok() && cut.ok());
+  EXPECT_LT(cut.value().NumUndirectedEdges(), full.value().NumUndirectedEdges());
+  EXPECT_TRUE(cut.value() ==
+              graph::KeepTopFraction(full.value(), sparse.keep_fraction));
+}
+
+TEST(WindowedGraphTest, RefusalCodes) {
+  const std::string dir = FreshDir("wgraph_refuse");
+  Result<ObservationLog> log = ObservationLog::Open(dir);
+  ASSERT_TRUE(log.ok());
+  Fill(log.value(), "p05", 5, 3);  // below min_rows = 8
+
+  WindowedGraphBuilder builder(Options(graph::GraphMetric::kCorrelation));
+  EXPECT_EQ(builder.Build(log.value(), "ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(builder.Build(log.value(), "p05").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  WindowedGraphBuilder random(Options(graph::GraphMetric::kRandom));
+  EXPECT_EQ(random.Build(log.value(), "p05").status().code(),
+            StatusCode::kInvalidArgument);
+
+  WindowedGraphOptions bad = Options(graph::GraphMetric::kCorrelation);
+  bad.keep_fraction = 0.0;
+  WindowedGraphBuilder bad_fraction(bad);
+  EXPECT_EQ(bad_fraction.Build(log.value(), "p05").status().code(),
+            StatusCode::kInvalidArgument);
+
+  WindowedGraphOptions shallow = Options(graph::GraphMetric::kCorrelation);
+  shallow.window_rows = 4;  // < min_rows
+  WindowedGraphBuilder bad_window(shallow);
+  EXPECT_EQ(bad_window.Build(log.value(), "p05").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace emaf::online

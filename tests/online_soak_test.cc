@@ -1,0 +1,244 @@
+// Swap-under-load soak (ctest labels: online, soak, tsan, fast): client
+// threads pipeline forecasts against a live loopback server while
+// ModelStore::Publish retargets the tenant mid-traffic. The zero-downtime
+// invariant, checked for 1/2/8 threads:
+//
+//   - every reply is bitwise identical to exactly ONE of {old, new}
+//     ground truth — never a mix, never anything else;
+//   - every request id gets exactly one reply — none dropped, none
+//     duplicated (each client's pending set catches both);
+//   - traffic genuinely straddles the swap: every thread completes
+//     bursts both before and after Publish, so old- and new-version
+//     replies are both observed;
+//   - after quiescing, the store serves the new bytes, the health probe
+//     reports the published version, and EvictIdle drains residency to
+//     zero — no request leaked a pin across the swap.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/evaluator.h"
+#include "models/registry.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+#include "tensor/tensor.h"
+
+namespace emaf::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kTenant[] = "s0";
+
+// Saves a distinct tiny snapshot as `dir/filename` and returns its
+// ground-truth prediction bytes for TinyWindow().
+std::vector<double> SaveDistinctSnapshot(const std::string& dir,
+                                         const std::string& filename,
+                                         uint64_t seed) {
+  models::ModelConfig config = testutil::TinyLstmConfig();
+  Rng rng(seed);
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(config, &rng);
+  Status saved = models::SaveForecasterSnapshot(model.get(), config,
+                                                dir + "/" + filename);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  return core::Predict(model.get(), testutil::TinyWindow()).ToVector();
+}
+
+class OnlineSoakTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(::testing::TempDir() + "/online_soak_snapshots");
+    expected_old_ = new std::vector<double>(
+        testutil::MakeTinySnapshotDir(*dir_, {kTenant}).at(kTenant));
+    expected_new_ = new std::vector<double>(
+        SaveDistinctSnapshot(*dir_, StrCat(kTenant, ".v1.snapshot"), 4242));
+    window_ = new tensor::Tensor(testutil::TinyWindow());
+    ASSERT_NE(*expected_old_, *expected_new_);
+  }
+  static void TearDownTestSuite() {
+    fs::remove_all(*dir_);
+    delete window_;
+    window_ = nullptr;
+    delete expected_new_;
+    expected_new_ = nullptr;
+    delete expected_old_;
+    expected_old_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  // One swap-under-load round at `num_threads` pipelining clients.
+  void RunRound(int num_threads) {
+    SCOPED_TRACE(StrCat(num_threads, " threads"));
+    Result<Server> started = Server::Start(*dir_);
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    Server server = std::move(started).value();
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> published{false};
+    std::atomic<int64_t> failures{0};
+    std::vector<std::atomic<int64_t>> bursts_before(
+        static_cast<size_t>(num_threads));
+    std::vector<std::atomic<int64_t>> bursts_after(
+        static_cast<size_t>(num_threads));
+    std::atomic<uint64_t> old_replies{0};
+    std::atomic<uint64_t> new_replies{0};
+    std::atomic<uint64_t> total_replies{0};
+
+    auto worker = [&](int index) {
+      ClientOptions options;
+      options.recv_timeout_ms = 10000;  // a hang fails the soak
+      Result<Client> connected = Client::Connect(server.port(), options);
+      if (!connected.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Client client = std::move(connected).value();
+      constexpr int64_t kBurst = 4;
+      for (int64_t burst = 0; burst < 100000; ++burst) {
+        if (stop.load(std::memory_order_acquire)) break;
+        const bool after = published.load(std::memory_order_acquire);
+        // Pipeline a burst, then match every reply by id: a duplicate or
+        // unknown id, a dropped reply (timeout), or foreign bytes all
+        // count as failures.
+        std::set<uint64_t> pending;
+        for (int64_t i = 0; i < kBurst; ++i) {
+          Result<uint64_t> id = client.SendForecastRequest(kTenant, *window_);
+          if (!id.ok() || !pending.insert(id.value()).second) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+        while (!pending.empty()) {
+          Result<Frame> reply = client.ReadFrame();
+          if (!reply.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          if (pending.erase(reply.value().request_id) != 1 ||
+              reply.value().type != FrameType::kForecastResponse) {
+            failures.fetch_add(1);
+            return;
+          }
+          Result<tensor::Tensor> forecast =
+              DecodeTensorPayload(reply.value().payload);
+          if (!forecast.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          const std::vector<double> bytes = forecast.value().ToVector();
+          total_replies.fetch_add(1);
+          if (bytes == *expected_old_) {
+            old_replies.fetch_add(1);
+          } else if (bytes == *expected_new_) {
+            new_replies.fetch_add(1);
+          } else {
+            failures.fetch_add(1);  // mixed or foreign version
+            return;
+          }
+        }
+        if (after) {
+          bursts_after[static_cast<size_t>(index)].fetch_add(1);
+        } else {
+          bursts_before[static_cast<size_t>(index)].fetch_add(1);
+        }
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+
+    auto all_at_least = [&](std::vector<std::atomic<int64_t>>& counts,
+                            int64_t floor) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(20);
+      while (std::chrono::steady_clock::now() < deadline) {
+        bool all = true;
+        for (auto& count : counts) {
+          if (count.load() < floor) all = false;
+        }
+        if (all || failures.load() > 0) return all;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return false;
+    };
+
+    // Every thread serves old-version traffic first, then the swap lands
+    // mid-stream, then every thread serves new-version traffic.
+    EXPECT_TRUE(all_at_least(bursts_before, 2)) << "pre-swap traffic stalled";
+    ASSERT_TRUE(
+        server.store().Publish(kTenant, *dir_ + "/s0.v1.snapshot").ok());
+    published.store(true, std::memory_order_release);
+    EXPECT_TRUE(all_at_least(bursts_after, 2)) << "post-swap traffic stalled";
+    stop.store(true, std::memory_order_release);
+    for (std::thread& thread : threads) thread.join();
+
+    EXPECT_EQ(failures.load(), 0)
+        << "a reply was dropped, duplicated, or not bitwise one version";
+    EXPECT_GT(old_replies.load(), 0u);
+    EXPECT_GT(new_replies.load(), 0u);
+    EXPECT_EQ(total_replies.load(), old_replies.load() + new_replies.load());
+
+    // Quiesced: the server now serves exactly the new bytes, the health
+    // probe carries the published version, and nothing leaked a pin.
+    Result<Client> checker = Client::Connect(server.port());
+    ASSERT_TRUE(checker.ok());
+    Result<tensor::Tensor> final_forecast =
+        checker.value().Forecast(kTenant, *window_);
+    ASSERT_TRUE(final_forecast.ok()) << final_forecast.status().ToString();
+    EXPECT_EQ(final_forecast.value().ToVector(), *expected_new_);
+    Result<HealthInfo> health = checker.value().Health();
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    EXPECT_EQ(health.value().max_published_version, 1u);
+    EXPECT_EQ(server.store().stats().swaps, 1u);
+    const auto evict_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    int64_t resident = -1;
+    while (true) {
+      server.store().EvictIdle(-1);
+      resident = server.store().stats().resident_models;
+      if (resident == 0 || std::chrono::steady_clock::now() >= evict_deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(resident, 0) << "a pin leaked across the swap";
+    server.Stop();
+  }
+
+  static std::string* dir_;
+  static std::vector<double>* expected_old_;
+  static std::vector<double>* expected_new_;
+  static tensor::Tensor* window_;
+};
+
+std::string* OnlineSoakTest::dir_ = nullptr;
+std::vector<double>* OnlineSoakTest::expected_old_ = nullptr;
+std::vector<double>* OnlineSoakTest::expected_new_ = nullptr;
+tensor::Tensor* OnlineSoakTest::window_ = nullptr;
+
+TEST_F(OnlineSoakTest, SwapUnderLoadServesExactlyOneVersionPerReply) {
+  for (int num_threads : {1, 2, 8}) {
+    RunRound(num_threads);
+    if (HasFatalFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace emaf::serve

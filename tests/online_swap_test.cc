@@ -1,0 +1,376 @@
+// Hot-swap suite (ctest labels: online, fast, fault, tsan). Pins the
+// ModelStore::Publish/Invalidate/ReloadManifest contracts — retargeting
+// serves the new file's exact bytes, in-flight handles finish on the old
+// version, the resident-byte accounting survives a swap without leaking,
+// the version watermark is monotonic (filename-derived or explicit), a
+// malformed MANIFEST rewrite is rejected whole — the publish fault site
+// (old version keeps serving), the full OnlinePipeline loop (append ->
+// fine-tune -> publish -> swap == cold engine on the new snapshot), and a
+// threaded Get-vs-Publish hammer for tsan.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "models/registry.h"
+#include "online/observation_log.h"
+#include "online/pipeline.h"
+#include "online/publisher.h"
+#include "serve/model_store.h"
+#include "serve_test_util.h"
+#include "tensor/tensor.h"
+
+namespace emaf {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::ModelHandle;
+using serve::ModelStore;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Saves a distinct tiny snapshot as `dir/filename` and returns the
+// prediction bytes it must serve for TinyWindow().
+std::vector<double> SaveDistinctSnapshot(const std::string& dir,
+                                         const std::string& filename,
+                                         uint64_t seed) {
+  models::ModelConfig config = serve::testutil::TinyLstmConfig();
+  Rng rng(seed);
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(config, &rng);
+  Status saved = models::SaveForecasterSnapshot(model.get(), config,
+                                                dir + "/" + filename);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  return core::Predict(model.get(), serve::testutil::TinyWindow()).ToVector();
+}
+
+std::vector<double> Served(ModelStore& store, const std::string& id) {
+  Result<ModelHandle> handle = store.Get(id);
+  EXPECT_TRUE(handle.ok()) << handle.status().ToString();
+  if (!handle.ok()) return {};
+  return core::Predict(handle.value().get(), serve::testutil::TinyWindow())
+      .ToVector();
+}
+
+TEST(HotSwapTest, PublishRetargetsToNewBytes) {
+  const std::string dir = FreshDir("swap_basic");
+  auto expected = serve::testutil::MakeTinySnapshotDir(dir, {"i1", "i2"});
+  const std::vector<double> fresh =
+      SaveDistinctSnapshot(dir, "i1.v1.snapshot", 4242);
+  ASSERT_NE(fresh, expected["i1"]);
+
+  Result<ModelStore> opened = ModelStore::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ModelStore& store = opened.value();
+  EXPECT_EQ(Served(store, "i1"), expected["i1"]);
+  EXPECT_EQ(store.max_published_version(), 0u);
+
+  ASSERT_TRUE(store.Publish("i1", dir + "/i1.v1.snapshot").ok());
+  EXPECT_EQ(Served(store, "i1"), fresh);
+  EXPECT_EQ(Served(store, "i2"), expected["i2"]);  // other tenants untouched
+  EXPECT_EQ(store.max_published_version(), 1u);  // derived from `.v1`
+  EXPECT_EQ(store.snapshot_path("i1").value(), dir + "/i1.v1.snapshot");
+  EXPECT_EQ(store.stats().swaps, 1u);
+}
+
+TEST(HotSwapTest, InFlightHandleFinishesOnOldVersion) {
+  const std::string dir = FreshDir("swap_inflight");
+  auto expected = serve::testutil::MakeTinySnapshotDir(dir, {"i1"});
+  const std::vector<double> fresh =
+      SaveDistinctSnapshot(dir, "i1.v1.snapshot", 4242);
+
+  Result<ModelStore> opened = ModelStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  ModelStore& store = opened.value();
+  Result<ModelHandle> pinned = store.Get("i1");
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(store.Publish("i1", dir + "/i1.v1.snapshot").ok());
+  // The pinned request still sees the old model, bit for bit.
+  EXPECT_EQ(core::Predict(pinned.value().get(), serve::testutil::TinyWindow())
+                .ToVector(),
+            expected["i1"]);
+  // A new request cold-loads the new version while the pin is alive.
+  EXPECT_EQ(Served(store, "i1"), fresh);
+}
+
+TEST(HotSwapTest, ResidentBytesDoNotLeakAcrossSwap) {
+  const std::string dir = FreshDir("swap_bytes");
+  serve::testutil::MakeTinySnapshotDir(dir, {"i1"});
+  SaveDistinctSnapshot(dir, "i1.v1.snapshot", 4242);
+
+  Result<ModelStore> swapped = ModelStore::Open(dir);
+  ASSERT_TRUE(swapped.ok());
+  Served(swapped.value(), "i1");  // old version resident
+  ASSERT_TRUE(swapped.value().Publish("i1", dir + "/i1.v1.snapshot").ok());
+  Served(swapped.value(), "i1");  // new version resident
+
+  // A store that only ever loaded the new version is the no-leak
+  // reference: identical residency, identical accounting.
+  Result<ModelStore> reference = ModelStore::Open(dir);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(reference.value().Publish("i1", dir + "/i1.v1.snapshot").ok());
+  Served(reference.value(), "i1");
+
+  EXPECT_EQ(swapped.value().stats().resident_models,
+            reference.value().stats().resident_models);
+  EXPECT_EQ(swapped.value().stats().resident_bytes,
+            reference.value().stats().resident_bytes);
+  EXPECT_GT(swapped.value().stats().resident_bytes, 0);
+}
+
+TEST(HotSwapTest, PublishRegistersUnknownTenantAndRejectsBadPath) {
+  const std::string dir = FreshDir("swap_register");
+  serve::testutil::MakeTinySnapshotDir(dir, {"i1"});
+  const std::vector<double> fresh =
+      SaveDistinctSnapshot(dir, "newbie.v3.snapshot", 77);
+
+  Result<ModelStore> opened = ModelStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  ModelStore& store = opened.value();
+  EXPECT_EQ(store.Get("newbie").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.Publish("newbie", dir + "/newbie.v3.snapshot").ok());
+  EXPECT_EQ(Served(store, "newbie"), fresh);
+  EXPECT_EQ(store.num_known_models(), 2);
+  EXPECT_EQ(store.max_published_version(), 3u);
+
+  // A missing file is rejected and the store is unchanged.
+  EXPECT_EQ(store.Publish("i1", dir + "/nope.snapshot").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.snapshot_path("i1").value(), dir + "/i1.snapshot");
+}
+
+TEST(HotSwapTest, VersionWatermarkIsMonotonic) {
+  const std::string dir = FreshDir("swap_watermark");
+  serve::testutil::MakeTinySnapshotDir(dir, {"i1"});
+  SaveDistinctSnapshot(dir, "i1.v2.snapshot", 1);
+  SaveDistinctSnapshot(dir, "plain.snapshot", 2);
+
+  Result<ModelStore> opened = ModelStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  ModelStore& store = opened.value();
+  ASSERT_TRUE(store.Publish("i1", dir + "/i1.v2.snapshot").ok());
+  EXPECT_EQ(store.max_published_version(), 2u);
+  // Explicit version overrides the filename.
+  ASSERT_TRUE(store.Publish("i1", dir + "/plain.snapshot", 9).ok());
+  EXPECT_EQ(store.max_published_version(), 9u);
+  // A later lower publish never regresses the watermark.
+  ASSERT_TRUE(store.Publish("i1", dir + "/i1.v2.snapshot").ok());
+  EXPECT_EQ(store.max_published_version(), 9u);
+  EXPECT_EQ(store.stats().max_published_version, 9u);
+}
+
+TEST(HotSwapTest, InvalidateDropsResidencyOnly) {
+  const std::string dir = FreshDir("swap_invalidate");
+  auto expected = serve::testutil::MakeTinySnapshotDir(dir, {"i1"});
+  Result<ModelStore> opened = ModelStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  ModelStore& store = opened.value();
+  EXPECT_FALSE(store.Invalidate("i1"));  // nothing resident yet
+  EXPECT_FALSE(store.Invalidate("ghost"));
+  Served(store, "i1");
+  ASSERT_TRUE(store.resident("i1"));
+  EXPECT_TRUE(store.Invalidate("i1"));
+  EXPECT_FALSE(store.resident("i1"));
+  EXPECT_EQ(store.stats().invalidations, 1u);
+  // Overwrite the file in place: the next Get must re-read it.
+  const std::vector<double> fresh = SaveDistinctSnapshot(dir, "i1.snapshot", 5);
+  EXPECT_TRUE(store.Invalidate("i1") || !store.resident("i1"));
+  EXPECT_EQ(Served(store, "i1"), fresh);
+  EXPECT_NE(fresh, expected["i1"]);
+}
+
+TEST(HotSwapTest, ReloadManifestGrowsAndRejectsMalformedWhole) {
+  const std::string dir = FreshDir("swap_manifest");
+  auto expected = serve::testutil::MakeTinySnapshotDir(dir, {"i1", "i2"});
+  const std::vector<double> fresh =
+      SaveDistinctSnapshot(dir, "i1.v2.snapshot", 4242);
+
+  Result<ModelStore> opened = ModelStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  ModelStore& store = opened.value();
+  // No MANIFEST on disk yet.
+  EXPECT_EQ(store.ReloadManifest().code(), StatusCode::kNotFound);
+
+  // Rewrite 1: alias a new tenant onto i2's file and bump i1 to v2.
+  std::ofstream(dir + "/MANIFEST")
+      << "# rewritten\n"
+      << "i1\ti1.v2.snapshot\n"
+      << "i2\ti2.snapshot\n"
+      << "i3\ti2.snapshot\n";
+  ASSERT_TRUE(store.ReloadManifest().ok());
+  EXPECT_EQ(Served(store, "i1"), fresh);
+  EXPECT_EQ(Served(store, "i3"), expected["i2"]);
+  EXPECT_EQ(store.max_published_version(), 2u);
+
+  // Rewrite 2: malformed (missing file) — rejected whole, nothing moves.
+  std::ofstream(dir + "/MANIFEST") << "i1\tmissing.snapshot\n";
+  Status rejected = store.ReloadManifest();
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Served(store, "i1"), fresh);
+  EXPECT_EQ(store.snapshot_path("i1").value(), dir + "/i1.v2.snapshot");
+
+  // Ids missing from a rewrite keep serving (the mapping only grows).
+  std::ofstream(dir + "/MANIFEST") << "i2\ti2.snapshot\n";
+  ASSERT_TRUE(store.ReloadManifest().ok());
+  EXPECT_EQ(Served(store, "i1"), fresh);
+}
+
+TEST(HotSwapTest, PublishFaultLeavesOldVersionServing) {
+  if (!fault::kFaultInjectionEnabled) GTEST_SKIP();
+  const std::string dir = FreshDir("swap_pubfault");
+  const std::string logdir = FreshDir("swap_pubfault_log");
+  auto expected = serve::testutil::MakeTinySnapshotDir(dir, {"i1"});
+
+  Result<ModelStore> store = ModelStore::Open(dir);
+  Result<online::ObservationLog> log = online::ObservationLog::Open(logdir);
+  Result<online::SnapshotPublisher> publisher =
+      online::SnapshotPublisher::Open(dir);
+  ASSERT_TRUE(store.ok() && log.ok() && publisher.ok());
+  for (int64_t t = 0; t < 10; ++t) {
+    std::vector<double> row(serve::testutil::kTinyVars);
+    for (size_t v = 0; v < row.size(); ++v) {
+      row[v] = std::sin(0.4 * static_cast<double>(t)) + static_cast<double>(v);
+    }
+    ASSERT_TRUE(log.value().Append("i1", row).ok());
+  }
+  online::OnlinePipelineOptions options;
+  options.train.epochs = 2;
+  online::OnlinePipeline pipeline(&log.value(), &publisher.value(),
+                                  &store.value(), options);
+
+  ASSERT_TRUE(fault::Configure("online.publish/i1=1", 1).ok());
+  Result<online::UpdateOutcome> outcome = pipeline.UpdateIndividual("i1");
+  ASSERT_TRUE(fault::Configure("", 0).ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+  // The refusal left no versioned file, no manifest entry, no swap: the
+  // old snapshot keeps serving its exact bytes.
+  EXPECT_EQ(publisher.value().latest_version("i1"), 0u);
+  EXPECT_FALSE(fs::exists(dir + "/i1.v1.snapshot"));
+  EXPECT_EQ(store.value().max_published_version(), 0u);
+  EXPECT_EQ(Served(store.value(), "i1"), expected["i1"]);
+
+  // Without the fault the same update lands end to end.
+  Result<online::UpdateOutcome> landed = pipeline.UpdateIndividual("i1");
+  ASSERT_TRUE(landed.ok()) << landed.status().ToString();
+  EXPECT_EQ(landed.value().version, 1u);
+  Rng reload_rng(1);
+  Result<std::unique_ptr<models::Forecaster>> reloaded =
+      models::LoadForecasterSnapshot(landed.value().path, &reload_rng);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(Served(store.value(), "i1"),
+            core::Predict(reloaded.value().get(), serve::testutil::TinyWindow())
+                .ToVector());
+}
+
+TEST(HotSwapTest, PipelineUpdateMatchesColdEngineOnNewSnapshot) {
+  const std::string dir = FreshDir("swap_pipeline");
+  const std::string logdir = FreshDir("swap_pipeline_log");
+  auto expected = serve::testutil::MakeTinySnapshotDir(dir, {"i1"});
+
+  Result<ModelStore> store = ModelStore::Open(dir);
+  Result<online::ObservationLog> log = online::ObservationLog::Open(logdir);
+  Result<online::SnapshotPublisher> publisher =
+      online::SnapshotPublisher::Open(dir);
+  ASSERT_TRUE(store.ok() && log.ok() && publisher.ok());
+  for (int64_t t = 0; t < 12; ++t) {
+    std::vector<double> row(serve::testutil::kTinyVars);
+    for (size_t v = 0; v < row.size(); ++v) {
+      row[v] = std::sin(0.3 * static_cast<double>(t) + static_cast<double>(v));
+    }
+    ASSERT_TRUE(log.value().Append("i1", row).ok());
+  }
+  online::OnlinePipelineOptions options;
+  options.train.epochs = 2;
+  online::OnlinePipeline pipeline(&log.value(), &publisher.value(),
+                                  &store.value(), options);
+  Result<online::UpdateOutcome> outcome = pipeline.UpdateIndividual("i1");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.value().version, 1u);
+  EXPECT_EQ(outcome.value().rows_used, 12);
+  // LSTM bakes no graph, so the builder stage is skipped, not failed.
+  EXPECT_FALSE(outcome.value().graph_rederived);
+
+  // The swap anchor: what the store now serves is bitwise what a cold
+  // engine computes on the published snapshot file.
+  Rng rng(1);
+  Result<std::unique_ptr<models::Forecaster>> cold =
+      models::LoadForecasterSnapshot(outcome.value().path, &rng);
+  ASSERT_TRUE(cold.ok());
+  const std::vector<double> cold_bytes =
+      core::Predict(cold.value().get(), serve::testutil::TinyWindow())
+          .ToVector();
+  EXPECT_EQ(Served(store.value(), "i1"), cold_bytes);
+  EXPECT_NE(cold_bytes, expected["i1"]);  // the fine-tune moved the weights
+  EXPECT_EQ(store.value().max_published_version(), 1u);
+
+  // Another process opening the directory converges via the MANIFEST the
+  // publisher rewrote.
+  Result<ModelStore> replica = ModelStore::Open(dir);
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(Served(replica.value(), "i1"), cold_bytes);
+
+  // A second update publishes v2, never regressing.
+  Result<online::UpdateOutcome> second = pipeline.UpdateIndividual("i1");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().version, 2u);
+}
+
+// tsan hammer: readers Get+Predict in a loop while Publish lands. Every
+// observed prediction must be bitwise one of {old, new}, and after the
+// swap the store settles on the new bytes.
+TEST(HotSwapTest, ConcurrentGetsDuringPublishServeExactlyOneVersion) {
+  const std::string dir = FreshDir("swap_race");
+  auto expected = serve::testutil::MakeTinySnapshotDir(dir, {"i1"});
+  const std::vector<double> fresh =
+      SaveDistinctSnapshot(dir, "i1.v1.snapshot", 4242);
+
+  for (int num_threads : {1, 2, 8}) {
+    Result<ModelStore> opened = ModelStore::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    ModelStore& store = opened.value();
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> mixed{0};
+    std::vector<std::thread> readers;
+    readers.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      readers.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          Result<ModelHandle> handle = store.Get("i1");
+          if (!handle.ok()) {
+            mixed.fetch_add(1);
+            return;
+          }
+          const std::vector<double> bytes =
+              core::Predict(handle.value().get(), serve::testutil::TinyWindow())
+                  .ToVector();
+          if (bytes != expected["i1"] && bytes != fresh) mixed.fetch_add(1);
+        }
+      });
+    }
+    ASSERT_TRUE(store.Publish("i1", dir + "/i1.v1.snapshot").ok());
+    // Let readers race the cold load of the new version for a moment.
+    for (int spin = 0; spin < 50; ++spin) Served(store, "i1");
+    stop.store(true);
+    for (std::thread& reader : readers) reader.join();
+    EXPECT_EQ(mixed.load(), 0) << num_threads << " threads";
+    EXPECT_EQ(Served(store, "i1"), fresh);
+  }
+}
+
+}  // namespace
+}  // namespace emaf

@@ -1,0 +1,234 @@
+// OnlineTrainer suite (ctest labels: online, fast, fault). Pins the
+// warm-start contract (fine-tune starts from the snapshot's weights and
+// is bit-deterministic), the cross-graph warm start (adjacency swapped in
+// the config, parameters still load by name/shape), the refusal codes
+// (unreadable config, width mismatch, too few rows, wrong-size
+// adjacency), the divergence-refusal policy (every attempt diverges ->
+// kAborted, nothing usable returned), and the online.train fault site.
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "graph/adjacency.h"
+#include "models/registry.h"
+#include "online/online_trainer.h"
+#include "serve_test_util.h"
+#include "tensor/tensor.h"
+
+namespace emaf::online {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// [rows, vars] of a smooth signal the few-epoch fine-tune can descend on.
+tensor::Tensor WindowData(int64_t rows, int64_t vars) {
+  tensor::Tensor data = tensor::Tensor::Zeros(tensor::Shape{rows, vars});
+  for (int64_t t = 0; t < rows; ++t) {
+    for (int64_t v = 0; v < vars; ++v) {
+      data.data()[t * vars + v] =
+          std::sin(0.4 * static_cast<double>(t) + static_cast<double>(v));
+    }
+  }
+  return data;
+}
+
+graph::AdjacencyMatrix Ring(int64_t nodes) {
+  graph::AdjacencyMatrix adjacency(nodes);
+  for (int64_t i = 0; i < nodes; ++i) {
+    const int64_t j = (i + 1) % nodes;
+    adjacency.set(i, j, 1.0);
+    adjacency.set(j, i, 1.0);
+  }
+  return adjacency;
+}
+
+// Saves one untrained snapshot of `config` and returns its path.
+std::string SaveSnapshot(const std::string& dir, const std::string& name,
+                         const models::ModelConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  std::unique_ptr<models::Forecaster> model =
+      models::CreateForecasterOrDie(config, &rng);
+  const std::string path = dir + "/" + name + ".snapshot";
+  Status saved = models::SaveForecasterSnapshot(model.get(), config, path);
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  return path;
+}
+
+OnlineTrainOptions QuickOptions() {
+  OnlineTrainOptions options;
+  options.epochs = 3;
+  options.learning_rate = 0.001;
+  return options;
+}
+
+TEST(OnlineTrainerTest, WarmStartIsDeterministic) {
+  const std::string dir = FreshDir("otrain_det");
+  const std::string path =
+      SaveSnapshot(dir, "p01", serve::testutil::TinyLstmConfig(), 7);
+  const tensor::Tensor data = WindowData(10, serve::testutil::kTinyVars);
+  OnlineTrainer a(QuickOptions());
+  OnlineTrainer b(QuickOptions());
+  Result<FineTuneResult> ra = a.FineTune("p01", path, data);
+  Result<FineTuneResult> rb = b.FineTune("p01", path, data);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_EQ(ra.value().attempts, 1);
+  EXPECT_FALSE(ra.value().train.diverged);
+  ASSERT_EQ(ra.value().train.epoch_losses.size(), 3u);
+  EXPECT_EQ(ra.value().train.epoch_losses, rb.value().train.epoch_losses);
+  const tensor::Tensor window = serve::testutil::TinyWindow();
+  EXPECT_EQ(core::Predict(ra.value().model.get(), window).ToVector(),
+            core::Predict(rb.value().model.get(), window).ToVector());
+}
+
+TEST(OnlineTrainerTest, WarmStartActuallyStartsFromSnapshot) {
+  const std::string dir = FreshDir("otrain_warm");
+  const models::ModelConfig config = serve::testutil::TinyLstmConfig();
+  const std::string path = SaveSnapshot(dir, "p02", config, 7);
+  const tensor::Tensor data = WindowData(10, serve::testutil::kTinyVars);
+  // Zero epochs: the "fine-tuned" model must predict exactly what the
+  // snapshot predicts — the strongest possible warm-start witness.
+  OnlineTrainOptions options = QuickOptions();
+  options.epochs = 0;
+  OnlineTrainer trainer(options);
+  Result<FineTuneResult> result = trainer.FineTune("p02", path, data);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Rng rng(99);
+  Result<std::unique_ptr<models::Forecaster>> loaded =
+      models::LoadForecasterSnapshot(path, &rng);
+  ASSERT_TRUE(loaded.ok());
+  const tensor::Tensor window = serve::testutil::TinyWindow();
+  EXPECT_EQ(core::Predict(result.value().model.get(), window).ToVector(),
+            core::Predict(loaded.value().get(), window).ToVector());
+}
+
+TEST(OnlineTrainerTest, SwapsAdjacencyForGraphFamilies) {
+  const std::string dir = FreshDir("otrain_adj");
+  models::ModelConfig config;
+  config.family = "A3TGCN";
+  config.num_variables = 3;
+  config.input_length = 2;
+  config.a3tgcn.hidden_units = 4;
+  config.a3tgcn.dropout = 0.0;
+  config.adjacency = Ring(3);
+  const std::string path = SaveSnapshot(dir, "p03", config, 11);
+  const tensor::Tensor data = WindowData(10, 3);
+
+  graph::AdjacencyMatrix fresh(3);
+  fresh.set(0, 2, 0.7);
+  fresh.set(2, 0, 0.7);
+  OnlineTrainer trainer(QuickOptions());
+  Result<FineTuneResult> swapped = trainer.FineTune("p03", path, data, fresh);
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  ASSERT_TRUE(swapped.value().config.adjacency.has_value());
+  EXPECT_TRUE(*swapped.value().config.adjacency == fresh);
+  // The swapped graph changes the baked operator, so the fine-tuned model
+  // differs from one fine-tuned on the snapshot's own graph.
+  Result<FineTuneResult> kept = trainer.FineTune("p03", path, data);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(kept.value().config.adjacency.has_value());
+  EXPECT_TRUE(*kept.value().config.adjacency == Ring(3));
+  const tensor::Tensor window = serve::testutil::TinyWindow();
+  EXPECT_NE(core::Predict(swapped.value().model.get(), window).ToVector(),
+            core::Predict(kept.value().model.get(), window).ToVector());
+
+  // Wrong-size adjacency is rejected before any training.
+  Result<FineTuneResult> bad = trainer.FineTune("p03", path, data, Ring(4));
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineTrainerTest, IgnoresAdjacencyForGraphlessFamilies) {
+  const std::string dir = FreshDir("otrain_lstm_adj");
+  const std::string path =
+      SaveSnapshot(dir, "p04", serve::testutil::TinyLstmConfig(), 7);
+  const tensor::Tensor data = WindowData(10, serve::testutil::kTinyVars);
+  OnlineTrainer trainer(QuickOptions());
+  // A wrong-size adjacency is still fine here: LSTM bakes no graph, so
+  // the argument must be ignored, not validated.
+  Result<FineTuneResult> result = trainer.FineTune("p04", path, data, Ring(5));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().config.adjacency.has_value());
+}
+
+TEST(OnlineTrainerTest, RefusalCodes) {
+  const std::string dir = FreshDir("otrain_refuse");
+  const std::string path =
+      SaveSnapshot(dir, "p05", serve::testutil::TinyLstmConfig(), 7);
+  OnlineTrainer trainer(QuickOptions());
+  // Width mismatch (snapshot has 3 variables).
+  EXPECT_EQ(trainer.FineTune("p05", path, WindowData(10, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  // Rank mismatch.
+  EXPECT_EQ(trainer
+                .FineTune("p05", path,
+                          tensor::Tensor::Zeros(tensor::Shape{10}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // input_length = 2 needs at least 3 rows for one training window.
+  EXPECT_EQ(trainer
+                .FineTune("p05", path,
+                          WindowData(2, serve::testutil::kTinyVars))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Missing snapshot file.
+  EXPECT_FALSE(trainer
+                   .FineTune("p05", dir + "/missing.snapshot",
+                             WindowData(10, serve::testutil::kTinyVars))
+                   .ok());
+}
+
+TEST(OnlineTrainerTest, DivergenceIsRefusedNotPublished) {
+  const std::string dir = FreshDir("otrain_diverge");
+  const std::string path =
+      SaveSnapshot(dir, "p06", serve::testutil::TinyLstmConfig(), 7);
+  OnlineTrainOptions options;
+  options.epochs = 5;
+  options.learning_rate = 1e25;  // still absurd after halving retries
+  options.max_attempts = 2;
+  OnlineTrainer trainer(options);
+  Result<FineTuneResult> result =
+      trainer.FineTune("p06", path, WindowData(10, serve::testutil::kTinyVars));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_NE(result.status().message().find("refusing to publish"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(OnlineTrainerTest, TrainFaultSiteFailsBeforeWork) {
+  if (!fault::kFaultInjectionEnabled) GTEST_SKIP();
+  const std::string dir = FreshDir("otrain_fault");
+  const std::string path =
+      SaveSnapshot(dir, "p07", serve::testutil::TinyLstmConfig(), 7);
+  OnlineTrainer trainer(QuickOptions());
+  ASSERT_TRUE(fault::Configure("online.train/p07=1", 1).ok());
+  Result<FineTuneResult> faulted =
+      trainer.FineTune("p07", path, WindowData(10, serve::testutil::kTinyVars));
+  EXPECT_EQ(faulted.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(fault::Configure("", 0).ok());
+  Result<FineTuneResult> retried =
+      trainer.FineTune("p07", path, WindowData(10, serve::testutil::kTinyVars));
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+}
+
+}  // namespace
+}  // namespace emaf::online

@@ -47,6 +47,8 @@ std::vector<Frame> AllFrameKinds() {
   health.resident_models = 3;
   health.known_models = 12;
   health.queue_depth = 7;
+  health.max_published_version = 42;
+  Tensor row = Tensor::FromVector(Shape{3}, {0.25, -1.5, 1.0 / 3.0});
   return {
       MakeFrame(FrameType::kForecastRequest, 1, "tenant-07",
                 EncodeTensorPayload(window)),
@@ -59,6 +61,9 @@ std::vector<Frame> AllFrameKinds() {
       with_deadline,
       MakeFrame(FrameType::kHealth, 8, "", ""),
       MakeFrame(FrameType::kHealthReply, 8, "", EncodeHealthPayload(health)),
+      MakeFrame(FrameType::kAppend, 9, "tenant-07", EncodeTensorPayload(row)),
+      MakeFrame(FrameType::kAppendReply, 9, "",
+                EncodeAppendReplyPayload(0x0123456789ABCDEFull)),
   };
 }
 
@@ -191,6 +196,34 @@ TEST(ProtocolTest, HealthPayloadRejectsWrongSizeAndUnknownState) {
   EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(rejected.status().message().find("state"), std::string::npos)
       << rejected.status().ToString();
+}
+
+TEST(ProtocolTest, AppendReplyPayloadRoundTripsAndRejectsWrongSize) {
+  for (uint64_t sequence : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40,
+                            uint64_t{0xFFFFFFFFFFFFFFFFull}}) {
+    Result<uint64_t> decoded =
+        DecodeAppendReplyPayload(EncodeAppendReplyPayload(sequence));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), sequence);
+  }
+  const std::string good = EncodeAppendReplyPayload(7);
+  ASSERT_EQ(good.size(), 8u);
+  Result<uint64_t> truncated =
+      DecodeAppendReplyPayload(std::string_view(good).substr(0, 7));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kInvalidArgument);
+  Result<uint64_t> oversized = DecodeAppendReplyPayload(good + "x");
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, HealthPayloadCarriesThePublishedVersionWatermark) {
+  HealthInfo info;
+  info.state = ServeState::kServing;
+  info.max_published_version = 0xFFFFFFFFFFFFFFFFull;
+  Result<HealthInfo> decoded = DecodeHealthPayload(EncodeHealthPayload(info));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().max_published_version, 0xFFFFFFFFFFFFFFFFull);
 }
 
 // --- Byte-surgery conformance ----------------------------------------------

@@ -25,6 +25,7 @@
 #include "core/evaluator.h"
 #include "graph/adjacency.h"
 #include "models/registry.h"
+#include "online/observation_log.h"
 #include "serve/client.h"
 #include "serve/inference_engine.h"
 #include "serve/server.h"
@@ -602,6 +603,89 @@ TEST_F(ServerTest, HealthProbeReportsStateAndModelCounts) {
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   EXPECT_GE(after.value().resident_models, 1u);
   EXPECT_EQ(after.value().state, ServeState::kServing);
+}
+
+// Streaming ingestion over the wire (kAppend): rows land in the server's
+// observation log with the sequence numbers echoed back, the per-tenant
+// journals are isolated, and malformed appends fail the request with a
+// structured error, not the connection.
+TEST_F(ServerTest, AppendOverTheWireLandsInTheObservationLog) {
+  namespace fs = std::filesystem;
+  const std::string log_dir = ::testing::TempDir() + "/server_append_log";
+  fs::remove_all(log_dir);
+  ServerOptions options;
+  options.observation_log_dir = log_dir;
+  Server server = StartServerOrDie(options);
+  Client client = ConnectOrDie(server);
+
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    Result<uint64_t> assigned = client.Append(
+        "t0", {0.5 * static_cast<double>(seq), -1.0, 1.0 / 3.0});
+    ASSERT_TRUE(assigned.ok()) << assigned.status().ToString();
+    EXPECT_EQ(assigned.value(), seq);
+  }
+  Result<uint64_t> other = client.Append("t1", {9.0, 9.0, 9.0});
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other.value(), 1u);  // per-tenant sequences are independent
+
+  // A rank-2 payload is a per-request error; the connection survives.
+  Frame bad;
+  bad.type = FrameType::kAppend;
+  bad.request_id = 777;
+  bad.tenant_id = "t0";
+  bad.payload = EncodeTensorPayload(
+      Tensor::FromVector(Shape{2, 2}, {1.0, 2.0, 3.0, 4.0}));
+  ASSERT_TRUE(client.SendFrame(bad).ok());
+  Result<Frame> reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().request_id, 777u);
+  EXPECT_EQ(reply.value().type, FrameType::kError);
+  ASSERT_TRUE(client.Ping().ok());
+
+  EXPECT_EQ(server.stats().appends_ok, 4u);
+  EXPECT_EQ(server.stats().appends_failed, 1u);
+
+  // The journal is durable: a fresh log on the same directory replays the
+  // exact rows, in order.
+  server.Stop();
+  Result<online::ObservationLog> replayed =
+      online::ObservationLog::Open(log_dir);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed.value().rows("t0"), 3);
+  EXPECT_EQ(replayed.value().rows("t1"), 1);
+  Result<tensor::Tensor> rows = replayed.value().Replay("t0");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().data()[0], 0.5);
+  EXPECT_EQ(rows.value().data()[2], 1.0 / 3.0);
+  fs::remove_all(log_dir);
+}
+
+TEST_F(ServerTest, AppendWithoutAnObservationLogIsRefusedStructurally) {
+  Server server = StartServerOrDie();  // no observation_log_dir
+  Client client = ConnectOrDie(server);
+  Result<uint64_t> refused = client.Append("t0", {1.0, 2.0, 3.0});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(client.Ping().ok());  // the connection survives the refusal
+}
+
+// The health probe surfaces the store's published-version watermark, so a
+// client can detect a completed hot swap end to end.
+TEST_F(ServerTest, HealthProbeCarriesThePublishedVersionWatermark) {
+  Server server = StartServerOrDie();
+  Client client = ConnectOrDie(server);
+  Result<HealthInfo> before = client.Health();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().max_published_version, 0u);
+  ASSERT_TRUE(
+      server.store().Publish("t0", *dir_ + "/t1.snapshot", /*version=*/5).ok());
+  Result<HealthInfo> after = client.Health();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().max_published_version, 5u);
+  // The swapped tenant serves the new file's exact bytes over the wire.
+  Result<Tensor> forecast = client.Forecast("t0", *window_);
+  ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+  EXPECT_EQ(forecast.value().ToVector(), expected_->at("t1"));
 }
 
 // Deadline propagation end to end: the deadline travels in the frame

@@ -1,3 +1,6 @@
+#include <span>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "tensor/tensor.h"
@@ -126,6 +129,41 @@ TEST(ZScoreTest, InverseRestoresOriginal) {
   InverseZScoreColumns(&data, stats);
   for (int64_t i = 0; i < data.NumElements(); ++i) {
     EXPECT_NEAR(data.data()[i], original.data()[i], 1e-10);
+  }
+}
+
+TEST(SlidingBufferTest, FillsThenOverwritesOldestFirst) {
+  SlidingBuffer buffer(3, 2);
+  EXPECT_EQ(buffer.size(), 0);
+  buffer.Push(std::vector<double>{0.0, 1.0});
+  buffer.Push(std::vector<double>{10.0, 11.0});
+  EXPECT_EQ(buffer.size(), 2);
+  EXPECT_EQ(buffer.ToTensor().shape(), (Shape{2, 2}));
+  EXPECT_EQ(buffer.ToTensor().ToVector(),
+            (std::vector<double>{0.0, 1.0, 10.0, 11.0}));
+  buffer.Push(std::vector<double>{20.0, 21.0});
+  buffer.Push(std::vector<double>{30.0, 31.0});  // evicts row 0
+  EXPECT_EQ(buffer.size(), 3);
+  EXPECT_EQ(buffer.total_pushed(), 4);
+  EXPECT_EQ(buffer.ToTensor().ToVector(),
+            (std::vector<double>{10.0, 11.0, 20.0, 21.0, 30.0, 31.0}));
+}
+
+TEST(SlidingBufferTest, MatchesTheTailOfTheFullMatrix) {
+  // After pushing all T rows of a matrix, the buffer is exactly the last
+  // min(T, capacity) rows — the contract the online pipeline windows the
+  // observation log through.
+  Tensor data = GridData(10, 3);
+  SlidingBuffer buffer(4, 3);
+  for (int64_t t = 0; t < 10; ++t) {
+    buffer.Push(std::span<const double>(data.data() + t * 3, 3));
+  }
+  Tensor windowed = buffer.ToTensor();
+  ASSERT_EQ(windowed.shape(), (Shape{4, 3}));
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t v = 0; v < 3; ++v) {
+      EXPECT_EQ(windowed.data()[t * 3 + v], data.data()[(6 + t) * 3 + v]);
+    }
   }
 }
 
